@@ -1,0 +1,57 @@
+// Beyond-paper extension experiment: Make-MR-Fair composed with the wider
+// aggregation palette (exact Footrule, median-rank, MC4, Ranked Pairs —
+// all from the paper's reference list) on the Low-Fair dataset, alongside
+// the paper's own Fair-Borda / Fair-Copeland / Fair-Schulze. Shows that
+// the MFCR recipe "good aggregator + Make-MR-Fair" generalises: every
+// column satisfies Delta and PD loss tracks the aggregator's Kemeny
+// approximation quality.
+
+#include "bench_util.h"
+
+int main() {
+  using namespace manirank;
+  using namespace manirank::bench;
+  Banner("Extension", "Make-MR-Fair over additional aggregators");
+
+  const int per_cell = FullScale() ? 6 : 4;
+  ModalDesignResult design =
+      TableIDatasetScaled(TableIDataset::kLowFair, per_cell);
+  const double delta = 0.1;
+
+  TablePrinter table({"theta", "aggregator", "PD loss (unfair)",
+                      "PD loss (fair)", "fair@0.1", "swaps"});
+  for (double theta : {0.4, 0.8}) {
+    MallowsModel model(design.modal, theta);
+    std::vector<Ranking> base = model.SampleMany(150, /*seed=*/111);
+    PrecedenceMatrix w = PrecedenceMatrix::Build(base);
+    struct Entry {
+      const char* name;
+      Ranking unfair;
+    };
+    std::vector<Entry> entries;
+    entries.push_back({"Borda", BordaAggregate(base)});
+    entries.push_back({"Copeland", CopelandAggregate(w)});
+    entries.push_back({"Schulze", SchulzeAggregate(w)});
+    entries.push_back({"Footrule (exact)", FootruleAggregate(base)});
+    entries.push_back({"Median-rank", MedianRankAggregate(base)});
+    entries.push_back({"MC4", Mc4Aggregate(w)});
+    entries.push_back({"Ranked Pairs", RankedPairsAggregate(w)});
+    for (Entry& e : entries) {
+      MakeMrFairOptions options;
+      options.delta = delta;
+      const double unfair_loss = PdLoss(base, e.unfair);
+      FairAggregateResult fair =
+          CorrectConsensus(std::move(e.unfair), design.table, options);
+      table.AddRow({Fmt(theta, 1), e.name, Fmt(unfair_loss),
+                    Fmt(PdLoss(base, fair.fair_consensus)),
+                    fair.satisfied ? "yes" : "NO",
+                    std::to_string(fair.swaps)});
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "\nexpected shape: every aggregator is repaired to Delta; the "
+               "Condorcet family\n(Copeland/Schulze/Ranked Pairs) starts "
+               "closest to the profile and stays lowest\nafter repair; "
+               "median-rank pays the most.\n";
+  return 0;
+}

@@ -1,0 +1,179 @@
+// Microbenchmarks (google-benchmark) for the library's hot kernels:
+// Kendall tau, FPR evaluation, precedence-matrix construction, Mallows
+// sampling, the two Make-MR-Fair engines, and the LP engine, plus the
+// lazy-cut vs eager-constraint ablation for the Kemeny ILP.
+
+#include <benchmark/benchmark.h>
+
+#include "manirank.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace manirank;
+
+Ranking RandomRanking(int n, Rng* rng) {
+  std::vector<CandidateId> order(n);
+  for (int i = 0; i < n; ++i) order[i] = i;
+  rng->Shuffle(&order);
+  return Ranking(std::move(order));
+}
+
+void BM_KendallTau(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  Ranking a = RandomRanking(n, &rng);
+  Ranking b = RandomRanking(n, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(KendallTau(a, b));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_KendallTau)->Range(64, 1 << 16)->Complexity(benchmark::oNLogN);
+
+void BM_KendallTauBruteForce(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  Ranking a = RandomRanking(n, &rng);
+  Ranking b = RandomRanking(n, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(KendallTauBruteForce(a, b));
+  }
+}
+BENCHMARK(BM_KendallTauBruteForce)->Range(64, 1 << 10);
+
+void BM_GroupFpr(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  ModalDesignResult design = MakeCandidateScaleDataset(n);
+  Rng rng(2);
+  Ranking r = RandomRanking(n, &rng);
+  const Grouping& inter = design.table.intersection_grouping();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GroupFpr(r, inter));
+  }
+}
+BENCHMARK(BM_GroupFpr)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_PrecedenceBuild(benchmark::State& state) {
+  const int n = 100;
+  const int m = static_cast<int>(state.range(0));
+  MallowsModel model(Ranking::Identity(n), 0.6);
+  std::vector<Ranking> base = model.SampleMany(m, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PrecedenceMatrix::Build(base));
+  }
+}
+BENCHMARK(BM_PrecedenceBuild)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_MallowsSample(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  MallowsModel model(Ranking::Identity(n), 0.6);
+  Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Sample(&rng));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_MallowsSample)->Range(64, 1 << 15)->Complexity(benchmark::oNLogN);
+
+void BM_MakeMrFairEngine(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const bool indexed = state.range(1) != 0;
+  ModalDesignResult design = MakeCandidateScaleDataset(n);
+  for (auto _ : state) {
+    MakeMrFairOptions options;
+    options.delta = 0.1;
+    options.engine = indexed ? MakeMrFairOptions::Engine::kIndexed
+                             : MakeMrFairOptions::Engine::kReference;
+    benchmark::DoNotOptimize(MakeMrFair(design.modal, design.table, options));
+  }
+}
+BENCHMARK(BM_MakeMrFairEngine)
+    ->ArgsProduct({{100, 400, 1000}, {0, 1}})
+    ->ArgNames({"n", "indexed"})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+void BM_BordaAggregate(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  MallowsModel model(Ranking::Identity(100), 0.6);
+  std::vector<Ranking> base = model.SampleMany(m, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BordaAggregate(base));
+  }
+}
+BENCHMARK(BM_BordaAggregate)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_SchulzeAggregate(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  MallowsModel model(Ranking::Identity(n), 0.6);
+  std::vector<Ranking> base = model.SampleMany(50, 6);
+  PrecedenceMatrix w = PrecedenceMatrix::Build(base);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SchulzeAggregate(w));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_SchulzeAggregate)->Range(32, 512)->Complexity(benchmark::oNCubed);
+
+void BM_KemenyTransitiveFastPath(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  MallowsModel model(Ranking::Identity(n), 1.0);
+  std::vector<Ranking> base = model.SampleMany(101, 7);
+  PrecedenceMatrix w = PrecedenceMatrix::Build(base);
+  for (auto _ : state) {
+    Ranking out;
+    benchmark::DoNotOptimize(TryTransitiveKemeny(w, &out));
+  }
+}
+BENCHMARK(BM_KemenyTransitiveFastPath)->Arg(50)->Arg(100)->Arg(200);
+
+void BM_KemenyIlpCondorcetCycles(benchmark::State& state) {
+  // Profiles with weak consensus force the ILP path.
+  const int n = static_cast<int>(state.range(0));
+  MallowsModel model(Ranking::Identity(n), 0.05);
+  std::vector<Ranking> base = model.SampleMany(7, 8);
+  PrecedenceMatrix w = PrecedenceMatrix::Build(base);
+  KemenyOptions options;
+  options.time_limit_seconds = 5.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(KemenyAggregate(w, options));
+  }
+}
+BENCHMARK(BM_KemenyIlpCondorcetCycles)->Arg(8)->Arg(12)->Arg(16)
+    ->Unit(benchmark::kMillisecond)->Iterations(2);
+
+void BM_SimplexLp(benchmark::State& state) {
+  // Root relaxation of a Fair-Kemeny instance.
+  const int per_cell = static_cast<int>(state.range(0));
+  ModalDesignSpec spec;
+  spec.attributes = {{"A", {"a0", "a1"}}, {"B", {"b0", "b1"}}};
+  spec.cell_counts.assign(4, per_cell);
+  spec.attribute_arp_target = {0.6, 0.6};
+  spec.irp_target = 0.8;
+  spec.tolerance = 0.05;
+  ModalDesignResult design = DesignModalRanking(spec);
+  MallowsModel model(design.modal, 0.6);
+  std::vector<Ranking> base = model.SampleMany(30, 9);
+  PrecedenceMatrix w = PrecedenceMatrix::Build(base);
+  FairKemenyOptions options;
+  options.delta = 0.1;
+  lp::LinearOrderingProblem problem =
+      BuildFairKemenyProblem(w, design.table, options);
+  lp::Model m = problem.model();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lp::SolveLp(m));
+  }
+  state.counters["vars"] = m.num_variables();
+  state.counters["rows"] = m.num_constraints();
+}
+BENCHMARK(BM_SimplexLp)
+    ->Arg(3)
+    ->Arg(5)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(5);
+
+}  // namespace
+
+BENCHMARK_MAIN();

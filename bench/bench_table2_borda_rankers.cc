@@ -1,0 +1,63 @@
+// Regenerates Table II: Fair-Borda execution time as the number of base
+// rankings grows to web scale. n = 100 candidates (Fig. 6 dataset),
+// Delta = 0.1, theta = 0.6.
+//
+// Rankings are streamed: each Mallows sample is drawn, folded into the
+// Borda point totals, and discarded, so |R| = 10M needs no ranking storage
+// (the paper reports 50.75 s for 10M rankings on their machine).
+
+#include <atomic>
+
+#include "bench_util.h"
+#include "util/threading.h"
+
+int main() {
+  using namespace manirank;
+  using namespace manirank::bench;
+  Banner("Table II", "Fair-Borda ranker scale (streaming Borda)");
+
+  const std::vector<int64_t> sizes =
+      FullScale()
+          ? std::vector<int64_t>{1000, 10000, 100000, 1000000, 10000000}
+          : std::vector<int64_t>{1000, 10000, 100000, 1000000};
+
+  ModalDesignResult design = MakeRankerScaleDataset(100);
+  const int n = design.table.num_candidates();
+  MallowsModel model(design.modal, 0.6);
+
+  TablePrinter table(
+      {"|R| Number of Rankings", "Execution time (s)", "fair@0.1"});
+  for (int64_t m : sizes) {
+    Stopwatch timer;
+    // Streamed, thread-parallel Borda accumulation. Sample i depends only
+    // on (seed, i), so the result is independent of the thread count.
+    std::vector<std::vector<int64_t>> per_worker(DefaultThreadCount() + 1,
+                                                 std::vector<int64_t>(n, 0));
+    ParallelFor(static_cast<size_t>(m),
+                [&](size_t begin, size_t end, size_t worker) {
+                  std::vector<int64_t>& points = per_worker[worker];
+                  for (size_t i = begin; i < end; ++i) {
+                    Rng rng = MallowsModel::SampleRng(/*seed=*/71, i);
+                    Ranking r = model.Sample(&rng);
+                    for (int p = 0; p < n; ++p) {
+                      points[r.At(p)] += n - 1 - p;
+                    }
+                  }
+                });
+    std::vector<int64_t> points(n, 0);
+    for (const auto& local : per_worker) {
+      for (int c = 0; c < n; ++c) points[c] += local[c];
+    }
+    Ranking borda = BordaFromPoints(points);
+    MakeMrFairOptions options;
+    options.delta = 0.1;
+    MakeMrFairResult fair = MakeMrFair(borda, design.table, options);
+    table.AddRow({std::to_string(m), Fmt(timer.Seconds(), 2),
+                  fair.satisfied ? "yes" : "NO"});
+  }
+  table.Print(std::cout);
+  std::cout << "\nexpected shape (paper Table II): near-flat up to 1e5 "
+               "rankings, then linear growth;\n10M rankings complete in under "
+               "a minute of wall-clock on a multicore box.\n";
+  return 0;
+}

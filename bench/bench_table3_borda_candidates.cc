@@ -1,0 +1,37 @@
+// Regenerates Table III: Fair-Borda execution time for very large candidate
+// databases. |R| = 100, theta = 0.6, Delta = 0.33, Fig. 7 dataset profile.
+// The indexed Make-MR-Fair engine (Fenwick position sets + O(1) favored
+// updates) makes the 100k-candidate row tractable.
+
+#include "bench_util.h"
+
+int main() {
+  using namespace manirank;
+  using namespace manirank::bench;
+  Banner("Table III", "Fair-Borda candidate scale");
+
+  const std::vector<int> sizes =
+      FullScale()
+          ? std::vector<int>{1000, 10000, 20000, 30000, 40000, 50000, 100000}
+          : std::vector<int>{1000, 10000, 20000};
+  const int num_rankings = 100;
+
+  TablePrinter table(
+      {"|X| Number of Candidates", "Execution time (s)", "fair@0.33"});
+  for (int n : sizes) {
+    ModalDesignResult design = MakeCandidateScaleDataset(n);
+    MallowsModel model(design.modal, 0.6);
+    std::vector<Ranking> base = model.SampleMany(num_rankings, /*seed=*/91);
+    Stopwatch timer;
+    MakeMrFairOptions options;
+    options.delta = 0.33;
+    FairAggregateResult fair = FairBorda(base, design.table, options);
+    table.AddRow({std::to_string(n), Fmt(timer.Seconds(), 2),
+                  fair.satisfied ? "yes" : "NO"});
+  }
+  table.Print(std::cout);
+  std::cout << "\nexpected shape (paper Table III): super-linear growth with "
+               "n,\ndominated by Borda tabulation and the repair sweep; tens "
+               "of thousands of candidates in minutes.\n";
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Regenerates Table IV (student merit-scholarship case study): per-group
+// FPR scores plus ARP/IRP for the three subject rankings, the plain Kemeny
+// consensus, and the four MFCR methods at Delta = 0.05, over 200 students
+// with Gender x Race x Lunch.
+//
+// Substitution notes: the student data is a synthetic stand-in calibrated
+// to the published bias pattern (DESIGN.md #2); the exact Kemeny/Fair-
+// Kemeny rows use the bundled solver with a wall-clock cap — at n = 200
+// the reported consensus is the locally-optimised / repaired incumbent
+// (CPLEX-grade exactness is not required for the table's conclusion).
+
+#include "bench_util.h"
+
+int main() {
+  using namespace manirank;
+  using namespace manirank::bench;
+  Banner("Table IV", "exam case study: 200 students, Delta = .05");
+
+  ExamDataset data = GenerateExamDataset();
+  const CandidateTable& t = data.table;
+  const Grouping& gender = t.attribute_grouping(0);
+  const Grouping& race = t.attribute_grouping(1);
+  const Grouping& lunch = t.attribute_grouping(2);
+
+  auto fpr_of = [](const Grouping& g, const std::vector<double>& fpr,
+                   const std::string& label) {
+    for (int i = 0; i < g.num_groups(); ++i) {
+      if (g.labels[i] == label) return fpr[i];
+    }
+    return 0.5;
+  };
+
+  TablePrinter table({"Ranking", "Men", "Women", "Gender", "NoSub", "SubLunch",
+                      "Lunch", "Asian", "White", "Black", "AlaskaNat.",
+                      "NatHaw.", "Race", "IRP"});
+  auto add_row = [&](const std::string& name, const Ranking& r) {
+    const std::vector<double> g = GroupFpr(r, gender);
+    const std::vector<double> rc = GroupFpr(r, race);
+    const std::vector<double> l = GroupFpr(r, lunch);
+    table.AddRow({name, Fmt(fpr_of(gender, g, "Men"), 2),
+                  Fmt(fpr_of(gender, g, "Women"), 2),
+                  Fmt(RankParityFromFpr(g), 2), Fmt(fpr_of(lunch, l, "NoSub"), 2),
+                  Fmt(fpr_of(lunch, l, "SubLunch"), 2),
+                  Fmt(RankParityFromFpr(l), 2), Fmt(fpr_of(race, rc, "Asian"), 2),
+                  Fmt(fpr_of(race, rc, "White"), 2),
+                  Fmt(fpr_of(race, rc, "Black"), 2),
+                  Fmt(fpr_of(race, rc, "AlaskaNat"), 2),
+                  Fmt(fpr_of(race, rc, "NatHaw"), 2),
+                  Fmt(RankParityFromFpr(rc), 2),
+                  Fmt(IntersectionRankParity(r, t), 2)});
+  };
+
+  for (size_t s = 0; s < data.base_rankings.size(); ++s) {
+    add_row(data.subjects[s], data.base_rankings[s]);
+  }
+
+  ConsensusInput input;
+  input.base_rankings = &data.base_rankings;
+  input.table = &t;
+  input.delta = 0.05;
+  input.time_limit_seconds = FullScale() ? 60.0 : 10.0;
+  for (const char* id : {"B1", "A1", "A2", "A3", "A4"}) {
+    const MethodSpec* method = FindMethod(id);
+    Stopwatch timer;
+    ConsensusOutput out = method->run(input);
+    add_row(method->name, out.consensus);
+    std::cout << method->name << ": " << Fmt(timer.Seconds(), 2) << "s"
+              << (out.exact ? "" : " (capped/heuristic)") << "\n";
+  }
+  std::cout << '\n';
+  table.Print(std::cout);
+  std::cout <<
+      "\nexpected shape (paper Table IV): every base ranking and the Kemeny\n"
+      "consensus have ARP >= .2 somewhere (SubLunch and NatHaw far below\n"
+      "parity); all four MFCR rows end at ARP <= .05 and IRP <= .05 with\n"
+      "group FPRs pulled to ~0.5.\n";
+  return 0;
+}

@@ -1,0 +1,93 @@
+// The paper's motivating example (Fig. 1 / Fig. 2): an admissions committee
+// aggregates four members' rankings of 45 scholarship candidates carrying
+// Gender (3 values) and Race (5 values). The fairness-unaware Kemeny
+// consensus inherits the members' biases; the MANI-Rank consensus at
+// Delta = 0.1 removes them.
+//
+// The four committee rankings are synthesised the way the paper describes
+// its committee: three members with strong, correlated bias (r1, r2, r4 —
+// r4 the most biased) and one roughly neutral member (r3).
+
+#include <iostream>
+
+#include "manirank.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace manirank;
+
+  // 45 candidates, 3 per Race x Gender cell (5 x 3 = 15 cells).
+  ModalDesignSpec biased;
+  biased.attributes = {
+      {"Race", {"AlaskaNat", "Asian", "Black", "NatHawaii", "White"}},
+      {"Gender", {"Man", "Non-Binary", "Woman"}},
+  };
+  biased.cell_counts.assign(15, 3);
+  biased.attribute_arp_target = {0.55, 0.65};  // race, gender bias
+  biased.irp_target = 0.85;
+  biased.tolerance = 0.04;
+  biased.seed = 2;
+  ModalDesignResult committee_lean = DesignModalRanking(biased);
+  const CandidateTable& candidates = committee_lean.table;
+
+  // Members r1, r2, r4 perturb the biased modal ranking (r4 barely);
+  // r3 is close to a fair modal ranking.
+  ModalDesignSpec neutral = biased;
+  neutral.attribute_arp_target = {0.08, 0.08};
+  neutral.irp_target = 0.25;
+  neutral.seed = 3;
+  ModalDesignResult fair_lean = DesignModalRanking(neutral);
+
+  Rng rng(4);
+  MallowsModel biased_model(committee_lean.modal, 0.35);
+  MallowsModel very_biased_model(committee_lean.modal, 1.2);
+  MallowsModel neutral_model(fair_lean.modal, 0.5);
+  std::vector<Ranking> committee = {
+      biased_model.Sample(&rng),       // r1
+      biased_model.Sample(&rng),       // r2
+      neutral_model.Sample(&rng),      // r3 — the even-handed member
+      very_biased_model.Sample(&rng),  // r4 — the strongly biased member
+  };
+
+  TablePrinter table({"ranking", "ARP Race", "ARP Gender", "IRP", "PD loss"});
+  auto add = [&](const std::string& name, const Ranking& r) {
+    FairnessReport rep = EvaluateFairness(r, candidates);
+    table.AddRow({name, TablePrinter::Fmt(rep.parity[0], 2),
+                  TablePrinter::Fmt(rep.parity[1], 2),
+                  TablePrinter::Fmt(rep.parity[2], 2),
+                  TablePrinter::Fmt(PdLoss(committee, r), 3)});
+  };
+  for (size_t i = 0; i < committee.size(); ++i) {
+    add("member r" + std::to_string(i + 1), committee[i]);
+  }
+
+  PrecedenceMatrix w = PrecedenceMatrix::Build(committee);
+  KemenyOptions kemeny_options;
+  kemeny_options.time_limit_seconds = 20.0;
+  KemenyResult kemeny = KemenyAggregate(w, kemeny_options);
+  add("Kemeny consensus", kemeny.ranking);
+
+  // Paper Fig. 2(b): MANI-Rank consensus at Delta = 0.1. Fair-Copeland is
+  // exact-polynomial at this size; Fair-Kemeny (time-capped) for reference.
+  MakeMrFairOptions mmf;
+  mmf.delta = 0.1;
+  FairAggregateResult fair_copeland = FairCopeland(w, candidates, mmf);
+  add("MANI-Rank consensus (Fair-Copeland)", fair_copeland.fair_consensus);
+
+  FairKemenyOptions fk;
+  fk.delta = 0.1;
+  fk.time_limit_seconds = 20.0;
+  FairKemenyResult fair_kemeny = FairKemenyAggregate(w, candidates, fk);
+  add(std::string("MANI-Rank consensus (Fair-Kemeny") +
+          (fair_kemeny.optimal ? ")" : ", capped)"),
+      fair_kemeny.ranking);
+
+  std::cout << "Admissions committee: 45 candidates, Race x Gender, "
+               "Delta = 0.1\n\n";
+  table.Print(std::cout);
+  std::cout << "\nAs in the paper's Fig. 2: the Kemeny consensus reflects the "
+               "committee's bias\n(high ARP/IRP); the MANI-Rank consensus "
+               "drives all three scores to ~0.1 or less\nwhile staying close "
+               "to the members' preferences (small PD-loss increase).\n";
+  return 0;
+}

@@ -1,0 +1,79 @@
+// The appendix case study as a runnable audit tool: aggregate 21 yearly
+// department rankings (2000-2020) into one consensus and audit / repair
+// regional and public-vs-private bias. Demonstrates that group fairness
+// concerns apply to ranked *entities*, not only people.
+//
+// Also shows the CSV round-trip: the dataset is exported, re-imported and
+// re-audited, mimicking how a downstream user would plug in real data.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "manirank.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace manirank;
+
+  CsRankingsDataset data = GenerateCsRankingsDataset();
+
+  // --- persist and reload (the path a user with real data would take) ----
+  std::stringstream table_csv, rankings_csv;
+  WriteCandidateTableCsv(table_csv, data.table);
+  WriteRankingsCsv(rankings_csv, data.yearly_rankings);
+  CandidateTable departments = ReadCandidateTableCsv(table_csv);
+  std::vector<Ranking> years = ReadRankingsCsv(rankings_csv);
+  std::cout << "loaded " << departments.num_candidates() << " departments, "
+            << years.size() << " yearly rankings (via CSV round-trip)\n\n";
+
+  // --- audit each year -----------------------------------------------------
+  TablePrinter audit({"year", "ARP Location", "ARP Type", "IRP"});
+  for (size_t y = 0; y < years.size(); ++y) {
+    FairnessReport rep = EvaluateFairness(years[y], departments);
+    audit.AddRow({data.year_labels[y], TablePrinter::Fmt(rep.parity[0], 3),
+                  TablePrinter::Fmt(rep.parity[1], 3),
+                  TablePrinter::Fmt(rep.parity[2], 3)});
+  }
+  audit.Print(std::cout);
+
+  // --- 20-year consensus, unfair vs fair ----------------------------------
+  PrecedenceMatrix w = PrecedenceMatrix::Build(years);
+  KemenyOptions ko;
+  ko.time_limit_seconds = 15.0;
+  KemenyResult kemeny = KemenyAggregate(w, ko);
+  FairnessReport before = EvaluateFairness(kemeny.ranking, departments);
+
+  MakeMrFairOptions mmf;
+  mmf.delta = 0.05;
+  FairAggregateResult fair = FairCopeland(w, departments, mmf);
+  FairnessReport after = EvaluateFairness(fair.fair_consensus, departments);
+
+  std::cout << "\n20-year consensus (" << (kemeny.optimal ? "exact" : "heuristic")
+            << " Kemeny):  ARP Location = "
+            << TablePrinter::Fmt(before.parity[0], 3)
+            << ", ARP Type = " << TablePrinter::Fmt(before.parity[1], 3)
+            << ", IRP = " << TablePrinter::Fmt(before.parity[2], 3) << "\n";
+  std::cout << "MANI-Rank consensus (Fair-Copeland, Delta=.05): ARP Location = "
+            << TablePrinter::Fmt(after.parity[0], 3)
+            << ", ARP Type = " << TablePrinter::Fmt(after.parity[1], 3)
+            << ", IRP = " << TablePrinter::Fmt(after.parity[2], 3) << "\n\n";
+
+  // Top-10 departments before/after, with their groups.
+  TablePrinter top({"rank", "Kemeny top-10", "attrs", "Fair top-10", "attrs"});
+  auto attrs_of = [&](CandidateId c) {
+    return departments.attribute(0).values[departments.value(c, 0)] + "/" +
+           departments.attribute(1).values[departments.value(c, 1)];
+  };
+  for (int p = 0; p < 10; ++p) {
+    const CandidateId a = kemeny.ranking.At(p);
+    const CandidateId b = fair.fair_consensus.At(p);
+    top.AddRow({std::to_string(p + 1), "dept" + std::to_string(a), attrs_of(a),
+                "dept" + std::to_string(b), attrs_of(b)});
+  }
+  top.Print(std::cout);
+  std::cout << "\nThe fair consensus interleaves regions and institution "
+               "types at the top instead of\nclustering Northeast/Private "
+               "departments, while preserving the within-group order.\n";
+  return 0;
+}

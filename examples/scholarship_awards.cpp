@@ -1,0 +1,91 @@
+// The §IV-F case study as a runnable application: merit-scholarship
+// allocation from three subject rankings (math / reading / writing) over
+// 200 students with Gender, Race and subsidised-Lunch attributes.
+//
+// Demonstrates the practical question the paper opens with: if the top-k
+// of the consensus ranking receives scholarships, how much aid does each
+// group get before and after MANI-Rank fairness?
+
+#include <iomanip>
+#include <iostream>
+
+#include "manirank.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace manirank;
+
+/// Fraction of the top-k positions occupied by each group of `grouping`,
+/// normalised by the group's share of the population ("aid ratio": 1.0
+/// means the group receives exactly its proportional share).
+std::vector<double> AidRatios(const Ranking& r, const Grouping& grouping,
+                              int k) {
+  std::vector<int> in_top(grouping.num_groups(), 0);
+  for (int p = 0; p < k; ++p) ++in_top[grouping.group_of[r.At(p)]];
+  std::vector<double> ratio(grouping.num_groups());
+  const double n = static_cast<double>(r.size());
+  for (int g = 0; g < grouping.num_groups(); ++g) {
+    const double share = grouping.group_size(g) / n;
+    ratio[g] = (in_top[g] / static_cast<double>(k)) / share;
+  }
+  return ratio;
+}
+
+}  // namespace
+
+int main() {
+  ExamDataset data = GenerateExamDataset();
+  const CandidateTable& students = data.table;
+  const int kAwards = 50;  // top-50 receive merit scholarships
+
+  PrecedenceMatrix w = PrecedenceMatrix::Build(data.base_rankings);
+  KemenyOptions ko;
+  ko.time_limit_seconds = 10.0;
+  KemenyResult kemeny = KemenyAggregate(w, ko);
+
+  MakeMrFairOptions mmf;
+  mmf.delta = 0.05;
+  FairAggregateResult fair = FairSchulze(w, students, mmf);
+
+  std::cout << "Merit scholarships: top-" << kAwards << " of " <<
+      students.num_candidates() << " students receive aid.\n"
+      << "Consensus of " << data.base_rankings.size()
+      << " subject rankings (" << (kemeny.optimal ? "exact" : "heuristic")
+      << " Kemeny vs Fair-Schulze at Delta=.05).\n\n";
+
+  for (int a = 0; a < students.num_attributes(); ++a) {
+    const Grouping& grouping = students.attribute_grouping(a);
+    TablePrinter table({grouping.name + " group", "population share",
+                        "aid ratio (Kemeny)", "aid ratio (Fair-Schulze)"});
+    std::vector<double> before = AidRatios(kemeny.ranking, grouping, kAwards);
+    std::vector<double> after =
+        AidRatios(fair.fair_consensus, grouping, kAwards);
+    for (int g = 0; g < grouping.num_groups(); ++g) {
+      table.AddRow({grouping.labels[g],
+                    TablePrinter::Fmt(
+                        grouping.group_size(g) /
+                            static_cast<double>(students.num_candidates()),
+                        2),
+                    TablePrinter::Fmt(before[g], 2),
+                    TablePrinter::Fmt(after[g], 2)});
+    }
+    table.Print(std::cout);
+    std::cout << '\n';
+  }
+
+  FairnessReport before = EvaluateFairness(kemeny.ranking, students);
+  FairnessReport after = EvaluateFairness(fair.fair_consensus, students);
+  std::cout << "max ARP/IRP: Kemeny = " << TablePrinter::Fmt(before.MaxParity(), 3)
+            << ", Fair-Schulze = " << TablePrinter::Fmt(after.MaxParity(), 3)
+            << " (threshold .05, satisfied=" << (fair.satisfied ? "yes" : "no")
+            << ")\n";
+  std::cout << "preference cost: PD loss " <<
+      TablePrinter::Fmt(PdLoss(data.base_rankings, kemeny.ranking), 3)
+            << " -> " <<
+      TablePrinter::Fmt(PdLoss(data.base_rankings, fair.fair_consensus), 3)
+            << "\n\nAs in Table IV: subsidised-lunch and NatHaw students move "
+               "from a fraction of their\nproportional aid share to parity, "
+               "with a modest preference-representation cost.\n";
+  return 0;
+}

@@ -1,0 +1,199 @@
+// manirank — command-line front end for fair consensus ranking.
+//
+// Usage:
+//   manirank audit     --table T.csv --rankings R.csv
+//   manirank consensus --table T.csv --rankings R.csv --method A4
+//                      [--delta 0.1] [--time-limit 30] [--output out.csv]
+//   manirank methods
+//
+// CSV formats are the library's (data/csv.h): the table file starts with
+// "candidate,<attr>,..." and rankings are one permutation per row,
+// candidates best-first.
+
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "manirank.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace manirank;
+
+struct Args {
+  std::string command;
+  std::string table_path;
+  std::string rankings_path;
+  std::string method = "A4";  // Fair-Copeland: fast and exact-polynomial
+  std::string output_path;
+  double delta = 0.1;
+  double time_limit = 30.0;
+};
+
+int Usage() {
+  std::cerr <<
+      "usage:\n"
+      "  manirank audit     --table T.csv --rankings R.csv\n"
+      "  manirank consensus --table T.csv --rankings R.csv [--method ID]\n"
+      "                     [--delta D] [--time-limit S] [--output out.csv]\n"
+      "  manirank methods\n";
+  return 2;
+}
+
+std::optional<Args> Parse(int argc, char** argv) {
+  if (argc < 2) return std::nullopt;
+  Args args;
+  args.command = argv[1];
+  for (int i = 2; i + 1 < argc; i += 2) {
+    const std::string flag = argv[i];
+    const std::string value = argv[i + 1];
+    if (flag == "--table") {
+      args.table_path = value;
+    } else if (flag == "--rankings") {
+      args.rankings_path = value;
+    } else if (flag == "--method") {
+      args.method = value;
+    } else if (flag == "--delta") {
+      args.delta = std::stod(value);
+    } else if (flag == "--time-limit") {
+      args.time_limit = std::stod(value);
+    } else if (flag == "--output") {
+      args.output_path = value;
+    } else {
+      std::cerr << "unknown flag: " << flag << "\n";
+      return std::nullopt;
+    }
+  }
+  return args;
+}
+
+struct Study {
+  CandidateTable table;
+  std::vector<Ranking> rankings;
+};
+
+std::optional<Study> Load(const Args& args) {
+  std::ifstream table_file(args.table_path);
+  if (!table_file) {
+    std::cerr << "cannot open table file: " << args.table_path << "\n";
+    return std::nullopt;
+  }
+  std::ifstream rankings_file(args.rankings_path);
+  if (!rankings_file) {
+    std::cerr << "cannot open rankings file: " << args.rankings_path << "\n";
+    return std::nullopt;
+  }
+  try {
+    Study study{ReadCandidateTableCsv(table_file),
+                ReadRankingsCsv(rankings_file)};
+    if (study.rankings.empty()) {
+      std::cerr << "rankings file is empty\n";
+      return std::nullopt;
+    }
+    for (const Ranking& r : study.rankings) {
+      if (r.size() != study.table.num_candidates()) {
+        std::cerr << "ranking size " << r.size() << " != table size "
+                  << study.table.num_candidates() << "\n";
+        return std::nullopt;
+      }
+    }
+    return study;
+  } catch (const std::exception& e) {
+    std::cerr << "parse error: " << e.what() << "\n";
+    return std::nullopt;
+  }
+}
+
+void PrintFairness(const std::string& label, const Ranking& r,
+                   const CandidateTable& table, TablePrinter* out) {
+  FairnessReport report = EvaluateFairness(r, table);
+  std::vector<std::string> row = {label};
+  for (double parity : report.parity) {
+    row.push_back(TablePrinter::Fmt(parity, 3));
+  }
+  out->AddRow(std::move(row));
+}
+
+std::vector<std::string> FairnessHeader(const CandidateTable& table) {
+  std::vector<std::string> header = {"ranking"};
+  for (int a = 0; a < table.num_attributes(); ++a) {
+    header.push_back("ARP " + table.attribute(a).name);
+  }
+  if (table.num_attributes() > 1) header.push_back("IRP");
+  return header;
+}
+
+int RunAudit(const Args& args) {
+  std::optional<Study> study = Load(args);
+  if (!study) return 1;
+  TablePrinter out(FairnessHeader(study->table));
+  for (size_t i = 0; i < study->rankings.size(); ++i) {
+    PrintFairness("r" + std::to_string(i), study->rankings[i], study->table,
+                  &out);
+  }
+  out.Print(std::cout);
+  return 0;
+}
+
+int RunConsensus(const Args& args) {
+  std::optional<Study> study = Load(args);
+  if (!study) return 1;
+  const MethodSpec* method = FindMethod(args.method);
+  if (method == nullptr) {
+    std::cerr << "unknown method '" << args.method
+              << "' (see `manirank methods`)\n";
+    return 2;
+  }
+  ConsensusInput input;
+  input.base_rankings = &study->rankings;
+  input.table = &study->table;
+  input.delta = args.delta;
+  input.time_limit_seconds = args.time_limit;
+  ConsensusOutput result = method->run(input);
+
+  TablePrinter out(FairnessHeader(study->table));
+  PrintFairness("consensus (" + method->name + ")", result.consensus,
+                study->table, &out);
+  out.Print(std::cout);
+  std::cout << "PD loss: "
+            << TablePrinter::Fmt(PdLoss(study->rankings, result.consensus), 4)
+            << "  time: " << TablePrinter::Fmt(result.seconds, 2) << "s"
+            << "  delta " << args.delta << " satisfied: "
+            << (result.satisfied ? "yes" : "no")
+            << (method->uses_ilp && !result.exact ? "  (time-capped)" : "")
+            << "\n";
+  if (!args.output_path.empty()) {
+    std::ofstream out_file(args.output_path);
+    if (!out_file) {
+      std::cerr << "cannot open output file: " << args.output_path << "\n";
+      return 1;
+    }
+    WriteRankingsCsv(out_file, {result.consensus});
+    std::cout << "consensus written to " << args.output_path << "\n";
+  }
+  return 0;
+}
+
+int RunMethods() {
+  TablePrinter out({"id", "name", "fairness-aware", "solver"});
+  for (const MethodSpec& m : AllMethods()) {
+    out.AddRow({m.id, m.name, m.fairness_aware ? "yes" : "no",
+                m.uses_ilp ? "ILP (time-capped on large inputs)" : "polynomial"});
+  }
+  out.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::optional<Args> args = Parse(argc, argv);
+  if (!args) return Usage();
+  if (args->command == "audit") return RunAudit(*args);
+  if (args->command == "consensus") return RunConsensus(*args);
+  if (args->command == "methods") return RunMethods();
+  return Usage();
+}

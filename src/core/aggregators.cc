@@ -1,0 +1,121 @@
+#include "core/aggregators.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <numeric>
+
+namespace manirank {
+namespace {
+
+/// Sorts candidate ids by descending score, candidate id ascending on ties.
+template <typename Score>
+Ranking RankByScoreDesc(const std::vector<Score>& score) {
+  std::vector<CandidateId> order(score.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](CandidateId a, CandidateId b) {
+    if (score[a] != score[b]) return score[a] > score[b];
+    return a < b;
+  });
+  return Ranking(std::move(order));
+}
+
+}  // namespace
+
+Ranking BordaAggregate(const std::vector<Ranking>& base_rankings) {
+  assert(!base_rankings.empty());
+  const int n = base_rankings[0].size();
+  std::vector<int64_t> points(n, 0);
+  for (const Ranking& r : base_rankings) {
+    assert(r.size() == n);
+    for (int p = 0; p < n; ++p) {
+      points[r.At(p)] += n - 1 - p;  // candidates ranked below
+    }
+  }
+  return BordaFromPoints(points);
+}
+
+Ranking BordaFromPoints(const std::vector<int64_t>& points) {
+  return RankByScoreDesc(points);
+}
+
+Ranking CopelandAggregate(const PrecedenceMatrix& w) {
+  const int n = w.size();
+  std::vector<int> wins(n, 0);
+  for (CandidateId a = 0; a < n; ++a) {
+    for (CandidateId b = 0; b < n; ++b) {
+      if (a == b) continue;
+      // a wins the contest against b if at least as many rankings prefer
+      // a over b as prefer b over a (ties are wins for both).
+      if (w.PrefersCount(a, b) >= w.PrefersCount(b, a)) ++wins[a];
+    }
+  }
+  return RankByScoreDesc(wins);
+}
+
+std::vector<std::vector<double>> SchulzeStrongestPaths(
+    const PrecedenceMatrix& w) {
+  const int n = w.size();
+  std::vector<std::vector<double>> p(n, std::vector<double>(n, 0.0));
+  for (CandidateId a = 0; a < n; ++a) {
+    for (CandidateId b = 0; b < n; ++b) {
+      if (a == b) continue;
+      const double d_ab = w.PrefersCount(a, b);
+      // Only majority edges carry strength.
+      p[a][b] = d_ab > w.PrefersCount(b, a) ? d_ab : 0.0;
+    }
+  }
+  for (int c = 0; c < n; ++c) {
+    for (int a = 0; a < n; ++a) {
+      if (a == c) continue;
+      const double pac = p[a][c];
+      if (pac == 0.0) continue;
+      for (int b = 0; b < n; ++b) {
+        if (b == a || b == c) continue;
+        const double via = std::min(pac, p[c][b]);
+        if (via > p[a][b]) p[a][b] = via;
+      }
+    }
+  }
+  return p;
+}
+
+Ranking SchulzeAggregate(const PrecedenceMatrix& w) {
+  const int n = w.size();
+  std::vector<std::vector<double>> p = SchulzeStrongestPaths(w);
+  // The relation "p[a][b] > p[b][a]" is a strict partial order (Schulze
+  // 2018); counting wins yields a linear extension of it.
+  std::vector<int> wins(n, 0);
+  for (CandidateId a = 0; a < n; ++a) {
+    for (CandidateId b = 0; b < n; ++b) {
+      if (a != b && p[a][b] > p[b][a]) ++wins[a];
+    }
+  }
+  std::vector<CandidateId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](CandidateId a, CandidateId b) {
+    if (wins[a] != wins[b]) return wins[a] > wins[b];
+    // Within a wins tie, fall back to the direct beat-path comparison,
+    // then candidate id, to keep the order deterministic.
+    if (p[a][b] != p[b][a]) return p[a][b] > p[b][a];
+    return a < b;
+  });
+  return Ranking(std::move(order));
+}
+
+size_t PickAPermIndex(const std::vector<Ranking>& base_rankings,
+                      const PrecedenceMatrix& w) {
+  assert(!base_rankings.empty());
+  size_t best = 0;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < base_rankings.size(); ++i) {
+    const double cost = w.KemenyCost(base_rankings[i]);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace manirank

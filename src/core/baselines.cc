@@ -1,0 +1,71 @@
+#include "core/baselines.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "core/fairness_metrics.h"
+
+namespace manirank {
+
+double MaxParityScore(const Ranking& ranking, const CandidateTable& table) {
+  return EvaluateFairness(ranking, table).MaxParity();
+}
+
+std::vector<double> FairnessWeights(const std::vector<Ranking>& base_rankings,
+                                    const CandidateTable& table) {
+  const size_t m = base_rankings.size();
+  std::vector<double> scores(m);
+  for (size_t i = 0; i < m; ++i) {
+    scores[i] = MaxParityScore(base_rankings[i], table);
+  }
+  // Sort indices from least fair (highest score) to most fair.
+  std::vector<size_t> idx(m);
+  std::iota(idx.begin(), idx.end(), 0);
+  std::stable_sort(idx.begin(), idx.end(), [&](size_t a, size_t b) {
+    if (scores[a] != scores[b]) return scores[a] > scores[b];
+    return a < b;
+  });
+  // Least fair gets weight 1, fairest gets |R|.
+  std::vector<double> weights(m, 1.0);
+  for (size_t pos = 0; pos < m; ++pos) {
+    weights[idx[pos]] = static_cast<double>(pos + 1);
+  }
+  return weights;
+}
+
+KemenyResult KemenyWeighted(const std::vector<Ranking>& base_rankings,
+                            const CandidateTable& table,
+                            const KemenyOptions& options) {
+  const std::vector<double> weights = FairnessWeights(base_rankings, table);
+  const PrecedenceMatrix w =
+      PrecedenceMatrix::BuildWeighted(base_rankings, weights);
+  return KemenyAggregate(w, options);
+}
+
+size_t PickFairestPermIndex(const std::vector<Ranking>& base_rankings,
+                            const CandidateTable& table) {
+  size_t best = 0;
+  double best_score = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < base_rankings.size(); ++i) {
+    const double score = MaxParityScore(base_rankings[i], table);
+    if (score < best_score) {
+      best_score = score;
+      best = i;
+    }
+  }
+  return best;
+}
+
+Ranking PickFairestPerm(const std::vector<Ranking>& base_rankings,
+                        const CandidateTable& table) {
+  return base_rankings[PickFairestPermIndex(base_rankings, table)];
+}
+
+MakeMrFairResult CorrectFairestPerm(const std::vector<Ranking>& base_rankings,
+                                    const CandidateTable& table,
+                                    const MakeMrFairOptions& options) {
+  return MakeMrFair(PickFairestPerm(base_rankings, table), table, options);
+}
+
+}  // namespace manirank

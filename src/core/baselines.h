@@ -1,0 +1,45 @@
+#ifndef MANIRANK_CORE_BASELINES_H_
+#define MANIRANK_CORE_BASELINES_H_
+
+#include <vector>
+
+#include "core/candidate_table.h"
+#include "core/kemeny.h"
+#include "core/make_mr_fair.h"
+#include "core/precedence.h"
+#include "core/ranking.h"
+
+namespace manirank {
+
+/// Unfairness score used to order base rankings by fairness: the maximum
+/// over all constrained groupings of the ranking's ARP/IRP (lower = fairer).
+double MaxParityScore(const Ranking& ranking, const CandidateTable& table);
+
+/// B2 Kemeny-Weighted (§IV-B): orders the base rankings from least to most
+/// fair and weights the fairest by |R| down to 1 for the least fair, then
+/// runs (weighted) Kemeny on the weighted precedence matrix.
+KemenyResult KemenyWeighted(const std::vector<Ranking>& base_rankings,
+                            const CandidateTable& table,
+                            const KemenyOptions& options = {});
+
+/// Weights used by KemenyWeighted, exposed for tests: weight |R| for the
+/// fairest base ranking, 1 for the least fair (ties broken by index).
+std::vector<double> FairnessWeights(const std::vector<Ranking>& base_rankings,
+                                    const CandidateTable& table);
+
+/// B3 Pick-Fairest-Perm (§IV-B): the Pick-A-Perm variant returning the base
+/// ranking with the lowest max ARP/IRP.
+size_t PickFairestPermIndex(const std::vector<Ranking>& base_rankings,
+                            const CandidateTable& table);
+Ranking PickFairestPerm(const std::vector<Ranking>& base_rankings,
+                        const CandidateTable& table);
+
+/// B4 Correct-Fairest-Perm (§IV-B): Make-MR-Fair applied to the fairest
+/// base ranking so that it satisfies the Delta thresholds.
+MakeMrFairResult CorrectFairestPerm(const std::vector<Ranking>& base_rankings,
+                                    const CandidateTable& table,
+                                    const MakeMrFairOptions& options = {});
+
+}  // namespace manirank
+
+#endif  // MANIRANK_CORE_BASELINES_H_

@@ -1,0 +1,121 @@
+#include "core/candidate_table.h"
+
+#include <cassert>
+#include <map>
+
+namespace manirank {
+namespace {
+
+Grouping BuildAttributeGrouping(const Attribute& attr,
+                                const std::vector<std::vector<AttributeValue>>& values,
+                                int attr_index) {
+  Grouping g;
+  g.name = attr.name;
+  const int n = static_cast<int>(values.size());
+  g.group_of.assign(n, -1);
+  // value -> dense group index (skip empty values).
+  std::vector<int> dense(attr.domain_size(), -1);
+  for (CandidateId c = 0; c < n; ++c) {
+    AttributeValue v = values[c][attr_index];
+    if (dense[v] < 0) {
+      dense[v] = g.num_groups();
+      g.labels.push_back(attr.values[v]);
+      g.members.emplace_back();
+    }
+    g.group_of[c] = dense[v];
+    g.members[dense[v]].push_back(c);
+  }
+  return g;
+}
+
+Grouping BuildIntersectionGrouping(
+    const std::vector<Attribute>& attributes,
+    const std::vector<std::vector<AttributeValue>>& values) {
+  Grouping g;
+  g.name = "Intersection";
+  const int n = static_cast<int>(values.size());
+  const int q = static_cast<int>(attributes.size());
+  g.group_of.assign(n, -1);
+  std::map<std::vector<AttributeValue>, int> dense;
+  for (CandidateId c = 0; c < n; ++c) {
+    auto [it, inserted] = dense.try_emplace(values[c], g.num_groups());
+    if (inserted) {
+      std::string label;
+      for (int a = 0; a < q; ++a) {
+        if (a) label += " x ";
+        label += attributes[a].values[values[c][a]];
+      }
+      g.labels.push_back(std::move(label));
+      g.members.emplace_back();
+    }
+    g.group_of[c] = it->second;
+    g.members[it->second].push_back(c);
+  }
+  return g;
+}
+
+}  // namespace
+
+CandidateTable::CandidateTable(std::vector<Attribute> attributes,
+                               std::vector<std::vector<AttributeValue>> values)
+    : n_(static_cast<int>(values.size())),
+      attributes_(std::move(attributes)),
+      values_(std::move(values)) {
+#ifndef NDEBUG
+  for (const auto& row : values_) {
+    assert(row.size() == attributes_.size());
+    for (size_t a = 0; a < row.size(); ++a) {
+      assert(row[a] >= 0 && row[a] < attributes_[a].domain_size());
+    }
+  }
+#endif
+  attribute_groupings_.reserve(attributes_.size());
+  for (int a = 0; a < num_attributes(); ++a) {
+    attribute_groupings_.push_back(
+        BuildAttributeGrouping(attributes_[a], values_, a));
+  }
+  intersection_grouping_ = BuildIntersectionGrouping(attributes_, values_);
+}
+
+int64_t CandidateTable::intersection_cardinality() const {
+  int64_t card = 1;
+  for (const Attribute& a : attributes_) card *= a.domain_size();
+  return card;
+}
+
+Grouping CandidateTable::BuildSubsetIntersection(
+    const std::vector<int>& attribute_indices) const {
+  assert(!attribute_indices.empty());
+  Grouping g;
+  g.name = "Intersection(";
+  for (size_t i = 0; i < attribute_indices.size(); ++i) {
+    assert(attribute_indices[i] >= 0 &&
+           attribute_indices[i] < num_attributes());
+    if (i) g.name += ", ";
+    g.name += attributes_[attribute_indices[i]].name;
+  }
+  g.name += ")";
+  g.group_of.assign(n_, -1);
+  std::map<std::vector<AttributeValue>, int> dense;
+  std::vector<AttributeValue> key(attribute_indices.size());
+  for (CandidateId c = 0; c < n_; ++c) {
+    for (size_t i = 0; i < attribute_indices.size(); ++i) {
+      key[i] = values_[c][attribute_indices[i]];
+    }
+    auto [it, inserted] = dense.try_emplace(key, g.num_groups());
+    if (inserted) {
+      std::string label;
+      for (size_t i = 0; i < attribute_indices.size(); ++i) {
+        if (i) label += " x ";
+        label += attributes_[attribute_indices[i]].values[key[i]];
+      }
+      g.labels.push_back(std::move(label));
+      g.members.emplace_back();
+    }
+    g.group_of[c] = it->second;
+    g.members[it->second].push_back(c);
+  }
+  return g;
+}
+
+}  // namespace manirank

@@ -1,0 +1,100 @@
+#ifndef MANIRANK_CORE_CANDIDATE_TABLE_H_
+#define MANIRANK_CORE_CANDIDATE_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+
+namespace manirank {
+
+/// One categorical protected attribute (e.g. Gender with values
+/// {Man, Woman, Non-binary}).
+struct Attribute {
+  std::string name;
+  std::vector<std::string> values;
+
+  int domain_size() const { return static_cast<int>(values.size()); }
+};
+
+/// A partition of the candidates induced by one attribute — or by the
+/// intersection of all attributes (Definition 1 / Definition 2 of the
+/// paper). Only non-empty groups are materialised; the fairness metrics
+/// (FPR/ARP/IRP) are defined over non-empty groups.
+struct Grouping {
+  /// Attribute name, or "Intersection" for the full intersection.
+  std::string name;
+  /// Human-readable label per group (e.g. "Woman" or "Woman x Black").
+  std::vector<std::string> labels;
+  /// Members of each group, by candidate id (ascending).
+  std::vector<std::vector<CandidateId>> members;
+  /// group_of[c] = index into `members` of the group containing c.
+  std::vector<int> group_of;
+
+  int num_groups() const { return static_cast<int>(members.size()); }
+  int group_size(int g) const { return static_cast<int>(members[g].size()); }
+};
+
+/// The candidate database X: n candidates, q categorical protected
+/// attributes, and the derived groupings (one per attribute plus the
+/// intersection p1 x ... x pq).
+///
+/// Immutable after construction; all groupings are precomputed.
+class CandidateTable {
+ public:
+  /// `values[c][a]` is candidate c's value index for attribute a;
+  /// every value must be within the attribute's domain.
+  CandidateTable(std::vector<Attribute> attributes,
+                 std::vector<std::vector<AttributeValue>> values);
+
+  int num_candidates() const { return n_; }
+  int num_attributes() const { return static_cast<int>(attributes_.size()); }
+
+  const Attribute& attribute(int a) const { return attributes_[a]; }
+  AttributeValue value(CandidateId c, int a) const { return values_[c][a]; }
+
+  /// Grouping induced by attribute `a`.
+  const Grouping& attribute_grouping(int a) const {
+    return attribute_groupings_[a];
+  }
+
+  /// Grouping induced by the intersection of all attributes
+  /// (equals the single attribute's grouping when q == 1).
+  const Grouping& intersection_grouping() const {
+    return intersection_grouping_;
+  }
+
+  /// All groupings MANI-Rank constrains: one per attribute, then the
+  /// intersection last. With q <= 1 the intersection adds nothing new and
+  /// is omitted. Built on demand so the table stays safely movable (the
+  /// pointers reference this object's current members).
+  std::vector<const Grouping*> constrained_groupings() const {
+    std::vector<const Grouping*> constrained;
+    for (const Grouping& g : attribute_groupings_) constrained.push_back(&g);
+    if (num_attributes() > 1) constrained.push_back(&intersection_grouping_);
+    return constrained;
+  }
+
+  /// Size of the intersection domain |p1| * ... * |pq| (including
+  /// combinations with no members).
+  int64_t intersection_cardinality() const;
+
+  /// Grouping induced by the intersection of a *subset* of attributes
+  /// (the paper's §II-B customisation: "Definition 7 can be modified to
+  /// handle alternate notions of intersection by adjusting the
+  /// intersectional groups to be a desired subset of protected
+  /// attributes"). `attribute_indices` must be non-empty, sorted, unique.
+  Grouping BuildSubsetIntersection(
+      const std::vector<int>& attribute_indices) const;
+
+ private:
+  int n_;
+  std::vector<Attribute> attributes_;
+  std::vector<std::vector<AttributeValue>> values_;
+  std::vector<Grouping> attribute_groupings_;
+  Grouping intersection_grouping_;
+};
+
+}  // namespace manirank
+
+#endif  // MANIRANK_CORE_CANDIDATE_TABLE_H_

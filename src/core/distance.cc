@@ -1,0 +1,72 @@
+#include "core/distance.h"
+
+#include <atomic>
+#include <cassert>
+
+#include "util/fenwick.h"
+#include "util/threading.h"
+
+namespace manirank {
+
+int64_t KendallTau(const Ranking& a, const Ranking& b) {
+  assert(a.size() == b.size());
+  const int n = a.size();
+  // Relabel: walk b top-to-bottom, mapping each candidate to its position
+  // in a; the Kendall tau distance equals the inversions of that sequence.
+  Fenwick seen(n);
+  int64_t inversions = 0;
+  for (int t = 0; t < n; ++t) {
+    const int pa = a.PositionOf(b.At(t));
+    // Candidates already placed that sit *below* pa in `a` each form a
+    // discordant pair with the current one.
+    inversions += seen.RangeSum(pa + 1, n);
+    seen.Add(pa, 1);
+  }
+  return inversions;
+}
+
+int64_t KendallTauBruteForce(const Ranking& a, const Ranking& b) {
+  assert(a.size() == b.size());
+  const int n = a.size();
+  int64_t count = 0;
+  for (CandidateId i = 0; i < n; ++i) {
+    for (CandidateId j = i + 1; j < n; ++j) {
+      if (a.Prefers(i, j) != b.Prefers(i, j)) ++count;
+    }
+  }
+  return count;
+}
+
+double NormalizedKendallTau(const Ranking& a, const Ranking& b) {
+  const int64_t pairs = TotalPairs(a.size());
+  if (pairs == 0) return 0.0;
+  return static_cast<double>(KendallTau(a, b)) / static_cast<double>(pairs);
+}
+
+double PdLoss(const std::vector<Ranking>& base_rankings,
+              const Ranking& consensus) {
+  if (base_rankings.empty()) return 0.0;
+  const int64_t pairs = TotalPairs(consensus.size());
+  if (pairs == 0) return 0.0;
+  std::atomic<int64_t> total{0};
+  ParallelFor(base_rankings.size(),
+              [&](size_t begin, size_t end, size_t /*worker*/) {
+                int64_t local = 0;
+                for (size_t i = begin; i < end; ++i) {
+                  local += KendallTau(consensus, base_rankings[i]);
+                }
+                total.fetch_add(local, std::memory_order_relaxed);
+              });
+  return static_cast<double>(total.load()) /
+         (static_cast<double>(pairs) *
+          static_cast<double>(base_rankings.size()));
+}
+
+double PriceOfFairness(const std::vector<Ranking>& base_rankings,
+                       const Ranking& fair_consensus,
+                       const Ranking& unfair_consensus) {
+  return PdLoss(base_rankings, fair_consensus) -
+         PdLoss(base_rankings, unfair_consensus);
+}
+
+}  // namespace manirank

@@ -1,0 +1,195 @@
+#include "core/extra_aggregators.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdlib>
+#include <numeric>
+
+#include "util/hungarian.h"
+
+namespace manirank {
+
+Ranking FootruleAggregate(const std::vector<Ranking>& base_rankings) {
+  assert(!base_rankings.empty());
+  const int n = base_rankings[0].size();
+  // cost[c][p] = sum over base rankings of |p - pos_i(c)|.
+  std::vector<std::vector<int64_t>> cost(n, std::vector<int64_t>(n, 0));
+  for (const Ranking& r : base_rankings) {
+    for (CandidateId c = 0; c < n; ++c) {
+      const int pos = r.PositionOf(c);
+      for (int p = 0; p < n; ++p) {
+        cost[c][p] += std::abs(p - pos);
+      }
+    }
+  }
+  std::vector<int> position_of = MinCostAssignment(cost);
+  std::vector<CandidateId> order(n);
+  for (CandidateId c = 0; c < n; ++c) order[position_of[c]] = c;
+  return Ranking(std::move(order));
+}
+
+Ranking MedianRankAggregate(const std::vector<Ranking>& base_rankings) {
+  assert(!base_rankings.empty());
+  const int n = base_rankings[0].size();
+  const size_t m = base_rankings.size();
+  std::vector<double> median(n), mean(n, 0.0);
+  std::vector<int> positions(m);
+  for (CandidateId c = 0; c < n; ++c) {
+    for (size_t i = 0; i < m; ++i) {
+      positions[i] = base_rankings[i].PositionOf(c);
+      mean[c] += positions[i];
+    }
+    mean[c] /= static_cast<double>(m);
+    std::nth_element(positions.begin(), positions.begin() + m / 2,
+                     positions.end());
+    double mid = positions[m / 2];
+    if (m % 2 == 0) {
+      // Lower median as well for an even count; average the two.
+      const int lower =
+          *std::max_element(positions.begin(), positions.begin() + m / 2);
+      mid = (mid + lower) / 2.0;
+    }
+    median[c] = mid;
+  }
+  std::vector<CandidateId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](CandidateId a, CandidateId b) {
+    if (median[a] != median[b]) return median[a] < median[b];
+    if (mean[a] != mean[b]) return mean[a] < mean[b];
+    return a < b;
+  });
+  return Ranking(std::move(order));
+}
+
+std::vector<double> Mc4StationaryDistribution(const PrecedenceMatrix& w,
+                                              int power_iterations,
+                                              double teleport) {
+  const int n = w.size();
+  // Row-stochastic transition matrix of MC4: from a, pick b uniformly
+  // among all n candidates (self included); move if strict majority
+  // prefers b, else stay.
+  std::vector<double> transition(static_cast<size_t>(n) * n, 0.0);
+  for (CandidateId a = 0; a < n; ++a) {
+    double stay = 1.0 / n;  // picking a itself
+    for (CandidateId b = 0; b < n; ++b) {
+      if (a == b) continue;
+      if (w.PrefersCount(b, a) > w.PrefersCount(a, b)) {
+        transition[static_cast<size_t>(a) * n + b] = 1.0 / n;
+      } else {
+        stay += 1.0 / n;
+      }
+    }
+    transition[static_cast<size_t>(a) * n + a] = stay;
+  }
+  std::vector<double> pi(n, 1.0 / n), next(n);
+  for (int iter = 0; iter < power_iterations; ++iter) {
+    std::fill(next.begin(), next.end(), teleport / n);
+    for (CandidateId a = 0; a < n; ++a) {
+      const double mass = (1.0 - teleport) * pi[a];
+      if (mass == 0.0) continue;
+      const double* row = &transition[static_cast<size_t>(a) * n];
+      for (CandidateId b = 0; b < n; ++b) next[b] += mass * row[b];
+    }
+    std::swap(pi, next);
+  }
+  return pi;
+}
+
+Ranking Mc4Aggregate(const PrecedenceMatrix& w, int power_iterations,
+                     double teleport) {
+  const int n = w.size();
+  std::vector<double> pi =
+      Mc4StationaryDistribution(w, power_iterations, teleport);
+  std::vector<CandidateId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](CandidateId a, CandidateId b) {
+    if (pi[a] != pi[b]) return pi[a] > pi[b];
+    return a < b;
+  });
+  return Ranking(std::move(order));
+}
+
+Ranking RankedPairsAggregate(const PrecedenceMatrix& w) {
+  const int n = w.size();
+  struct Pair {
+    double margin;
+    CandidateId winner, loser;
+  };
+  std::vector<Pair> pairs;
+  for (CandidateId a = 0; a < n; ++a) {
+    for (CandidateId b = a + 1; b < n; ++b) {
+      const double ab = w.PrefersCount(a, b);
+      const double ba = w.PrefersCount(b, a);
+      if (ab > ba) {
+        pairs.push_back({ab - ba, a, b});
+      } else if (ba > ab) {
+        pairs.push_back({ba - ab, b, a});
+      }
+      // Exact ties are not locked.
+    }
+  }
+  std::stable_sort(pairs.begin(), pairs.end(), [](const Pair& x, const Pair& y) {
+    if (x.margin != y.margin) return x.margin > y.margin;
+    if (x.winner != y.winner) return x.winner < y.winner;
+    return x.loser < y.loser;
+  });
+  // Lock pairs unless they close a cycle (DFS reachability on the locked
+  // digraph; n is small enough that O(pairs * n^2) is fine).
+  std::vector<std::vector<CandidateId>> locked(n);
+  std::vector<char> visited(n);
+  auto reaches = [&](CandidateId from, CandidateId to) {
+    std::fill(visited.begin(), visited.end(), 0);
+    std::vector<CandidateId> stack = {from};
+    while (!stack.empty()) {
+      const CandidateId v = stack.back();
+      stack.pop_back();
+      if (v == to) return true;
+      if (visited[v]) continue;
+      visited[v] = 1;
+      for (CandidateId next : locked[v]) {
+        if (!visited[next]) stack.push_back(next);
+      }
+    }
+    return false;
+  };
+  for (const Pair& p : pairs) {
+    if (!reaches(p.loser, p.winner)) {
+      locked[p.winner].push_back(p.loser);
+    }
+  }
+  // Topological order of the locked digraph (deterministic Kahn).
+  std::vector<int> indegree(n, 0);
+  for (CandidateId a = 0; a < n; ++a) {
+    for (CandidateId b : locked[a]) ++indegree[b];
+  }
+  std::vector<CandidateId> order;
+  std::vector<char> placed(n, 0);
+  for (int step = 0; step < n; ++step) {
+    CandidateId next = -1;
+    for (CandidateId c = 0; c < n; ++c) {
+      if (!placed[c] && indegree[c] == 0) {
+        next = c;
+        break;
+      }
+    }
+    assert(next >= 0 && "locked digraph must be acyclic");
+    placed[next] = 1;
+    order.push_back(next);
+    for (CandidateId b : locked[next]) --indegree[b];
+  }
+  return Ranking(std::move(order));
+}
+
+int64_t FootruleCost(const std::vector<Ranking>& base_rankings,
+                     const Ranking& consensus) {
+  int64_t total = 0;
+  for (const Ranking& r : base_rankings) {
+    for (CandidateId c = 0; c < consensus.size(); ++c) {
+      total += std::abs(consensus.PositionOf(c) - r.PositionOf(c));
+    }
+  }
+  return total;
+}
+
+}  // namespace manirank

@@ -1,0 +1,54 @@
+#ifndef MANIRANK_CORE_EXTRA_AGGREGATORS_H_
+#define MANIRANK_CORE_EXTRA_AGGREGATORS_H_
+
+#include <vector>
+
+#include "core/precedence.h"
+#include "core/ranking.h"
+
+namespace manirank {
+
+/// Additional rank-aggregation methods beyond the four the paper builds
+/// MFCR solutions on. These come from the paper's own reference list —
+/// Dwork et al. (WWW'01) for footrule and Markov-chain aggregation,
+/// Tideman for Ranked Pairs — and let downstream users (and our extension
+/// benches) combine Make-MR-Fair with a wider methods palette.
+
+/// Exact Spearman-footrule aggregation (Dwork et al. 2001): the ranking
+/// minimising the summed footrule displacement to the base rankings,
+/// computed as a min-cost candidate-to-position assignment (Hungarian,
+/// O(n^3)). A provable 2-approximation of Kemeny.
+Ranking FootruleAggregate(const std::vector<Ranking>& base_rankings);
+
+/// Median-rank heuristic: orders candidates by the median of their
+/// positions across the base rankings (ties by mean position, then id).
+/// The classic cheap approximation of footrule aggregation.
+Ranking MedianRankAggregate(const std::vector<Ranking>& base_rankings);
+
+/// MC4 Markov-chain aggregation (Dwork et al. 2001): from candidate a,
+/// propose a uniformly random b and move there iff a majority of base
+/// rankings prefers b over a; candidates are ordered by decreasing
+/// stationary probability (power iteration on the explicit chain with a
+/// small teleport for ergodicity).
+Ranking Mc4Aggregate(const PrecedenceMatrix& w, int power_iterations = 200,
+                     double teleport = 0.05);
+
+/// Stationary distribution used by Mc4Aggregate; exposed for tests.
+std::vector<double> Mc4StationaryDistribution(const PrecedenceMatrix& w,
+                                              int power_iterations = 200,
+                                              double teleport = 0.05);
+
+/// Ranked Pairs / Tideman (Condorcet): consider candidate pairs by
+/// decreasing majority margin and lock each in unless it would create a
+/// cycle; the final order is the topological order of the locked digraph.
+/// Deterministic tie-breaks (margin, then lexicographic pair).
+Ranking RankedPairsAggregate(const PrecedenceMatrix& w);
+
+/// Summed footrule distance between `consensus` and the base rankings
+/// (the objective FootruleAggregate minimises).
+int64_t FootruleCost(const std::vector<Ranking>& base_rankings,
+                     const Ranking& consensus);
+
+}  // namespace manirank
+
+#endif  // MANIRANK_CORE_EXTRA_AGGREGATORS_H_

@@ -1,0 +1,37 @@
+#include "core/fair_aggregators.h"
+
+#include "core/aggregators.h"
+
+namespace manirank {
+
+FairAggregateResult CorrectConsensus(Ranking unfair_consensus,
+                                     const CandidateTable& table,
+                                     const MakeMrFairOptions& options) {
+  FairAggregateResult result;
+  MakeMrFairResult fair = MakeMrFair(unfair_consensus, table, options);
+  result.unfair_consensus = std::move(unfair_consensus);
+  result.fair_consensus = std::move(fair.ranking);
+  result.satisfied = fair.satisfied;
+  result.swaps = fair.swaps;
+  return result;
+}
+
+FairAggregateResult FairBorda(const std::vector<Ranking>& base_rankings,
+                              const CandidateTable& table,
+                              const MakeMrFairOptions& options) {
+  return CorrectConsensus(BordaAggregate(base_rankings), table, options);
+}
+
+FairAggregateResult FairCopeland(const PrecedenceMatrix& w,
+                                 const CandidateTable& table,
+                                 const MakeMrFairOptions& options) {
+  return CorrectConsensus(CopelandAggregate(w), table, options);
+}
+
+FairAggregateResult FairSchulze(const PrecedenceMatrix& w,
+                                const CandidateTable& table,
+                                const MakeMrFairOptions& options) {
+  return CorrectConsensus(SchulzeAggregate(w), table, options);
+}
+
+}  // namespace manirank

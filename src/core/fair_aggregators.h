@@ -1,0 +1,47 @@
+#ifndef MANIRANK_CORE_FAIR_AGGREGATORS_H_
+#define MANIRANK_CORE_FAIR_AGGREGATORS_H_
+
+#include <vector>
+
+#include "core/candidate_table.h"
+#include "core/make_mr_fair.h"
+#include "core/precedence.h"
+#include "core/ranking.h"
+
+namespace manirank {
+
+/// Result of a polynomial-time MFCR method: the fairness-unaware consensus
+/// it started from and the Make-MR-Fair-corrected fair consensus.
+struct FairAggregateResult {
+  Ranking unfair_consensus;
+  Ranking fair_consensus;
+  bool satisfied = false;
+  int64_t swaps = 0;
+};
+
+/// Fair-Borda (§III-B): Borda consensus, then Make-MR-Fair. The fastest
+/// MFCR solution; recommended for very large candidate databases.
+FairAggregateResult FairBorda(const std::vector<Ranking>& base_rankings,
+                              const CandidateTable& table,
+                              const MakeMrFairOptions& options = {});
+
+/// Fair-Copeland (§III-B): Copeland consensus (pairwise-contest wins),
+/// then Make-MR-Fair. Requires the precedence matrix.
+FairAggregateResult FairCopeland(const PrecedenceMatrix& w,
+                                 const CandidateTable& table,
+                                 const MakeMrFairOptions& options = {});
+
+/// Fair-Schulze (§III-B): Schulze beat-path consensus, then Make-MR-Fair.
+FairAggregateResult FairSchulze(const PrecedenceMatrix& w,
+                                const CandidateTable& table,
+                                const MakeMrFairOptions& options = {});
+
+/// Shared plumbing: corrects an arbitrary consensus with Make-MR-Fair and
+/// packages both rankings.
+FairAggregateResult CorrectConsensus(Ranking unfair_consensus,
+                                     const CandidateTable& table,
+                                     const MakeMrFairOptions& options);
+
+}  // namespace manirank
+
+#endif  // MANIRANK_CORE_FAIR_AGGREGATORS_H_

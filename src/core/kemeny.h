@@ -1,0 +1,61 @@
+#ifndef MANIRANK_CORE_KEMENY_H_
+#define MANIRANK_CORE_KEMENY_H_
+
+#include <vector>
+
+#include "core/precedence.h"
+#include "core/ranking.h"
+
+namespace manirank {
+
+struct KemenyOptions {
+  /// Branch & bound node budget for the ILP fallback.
+  long max_nodes = 1000000;
+  /// Wall-clock budget in seconds for the ILP fallback (<= 0: unlimited).
+  double time_limit_seconds = 0.0;
+  /// Skip the ILP even when the majority digraph is cyclic and return the
+  /// best-effort order (used only by ablations; off by default).
+  bool allow_heuristic_fallback = false;
+};
+
+struct KemenyResult {
+  Ranking ranking;
+  /// True when `ranking` is provably Kemeny-optimal.
+  bool optimal = false;
+  /// Kemeny cost (total pairwise disagreement with the profile).
+  double cost = 0.0;
+  /// True when the pairwise majority digraph was acyclic and the solution
+  /// came from the O(n^2) transitive fast path instead of the ILP.
+  bool used_fast_path = false;
+  long ilp_nodes = 0;
+  int ilp_cuts = 0;
+};
+
+/// Exact Kemeny rank aggregation (Definition 4 with Kendall tau distance).
+///
+/// Fast path: when the strict-majority digraph is acyclic, any of its
+/// linear extensions attains the lower bound sum_{a<b} min(W[a][b], W[b][a])
+/// and is therefore optimal — no ILP needed. Otherwise the linear-ordering
+/// ILP (branch & bound + lazy triangle cuts) is solved; this mirrors how
+/// the paper uses CPLEX.
+KemenyResult KemenyAggregate(const PrecedenceMatrix& w,
+                             const KemenyOptions& options = {});
+
+/// Exhaustive search over all n! rankings; n <= 10. Test oracle.
+KemenyResult BruteForceKemeny(const PrecedenceMatrix& w);
+
+/// Attempts the transitive fast path only. Returns true on success and
+/// stores the optimal order in `*result`.
+bool TryTransitiveKemeny(const PrecedenceMatrix& w, Ranking* result);
+
+/// Local-search polish: repeatedly swaps adjacent candidates while doing so
+/// lowers the Kemeny cost (the classic KwikSort-style local optimum — any
+/// adjacent pair in the result respects the pairwise majority). Used to
+/// upgrade heuristic starts when the instance is too large for the ILP.
+/// Returns the number of improving swaps applied.
+int64_t LocalKemenyImprove(const PrecedenceMatrix& w, Ranking* ranking,
+                           int max_passes = 64);
+
+}  // namespace manirank
+
+#endif  // MANIRANK_CORE_KEMENY_H_

@@ -1,0 +1,145 @@
+#include "core/method_registry.h"
+
+#include "core/aggregators.h"
+#include "core/baselines.h"
+#include "core/fair_aggregators.h"
+#include "core/fair_kemeny.h"
+#include "core/fairness_metrics.h"
+#include "core/kemeny.h"
+#include "core/make_mr_fair.h"
+#include "core/precedence.h"
+#include "util/stopwatch.h"
+
+namespace manirank {
+namespace {
+
+MakeMrFairOptions MmfOptions(const ConsensusInput& in) {
+  MakeMrFairOptions options;
+  options.delta = in.delta;
+  return options;
+}
+
+ConsensusOutput RunFairKemeny(const ConsensusInput& in) {
+  Stopwatch timer;
+  const PrecedenceMatrix w = PrecedenceMatrix::Build(*in.base_rankings);
+  FairKemenyOptions options;
+  options.delta = in.delta;
+  options.max_nodes = in.max_nodes;
+  options.time_limit_seconds = in.time_limit_seconds;
+  FairKemenyResult r = FairKemenyAggregate(w, *in.table, options);
+  ConsensusOutput out;
+  out.consensus = std::move(r.ranking);
+  out.exact = r.optimal;
+  out.satisfied = r.feasible &&
+                  SatisfiesManiRank(out.consensus, *in.table, in.delta);
+  out.seconds = timer.Seconds();
+  return out;
+}
+
+ConsensusOutput RunFairSchulze(const ConsensusInput& in) {
+  Stopwatch timer;
+  const PrecedenceMatrix w = PrecedenceMatrix::Build(*in.base_rankings);
+  FairAggregateResult r = FairSchulze(w, *in.table, MmfOptions(in));
+  ConsensusOutput out;
+  out.consensus = std::move(r.fair_consensus);
+  out.satisfied = r.satisfied;
+  out.seconds = timer.Seconds();
+  return out;
+}
+
+ConsensusOutput RunFairBorda(const ConsensusInput& in) {
+  Stopwatch timer;
+  FairAggregateResult r =
+      FairBorda(*in.base_rankings, *in.table, MmfOptions(in));
+  ConsensusOutput out;
+  out.consensus = std::move(r.fair_consensus);
+  out.satisfied = r.satisfied;
+  out.seconds = timer.Seconds();
+  return out;
+}
+
+ConsensusOutput RunFairCopeland(const ConsensusInput& in) {
+  Stopwatch timer;
+  const PrecedenceMatrix w = PrecedenceMatrix::Build(*in.base_rankings);
+  FairAggregateResult r = FairCopeland(w, *in.table, MmfOptions(in));
+  ConsensusOutput out;
+  out.consensus = std::move(r.fair_consensus);
+  out.satisfied = r.satisfied;
+  out.seconds = timer.Seconds();
+  return out;
+}
+
+ConsensusOutput RunKemeny(const ConsensusInput& in) {
+  Stopwatch timer;
+  const PrecedenceMatrix w = PrecedenceMatrix::Build(*in.base_rankings);
+  KemenyOptions options;
+  options.max_nodes = in.max_nodes;
+  options.time_limit_seconds = in.time_limit_seconds;
+  KemenyResult r = KemenyAggregate(w, options);
+  ConsensusOutput out;
+  out.consensus = std::move(r.ranking);
+  out.exact = r.optimal;
+  out.satisfied = SatisfiesManiRank(out.consensus, *in.table, in.delta);
+  out.seconds = timer.Seconds();
+  return out;
+}
+
+ConsensusOutput RunKemenyWeighted(const ConsensusInput& in) {
+  Stopwatch timer;
+  KemenyOptions options;
+  options.max_nodes = in.max_nodes;
+  options.time_limit_seconds = in.time_limit_seconds;
+  KemenyResult r = KemenyWeighted(*in.base_rankings, *in.table, options);
+  ConsensusOutput out;
+  out.consensus = std::move(r.ranking);
+  out.exact = r.optimal;
+  out.satisfied = SatisfiesManiRank(out.consensus, *in.table, in.delta);
+  out.seconds = timer.Seconds();
+  return out;
+}
+
+ConsensusOutput RunPickFairestPerm(const ConsensusInput& in) {
+  Stopwatch timer;
+  ConsensusOutput out;
+  out.consensus = PickFairestPerm(*in.base_rankings, *in.table);
+  out.satisfied = SatisfiesManiRank(out.consensus, *in.table, in.delta);
+  out.seconds = timer.Seconds();
+  return out;
+}
+
+ConsensusOutput RunCorrectFairestPerm(const ConsensusInput& in) {
+  Stopwatch timer;
+  MakeMrFairResult r =
+      CorrectFairestPerm(*in.base_rankings, *in.table, MmfOptions(in));
+  ConsensusOutput out;
+  out.consensus = std::move(r.ranking);
+  out.satisfied = r.satisfied;
+  out.seconds = timer.Seconds();
+  return out;
+}
+
+}  // namespace
+
+const std::vector<MethodSpec>& AllMethods() {
+  static const std::vector<MethodSpec>* methods = new std::vector<MethodSpec>{
+      {"A1", "Fair-Kemeny", /*uses_ilp=*/true, /*fairness_aware=*/true,
+       RunFairKemeny},
+      {"A2", "Fair-Schulze", false, true, RunFairSchulze},
+      {"A3", "Fair-Borda", false, true, RunFairBorda},
+      {"A4", "Fair-Copeland", false, true, RunFairCopeland},
+      {"B1", "Kemeny", true, false, RunKemeny},
+      {"B2", "Kemeny-Weighted", true, false, RunKemenyWeighted},
+      {"B3", "Pick-Fairest-Perm", false, false, RunPickFairestPerm},
+      {"B4", "Correct-Fairest-Perm", false, true, RunCorrectFairestPerm},
+  };
+  return *methods;
+}
+
+const MethodSpec* FindMethod(std::string_view id_or_name) {
+  for (const MethodSpec& m : AllMethods()) {
+    if (m.id == id_or_name || m.name == id_or_name) return &m;
+  }
+  return nullptr;
+}
+
+}  // namespace manirank

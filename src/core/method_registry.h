@@ -1,0 +1,62 @@
+#ifndef MANIRANK_CORE_METHOD_REGISTRY_H_
+#define MANIRANK_CORE_METHOD_REGISTRY_H_
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/candidate_table.h"
+#include "core/ranking.h"
+
+namespace manirank {
+
+/// Inputs shared by every consensus method in the experimental study.
+struct ConsensusInput {
+  const std::vector<Ranking>* base_rankings = nullptr;
+  const CandidateTable* table = nullptr;
+  /// Desired proximity to statistical parity (ignored by fairness-unaware
+  /// baselines B1-B3).
+  double delta = 0.1;
+  /// Budget forwarded to ILP-backed methods.
+  long max_nodes = 1000000;
+  double time_limit_seconds = 0.0;
+};
+
+struct ConsensusOutput {
+  Ranking consensus;
+  /// Wall-clock seconds spent inside the method.
+  double seconds = 0.0;
+  /// For exact methods: solved to proven optimality within budget.
+  bool exact = true;
+  /// For MFCR methods: MANI-Rank satisfied at Delta.
+  bool satisfied = false;
+};
+
+/// One consensus-generation method of the paper's §IV study.
+struct MethodSpec {
+  /// Paper identifier, e.g. "A1" .. "A4" (MFCR methods), "B1" .. "B4"
+  /// (baselines).
+  std::string id;
+  /// Display name, e.g. "Fair-Kemeny".
+  std::string name;
+  /// True for methods that solve an ILP (Kemeny family) and therefore
+  /// should be capped to smaller candidate counts with our simplex engine.
+  bool uses_ilp = false;
+  /// True for methods that aim at the MANI-Rank criteria.
+  bool fairness_aware = false;
+  std::function<ConsensusOutput(const ConsensusInput&)> run;
+};
+
+/// All eight methods of Fig. 4/6/7 in paper order:
+///   A1 Fair-Kemeny, A2 Fair-Schulze, A3 Fair-Borda, A4 Fair-Copeland,
+///   B1 Kemeny, B2 Kemeny-Weighted, B3 Pick-Fairest-Perm,
+///   B4 Correct-Fairest-Perm.
+const std::vector<MethodSpec>& AllMethods();
+
+/// Lookup by id ("A1") or name ("Fair-Kemeny"); nullptr when unknown.
+const MethodSpec* FindMethod(std::string_view id_or_name);
+
+}  // namespace manirank
+
+#endif  // MANIRANK_CORE_METHOD_REGISTRY_H_

@@ -1,0 +1,103 @@
+#include "core/precedence.h"
+
+#include <algorithm>
+#include <cassert>
+#include <mutex>
+
+#include "util/threading.h"
+
+namespace manirank {
+namespace {
+
+/// Adds `weight` to W for one ranking: every pair (worse, better)
+/// contributes to W[worse][better] (the ranking puts `better` above).
+void Accumulate(const Ranking& r, double weight, int n, std::vector<double>* w) {
+  const auto& order = r.order();
+  // For positions p < q: order[p] is above order[q], so the ranking
+  // disagrees with any consensus placing order[q] above order[p]:
+  // W[order[q]][order[p]] += weight.
+  for (int p = 0; p < n; ++p) {
+    const CandidateId better = order[p];
+    const size_t row_stride = static_cast<size_t>(n);
+    for (int q = p + 1; q < n; ++q) {
+      (*w)[static_cast<size_t>(order[q]) * row_stride + better] += weight;
+    }
+  }
+}
+
+PrecedenceMatrix BuildImpl(const std::vector<Ranking>& base,
+                           const std::vector<double>* weights) {
+  assert(!base.empty());
+  const int n = base[0].size();
+  const size_t cells = static_cast<size_t>(n) * n;
+  std::vector<double> w(cells, 0.0);
+  std::mutex merge_mutex;
+  ParallelFor(base.size(), [&](size_t begin, size_t end, size_t /*worker*/) {
+    std::vector<double> local(cells, 0.0);
+    for (size_t i = begin; i < end; ++i) {
+      assert(base[i].size() == n);
+      Accumulate(base[i], weights ? (*weights)[i] : 1.0, n, &local);
+    }
+    std::lock_guard<std::mutex> lock(merge_mutex);
+    for (size_t c = 0; c < cells; ++c) w[c] += local[c];
+  });
+  std::vector<std::vector<double>> dense(n, std::vector<double>(n));
+  for (int a = 0; a < n; ++a) {
+    for (int b = 0; b < n; ++b) dense[a][b] = w[static_cast<size_t>(a) * n + b];
+  }
+  return PrecedenceMatrix(std::move(dense));
+}
+
+}  // namespace
+
+PrecedenceMatrix::PrecedenceMatrix(std::vector<std::vector<double>> w)
+    : n_(static_cast<int>(w.size())) {
+  w_.resize(static_cast<size_t>(n_) * n_);
+  for (int a = 0; a < n_; ++a) {
+    assert(static_cast<int>(w[a].size()) == n_);
+    for (int b = 0; b < n_; ++b) w_[Index(a, b)] = w[a][b];
+  }
+}
+
+PrecedenceMatrix PrecedenceMatrix::Build(
+    const std::vector<Ranking>& base_rankings) {
+  return BuildImpl(base_rankings, nullptr);
+}
+
+PrecedenceMatrix PrecedenceMatrix::BuildWeighted(
+    const std::vector<Ranking>& base_rankings,
+    const std::vector<double>& weights) {
+  assert(weights.size() == base_rankings.size());
+  return BuildImpl(base_rankings, &weights);
+}
+
+std::vector<std::vector<double>> PrecedenceMatrix::ToDense() const {
+  std::vector<std::vector<double>> dense(n_, std::vector<double>(n_));
+  for (int a = 0; a < n_; ++a) {
+    for (int b = 0; b < n_; ++b) dense[a][b] = W(a, b);
+  }
+  return dense;
+}
+
+double PrecedenceMatrix::KemenyCost(const Ranking& consensus) const {
+  double cost = 0.0;
+  const auto& order = consensus.order();
+  for (int p = 0; p < n_; ++p) {
+    for (int q = p + 1; q < n_; ++q) {
+      cost += W(order[p], order[q]);  // order[p] is above order[q]
+    }
+  }
+  return cost;
+}
+
+double PrecedenceMatrix::LowerBound() const {
+  double bound = 0.0;
+  for (int a = 0; a < n_; ++a) {
+    for (int b = a + 1; b < n_; ++b) {
+      bound += std::min(W(a, b), W(b, a));
+    }
+  }
+  return bound;
+}
+
+}  // namespace manirank

@@ -1,0 +1,64 @@
+#ifndef MANIRANK_CORE_PRECEDENCE_H_
+#define MANIRANK_CORE_PRECEDENCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/ranking.h"
+
+namespace manirank {
+
+/// The precedence matrix W of Definition 11:
+///   W[a][b] = number of (weighted) base rankings that rank b ABOVE a,
+/// i.e. the disagreement price of placing a above b in the consensus.
+/// The Kemeny objective is sum_{a above b in consensus} W[a][b].
+class PrecedenceMatrix {
+ public:
+  PrecedenceMatrix() = default;
+
+  /// Builds W from base rankings, each with weight 1. Parallelised.
+  static PrecedenceMatrix Build(const std::vector<Ranking>& base_rankings);
+
+  /// Builds W with one non-negative weight per base ranking
+  /// (used by the Kemeny-Weighted baseline).
+  static PrecedenceMatrix BuildWeighted(const std::vector<Ranking>& base_rankings,
+                                        const std::vector<double>& weights);
+
+  /// Constructs directly from a dense matrix (tests, ablations).
+  explicit PrecedenceMatrix(std::vector<std::vector<double>> w);
+
+  int size() const { return n_; }
+
+  /// W[a][b]: total weight of rankings placing b above a (Definition 11).
+  double W(CandidateId a, CandidateId b) const { return w_[Index(a, b)]; }
+
+  /// Total weight of rankings that prefer a over b (= W[b][a]).
+  double PrefersCount(CandidateId a, CandidateId b) const {
+    return w_[Index(b, a)];
+  }
+
+  /// Dense copy of W as nested vectors (row a, column b).
+  std::vector<std::vector<double>> ToDense() const;
+
+  /// Kemeny cost of `consensus` under this matrix:
+  ///   sum over ordered pairs (a above b) of W[a][b].
+  double KemenyCost(const Ranking& consensus) const;
+
+  /// Lower bound on any ranking's Kemeny cost:
+  ///   sum over unordered pairs of min(W[a][b], W[b][a]).
+  /// Attained exactly by rankings consistent with every strict pairwise
+  /// majority; used by the exact solver's transitive fast path.
+  double LowerBound() const;
+
+ private:
+  size_t Index(CandidateId a, CandidateId b) const {
+    return static_cast<size_t>(a) * n_ + b;
+  }
+
+  int n_ = 0;
+  std::vector<double> w_;  // row-major n x n
+};
+
+}  // namespace manirank
+
+#endif  // MANIRANK_CORE_PRECEDENCE_H_

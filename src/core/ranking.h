@@ -1,0 +1,73 @@
+#ifndef MANIRANK_CORE_RANKING_H_
+#define MANIRANK_CORE_RANKING_H_
+
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+
+namespace manirank {
+
+/// A strict total order over candidates 0..n-1 (a permutation).
+///
+/// Position 0 is the top (best) rank. The class keeps the order and its
+/// inverse (candidate -> position) in sync so that both `At(position)` and
+/// `PositionOf(candidate)` are O(1), which every metric in the library
+/// relies on.
+class Ranking {
+ public:
+  Ranking() = default;
+
+  /// Builds a ranking from candidates listed best-first.
+  /// `order` must be a permutation of 0..order.size()-1 (checked in debug).
+  explicit Ranking(std::vector<CandidateId> order);
+
+  /// The identity ranking 0, 1, ..., n-1.
+  static Ranking Identity(int n);
+
+  /// Returns true iff `order` is a permutation of 0..order.size()-1.
+  static bool IsValidOrder(const std::vector<CandidateId>& order);
+
+  int size() const { return static_cast<int>(order_.size()); }
+  bool empty() const { return order_.empty(); }
+
+  /// Candidate at `position` (0 = top).
+  CandidateId At(int position) const { return order_[position]; }
+
+  /// Position of `candidate` (0 = top).
+  int PositionOf(CandidateId candidate) const { return pos_[candidate]; }
+
+  /// True iff `a` is ranked above (better than) `b`.
+  bool Prefers(CandidateId a, CandidateId b) const {
+    return pos_[a] < pos_[b];
+  }
+
+  /// Exchanges the candidates at two positions.
+  void SwapPositions(int p, int q);
+
+  /// Exchanges two candidates' positions.
+  void SwapCandidates(CandidateId a, CandidateId b);
+
+  /// Candidates best-first.
+  const std::vector<CandidateId>& order() const { return order_; }
+
+  /// candidate -> position lookup table.
+  const std::vector<int>& positions() const { return pos_; }
+
+  /// Reversed copy (worst-first becomes best-first).
+  Ranking Reversed() const;
+
+  bool operator==(const Ranking& other) const { return order_ == other.order_; }
+  bool operator!=(const Ranking& other) const { return !(*this == other); }
+
+  /// "[3 1 0 2]" — for logs and test failure messages.
+  std::string ToString() const;
+
+ private:
+  std::vector<CandidateId> order_;  // position -> candidate
+  std::vector<int> pos_;            // candidate -> position
+};
+
+}  // namespace manirank
+
+#endif  // MANIRANK_CORE_RANKING_H_

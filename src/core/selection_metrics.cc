@@ -1,0 +1,77 @@
+#include "core/selection_metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace manirank {
+
+std::vector<double> TopKShare(const Ranking& ranking, const Grouping& grouping,
+                              int k) {
+  assert(k >= 1 && k <= ranking.size());
+  std::vector<double> share(grouping.num_groups(), 0.0);
+  for (int p = 0; p < k; ++p) {
+    share[grouping.group_of[ranking.At(p)]] += 1.0;
+  }
+  for (double& s : share) s /= static_cast<double>(k);
+  return share;
+}
+
+std::vector<double> SelectionRates(const Ranking& ranking,
+                                   const Grouping& grouping, int k) {
+  assert(k >= 1 && k <= ranking.size());
+  std::vector<int> selected(grouping.num_groups(), 0);
+  for (int p = 0; p < k; ++p) {
+    ++selected[grouping.group_of[ranking.At(p)]];
+  }
+  std::vector<double> rates(grouping.num_groups(), 0.0);
+  for (int g = 0; g < grouping.num_groups(); ++g) {
+    rates[g] = static_cast<double>(selected[g]) /
+               static_cast<double>(grouping.group_size(g));
+  }
+  return rates;
+}
+
+double AdverseImpactRatio(const Ranking& ranking, const Grouping& grouping,
+                          int k) {
+  const std::vector<double> rates = SelectionRates(ranking, grouping, k);
+  if (rates.empty()) return 1.0;
+  const double max_rate = *std::max_element(rates.begin(), rates.end());
+  if (max_rate == 0.0) return 1.0;  // nobody selected anywhere
+  const double min_rate = *std::min_element(rates.begin(), rates.end());
+  return min_rate / max_rate;
+}
+
+bool PassesFourFifthsRule(const Ranking& ranking, const Grouping& grouping,
+                          int k) {
+  return AdverseImpactRatio(ranking, grouping, k) >= 0.8 - 1e-12;
+}
+
+std::vector<double> GroupExposure(const Ranking& ranking,
+                                  const Grouping& grouping) {
+  const int n = ranking.size();
+  std::vector<double> total(grouping.num_groups(), 0.0);
+  double population_total = 0.0;
+  for (int p = 0; p < n; ++p) {
+    const double exposure = 1.0 / std::log2(static_cast<double>(p) + 2.0);
+    total[grouping.group_of[ranking.At(p)]] += exposure;
+    population_total += exposure;
+  }
+  const double population_mean = population_total / static_cast<double>(n);
+  std::vector<double> normalized(grouping.num_groups(), 1.0);
+  for (int g = 0; g < grouping.num_groups(); ++g) {
+    const double mean =
+        total[g] / static_cast<double>(grouping.group_size(g));
+    normalized[g] = mean / population_mean;
+  }
+  return normalized;
+}
+
+double ExposureParity(const Ranking& ranking, const Grouping& grouping) {
+  const std::vector<double> exposure = GroupExposure(ranking, grouping);
+  if (exposure.size() < 2) return 0.0;
+  auto [lo, hi] = std::minmax_element(exposure.begin(), exposure.end());
+  return *hi - *lo;
+}
+
+}  // namespace manirank

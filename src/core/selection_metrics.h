@@ -1,0 +1,55 @@
+#ifndef MANIRANK_CORE_SELECTION_METRICS_H_
+#define MANIRANK_CORE_SELECTION_METRICS_H_
+
+#include <vector>
+
+#include "core/candidate_table.h"
+#include "core/ranking.h"
+
+namespace manirank {
+
+/// Selection- and exposure-based fairness diagnostics that complement the
+/// paper's pairwise (FPR/ARP/IRP) metrics:
+///
+///  * top-k selection rates and the US EEOC "four-fifths" (80%) rule the
+///    paper cites as the practical fairness target (§II-A), for auditing
+///    what actually happens when the top k of a consensus ranking receive
+///    the outcome (jobs, scholarships, loans);
+///  * position-discounted group exposure in the style of Singh & Joachims
+///    (KDD'18), one of the paper's reference fairness notions.
+
+/// Fraction of the top-k positions occupied by each group of `grouping`.
+/// Shares sum to 1. Requires 1 <= k <= n.
+std::vector<double> TopKShare(const Ranking& ranking, const Grouping& grouping,
+                              int k);
+
+/// Per-group selection rate: the fraction of each group's members that
+/// appear in the top-k ("positive outcome" rate per group).
+std::vector<double> SelectionRates(const Ranking& ranking,
+                                   const Grouping& grouping, int k);
+
+/// Adverse-impact ratio: min over groups of (selection rate / highest
+/// selection rate). 1 = perfectly even; the EEOC guideline flags values
+/// below 0.8. Returns 0 when some group has rate 0 while another is
+/// positive, and 1 when all rates are 0.
+double AdverseImpactRatio(const Ranking& ranking, const Grouping& grouping,
+                          int k);
+
+/// EEOC four-fifths check: AdverseImpactRatio >= 0.8 (per the Uniform
+/// Guidelines on Employee Selection Procedures).
+bool PassesFourFifthsRule(const Ranking& ranking, const Grouping& grouping,
+                          int k);
+
+/// Mean position-discounted exposure per group, with the standard
+/// 1 / log2(position + 2) discount, normalised by the population's mean
+/// exposure (1 = the group receives exactly average exposure).
+std::vector<double> GroupExposure(const Ranking& ranking,
+                                  const Grouping& grouping);
+
+/// Max-min gap of normalised group exposures (0 = exposure parity).
+/// The exposure analogue of the paper's ARP.
+double ExposureParity(const Ranking& ranking, const Grouping& grouping);
+
+}  // namespace manirank
+
+#endif  // MANIRANK_CORE_SELECTION_METRICS_H_

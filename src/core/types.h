@@ -1,0 +1,27 @@
+#ifndef MANIRANK_CORE_TYPES_H_
+#define MANIRANK_CORE_TYPES_H_
+
+#include <cstdint>
+
+namespace manirank {
+
+/// Candidates are dense indices [0, n) into a CandidateTable.
+using CandidateId = int32_t;
+
+/// Categorical protected-attribute value, an index into
+/// Attribute::values of the owning CandidateTable.
+using AttributeValue = int32_t;
+
+/// Total number of candidate pairs in a ranking over n candidates,
+/// omega(X) = n (n - 1) / 2 (Eq. 2 of the paper).
+inline int64_t TotalPairs(int64_t n) { return n * (n - 1) / 2; }
+
+/// Number of mixed pairs for a group of `group_size` candidates inside a
+/// ranking over `n` candidates, omega_M(G) = |G| (|X| - |G|) (Eq. 3).
+inline int64_t MixedPairs(int64_t group_size, int64_t n) {
+  return group_size * (n - group_size);
+}
+
+}  // namespace manirank
+
+#endif  // MANIRANK_CORE_TYPES_H_

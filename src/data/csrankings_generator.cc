@@ -1,0 +1,75 @@
+#include "data/csrankings_generator.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "mallows/mallows.h"
+#include "util/rng.h"
+
+namespace manirank {
+namespace {
+
+constexpr AttributeValue kNortheast = 0, kMidwest = 1, kWest = 2, kSouth = 3;
+constexpr AttributeValue kPrivate = 0, kPublic = 1;
+
+// Regional mix of the 65 departments (roughly the CSRankings US split).
+constexpr double kRegionShare[4] = {0.31, 0.23, 0.23, 0.23};
+// Probability a department is private, by region (Northeast skews private).
+constexpr double kPrivateProb[4] = {0.62, 0.33, 0.40, 0.33};
+
+// Latent quality shifts producing the paper's FPR profile
+// (Northeast ~= .7 at the top, South ~= .25 at the bottom, Midwest ~= .45,
+// West ~= .56, Private ~= .6 above Public ~= .4).
+constexpr double kRegionQuality[4] = {+6.5, -1.0, +0.8, -6.5};
+constexpr double kTypeQuality[2] = {+1.7, -1.7};
+
+}  // namespace
+
+CsRankingsDataset GenerateCsRankingsDataset(const CsRankingsOptions& options) {
+  Rng rng(options.seed);
+  const int n = options.num_departments;
+
+  std::vector<Attribute> attributes = {
+      {"Location", {"Northeast", "Midwest", "West", "South"}},
+      {"Type", {"Private", "Public"}},
+  };
+  std::vector<std::vector<AttributeValue>> values(n,
+                                                  std::vector<AttributeValue>(2));
+  std::vector<double> quality(n);
+  for (int d = 0; d < n; ++d) {
+    double u = rng.NextDouble();
+    AttributeValue region = kSouth;
+    double acc = 0.0;
+    for (int r = 0; r < 4; ++r) {
+      acc += kRegionShare[r];
+      if (u < acc) {
+        region = static_cast<AttributeValue>(r);
+        break;
+      }
+    }
+    values[d][0] = region;
+    values[d][1] =
+        rng.NextDouble() < kPrivateProb[region] ? kPrivate : kPublic;
+    quality[d] = kRegionQuality[region] + kTypeQuality[values[d][1]] +
+                 7.0 * rng.NextGaussian();
+  }
+  std::vector<CandidateId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](CandidateId a, CandidateId b) {
+    if (quality[a] != quality[b]) return quality[a] > quality[b];
+    return a < b;
+  });
+
+  CsRankingsDataset data{CandidateTable(std::move(attributes), values),
+                         Ranking(std::move(order)),
+                         {},
+                         {}};
+  const MallowsModel model(data.modal, options.theta);
+  data.yearly_rankings = model.SampleMany(options.num_years, options.seed);
+  for (int y = 0; y < options.num_years; ++y) {
+    data.year_labels.push_back(std::to_string(options.first_year + y));
+  }
+  return data;
+}
+
+}  // namespace manirank

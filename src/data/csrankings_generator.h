@@ -1,0 +1,46 @@
+#ifndef MANIRANK_DATA_CSRANKINGS_GENERATOR_H_
+#define MANIRANK_DATA_CSRANKINGS_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/candidate_table.h"
+#include "core/ranking.h"
+
+namespace manirank {
+
+/// Synthetic stand-in for the CSRankings 2000-2020 study in the paper's
+/// appendix (Table V); the live csrankings.org scrape is not available
+/// offline (DESIGN.md substitution #3).
+///
+/// 65 departments carry Location (Northeast/Midwest/West/South) and Type
+/// (Private/Public). Department "quality" is biased toward Northeast and
+/// Private institutions — FPR approximately 0.7 / 0.45 / 0.55 / 0.25 by
+/// region and 0.6 / 0.4 by type, as in the published per-year rows — and
+/// the 21 yearly rankings are Mallows perturbations of the biased modal
+/// ranking, giving the same year-over-year FPR jitter the paper shows.
+struct CsRankingsDataset {
+  CandidateTable table;
+  /// The latent biased quality ranking the yearly rankings fluctuate
+  /// around.
+  Ranking modal;
+  std::vector<Ranking> yearly_rankings;
+  /// "2000" .. "2020", parallel with yearly_rankings.
+  std::vector<std::string> year_labels;
+};
+
+struct CsRankingsOptions {
+  int num_departments = 65;
+  int first_year = 2000;
+  int num_years = 21;
+  /// Mallows spread of yearly rankings around the modal ranking.
+  double theta = 0.35;
+  uint64_t seed = 65;
+};
+
+CsRankingsDataset GenerateCsRankingsDataset(const CsRankingsOptions& options = {});
+
+}  // namespace manirank
+
+#endif  // MANIRANK_DATA_CSRANKINGS_GENERATOR_H_

@@ -1,0 +1,125 @@
+#include "data/csv.h"
+
+#include <algorithm>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace manirank {
+namespace {
+
+std::string Trim(const std::string& s) {
+  const auto first = s.find_first_not_of(" \t\r\n");
+  if (first == std::string::npos) return "";
+  const auto last = s.find_last_not_of(" \t\r\n");
+  return s.substr(first, last - first + 1);
+}
+
+}  // namespace
+
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  std::istringstream ss(line);
+  while (std::getline(ss, cell, ',')) cells.push_back(Trim(cell));
+  if (!line.empty() && line.back() == ',') cells.push_back("");
+  return cells;
+}
+
+void WriteRankingsCsv(std::ostream& os, const std::vector<Ranking>& rankings) {
+  for (const Ranking& r : rankings) {
+    for (int p = 0; p < r.size(); ++p) {
+      if (p) os << ',';
+      os << r.At(p);
+    }
+    os << '\n';
+  }
+}
+
+std::vector<Ranking> ReadRankingsCsv(std::istream& is) {
+  std::vector<Ranking> rankings;
+  std::string line;
+  size_t expected = 0;
+  while (std::getline(is, line)) {
+    if (Trim(line).empty()) continue;
+    const std::vector<std::string> cells = SplitCsvLine(line);
+    if (expected == 0) {
+      expected = cells.size();
+    } else if (cells.size() != expected) {
+      throw std::runtime_error("ragged ranking row in CSV");
+    }
+    std::vector<CandidateId> order;
+    order.reserve(cells.size());
+    for (const std::string& c : cells) {
+      order.push_back(static_cast<CandidateId>(std::stol(c)));
+    }
+    if (!Ranking::IsValidOrder(order)) {
+      throw std::runtime_error("CSV row is not a permutation of 0..n-1");
+    }
+    rankings.emplace_back(std::move(order));
+  }
+  return rankings;
+}
+
+void WriteCandidateTableCsv(std::ostream& os, const CandidateTable& table) {
+  os << "candidate";
+  for (int a = 0; a < table.num_attributes(); ++a) {
+    os << ',' << table.attribute(a).name;
+  }
+  os << '\n';
+  for (CandidateId c = 0; c < table.num_candidates(); ++c) {
+    os << c;
+    for (int a = 0; a < table.num_attributes(); ++a) {
+      os << ',' << table.attribute(a).values[table.value(c, a)];
+    }
+    os << '\n';
+  }
+}
+
+CandidateTable ReadCandidateTableCsv(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line)) {
+    throw std::runtime_error("empty candidate table CSV");
+  }
+  const std::vector<std::string> header = SplitCsvLine(line);
+  if (header.size() < 2 || header[0] != "candidate") {
+    throw std::runtime_error("candidate table CSV must start with 'candidate'");
+  }
+  const int q = static_cast<int>(header.size()) - 1;
+  std::vector<Attribute> attributes(q);
+  std::vector<std::map<std::string, AttributeValue>> value_ids(q);
+  for (int a = 0; a < q; ++a) attributes[a].name = header[a + 1];
+
+  std::vector<std::pair<long, std::vector<AttributeValue>>> rows;
+  while (std::getline(is, line)) {
+    if (Trim(line).empty()) continue;
+    const std::vector<std::string> cells = SplitCsvLine(line);
+    if (static_cast<int>(cells.size()) != q + 1) {
+      throw std::runtime_error("ragged candidate row in CSV");
+    }
+    std::vector<AttributeValue> values(q);
+    for (int a = 0; a < q; ++a) {
+      auto [it, inserted] = value_ids[a].try_emplace(
+          cells[a + 1],
+          static_cast<AttributeValue>(attributes[a].values.size()));
+      if (inserted) attributes[a].values.push_back(cells[a + 1]);
+      values[a] = it->second;
+    }
+    rows.emplace_back(std::stol(cells[0]), std::move(values));
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<std::vector<AttributeValue>> values;
+  values.reserve(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (rows[i].first != static_cast<long>(i)) {
+      throw std::runtime_error("candidate ids must be dense 0..n-1");
+    }
+    values.push_back(std::move(rows[i].second));
+  }
+  return CandidateTable(std::move(attributes), std::move(values));
+}
+
+}  // namespace manirank

@@ -1,0 +1,34 @@
+#ifndef MANIRANK_DATA_CSV_H_
+#define MANIRANK_DATA_CSV_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/candidate_table.h"
+#include "core/ranking.h"
+
+namespace manirank {
+
+/// Splits one CSV line on commas (no quoting — the library's own files
+/// never need it); whitespace around cells is trimmed.
+std::vector<std::string> SplitCsvLine(const std::string& line);
+
+/// Writes base rankings one per row, candidates best-first.
+void WriteRankingsCsv(std::ostream& os, const std::vector<Ranking>& rankings);
+
+/// Reads rankings written by WriteRankingsCsv. Throws std::runtime_error on
+/// malformed input (non-permutation rows, ragged rows).
+std::vector<Ranking> ReadRankingsCsv(std::istream& is);
+
+/// Writes a candidate table: header "candidate,<attr1>,<attr2>,..." then
+/// one row per candidate with attribute value names.
+void WriteCandidateTableCsv(std::ostream& os, const CandidateTable& table);
+
+/// Reads a candidate table written by WriteCandidateTableCsv. Attribute
+/// domains are inferred from the data (value names in first-seen order).
+CandidateTable ReadCandidateTableCsv(std::istream& is);
+
+}  // namespace manirank
+
+#endif  // MANIRANK_DATA_CSV_H_

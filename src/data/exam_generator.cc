@@ -1,0 +1,105 @@
+#include "data/exam_generator.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/rng.h"
+
+namespace manirank {
+namespace {
+
+constexpr int kGender = 0;
+constexpr int kRace = 1;
+constexpr int kLunch = 2;
+
+// Value indices.
+constexpr AttributeValue kMan = 0, kWoman = 1;
+constexpr AttributeValue kAsian = 0, kWhite = 1, kBlack = 2, kAlaskaNat = 3,
+                         kNatHaw = 4;
+constexpr AttributeValue kNoSub = 0, kSubLunch = 1;
+
+// Race sampling weights (sums to 1).
+constexpr double kRaceShare[5] = {0.19, 0.30, 0.21, 0.17, 0.13};
+
+// Mean score shifts per subject: {math, reading, writing}. Calibrated so
+// the three score-induced rankings show the Table IV bias directions.
+constexpr double kGenderShift[2][3] = {
+    {-3.5, +3.5, +4.5},  // Man: behind on math, ahead on reading/writing
+    {+3.5, -3.5, -4.5},  // Woman
+};
+constexpr double kRaceShift[5][3] = {
+    {+3.0, +2.0, +2.0},    // Asian
+    {-0.5, -1.5, -1.0},    // White
+    {+2.0, +2.0, +2.0},    // Black
+    {+1.5, +2.0, +0.5},    // AlaskaNat
+    {-10.0, -7.5, -6.5},   // NatHaw — strongly disadvantaged, as in Table IV
+};
+constexpr double kLunchShift[2][3] = {
+    {+5.5, +3.5, +4.5},    // NoSub
+    {-5.5, -3.5, -4.5},    // SubLunch
+};
+
+}  // namespace
+
+ExamDataset GenerateExamDataset(const ExamGeneratorOptions& options) {
+  Rng rng(options.seed);
+  const int n = options.num_students;
+
+  std::vector<Attribute> attributes = {
+      {"Gender", {"Men", "Women"}},
+      {"Race", {"Asian", "White", "Black", "AlaskaNat", "NatHaw"}},
+      {"Lunch", {"NoSub", "SubLunch"}},
+  };
+  std::vector<std::vector<AttributeValue>> values(n,
+                                                  std::vector<AttributeValue>(3));
+  for (int c = 0; c < n; ++c) {
+    values[c][kGender] = rng.NextDouble() < 0.5 ? kMan : kWoman;
+    double u = rng.NextDouble();
+    AttributeValue race = kNatHaw;
+    double acc = 0.0;
+    for (int r = 0; r < 5; ++r) {
+      acc += kRaceShare[r];
+      if (u < acc) {
+        race = static_cast<AttributeValue>(r);
+        break;
+      }
+    }
+    values[c][kRace] = race;
+    // Subsidised lunch correlates mildly with race in the source data.
+    const double sub_prob = race == kNatHaw ? 0.55 : 0.33;
+    values[c][kLunch] = rng.NextDouble() < sub_prob ? kSubLunch : kNoSub;
+  }
+
+  ExamDataset data{CandidateTable(std::move(attributes), values),
+                   {"Math", "Reading", "Writing"},
+                   {},
+                   {}};
+  data.scores.resize(n);
+  for (int c = 0; c < n; ++c) {
+    // Shared ability term keeps the three subject rankings correlated,
+    // like real exam data.
+    const double ability = 8.0 * rng.NextGaussian();
+    for (int s = 0; s < 3; ++s) {
+      data.scores[c][s] = 66.0 + ability +
+                          kGenderShift[values[c][kGender]][s] +
+                          kRaceShift[values[c][kRace]][s] +
+                          kLunchShift[values[c][kLunch]][s] +
+                          6.0 * rng.NextGaussian();
+    }
+  }
+  for (int s = 0; s < 3; ++s) {
+    std::vector<CandidateId> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](CandidateId a, CandidateId b) {
+                       if (data.scores[a][s] != data.scores[b][s]) {
+                         return data.scores[a][s] > data.scores[b][s];
+                       }
+                       return a < b;
+                     });
+    data.base_rankings.emplace_back(std::move(order));
+  }
+  return data;
+}
+
+}  // namespace manirank

@@ -1,0 +1,43 @@
+#ifndef MANIRANK_DATA_EXAM_GENERATOR_H_
+#define MANIRANK_DATA_EXAM_GENERATOR_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/candidate_table.h"
+#include "core/ranking.h"
+
+namespace manirank {
+
+/// Synthetic stand-in for the "Exam Scores" dataset of the paper's §IV-F
+/// case study (Royce Kimmons' generator, not available offline; see
+/// DESIGN.md substitution #2).
+///
+/// Students carry Gender (Man/Woman), Race (Asian/White/Black/AlaskaNat/
+/// NatHaw) and Lunch (NoSub/SubLunch). Per-group score shifts are
+/// calibrated to the bias pattern the paper reports in Table IV:
+/// subsidised-lunch students rank far lower on every subject, NatHaw
+/// students have by far the lowest FPR, men lead on reading and writing
+/// while women lead on math.
+struct ExamDataset {
+  CandidateTable table;
+  /// Subject names, parallel with `base_rankings`: math, reading, writing.
+  std::vector<std::string> subjects;
+  /// One base ranking per subject (score-descending, ties by id).
+  std::vector<Ranking> base_rankings;
+  /// scores[c][s] = student c's score in subject s.
+  std::vector<std::array<double, 3>> scores;
+};
+
+struct ExamGeneratorOptions {
+  int num_students = 200;
+  uint64_t seed = 2022;
+};
+
+ExamDataset GenerateExamDataset(const ExamGeneratorOptions& options = {});
+
+}  // namespace manirank
+
+#endif  // MANIRANK_DATA_EXAM_GENERATOR_H_

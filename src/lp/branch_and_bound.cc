@@ -1,0 +1,198 @@
+#include "lp/branch_and_bound.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "util/stopwatch.h"
+
+namespace manirank::lp {
+namespace {
+
+struct Node {
+  std::vector<double> lo;
+  std::vector<double> hi;
+  double bound;   // objective bound inherited from the parent LP
+  long id;        // creation order; newer nodes win ties (dive behaviour)
+};
+
+struct NodeOrder {
+  bool operator()(const Node& a, const Node& b) const {
+    if (a.bound != b.bound) return a.bound > b.bound;  // min-heap on bound
+    return a.id < b.id;                                // prefer newest
+  }
+};
+
+bool IsIntegral(double v, double tol) {
+  return std::abs(v - std::round(v)) <= tol;
+}
+
+}  // namespace
+
+IlpResult SolveIlp(Model& model, const IlpOptions& options) {
+  IlpResult result;
+  Stopwatch timer;
+  const std::vector<int> int_vars = model.IntegerVariables();
+  const bool integral_costs = model.HasIntegralObjective();
+
+  double incumbent_obj = std::numeric_limits<double>::infinity();
+  std::vector<double> incumbent_x;
+
+  auto try_incumbent = [&](const std::vector<double>& x, double obj) {
+    if (obj < incumbent_obj - 1e-12) {
+      incumbent_obj = obj;
+      incumbent_x = x;
+    }
+  };
+
+  // Effective bound used for pruning: integral objectives let us round up.
+  auto prune_bound = [&](double lp_obj) {
+    return integral_costs ? std::ceil(lp_obj - 1e-6) : lp_obj;
+  };
+
+  std::priority_queue<Node, std::vector<Node>, NodeOrder> open;
+  long next_id = 0;
+  {
+    Node root;
+    root.lo.resize(model.num_variables());
+    root.hi.resize(model.num_variables());
+    for (int j = 0; j < model.num_variables(); ++j) {
+      root.lo[j] = model.lower_bound(j);
+      root.hi[j] = model.upper_bound(j);
+    }
+    root.bound = -std::numeric_limits<double>::infinity();
+    root.id = next_id++;
+    open.push(std::move(root));
+  }
+
+  while (!open.empty()) {
+    if (result.nodes_explored >= options.max_nodes ||
+        (options.time_limit_seconds > 0 &&
+         timer.Seconds() > options.time_limit_seconds)) {
+      result.status = SolveStatus::kNodeLimit;
+      result.has_solution = std::isfinite(incumbent_obj);
+      if (result.has_solution) {
+        result.objective = incumbent_obj;
+        result.x = std::move(incumbent_x);
+      }
+      return result;
+    }
+    Node node = open.top();
+    open.pop();
+    if (prune_bound(node.bound) >= incumbent_obj - 1e-9) continue;
+    ++result.nodes_explored;
+
+    // Solve the node LP, looping while lazy cuts are violated. Both each
+    // LP solve and the loop itself honour the remaining wall-clock budget.
+    LpResult lp;
+    bool out_of_time = false;
+    while (true) {
+      SimplexOptions lp_options = options.lp;
+      if (options.time_limit_seconds > 0) {
+        const double remaining = options.time_limit_seconds - timer.Seconds();
+        if (remaining <= 0) {
+          out_of_time = true;
+          break;
+        }
+        lp_options.time_limit_seconds =
+            lp_options.time_limit_seconds > 0
+                ? std::min(lp_options.time_limit_seconds, remaining)
+                : remaining;
+      }
+      lp = SolveLpWithBounds(model, node.lo, node.hi, lp_options);
+      if (lp.status != SolveStatus::kOptimal) break;
+      if (!options.lazy_cuts) break;
+      std::vector<Constraint> cuts = options.lazy_cuts(lp.x);
+      if (cuts.empty()) break;
+      for (auto& c : cuts) {
+        model.AddConstraint(std::move(c));
+        ++result.cuts_added;
+      }
+    }
+    if (out_of_time) {
+      result.status = SolveStatus::kNodeLimit;
+      result.has_solution = std::isfinite(incumbent_obj);
+      if (result.has_solution) {
+        result.objective = incumbent_obj;
+        result.x = std::move(incumbent_x);
+      }
+      return result;
+    }
+    if (lp.status == SolveStatus::kInfeasible) continue;
+    if (lp.status == SolveStatus::kUnbounded) {
+      result.status = SolveStatus::kUnbounded;
+      return result;
+    }
+    if (lp.status != SolveStatus::kOptimal) {
+      // The node relaxation could not be solved (iteration limit /
+      // numerical failure). Dropping it silently could turn into a bogus
+      // "infeasible" claim, so abort the search and report honestly.
+      result.status = SolveStatus::kIterationLimit;
+      result.has_solution = std::isfinite(incumbent_obj);
+      if (result.has_solution) {
+        result.objective = incumbent_obj;
+        result.x = std::move(incumbent_x);
+      }
+      return result;
+    }
+    if (prune_bound(lp.objective) >= incumbent_obj - 1e-9) continue;
+
+    // Select the integer variable whose value is farthest from integral.
+    int branch_var = -1;
+    double worst_frac = options.integrality_tol;
+    for (int j : int_vars) {
+      double frac = std::abs(lp.x[j] - std::round(lp.x[j]));
+      if (frac > worst_frac) {
+        worst_frac = frac;
+        branch_var = j;
+      }
+    }
+    if (branch_var < 0) {
+      // Integral: snap and accept as incumbent.
+      std::vector<double> x = lp.x;
+      for (int j : int_vars) x[j] = std::round(x[j]);
+      try_incumbent(x, model.EvaluateObjective(x));
+      continue;
+    }
+    // Heuristic incumbent from the fractional point.
+    if (options.heuristic) {
+      if (auto hx = options.heuristic(lp.x)) {
+        bool integral = true;
+        for (int j : int_vars) {
+          if (!IsIntegral((*hx)[j], options.integrality_tol)) {
+            integral = false;
+            break;
+          }
+        }
+        if (integral && model.IsFeasible(*hx, 1e-6)) {
+          try_incumbent(*hx, model.EvaluateObjective(*hx));
+        }
+      }
+    }
+    // Branch.
+    double v = lp.x[branch_var];
+    Node down = node;
+    down.hi[branch_var] = std::floor(v);
+    down.bound = lp.objective;
+    down.id = next_id++;
+    Node up = std::move(node);
+    up.lo[branch_var] = std::ceil(v);
+    up.bound = lp.objective;
+    up.id = next_id++;
+    if (down.lo[branch_var] <= down.hi[branch_var]) open.push(std::move(down));
+    if (up.lo[branch_var] <= up.hi[branch_var]) open.push(std::move(up));
+  }
+
+  if (std::isfinite(incumbent_obj)) {
+    result.status = SolveStatus::kOptimal;
+    result.objective = incumbent_obj;
+    result.x = std::move(incumbent_x);
+    result.has_solution = true;
+  } else {
+    result.status = SolveStatus::kInfeasible;
+  }
+  return result;
+}
+
+}  // namespace manirank::lp

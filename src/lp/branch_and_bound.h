@@ -1,0 +1,57 @@
+#ifndef MANIRANK_LP_BRANCH_AND_BOUND_H_
+#define MANIRANK_LP_BRANCH_AND_BOUND_H_
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "lp/model.h"
+#include "lp/simplex.h"
+
+namespace manirank::lp {
+
+/// Returns violated, globally valid constraints for the point `x`
+/// (e.g. transitivity triangles in a linear-ordering relaxation).
+/// Called after every node LP solve; the solve loops until the callback
+/// returns an empty vector.
+using LazyCutCallback =
+    std::function<std::vector<Constraint>(const std::vector<double>& x)>;
+
+/// Maps a (possibly fractional) LP solution to a candidate integral
+/// assignment for incumbent generation. Returning std::nullopt skips the
+/// heuristic; the returned point is verified against the model before use.
+using HeuristicCallback = std::function<std::optional<std::vector<double>>(
+    const std::vector<double>& x)>;
+
+struct IlpOptions {
+  SimplexOptions lp;
+  /// Maximum branch & bound nodes before giving up with the incumbent.
+  long max_nodes = 1000000;
+  /// Wall-clock budget in seconds (<= 0 means unlimited).
+  double time_limit_seconds = 0.0;
+  /// A variable within this distance of an integer counts as integral.
+  double integrality_tol = 1e-6;
+  LazyCutCallback lazy_cuts;
+  HeuristicCallback heuristic;
+};
+
+struct IlpResult {
+  SolveStatus status = SolveStatus::kNodeLimit;
+  double objective = 0.0;
+  std::vector<double> x;
+  long nodes_explored = 0;
+  int cuts_added = 0;
+  bool has_solution = false;
+};
+
+/// Solves `model` to integral optimality with best-first branch & bound on
+/// the simplex relaxation. Lazy cuts are appended to `model` (hence the
+/// mutable reference) and remain valid for all nodes.
+///
+/// Together with SolveLp this is the replacement for the CPLEX integer
+/// programming engine used in the paper's Fair-Kemeny implementation.
+IlpResult SolveIlp(Model& model, const IlpOptions& options = {});
+
+}  // namespace manirank::lp
+
+#endif  // MANIRANK_LP_BRANCH_AND_BOUND_H_

@@ -1,0 +1,187 @@
+#include "lp/linear_ordering.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace manirank::lp {
+
+LinearOrderingProblem::LinearOrderingProblem(
+    std::vector<std::vector<double>> cost)
+    : n_(static_cast<int>(cost.size())), w_(std::move(cost)) {
+  assert(n_ >= 1);
+  double offset = 0.0;
+  for (int a = 0; a < n_; ++a) {
+    assert(static_cast<int>(w_[a].size()) == n_);
+    for (int b = a + 1; b < n_; ++b) {
+      // Pair variable x_{ab} = Y[a][b]; Y[b][a] = 1 - x_{ab}.
+      // Cost contribution: x * W[a][b] + (1 - x) * W[b][a].
+      model_.AddBinary(w_[a][b] - w_[b][a]);
+      offset += w_[b][a];
+    }
+  }
+  model_.set_objective_offset(offset);
+}
+
+int LinearOrderingProblem::VarIndex(int a, int b) const {
+  assert(0 <= a && a < b && b < n_);
+  // Row-major upper triangle.
+  return a * n_ - a * (a + 1) / 2 + (b - a - 1);
+}
+
+void LinearOrderingProblem::AddPairConstraint(
+    const std::vector<PairTerm>& terms, Sense sense, double rhs) {
+  std::vector<double> coef(model_.num_variables(), 0.0);
+  double constant = 0.0;
+  for (const PairTerm& t : terms) {
+    assert(t.above != t.below);
+    if (t.above < t.below) {
+      coef[VarIndex(t.above, t.below)] += t.coefficient;
+    } else {
+      // Y[a][b] with a > b is 1 - x_{ba}.
+      constant += t.coefficient;
+      coef[VarIndex(t.below, t.above)] -= t.coefficient;
+    }
+  }
+  Constraint c;
+  c.sense = sense;
+  c.rhs = rhs - constant;
+  for (int j = 0; j < model_.num_variables(); ++j) {
+    if (coef[j] != 0.0) c.terms.push_back({j, coef[j]});
+  }
+  model_.AddConstraint(std::move(c));
+}
+
+std::vector<double> LinearOrderingProblem::OrderToPoint(
+    const std::vector<int>& order) const {
+  std::vector<int> pos(n_);
+  for (int p = 0; p < n_; ++p) pos[order[p]] = p;
+  std::vector<double> x(model_.num_variables(), 0.0);
+  for (int a = 0; a < n_; ++a) {
+    for (int b = a + 1; b < n_; ++b) {
+      x[VarIndex(a, b)] = pos[a] < pos[b] ? 1.0 : 0.0;
+    }
+  }
+  return x;
+}
+
+std::vector<int> LinearOrderingProblem::PointToOrder(
+    const std::vector<double>& x) const {
+  // Borda-style rounding: order items by their total "wins" in x.
+  std::vector<double> score(n_, 0.0);
+  for (int a = 0; a < n_; ++a) {
+    for (int b = a + 1; b < n_; ++b) {
+      double v = x[VarIndex(a, b)];
+      score[a] += v;
+      score[b] += 1.0 - v;
+    }
+  }
+  std::vector<int> order(n_);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    if (score[a] != score[b]) return score[a] > score[b];
+    return a < b;
+  });
+  return order;
+}
+
+std::vector<Constraint> LinearOrderingProblem::SeparateTriangles(
+    const std::vector<double>& x, int max_cuts) const {
+  struct Violation {
+    double amount;
+    int a, b, c;
+    bool upper;  // true: x_ab + x_bc - x_ac <= 1 violated; false: >= 0
+  };
+  std::vector<Violation> found;
+  constexpr double kEps = 1e-7;
+  for (int a = 0; a < n_; ++a) {
+    for (int b = a + 1; b < n_; ++b) {
+      const double xab = x[VarIndex(a, b)];
+      for (int c = b + 1; c < n_; ++c) {
+        const double v =
+            xab + x[VarIndex(b, c)] - x[VarIndex(a, c)];
+        if (v > 1.0 + kEps) {
+          found.push_back({v - 1.0, a, b, c, true});
+        } else if (v < -kEps) {
+          found.push_back({-v, a, b, c, false});
+        }
+      }
+    }
+  }
+  if (static_cast<int>(found.size()) > max_cuts) {
+    std::nth_element(found.begin(), found.begin() + max_cuts, found.end(),
+                     [](const Violation& l, const Violation& r) {
+                       return l.amount > r.amount;
+                     });
+    found.resize(max_cuts);
+  }
+  std::vector<Constraint> cuts;
+  cuts.reserve(found.size());
+  for (const Violation& v : found) {
+    Constraint c;
+    c.terms = {{VarIndex(v.a, v.b), 1.0},
+               {VarIndex(v.b, v.c), 1.0},
+               {VarIndex(v.a, v.c), -1.0}};
+    if (v.upper) {
+      c.sense = Sense::kLessEqual;
+      c.rhs = 1.0;
+    } else {
+      c.sense = Sense::kGreaterEqual;
+      c.rhs = 0.0;
+    }
+    cuts.push_back(std::move(c));
+  }
+  return cuts;
+}
+
+double LinearOrderingProblem::OrderCost(const std::vector<int>& order) const {
+  std::vector<int> pos(n_);
+  for (int p = 0; p < n_; ++p) pos[order[p]] = p;
+  double cost = 0.0;
+  for (int a = 0; a < n_; ++a) {
+    for (int b = 0; b < n_; ++b) {
+      if (a != b && pos[a] < pos[b]) cost += w_[a][b];
+    }
+  }
+  return cost;
+}
+
+LinearOrderingProblem::Result LinearOrderingProblem::Solve(
+    const SolveOptions& options) {
+  IlpOptions ilp;
+  ilp.max_nodes = options.max_nodes;
+  ilp.time_limit_seconds = options.time_limit_seconds;
+  ilp.lazy_cuts = [this, &options](const std::vector<double>& x) {
+    return SeparateTriangles(x, options.max_cuts_per_round);
+  };
+  ilp.heuristic =
+      [this, &options](
+          const std::vector<double>& x) -> std::optional<std::vector<double>> {
+    std::vector<int> order = PointToOrder(x);
+    if (options.repair_order) order = options.repair_order(std::move(order));
+    return OrderToPoint(order);
+  };
+
+  IlpResult ilp_result = SolveIlp(model_, ilp);
+  Result result;
+  result.status = ilp_result.status;
+  result.nodes_explored = ilp_result.nodes_explored;
+  result.cuts_added = ilp_result.cuts_added;
+  result.has_solution = ilp_result.has_solution;
+  if (ilp_result.has_solution) {
+    result.order = PointToOrder(ilp_result.x);
+    result.objective = OrderCost(result.order);
+  }
+  return result;
+}
+
+std::vector<int> SolveLinearOrdering(std::vector<std::vector<double>> w,
+                                     SolveStatus* status) {
+  LinearOrderingProblem problem(std::move(w));
+  LinearOrderingProblem::Result r = problem.Solve();
+  if (status != nullptr) *status = r.status;
+  return r.order;
+}
+
+}  // namespace manirank::lp

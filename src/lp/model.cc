@@ -1,0 +1,79 @@
+#include "lp/model.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace manirank::lp {
+
+int Model::AddVariable(double lo, double hi, double obj, bool integer) {
+  assert(lo <= hi);
+  lo_.push_back(lo);
+  hi_.push_back(hi);
+  obj_.push_back(obj);
+  integer_.push_back(integer);
+  return static_cast<int>(obj_.size()) - 1;
+}
+
+int Model::AddConstraint(Constraint c) {
+#ifndef NDEBUG
+  for (const auto& [var, coef] : c.terms) {
+    assert(var >= 0 && var < num_variables());
+    (void)coef;
+  }
+#endif
+  constraints_.push_back(std::move(c));
+  return static_cast<int>(constraints_.size()) - 1;
+}
+
+int Model::AddConstraint(std::vector<std::pair<int, double>> terms,
+                         Sense sense, double rhs) {
+  return AddConstraint(Constraint{std::move(terms), sense, rhs});
+}
+
+std::vector<int> Model::IntegerVariables() const {
+  std::vector<int> vars;
+  for (int j = 0; j < num_variables(); ++j) {
+    if (integer_[j]) vars.push_back(j);
+  }
+  return vars;
+}
+
+bool Model::HasIntegralObjective() const {
+  auto integral = [](double v) { return std::abs(v - std::round(v)) < 1e-12; };
+  if (!integral(objective_offset_)) return false;
+  for (double c : obj_) {
+    if (!integral(c)) return false;
+  }
+  return true;
+}
+
+double Model::EvaluateObjective(const std::vector<double>& x) const {
+  double value = objective_offset_;
+  for (int j = 0; j < num_variables(); ++j) value += obj_[j] * x[j];
+  return value;
+}
+
+bool Model::IsFeasible(const std::vector<double>& x, double tol) const {
+  if (static_cast<int>(x.size()) != num_variables()) return false;
+  for (int j = 0; j < num_variables(); ++j) {
+    if (x[j] < lo_[j] - tol || x[j] > hi_[j] + tol) return false;
+  }
+  for (const Constraint& c : constraints_) {
+    double lhs = 0.0;
+    for (const auto& [var, coef] : c.terms) lhs += coef * x[var];
+    switch (c.sense) {
+      case Sense::kLessEqual:
+        if (lhs > c.rhs + tol) return false;
+        break;
+      case Sense::kGreaterEqual:
+        if (lhs < c.rhs - tol) return false;
+        break;
+      case Sense::kEqual:
+        if (std::abs(lhs - c.rhs) > tol) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+}  // namespace manirank::lp

@@ -1,0 +1,84 @@
+#ifndef MANIRANK_LP_MODEL_H_
+#define MANIRANK_LP_MODEL_H_
+
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace manirank::lp {
+
+/// Positive infinity used for unbounded variable/constraint bounds.
+inline constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+/// Direction of a linear constraint `expr (sense) rhs`.
+enum class Sense { kLessEqual, kGreaterEqual, kEqual };
+
+/// One sparse linear constraint: sum_j coef_j * x_j  (sense)  rhs.
+struct Constraint {
+  /// (variable index, coefficient) pairs; indices must be distinct.
+  std::vector<std::pair<int, double>> terms;
+  Sense sense = Sense::kLessEqual;
+  double rhs = 0.0;
+};
+
+/// A mixed-integer linear program in minimisation form.
+///
+/// This is the interface the rest of the library programs against — it plays
+/// the role IBM CPLEX plays in the original paper. Build a model by adding
+/// variables and constraints, then hand it to SolveLp() (continuous
+/// relaxation) or SolveIlp() (branch & bound).
+class Model {
+ public:
+  /// Adds a variable with bounds [lo, hi] and objective coefficient `obj`.
+  /// Returns its index. `integer` marks it for branch & bound.
+  int AddVariable(double lo, double hi, double obj, bool integer = false);
+
+  /// Convenience for a {0,1} integer variable.
+  int AddBinary(double obj) { return AddVariable(0.0, 1.0, obj, true); }
+
+  /// Adds a constraint; returns its row index.
+  int AddConstraint(Constraint c);
+  int AddConstraint(std::vector<std::pair<int, double>> terms, Sense sense,
+                    double rhs);
+
+  /// Constant added to every reported objective value (used when a
+  /// formulation folds fixed terms out of the variable objective).
+  void set_objective_offset(double offset) { objective_offset_ = offset; }
+  double objective_offset() const { return objective_offset_; }
+
+  int num_variables() const { return static_cast<int>(obj_.size()); }
+  int num_constraints() const { return static_cast<int>(constraints_.size()); }
+
+  double lower_bound(int var) const { return lo_[var]; }
+  double upper_bound(int var) const { return hi_[var]; }
+  double objective_coefficient(int var) const { return obj_[var]; }
+  bool is_integer(int var) const { return integer_[var]; }
+  const Constraint& constraint(int row) const { return constraints_[row]; }
+  const std::vector<Constraint>& constraints() const { return constraints_; }
+
+  /// All integer variable indices (in increasing order).
+  std::vector<int> IntegerVariables() const;
+
+  /// True if every objective coefficient and the offset are integral; lets
+  /// branch & bound round fractional LP bounds up to the next integer.
+  bool HasIntegralObjective() const;
+
+  /// Evaluates the objective (including offset) at assignment `x`.
+  double EvaluateObjective(const std::vector<double>& x) const;
+
+  /// Returns true if `x` satisfies all constraints and bounds within `tol`.
+  bool IsFeasible(const std::vector<double>& x, double tol = 1e-6) const;
+
+ private:
+  std::vector<double> lo_;
+  std::vector<double> hi_;
+  std::vector<double> obj_;
+  std::vector<bool> integer_;
+  std::vector<Constraint> constraints_;
+  double objective_offset_ = 0.0;
+};
+
+}  // namespace manirank::lp
+
+#endif  // MANIRANK_LP_MODEL_H_

@@ -1,0 +1,511 @@
+#include "lp/simplex.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "util/stopwatch.h"
+
+namespace manirank::lp {
+
+const char* ToString(SolveStatus status) {
+  switch (status) {
+    case SolveStatus::kOptimal: return "optimal";
+    case SolveStatus::kInfeasible: return "infeasible";
+    case SolveStatus::kUnbounded: return "unbounded";
+    case SolveStatus::kIterationLimit: return "iteration-limit";
+    case SolveStatus::kNodeLimit: return "node-limit";
+  }
+  return "unknown";
+}
+
+namespace {
+
+enum class VarStatus : uint8_t { kBasic, kAtLower, kAtUpper, kFree };
+
+/// Internal bounded-variable revised simplex over the equality form
+///   A x + I s = b,   lo <= (x, s, t) <= hi,
+/// where s are row slacks and t are phase-1 artificials.
+class Simplex {
+ public:
+  Simplex(const Model& model, const std::vector<double>& lo_override,
+          const std::vector<double>& hi_override,
+          const SimplexOptions& options)
+      : model_(model), opts_(options) {
+    n_struct_ = model.num_variables();
+    m_ = model.num_constraints();
+    // --- bounds and objective for structural variables -------------------
+    lo_ = lo_override;
+    hi_ = hi_override;
+    cost_.assign(n_struct_, 0.0);
+    for (int j = 0; j < n_struct_; ++j) {
+      cost_[j] = model.objective_coefficient(j);
+    }
+    // --- columns: structural (sparse, from rows) then slack then artificial
+    cols_.resize(n_struct_);
+    rhs_.resize(m_);
+    for (int i = 0; i < m_; ++i) {
+      const Constraint& c = model.constraint(i);
+      rhs_[i] = c.rhs;
+      for (const auto& [var, coef] : c.terms) {
+        if (coef != 0.0) cols_[var].push_back({i, coef});
+      }
+    }
+    // Slack variables: one per row, coefficient +1.
+    slack_begin_ = n_struct_;
+    for (int i = 0; i < m_; ++i) {
+      cols_.push_back({{i, 1.0}});
+      switch (model.constraint(i).sense) {
+        case Sense::kLessEqual:
+          lo_.push_back(0.0);
+          hi_.push_back(kInfinity);
+          break;
+        case Sense::kGreaterEqual:
+          lo_.push_back(-kInfinity);
+          hi_.push_back(0.0);
+          break;
+        case Sense::kEqual:
+          lo_.push_back(0.0);
+          hi_.push_back(0.0);
+          break;
+      }
+      cost_.push_back(0.0);
+    }
+  }
+
+  LpResult Solve() {
+    LpResult result;
+    if (m_ == 0) {
+      return SolveUnconstrained();
+    }
+    InitializeBasis();
+    if (num_artificials_ > 0) {
+      // Phase 1: minimise the sum of artificial variables.
+      phase_one_ = true;
+      SolveStatus st = Iterate();
+      phase_one_ = false;
+      if (st != SolveStatus::kOptimal) {
+        result.status = st == SolveStatus::kUnbounded
+                            ? SolveStatus::kInfeasible  // cannot happen: phase
+                                                        // 1 obj bounded below
+                            : st;
+        result.iterations = iterations_;
+        return result;
+      }
+      double infeasibility = PhaseOneObjective();
+      if (infeasibility > 1e-7) {
+        result.status = SolveStatus::kInfeasible;
+        result.iterations = iterations_;
+        return result;
+      }
+      // Freeze artificials at zero so phase 2 can never reuse them.
+      for (int j = artificial_begin_; j < NumVars(); ++j) {
+        lo_[j] = 0.0;
+        hi_[j] = 0.0;
+        if (status_[j] == VarStatus::kAtUpper || status_[j] == VarStatus::kFree) {
+          status_[j] = VarStatus::kAtLower;
+        }
+      }
+      RecomputeBasics();
+    }
+    SolveStatus st = Iterate();
+    result.status = st;
+    result.iterations = iterations_;
+    if (st == SolveStatus::kOptimal || st == SolveStatus::kIterationLimit) {
+      result.x.assign(n_struct_, 0.0);
+      for (int j = 0; j < n_struct_; ++j) result.x[j] = Value(j);
+      result.objective = model_.EvaluateObjective(result.x);
+    }
+    return result;
+  }
+
+ private:
+  int NumVars() const { return static_cast<int>(cols_.size()); }
+
+  LpResult SolveUnconstrained() {
+    LpResult result;
+    result.x.assign(n_struct_, 0.0);
+    for (int j = 0; j < n_struct_; ++j) {
+      double c = cost_[j];
+      double v;
+      if (c > 0) {
+        v = lo_[j];
+      } else if (c < 0) {
+        v = hi_[j];
+      } else {
+        v = std::isfinite(lo_[j]) ? lo_[j]
+                                  : (std::isfinite(hi_[j]) ? hi_[j] : 0.0);
+      }
+      if (!std::isfinite(v)) {
+        result.status = SolveStatus::kUnbounded;
+        return result;
+      }
+      result.x[j] = v;
+    }
+    result.status = SolveStatus::kOptimal;
+    result.objective = model_.EvaluateObjective(result.x);
+    return result;
+  }
+
+  /// Starting point: structural variables at their bound nearest zero,
+  /// slack basis; rows whose slack value violates its own bounds get a
+  /// phase-1 artificial instead.
+  void InitializeBasis() {
+    status_.assign(NumVars(), VarStatus::kAtLower);
+    for (int j = 0; j < NumVars(); ++j) {
+      if (std::isfinite(lo_[j])) {
+        status_[j] = VarStatus::kAtLower;
+      } else if (std::isfinite(hi_[j])) {
+        status_[j] = VarStatus::kAtUpper;
+      } else {
+        status_[j] = VarStatus::kFree;
+      }
+    }
+    // Row activity with all structurals nonbasic.
+    std::vector<double> activity(m_, 0.0);
+    for (int j = 0; j < n_struct_; ++j) {
+      double v = NonbasicValue(j);
+      if (v == 0.0) continue;
+      for (const auto& [row, coef] : cols_[j]) activity[row] += coef * v;
+    }
+    basis_.assign(m_, -1);
+    basic_value_.assign(m_, 0.0);
+    artificial_begin_ = NumVars();
+    num_artificials_ = 0;
+    std::vector<double> basis_col_sign(m_, 1.0);
+    for (int i = 0; i < m_; ++i) {
+      const int slack = slack_begin_ + i;
+      double v = rhs_[i] - activity[i];  // implied slack value
+      if (v >= lo_[slack] - opts_.tol && v <= hi_[slack] + opts_.tol) {
+        basis_[i] = slack;
+        basic_value_[i] = v;
+        status_[slack] = VarStatus::kBasic;
+      } else {
+        // Slack pinned at its nearest bound; artificial absorbs the rest.
+        double pinned = v > hi_[slack] ? hi_[slack] : lo_[slack];
+        status_[slack] = v > hi_[slack] ? VarStatus::kAtUpper
+                                        : VarStatus::kAtLower;
+        double residual = v - pinned;           // != 0
+        double g = residual > 0 ? 1.0 : -1.0;   // artificial coefficient
+        cols_.push_back({{i, g}});
+        lo_.push_back(0.0);
+        hi_.push_back(kInfinity);
+        cost_.push_back(0.0);
+        status_.push_back(VarStatus::kBasic);
+        int art = NumVars() - 1;
+        basis_[i] = art;
+        basic_value_[i] = residual / g;  // = |residual| >= 0
+        basis_col_sign[i] = g;
+        ++num_artificials_;
+      }
+    }
+    // Basis matrix is diagonal (+/-1): invert directly.
+    binv_.assign(static_cast<size_t>(m_) * m_, 0.0);
+    for (int i = 0; i < m_; ++i) Binv(i, i) = 1.0 / basis_col_sign[i];
+    pivots_since_refactor_ = 0;
+  }
+
+  double& Binv(int r, int c) { return binv_[static_cast<size_t>(r) * m_ + c]; }
+  double BinvAt(int r, int c) const {
+    return binv_[static_cast<size_t>(r) * m_ + c];
+  }
+
+  double NonbasicValue(int j) const {
+    switch (status_[j]) {
+      case VarStatus::kAtLower: return lo_[j];
+      case VarStatus::kAtUpper: return hi_[j];
+      case VarStatus::kFree: return 0.0;
+      case VarStatus::kBasic: break;
+    }
+    return 0.0;
+  }
+
+  double Value(int j) const {
+    if (status_[j] == VarStatus::kBasic) {
+      for (int i = 0; i < m_; ++i) {
+        if (basis_[i] == j) return basic_value_[i];
+      }
+      return 0.0;  // unreachable
+    }
+    return NonbasicValue(j);
+  }
+
+  double Cost(int j) const {
+    if (phase_one_) return j >= artificial_begin_ ? 1.0 : 0.0;
+    return cost_[j];
+  }
+
+  double PhaseOneObjective() const {
+    double sum = 0.0;
+    for (int i = 0; i < m_; ++i) {
+      if (basis_[i] >= artificial_begin_) sum += basic_value_[i];
+    }
+    return sum;
+  }
+
+  /// Recomputes basic variable values from scratch: x_B = B^-1 (b - N x_N).
+  void RecomputeBasics() {
+    std::vector<double> residual = rhs_;
+    for (int j = 0; j < NumVars(); ++j) {
+      if (status_[j] == VarStatus::kBasic) continue;
+      double v = NonbasicValue(j);
+      if (v == 0.0) continue;
+      for (const auto& [row, coef] : cols_[j]) residual[row] -= coef * v;
+    }
+    for (int i = 0; i < m_; ++i) {
+      double sum = 0.0;
+      for (int k = 0; k < m_; ++k) sum += BinvAt(i, k) * residual[k];
+      basic_value_[i] = sum;
+    }
+  }
+
+  /// Rebuilds B^-1 from the basis columns by Gauss-Jordan elimination.
+  /// Returns false if the basis matrix is numerically singular.
+  bool Refactorize() {
+    std::vector<double> mat(static_cast<size_t>(m_) * m_, 0.0);
+    std::vector<double> inv(static_cast<size_t>(m_) * m_, 0.0);
+    for (int c = 0; c < m_; ++c) {
+      for (const auto& [row, coef] : cols_[basis_[c]]) {
+        mat[static_cast<size_t>(row) * m_ + c] = coef;
+      }
+      inv[static_cast<size_t>(c) * m_ + c] = 1.0;
+    }
+    for (int col = 0; col < m_; ++col) {
+      // Partial pivoting.
+      int piv = -1;
+      double best = 1e-11;
+      for (int r = col; r < m_; ++r) {
+        double v = std::abs(mat[static_cast<size_t>(r) * m_ + col]);
+        if (v > best) {
+          best = v;
+          piv = r;
+        }
+      }
+      if (piv < 0) return false;
+      if (piv != col) {
+        for (int k = 0; k < m_; ++k) {
+          std::swap(mat[static_cast<size_t>(piv) * m_ + k],
+                    mat[static_cast<size_t>(col) * m_ + k]);
+          std::swap(inv[static_cast<size_t>(piv) * m_ + k],
+                    inv[static_cast<size_t>(col) * m_ + k]);
+        }
+      }
+      double d = mat[static_cast<size_t>(col) * m_ + col];
+      for (int k = 0; k < m_; ++k) {
+        mat[static_cast<size_t>(col) * m_ + k] /= d;
+        inv[static_cast<size_t>(col) * m_ + k] /= d;
+      }
+      for (int r = 0; r < m_; ++r) {
+        if (r == col) continue;
+        double f = mat[static_cast<size_t>(r) * m_ + col];
+        if (f == 0.0) continue;
+        for (int k = 0; k < m_; ++k) {
+          mat[static_cast<size_t>(r) * m_ + k] -=
+              f * mat[static_cast<size_t>(col) * m_ + k];
+          inv[static_cast<size_t>(r) * m_ + k] -=
+              f * inv[static_cast<size_t>(col) * m_ + k];
+        }
+      }
+    }
+    binv_ = std::move(inv);
+    pivots_since_refactor_ = 0;
+    RecomputeBasics();
+    return true;
+  }
+
+  /// Main pivoting loop; returns the terminal status for the current phase.
+  SolveStatus Iterate() {
+    const double tol = opts_.tol;
+    int degenerate_streak = 0;
+    std::vector<double> y(m_);      // duals
+    std::vector<double> alpha(m_);  // B^-1 A_j
+    while (iterations_ < opts_.max_iterations) {
+      if (opts_.time_limit_seconds > 0 && (iterations_ & 127) == 0 &&
+          timer_.Seconds() > opts_.time_limit_seconds) {
+        return SolveStatus::kIterationLimit;
+      }
+      // --- duals: y = c_B^T B^-1 ---------------------------------------
+      std::fill(y.begin(), y.end(), 0.0);
+      for (int i = 0; i < m_; ++i) {
+        double cb = Cost(basis_[i]);
+        if (cb == 0.0) continue;
+        const double* row = &binv_[static_cast<size_t>(i) * m_];
+        for (int k = 0; k < m_; ++k) y[k] += cb * row[k];
+      }
+      // --- pricing -------------------------------------------------------
+      const bool bland = degenerate_streak > 400;
+      int entering = -1;
+      int direction = 0;  // +1 entering increases, -1 decreases
+      double best_score = tol;
+      for (int j = 0; j < NumVars(); ++j) {
+        VarStatus st = status_[j];
+        if (st == VarStatus::kBasic) continue;
+        if (lo_[j] == hi_[j]) continue;  // fixed
+        double d = Cost(j);
+        for (const auto& [row, coef] : cols_[j]) d -= y[row] * coef;
+        int dir = 0;
+        double score = 0.0;
+        if ((st == VarStatus::kAtLower || st == VarStatus::kFree) && d < -tol) {
+          dir = +1;
+          score = -d;
+        } else if ((st == VarStatus::kAtUpper || st == VarStatus::kFree) &&
+                   d > tol) {
+          dir = -1;
+          score = d;
+        }
+        if (dir == 0) continue;
+        if (bland) {
+          entering = j;
+          direction = dir;
+          break;
+        }
+        if (score > best_score) {
+          best_score = score;
+          entering = j;
+          direction = dir;
+        }
+      }
+      if (entering < 0) return SolveStatus::kOptimal;
+
+      // --- direction: alpha = B^-1 A_entering ---------------------------
+      std::fill(alpha.begin(), alpha.end(), 0.0);
+      for (const auto& [row, coef] : cols_[entering]) {
+        for (int i = 0; i < m_; ++i) alpha[i] += BinvAt(i, row) * coef;
+      }
+      // --- ratio test (Harris-style two-pass) ----------------------------
+      // Entering moves by t >= 0 in `direction`; basic i changes by
+      // -direction * t * alpha[i]. Pass 1 finds the tightest step with a
+      // small feasibility relaxation; pass 2 picks, among rows whose exact
+      // ratio is within that relaxed step, the numerically largest pivot.
+      constexpr double kPivotTol = 1e-7;
+      constexpr double kFeasRelax = 1e-8;
+      const double flip_limit = hi_[entering] - lo_[entering];
+      auto row_ratio = [&](int i, double relax, double* to) -> double {
+        const double rate = -direction * alpha[i];  // d(basic_i)/dt
+        if (std::abs(rate) < kPivotTol) return kInfinity;
+        const int b = basis_[i];
+        double room;
+        if (rate < 0) {
+          if (!std::isfinite(lo_[b])) return kInfinity;
+          room = (basic_value_[i] - lo_[b] + relax) / (-rate);
+          *to = -1;
+        } else {
+          if (!std::isfinite(hi_[b])) return kInfinity;
+          room = (hi_[b] - basic_value_[i] + relax) / rate;
+          *to = +1;
+        }
+        return room < 0.0 ? 0.0 : room;
+      };
+      double theta_max = flip_limit;
+      for (int i = 0; i < m_; ++i) {
+        double to = 0.0;
+        theta_max = std::min(theta_max, row_ratio(i, kFeasRelax, &to));
+      }
+      if (!std::isfinite(theta_max)) return SolveStatus::kUnbounded;
+      int leaving = -1;   // index into basis_
+      int leave_to = 0;   // -1 -> lower bound, +1 -> upper bound
+      double limit = flip_limit;
+      double best_pivot = 0.0;
+      for (int i = 0; i < m_; ++i) {
+        double to = 0.0;
+        const double exact = row_ratio(i, 0.0, &to);
+        if (exact <= theta_max + 1e-12 && std::abs(alpha[i]) > best_pivot) {
+          best_pivot = std::abs(alpha[i]);
+          leaving = i;
+          leave_to = static_cast<int>(to);
+          limit = exact;
+        }
+      }
+      if (leaving < 0) {
+        limit = flip_limit;  // entering flips to its opposite bound
+      }
+      ++iterations_;
+      degenerate_streak = limit < 1e-9 ? degenerate_streak + 1 : 0;
+
+      if (leaving < 0) {
+        // Bound flip: entering runs to its opposite bound; basis unchanged.
+        for (int i = 0; i < m_; ++i) {
+          basic_value_[i] -= direction * limit * alpha[i];
+        }
+        status_[entering] = direction > 0 ? VarStatus::kAtUpper
+                                          : VarStatus::kAtLower;
+        continue;
+      }
+      // --- pivot: entering becomes basic in row `leaving` ----------------
+      double enter_value = NonbasicValue(entering) + direction * limit;
+      for (int i = 0; i < m_; ++i) {
+        basic_value_[i] -= direction * limit * alpha[i];
+      }
+      int leaving_var = basis_[leaving];
+      status_[leaving_var] =
+          leave_to < 0 ? VarStatus::kAtLower : VarStatus::kAtUpper;
+      status_[entering] = VarStatus::kBasic;
+      basis_[leaving] = entering;
+      basic_value_[leaving] = enter_value;
+      // Update B^-1: row ops to turn alpha into unit vector e_leaving.
+      double piv = alpha[leaving];
+      for (int k = 0; k < m_; ++k) Binv(leaving, k) /= piv;
+      for (int i = 0; i < m_; ++i) {
+        if (i == leaving) continue;
+        double f = alpha[i];
+        if (std::abs(f) < 1e-13) continue;
+        for (int k = 0; k < m_; ++k) {
+          Binv(i, k) -= f * BinvAt(leaving, k);
+        }
+      }
+      if (++pivots_since_refactor_ >= opts_.refactor_interval) {
+        if (!Refactorize()) return SolveStatus::kIterationLimit;
+      }
+    }
+    return SolveStatus::kIterationLimit;
+  }
+
+  const Model& model_;
+  SimplexOptions opts_;
+  Stopwatch timer_;
+  int n_struct_ = 0;
+  int m_ = 0;
+  int slack_begin_ = 0;
+  int artificial_begin_ = 0;
+  int num_artificials_ = 0;
+  bool phase_one_ = false;
+  int iterations_ = 0;
+  int pivots_since_refactor_ = 0;
+
+  std::vector<std::vector<std::pair<int, double>>> cols_;  // sparse columns
+  std::vector<double> lo_, hi_, cost_, rhs_;
+  std::vector<VarStatus> status_;
+  std::vector<int> basis_;          // basic variable per row
+  std::vector<double> basic_value_; // value of basic variable per row
+  std::vector<double> binv_;        // dense m x m basis inverse
+};
+
+}  // namespace
+
+LpResult SolveLp(const Model& model, const SimplexOptions& options) {
+  std::vector<double> lo(model.num_variables());
+  std::vector<double> hi(model.num_variables());
+  for (int j = 0; j < model.num_variables(); ++j) {
+    lo[j] = model.lower_bound(j);
+    hi[j] = model.upper_bound(j);
+  }
+  return SolveLpWithBounds(model, lo, hi, options);
+}
+
+LpResult SolveLpWithBounds(const Model& model, const std::vector<double>& lo,
+                           const std::vector<double>& hi,
+                           const SimplexOptions& options) {
+  for (size_t j = 0; j < lo.size(); ++j) {
+    if (lo[j] > hi[j]) {
+      LpResult r;
+      r.status = SolveStatus::kInfeasible;
+      return r;
+    }
+  }
+  Simplex solver(model, lo, hi, options);
+  return solver.Solve();
+}
+
+}  // namespace manirank::lp

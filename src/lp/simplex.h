@@ -1,0 +1,59 @@
+#ifndef MANIRANK_LP_SIMPLEX_H_
+#define MANIRANK_LP_SIMPLEX_H_
+
+#include <vector>
+
+#include "lp/model.h"
+
+namespace manirank::lp {
+
+/// Outcome of an LP or ILP solve.
+enum class SolveStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,
+  kNodeLimit,
+};
+
+const char* ToString(SolveStatus status);
+
+struct SimplexOptions {
+  /// Hard cap on simplex pivots across both phases.
+  int max_iterations = 200000;
+  /// Wall-clock budget in seconds (<= 0: unlimited). Checked periodically;
+  /// expiry surfaces as kIterationLimit.
+  double time_limit_seconds = 0.0;
+  /// Feasibility / reduced-cost tolerance.
+  double tol = 1e-9;
+  /// Rebuild the basis inverse from scratch every this many pivots.
+  int refactor_interval = 512;
+};
+
+struct LpResult {
+  SolveStatus status = SolveStatus::kIterationLimit;
+  /// Objective value including the model's objective offset.
+  double objective = 0.0;
+  /// Values of the structural (model) variables.
+  std::vector<double> x;
+  int iterations = 0;
+};
+
+/// Solves the continuous relaxation of `model` (integrality ignored) with a
+/// two-phase bounded-variable revised simplex.
+///
+/// This is the workhorse that replaces the commercial LP engine the paper
+/// uses. It maintains a dense basis inverse, prices with Dantzig's rule and
+/// falls back to Bland's rule after long degenerate stretches to guarantee
+/// termination.
+LpResult SolveLp(const Model& model, const SimplexOptions& options = {});
+
+/// Same as SolveLp but with per-variable bound overrides (used by branch &
+/// bound to fix integer variables without copying the model).
+LpResult SolveLpWithBounds(const Model& model, const std::vector<double>& lo,
+                           const std::vector<double>& hi,
+                           const SimplexOptions& options = {});
+
+}  // namespace manirank::lp
+
+#endif  // MANIRANK_LP_SIMPLEX_H_

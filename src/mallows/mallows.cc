@@ -1,0 +1,116 @@
+#include "mallows/mallows.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "core/distance.h"
+#include "util/fenwick.h"
+#include "util/threading.h"
+
+namespace manirank {
+namespace {
+
+uint64_t Mix(uint64_t a, uint64_t b) {
+  uint64_t z = a + 0x9e3779b97f4a7c15ULL * (b + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+MallowsModel::MallowsModel(Ranking modal, double theta)
+    : modal_(std::move(modal)), theta_(theta), r_(std::exp(-theta)) {
+  assert(theta >= 0.0);
+}
+
+Rng MallowsModel::SampleRng(uint64_t seed, uint64_t sample_index) {
+  return Rng(Mix(seed, sample_index));
+}
+
+Ranking MallowsModel::Sample(Rng* rng) const {
+  const int n = this->n();
+  // k[t] = number of items with smaller modal index ranked below item t
+  // (the RIM inversion table); P(k) proportional to r^k, k in [0, t].
+  std::vector<int> k(n);
+  if (r_ >= 1.0 - 1e-15) {
+    // theta == 0: uniform permutation.
+    for (int t = 0; t < n; ++t) {
+      k[t] = static_cast<int>(rng->NextUint64(static_cast<uint64_t>(t) + 1));
+    }
+  } else {
+    const double log_r = std::log(r_);
+    for (int t = 0; t < n; ++t) {
+      // Truncated geometric on [0, t]: CDF(k) = (1 - r^{k+1}) / (1 - r^{t+1}).
+      const double total = 1.0 - std::pow(r_, t + 1);
+      const double u = rng->NextDouble();
+      int sample = static_cast<int>(std::log1p(-u * total) / log_r);
+      if (sample > t) sample = t;  // numerical safety at the tail
+      if (sample < 0) sample = 0;
+      k[t] = sample;
+    }
+  }
+  // Reconstruct: item t needs a_t = t - k[t] smaller-index items above it.
+  // Working from the largest modal index down, all remaining items have
+  // smaller index, so item t claims the (a_t + 1)-th free slot from the top.
+  Fenwick free_slots(n);
+  for (int s = 0; s < n; ++s) free_slots.Add(s, 1);
+  std::vector<CandidateId> order(n);
+  for (int t = n - 1; t >= 0; --t) {
+    const int above = t - k[t];
+    const size_t slot = free_slots.LowerBound(above + 1);
+    order[slot] = modal_.At(t);
+    free_slots.Add(slot, -1);
+  }
+  return Ranking(std::move(order));
+}
+
+std::vector<Ranking> MallowsModel::SampleMany(size_t count,
+                                              uint64_t seed) const {
+  std::vector<Ranking> samples(count);
+  ParallelFor(count, [&](size_t begin, size_t end, size_t /*worker*/) {
+    for (size_t i = begin; i < end; ++i) {
+      Rng rng = SampleRng(seed, i);
+      samples[i] = Sample(&rng);
+    }
+  });
+  return samples;
+}
+
+double MallowsModel::LogNormalizer() const {
+  const int n = this->n();
+  if (theta_ <= 1e-15) {
+    double log_factorial = 0.0;
+    for (int i = 2; i <= n; ++i) log_factorial += std::log(i);
+    return log_factorial;
+  }
+  double log_psi = 0.0;
+  for (int i = 1; i <= n; ++i) {
+    log_psi += std::log1p(-std::pow(r_, i)) - std::log1p(-r_);
+  }
+  return log_psi;
+}
+
+double MallowsModel::Probability(const Ranking& ranking) const {
+  const double d = static_cast<double>(KendallTau(ranking, modal_));
+  return std::exp(-theta_ * d - LogNormalizer());
+}
+
+double MallowsModel::ExpectedKendallTau() const {
+  const int n = this->n();
+  if (theta_ <= 1e-15) {
+    // Uniform: E[d] = n(n-1)/4.
+    return static_cast<double>(TotalPairs(n)) / 2.0;
+  }
+  // Sum over insertion steps of the truncated-geometric means.
+  double expected = 0.0;
+  const double g = r_ / (1.0 - r_);
+  for (int t = 1; t < n; ++t) {
+    const int m = t + 1;  // support size of k_t: [0, t]
+    const double rm = std::pow(r_, m);
+    expected += g - m * rm / (1.0 - rm);
+  }
+  return expected;
+}
+
+}  // namespace manirank

@@ -1,0 +1,229 @@
+#include "mallows/modal_designer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+#include "util/rng.h"
+
+namespace manirank {
+namespace {
+
+/// Mixed-radix decode of `cell` into per-attribute values (last attribute
+/// varies fastest).
+std::vector<AttributeValue> DecodeCell(const std::vector<Attribute>& attrs,
+                                       int64_t cell) {
+  std::vector<AttributeValue> values(attrs.size());
+  for (int a = static_cast<int>(attrs.size()) - 1; a >= 0; --a) {
+    values[a] = static_cast<AttributeValue>(cell % attrs[a].domain_size());
+    cell /= attrs[a].domain_size();
+  }
+  return values;
+}
+
+int64_t EncodeCell(const std::vector<Attribute>& attrs,
+                   const std::vector<AttributeValue>& values) {
+  int64_t cell = 0;
+  for (size_t a = 0; a < attrs.size(); ++a) {
+    cell = cell * attrs[a].domain_size() + values[a];
+  }
+  return cell;
+}
+
+/// Parity (max FPR - min FPR) of one grouping given favored-pair counts.
+double ParityOf(const Grouping& grouping, const std::vector<int64_t>& favored,
+                const std::vector<int64_t>& denom) {
+  if (grouping.num_groups() < 2) return 0.0;
+  double max_fpr = -1.0, min_fpr = 2.0;
+  for (int g = 0; g < grouping.num_groups(); ++g) {
+    const double f = denom[g] == 0
+                         ? 0.5
+                         : static_cast<double>(favored[g]) /
+                               static_cast<double>(denom[g]);
+    max_fpr = std::max(max_fpr, f);
+    min_fpr = std::min(min_fpr, f);
+  }
+  return max_fpr - min_fpr;
+}
+
+}  // namespace
+
+CandidateTable MakeTableFromCells(std::vector<Attribute> attributes,
+                                  const std::vector<int>& cell_counts) {
+  int64_t expected_cells = 1;
+  for (const Attribute& a : attributes) expected_cells *= a.domain_size();
+  assert(static_cast<int64_t>(cell_counts.size()) == expected_cells);
+  std::vector<std::vector<AttributeValue>> values;
+  for (size_t cell = 0; cell < cell_counts.size(); ++cell) {
+    const std::vector<AttributeValue> v =
+        DecodeCell(attributes, static_cast<int64_t>(cell));
+    for (int i = 0; i < cell_counts[cell]; ++i) values.push_back(v);
+  }
+  return CandidateTable(std::move(attributes), std::move(values));
+}
+
+ModalDesignResult DesignModalRanking(const ModalDesignSpec& spec) {
+  CandidateTable table = MakeTableFromCells(spec.attributes, spec.cell_counts);
+  const int n = table.num_candidates();
+  Rng rng(spec.seed);
+
+  // Targets aligned with table.constrained_groupings().
+  const auto& groupings = table.constrained_groupings();
+  std::vector<double> targets(spec.attribute_arp_target);
+  assert(static_cast<int>(targets.size()) == table.num_attributes());
+  if (table.num_attributes() > 1) targets.push_back(spec.irp_target);
+  assert(targets.size() == groupings.size());
+
+  // Random start.
+  std::vector<CandidateId> start(n);
+  std::iota(start.begin(), start.end(), 0);
+  rng.Shuffle(&start);
+  Ranking ranking(std::move(start));
+
+  // Incremental favored-pair state per grouping.
+  const size_t num_groupings = groupings.size();
+  std::vector<std::vector<int64_t>> favored(num_groupings);
+  std::vector<std::vector<int64_t>> denom(num_groupings);
+  std::vector<double> parity(num_groupings);
+  for (size_t i = 0; i < num_groupings; ++i) {
+    favored[i] = GroupFavoredPairs(ranking, *groupings[i]);
+    denom[i].resize(groupings[i]->num_groups());
+    for (int g = 0; g < groupings[i]->num_groups(); ++g) {
+      denom[i][g] = MixedPairs(groupings[i]->group_size(g), n);
+    }
+    parity[i] = ParityOf(*groupings[i], favored[i], denom[i]);
+  }
+  auto objective = [&](const std::vector<double>& p) {
+    double obj = 0.0;
+    for (size_t i = 0; i < p.size(); ++i) {
+      const double err = p[i] - targets[i];
+      obj += err * err;
+    }
+    return obj;
+  };
+  auto within_tolerance = [&](const std::vector<double>& p) {
+    for (size_t i = 0; i < p.size(); ++i) {
+      if (std::abs(p[i] - targets[i]) > spec.tolerance) return false;
+    }
+    return true;
+  };
+
+  double current_obj = objective(parity);
+  Ranking best_ranking = ranking;
+  double best_obj = current_obj;
+
+  const double t_start = 0.02;
+  const double t_end = 1e-7;
+  std::vector<double> new_parity(num_groupings);
+  std::vector<int64_t> scratch;
+  for (int64_t iter = 0;
+       iter < spec.max_iterations && !within_tolerance(parity); ++iter) {
+    int p = static_cast<int>(rng.NextUint64(n));
+    int q = static_cast<int>(rng.NextUint64(n));
+    if (p == q) continue;
+    if (p > q) std::swap(p, q);
+    const CandidateId u = ranking.At(p);
+    const CandidateId v = ranking.At(q);
+    const int64_t dist = q - p;
+    // Tentative parities under the swap (favored changes by -dist/+dist for
+    // u's and v's groups in every grouping; others cancel).
+    for (size_t i = 0; i < num_groupings; ++i) {
+      const int a = groupings[i]->group_of[u];
+      const int b = groupings[i]->group_of[v];
+      if (a == b) {
+        new_parity[i] = parity[i];
+        continue;
+      }
+      scratch = favored[i];
+      scratch[a] -= dist;
+      scratch[b] += dist;
+      new_parity[i] = ParityOf(*groupings[i], scratch, denom[i]);
+    }
+    const double new_obj = objective(new_parity);
+    const double temp =
+        t_start * std::pow(t_end / t_start,
+                           static_cast<double>(iter) /
+                               static_cast<double>(spec.max_iterations));
+    const double delta_e = new_obj - current_obj;
+    if (delta_e <= 0.0 || rng.NextDouble() < std::exp(-delta_e / temp)) {
+      for (size_t i = 0; i < num_groupings; ++i) {
+        const int a = groupings[i]->group_of[u];
+        const int b = groupings[i]->group_of[v];
+        if (a != b) {
+          favored[i][a] -= dist;
+          favored[i][b] += dist;
+        }
+        parity[i] = new_parity[i];
+      }
+      ranking.SwapPositions(p, q);
+      current_obj = new_obj;
+      if (current_obj < best_obj) {
+        best_obj = current_obj;
+        best_ranking = ranking;
+      }
+    }
+  }
+  if (current_obj > best_obj) {
+    ranking = best_ranking;
+  }
+
+  ModalDesignResult result{std::move(table), std::move(ranking), {}, false};
+  result.report = EvaluateFairness(result.modal, result.table);
+  result.converged = true;
+  for (size_t i = 0; i < result.report.parity.size(); ++i) {
+    if (std::abs(result.report.parity[i] - targets[i]) > spec.tolerance) {
+      result.converged = false;
+    }
+  }
+  return result;
+}
+
+ModalDesignResult ExpandDesign(const ModalDesignResult& base, int factor) {
+  assert(factor >= 1);
+  const CandidateTable& src = base.table;
+  const int n = src.num_candidates();
+  std::vector<Attribute> attributes;
+  for (int a = 0; a < src.num_attributes(); ++a) {
+    attributes.push_back(src.attribute(a));
+  }
+  // Cell sizes and per-candidate (cell, index-within-cell).
+  int64_t num_cells = 1;
+  for (const Attribute& a : attributes) num_cells *= a.domain_size();
+  std::vector<int> cell_counts(num_cells, 0);
+  std::vector<int64_t> cell_of(n);
+  std::vector<int> index_in_cell(n);
+  for (CandidateId c = 0; c < n; ++c) {
+    std::vector<AttributeValue> values(src.num_attributes());
+    for (int a = 0; a < src.num_attributes(); ++a) values[a] = src.value(c, a);
+    cell_of[c] = EncodeCell(attributes, values);
+    index_in_cell[c] = cell_counts[cell_of[c]]++;
+  }
+  std::vector<int> expanded_counts(cell_counts);
+  for (int& count : expanded_counts) count *= factor;
+  // New ids are assigned cell by cell in MakeTableFromCells order; the
+  // clones of base candidate c occupy a contiguous run.
+  std::vector<int64_t> cell_start(num_cells, 0);
+  for (int64_t cell = 1; cell < num_cells; ++cell) {
+    cell_start[cell] = cell_start[cell - 1] + expanded_counts[cell - 1];
+  }
+  std::vector<CandidateId> order;
+  order.reserve(static_cast<size_t>(n) * factor);
+  for (int pos = 0; pos < n; ++pos) {
+    const CandidateId c = base.modal.At(pos);
+    const int64_t first =
+        cell_start[cell_of[c]] + static_cast<int64_t>(index_in_cell[c]) * factor;
+    for (int i = 0; i < factor; ++i) {
+      order.push_back(static_cast<CandidateId>(first + i));
+    }
+  }
+  ModalDesignResult result{
+      MakeTableFromCells(std::move(attributes), expanded_counts),
+      Ranking(std::move(order)),
+      {},
+      base.converged};
+  result.report = EvaluateFairness(result.modal, result.table);
+  return result;
+}
+
+}  // namespace manirank

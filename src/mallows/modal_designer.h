@@ -1,0 +1,60 @@
+#ifndef MANIRANK_MALLOWS_MODAL_DESIGNER_H_
+#define MANIRANK_MALLOWS_MODAL_DESIGNER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/candidate_table.h"
+#include "core/fairness_metrics.h"
+#include "core/ranking.h"
+
+namespace manirank {
+
+/// Builds a CandidateTable whose intersection cells (in mixed-radix order,
+/// last attribute fastest) have the given sizes. Candidate ids are assigned
+/// cell by cell.
+CandidateTable MakeTableFromCells(std::vector<Attribute> attributes,
+                                  const std::vector<int>& cell_counts);
+
+/// Specification for constructing a modal ranking with prescribed
+/// unfairness, reproducing the paper's Table I datasets ("we control the
+/// fairness of base rankings by setting the fairness in the modal
+/// ranking").
+struct ModalDesignSpec {
+  std::vector<Attribute> attributes;
+  /// Candidates per intersection cell (size = product of domain sizes).
+  std::vector<int> cell_counts;
+  /// Target ARP per attribute.
+  std::vector<double> attribute_arp_target;
+  /// Target IRP (ignored when there is a single attribute).
+  double irp_target = 0.0;
+  /// Per-target acceptance tolerance.
+  double tolerance = 0.02;
+  uint64_t seed = 7;
+  /// Simulated-annealing step budget.
+  int64_t max_iterations = 4000000;
+};
+
+struct ModalDesignResult {
+  CandidateTable table;
+  Ranking modal;
+  FairnessReport report;
+  /// All targets hit within tolerance.
+  bool converged = false;
+};
+
+/// Searches for a ranking whose ARP/IRP profile matches the spec, by
+/// simulated annealing over pair swaps with O(#groupings) incremental
+/// objective evaluation.
+ModalDesignResult DesignModalRanking(const ModalDesignSpec& spec);
+
+/// Scales a design up by `factor`: each candidate becomes a contiguous
+/// block of `factor` clones with the same attribute values. Because clones
+/// are adjacent and share all groups, every group's FPR — hence every
+/// ARP/IRP — is exactly preserved. Used for the 10^4..10^5-candidate
+/// scalability experiments where direct annealing would be slow.
+ModalDesignResult ExpandDesign(const ModalDesignResult& base, int factor);
+
+}  // namespace manirank
+
+#endif  // MANIRANK_MALLOWS_MODAL_DESIGNER_H_

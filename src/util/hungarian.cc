@@ -1,0 +1,72 @@
+#include "util/hungarian.h"
+
+#include <cassert>
+#include <limits>
+
+namespace manirank {
+
+std::vector<int> MinCostAssignment(
+    const std::vector<std::vector<int64_t>>& cost, int64_t* total_cost) {
+  const int n = static_cast<int>(cost.size());
+  if (n == 0) {
+    if (total_cost != nullptr) *total_cost = 0;
+    return {};
+  }
+  constexpr int64_t kInf = std::numeric_limits<int64_t>::max() / 4;
+  // 1-based arrays per the classic formulation; p[j] = row matched to
+  // column j (p[0] is the row currently being assigned).
+  std::vector<int64_t> u(n + 1, 0), v(n + 1, 0);
+  std::vector<int> p(n + 1, 0), way(n + 1, 0);
+  for (int i = 1; i <= n; ++i) {
+    assert(static_cast<int>(cost[i - 1].size()) == n);
+    p[0] = i;
+    int j0 = 0;
+    std::vector<int64_t> minv(n + 1, kInf);
+    std::vector<bool> used(n + 1, false);
+    do {
+      used[j0] = true;
+      const int i0 = p[j0];
+      int64_t delta = kInf;
+      int j1 = -1;
+      for (int j = 1; j <= n; ++j) {
+        if (used[j]) continue;
+        const int64_t current = cost[i0 - 1][j - 1] - u[i0] - v[j];
+        if (current < minv[j]) {
+          minv[j] = current;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (int j = 0; j <= n; ++j) {
+        if (used[j]) {
+          u[p[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[j0] != 0);
+    // Augment along the alternating path.
+    do {
+      const int j1 = way[j0];
+      p[j0] = p[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+  std::vector<int> assignment(n, -1);
+  int64_t total = 0;
+  for (int j = 1; j <= n; ++j) {
+    if (p[j] > 0) {
+      assignment[p[j] - 1] = j - 1;
+      total += cost[p[j] - 1][j - 1];
+    }
+  }
+  if (total_cost != nullptr) *total_cost = total;
+  return assignment;
+}
+
+}  // namespace manirank

@@ -1,0 +1,25 @@
+#ifndef MANIRANK_UTIL_HUNGARIAN_H_
+#define MANIRANK_UTIL_HUNGARIAN_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace manirank {
+
+/// Solves the square min-cost assignment problem (Hungarian algorithm,
+/// Jonker–Volgenant style shortest augmenting paths, O(n^3)).
+///
+/// `cost[r][c]` is the cost of assigning row r to column c. Returns the
+/// assignment as column index per row; `total_cost`, when non-null,
+/// receives the optimal objective.
+///
+/// Used by the exact Spearman-footrule rank aggregation, where rows are
+/// candidates, columns are positions, and the cost is the summed
+/// displacement against all base rankings.
+std::vector<int> MinCostAssignment(
+    const std::vector<std::vector<int64_t>>& cost,
+    int64_t* total_cost = nullptr);
+
+}  // namespace manirank
+
+#endif  // MANIRANK_UTIL_HUNGARIAN_H_

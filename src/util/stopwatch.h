@@ -1,0 +1,29 @@
+#ifndef MANIRANK_UTIL_STOPWATCH_H_
+#define MANIRANK_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace manirank {
+
+/// Minimal wall-clock stopwatch used by the experiment harnesses.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed wall-clock seconds since construction or last Restart().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace manirank
+
+#endif  // MANIRANK_UTIL_STOPWATCH_H_

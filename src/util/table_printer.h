@@ -1,0 +1,43 @@
+#ifndef MANIRANK_UTIL_TABLE_PRINTER_H_
+#define MANIRANK_UTIL_TABLE_PRINTER_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace manirank {
+
+/// Accumulates rows and prints an aligned plain-text table.
+///
+/// The experiment harnesses in bench/ use this to print the same rows the
+/// paper's tables and figure series report, e.g.
+///
+///   TablePrinter t({"theta", "PD loss", "ARP Gender", "IRP"});
+///   t.AddRow({"0.2", "0.31", "0.08", "0.09"});
+///   t.Print(std::cout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends one row; the row may have fewer cells than the header.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `precision` decimal places.
+  static std::string Fmt(double value, int precision = 3);
+
+  /// Writes the aligned table (header, rule, rows) to `os`.
+  void Print(std::ostream& os) const;
+
+  /// Writes the table as CSV (no alignment padding) to `os`.
+  void PrintCsv(std::ostream& os) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace manirank
+
+#endif  // MANIRANK_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,40 @@
+#include "util/threading.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+namespace manirank {
+
+size_t DefaultThreadCount() {
+  if (const char* env = std::getenv("MANIRANK_THREADS")) {
+    long v = std::strtol(env, nullptr, 10);
+    if (v >= 0) return static_cast<size_t>(v);
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+void ParallelFor(size_t count,
+                 const std::function<void(size_t, size_t, size_t)>& body,
+                 size_t threads) {
+  if (threads == 0) threads = DefaultThreadCount();
+  threads = std::max<size_t>(1, std::min(threads, count));
+  if (threads <= 1 || count < 2) {
+    if (count > 0) body(0, count, 0);
+    return;
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  const size_t chunk = (count + threads - 1) / threads;
+  for (size_t w = 0; w < threads; ++w) {
+    const size_t begin = w * chunk;
+    const size_t end = std::min(count, begin + chunk);
+    if (begin >= end) break;
+    workers.emplace_back([&body, begin, end, w] { body(begin, end, w); });
+  }
+  for (auto& t : workers) t.join();
+}
+
+}  // namespace manirank

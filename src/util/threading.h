@@ -1,0 +1,26 @@
+#ifndef MANIRANK_UTIL_THREADING_H_
+#define MANIRANK_UTIL_THREADING_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace manirank {
+
+/// Number of worker threads used by ParallelFor. Defaults to
+/// std::thread::hardware_concurrency(), overridable via the
+/// MANIRANK_THREADS environment variable (0 or 1 disables parallelism).
+size_t DefaultThreadCount();
+
+/// Runs `body(begin, end, worker_index)` over a static partition of
+/// [0, count) across `threads` workers. Blocks until all workers finish.
+/// With threads <= 1 (or count small) the body runs inline on the caller.
+///
+/// The body must be safe to run concurrently on disjoint ranges.
+void ParallelFor(size_t count,
+                 const std::function<void(size_t begin, size_t end,
+                                          size_t worker)>& body,
+                 size_t threads = 0);
+
+}  // namespace manirank
+
+#endif  // MANIRANK_UTIL_THREADING_H_

@@ -1,0 +1,178 @@
+#include "core/aggregators.h"
+
+#include <gtest/gtest.h>
+
+#include "core/precedence.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace manirank {
+namespace {
+
+std::vector<Ranking> Profile(std::vector<std::vector<CandidateId>> orders) {
+  std::vector<Ranking> base;
+  for (auto& o : orders) base.emplace_back(std::move(o));
+  return base;
+}
+
+TEST(BordaTest, UnanimousProfile) {
+  std::vector<Ranking> base = Profile({{2, 0, 1}, {2, 0, 1}, {2, 0, 1}});
+  EXPECT_EQ(BordaAggregate(base), Ranking({2, 0, 1}));
+}
+
+TEST(BordaTest, PointsAreTotalCandidatesRankedBelow) {
+  // base1 = [0 1 2], base2 = [1 2 0].
+  // points: 0 -> 2 + 0 = 2; 1 -> 1 + 2 = 3; 2 -> 0 + 1 = 1.
+  std::vector<Ranking> base = Profile({{0, 1, 2}, {1, 2, 0}});
+  EXPECT_EQ(BordaAggregate(base), Ranking({1, 0, 2}));
+}
+
+TEST(BordaTest, TieBreaksByCandidateId) {
+  // Two opposite rankings: all candidates tie -> identity order.
+  std::vector<Ranking> base = Profile({{0, 1, 2}, {2, 1, 0}});
+  EXPECT_EQ(BordaAggregate(base), Ranking({0, 1, 2}));
+}
+
+TEST(BordaTest, FromPointsMatchesAggregate) {
+  Rng rng(21);
+  std::vector<Ranking> base;
+  const int n = 12;
+  for (int i = 0; i < 9; ++i) base.push_back(testing::RandomRanking(n, &rng));
+  std::vector<int64_t> points(n, 0);
+  for (const Ranking& r : base) {
+    for (int p = 0; p < n; ++p) points[r.At(p)] += n - 1 - p;
+  }
+  EXPECT_EQ(BordaFromPoints(points), BordaAggregate(base));
+}
+
+TEST(CopelandTest, CondorcetWinnerIsFirst) {
+  // Candidate 1 beats everyone head-to-head.
+  std::vector<Ranking> base = Profile({{1, 0, 2}, {1, 2, 0}, {0, 1, 2}});
+  PrecedenceMatrix w = PrecedenceMatrix::Build(base);
+  EXPECT_EQ(CopelandAggregate(w).At(0), 1);
+}
+
+TEST(CopelandTest, CondorcetLoserIsLast) {
+  std::vector<Ranking> base = Profile({{1, 0, 2}, {1, 2, 0}, {0, 1, 2}});
+  // Candidate 2 loses to 0 (2 of 3) and to 1 (3 of 3).
+  PrecedenceMatrix w = PrecedenceMatrix::Build(base);
+  EXPECT_EQ(CopelandAggregate(w).At(2), 2);
+}
+
+TEST(CopelandTest, TiedContestCountsAsWinForBoth) {
+  // Two rankings splitting on {0,1}; candidate 2 always last.
+  std::vector<Ranking> base = Profile({{0, 1, 2}, {1, 0, 2}});
+  PrecedenceMatrix w = PrecedenceMatrix::Build(base);
+  Ranking r = CopelandAggregate(w);
+  // 0 and 1 tie head-to-head (one win each) plus beat 2: both have 2 wins.
+  // Tie broken by id: 0 first.
+  EXPECT_EQ(r, Ranking({0, 1, 2}));
+}
+
+TEST(SchulzeTest, UnanimousProfile) {
+  std::vector<Ranking> base = Profile({{3, 1, 0, 2}, {3, 1, 0, 2}});
+  PrecedenceMatrix w = PrecedenceMatrix::Build(base);
+  EXPECT_EQ(SchulzeAggregate(w), Ranking({3, 1, 0, 2}));
+}
+
+TEST(SchulzeTest, CondorcetWinnerWins) {
+  Rng rng(31);
+  // Build a profile with a planted Condorcet winner: candidate 4 first in
+  // two thirds of rankings.
+  std::vector<Ranking> base;
+  const int n = 6;
+  for (int i = 0; i < 9; ++i) {
+    Ranking r = testing::RandomRanking(n, &rng);
+    if (i % 3 != 0) r.SwapPositions(0, r.PositionOf(4));
+    base.push_back(r);
+  }
+  PrecedenceMatrix w = PrecedenceMatrix::Build(base);
+  EXPECT_EQ(SchulzeAggregate(w).At(0), 4);
+}
+
+TEST(SchulzeTest, WikipediaStyleExample) {
+  // Classic 45-voter Schulze example (5 candidates A..E = 0..4); the
+  // Schulze ranking is E > A > C > B > D.
+  struct Block {
+    int count;
+    std::vector<CandidateId> order;
+  };
+  std::vector<Block> blocks = {
+      {5, {0, 2, 1, 4, 3}}, {5, {0, 3, 4, 2, 1}}, {8, {1, 4, 3, 0, 2}},
+      {3, {2, 0, 1, 4, 3}}, {7, {2, 0, 4, 1, 3}}, {2, {2, 1, 0, 3, 4}},
+      {7, {3, 2, 4, 1, 0}}, {8, {4, 1, 0, 3, 2}},
+  };
+  std::vector<Ranking> base;
+  for (const Block& b : blocks) {
+    for (int i = 0; i < b.count; ++i) base.emplace_back(b.order);
+  }
+  PrecedenceMatrix w = PrecedenceMatrix::Build(base);
+  EXPECT_EQ(SchulzeAggregate(w), Ranking({4, 0, 2, 1, 3}));
+}
+
+TEST(SchulzeTest, StrongestPathsDominateDirectStrength) {
+  Rng rng(41);
+  std::vector<Ranking> base;
+  for (int i = 0; i < 11; ++i) base.push_back(testing::RandomRanking(7, &rng));
+  PrecedenceMatrix w = PrecedenceMatrix::Build(base);
+  auto p = SchulzeStrongestPaths(w);
+  for (int a = 0; a < 7; ++a) {
+    for (int b = 0; b < 7; ++b) {
+      if (a == b) continue;
+      const double direct = w.PrefersCount(a, b) > w.PrefersCount(b, a)
+                                ? w.PrefersCount(a, b)
+                                : 0.0;
+      EXPECT_GE(p[a][b], direct);
+      // Widest-path optimality: no intermediate improves further.
+      for (int c = 0; c < 7; ++c) {
+        if (c == a || c == b) continue;
+        EXPECT_GE(p[a][b], std::min(p[a][c], p[c][b]) - 1e-9);
+      }
+    }
+  }
+}
+
+TEST(PickAPermTest, SelectsProfileMemberWithMinimalCost) {
+  Rng rng(51);
+  std::vector<Ranking> base;
+  for (int i = 0; i < 8; ++i) base.push_back(testing::RandomRanking(10, &rng));
+  PrecedenceMatrix w = PrecedenceMatrix::Build(base);
+  size_t pick = PickAPermIndex(base, w);
+  for (size_t i = 0; i < base.size(); ++i) {
+    EXPECT_LE(w.KemenyCost(base[pick]), w.KemenyCost(base[i]) + 1e-9);
+  }
+}
+
+class AggregatorConsistencyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AggregatorConsistencyTest, AllMethodsReturnValidPermutations) {
+  Rng rng(GetParam());
+  const int n = 5 + static_cast<int>(rng.NextUint64(20));
+  std::vector<Ranking> base;
+  for (int i = 0; i < 7; ++i) base.push_back(testing::RandomRanking(n, &rng));
+  PrecedenceMatrix w = PrecedenceMatrix::Build(base);
+  for (const Ranking& r :
+       {BordaAggregate(base), CopelandAggregate(w), SchulzeAggregate(w)}) {
+    ASSERT_EQ(r.size(), n);
+    ASSERT_TRUE(Ranking::IsValidOrder(r.order()));
+  }
+}
+
+TEST_P(AggregatorConsistencyTest, UnanimityIsRespected) {
+  // All aggregators must return the common ranking when every base
+  // ranking is identical.
+  Rng rng(GetParam() + 999);
+  const int n = 4 + static_cast<int>(rng.NextUint64(12));
+  Ranking shared = testing::RandomRanking(n, &rng);
+  std::vector<Ranking> base(5, shared);
+  PrecedenceMatrix w = PrecedenceMatrix::Build(base);
+  EXPECT_EQ(BordaAggregate(base), shared);
+  EXPECT_EQ(CopelandAggregate(w), shared);
+  EXPECT_EQ(SchulzeAggregate(w), shared);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AggregatorConsistencyTest,
+                         ::testing::Range<uint64_t>(300, 312));
+
+}  // namespace
+}  // namespace manirank

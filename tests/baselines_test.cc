@@ -1,0 +1,115 @@
+#include "core/baselines.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/fairness_metrics.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace manirank {
+namespace {
+
+CandidateTable HalfTable(int n) {
+  std::vector<Attribute> attrs = {{"G", {"g0", "g1"}}};
+  std::vector<std::vector<AttributeValue>> values(n, std::vector<AttributeValue>(1));
+  for (int c = 0; c < n; ++c) values[c][0] = c < n / 2 ? 0 : 1;
+  return CandidateTable(std::move(attrs), std::move(values));
+}
+
+TEST(FairnessWeightsTest, FairestGetsHighestWeight) {
+  const int n = 8;
+  CandidateTable t = HalfTable(n);
+  // r0: fully segregated (ARP 1.0), r1: interleaved (ARP 0.25),
+  // r2: one adjacent middle swap off segregated (ARP 0.875).
+  Ranking segregated = Ranking::Identity(n);
+  Ranking interleaved({0, 4, 1, 5, 2, 6, 3, 7});
+  Ranking nearly_segregated = segregated;
+  nearly_segregated.SwapPositions(3, 4);
+  std::vector<Ranking> base = {segregated, interleaved, nearly_segregated};
+  std::vector<double> weights = FairnessWeights(base, t);
+  ASSERT_EQ(weights.size(), 3u);
+  EXPECT_DOUBLE_EQ(weights[0], 1.0);  // least fair
+  EXPECT_DOUBLE_EQ(weights[1], 3.0);  // fairest
+  EXPECT_DOUBLE_EQ(weights[2], 2.0);
+}
+
+TEST(FairnessWeightsTest, WeightsAreAPermutationOfOneToM) {
+  Rng rng(3);
+  CandidateTable t = HalfTable(10);
+  std::vector<Ranking> base;
+  for (int i = 0; i < 7; ++i) base.push_back(testing::RandomRanking(10, &rng));
+  std::vector<double> weights = FairnessWeights(base, t);
+  std::vector<double> sorted = weights;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 7; ++i) EXPECT_DOUBLE_EQ(sorted[i], i + 1.0);
+}
+
+TEST(PickFairestPermTest, SelectsTheFairestBaseRanking) {
+  const int n = 8;
+  CandidateTable t = HalfTable(n);
+  Ranking segregated = Ranking::Identity(n);
+  Ranking interleaved({0, 4, 1, 5, 2, 6, 3, 7});
+  std::vector<Ranking> base = {segregated, interleaved};
+  EXPECT_EQ(PickFairestPermIndex(base, t), 1u);
+  EXPECT_EQ(PickFairestPerm(base, t), interleaved);
+}
+
+TEST(PickFairestPermTest, ReturnsAMemberOfTheProfile) {
+  Rng rng(5);
+  CandidateTable t = HalfTable(12);
+  std::vector<Ranking> base;
+  for (int i = 0; i < 9; ++i) base.push_back(testing::RandomRanking(12, &rng));
+  Ranking picked = PickFairestPerm(base, t);
+  EXPECT_NE(std::find(base.begin(), base.end(), picked), base.end());
+  // No base ranking is strictly fairer.
+  const double picked_score = MaxParityScore(picked, t);
+  for (const Ranking& r : base) {
+    EXPECT_GE(MaxParityScore(r, t), picked_score - 1e-12);
+  }
+}
+
+TEST(CorrectFairestPermTest, SatisfiesDelta) {
+  Rng rng(7);
+  CandidateTable t = HalfTable(12);
+  std::vector<Ranking> base;
+  for (int i = 0; i < 5; ++i) base.push_back(testing::RandomRanking(12, &rng));
+  MakeMrFairOptions options;
+  options.delta = 0.1;
+  MakeMrFairResult r = CorrectFairestPerm(base, t, options);
+  EXPECT_TRUE(r.satisfied);
+  EXPECT_TRUE(SatisfiesManiRank(r.ranking, t, 0.1));
+}
+
+TEST(KemenyWeightedTest, UnanimousProfileStaysPut) {
+  CandidateTable t = HalfTable(6);
+  Ranking shared({0, 3, 1, 4, 2, 5});
+  std::vector<Ranking> base(4, shared);
+  KemenyResult r = KemenyWeighted(base, t);
+  EXPECT_EQ(r.ranking, shared);
+}
+
+TEST(KemenyWeightedTest, FairRankingDominatesWhenWeighted) {
+  // 3 identical unfair rankings vs 1 fair one: unweighted Kemeny follows
+  // the majority, the weighted variant can move toward the fair ranking.
+  const int n = 6;
+  CandidateTable t = HalfTable(n);
+  Ranking unfair = Ranking::Identity(n);           // parity 1.0, weight 1,2,3
+  Ranking fair({0, 3, 1, 4, 2, 5});                // parity ~0, weight 4
+  std::vector<Ranking> base = {unfair, unfair, unfair, fair};
+  KemenyResult weighted = KemenyWeighted(base, t);
+  // The fairest ranking carries weight 4 vs 1+2+3 = 6 for the three
+  // unfair ones; the consensus is strictly closer to `fair` than the
+  // unweighted Kemeny (which equals `unfair`).
+  PrecedenceMatrix w = PrecedenceMatrix::Build(base);
+  KemenyResult unweighted = KemenyAggregate(w);
+  EXPECT_EQ(unweighted.ranking, unfair);
+  const double fair_parity = MaxParityScore(fair, t);
+  EXPECT_LE(MaxParityScore(weighted.ranking, t),
+            MaxParityScore(unweighted.ranking, t) + 1e-12);
+  (void)fair_parity;
+}
+
+}  // namespace
+}  // namespace manirank

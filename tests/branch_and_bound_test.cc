@@ -1,0 +1,217 @@
+#include "lp/branch_and_bound.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "lp/model.h"
+#include "util/rng.h"
+
+namespace manirank::lp {
+namespace {
+
+/// Exhaustive optimum over all assignments of the model's integer
+/// variables within their bounds (continuous variables unsupported —
+/// the test models are pure ILPs).
+double BruteForceIlp(const Model& m, bool* feasible) {
+  const int nv = m.num_variables();
+  std::vector<double> x(nv, 0.0);
+  double best = std::numeric_limits<double>::infinity();
+  *feasible = false;
+  std::function<void(int)> recurse = [&](int j) {
+    if (j == nv) {
+      if (m.IsFeasible(x, 1e-9)) {
+        *feasible = true;
+        best = std::min(best, m.EvaluateObjective(x));
+      }
+      return;
+    }
+    for (int v = static_cast<int>(m.lower_bound(j));
+         v <= static_cast<int>(m.upper_bound(j)); ++v) {
+      x[j] = v;
+      recurse(j + 1);
+    }
+  };
+  recurse(0);
+  return best;
+}
+
+TEST(BranchAndBoundTest, SmallKnapsack) {
+  // max 10a + 6b + 4c s.t. a + b + c <= 2 (binary) -> 16.
+  Model m;
+  m.AddBinary(-10.0);
+  m.AddBinary(-6.0);
+  m.AddBinary(-4.0);
+  m.AddConstraint({{0, 1.0}, {1, 1.0}, {2, 1.0}}, Sense::kLessEqual, 2.0);
+  IlpResult r = SolveIlp(m);
+  ASSERT_EQ(r.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(r.objective, -16.0, 1e-9);
+  EXPECT_NEAR(r.x[0], 1.0, 1e-9);
+  EXPECT_NEAR(r.x[1], 1.0, 1e-9);
+  EXPECT_NEAR(r.x[2], 0.0, 1e-9);
+}
+
+TEST(BranchAndBoundTest, RequiresBranchingWhenLpIsFractional) {
+  // max x + y s.t. 2x + 2y <= 3 (binary): LP gives 1.5, ILP gives 1.
+  Model m;
+  m.AddBinary(-1.0);
+  m.AddBinary(-1.0);
+  m.AddConstraint({{0, 2.0}, {1, 2.0}}, Sense::kLessEqual, 3.0);
+  IlpResult r = SolveIlp(m);
+  ASSERT_EQ(r.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(r.objective, -1.0, 1e-9);
+}
+
+TEST(BranchAndBoundTest, InfeasibleIlp) {
+  Model m;
+  m.AddBinary(1.0);
+  m.AddBinary(1.0);
+  m.AddConstraint({{0, 1.0}, {1, 1.0}}, Sense::kGreaterEqual, 3.0);
+  EXPECT_EQ(SolveIlp(m).status, SolveStatus::kInfeasible);
+}
+
+TEST(BranchAndBoundTest, GeneralIntegerVariables) {
+  // min -x - 2y, x in [0,3], y in [0,3] integer, x + 3y <= 7 -> x=3,y=1.33->1
+  Model m;
+  m.AddVariable(0, 3, -1.0, /*integer=*/true);
+  m.AddVariable(0, 3, -2.0, /*integer=*/true);
+  m.AddConstraint({{0, 1.0}, {1, 3.0}}, Sense::kLessEqual, 7.0);
+  IlpResult r = SolveIlp(m);
+  ASSERT_EQ(r.status, SolveStatus::kOptimal);
+  bool feasible;
+  EXPECT_NEAR(r.objective, BruteForceIlp(m, &feasible), 1e-9);
+  EXPECT_TRUE(feasible);
+}
+
+TEST(BranchAndBoundTest, MixedIntegerContinuous) {
+  // min -x - y with x binary, y continuous in [0, 0.5], x + y <= 1.2.
+  Model m;
+  m.AddBinary(-1.0);
+  m.AddVariable(0, 0.5, -1.0);
+  m.AddConstraint({{0, 1.0}, {1, 1.0}}, Sense::kLessEqual, 1.2);
+  IlpResult r = SolveIlp(m);
+  ASSERT_EQ(r.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(r.objective, -1.2, 1e-8);  // x = 1, y = 0.2
+}
+
+TEST(BranchAndBoundTest, LazyCutsEnforceHiddenConstraint) {
+  // max x + y (binary). Hidden constraint x + y <= 1 is only revealed
+  // through the lazy callback.
+  Model m;
+  m.AddBinary(-1.0);
+  m.AddBinary(-1.0);
+  IlpOptions options;
+  options.lazy_cuts = [](const std::vector<double>& x) {
+    std::vector<Constraint> cuts;
+    if (x[0] + x[1] > 1.0 + 1e-9) {
+      cuts.push_back({{{0, 1.0}, {1, 1.0}}, Sense::kLessEqual, 1.0});
+    }
+    return cuts;
+  };
+  IlpResult r = SolveIlp(m, options);
+  ASSERT_EQ(r.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(r.objective, -1.0, 1e-9);
+  EXPECT_GE(r.cuts_added, 1);
+}
+
+TEST(BranchAndBoundTest, HeuristicProvidesIncumbent) {
+  Model m;
+  m.AddBinary(-5.0);
+  m.AddBinary(-4.0);
+  m.AddConstraint({{0, 3.0}, {1, 3.0}}, Sense::kLessEqual, 4.0);
+  IlpOptions options;
+  bool heuristic_called = false;
+  options.heuristic =
+      [&](const std::vector<double>&) -> std::optional<std::vector<double>> {
+    heuristic_called = true;
+    return std::vector<double>{1.0, 0.0};
+  };
+  IlpResult r = SolveIlp(m, options);
+  ASSERT_EQ(r.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(r.objective, -5.0, 1e-9);
+  EXPECT_TRUE(heuristic_called);
+}
+
+TEST(BranchAndBoundTest, NodeLimitReturnsIncumbentIfAny) {
+  Model m;
+  for (int j = 0; j < 6; ++j) m.AddBinary(-1.0);
+  Constraint c;
+  for (int j = 0; j < 6; ++j) c.terms.push_back({j, 2.0});
+  c.sense = Sense::kLessEqual;
+  c.rhs = 7.0;
+  m.AddConstraint(std::move(c));
+  IlpOptions options;
+  options.max_nodes = 1;
+  IlpResult r = SolveIlp(m, options);
+  EXPECT_TRUE(r.status == SolveStatus::kNodeLimit ||
+              r.status == SolveStatus::kOptimal);
+}
+
+TEST(BranchAndBoundTest, TimeLimitZeroMeansUnlimited) {
+  Model m;
+  m.AddBinary(-1.0);
+  IlpOptions options;
+  options.time_limit_seconds = 0.0;
+  IlpResult r = SolveIlp(m, options);
+  EXPECT_EQ(r.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(r.objective, -1.0, 1e-9);
+}
+
+TEST(BranchAndBoundTest, ExpiredBudgetStillReportsHonestStatus) {
+  // A budget that expires immediately: the solver must not claim
+  // optimality or infeasibility.
+  Model m;
+  for (int j = 0; j < 10; ++j) m.AddBinary(-1.0);
+  Constraint c;
+  for (int j = 0; j < 10; ++j) c.terms.push_back({j, 2.0});
+  c.sense = Sense::kLessEqual;
+  c.rhs = 9.0;
+  m.AddConstraint(std::move(c));
+  IlpOptions options;
+  options.time_limit_seconds = 1e-9;
+  IlpResult r = SolveIlp(m, options);
+  EXPECT_TRUE(r.status == SolveStatus::kNodeLimit ||
+              r.status == SolveStatus::kIterationLimit);
+}
+
+class IlpRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IlpRandomTest, MatchesExhaustiveSearch) {
+  Rng rng(GetParam());
+  Model m;
+  const int nv = 4 + static_cast<int>(rng.NextUint64(3));  // 4..6 binaries
+  for (int j = 0; j < nv; ++j) {
+    m.AddBinary(std::round((rng.NextDouble() * 10.0 - 5.0) * 2) / 2);
+  }
+  const int nc = 1 + static_cast<int>(rng.NextUint64(4));
+  for (int c = 0; c < nc; ++c) {
+    Constraint con;
+    for (int j = 0; j < nv; ++j) {
+      double coef = std::round(rng.NextDouble() * 6.0 - 3.0);
+      if (coef != 0.0) con.terms.push_back({j, coef});
+    }
+    if (con.terms.empty()) continue;
+    double u = rng.NextDouble();
+    con.sense = u < 0.4 ? Sense::kLessEqual
+                        : (u < 0.8 ? Sense::kGreaterEqual : Sense::kEqual);
+    con.rhs = std::round(rng.NextDouble() * 6.0 - 3.0);
+    m.AddConstraint(std::move(con));
+  }
+  bool feasible;
+  const double expected = BruteForceIlp(m, &feasible);
+  IlpResult r = SolveIlp(m);
+  if (!feasible) {
+    EXPECT_EQ(r.status, SolveStatus::kInfeasible) << "seed " << GetParam();
+  } else {
+    ASSERT_EQ(r.status, SolveStatus::kOptimal) << "seed " << GetParam();
+    EXPECT_NEAR(r.objective, expected, 1e-7) << "seed " << GetParam();
+    EXPECT_TRUE(m.IsFeasible(r.x, 1e-6));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IlpRandomTest,
+                         ::testing::Range<uint64_t>(100, 160));
+
+}  // namespace
+}  // namespace manirank::lp

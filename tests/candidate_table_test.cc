@@ -1,0 +1,138 @@
+#include "core/candidate_table.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace manirank {
+namespace {
+
+CandidateTable SmallTable() {
+  // 6 candidates: Gender in {M, W}, Race in {X, Y, Z}.
+  std::vector<Attribute> attrs = {
+      {"Gender", {"M", "W"}},
+      {"Race", {"X", "Y", "Z"}},
+  };
+  std::vector<std::vector<AttributeValue>> values = {
+      {0, 0}, {0, 1}, {0, 2}, {1, 0}, {1, 1}, {1, 2},
+  };
+  return CandidateTable(std::move(attrs), std::move(values));
+}
+
+TEST(CandidateTableTest, BasicAccessors) {
+  CandidateTable t = SmallTable();
+  EXPECT_EQ(t.num_candidates(), 6);
+  EXPECT_EQ(t.num_attributes(), 2);
+  EXPECT_EQ(t.attribute(0).name, "Gender");
+  EXPECT_EQ(t.attribute(1).domain_size(), 3);
+  EXPECT_EQ(t.value(4, 0), 1);
+  EXPECT_EQ(t.value(4, 1), 1);
+}
+
+TEST(CandidateTableTest, AttributeGroupingPartitionsCandidates) {
+  CandidateTable t = SmallTable();
+  const Grouping& gender = t.attribute_grouping(0);
+  EXPECT_EQ(gender.num_groups(), 2);
+  EXPECT_EQ(gender.group_size(0) + gender.group_size(1), 6);
+  // Every candidate appears in exactly the group its value says.
+  for (CandidateId c = 0; c < 6; ++c) {
+    const int g = gender.group_of[c];
+    EXPECT_EQ(gender.labels[g], t.value(c, 0) == 0 ? "M" : "W");
+  }
+}
+
+TEST(CandidateTableTest, IntersectionHasSixSingletons) {
+  CandidateTable t = SmallTable();
+  const Grouping& inter = t.intersection_grouping();
+  EXPECT_EQ(inter.num_groups(), 6);
+  for (int g = 0; g < 6; ++g) EXPECT_EQ(inter.group_size(g), 1);
+  EXPECT_EQ(t.intersection_cardinality(), 6);
+}
+
+TEST(CandidateTableTest, IntersectionLabels) {
+  CandidateTable t = SmallTable();
+  const Grouping& inter = t.intersection_grouping();
+  const int g = inter.group_of[5];  // candidate 5 = (W, Z)
+  EXPECT_EQ(inter.labels[g], "W x Z");
+}
+
+TEST(CandidateTableTest, EmptyValueCombinationsAreSkipped) {
+  // Only 2 of the 4 possible (A, B) combinations occur.
+  std::vector<Attribute> attrs = {{"A", {"a0", "a1"}}, {"B", {"b0", "b1"}}};
+  std::vector<std::vector<AttributeValue>> values = {{0, 0}, {1, 1}, {0, 0}};
+  CandidateTable t(std::move(attrs), std::move(values));
+  EXPECT_EQ(t.intersection_grouping().num_groups(), 2);
+  EXPECT_EQ(t.intersection_cardinality(), 4);  // domain product, not occupied
+}
+
+TEST(CandidateTableTest, SingleAttributeOmitsIntersectionFromConstraints) {
+  std::vector<Attribute> attrs = {{"A", {"a0", "a1"}}};
+  std::vector<std::vector<AttributeValue>> values = {{0}, {1}, {0}};
+  CandidateTable t(std::move(attrs), std::move(values));
+  EXPECT_EQ(t.constrained_groupings().size(), 1u);
+  // The intersection grouping still exists and equals the attribute's.
+  EXPECT_EQ(t.intersection_grouping().num_groups(),
+            t.attribute_grouping(0).num_groups());
+}
+
+TEST(CandidateTableTest, ConstrainedGroupingsOrder) {
+  CandidateTable t = SmallTable();
+  const auto& cg = t.constrained_groupings();
+  ASSERT_EQ(cg.size(), 3u);
+  EXPECT_EQ(cg[0]->name, "Gender");
+  EXPECT_EQ(cg[1]->name, "Race");
+  EXPECT_EQ(cg[2]->name, "Intersection");
+}
+
+class GroupingPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(GroupingPropertyTest, GroupingsArePartitions) {
+  auto [n, d0, d1] = GetParam();
+  Rng rng(static_cast<uint64_t>(n * 100 + d0 * 10 + d1));
+  CandidateTable t = testing::RandomTable(n, {d0, d1}, &rng);
+  std::vector<const Grouping*> all = t.constrained_groupings();
+  for (const Grouping* g : all) {
+    // Every candidate in exactly one group; member lists consistent.
+    std::set<CandidateId> seen;
+    for (int gi = 0; gi < g->num_groups(); ++gi) {
+      EXPECT_GT(g->group_size(gi), 0) << "empty group materialised";
+      for (CandidateId c : g->members[gi]) {
+        EXPECT_TRUE(seen.insert(c).second) << "candidate in two groups";
+        EXPECT_EQ(g->group_of[c], gi);
+      }
+    }
+    EXPECT_EQ(static_cast<int>(seen.size()), n);
+  }
+}
+
+TEST_P(GroupingPropertyTest, IntersectionRefinesAttributes) {
+  auto [n, d0, d1] = GetParam();
+  Rng rng(static_cast<uint64_t>(n * 77 + d0 + d1));
+  CandidateTable t = testing::RandomTable(n, {d0, d1}, &rng);
+  const Grouping& inter = t.intersection_grouping();
+  // Two candidates in the same intersection group share every attribute
+  // group.
+  for (CandidateId a = 0; a < n; ++a) {
+    for (CandidateId b = a + 1; b < n; ++b) {
+      if (inter.group_of[a] == inter.group_of[b]) {
+        for (int at = 0; at < t.num_attributes(); ++at) {
+          EXPECT_EQ(t.attribute_grouping(at).group_of[a],
+                    t.attribute_grouping(at).group_of[b]);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GroupingPropertyTest,
+                         ::testing::Values(std::tuple{10, 2, 2},
+                                           std::tuple{25, 3, 2},
+                                           std::tuple{40, 5, 3},
+                                           std::tuple{8, 4, 4}));
+
+}  // namespace
+}  // namespace manirank

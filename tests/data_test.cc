@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/distance.h"
+#include "core/fairness_metrics.h"
+#include "data/csrankings_generator.h"
+#include "data/csv.h"
+#include "data/exam_generator.h"
+
+namespace manirank {
+namespace {
+
+TEST(ExamGeneratorTest, ShapeMatchesCaseStudy) {
+  ExamDataset data = GenerateExamDataset();
+  EXPECT_EQ(data.table.num_candidates(), 200);
+  EXPECT_EQ(data.table.num_attributes(), 3);
+  EXPECT_EQ(data.base_rankings.size(), 3u);  // math, reading, writing
+  EXPECT_EQ(data.subjects.size(), 3u);
+  for (const Ranking& r : data.base_rankings) {
+    EXPECT_EQ(r.size(), 200);
+  }
+}
+
+TEST(ExamGeneratorTest, DeterministicInSeed) {
+  ExamDataset a = GenerateExamDataset();
+  ExamDataset b = GenerateExamDataset();
+  for (size_t s = 0; s < 3; ++s) {
+    EXPECT_EQ(a.base_rankings[s], b.base_rankings[s]);
+  }
+  ExamGeneratorOptions other;
+  other.seed = 9;
+  ExamDataset c = GenerateExamDataset(other);
+  EXPECT_NE(a.base_rankings[0], c.base_rankings[0]);
+}
+
+TEST(ExamGeneratorTest, RankingsFollowScores) {
+  ExamDataset data = GenerateExamDataset();
+  for (size_t s = 0; s < 3; ++s) {
+    const Ranking& r = data.base_rankings[s];
+    for (int p = 0; p + 1 < r.size(); ++p) {
+      EXPECT_GE(data.scores[r.At(p)][s], data.scores[r.At(p + 1)][s]);
+    }
+  }
+}
+
+TEST(ExamGeneratorTest, BiasPatternMatchesTableIV) {
+  // The paper's Table IV shape: every base ranking far from parity,
+  // SubLunch group clearly below NoSub, NatHaw lowest among races, men
+  // ahead on reading/writing, women ahead on math.
+  ExamDataset data = GenerateExamDataset();
+  const CandidateTable& t = data.table;
+  const Grouping& gender = t.attribute_grouping(0);
+  const Grouping& race = t.attribute_grouping(1);
+  const Grouping& lunch = t.attribute_grouping(2);
+  auto label_fpr = [](const Grouping& g, const std::vector<double>& fpr,
+                      const std::string& label) {
+    for (int i = 0; i < g.num_groups(); ++i) {
+      if (g.labels[i] == label) return fpr[i];
+    }
+    ADD_FAILURE() << "missing group " << label;
+    return 0.5;
+  };
+  for (size_t s = 0; s < 3; ++s) {
+    const Ranking& r = data.base_rankings[s];
+    std::vector<double> lunch_fpr = GroupFpr(r, lunch);
+    EXPECT_GT(label_fpr(lunch, lunch_fpr, "NoSub"),
+              label_fpr(lunch, lunch_fpr, "SubLunch") + 0.15)
+        << data.subjects[s];
+    std::vector<double> race_fpr = GroupFpr(r, race);
+    const double nathaw = label_fpr(race, race_fpr, "NatHaw");
+    for (const std::string& other : {"Asian", "White", "Black", "AlaskaNat"}) {
+      EXPECT_LT(nathaw, label_fpr(race, race_fpr, other)) << data.subjects[s];
+    }
+  }
+  // Gender flips: women lead math, men lead reading and writing.
+  std::vector<double> math_fpr = GroupFpr(data.base_rankings[0], gender);
+  EXPECT_GT(label_fpr(gender, math_fpr, "Women"),
+            label_fpr(gender, math_fpr, "Men"));
+  for (size_t s : {1u, 2u}) {
+    std::vector<double> fpr = GroupFpr(data.base_rankings[s], gender);
+    EXPECT_GT(label_fpr(gender, fpr, "Men"), label_fpr(gender, fpr, "Women"))
+        << data.subjects[s];
+  }
+}
+
+TEST(ExamGeneratorTest, BaseRankingsViolateParity) {
+  ExamDataset data = GenerateExamDataset();
+  for (const Ranking& r : data.base_rankings) {
+    FairnessReport report = EvaluateFairness(r, data.table);
+    EXPECT_GT(report.MaxParity(), 0.2);  // "ARP >= .2 across all rankings"
+  }
+}
+
+TEST(CsRankingsGeneratorTest, ShapeMatchesAppendix) {
+  CsRankingsDataset data = GenerateCsRankingsDataset();
+  EXPECT_EQ(data.table.num_candidates(), 65);
+  EXPECT_EQ(data.yearly_rankings.size(), 21u);
+  EXPECT_EQ(data.year_labels.front(), "2000");
+  EXPECT_EQ(data.year_labels.back(), "2020");
+}
+
+TEST(CsRankingsGeneratorTest, NortheastAndPrivateBias) {
+  CsRankingsDataset data = GenerateCsRankingsDataset();
+  const Grouping& location = data.table.attribute_grouping(0);
+  const Grouping& type = data.table.attribute_grouping(1);
+  auto label_fpr = [](const Grouping& g, const std::vector<double>& fpr,
+                      const std::string& label) {
+    for (int i = 0; i < g.num_groups(); ++i) {
+      if (g.labels[i] == label) return fpr[i];
+    }
+    return 0.5;
+  };
+  int northeast_top = 0, private_top = 0;
+  for (const Ranking& r : data.yearly_rankings) {
+    std::vector<double> loc_fpr = GroupFpr(r, location);
+    std::vector<double> type_fpr = GroupFpr(r, type);
+    if (label_fpr(location, loc_fpr, "Northeast") >
+        label_fpr(location, loc_fpr, "South") + 0.2) {
+      ++northeast_top;
+    }
+    if (label_fpr(type, type_fpr, "Private") >
+        label_fpr(type, type_fpr, "Public")) {
+      ++private_top;
+    }
+  }
+  // The bias must hold in (almost) every year, as in Table V.
+  EXPECT_GE(northeast_top, 19);
+  EXPECT_GE(private_top, 19);
+}
+
+TEST(CsRankingsGeneratorTest, YearlyRankingsVaryButStayClose) {
+  CsRankingsDataset data = GenerateCsRankingsDataset();
+  int distinct = 0;
+  for (size_t y = 1; y < data.yearly_rankings.size(); ++y) {
+    distinct += (data.yearly_rankings[y] != data.yearly_rankings[0]);
+  }
+  EXPECT_GE(distinct, 18);  // years differ...
+  for (const Ranking& r : data.yearly_rankings) {
+    // ...but each stays recognisably close to the latent modal ranking.
+    EXPECT_LT(NormalizedKendallTau(r, data.modal), 0.25);
+  }
+}
+
+TEST(CsvTest, RankingsRoundTrip) {
+  std::vector<Ranking> rankings = {Ranking({2, 0, 1}), Ranking({1, 2, 0})};
+  std::ostringstream os;
+  WriteRankingsCsv(os, rankings);
+  std::istringstream is(os.str());
+  std::vector<Ranking> parsed = ReadRankingsCsv(is);
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0], rankings[0]);
+  EXPECT_EQ(parsed[1], rankings[1]);
+}
+
+TEST(CsvTest, RejectsNonPermutationRows) {
+  std::istringstream is("0,0,1\n");
+  EXPECT_THROW(ReadRankingsCsv(is), std::runtime_error);
+}
+
+TEST(CsvTest, RejectsRaggedRows) {
+  std::istringstream is("0,1,2\n1,0\n");
+  EXPECT_THROW(ReadRankingsCsv(is), std::runtime_error);
+}
+
+TEST(CsvTest, CandidateTableRoundTrip) {
+  ExamDataset data = GenerateExamDataset({20, 3});
+  std::ostringstream os;
+  WriteCandidateTableCsv(os, data.table);
+  std::istringstream is(os.str());
+  CandidateTable parsed = ReadCandidateTableCsv(is);
+  ASSERT_EQ(parsed.num_candidates(), data.table.num_candidates());
+  ASSERT_EQ(parsed.num_attributes(), data.table.num_attributes());
+  for (CandidateId c = 0; c < parsed.num_candidates(); ++c) {
+    for (int a = 0; a < parsed.num_attributes(); ++a) {
+      EXPECT_EQ(parsed.attribute(a).values[parsed.value(c, a)],
+                data.table.attribute(a).values[data.table.value(c, a)]);
+    }
+  }
+}
+
+TEST(CsvTest, SplitHandlesWhitespaceAndTrailingComma) {
+  std::vector<std::string> cells = SplitCsvLine(" a , b ,");
+  ASSERT_EQ(cells.size(), 3u);
+  EXPECT_EQ(cells[0], "a");
+  EXPECT_EQ(cells[1], "b");
+  EXPECT_EQ(cells[2], "");
+}
+
+}  // namespace
+}  // namespace manirank

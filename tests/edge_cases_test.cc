@@ -1,0 +1,188 @@
+// Edge cases and failure injection across modules: degenerate sizes,
+// unreachable thresholds, extreme parameters, and robustness of the public
+// entry points when inputs sit on boundaries.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "manirank.h"
+#include "test_util.h"
+
+namespace manirank {
+namespace {
+
+TEST(EdgeCaseTest, SingleCandidateEverywhere) {
+  std::vector<Attribute> attrs = {{"A", {"a0", "a1"}}};
+  std::vector<std::vector<AttributeValue>> values = {{0}};
+  CandidateTable t(std::move(attrs), std::move(values));
+  Ranking r = Ranking::Identity(1);
+  // One candidate: no pairs, everything vacuously fair.
+  EXPECT_TRUE(SatisfiesManiRank(r, t, 0.0));
+  EXPECT_DOUBLE_EQ(PdLoss({r, r}, r), 0.0);
+  MakeMrFairResult repaired = MakeMrFair(r, t, {});
+  EXPECT_TRUE(repaired.satisfied);
+  EXPECT_EQ(repaired.swaps, 0);
+}
+
+TEST(EdgeCaseTest, AllCandidatesInOneGroup) {
+  std::vector<Attribute> attrs = {{"A", {"only", "unused"}}};
+  std::vector<std::vector<AttributeValue>> values(10, {0});
+  CandidateTable t(std::move(attrs), std::move(values));
+  Rng rng(1);
+  Ranking r = testing::RandomRanking(10, &rng);
+  // No mixed pairs at all: parity 0, nothing to repair.
+  EXPECT_DOUBLE_EQ(RankParity(r, t.attribute_grouping(0)), 0.0);
+  MakeMrFairOptions options;
+  options.delta = 0.0;
+  MakeMrFairResult repaired = MakeMrFair(r, t, options);
+  EXPECT_TRUE(repaired.satisfied);
+  EXPECT_EQ(repaired.ranking, r);
+}
+
+TEST(EdgeCaseTest, UnreachableThresholdReportsFailureAndImproves) {
+  // Two candidates in different groups: FPRs are always {1, 0}; parity 1.
+  std::vector<Attribute> attrs = {{"A", {"a0", "a1"}}};
+  std::vector<std::vector<AttributeValue>> values = {{0}, {1}};
+  CandidateTable t(std::move(attrs), std::move(values));
+  MakeMrFairOptions options;
+  options.delta = 0.5;
+  MakeMrFairResult repaired = MakeMrFair(Ranking::Identity(2), t, options);
+  EXPECT_FALSE(repaired.satisfied);
+  ASSERT_TRUE(Ranking::IsValidOrder(repaired.ranking.order()));
+}
+
+TEST(EdgeCaseTest, OddMixedPairCountMakesParityZeroUnreachable) {
+  // 15 + 15 split: 225 mixed pairs (odd) -> exact parity impossible; the
+  // stall guard must terminate and return the best configuration.
+  std::vector<Attribute> attrs = {{"A", {"a0", "a1"}}};
+  std::vector<std::vector<AttributeValue>> values(30, std::vector<AttributeValue>(1));
+  for (int c = 15; c < 30; ++c) values[c][0] = 1;
+  CandidateTable t(std::move(attrs), std::move(values));
+  MakeMrFairOptions options;
+  options.delta = 0.0;
+  MakeMrFairResult repaired = MakeMrFair(Ranking::Identity(30), t, options);
+  EXPECT_FALSE(repaired.satisfied);
+  // The best achievable gap is 1/225.
+  EXPECT_LE(RankParity(repaired.ranking, t.attribute_grouping(0)),
+            1.0 / 225.0 + 1e-9);
+}
+
+TEST(EdgeCaseTest, DeltaOneIsAlwaysSatisfiedWithoutSwaps) {
+  Rng rng(2);
+  CandidateTable t = testing::CyclicTable(20, 2, 3);
+  Ranking r = testing::RandomRanking(20, &rng);
+  MakeMrFairOptions options;
+  options.delta = 1.0;
+  MakeMrFairResult repaired = MakeMrFair(r, t, options);
+  EXPECT_TRUE(repaired.satisfied);
+  EXPECT_EQ(repaired.swaps, 0);
+  EXPECT_EQ(repaired.ranking, r);
+}
+
+TEST(EdgeCaseTest, SingleBaseRankingConsensusIsItself) {
+  Rng rng(3);
+  Ranking only = testing::RandomRanking(12, &rng);
+  std::vector<Ranking> base = {only};
+  PrecedenceMatrix w = PrecedenceMatrix::Build(base);
+  KemenyResult kemeny = KemenyAggregate(w);
+  EXPECT_TRUE(kemeny.optimal);
+  EXPECT_EQ(kemeny.ranking, only);
+  EXPECT_EQ(BordaAggregate(base), only);
+  EXPECT_EQ(SchulzeAggregate(w), only);
+  EXPECT_EQ(CopelandAggregate(w), only);
+}
+
+TEST(EdgeCaseTest, TwoOpposedRankings) {
+  // Perfectly split profile: every consensus has the same PD loss of 0.5.
+  Ranking a = Ranking::Identity(8);
+  std::vector<Ranking> base = {a, a.Reversed()};
+  PrecedenceMatrix w = PrecedenceMatrix::Build(base);
+  KemenyResult kemeny = KemenyAggregate(w);
+  EXPECT_DOUBLE_EQ(PdLoss(base, kemeny.ranking), 0.5);
+  EXPECT_DOUBLE_EQ(kemeny.cost, w.LowerBound());
+}
+
+TEST(EdgeCaseTest, MallowsThetaExtremes) {
+  Ranking modal = Ranking::Identity(20);
+  // Enormous theta: every sample equals the modal ranking.
+  MallowsModel spike(modal, 50.0);
+  Rng rng(4);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(spike.Sample(&rng), modal);
+  EXPECT_NEAR(spike.ExpectedKendallTau(), 0.0, 1e-6);
+  // theta = 0 normalizer equals log(n!).
+  MallowsModel uniform(modal, 0.0);
+  double log_fact = 0.0;
+  for (int i = 2; i <= 20; ++i) log_fact += std::log(i);
+  EXPECT_NEAR(uniform.LogNormalizer(), log_fact, 1e-9);
+}
+
+TEST(EdgeCaseTest, ModalDesignerWithEmptyCells) {
+  ModalDesignSpec spec;
+  spec.attributes = {{"A", {"a0", "a1"}}, {"B", {"b0", "b1"}}};
+  spec.cell_counts = {6, 0, 0, 6};  // only the diagonal cells are populated
+  spec.attribute_arp_target = {0.4, 0.4};
+  spec.irp_target = 0.4;
+  spec.tolerance = 0.05;
+  ModalDesignResult design = DesignModalRanking(spec);
+  EXPECT_EQ(design.table.num_candidates(), 12);
+  EXPECT_EQ(design.table.intersection_grouping().num_groups(), 2);
+  // A and B coincide on this population: their parities must agree.
+  EXPECT_NEAR(design.report.parity[0], design.report.parity[1], 1e-12);
+}
+
+TEST(EdgeCaseTest, FairKemenyWithZeroAttributesIsPlainKemeny) {
+  // Table with no attributes at all: no constraints; Fair-Kemeny should
+  // reduce to Kemeny.
+  CandidateTable t({}, std::vector<std::vector<AttributeValue>>(6));
+  Rng rng(5);
+  std::vector<Ranking> base;
+  for (int i = 0; i < 5; ++i) base.push_back(testing::RandomRanking(6, &rng));
+  PrecedenceMatrix w = PrecedenceMatrix::Build(base);
+  FairKemenyResult fair = FairKemenyAggregate(w, t, {});
+  KemenyResult plain = KemenyAggregate(w);
+  ASSERT_TRUE(fair.feasible);
+  EXPECT_DOUBLE_EQ(fair.cost, plain.cost);
+}
+
+TEST(EdgeCaseTest, PrecedenceWithZeroWeightRankings) {
+  std::vector<Ranking> base = {Ranking({0, 1}), Ranking({1, 0})};
+  PrecedenceMatrix w = PrecedenceMatrix::BuildWeighted(base, {0.0, 2.5});
+  EXPECT_DOUBLE_EQ(w.W(1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(w.W(0, 1), 2.5);
+}
+
+TEST(EdgeCaseTest, ExamGeneratorTinyCohort) {
+  ExamGeneratorOptions options;
+  options.num_students = 5;
+  options.seed = 17;
+  ExamDataset data = GenerateExamDataset(options);
+  EXPECT_EQ(data.table.num_candidates(), 5);
+  for (const Ranking& r : data.base_rankings) {
+    EXPECT_TRUE(Ranking::IsValidOrder(r.order()));
+  }
+}
+
+TEST(EdgeCaseTest, KendallTauOnNearSortedInput) {
+  // Adversarial for naive counters: single element displaced end-to-end.
+  const int n = 1000;
+  std::vector<CandidateId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::rotate(order.begin(), order.begin() + 1, order.end());
+  Ranking rotated(std::move(order));
+  EXPECT_EQ(KendallTau(Ranking::Identity(n), rotated), n - 1);
+}
+
+TEST(EdgeCaseTest, TotalAndMixedPairHelpers) {
+  EXPECT_EQ(TotalPairs(0), 0);
+  EXPECT_EQ(TotalPairs(1), 0);
+  EXPECT_EQ(TotalPairs(2), 1);
+  EXPECT_EQ(MixedPairs(0, 10), 0);
+  EXPECT_EQ(MixedPairs(10, 10), 0);
+  EXPECT_EQ(MixedPairs(3, 10), 21);
+}
+
+}  // namespace
+}  // namespace manirank

@@ -1,0 +1,231 @@
+#include "core/extra_aggregators.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "core/aggregators.h"
+#include "core/kemeny.h"
+#include "mallows/mallows.h"
+#include "test_util.h"
+#include "util/hungarian.h"
+#include "util/rng.h"
+
+namespace manirank {
+namespace {
+
+TEST(HungarianTest, IdentityCostMatrix) {
+  std::vector<std::vector<int64_t>> cost = {
+      {0, 5, 5}, {5, 0, 5}, {5, 5, 0}};
+  int64_t total;
+  std::vector<int> assignment = MinCostAssignment(cost, &total);
+  EXPECT_EQ(total, 0);
+  EXPECT_EQ(assignment, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(HungarianTest, ForcedPermutation) {
+  // Cheap entries form the permutation (0->2, 1->0, 2->1).
+  std::vector<std::vector<int64_t>> cost = {
+      {9, 9, 1}, {1, 9, 9}, {9, 1, 9}};
+  int64_t total;
+  std::vector<int> assignment = MinCostAssignment(cost, &total);
+  EXPECT_EQ(total, 3);
+  EXPECT_EQ(assignment, (std::vector<int>{2, 0, 1}));
+}
+
+TEST(HungarianTest, EmptyMatrix) {
+  int64_t total = -1;
+  EXPECT_TRUE(MinCostAssignment({}, &total).empty());
+  EXPECT_EQ(total, 0);
+}
+
+TEST(HungarianTest, MatchesBruteForceOnRandomMatrices) {
+  Rng rng(1);
+  for (int trial = 0; trial < 40; ++trial) {
+    const int n = 2 + static_cast<int>(rng.NextUint64(5));  // 2..6
+    std::vector<std::vector<int64_t>> cost(n, std::vector<int64_t>(n));
+    for (auto& row : cost) {
+      for (auto& cell : row) cell = static_cast<int64_t>(rng.NextUint64(50));
+    }
+    int64_t total;
+    std::vector<int> assignment = MinCostAssignment(cost, &total);
+    // Assignment must be a permutation.
+    std::vector<int> sorted = assignment;
+    std::sort(sorted.begin(), sorted.end());
+    for (int i = 0; i < n; ++i) ASSERT_EQ(sorted[i], i);
+    // Compare with exhaustive search.
+    std::vector<int> perm(n);
+    std::iota(perm.begin(), perm.end(), 0);
+    int64_t best = std::numeric_limits<int64_t>::max();
+    do {
+      int64_t c = 0;
+      for (int i = 0; i < n; ++i) c += cost[i][perm[i]];
+      best = std::min(best, c);
+    } while (std::next_permutation(perm.begin(), perm.end()));
+    EXPECT_EQ(total, best) << "trial " << trial;
+  }
+}
+
+TEST(FootruleTest, UnanimousProfile) {
+  Ranking shared({2, 0, 3, 1});
+  std::vector<Ranking> base(3, shared);
+  EXPECT_EQ(FootruleAggregate(base), shared);
+  EXPECT_EQ(FootruleCost(base, shared), 0);
+}
+
+TEST(FootruleTest, MinimisesFootruleCostExactly) {
+  Rng rng(3);
+  for (int trial = 0; trial < 15; ++trial) {
+    const int n = 3 + static_cast<int>(rng.NextUint64(4));  // 3..6
+    std::vector<Ranking> base;
+    for (int i = 0; i < 5; ++i) base.push_back(testing::RandomRanking(n, &rng));
+    Ranking result = FootruleAggregate(base);
+    const int64_t result_cost = FootruleCost(base, result);
+    // Exhaustive check.
+    std::vector<CandidateId> perm(n);
+    std::iota(perm.begin(), perm.end(), 0);
+    int64_t best = std::numeric_limits<int64_t>::max();
+    do {
+      best = std::min(best,
+                      FootruleCost(base, Ranking{std::vector<CandidateId>(perm)}));
+    } while (std::next_permutation(perm.begin(), perm.end()));
+    EXPECT_EQ(result_cost, best) << "trial " << trial;
+  }
+}
+
+TEST(FootruleTest, TwoApproximationOfKemeny) {
+  // Diaconis–Graham: KT <= footrule <= 2 KT, so the footrule optimum has
+  // Kemeny cost at most 2x the Kemeny optimum.
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int n = 6;
+    std::vector<Ranking> base;
+    for (int i = 0; i < 7; ++i) base.push_back(testing::RandomRanking(n, &rng));
+    PrecedenceMatrix w = PrecedenceMatrix::Build(base);
+    KemenyResult kemeny = BruteForceKemeny(w);
+    const double footrule_kemeny_cost =
+        w.KemenyCost(FootruleAggregate(base));
+    EXPECT_LE(footrule_kemeny_cost, 2.0 * kemeny.cost + 1e-9);
+  }
+}
+
+TEST(MedianRankTest, UnanimousProfile) {
+  Ranking shared({1, 3, 0, 2});
+  std::vector<Ranking> base(4, shared);
+  EXPECT_EQ(MedianRankAggregate(base), shared);
+}
+
+TEST(MedianRankTest, OutlierRobustness) {
+  // 4 agreeing rankings + 1 reversed outlier: median ignores the outlier.
+  Ranking shared = Ranking::Identity(7);
+  std::vector<Ranking> base(4, shared);
+  base.push_back(shared.Reversed());
+  EXPECT_EQ(MedianRankAggregate(base), shared);
+}
+
+TEST(Mc4Test, StationaryDistributionIsProbability) {
+  Rng rng(7);
+  std::vector<Ranking> base;
+  for (int i = 0; i < 9; ++i) base.push_back(testing::RandomRanking(8, &rng));
+  PrecedenceMatrix w = PrecedenceMatrix::Build(base);
+  std::vector<double> pi = Mc4StationaryDistribution(w);
+  double sum = 0.0;
+  for (double p : pi) {
+    EXPECT_GE(p, 0.0);
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Mc4Test, CondorcetWinnerGetsTopMass) {
+  // Candidate 2 beats everyone in a strict majority of rankings.
+  std::vector<Ranking> base = {Ranking({2, 0, 1, 3}), Ranking({2, 1, 3, 0}),
+                               Ranking({2, 3, 0, 1}), Ranking({0, 1, 2, 3})};
+  PrecedenceMatrix w = PrecedenceMatrix::Build(base);
+  EXPECT_EQ(Mc4Aggregate(w).At(0), 2);
+}
+
+TEST(Mc4Test, UnanimousProfileOrdersByDominance) {
+  Ranking shared({3, 1, 0, 2});
+  std::vector<Ranking> base(5, shared);
+  PrecedenceMatrix w = PrecedenceMatrix::Build(base);
+  EXPECT_EQ(Mc4Aggregate(w), shared);
+}
+
+TEST(RankedPairsTest, UnanimousProfile) {
+  Ranking shared({4, 2, 0, 3, 1});
+  std::vector<Ranking> base(3, shared);
+  PrecedenceMatrix w = PrecedenceMatrix::Build(base);
+  EXPECT_EQ(RankedPairsAggregate(w), shared);
+}
+
+TEST(RankedPairsTest, CondorcetWinnerAndLoser) {
+  Rng rng(11);
+  std::vector<Ranking> base;
+  const int n = 6;
+  for (int i = 0; i < 9; ++i) {
+    Ranking r = testing::RandomRanking(n, &rng);
+    // Plant winner 5 on top and loser 0 at bottom in 2/3 of ballots.
+    if (i % 3 != 0) {
+      r.SwapPositions(0, r.PositionOf(5));
+      r.SwapPositions(n - 1, r.PositionOf(0));
+    }
+    base.push_back(r);
+  }
+  PrecedenceMatrix w = PrecedenceMatrix::Build(base);
+  Ranking result = RankedPairsAggregate(w);
+  EXPECT_EQ(result.At(0), 5);
+  EXPECT_EQ(result.At(n - 1), 0);
+}
+
+TEST(RankedPairsTest, ResolvesMajorityCycle) {
+  // 0 > 1 (2 votes), 1 > 2 (2 votes), 2 > 0 (2 votes) with different
+  // margins: the weakest edge is dropped.
+  std::vector<Ranking> base = {Ranking({0, 1, 2}), Ranking({0, 1, 2}),
+                               Ranking({1, 2, 0}), Ranking({2, 0, 1}),
+                               Ranking({1, 2, 0})};
+  PrecedenceMatrix w = PrecedenceMatrix::Build(base);
+  Ranking result = RankedPairsAggregate(w);
+  ASSERT_EQ(result.size(), 3);
+  EXPECT_TRUE(Ranking::IsValidOrder(result.order()));
+  // 1>2 margin 3-2=1; 0>1 margin 3-2=1; 2>0 margin 3-2=1 — all tie at 1;
+  // deterministic tie-break locks (0,1) then (1,2), drops (2,0).
+  EXPECT_TRUE(result.Prefers(0, 1));
+  EXPECT_TRUE(result.Prefers(1, 2));
+}
+
+class ExtraAggregatorPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ExtraAggregatorPropertyTest, AllReturnValidPermutations) {
+  Rng rng(GetParam());
+  const int n = 5 + static_cast<int>(rng.NextUint64(15));
+  std::vector<Ranking> base;
+  for (int i = 0; i < 7; ++i) base.push_back(testing::RandomRanking(n, &rng));
+  PrecedenceMatrix w = PrecedenceMatrix::Build(base);
+  for (const Ranking& r :
+       {FootruleAggregate(base), MedianRankAggregate(base), Mc4Aggregate(w),
+        RankedPairsAggregate(w)}) {
+    ASSERT_EQ(r.size(), n);
+    ASSERT_TRUE(Ranking::IsValidOrder(r.order()));
+  }
+}
+
+TEST_P(ExtraAggregatorPropertyTest, ConcentratedMallowsRecoversModal) {
+  Rng rng(GetParam() + 100);
+  Ranking modal = testing::RandomRanking(12, &rng);
+  MallowsModel model(modal, 2.0);
+  std::vector<Ranking> base = model.SampleMany(151, GetParam());
+  PrecedenceMatrix w = PrecedenceMatrix::Build(base);
+  EXPECT_EQ(RankedPairsAggregate(w), modal);
+  EXPECT_EQ(Mc4Aggregate(w), modal);
+  EXPECT_EQ(FootruleAggregate(base), modal);
+  EXPECT_EQ(MedianRankAggregate(base), modal);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExtraAggregatorPropertyTest,
+                         ::testing::Range<uint64_t>(600, 610));
+
+}  // namespace
+}  // namespace manirank

@@ -1,0 +1,197 @@
+// Tests for the paper's §II-B "Customizing Group Fairness" extensions:
+// subset-of-attribute intersections and extra criteria threaded through
+// Make-MR-Fair and Fair-Kemeny.
+
+#include <gtest/gtest.h>
+
+#include "core/fair_kemeny.h"
+#include "core/fairness_metrics.h"
+#include "core/make_mr_fair.h"
+#include "mallows/modal_designer.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace manirank {
+namespace {
+
+/// Three binary attributes, 2 candidates per cell -> 16 candidates.
+CandidateTable ThreeAttributeTable() {
+  std::vector<Attribute> attrs = {
+      {"A", {"a0", "a1"}}, {"B", {"b0", "b1"}}, {"C", {"c0", "c1"}}};
+  std::vector<std::vector<AttributeValue>> values;
+  for (AttributeValue a = 0; a < 2; ++a) {
+    for (AttributeValue b = 0; b < 2; ++b) {
+      for (AttributeValue c = 0; c < 2; ++c) {
+        values.push_back({a, b, c});
+        values.push_back({a, b, c});
+      }
+    }
+  }
+  return CandidateTable(std::move(attrs), std::move(values));
+}
+
+TEST(SubsetIntersectionTest, BuildsPairwiseSubsets) {
+  CandidateTable t = ThreeAttributeTable();
+  Grouping ab = t.BuildSubsetIntersection({0, 1});
+  EXPECT_EQ(ab.num_groups(), 4);
+  EXPECT_EQ(ab.name, "Intersection(A, B)");
+  for (int g = 0; g < ab.num_groups(); ++g) EXPECT_EQ(ab.group_size(g), 4);
+  // Consistency: same (A, B) values iff same subset group.
+  for (CandidateId x = 0; x < t.num_candidates(); ++x) {
+    for (CandidateId y = 0; y < t.num_candidates(); ++y) {
+      const bool same_values =
+          t.value(x, 0) == t.value(y, 0) && t.value(x, 1) == t.value(y, 1);
+      EXPECT_EQ(ab.group_of[x] == ab.group_of[y], same_values);
+    }
+  }
+}
+
+TEST(SubsetIntersectionTest, SingleAttributeSubsetEqualsAttributeGrouping) {
+  CandidateTable t = ThreeAttributeTable();
+  Grouping sub = t.BuildSubsetIntersection({2});
+  const Grouping& attr = t.attribute_grouping(2);
+  ASSERT_EQ(sub.num_groups(), attr.num_groups());
+  Rng rng(1);
+  Ranking r = testing::RandomRanking(t.num_candidates(), &rng);
+  EXPECT_DOUBLE_EQ(RankParity(r, sub), RankParity(r, attr));
+}
+
+TEST(SubsetIntersectionTest, FullSubsetEqualsIntersectionGrouping) {
+  CandidateTable t = ThreeAttributeTable();
+  Grouping sub = t.BuildSubsetIntersection({0, 1, 2});
+  Rng rng(2);
+  Ranking r = testing::RandomRanking(t.num_candidates(), &rng);
+  EXPECT_DOUBLE_EQ(RankParity(r, sub),
+                   RankParity(r, t.intersection_grouping()));
+}
+
+TEST(CriteriaTest, ManiRankCriteriaMatchDefinition7) {
+  CandidateTable t = ThreeAttributeTable();
+  std::vector<FairnessCriterion> criteria = ManiRankCriteria(t, 0.1);
+  ASSERT_EQ(criteria.size(), 4u);  // 3 attributes + intersection
+  Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    Ranking r = testing::RandomRanking(t.num_candidates(), &rng);
+    EXPECT_EQ(SatisfiesCriteria(r, criteria), SatisfiesManiRank(r, t, 0.1));
+  }
+}
+
+TEST(CriteriaTest, MakeMrFairEnforcesSubsetCriterion) {
+  CandidateTable t = ThreeAttributeTable();
+  Grouping ab = t.BuildSubsetIntersection({0, 1});
+  Rng rng(4);
+  Ranking start = testing::RandomRanking(t.num_candidates(), &rng);
+
+  MakeMrFairOptions options;
+  options.delta = 0.15;
+  options.extra_criteria = {{&ab, 0.1}};
+  MakeMrFairResult result = MakeMrFair(start, t, options);
+  ASSERT_TRUE(result.satisfied);
+  EXPECT_TRUE(SatisfiesManiRank(result.ranking, t, 0.15));
+  EXPECT_LE(RankParity(result.ranking, ab), 0.1 + 1e-9);
+}
+
+TEST(CriteriaTest, SubsetCriterionIsNotImpliedByStandardSet) {
+  // Find a repaired ranking that satisfies the standard MANI-Rank criteria
+  // at Delta = 0.2 but violates a tight A x B subset criterion at 0.05 —
+  // evidence that the paper's note "it must be constrained explicitly"
+  // holds for subset intersections too.
+  CandidateTable t = ThreeAttributeTable();
+  Grouping ab = t.BuildSubsetIntersection({0, 1});
+  Rng rng(5);
+  bool found_violation = false;
+  for (int trial = 0; trial < 50 && !found_violation; ++trial) {
+    Ranking start = testing::RandomRanking(t.num_candidates(), &rng);
+    MakeMrFairOptions options;
+    options.delta = 0.2;
+    MakeMrFairResult result = MakeMrFair(start, t, options);
+    if (result.satisfied && RankParity(result.ranking, ab) > 0.05 + 1e-9) {
+      found_violation = true;
+    }
+  }
+  EXPECT_TRUE(found_violation);
+}
+
+/// Brute-force constrained Kemeny optimum over explicit criteria; n <= 8.
+double BruteForceCriteriaKemeny(const PrecedenceMatrix& w,
+                                const std::vector<FairnessCriterion>& criteria,
+                                bool* feasible) {
+  const int n = w.size();
+  std::vector<CandidateId> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  double best = std::numeric_limits<double>::infinity();
+  *feasible = false;
+  do {
+    Ranking r{std::vector<CandidateId>(perm)};
+    if (!SatisfiesCriteria(r, criteria)) continue;
+    *feasible = true;
+    best = std::min(best, w.KemenyCost(r));
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return best;
+}
+
+TEST(CriteriaTest, FairKemenyEnforcesSubsetCriterion) {
+  // Three binary attributes over 8 candidates; the full (singleton-cell)
+  // intersection is unconstrained — only the attributes and the A x B
+  // subset intersection carry thresholds. The ILP must match the filtered
+  // brute-force optimum.
+  std::vector<Attribute> attrs = {
+      {"A", {"a0", "a1"}}, {"B", {"b0", "b1"}}, {"C", {"c0", "c1"}}};
+  std::vector<std::vector<AttributeValue>> values = {
+      {0, 0, 0}, {0, 0, 1}, {0, 1, 0}, {0, 1, 1},
+      {1, 0, 0}, {1, 0, 1}, {1, 1, 0}, {1, 1, 1},
+  };
+  CandidateTable t(std::move(attrs), std::move(values));
+  Grouping ab = t.BuildSubsetIntersection({0, 1});
+
+  Rng rng(6);
+  std::vector<Ranking> base;
+  for (int i = 0; i < 5; ++i) base.push_back(testing::RandomRanking(8, &rng));
+  PrecedenceMatrix w = PrecedenceMatrix::Build(base);
+
+  FairKemenyOptions options;
+  options.delta = 0.4;
+  options.constrain_intersection = false;  // singleton cells: IRP is fixed
+  options.extra_criteria = {{&ab, 0.3}};
+  options.time_limit_seconds = 60.0;
+  FairKemenyResult result = FairKemenyAggregate(w, t, options);
+
+  std::vector<FairnessCriterion> criteria = {{&t.attribute_grouping(0), 0.4},
+                                             {&t.attribute_grouping(1), 0.4},
+                                             {&t.attribute_grouping(2), 0.4},
+                                             {&ab, 0.3}};
+  bool feasible;
+  const double expected = BruteForceCriteriaKemeny(w, criteria, &feasible);
+  ASSERT_EQ(result.feasible, feasible);
+  if (feasible) {
+    EXPECT_NEAR(result.cost, expected, 1e-7);
+    EXPECT_LE(RankParity(result.ranking, ab), 0.3 + 1e-9);
+    EXPECT_TRUE(SatisfiesCriteria(result.ranking, criteria));
+  }
+}
+
+TEST(CriteriaTest, ExtraCriteriaRespectMainCost) {
+  // Adding a redundant criterion (threshold 1.0) must not change the
+  // Fair-Kemeny optimum.
+  CandidateTable t = testing::CyclicTable(8, 2, 2);
+  Grouping ab = t.BuildSubsetIntersection({0, 1});
+  Rng rng(7);
+  std::vector<Ranking> base;
+  for (int i = 0; i < 5; ++i) base.push_back(testing::RandomRanking(8, &rng));
+  PrecedenceMatrix w = PrecedenceMatrix::Build(base);
+
+  FairKemenyOptions plain;
+  plain.delta = 0.3;
+  FairKemenyResult without = FairKemenyAggregate(w, t, plain);
+
+  FairKemenyOptions with = plain;
+  with.extra_criteria = {{&ab, 1.0}};
+  FairKemenyResult with_redundant = FairKemenyAggregate(w, t, with);
+
+  ASSERT_TRUE(without.feasible);
+  ASSERT_TRUE(with_redundant.feasible);
+  EXPECT_DOUBLE_EQ(without.cost, with_redundant.cost);
+}
+
+}  // namespace
+}  // namespace manirank

@@ -1,0 +1,249 @@
+#include "core/fairness_metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace manirank {
+namespace {
+
+/// O(n^2) FPR reference: count favored mixed pairs directly from the
+/// definition (Definition 4).
+std::vector<double> FprBruteForce(const Ranking& r, const Grouping& g) {
+  const int n = r.size();
+  std::vector<double> fpr(g.num_groups(), 0.5);
+  for (int gi = 0; gi < g.num_groups(); ++gi) {
+    int64_t favored = 0;
+    for (CandidateId a : g.members[gi]) {
+      for (CandidateId b = 0; b < n; ++b) {
+        if (g.group_of[b] != gi && r.Prefers(a, b)) ++favored;
+      }
+    }
+    const int64_t denom = MixedPairs(g.group_size(gi), n);
+    if (denom > 0) fpr[gi] = static_cast<double>(favored) / denom;
+  }
+  return fpr;
+}
+
+CandidateTable BinaryTable(int n) {
+  // Candidates 0..n/2-1 in group "a0", the rest in "a1".
+  std::vector<Attribute> attrs = {{"G", {"a0", "a1"}}};
+  std::vector<std::vector<AttributeValue>> values(n, std::vector<AttributeValue>(1));
+  for (int c = 0; c < n; ++c) values[c][0] = c < n / 2 ? 0 : 1;
+  return CandidateTable(std::move(attrs), std::move(values));
+}
+
+TEST(FprTest, GroupAtTopHasFprOne) {
+  CandidateTable t = BinaryTable(8);  // group 0 = candidates 0..3
+  Ranking r = Ranking::Identity(8);   // group 0 occupies the top half
+  std::vector<double> fpr = GroupFpr(r, t.attribute_grouping(0));
+  EXPECT_DOUBLE_EQ(fpr[0], 1.0);
+  EXPECT_DOUBLE_EQ(fpr[1], 0.0);
+}
+
+TEST(FprTest, GroupAtBottomHasFprZero) {
+  CandidateTable t = BinaryTable(8);
+  Ranking r = Ranking::Identity(8).Reversed();
+  std::vector<double> fpr = GroupFpr(r, t.attribute_grouping(0));
+  EXPECT_DOUBLE_EQ(fpr[0], 0.0);
+  EXPECT_DOUBLE_EQ(fpr[1], 1.0);
+}
+
+TEST(FprTest, PerfectlyInterleavedIsNearHalf) {
+  // Alternating groups: 0,4,1,5,2,6,3,7 -> FPR close to 0.5 each.
+  CandidateTable t = BinaryTable(8);
+  Ranking r({0, 4, 1, 5, 2, 6, 3, 7});
+  std::vector<double> fpr = GroupFpr(r, t.attribute_grouping(0));
+  EXPECT_NEAR(fpr[0], 0.5, 0.2);
+  EXPECT_NEAR(fpr[1], 0.5, 0.2);
+  EXPECT_NEAR(fpr[0] + fpr[1], 1.0, 1e-12);  // binary complement
+}
+
+TEST(FprTest, BinaryGroupsAreComplementary) {
+  // For two groups, every mixed pair favors exactly one of them and the
+  // denominators coincide, so FPR_0 + FPR_1 == 1.
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    CandidateTable t = BinaryTable(10);
+    Ranking r = testing::RandomRanking(10, &rng);
+    std::vector<double> fpr = GroupFpr(r, t.attribute_grouping(0));
+    EXPECT_NEAR(fpr[0] + fpr[1], 1.0, 1e-12);
+  }
+}
+
+TEST(FprTest, SingleGroupIsVacuouslyFair) {
+  std::vector<Attribute> attrs = {{"G", {"only"}}};
+  std::vector<std::vector<AttributeValue>> values(5, {0});
+  CandidateTable t(std::move(attrs), std::move(values));
+  Ranking r = Ranking::Identity(5);
+  std::vector<double> fpr = GroupFpr(r, t.attribute_grouping(0));
+  ASSERT_EQ(fpr.size(), 1u);
+  EXPECT_DOUBLE_EQ(fpr[0], 0.5);
+  EXPECT_DOUBLE_EQ(RankParity(r, t.attribute_grouping(0)), 0.0);
+}
+
+TEST(ArpTest, ExtremesReachOne) {
+  CandidateTable t = BinaryTable(6);
+  EXPECT_DOUBLE_EQ(RankParity(Ranking::Identity(6), t.attribute_grouping(0)),
+                   1.0);
+}
+
+TEST(ArpTest, MatchesMaxPairwiseGap) {
+  Rng rng(11);
+  CandidateTable t = testing::CyclicTable(24, 3, 2);
+  Ranking r = testing::RandomRanking(24, &rng);
+  const Grouping& g = t.attribute_grouping(0);
+  std::vector<double> fpr = GroupFpr(r, g);
+  double max_gap = 0.0;
+  for (size_t i = 0; i < fpr.size(); ++i) {
+    for (size_t j = i + 1; j < fpr.size(); ++j) {
+      max_gap = std::max(max_gap, std::abs(fpr[i] - fpr[j]));
+    }
+  }
+  EXPECT_DOUBLE_EQ(RankParity(r, g), max_gap);
+}
+
+TEST(ManiRankTest, UniformThresholds) {
+  ManiRankThresholds t = ManiRankThresholds::Uniform(3, 0.1);
+  EXPECT_EQ(t.attribute_delta.size(), 3u);
+  EXPECT_DOUBLE_EQ(t.attribute_delta[1], 0.1);
+  EXPECT_DOUBLE_EQ(t.intersection_delta, 0.1);
+}
+
+TEST(ManiRankTest, SatisfiedAtDeltaOneAlways) {
+  Rng rng(7);
+  CandidateTable t = testing::CyclicTable(20, 2, 3);
+  Ranking r = testing::RandomRanking(20, &rng);
+  EXPECT_TRUE(SatisfiesManiRank(r, t, 1.0));
+}
+
+TEST(ManiRankTest, ViolatedByFullySegregatedRanking) {
+  CandidateTable t = BinaryTable(10);
+  EXPECT_FALSE(SatisfiesManiRank(Ranking::Identity(10), t, 0.5));
+}
+
+TEST(ManiRankTest, PerAttributeThresholds) {
+  CandidateTable t = testing::CyclicTable(12, 2, 2);
+  Ranking r = Ranking::Identity(12);
+  FairnessReport report = EvaluateFairness(r, t);
+  // Pick thresholds exactly at the observed parities: satisfied.
+  ManiRankThresholds exact;
+  exact.attribute_delta = {report.parity[0], report.parity[1]};
+  exact.intersection_delta = report.parity[2];
+  EXPECT_TRUE(SatisfiesManiRank(r, t, exact));
+  // Tighten one attribute below its parity: violated (if parity > 0).
+  if (report.parity[0] > 0.01) {
+    exact.attribute_delta[0] = report.parity[0] - 0.01;
+    EXPECT_FALSE(SatisfiesManiRank(r, t, exact));
+  }
+}
+
+TEST(FairnessReportTest, ConvenienceAccessorsAgree) {
+  Rng rng(13);
+  CandidateTable t = testing::CyclicTable(18, 3, 3);
+  Ranking r = testing::RandomRanking(18, &rng);
+  FairnessReport report = EvaluateFairness(r, t);
+  ASSERT_EQ(report.parity.size(), 3u);
+  EXPECT_DOUBLE_EQ(report.parity[0], AttributeRankParity(r, t, 0));
+  EXPECT_DOUBLE_EQ(report.parity[1], AttributeRankParity(r, t, 1));
+  EXPECT_DOUBLE_EQ(report.parity[2], IntersectionRankParity(r, t));
+  EXPECT_DOUBLE_EQ(report.MaxParity(),
+                   std::max({report.parity[0], report.parity[1],
+                             report.parity[2]}));
+}
+
+struct FprPropertyParam {
+  int n;
+  int d0, d1;
+  uint64_t seed;
+};
+
+class FprPropertyTest : public ::testing::TestWithParam<FprPropertyParam> {};
+
+TEST_P(FprPropertyTest, FastPassMatchesBruteForce) {
+  const auto& p = GetParam();
+  Rng rng(p.seed);
+  CandidateTable t = testing::RandomTable(p.n, {p.d0, p.d1}, &rng);
+  for (int trial = 0; trial < 10; ++trial) {
+    Ranking r = testing::RandomRanking(p.n, &rng);
+    for (const Grouping* g : t.constrained_groupings()) {
+      std::vector<double> fast = GroupFpr(r, *g);
+      std::vector<double> slow = FprBruteForce(r, *g);
+      ASSERT_EQ(fast.size(), slow.size());
+      for (size_t i = 0; i < fast.size(); ++i) {
+        ASSERT_NEAR(fast[i], slow[i], 1e-12);
+      }
+    }
+  }
+}
+
+TEST_P(FprPropertyTest, FprWithinUnitInterval) {
+  const auto& p = GetParam();
+  Rng rng(p.seed + 1);
+  CandidateTable t = testing::RandomTable(p.n, {p.d0, p.d1}, &rng);
+  for (int trial = 0; trial < 10; ++trial) {
+    Ranking r = testing::RandomRanking(p.n, &rng);
+    for (const Grouping* g : t.constrained_groupings()) {
+      for (double f : GroupFpr(r, *g)) {
+        ASSERT_GE(f, 0.0);
+        ASSERT_LE(f, 1.0);
+      }
+    }
+  }
+}
+
+TEST_P(FprPropertyTest, FavoredPairsSumToMixedPairCount) {
+  // Every mixed pair is favored for exactly one of its two groups, so the
+  // favored counts of a grouping sum to its total number of mixed pairs.
+  const auto& p = GetParam();
+  Rng rng(p.seed + 2);
+  CandidateTable t = testing::RandomTable(p.n, {p.d0, p.d1}, &rng);
+  Ranking r = testing::RandomRanking(p.n, &rng);
+  for (const Grouping* g : t.constrained_groupings()) {
+    std::vector<int64_t> favored = GroupFavoredPairs(r, *g);
+    int64_t total_favored = std::accumulate(favored.begin(), favored.end(),
+                                            static_cast<int64_t>(0));
+    // Total mixed pairs: all pairs minus the same-group pairs.
+    int64_t same_group = 0;
+    for (int gi = 0; gi < g->num_groups(); ++gi) {
+      same_group += TotalPairs(g->group_size(gi));
+    }
+    EXPECT_EQ(total_favored, TotalPairs(p.n) - same_group) << g->name;
+  }
+}
+
+TEST_P(FprPropertyTest, ReversalMirrorsFprAroundHalf) {
+  // Reversing the ranking swaps winners and losers of every mixed pair:
+  // FPR_rev = 1 - FPR (for groups with at least one mixed pair).
+  const auto& p = GetParam();
+  Rng rng(p.seed + 3);
+  CandidateTable t = testing::RandomTable(p.n, {p.d0, p.d1}, &rng);
+  Ranking r = testing::RandomRanking(p.n, &rng);
+  Ranking rev = r.Reversed();
+  for (const Grouping* g : t.constrained_groupings()) {
+    std::vector<double> fpr = GroupFpr(r, *g);
+    std::vector<double> fpr_rev = GroupFpr(rev, *g);
+    for (size_t i = 0; i < fpr.size(); ++i) {
+      if (g->group_size(static_cast<int>(i)) < p.n) {
+        ASSERT_NEAR(fpr_rev[i], 1.0 - fpr[i], 1e-12);
+      }
+    }
+    // Parity is invariant under reversal.
+    ASSERT_NEAR(RankParityFromFpr(fpr), RankParityFromFpr(fpr_rev), 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, FprPropertyTest,
+    ::testing::Values(FprPropertyParam{6, 2, 2, 100},
+                      FprPropertyParam{15, 3, 2, 200},
+                      FprPropertyParam{30, 5, 3, 300},
+                      FprPropertyParam{45, 5, 3, 400},
+                      FprPropertyParam{12, 4, 3, 500}));
+
+}  // namespace
+}  // namespace manirank

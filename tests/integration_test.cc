@@ -1,0 +1,174 @@
+// End-to-end scenarios mirroring the paper's experimental pipeline at
+// test-friendly scale: dataset -> base rankings -> consensus methods ->
+// fairness + preference metrics.
+
+#include <gtest/gtest.h>
+
+#include "manirank.h"
+#include "test_util.h"
+
+namespace manirank {
+namespace {
+
+TEST(IntegrationTest, MiniFigure4Pipeline) {
+  // Small Low-Fair-style dataset; verify the Fig. 4 qualitative result:
+  // all MFCR methods satisfy Delta, Kemeny does not, Fair-Kemeny has the
+  // lowest PD loss among the fair methods.
+  ModalDesignSpec spec;
+  spec.attributes = {{"Race", {"r0", "r1"}}, {"Gender", {"g0", "g1"}}};
+  spec.cell_counts = {3, 3, 3, 3};  // n = 12: exactly solvable by the ILP
+  spec.attribute_arp_target = {0.7, 0.7};
+  spec.irp_target = 0.9;
+  spec.tolerance = 0.05;
+  ModalDesignResult design = DesignModalRanking(spec);
+  ASSERT_TRUE(design.converged);
+
+  MallowsModel model(design.modal, /*theta=*/0.6);
+  std::vector<Ranking> base = model.SampleMany(40, /*seed=*/5);
+  ConsensusInput input;
+  input.base_rankings = &base;
+  input.table = &design.table;
+  input.delta = 0.1;
+  input.time_limit_seconds = 60.0;
+
+  ConsensusOutput kemeny = FindMethod("B1")->run(input);
+  EXPECT_FALSE(SatisfiesManiRank(kemeny.consensus, design.table, 0.1))
+      << "a Low-Fair profile should yield an unfair Kemeny consensus";
+
+  double fair_kemeny_loss = -1.0;
+  for (const char* id : {"A1", "A2", "A3", "A4"}) {
+    ConsensusOutput out = FindMethod(id)->run(input);
+    EXPECT_TRUE(out.satisfied) << id;
+    EXPECT_TRUE(SatisfiesManiRank(out.consensus, design.table, 0.1)) << id;
+    const double loss = PdLoss(base, out.consensus);
+    if (std::string(id) == "A1") {
+      fair_kemeny_loss = loss;
+    } else {
+      EXPECT_GE(loss, fair_kemeny_loss - 1e-9) << id;
+    }
+    // Price of fairness is non-negative against the Kemeny consensus.
+    EXPECT_GE(PriceOfFairness(base, out.consensus, kemeny.consensus), -1e-9);
+  }
+}
+
+TEST(IntegrationTest, DeltaSweepPriceOfFairnessDecreases) {
+  // Fig. 5 (right): PoF shrinks as Delta loosens.
+  ModalDesignSpec spec;
+  spec.attributes = {{"A", {"a0", "a1"}}, {"B", {"b0", "b1"}}};
+  spec.cell_counts = {5, 5, 5, 5};
+  spec.attribute_arp_target = {0.6, 0.6};
+  spec.irp_target = 0.8;
+  spec.tolerance = 0.05;
+  ModalDesignResult design = DesignModalRanking(spec);
+  MallowsModel model(design.modal, 0.6);
+  std::vector<Ranking> base = model.SampleMany(30, 9);
+  PrecedenceMatrix w = PrecedenceMatrix::Build(base);
+  Ranking unfair = CopelandAggregate(w);
+
+  double prev_pof = 1e9;
+  for (double delta : {0.1, 0.3, 0.5}) {
+    MakeMrFairOptions options;
+    options.delta = delta;
+    FairAggregateResult r = FairCopeland(w, design.table, options);
+    ASSERT_TRUE(r.satisfied) << "delta " << delta;
+    const double pof = PriceOfFairness(base, r.fair_consensus, unfair);
+    EXPECT_GE(pof, -1e-9);
+    EXPECT_LE(pof, prev_pof + 1e-9) << "PoF should not grow as Delta loosens";
+    prev_pof = pof;
+  }
+}
+
+TEST(IntegrationTest, ExamCaseStudyMatchesTableIVShape) {
+  // §IV-F at full scale: the Kemeny consensus inherits the base rankings'
+  // bias; all four MFCR methods de-bias to Delta = .05.
+  ExamDataset data = GenerateExamDataset();
+  ConsensusInput input;
+  input.base_rankings = &data.base_rankings;
+  input.table = &data.table;
+  input.delta = 0.05;
+  // n = 200 is far beyond the bundled ILP: B1 falls back to the
+  // locally-optimised consensus under this budget (see DESIGN.md #1).
+  input.time_limit_seconds = 10.0;
+
+  ConsensusOutput kemeny = FindMethod("B1")->run(input);
+  FairnessReport kemeny_report = EvaluateFairness(kemeny.consensus, data.table);
+  EXPECT_GT(kemeny_report.MaxParity(), 0.2)
+      << "biases in the base rankings must be reflected in plain Kemeny";
+
+  for (const char* id : {"A2", "A3", "A4"}) {
+    ConsensusOutput out = FindMethod(id)->run(input);
+    FairnessReport report = EvaluateFairness(out.consensus, data.table);
+    EXPECT_TRUE(out.satisfied) << id;
+    for (double parity : report.parity) {
+      EXPECT_LE(parity, 0.05 + 1e-9) << id;
+    }
+  }
+}
+
+TEST(IntegrationTest, CsRankingsCaseStudyDebiases) {
+  // Appendix Table V at full scale with the polynomial methods.
+  CsRankingsDataset data = GenerateCsRankingsDataset();
+  PrecedenceMatrix w = PrecedenceMatrix::Build(data.yearly_rankings);
+  KemenyResult kemeny = KemenyAggregate(w);
+  FairnessReport before = EvaluateFairness(kemeny.ranking, data.table);
+  EXPECT_GT(before.MaxParity(), 0.3);
+
+  MakeMrFairOptions options;
+  options.delta = 0.05;
+  for (auto result :
+       {FairSchulze(w, data.table, options), FairCopeland(w, data.table, options),
+        FairBorda(data.yearly_rankings, data.table, options)}) {
+    EXPECT_TRUE(result.satisfied);
+    FairnessReport after = EvaluateFairness(result.fair_consensus, data.table);
+    EXPECT_LE(after.MaxParity(), 0.05 + 1e-9);
+    // Fair consensus still reflects the profile better than chance:
+    // PD loss well below the 0.5 of a random permutation.
+    EXPECT_LT(PdLoss(data.yearly_rankings, result.fair_consensus), 0.35);
+  }
+}
+
+TEST(IntegrationTest, CsvPersistenceRoundTripsAStudy) {
+  // Export a dataset and its rankings, re-import, and re-run a method:
+  // identical consensus.
+  ExamDataset data = GenerateExamDataset({60, 3});
+  std::ostringstream table_os, rankings_os;
+  WriteCandidateTableCsv(table_os, data.table);
+  WriteRankingsCsv(rankings_os, data.base_rankings);
+  std::istringstream table_is(table_os.str()), rankings_is(rankings_os.str());
+  CandidateTable table = ReadCandidateTableCsv(table_is);
+  std::vector<Ranking> base = ReadRankingsCsv(rankings_is);
+
+  MakeMrFairOptions options;
+  options.delta = 0.1;
+  FairAggregateResult from_disk = FairBorda(base, table, options);
+  FairAggregateResult original = FairBorda(data.base_rankings, data.table, options);
+  EXPECT_EQ(from_disk.fair_consensus, original.fair_consensus);
+}
+
+TEST(IntegrationTest, ThresholdCustomisationEndToEnd) {
+  // §II-B customisation: loose on one attribute, tight on the other.
+  ModalDesignSpec spec;
+  spec.attributes = {{"A", {"a0", "a1"}}, {"B", {"b0", "b1"}}};
+  spec.cell_counts = {8, 8, 8, 8};
+  spec.attribute_arp_target = {0.6, 0.6};
+  spec.irp_target = 0.7;
+  spec.tolerance = 0.05;
+  ModalDesignResult design = DesignModalRanking(spec);
+  MallowsModel model(design.modal, 0.8);
+  std::vector<Ranking> base = model.SampleMany(25, 3);
+  PrecedenceMatrix w = PrecedenceMatrix::Build(base);
+
+  MakeMrFairOptions options;
+  ManiRankThresholds thresholds;
+  thresholds.attribute_delta = {0.05, 0.4};
+  thresholds.intersection_delta = 0.4;
+  options.thresholds = thresholds;
+  FairAggregateResult r = FairCopeland(w, design.table, options);
+  ASSERT_TRUE(r.satisfied);
+  EXPECT_LE(AttributeRankParity(r.fair_consensus, design.table, 0), 0.05 + 1e-9);
+  EXPECT_LE(AttributeRankParity(r.fair_consensus, design.table, 1), 0.4 + 1e-9);
+  EXPECT_LE(IntersectionRankParity(r.fair_consensus, design.table), 0.4 + 1e-9);
+}
+
+}  // namespace
+}  // namespace manirank

@@ -1,0 +1,206 @@
+#include "lp/linear_ordering.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "util/rng.h"
+
+namespace manirank::lp {
+namespace {
+
+/// Exhaustive linear-ordering optimum for n <= 8.
+double BruteForceOrderCost(const std::vector<std::vector<double>>& w) {
+  const int n = static_cast<int>(w.size());
+  std::vector<int> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  double best = std::numeric_limits<double>::infinity();
+  do {
+    double cost = 0.0;
+    for (int p = 0; p < n; ++p) {
+      for (int q = p + 1; q < n; ++q) cost += w[perm[p]][perm[q]];
+    }
+    best = std::min(best, cost);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return best;
+}
+
+std::vector<std::vector<double>> RandomProfileCosts(int n, int rankers,
+                                                    Rng* rng) {
+  // Random preference profile: W[a][b] = #rankers placing b above a.
+  std::vector<std::vector<double>> w(n, std::vector<double>(n, 0.0));
+  for (int r = 0; r < rankers; ++r) {
+    std::vector<int> perm(n);
+    std::iota(perm.begin(), perm.end(), 0);
+    rng->Shuffle(&perm);
+    for (int p = 0; p < n; ++p) {
+      for (int q = p + 1; q < n; ++q) w[perm[q]][perm[p]] += 1.0;
+    }
+  }
+  return w;
+}
+
+TEST(LinearOrderingTest, TrivialSizes) {
+  LinearOrderingProblem one(std::vector<std::vector<double>>{{0.0}});
+  auto r1 = one.Solve();
+  ASSERT_TRUE(r1.has_solution);
+  EXPECT_EQ(r1.order, std::vector<int>({0}));
+
+  // Two items: cost(0 above 1) = 5, cost(1 above 0) = 2 -> 1 first.
+  LinearOrderingProblem two({{0.0, 5.0}, {2.0, 0.0}});
+  auto r2 = two.Solve();
+  ASSERT_TRUE(r2.has_solution);
+  EXPECT_EQ(r2.order, std::vector<int>({1, 0}));
+  EXPECT_NEAR(r2.objective, 2.0, 1e-9);
+}
+
+TEST(LinearOrderingTest, TransitiveMajorityIsSolvedExactly) {
+  // Clear total order 2 > 0 > 1 (cheap to put 2 on top).
+  std::vector<std::vector<double>> w = {
+      {0, 1, 9}, {8, 0, 9}, {1, 1, 0}};
+  LinearOrderingProblem problem(w);
+  auto r = problem.Solve();
+  ASSERT_TRUE(r.has_solution);
+  EXPECT_EQ(r.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(r.objective, BruteForceOrderCost(w), 1e-9);
+}
+
+TEST(LinearOrderingTest, CondorcetCycleIsResolvedOptimally) {
+  // Rock-paper-scissors majority cycle: 0 beats 1, 1 beats 2, 2 beats 0.
+  // W[a][b] = cost of a above b: beating directions are cheap (1), the
+  // reverse expensive (2); any order breaks exactly one edge.
+  std::vector<std::vector<double>> w = {
+      {0, 1, 2}, {2, 0, 1}, {1, 2, 0}};
+  LinearOrderingProblem problem(w);
+  auto r = problem.Solve();
+  ASSERT_TRUE(r.has_solution);
+  EXPECT_EQ(r.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(r.objective, BruteForceOrderCost(w), 1e-9);
+  EXPECT_NEAR(r.objective, 4.0, 1e-9);  // 1 + 1 + 2
+}
+
+TEST(LinearOrderingTest, OrderCostMatchesManualCount) {
+  std::vector<std::vector<double>> w = {
+      {0, 3, 1}, {2, 0, 4}, {5, 1, 0}};
+  LinearOrderingProblem problem(w);
+  // Order [2, 0, 1]: pairs (2,0) w[2][0]=5, (2,1) w[2][1]=1, (0,1) w[0][1]=3.
+  EXPECT_NEAR(problem.OrderCost({2, 0, 1}), 9.0, 1e-12);
+}
+
+TEST(LinearOrderingTest, PairConstraintForcesCandidateToBottom) {
+  Rng rng(4);
+  const int n = 5;
+  std::vector<std::vector<double>> w = RandomProfileCosts(n, 7, &rng);
+  LinearOrderingProblem problem(w);
+  // Force candidate 0 below everyone: sum_b Y[0][b] <= 0.
+  std::vector<LinearOrderingProblem::PairTerm> terms;
+  for (int b = 1; b < n; ++b) terms.push_back({0, b, 1.0});
+  problem.AddPairConstraint(terms, Sense::kLessEqual, 0.0);
+  auto r = problem.Solve();
+  ASSERT_TRUE(r.has_solution);
+  EXPECT_EQ(r.order.back(), 0);
+}
+
+TEST(LinearOrderingTest, PairConstraintForcesCandidateToTop) {
+  Rng rng(5);
+  const int n = 6;
+  std::vector<std::vector<double>> w = RandomProfileCosts(n, 5, &rng);
+  LinearOrderingProblem problem(w);
+  // Y[3][b] >= 1 for all b: candidate 3 above everyone.
+  for (int b = 0; b < n; ++b) {
+    if (b != 3) problem.AddPairConstraint({{3, b, 1.0}}, Sense::kGreaterEqual, 1.0);
+  }
+  auto r = problem.Solve();
+  ASSERT_TRUE(r.has_solution);
+  EXPECT_EQ(r.order.front(), 3);
+}
+
+TEST(LinearOrderingTest, InfeasibleConstraintsDetected) {
+  std::vector<std::vector<double>> w = {{0, 1}, {1, 0}};
+  LinearOrderingProblem problem(w);
+  problem.AddPairConstraint({{0, 1, 1.0}}, Sense::kGreaterEqual, 1.0);
+  problem.AddPairConstraint({{1, 0, 1.0}}, Sense::kGreaterEqual, 1.0);
+  auto r = problem.Solve();
+  EXPECT_FALSE(r.has_solution);
+  EXPECT_EQ(r.status, SolveStatus::kInfeasible);
+}
+
+TEST(LinearOrderingTest, ConstrainedOptimumMatchesFilteredBruteForce) {
+  // Candidate 2 forced above candidate 4; compare against brute force
+  // restricted to permutations satisfying that.
+  Rng rng(6);
+  const int n = 6;
+  std::vector<std::vector<double>> w = RandomProfileCosts(n, 9, &rng);
+  LinearOrderingProblem problem(w);
+  problem.AddPairConstraint({{2, 4, 1.0}}, Sense::kGreaterEqual, 1.0);
+  auto r = problem.Solve();
+  ASSERT_TRUE(r.has_solution);
+  ASSERT_EQ(r.status, SolveStatus::kOptimal);
+
+  std::vector<int> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  double best = std::numeric_limits<double>::infinity();
+  do {
+    int pos2 = -1, pos4 = -1;
+    for (int p = 0; p < n; ++p) {
+      if (perm[p] == 2) pos2 = p;
+      if (perm[p] == 4) pos4 = p;
+    }
+    if (pos2 > pos4) continue;
+    best = std::min(best, problem.OrderCost(perm));
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  EXPECT_NEAR(r.objective, best, 1e-7);
+  // The returned order respects the constraint.
+  auto pos = [&](int c) {
+    return std::find(r.order.begin(), r.order.end(), c) - r.order.begin();
+  };
+  EXPECT_LT(pos(2), pos(4));
+}
+
+class LinearOrderingRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LinearOrderingRandomTest, MatchesBruteForceOnProfiles) {
+  Rng rng(GetParam());
+  const int n = 4 + static_cast<int>(rng.NextUint64(4));  // 4..7
+  const int rankers = 3 + static_cast<int>(rng.NextUint64(8));
+  std::vector<std::vector<double>> w = RandomProfileCosts(n, rankers, &rng);
+  LinearOrderingProblem problem(w);
+  auto r = problem.Solve();
+  ASSERT_TRUE(r.has_solution) << "seed " << GetParam();
+  ASSERT_EQ(r.status, SolveStatus::kOptimal) << "seed " << GetParam();
+  EXPECT_NEAR(r.objective, BruteForceOrderCost(w), 1e-7)
+      << "seed " << GetParam() << " n=" << n;
+}
+
+TEST_P(LinearOrderingRandomTest, MatchesBruteForceOnArbitraryCosts) {
+  Rng rng(GetParam() + 5000);
+  const int n = 4 + static_cast<int>(rng.NextUint64(3));  // 4..6
+  std::vector<std::vector<double>> w(n, std::vector<double>(n, 0.0));
+  for (int a = 0; a < n; ++a) {
+    for (int b = 0; b < n; ++b) {
+      if (a != b) w[a][b] = static_cast<double>(rng.NextUint64(10));
+    }
+  }
+  LinearOrderingProblem problem(w);
+  auto r = problem.Solve();
+  ASSERT_TRUE(r.has_solution) << "seed " << GetParam();
+  ASSERT_EQ(r.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(r.objective, BruteForceOrderCost(w), 1e-7)
+      << "seed " << GetParam() << " n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LinearOrderingRandomTest,
+                         ::testing::Range<uint64_t>(200, 240));
+
+TEST(SolveLinearOrderingTest, ConvenienceWrapper) {
+  SolveStatus status;
+  std::vector<int> order =
+      SolveLinearOrdering({{0.0, 0.0}, {9.0, 0.0}}, &status);
+  EXPECT_EQ(status, SolveStatus::kOptimal);
+  EXPECT_EQ(order, std::vector<int>({0, 1}));
+}
+
+}  // namespace
+}  // namespace manirank::lp

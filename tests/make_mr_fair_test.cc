@@ -1,0 +1,218 @@
+#include "core/make_mr_fair.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/distance.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace manirank {
+namespace {
+
+CandidateTable SegregatedBinaryTable(int n) {
+  std::vector<Attribute> attrs = {{"G", {"top", "bottom"}}};
+  std::vector<std::vector<AttributeValue>> values(n, std::vector<AttributeValue>(1));
+  for (int c = 0; c < n; ++c) values[c][0] = c < n / 2 ? 0 : 1;
+  return CandidateTable(std::move(attrs), std::move(values));
+}
+
+TEST(MakeMrFairTest, AlreadyFairRankingIsUntouched) {
+  CandidateTable t = SegregatedBinaryTable(8);
+  Ranking interleaved({0, 4, 1, 5, 2, 6, 3, 7});
+  MakeMrFairOptions options;
+  options.delta = 0.5;
+  MakeMrFairResult r = MakeMrFair(interleaved, t, options);
+  EXPECT_TRUE(r.satisfied);
+  EXPECT_EQ(r.swaps, 0);
+  EXPECT_EQ(r.ranking, interleaved);
+}
+
+TEST(MakeMrFairTest, RepairsFullySegregatedRanking) {
+  CandidateTable t = SegregatedBinaryTable(10);
+  Ranking segregated = Ranking::Identity(10);  // ARP = 1.0
+  MakeMrFairOptions options;
+  options.delta = 0.1;
+  MakeMrFairResult r = MakeMrFair(segregated, t, options);
+  EXPECT_TRUE(r.satisfied);
+  EXPECT_GT(r.swaps, 0);
+  EXPECT_TRUE(SatisfiesManiRank(r.ranking, t, 0.1));
+}
+
+TEST(MakeMrFairTest, DeltaZeroAchievesExactParityWhenPossible) {
+  // Equal-size binary groups, even interleave exists: delta = 0 feasible.
+  CandidateTable t = SegregatedBinaryTable(8);
+  MakeMrFairOptions options;
+  options.delta = 0.0;
+  MakeMrFairResult r = MakeMrFair(Ranking::Identity(8), t, options);
+  EXPECT_TRUE(r.satisfied);
+  EXPECT_NEAR(RankParity(r.ranking, t.attribute_grouping(0)), 0.0, 1e-12);
+}
+
+TEST(MakeMrFairTest, MultiAttributeIntersectionGetsRepaired) {
+  // 24 candidates, 2x3 attributes; start from the worst case (sorted by
+  // intersection cell).
+  CandidateTable t = testing::CyclicTable(24, 2, 3);
+  std::vector<CandidateId> order(24);
+  // Sort candidates so equal cells are contiguous: strongly unfair.
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](CandidateId a, CandidateId b) {
+    return t.intersection_grouping().group_of[a] <
+           t.intersection_grouping().group_of[b];
+  });
+  MakeMrFairOptions options;
+  options.delta = 0.15;
+  MakeMrFairResult r = MakeMrFair(Ranking(std::move(order)), t, options);
+  EXPECT_TRUE(r.satisfied);
+  EXPECT_TRUE(SatisfiesManiRank(r.ranking, t, 0.15));
+}
+
+TEST(MakeMrFairTest, PerAttributeThresholds) {
+  CandidateTable t = testing::CyclicTable(24, 2, 2);
+  Rng rng(5);
+  Ranking start = testing::RandomRanking(24, &rng);
+  MakeMrFairOptions options;
+  ManiRankThresholds thresholds;
+  thresholds.attribute_delta = {0.05, 0.5};
+  thresholds.intersection_delta = 0.5;
+  options.thresholds = thresholds;
+  MakeMrFairResult r = MakeMrFair(start, t, options);
+  EXPECT_TRUE(r.satisfied);
+  EXPECT_LE(RankParity(r.ranking, t.attribute_grouping(0)), 0.05 + 1e-9);
+}
+
+TEST(MakeMrFairTest, SwapBudgetIsHonoured) {
+  CandidateTable t = SegregatedBinaryTable(20);
+  MakeMrFairOptions options;
+  options.delta = 0.01;
+  options.max_swaps = 1;
+  MakeMrFairResult r = MakeMrFair(Ranking::Identity(20), t, options);
+  EXPECT_LE(r.swaps, 1);
+  EXPECT_FALSE(r.satisfied);
+}
+
+TEST(MakeMrFairTest, EachSwapImprovesTargetParity) {
+  // Instrumented run: repair with max_swaps = k for growing k and check
+  // the worst parity never increases.
+  CandidateTable t = testing::CyclicTable(18, 3, 2);
+  Rng rng(9);
+  Ranking start = testing::RandomRanking(18, &rng);
+  double prev = EvaluateFairness(start, t).MaxParity();
+  for (int64_t k = 1; k <= 30; ++k) {
+    MakeMrFairOptions options;
+    options.delta = 0.02;
+    options.max_swaps = k;
+    MakeMrFairResult r = MakeMrFair(start, t, options);
+    const double worst = EvaluateFairness(r.ranking, t).MaxParity();
+    EXPECT_LE(worst, prev + 0.25) << "parity should trend down";
+    if (r.satisfied) break;
+    prev = std::max(prev, worst);
+  }
+}
+
+TEST(MakeMrFairTest, PreservesWithinGroupOrder) {
+  // The paper's swaps exchange members of different groups; candidates of
+  // the same intersection cell never swap, so their relative order is
+  // preserved from the input consensus.
+  CandidateTable t = testing::CyclicTable(24, 2, 2);
+  Rng rng(11);
+  Ranking start = testing::RandomRanking(24, &rng);
+  MakeMrFairOptions options;
+  options.delta = 0.05;
+  MakeMrFairResult r = MakeMrFair(start, t, options);
+  const Grouping& inter = t.intersection_grouping();
+  for (int g = 0; g < inter.num_groups(); ++g) {
+    const auto& members = inter.members[g];
+    for (size_t i = 0; i < members.size(); ++i) {
+      for (size_t j = i + 1; j < members.size(); ++j) {
+        EXPECT_EQ(start.Prefers(members[i], members[j]),
+                  r.ranking.Prefers(members[i], members[j]))
+            << "within-cell order changed";
+      }
+    }
+  }
+}
+
+struct EngineParam {
+  int n;
+  int d0, d1;
+  double delta;
+  uint64_t seed;
+};
+
+class EngineEquivalenceTest : public ::testing::TestWithParam<EngineParam> {};
+
+TEST_P(EngineEquivalenceTest, ReferenceAndIndexedEnginesAgree) {
+  const EngineParam& p = GetParam();
+  Rng rng(p.seed);
+  CandidateTable t = testing::RandomTable(p.n, {p.d0, p.d1}, &rng);
+  for (int trial = 0; trial < 5; ++trial) {
+    Ranking start = testing::RandomRanking(p.n, &rng);
+    MakeMrFairOptions reference;
+    reference.delta = p.delta;
+    reference.engine = MakeMrFairOptions::Engine::kReference;
+    MakeMrFairOptions indexed;
+    indexed.delta = p.delta;
+    indexed.engine = MakeMrFairOptions::Engine::kIndexed;
+    MakeMrFairResult a = MakeMrFair(start, t, reference);
+    MakeMrFairResult b = MakeMrFair(start, t, indexed);
+    ASSERT_EQ(a.ranking, b.ranking)
+        << "engines diverged, seed=" << p.seed << " trial=" << trial;
+    EXPECT_EQ(a.swaps, b.swaps);
+    EXPECT_EQ(a.satisfied, b.satisfied);
+  }
+}
+
+TEST_P(EngineEquivalenceTest, ResultSatisfiesDeltaOrReportsFailure) {
+  const EngineParam& p = GetParam();
+  Rng rng(p.seed + 1);
+  CandidateTable t = testing::RandomTable(p.n, {p.d0, p.d1}, &rng);
+  Ranking start = testing::RandomRanking(p.n, &rng);
+  MakeMrFairOptions options;
+  options.delta = p.delta;
+  MakeMrFairResult r = MakeMrFair(start, t, options);
+  EXPECT_EQ(r.satisfied, SatisfiesManiRank(r.ranking, t, p.delta));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, EngineEquivalenceTest,
+    ::testing::Values(EngineParam{12, 2, 2, 0.2, 1000},
+                      EngineParam{20, 2, 3, 0.15, 2000},
+                      EngineParam{30, 3, 3, 0.1, 3000},
+                      EngineParam{45, 5, 3, 0.1, 4000},
+                      EngineParam{60, 2, 2, 0.05, 5000},
+                      EngineParam{24, 4, 2, 0.25, 6000}));
+
+TEST(MakeMrFairTest, RandomPairPolicyAlsoRepairs) {
+  CandidateTable t = SegregatedBinaryTable(16);
+  MakeMrFairOptions options;
+  options.delta = 0.1;
+  options.swap_policy = MakeMrFairOptions::SwapPolicy::kRandomPair;
+  options.seed = 99;
+  MakeMrFairResult r = MakeMrFair(Ranking::Identity(16), t, options);
+  EXPECT_TRUE(r.satisfied);
+  EXPECT_TRUE(SatisfiesManiRank(r.ranking, t, 0.1));
+}
+
+TEST(MakeMrFairTest, PdLossGrowsWithTighterDelta) {
+  // Price of fairness: the tighter the threshold, the further the repaired
+  // consensus drifts from the original (weak monotonicity up to noise).
+  CandidateTable t = SegregatedBinaryTable(32);
+  Ranking start = Ranking::Identity(32);
+  std::vector<Ranking> base(3, start);
+  double prev_loss = -1.0;
+  for (double delta : {0.5, 0.3, 0.1, 0.02}) {
+    MakeMrFairOptions options;
+    options.delta = delta;
+    MakeMrFairResult r = MakeMrFair(start, t, options);
+    ASSERT_TRUE(r.satisfied) << "delta " << delta;
+    const double loss = PdLoss(base, r.ranking);
+    EXPECT_GE(loss, prev_loss - 1e-9) << "delta " << delta;
+    prev_loss = loss;
+  }
+}
+
+}  // namespace
+}  // namespace manirank

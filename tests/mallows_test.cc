@@ -1,0 +1,164 @@
+#include "mallows/mallows.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "core/distance.h"
+#include "core/kemeny.h"
+#include "core/precedence.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace manirank {
+namespace {
+
+TEST(MallowsTest, SamplesAreValidPermutations) {
+  Rng rng(1);
+  MallowsModel model(testing::RandomRanking(20, &rng), 0.5);
+  Rng sample_rng(2);
+  for (int i = 0; i < 50; ++i) {
+    Ranking r = model.Sample(&sample_rng);
+    ASSERT_EQ(r.size(), 20);
+    ASSERT_TRUE(Ranking::IsValidOrder(r.order()));
+  }
+}
+
+TEST(MallowsTest, LargeThetaConcentratesOnModal) {
+  Rng rng(3);
+  Ranking modal = testing::RandomRanking(12, &rng);
+  MallowsModel model(modal, 10.0);
+  std::vector<Ranking> samples = model.SampleMany(50, 7);
+  int exact = 0;
+  for (const Ranking& r : samples) exact += (r == modal);
+  EXPECT_GE(exact, 45);  // e^-10 per inversion: near-certain exact match
+}
+
+TEST(MallowsTest, ThetaZeroIsUniform) {
+  // All 6 permutations of 3 items should appear with equal frequency.
+  MallowsModel model(Ranking::Identity(3), 0.0);
+  std::map<std::string, int> counts;
+  constexpr int kSamples = 6000;
+  std::vector<Ranking> samples = model.SampleMany(kSamples, 11);
+  for (const Ranking& r : samples) ++counts[r.ToString()];
+  ASSERT_EQ(counts.size(), 6u);
+  for (const auto& [perm, count] : counts) {
+    EXPECT_NEAR(count, kSamples / 6.0, 150.0) << perm;
+  }
+}
+
+TEST(MallowsTest, EmpiricalMeanDistanceMatchesExpectation) {
+  Rng rng(5);
+  for (double theta : {0.1, 0.4, 1.0, 2.0}) {
+    Ranking modal = testing::RandomRanking(25, &rng);
+    MallowsModel model(modal, theta);
+    constexpr int kSamples = 3000;
+    std::vector<Ranking> samples = model.SampleMany(kSamples, 13);
+    double mean = 0.0;
+    for (const Ranking& r : samples) {
+      mean += static_cast<double>(KendallTau(r, modal));
+    }
+    mean /= kSamples;
+    const double expected = model.ExpectedKendallTau();
+    EXPECT_NEAR(mean, expected, expected * 0.05 + 2.0) << "theta " << theta;
+  }
+}
+
+TEST(MallowsTest, ExpectedDistanceDecreasesWithTheta) {
+  Ranking modal = Ranking::Identity(30);
+  double prev = 1e18;
+  for (double theta : {0.0, 0.2, 0.5, 1.0, 2.0, 4.0}) {
+    MallowsModel model(modal, theta);
+    const double expected = model.ExpectedKendallTau();
+    EXPECT_LT(expected, prev);
+    prev = expected;
+  }
+}
+
+TEST(MallowsTest, ExpectedDistanceAtThetaZeroIsHalfOfMax) {
+  MallowsModel model(Ranking::Identity(10), 0.0);
+  EXPECT_DOUBLE_EQ(model.ExpectedKendallTau(),
+                   static_cast<double>(TotalPairs(10)) / 2.0);
+}
+
+TEST(MallowsTest, ProbabilitiesSumToOneOverAllPermutations) {
+  // n = 4: enumerate all 24 permutations.
+  Ranking modal = Ranking::Identity(4);
+  for (double theta : {0.0, 0.3, 1.0}) {
+    MallowsModel model(modal, theta);
+    std::vector<CandidateId> perm = {0, 1, 2, 3};
+    double total = 0.0;
+    do {
+      total += model.Probability(Ranking{std::vector<CandidateId>(perm)});
+    } while (std::next_permutation(perm.begin(), perm.end()));
+    EXPECT_NEAR(total, 1.0, 1e-9) << "theta " << theta;
+  }
+}
+
+TEST(MallowsTest, ProbabilityDecaysExponentiallyWithDistance) {
+  MallowsModel model(Ranking::Identity(5), 0.7);
+  Ranking one_swap({1, 0, 2, 3, 4});
+  EXPECT_NEAR(model.Probability(one_swap) / model.Probability(model.modal()),
+              std::exp(-0.7), 1e-9);
+}
+
+TEST(MallowsTest, SampleManyIsDeterministicInSeed) {
+  MallowsModel model(Ranking::Identity(15), 0.6);
+  std::vector<Ranking> a = model.SampleMany(40, 99);
+  std::vector<Ranking> b = model.SampleMany(40, 99);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) ASSERT_EQ(a[i], b[i]);
+  // Different seed, different draw.
+  std::vector<Ranking> c = model.SampleMany(40, 100);
+  int same = 0;
+  for (size_t i = 0; i < a.size(); ++i) same += (a[i] == c[i]);
+  EXPECT_LT(same, 5);
+}
+
+TEST(MallowsTest, SampleManyIndependentOfThreadCount) {
+  // Per-sample seeding: identical output regardless of parallel split.
+  MallowsModel model(Ranking::Identity(12), 0.4);
+  std::vector<Ranking> parallel = model.SampleMany(30, 55);
+  std::vector<Ranking> serial(30);
+  for (size_t i = 0; i < serial.size(); ++i) {
+    Rng rng = MallowsModel::SampleRng(55, i);
+    serial[i] = model.Sample(&rng);
+  }
+  for (size_t i = 0; i < serial.size(); ++i) ASSERT_EQ(parallel[i], serial[i]);
+}
+
+TEST(MallowsTest, KemenyOfSamplesRecoversModal) {
+  // Consistency of the MLE: Kemeny on many samples = modal ranking.
+  Rng rng(17);
+  Ranking modal = testing::RandomRanking(10, &rng);
+  MallowsModel model(modal, 1.0);
+  std::vector<Ranking> samples = model.SampleMany(301, 21);
+  PrecedenceMatrix w = PrecedenceMatrix::Build(samples);
+  Ranking consensus;
+  ASSERT_TRUE(TryTransitiveKemeny(w, &consensus));
+  EXPECT_EQ(consensus, modal);
+}
+
+class MallowsSizeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MallowsSizeTest, SamplerScalesAcrossSizes) {
+  const int n = GetParam();
+  MallowsModel model(Ranking::Identity(n), 0.8);
+  Rng rng(23);
+  Ranking r = model.Sample(&rng);
+  ASSERT_EQ(r.size(), n);
+  ASSERT_TRUE(Ranking::IsValidOrder(r.order()));
+  // Sampled ranking should be far closer to modal than a uniform one.
+  if (n >= 50) {
+    EXPECT_LT(static_cast<double>(KendallTau(r, model.modal())),
+              0.5 * static_cast<double>(TotalPairs(n)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MallowsSizeTest,
+                         ::testing::Values(1, 2, 10, 100, 1000, 5000));
+
+}  // namespace
+}  // namespace manirank

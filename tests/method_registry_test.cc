@@ -1,0 +1,126 @@
+#include "core/method_registry.h"
+
+#include <gtest/gtest.h>
+
+#include "core/distance.h"
+#include "core/fairness_metrics.h"
+#include "mallows/mallows.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace manirank {
+namespace {
+
+struct Fixture {
+  CandidateTable table;
+  std::vector<Ranking> base;
+};
+
+Fixture MakeFixture(int n, uint64_t seed, double theta) {
+  Rng rng(seed);
+  CandidateTable table = testing::CyclicTable(n, 2, 2);
+  // Mildly biased modal ranking: identity (cells interleaved but gendered
+  // pattern emerges at small n is fine for smoke coverage).
+  Ranking modal = testing::RandomRanking(n, &rng);
+  MallowsModel model(modal, theta);
+  return {std::move(table), model.SampleMany(20, seed)};
+}
+
+TEST(MethodRegistryTest, HasAllEightPaperMethods) {
+  const auto& methods = AllMethods();
+  ASSERT_EQ(methods.size(), 8u);
+  EXPECT_EQ(methods[0].id, "A1");
+  EXPECT_EQ(methods[0].name, "Fair-Kemeny");
+  EXPECT_EQ(methods[7].id, "B4");
+  EXPECT_EQ(methods[7].name, "Correct-Fairest-Perm");
+}
+
+TEST(MethodRegistryTest, FindByIdAndName) {
+  EXPECT_NE(FindMethod("A3"), nullptr);
+  EXPECT_EQ(FindMethod("A3")->name, "Fair-Borda");
+  EXPECT_NE(FindMethod("Kemeny"), nullptr);
+  EXPECT_EQ(FindMethod("Kemeny")->id, "B1");
+  EXPECT_EQ(FindMethod("nope"), nullptr);
+}
+
+TEST(MethodRegistryTest, AllMethodsProduceValidConsensus) {
+  Fixture f = MakeFixture(16, 42, 0.8);
+  ConsensusInput input;
+  input.base_rankings = &f.base;
+  input.table = &f.table;
+  input.delta = 0.2;
+  input.time_limit_seconds = 60.0;
+  for (const MethodSpec& method : AllMethods()) {
+    ConsensusOutput out = method.run(input);
+    ASSERT_EQ(out.consensus.size(), 16) << method.name;
+    ASSERT_TRUE(Ranking::IsValidOrder(out.consensus.order())) << method.name;
+    EXPECT_GE(out.seconds, 0.0);
+  }
+}
+
+TEST(MethodRegistryTest, FairnessAwareMethodsSatisfyDelta) {
+  Fixture f = MakeFixture(20, 43, 1.0);
+  ConsensusInput input;
+  input.base_rankings = &f.base;
+  input.table = &f.table;
+  input.delta = 0.15;
+  input.time_limit_seconds = 60.0;
+  for (const char* id : {"A1", "A2", "A3", "A4", "B4"}) {
+    const MethodSpec* method = FindMethod(id);
+    ASSERT_NE(method, nullptr);
+    ConsensusOutput out = method->run(input);
+    EXPECT_TRUE(SatisfiesManiRank(out.consensus, f.table, input.delta))
+        << method->name;
+    EXPECT_TRUE(out.satisfied) << method->name;
+  }
+}
+
+TEST(MethodRegistryTest, FairKemenyHasLowestPdLossAmongFairMethods) {
+  // A1 minimises disagreement subject to the same constraints the other
+  // MFCR methods satisfy, so its PD loss is minimal among A1..A4 (Fig. 4).
+  Fixture f = MakeFixture(14, 44, 0.6);
+  ConsensusInput input;
+  input.base_rankings = &f.base;
+  input.table = &f.table;
+  input.delta = 0.2;
+  input.time_limit_seconds = 60.0;
+  const MethodSpec* a1 = FindMethod("A1");
+  ConsensusOutput fair_kemeny = a1->run(input);
+  ASSERT_TRUE(fair_kemeny.exact);
+  const double a1_loss = PdLoss(f.base, fair_kemeny.consensus);
+  for (const char* id : {"A2", "A3", "A4"}) {
+    ConsensusOutput out = FindMethod(id)->run(input);
+    if (out.satisfied) {
+      EXPECT_GE(PdLoss(f.base, out.consensus), a1_loss - 1e-9) << id;
+    }
+  }
+}
+
+TEST(MethodRegistryTest, KemenyHasLowestPdLossOverall) {
+  Fixture f = MakeFixture(14, 45, 0.6);
+  ConsensusInput input;
+  input.base_rankings = &f.base;
+  input.table = &f.table;
+  input.delta = 0.2;
+  input.time_limit_seconds = 60.0;
+  ConsensusOutput kemeny = FindMethod("B1")->run(input);
+  ASSERT_TRUE(kemeny.exact);
+  const double b1_loss = PdLoss(f.base, kemeny.consensus);
+  for (const MethodSpec& method : AllMethods()) {
+    ConsensusOutput out = method.run(input);
+    EXPECT_GE(PdLoss(f.base, out.consensus), b1_loss - 1e-9) << method.name;
+  }
+}
+
+TEST(MethodRegistryTest, MethodFlagsAreConsistent) {
+  EXPECT_TRUE(FindMethod("A1")->uses_ilp);
+  EXPECT_TRUE(FindMethod("B1")->uses_ilp);
+  EXPECT_TRUE(FindMethod("B2")->uses_ilp);
+  EXPECT_FALSE(FindMethod("A3")->uses_ilp);
+  EXPECT_TRUE(FindMethod("A1")->fairness_aware);
+  EXPECT_FALSE(FindMethod("B1")->fairness_aware);
+  EXPECT_TRUE(FindMethod("B4")->fairness_aware);
+}
+
+}  // namespace
+}  // namespace manirank

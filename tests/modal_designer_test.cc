@@ -1,0 +1,128 @@
+#include "mallows/modal_designer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synthetic.h"
+
+namespace manirank {
+namespace {
+
+TEST(MakeTableFromCellsTest, MixedRadixAssignment) {
+  std::vector<Attribute> attrs = {{"A", {"a0", "a1"}}, {"B", {"b0", "b1", "b2"}}};
+  // Cells in order (a0,b0), (a0,b1), (a0,b2), (a1,b0), ...
+  CandidateTable t = MakeTableFromCells(attrs, {1, 2, 0, 3, 0, 1});
+  EXPECT_EQ(t.num_candidates(), 7);
+  EXPECT_EQ(t.value(0, 0), 0);  // cell (a0, b0)
+  EXPECT_EQ(t.value(0, 1), 0);
+  EXPECT_EQ(t.value(1, 1), 1);  // first of two (a0, b1)
+  EXPECT_EQ(t.value(3, 0), 1);  // first (a1, b0)
+  EXPECT_EQ(t.value(6, 1), 2);  // the single (a1, b2)
+}
+
+TEST(ModalDesignerTest, HitsEasyTargets) {
+  ModalDesignSpec spec;
+  spec.attributes = {{"X", {"x0", "x1"}}, {"Y", {"y0", "y1"}}};
+  spec.cell_counts = {5, 5, 5, 5};
+  spec.attribute_arp_target = {0.4, 0.2};
+  spec.irp_target = 0.5;
+  spec.tolerance = 0.03;
+  ModalDesignResult r = DesignModalRanking(spec);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.report.parity[0], 0.4, 0.03);
+  EXPECT_NEAR(r.report.parity[1], 0.2, 0.03);
+  EXPECT_NEAR(r.report.parity[2], 0.5, 0.03);
+}
+
+TEST(ModalDesignerTest, ExtremeUnfairnessTarget) {
+  ModalDesignSpec spec;
+  spec.attributes = {{"X", {"x0", "x1"}}};
+  spec.cell_counts = {8, 8};
+  spec.attribute_arp_target = {1.0};
+  spec.tolerance = 0.01;
+  ModalDesignResult r = DesignModalRanking(spec);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.report.parity[0], 1.0, 0.01);
+}
+
+TEST(ModalDesignerTest, DeterministicInSeed) {
+  ModalDesignSpec spec;
+  spec.attributes = {{"X", {"x0", "x1"}}, {"Y", {"y0", "y1"}}};
+  spec.cell_counts = {6, 6, 6, 6};
+  spec.attribute_arp_target = {0.3, 0.3};
+  spec.irp_target = 0.4;
+  spec.seed = 123;
+  ModalDesignResult a = DesignModalRanking(spec);
+  ModalDesignResult b = DesignModalRanking(spec);
+  EXPECT_EQ(a.modal, b.modal);
+}
+
+TEST(TableIDatasetTest, AllThreeProfilesConverge) {
+  for (TableIDataset kind : {TableIDataset::kLowFair, TableIDataset::kMediumFair,
+                             TableIDataset::kHighFair}) {
+    ModalDesignResult r = MakeTableIDataset(kind);
+    EXPECT_TRUE(r.converged) << ToString(kind);
+    EXPECT_EQ(r.table.num_candidates(), 90);
+    EXPECT_EQ(r.table.intersection_grouping().num_groups(), 15);
+  }
+}
+
+TEST(TableIDatasetTest, LowFairMatchesPaperProfile) {
+  ModalDesignResult r = MakeTableIDataset(TableIDataset::kLowFair);
+  ASSERT_EQ(r.report.parity.size(), 3u);
+  EXPECT_NEAR(r.report.parity[0], 0.70, 0.025);  // ARP Race
+  EXPECT_NEAR(r.report.parity[1], 0.70, 0.025);  // ARP Gender
+  EXPECT_NEAR(r.report.parity[2], 1.00, 0.025);  // IRP
+}
+
+TEST(ExpandDesignTest, PreservesFprExactly) {
+  ModalDesignSpec spec;
+  spec.attributes = {{"X", {"x0", "x1"}}, {"Y", {"y0", "y1"}}};
+  spec.cell_counts = {4, 4, 4, 4};
+  spec.attribute_arp_target = {0.35, 0.5};
+  spec.irp_target = 0.6;
+  ModalDesignResult base = DesignModalRanking(spec);
+  ModalDesignResult big = ExpandDesign(base, 5);
+  EXPECT_EQ(big.table.num_candidates(), 80);
+  ASSERT_EQ(big.report.parity.size(), base.report.parity.size());
+  for (size_t i = 0; i < base.report.parity.size(); ++i) {
+    EXPECT_NEAR(big.report.parity[i], base.report.parity[i], 1e-9)
+        << "grouping " << i;
+  }
+  // Per-group FPR preserved, not just parity.
+  for (size_t g = 0; g < base.report.fpr.size(); ++g) {
+    ASSERT_EQ(base.report.fpr[g].size(), big.report.fpr[g].size());
+    for (size_t j = 0; j < base.report.fpr[g].size(); ++j) {
+      EXPECT_NEAR(big.report.fpr[g][j], base.report.fpr[g][j], 1e-9);
+    }
+  }
+}
+
+TEST(ExpandDesignTest, FactorOneIsIdentityOnMetrics) {
+  ModalDesignResult base = MakeScalabilityDataset(100, 0.3, 0.5, 0.4);
+  ModalDesignResult same = ExpandDesign(base, 1);
+  EXPECT_EQ(same.table.num_candidates(), base.table.num_candidates());
+  for (size_t i = 0; i < base.report.parity.size(); ++i) {
+    EXPECT_NEAR(same.report.parity[i], base.report.parity[i], 1e-12);
+  }
+}
+
+TEST(ScalabilityDatasetTest, TargetsHitAtSmallScale) {
+  ModalDesignResult r = MakeRankerScaleDataset(100);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.report.parity[0], 0.15, 0.03);
+  EXPECT_NEAR(r.report.parity[1], 0.70, 0.03);
+  EXPECT_NEAR(r.report.parity[2], 0.55, 0.03);
+}
+
+TEST(ScalabilityDatasetTest, LargeScaleViaExpansion) {
+  ModalDesignResult r = MakeCandidateScaleDataset(10000);
+  EXPECT_EQ(r.table.num_candidates(), 10000);
+  EXPECT_NEAR(r.report.parity[0], 0.31, 0.03);
+  EXPECT_NEAR(r.report.parity[1], 0.44, 0.03);
+  EXPECT_NEAR(r.report.parity[2], 0.45, 0.03);
+}
+
+}  // namespace
+}  // namespace manirank

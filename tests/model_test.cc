@@ -1,0 +1,105 @@
+#include "lp/model.h"
+
+#include "lp/simplex.h"
+
+#include <gtest/gtest.h>
+
+namespace manirank::lp {
+namespace {
+
+TEST(ModelTest, VariableAccessors) {
+  Model m;
+  int x = m.AddVariable(-1.0, 2.0, 3.5);
+  int b = m.AddBinary(-1.0);
+  EXPECT_EQ(m.num_variables(), 2);
+  EXPECT_DOUBLE_EQ(m.lower_bound(x), -1.0);
+  EXPECT_DOUBLE_EQ(m.upper_bound(x), 2.0);
+  EXPECT_DOUBLE_EQ(m.objective_coefficient(x), 3.5);
+  EXPECT_FALSE(m.is_integer(x));
+  EXPECT_TRUE(m.is_integer(b));
+  EXPECT_DOUBLE_EQ(m.lower_bound(b), 0.0);
+  EXPECT_DOUBLE_EQ(m.upper_bound(b), 1.0);
+}
+
+TEST(ModelTest, IntegerVariableListing) {
+  Model m;
+  m.AddVariable(0, 1, 0.0);
+  m.AddBinary(0.0);
+  m.AddVariable(0, 5, 0.0, /*integer=*/true);
+  m.AddVariable(0, 1, 0.0);
+  EXPECT_EQ(m.IntegerVariables(), (std::vector<int>{1, 2}));
+}
+
+TEST(ModelTest, HasIntegralObjective) {
+  Model m;
+  m.AddVariable(0, 1, 2.0);
+  m.AddVariable(0, 1, -3.0);
+  EXPECT_TRUE(m.HasIntegralObjective());
+  m.set_objective_offset(4.0);
+  EXPECT_TRUE(m.HasIntegralObjective());
+  m.set_objective_offset(4.5);
+  EXPECT_FALSE(m.HasIntegralObjective());
+  m.set_objective_offset(0.0);
+  m.AddVariable(0, 1, 0.25);
+  EXPECT_FALSE(m.HasIntegralObjective());
+}
+
+TEST(ModelTest, EvaluateObjectiveIncludesOffset) {
+  Model m;
+  int x = m.AddVariable(0, 10, 2.0);
+  int y = m.AddVariable(0, 10, -1.0);
+  m.set_objective_offset(5.0);
+  std::vector<double> point(2);
+  point[x] = 3.0;
+  point[y] = 4.0;
+  EXPECT_DOUBLE_EQ(m.EvaluateObjective(point), 5.0 + 6.0 - 4.0);
+}
+
+TEST(ModelTest, IsFeasibleChecksBounds) {
+  Model m;
+  m.AddVariable(0.0, 1.0, 0.0);
+  EXPECT_TRUE(m.IsFeasible({0.5}));
+  EXPECT_FALSE(m.IsFeasible({1.5}));
+  EXPECT_FALSE(m.IsFeasible({-0.5}));
+  // Tolerance admits boundary noise.
+  EXPECT_TRUE(m.IsFeasible({1.0 + 1e-9}, 1e-6));
+  // Wrong dimensionality is infeasible, not UB.
+  EXPECT_FALSE(m.IsFeasible({0.5, 0.5}));
+}
+
+TEST(ModelTest, IsFeasibleChecksEverySense) {
+  Model m;
+  int x = m.AddVariable(0, 10, 0.0);
+  int y = m.AddVariable(0, 10, 0.0);
+  m.AddConstraint({{x, 1.0}, {y, 1.0}}, Sense::kLessEqual, 5.0);
+  m.AddConstraint({{x, 1.0}}, Sense::kGreaterEqual, 1.0);
+  m.AddConstraint({{y, 2.0}}, Sense::kEqual, 4.0);
+  EXPECT_TRUE(m.IsFeasible({2.0, 2.0}));
+  EXPECT_FALSE(m.IsFeasible({4.0, 2.0}));  // violates <=
+  EXPECT_FALSE(m.IsFeasible({0.5, 2.0}));  // violates >=
+  EXPECT_FALSE(m.IsFeasible({2.0, 1.0}));  // violates ==
+}
+
+TEST(ModelTest, ConstraintStorageRoundTrip) {
+  Model m;
+  int x = m.AddVariable(0, 1, 0.0);
+  int row = m.AddConstraint({{x, 2.5}}, Sense::kGreaterEqual, 0.5);
+  EXPECT_EQ(m.num_constraints(), 1);
+  const Constraint& c = m.constraint(row);
+  ASSERT_EQ(c.terms.size(), 1u);
+  EXPECT_EQ(c.terms[0].first, x);
+  EXPECT_DOUBLE_EQ(c.terms[0].second, 2.5);
+  EXPECT_EQ(c.sense, Sense::kGreaterEqual);
+  EXPECT_DOUBLE_EQ(c.rhs, 0.5);
+}
+
+TEST(ModelTest, SolveStatusNames) {
+  EXPECT_STREQ(ToString(SolveStatus::kOptimal), "optimal");
+  EXPECT_STREQ(ToString(SolveStatus::kInfeasible), "infeasible");
+  EXPECT_STREQ(ToString(SolveStatus::kUnbounded), "unbounded");
+  EXPECT_STREQ(ToString(SolveStatus::kIterationLimit), "iteration-limit");
+  EXPECT_STREQ(ToString(SolveStatus::kNodeLimit), "node-limit");
+}
+
+}  // namespace
+}  // namespace manirank::lp

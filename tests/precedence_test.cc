@@ -1,0 +1,110 @@
+#include "core/precedence.h"
+
+#include <gtest/gtest.h>
+
+#include "core/distance.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace manirank {
+namespace {
+
+TEST(PrecedenceTest, SingleRankingCounts) {
+  // Ranking [1, 0, 2]: 1 above 0 and 2; 0 above 2.
+  std::vector<Ranking> base = {Ranking({1, 0, 2})};
+  PrecedenceMatrix w = PrecedenceMatrix::Build(base);
+  // W[a][b] = #rankings placing b above a.
+  EXPECT_DOUBLE_EQ(w.W(0, 1), 1.0);  // 1 is above 0
+  EXPECT_DOUBLE_EQ(w.W(1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(w.W(2, 0), 1.0);
+  EXPECT_DOUBLE_EQ(w.W(2, 1), 1.0);
+  EXPECT_DOUBLE_EQ(w.PrefersCount(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(w.PrefersCount(0, 1), 0.0);
+}
+
+TEST(PrecedenceTest, PairCountsSumToProfileSize) {
+  Rng rng(3);
+  std::vector<Ranking> base;
+  for (int i = 0; i < 9; ++i) base.push_back(testing::RandomRanking(7, &rng));
+  PrecedenceMatrix w = PrecedenceMatrix::Build(base);
+  for (CandidateId a = 0; a < 7; ++a) {
+    for (CandidateId b = a + 1; b < 7; ++b) {
+      // Every ranking orders each pair one way or the other.
+      EXPECT_DOUBLE_EQ(w.W(a, b) + w.W(b, a), 9.0);
+    }
+    EXPECT_DOUBLE_EQ(w.W(a, a), 0.0);
+  }
+}
+
+TEST(PrecedenceTest, KemenyCostEqualsSummedKendallTau) {
+  Rng rng(5);
+  std::vector<Ranking> base;
+  for (int i = 0; i < 6; ++i) base.push_back(testing::RandomRanking(9, &rng));
+  PrecedenceMatrix w = PrecedenceMatrix::Build(base);
+  Ranking consensus = testing::RandomRanking(9, &rng);
+  int64_t kt_sum = 0;
+  for (const Ranking& r : base) kt_sum += KendallTau(consensus, r);
+  EXPECT_DOUBLE_EQ(w.KemenyCost(consensus), static_cast<double>(kt_sum));
+}
+
+TEST(PrecedenceTest, WeightedBuildScalesCounts) {
+  std::vector<Ranking> base = {Ranking({0, 1}), Ranking({1, 0})};
+  PrecedenceMatrix w = PrecedenceMatrix::BuildWeighted(base, {3.0, 5.0});
+  EXPECT_DOUBLE_EQ(w.W(1, 0), 3.0);  // first ranking puts 0 above 1
+  EXPECT_DOUBLE_EQ(w.W(0, 1), 5.0);
+}
+
+TEST(PrecedenceTest, WeightedWithUnitWeightsMatchesUnweighted) {
+  Rng rng(7);
+  std::vector<Ranking> base;
+  for (int i = 0; i < 5; ++i) base.push_back(testing::RandomRanking(8, &rng));
+  PrecedenceMatrix a = PrecedenceMatrix::Build(base);
+  PrecedenceMatrix b =
+      PrecedenceMatrix::BuildWeighted(base, std::vector<double>(5, 1.0));
+  for (CandidateId x = 0; x < 8; ++x) {
+    for (CandidateId y = 0; y < 8; ++y) {
+      EXPECT_DOUBLE_EQ(a.W(x, y), b.W(x, y));
+    }
+  }
+}
+
+TEST(PrecedenceTest, LowerBoundIsBelowEveryRankingCost) {
+  Rng rng(11);
+  std::vector<Ranking> base;
+  for (int i = 0; i < 8; ++i) base.push_back(testing::RandomRanking(6, &rng));
+  PrecedenceMatrix w = PrecedenceMatrix::Build(base);
+  const double bound = w.LowerBound();
+  for (int trial = 0; trial < 30; ++trial) {
+    Ranking r = testing::RandomRanking(6, &rng);
+    ASSERT_LE(bound, w.KemenyCost(r) + 1e-9);
+  }
+}
+
+TEST(PrecedenceTest, ParallelBuildIsDeterministic) {
+  Rng rng(13);
+  std::vector<Ranking> base;
+  for (int i = 0; i < 200; ++i) base.push_back(testing::RandomRanking(20, &rng));
+  PrecedenceMatrix w1 = PrecedenceMatrix::Build(base);
+  PrecedenceMatrix w2 = PrecedenceMatrix::Build(base);
+  for (CandidateId a = 0; a < 20; ++a) {
+    for (CandidateId b = 0; b < 20; ++b) {
+      ASSERT_DOUBLE_EQ(w1.W(a, b), w2.W(a, b));
+    }
+  }
+}
+
+TEST(PrecedenceTest, ToDenseRoundTrips) {
+  Rng rng(17);
+  std::vector<Ranking> base;
+  for (int i = 0; i < 4; ++i) base.push_back(testing::RandomRanking(5, &rng));
+  PrecedenceMatrix w = PrecedenceMatrix::Build(base);
+  PrecedenceMatrix copy(w.ToDense());
+  for (CandidateId a = 0; a < 5; ++a) {
+    for (CandidateId b = 0; b < 5; ++b) {
+      EXPECT_DOUBLE_EQ(copy.W(a, b), w.W(a, b));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace manirank

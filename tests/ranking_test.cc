@@ -1,0 +1,118 @@
+#include "core/ranking.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace manirank {
+namespace {
+
+TEST(RankingTest, IdentityPositions) {
+  Ranking r = Ranking::Identity(5);
+  EXPECT_EQ(r.size(), 5);
+  for (int p = 0; p < 5; ++p) {
+    EXPECT_EQ(r.At(p), p);
+    EXPECT_EQ(r.PositionOf(p), p);
+  }
+}
+
+TEST(RankingTest, ConstructFromOrder) {
+  Ranking r({2, 0, 1});
+  EXPECT_EQ(r.At(0), 2);
+  EXPECT_EQ(r.At(1), 0);
+  EXPECT_EQ(r.At(2), 1);
+  EXPECT_EQ(r.PositionOf(2), 0);
+  EXPECT_EQ(r.PositionOf(0), 1);
+  EXPECT_EQ(r.PositionOf(1), 2);
+}
+
+TEST(RankingTest, PrefersTopOverBottom) {
+  Ranking r({3, 1, 0, 2});
+  EXPECT_TRUE(r.Prefers(3, 2));
+  EXPECT_TRUE(r.Prefers(1, 0));
+  EXPECT_FALSE(r.Prefers(2, 3));
+  EXPECT_FALSE(r.Prefers(0, 1));
+}
+
+TEST(RankingTest, IsValidOrderDetectsBadInput) {
+  EXPECT_TRUE(Ranking::IsValidOrder({0, 1, 2}));
+  EXPECT_TRUE(Ranking::IsValidOrder({}));
+  EXPECT_FALSE(Ranking::IsValidOrder({0, 0, 1}));   // duplicate
+  EXPECT_FALSE(Ranking::IsValidOrder({0, 1, 3}));   // out of range
+  EXPECT_FALSE(Ranking::IsValidOrder({-1, 0, 1}));  // negative
+}
+
+TEST(RankingTest, SwapPositionsKeepsInverseInSync) {
+  Ranking r({0, 1, 2, 3});
+  r.SwapPositions(0, 3);
+  EXPECT_EQ(r.At(0), 3);
+  EXPECT_EQ(r.At(3), 0);
+  EXPECT_EQ(r.PositionOf(3), 0);
+  EXPECT_EQ(r.PositionOf(0), 3);
+  EXPECT_EQ(r.PositionOf(1), 1);
+}
+
+TEST(RankingTest, SwapCandidates) {
+  Ranking r({4, 3, 2, 1, 0});
+  r.SwapCandidates(4, 0);
+  EXPECT_EQ(r.At(0), 0);
+  EXPECT_EQ(r.At(4), 4);
+}
+
+TEST(RankingTest, DoubleSwapIsIdentity) {
+  Rng rng(3);
+  Ranking r = testing::RandomRanking(20, &rng);
+  const Ranking original = r;
+  r.SwapPositions(4, 17);
+  EXPECT_NE(r, original);
+  r.SwapPositions(4, 17);
+  EXPECT_EQ(r, original);
+}
+
+TEST(RankingTest, Reversed) {
+  Ranking r({2, 0, 1});
+  Ranking rev = r.Reversed();
+  EXPECT_EQ(rev.At(0), 1);
+  EXPECT_EQ(rev.At(1), 0);
+  EXPECT_EQ(rev.At(2), 2);
+  EXPECT_EQ(rev.Reversed(), r);
+}
+
+TEST(RankingTest, EqualityAndToString) {
+  Ranking a({1, 0}), b({1, 0}), c({0, 1});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a.ToString(), "[1 0]");
+  EXPECT_EQ(Ranking().ToString(), "[]");
+}
+
+TEST(RankingTest, EmptyRanking) {
+  Ranking r;
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.size(), 0);
+}
+
+class RankingPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RankingPropertyTest, PositionsStayConsistentUnderRandomSwaps) {
+  const int n = GetParam();
+  Rng rng(static_cast<uint64_t>(n));
+  Ranking r = testing::RandomRanking(n, &rng);
+  for (int step = 0; step < 200; ++step) {
+    int p = static_cast<int>(rng.NextUint64(n));
+    int q = static_cast<int>(rng.NextUint64(n));
+    r.SwapPositions(p, q);
+    // Invariant: At and PositionOf are mutual inverses.
+    for (int t = 0; t < n; ++t) {
+      ASSERT_EQ(r.PositionOf(r.At(t)), t);
+    }
+    ASSERT_TRUE(Ranking::IsValidOrder(r.order()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RankingPropertyTest,
+                         ::testing::Values(1, 2, 3, 7, 16, 33));
+
+}  // namespace
+}  // namespace manirank

@@ -1,0 +1,155 @@
+#include "core/selection_metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/fairness_metrics.h"
+#include "core/make_mr_fair.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace manirank {
+namespace {
+
+CandidateTable HalfTable(int n) {
+  std::vector<Attribute> attrs = {{"G", {"g0", "g1"}}};
+  std::vector<std::vector<AttributeValue>> values(n, std::vector<AttributeValue>(1));
+  for (int c = 0; c < n; ++c) values[c][0] = c < n / 2 ? 0 : 1;
+  return CandidateTable(std::move(attrs), std::move(values));
+}
+
+TEST(TopKShareTest, SegregatedRanking) {
+  CandidateTable t = HalfTable(10);
+  Ranking r = Ranking::Identity(10);  // group 0 occupies the top half
+  std::vector<double> share = TopKShare(r, t.attribute_grouping(0), 5);
+  EXPECT_DOUBLE_EQ(share[0], 1.0);
+  EXPECT_DOUBLE_EQ(share[1], 0.0);
+}
+
+TEST(TopKShareTest, SharesSumToOne) {
+  Rng rng(1);
+  CandidateTable t = testing::CyclicTable(24, 3, 2);
+  Ranking r = testing::RandomRanking(24, &rng);
+  for (int k : {1, 5, 12, 24}) {
+    for (const Grouping* g : t.constrained_groupings()) {
+      std::vector<double> share = TopKShare(r, *g, k);
+      EXPECT_NEAR(std::accumulate(share.begin(), share.end(), 0.0), 1.0, 1e-12);
+    }
+  }
+}
+
+TEST(SelectionRatesTest, InterleavedIsEven) {
+  CandidateTable t = HalfTable(8);
+  Ranking r({0, 4, 1, 5, 2, 6, 3, 7});
+  std::vector<double> rates = SelectionRates(r, t.attribute_grouping(0), 4);
+  EXPECT_DOUBLE_EQ(rates[0], 0.5);
+  EXPECT_DOUBLE_EQ(rates[1], 0.5);
+}
+
+TEST(SelectionRatesTest, FullKSelectsEveryone) {
+  Rng rng(2);
+  CandidateTable t = testing::CyclicTable(12, 2, 3);
+  Ranking r = testing::RandomRanking(12, &rng);
+  for (const Grouping* g : t.constrained_groupings()) {
+    for (double rate : SelectionRates(r, *g, 12)) {
+      EXPECT_DOUBLE_EQ(rate, 1.0);
+    }
+  }
+}
+
+TEST(AdverseImpactTest, SegregatedFailsInterleavedPasses) {
+  CandidateTable t = HalfTable(8);
+  const Grouping& g = t.attribute_grouping(0);
+  EXPECT_DOUBLE_EQ(AdverseImpactRatio(Ranking::Identity(8), g, 4), 0.0);
+  EXPECT_FALSE(PassesFourFifthsRule(Ranking::Identity(8), g, 4));
+  Ranking interleaved({0, 4, 1, 5, 2, 6, 3, 7});
+  EXPECT_DOUBLE_EQ(AdverseImpactRatio(interleaved, g, 4), 1.0);
+  EXPECT_TRUE(PassesFourFifthsRule(interleaved, g, 4));
+}
+
+TEST(AdverseImpactTest, ClassicEeocExample) {
+  // 60% vs 45% selection rates -> ratio 0.75 < 0.8: fails.
+  // Build: group0 = 5 members (3 selected), group1 = 5 members (2 selected)
+  // with k = 5: rates 0.6 / 0.4 -> 0.667 fails; adjust to a passing case
+  // with 3/5 vs 2/4... use exact construction below.
+  std::vector<Attribute> attrs = {{"G", {"a", "b"}}};
+  std::vector<std::vector<AttributeValue>> values(10, std::vector<AttributeValue>(1));
+  for (int c = 5; c < 10; ++c) values[c][0] = 1;
+  CandidateTable t(std::move(attrs), std::move(values));
+  // Top 5: three of group a, two of group b -> rates .6 vs .4 -> .667.
+  Ranking r({0, 1, 2, 5, 6, 3, 4, 7, 8, 9});
+  EXPECT_NEAR(AdverseImpactRatio(r, t.attribute_grouping(0), 5), 2.0 / 3.0,
+              1e-12);
+  EXPECT_FALSE(PassesFourFifthsRule(r, t.attribute_grouping(0), 5));
+  // Top 5 with 3-vs-2 flipped at the margin: rates .4/.6 identical ratio.
+  Ranking r2({5, 6, 7, 0, 1, 2, 3, 4, 8, 9});
+  EXPECT_NEAR(AdverseImpactRatio(r2, t.attribute_grouping(0), 5), 2.0 / 3.0,
+              1e-12);
+}
+
+TEST(GroupExposureTest, EqualGroupsInterleavedNearOne) {
+  CandidateTable t = HalfTable(16);
+  std::vector<CandidateId> order;
+  for (int i = 0; i < 8; ++i) {
+    order.push_back(i);
+    order.push_back(8 + i);
+  }
+  Ranking r(std::move(order));
+  std::vector<double> exposure = GroupExposure(r, t.attribute_grouping(0));
+  // The log2 discount is steep at the very top, so even a perfect
+  // interleave leaves the group holding position 0 ~8% ahead at n = 16.
+  EXPECT_NEAR(exposure[0], 1.0, 0.1);
+  EXPECT_NEAR(exposure[1], 1.0, 0.1);
+  EXPECT_LT(ExposureParity(r, t.attribute_grouping(0)), 0.2);
+}
+
+TEST(GroupExposureTest, TopGroupGetsMoreThanAverage) {
+  CandidateTable t = HalfTable(16);
+  Ranking r = Ranking::Identity(16);
+  std::vector<double> exposure = GroupExposure(r, t.attribute_grouping(0));
+  EXPECT_GT(exposure[0], 1.0);
+  EXPECT_LT(exposure[1], 1.0);
+  EXPECT_GT(ExposureParity(r, t.attribute_grouping(0)), 0.2);
+}
+
+TEST(GroupExposureTest, PopulationWeightedMeanIsOne) {
+  Rng rng(3);
+  CandidateTable t = testing::CyclicTable(30, 5, 3);
+  Ranking r = testing::RandomRanking(30, &rng);
+  for (const Grouping* g : t.constrained_groupings()) {
+    std::vector<double> exposure = GroupExposure(r, *g);
+    double weighted = 0.0;
+    for (int i = 0; i < g->num_groups(); ++i) {
+      weighted += exposure[i] * g->group_size(i);
+    }
+    EXPECT_NEAR(weighted / 30.0, 1.0, 1e-12);
+  }
+}
+
+TEST(GroupExposureTest, ManiRankRepairAlsoImprovesExposureAndTopK) {
+  // The paper's pairwise repair is not defined on exposure, but pulling
+  // FPR to parity should also move the alternative lenses toward parity.
+  CandidateTable t = HalfTable(40);
+  Ranking segregated = Ranking::Identity(40);
+  const Grouping& g = t.attribute_grouping(0);
+  const double exposure_before = ExposureParity(segregated, g);
+  const double air_before = AdverseImpactRatio(segregated, g, 10);
+  MakeMrFairOptions options;
+  options.delta = 0.05;
+  MakeMrFairResult repaired = MakeMrFair(segregated, t, options);
+  ASSERT_TRUE(repaired.satisfied);
+  EXPECT_LT(ExposureParity(repaired.ranking, g), exposure_before);
+  EXPECT_GT(AdverseImpactRatio(repaired.ranking, g, 10), air_before);
+  // Note: pairwise parity does NOT guarantee the four-fifths rule at any
+  // particular k. The repaired ranking can satisfy FPR parity with a
+  // "sandwich" structure (one group's block on top balanced by the other
+  // group owning the middle), leaving the top-k one-sided — the lenses
+  // are related but not equivalent, echoing the paper's point that every
+  // fairness target must be constrained explicitly. We assert only strict
+  // improvement over the fully segregated start (AIR 0).
+  EXPECT_GT(AdverseImpactRatio(repaired.ranking, g, 10), 0.0);
+}
+
+}  // namespace
+}  // namespace manirank

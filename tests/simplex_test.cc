@@ -1,0 +1,233 @@
+#include "lp/simplex.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lp/model.h"
+#include "util/rng.h"
+
+namespace manirank::lp {
+namespace {
+
+TEST(SimplexTest, TwoVariableMaximisation) {
+  // min -x - y  s.t. x + y <= 1, x,y in [0,1]  ->  obj -1 on the facet.
+  Model m;
+  int x = m.AddVariable(0, 1, -1.0);
+  int y = m.AddVariable(0, 1, -1.0);
+  m.AddConstraint({{x, 1.0}, {y, 1.0}}, Sense::kLessEqual, 1.0);
+  LpResult r = SolveLp(m);
+  ASSERT_EQ(r.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(r.objective, -1.0, 1e-9);
+  EXPECT_NEAR(r.x[x] + r.x[y], 1.0, 1e-9);
+}
+
+TEST(SimplexTest, ClassicTextbookLp) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  -> x=2, y=6, obj 36.
+  Model m;
+  int x = m.AddVariable(0, kInfinity, -3.0);
+  int y = m.AddVariable(0, kInfinity, -5.0);
+  m.AddConstraint({{x, 1.0}}, Sense::kLessEqual, 4.0);
+  m.AddConstraint({{y, 2.0}}, Sense::kLessEqual, 12.0);
+  m.AddConstraint({{x, 3.0}, {y, 2.0}}, Sense::kLessEqual, 18.0);
+  LpResult r = SolveLp(m);
+  ASSERT_EQ(r.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(r.objective, -36.0, 1e-8);
+  EXPECT_NEAR(r.x[x], 2.0, 1e-8);
+  EXPECT_NEAR(r.x[y], 6.0, 1e-8);
+}
+
+TEST(SimplexTest, EqualityConstraint) {
+  // min x + 2y s.t. x + y == 3, x in [0, 2], y in [0, 5] -> x=2, y=1.
+  Model m;
+  int x = m.AddVariable(0, 2, 1.0);
+  int y = m.AddVariable(0, 5, 2.0);
+  m.AddConstraint({{x, 1.0}, {y, 1.0}}, Sense::kEqual, 3.0);
+  LpResult r = SolveLp(m);
+  ASSERT_EQ(r.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(r.x[x], 2.0, 1e-8);
+  EXPECT_NEAR(r.x[y], 1.0, 1e-8);
+  EXPECT_NEAR(r.objective, 4.0, 1e-8);
+}
+
+TEST(SimplexTest, GreaterEqualNeedsPhaseOne) {
+  // min x + y s.t. x + y >= 2, x,y in [0, 3] -> obj 2.
+  Model m;
+  int x = m.AddVariable(0, 3, 1.0);
+  int y = m.AddVariable(0, 3, 1.0);
+  m.AddConstraint({{x, 1.0}, {y, 1.0}}, Sense::kGreaterEqual, 2.0);
+  LpResult r = SolveLp(m);
+  ASSERT_EQ(r.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 2.0, 1e-8);
+}
+
+TEST(SimplexTest, DetectsInfeasibility) {
+  Model m;
+  int x = m.AddVariable(0, 1, 1.0);
+  m.AddConstraint({{x, 1.0}}, Sense::kGreaterEqual, 2.0);
+  EXPECT_EQ(SolveLp(m).status, SolveStatus::kInfeasible);
+}
+
+TEST(SimplexTest, DetectsConflictingEqualities) {
+  Model m;
+  int x = m.AddVariable(0, 10, 0.0);
+  int y = m.AddVariable(0, 10, 0.0);
+  m.AddConstraint({{x, 1.0}, {y, 1.0}}, Sense::kEqual, 3.0);
+  m.AddConstraint({{x, 1.0}, {y, 1.0}}, Sense::kEqual, 5.0);
+  EXPECT_EQ(SolveLp(m).status, SolveStatus::kInfeasible);
+}
+
+TEST(SimplexTest, DetectsUnbounded) {
+  // min -x with x >= 0 unbounded above and a non-binding constraint.
+  Model m;
+  m.AddVariable(0, kInfinity, -1.0);  // x: drives the objective down forever
+  int y = m.AddVariable(0, 1, 0.0);
+  m.AddConstraint({{y, 1.0}}, Sense::kLessEqual, 1.0);
+  EXPECT_EQ(SolveLp(m).status, SolveStatus::kUnbounded);
+}
+
+TEST(SimplexTest, UnconstrainedModelUsesBounds) {
+  Model m;
+  int x = m.AddVariable(-2, 5, 1.0);   // minimise -> lower bound
+  int y = m.AddVariable(-2, 5, -1.0);  // maximise -> upper bound
+  LpResult r = SolveLp(m);
+  ASSERT_EQ(r.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(r.x[x], -2.0, 1e-12);
+  EXPECT_NEAR(r.x[y], 5.0, 1e-12);
+  EXPECT_NEAR(r.objective, -7.0, 1e-12);
+}
+
+TEST(SimplexTest, UnconstrainedUnbounded) {
+  Model m;
+  m.AddVariable(0, kInfinity, -1.0);
+  EXPECT_EQ(SolveLp(m).status, SolveStatus::kUnbounded);
+}
+
+TEST(SimplexTest, ObjectiveOffsetIsIncluded) {
+  Model m;
+  int x = m.AddVariable(0, 1, 1.0);
+  m.set_objective_offset(10.0);
+  m.AddConstraint({{x, 1.0}}, Sense::kGreaterEqual, 0.5);
+  LpResult r = SolveLp(m);
+  ASSERT_EQ(r.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 10.5, 1e-9);
+}
+
+TEST(SimplexTest, NegativeRhsLessEqual) {
+  // min y s.t. -x - y <= -2 (i.e. x + y >= 2), x,y in [0, 3].
+  Model m;
+  int x = m.AddVariable(0, 3, 0.0);
+  int y = m.AddVariable(0, 3, 1.0);
+  m.AddConstraint({{x, -1.0}, {y, -1.0}}, Sense::kLessEqual, -2.0);
+  LpResult r = SolveLp(m);
+  ASSERT_EQ(r.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 0.0, 1e-9);
+  EXPECT_NEAR(r.x[x], 2.0, 1e-8);
+}
+
+TEST(SimplexTest, VariableFixedByEqualBounds) {
+  Model m;
+  int x = m.AddVariable(2, 2, 5.0);
+  int y = m.AddVariable(0, 10, 1.0);
+  m.AddConstraint({{x, 1.0}, {y, 1.0}}, Sense::kGreaterEqual, 5.0);
+  LpResult r = SolveLp(m);
+  ASSERT_EQ(r.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(r.x[x], 2.0, 1e-12);
+  EXPECT_NEAR(r.x[y], 3.0, 1e-8);
+}
+
+TEST(SimplexTest, BoundOverridesAreRespected) {
+  Model m;
+  int x = m.AddVariable(0, 10, -1.0);
+  m.AddConstraint({{x, 1.0}}, Sense::kLessEqual, 8.0);
+  LpResult r = SolveLpWithBounds(m, {0.0}, {4.0});
+  ASSERT_EQ(r.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(r.x[x], 4.0, 1e-9);
+}
+
+TEST(SimplexTest, CrossedBoundOverridesAreInfeasible) {
+  Model m;
+  m.AddVariable(0, 10, 1.0);
+  EXPECT_EQ(SolveLpWithBounds(m, {5.0}, {4.0}).status,
+            SolveStatus::kInfeasible);
+}
+
+TEST(SimplexTest, DegenerateProblemTerminates) {
+  // Multiple redundant constraints through the same vertex.
+  Model m;
+  int x = m.AddVariable(0, kInfinity, -1.0);
+  int y = m.AddVariable(0, kInfinity, -1.0);
+  m.AddConstraint({{x, 1.0}, {y, 1.0}}, Sense::kLessEqual, 1.0);
+  m.AddConstraint({{x, 2.0}, {y, 2.0}}, Sense::kLessEqual, 2.0);
+  m.AddConstraint({{x, 1.0}}, Sense::kLessEqual, 1.0);
+  m.AddConstraint({{y, 1.0}}, Sense::kLessEqual, 1.0);
+  LpResult r = SolveLp(m);
+  ASSERT_EQ(r.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(r.objective, -1.0, 1e-9);
+}
+
+TEST(SimplexTest, IterationLimitSurfacesAsStatus) {
+  Model m;
+  int x = m.AddVariable(0, kInfinity, -3.0);
+  int y = m.AddVariable(0, kInfinity, -5.0);
+  m.AddConstraint({{x, 1.0}}, Sense::kLessEqual, 4.0);
+  m.AddConstraint({{y, 2.0}}, Sense::kLessEqual, 12.0);
+  m.AddConstraint({{x, 3.0}, {y, 2.0}}, Sense::kLessEqual, 18.0);
+  SimplexOptions options;
+  options.max_iterations = 1;
+  LpResult r = SolveLp(m, options);
+  EXPECT_EQ(r.status, SolveStatus::kIterationLimit);
+}
+
+/// Property: on random box-constrained problems the simplex solution is
+/// feasible and no grid point beats it.
+class SimplexRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SimplexRandomTest, BeatsGridSearch) {
+  Rng rng(GetParam());
+  const int nv = 3;
+  Model m;
+  for (int j = 0; j < nv; ++j) {
+    m.AddVariable(0.0, 1.0, rng.NextDouble() * 4.0 - 2.0);
+  }
+  const int nc = 2 + static_cast<int>(rng.NextUint64(3));
+  for (int c = 0; c < nc; ++c) {
+    Constraint con;
+    for (int j = 0; j < nv; ++j) {
+      con.terms.push_back({j, std::round((rng.NextDouble() * 4.0 - 2.0) * 4) / 4});
+    }
+    con.sense = rng.NextDouble() < 0.5 ? Sense::kLessEqual : Sense::kGreaterEqual;
+    // Anchor the rhs at a random interior point so the problem is feasible.
+    double lhs_at_half = 0.0;
+    for (auto& [j, coef] : con.terms) lhs_at_half += coef * 0.5;
+    con.rhs = lhs_at_half +
+              (con.sense == Sense::kLessEqual ? 1.0 : -1.0) * rng.NextDouble();
+    m.AddConstraint(std::move(con));
+  }
+  LpResult r = SolveLp(m);
+  ASSERT_EQ(r.status, SolveStatus::kOptimal) << "seed " << GetParam();
+  ASSERT_TRUE(m.IsFeasible(r.x, 1e-6));
+  // Grid search over [0,1]^3 at step 0.125.
+  double best_grid = 1e100;
+  constexpr int kSteps = 9;
+  std::vector<double> x(nv);
+  for (int i = 0; i < kSteps; ++i) {
+    x[0] = i / 8.0;
+    for (int j = 0; j < kSteps; ++j) {
+      x[1] = j / 8.0;
+      for (int k = 0; k < kSteps; ++k) {
+        x[2] = k / 8.0;
+        if (m.IsFeasible(x, 1e-9)) {
+          best_grid = std::min(best_grid, m.EvaluateObjective(x));
+        }
+      }
+    }
+  }
+  EXPECT_LE(r.objective, best_grid + 1e-7) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexRandomTest,
+                         ::testing::Range<uint64_t>(1, 31));
+
+}  // namespace
+}  // namespace manirank::lp

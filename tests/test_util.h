@@ -1,0 +1,66 @@
+#ifndef MANIRANK_TESTS_TEST_UTIL_H_
+#define MANIRANK_TESTS_TEST_UTIL_H_
+
+#include <numeric>
+#include <vector>
+
+#include "core/candidate_table.h"
+#include "core/ranking.h"
+#include "util/rng.h"
+
+namespace manirank::testing {
+
+/// Uniformly random ranking over n candidates.
+inline Ranking RandomRanking(int n, Rng* rng) {
+  std::vector<CandidateId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  rng->Shuffle(&order);
+  return Ranking(std::move(order));
+}
+
+/// Random candidate table with the given attribute domain sizes; every
+/// candidate gets uniform random values (all domains guaranteed non-empty
+/// by construction for n >= sum of domain sizes is NOT enforced — groups
+/// may be empty and groupings only materialise non-empty groups).
+inline CandidateTable RandomTable(int n, const std::vector<int>& domain_sizes,
+                                  Rng* rng) {
+  std::vector<Attribute> attributes;
+  for (size_t a = 0; a < domain_sizes.size(); ++a) {
+    Attribute attr;
+    attr.name = "attr" + std::to_string(a);
+    for (int v = 0; v < domain_sizes[a]; ++v) {
+      attr.values.push_back("v" + std::to_string(v));
+    }
+    attributes.push_back(std::move(attr));
+  }
+  std::vector<std::vector<AttributeValue>> values(
+      n, std::vector<AttributeValue>(domain_sizes.size()));
+  for (int c = 0; c < n; ++c) {
+    for (size_t a = 0; a < domain_sizes.size(); ++a) {
+      values[c][a] =
+          static_cast<AttributeValue>(rng->NextUint64(domain_sizes[a]));
+    }
+  }
+  return CandidateTable(std::move(attributes), std::move(values));
+}
+
+/// A two-attribute table where candidate i gets attribute values
+/// (i % d0, (i / d0) % d1) — deterministic, all groups non-empty for
+/// n >= d0 * d1.
+inline CandidateTable CyclicTable(int n, int d0, int d1) {
+  std::vector<Attribute> attributes(2);
+  attributes[0].name = "A";
+  for (int v = 0; v < d0; ++v) attributes[0].values.push_back("a" + std::to_string(v));
+  attributes[1].name = "B";
+  for (int v = 0; v < d1; ++v) attributes[1].values.push_back("b" + std::to_string(v));
+  std::vector<std::vector<AttributeValue>> values(n, std::vector<AttributeValue>(2));
+  for (int c = 0; c < n; ++c) {
+    values[c][0] = static_cast<AttributeValue>(c % d0);
+    values[c][1] = static_cast<AttributeValue>((c / d0) % d1);
+  }
+  return CandidateTable(std::move(attributes), std::move(values));
+}
+
+}  // namespace manirank::testing
+
+#endif  // MANIRANK_TESTS_TEST_UTIL_H_

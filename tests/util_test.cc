@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <sstream>
+
+#include "util/fenwick.h"
+#include "util/rng.h"
+#include "util/table_printer.h"
+#include "util/threading.h"
+
+namespace manirank {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a() == b());
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextUint64RespectsBound) {
+  Rng rng(7);
+  for (uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.NextUint64(bound), bound);
+  }
+}
+
+TEST(RngTest, NextUint64CoversAllResidues) {
+  Rng rng(99);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.NextUint64(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, NextIntInclusiveRange) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0.0;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    double v = rng.NextDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.01);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(13);
+  double sum = 0.0, sum_sq = 0.0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) {
+    double v = rng.NextGaussian();
+    sum += v;
+    sum_sq += v * v;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / kDraws, 1.0, 0.03);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(17);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  rng.Shuffle(&v);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(RngTest, SplitStreamsAreDecorrelated) {
+  Rng parent(19);
+  Rng child = parent.Split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (parent() == child());
+  EXPECT_LT(same, 2);
+}
+
+TEST(FenwickTest, PrefixSums) {
+  Fenwick f(10);
+  for (size_t i = 0; i < 10; ++i) f.Add(i, static_cast<int64_t>(i));
+  // Prefix of [0, k): sum of 0..k-1.
+  for (size_t k = 0; k <= 10; ++k) {
+    EXPECT_EQ(f.PrefixSum(k), static_cast<int64_t>(k * (k - 1) / 2));
+  }
+}
+
+TEST(FenwickTest, RangeSum) {
+  Fenwick f(8);
+  for (size_t i = 0; i < 8; ++i) f.Add(i, 1);
+  EXPECT_EQ(f.RangeSum(2, 5), 3);
+  EXPECT_EQ(f.RangeSum(5, 5), 0);
+  EXPECT_EQ(f.RangeSum(5, 2), 0);
+  EXPECT_EQ(f.Total(), 8);
+}
+
+TEST(FenwickTest, NegativeUpdates) {
+  Fenwick f(4);
+  f.Add(0, 5);
+  f.Add(2, -3);
+  EXPECT_EQ(f.PrefixSum(1), 5);
+  EXPECT_EQ(f.PrefixSum(3), 2);
+}
+
+TEST(FenwickTest, LowerBoundFindsKthElement) {
+  Fenwick f(10);
+  // Free slots at 1, 3, 5, 7, 9.
+  for (size_t i : {1u, 3u, 5u, 7u, 9u}) f.Add(i, 1);
+  EXPECT_EQ(f.LowerBound(1), 1u);
+  EXPECT_EQ(f.LowerBound(2), 3u);
+  EXPECT_EQ(f.LowerBound(3), 5u);
+  EXPECT_EQ(f.LowerBound(5), 9u);
+}
+
+TEST(FenwickTest, LowerBoundAgainstLinearScan) {
+  Rng rng(23);
+  for (int trial = 0; trial < 50; ++trial) {
+    const size_t n = 1 + rng.NextUint64(64);
+    Fenwick f(n);
+    std::vector<int64_t> raw(n, 0);
+    for (size_t i = 0; i < n; ++i) {
+      int64_t v = static_cast<int64_t>(rng.NextUint64(3));
+      raw[i] = v;
+      f.Add(i, v);
+    }
+    const int64_t total = f.Total();
+    for (int64_t target = 1; target <= total; ++target) {
+      size_t expected = 0;
+      int64_t acc = 0;
+      for (; expected < n; ++expected) {
+        acc += raw[expected];
+        if (acc >= target) break;
+      }
+      EXPECT_EQ(f.LowerBound(target), expected) << "n=" << n << " t=" << target;
+    }
+  }
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"b", "22.5"});
+  std::ostringstream os;
+  t.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TablePrinterTest, CsvOutput) {
+  TablePrinter t({"a", "b"});
+  t.AddRow({"1", "2"});
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TablePrinterTest, FmtPrecision) {
+  EXPECT_EQ(TablePrinter::Fmt(0.12345, 3), "0.123");
+  EXPECT_EQ(TablePrinter::Fmt(2.0, 1), "2.0");
+}
+
+TEST(ThreadingTest, ParallelForCoversRangeExactlyOnce) {
+  constexpr size_t kCount = 1000;
+  std::vector<std::atomic<int>> hits(kCount);
+  ParallelFor(kCount, [&](size_t begin, size_t end, size_t) {
+    for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (size_t i = 0; i < kCount; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadingTest, ParallelForZeroAndOne) {
+  int calls = 0;
+  ParallelFor(0, [&](size_t, size_t, size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  ParallelFor(1, [&](size_t begin, size_t end, size_t) {
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 1u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadingTest, ExplicitThreadCount) {
+  std::atomic<long> sum{0};
+  ParallelFor(
+      100, [&](size_t begin, size_t end, size_t) {
+        for (size_t i = begin; i < end; ++i) sum += static_cast<long>(i);
+      },
+      3);
+  EXPECT_EQ(sum.load(), 4950);
+}
+
+}  // namespace
+}  // namespace manirank
