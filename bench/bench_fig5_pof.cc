@@ -48,20 +48,19 @@ int main() {
     ModalDesignResult design =
         TableIDatasetScaled(TableIDataset::kLowFair, per_cell);
     MallowsModel model(design.modal, 0.6);
-    std::vector<Ranking> base = model.SampleMany(num_rankings, 52);
-    PrecedenceMatrix w = PrecedenceMatrix::Build(base);
-    KemenyResult kemeny = KemenyAggregate(w);
-    const double pd_unfair = PdLoss(base, kemeny.ranking);
+    // One context for the whole Delta sweep: 25 method runs, one
+    // precedence build.
+    ConsensusContext ctx(model.SampleMany(num_rankings, 52), design.table);
+    KemenyResult kemeny = KemenyAggregate(ctx.Precedence());
+    const double pd_unfair = PdLoss(ctx.base_rankings(), kemeny.ranking);
 
     TablePrinter table({"Delta", "method", "PoF", "fair@Delta"});
     for (double delta : {0.1, 0.2, 0.3, 0.4, 0.5}) {
-      ConsensusInput input;
-      input.base_rankings = &base;
-      input.table = &design.table;
-      input.delta = delta;
-      input.time_limit_seconds = ilp_cap;
+      ConsensusOptions options;
+      options.delta = delta;
+      options.time_limit_seconds = ilp_cap;
       for (const char* id : {"A1", "A2", "A3", "A4", "B4"}) {
-        MethodRun run = RunMethod(*FindMethod(id), input);
+        MethodRun run = RunMethod(*FindMethod(id), ctx, options);
         table.AddRow({Fmt(delta, 1), "(" + run.id + ") " + run.name,
                       Fmt(run.pd_loss - pd_unfair),
                       run.satisfied ? "yes" : "NO"});

@@ -1,16 +1,155 @@
-// Microbenchmarks (google-benchmark) for the library's hot kernels:
-// Kendall tau, FPR evaluation, precedence-matrix construction, Mallows
-// sampling, the two Make-MR-Fair engines, and the LP engine, plus the
-// lazy-cut vs eager-constraint ablation for the Kemeny ILP.
+// Kernel benchmarks. Two modes:
+//
+//   ./bench_kernels            writes BENCH_kernels.json: a machine-readable
+//                              comparison of running a 5-method registry
+//                              sweep against one shared ConsensusContext vs
+//                              rebuilding every cached structure per method
+//                              (the pre-context behaviour), plus raw kernel
+//                              timings seeding the perf trajectory.
+//   ./bench_kernels --micro    additionally runs the google-benchmark micro
+//                              suite (Kendall tau, FPR, precedence build,
+//                              Mallows sampling, Make-MR-Fair engines, LP).
+//
+// Any further arguments after --micro are forwarded to google-benchmark.
+// The JSON mode has no dependency on google-benchmark; when the library is
+// absent the binary still builds (MANIRANK_HAVE_BENCHMARK unset) and
+// --micro reports that the suite was compiled out.
 
+#ifdef MANIRANK_HAVE_BENCHMARK
 #include <benchmark/benchmark.h>
+#endif
+
+#include <cstdio>
+#include <cstring>
+#include <iterator>
+#include <string>
 
 #include "manirank.h"
 #include "util/rng.h"
+#include "util/stopwatch.h"
 
 namespace {
 
 using namespace manirank;
+
+// --- shared-context vs per-method-rebuild comparison ------------------------
+
+/// The polynomial/fast 5-method sweep of the comparison: three methods
+/// need the precedence matrix (A2, A4, B1 — at theta 0.6 the majority
+/// digraph is transitive, so B1 takes the O(n^2) fast path) and two need
+/// the per-base-ranking parity scores (B3, B4).
+constexpr const char* kSweepMethods[] = {"A2", "A4", "B1", "B3", "B4"};
+
+struct SweepResult {
+  double seconds = 0.0;
+  int precedence_builds = 0;
+  int parity_score_builds = 0;
+};
+
+SweepResult RunShared(const std::vector<Ranking>& base,
+                      const CandidateTable& table,
+                      const ConsensusOptions& options) {
+  Stopwatch timer;
+  ConsensusContext ctx(base, table);
+  for (const char* id : kSweepMethods) ctx.RunMethod(id, options);
+  SweepResult r;
+  r.seconds = timer.Seconds();
+  r.precedence_builds = ctx.stats().precedence_builds;
+  r.parity_score_builds = ctx.stats().parity_score_builds;
+  return r;
+}
+
+SweepResult RunRebuilding(const std::vector<Ranking>& base,
+                          const CandidateTable& table,
+                          const ConsensusOptions& options) {
+  Stopwatch timer;
+  SweepResult r;
+  for (const char* id : kSweepMethods) {
+    // A fresh context per method: every cached structure is rebuilt, which
+    // is exactly what each registry method did before the context layer.
+    ConsensusContext ctx(base, table);
+    ctx.RunMethod(id, options);
+    r.precedence_builds += ctx.stats().precedence_builds;
+    r.parity_score_builds += ctx.stats().parity_score_builds;
+  }
+  r.seconds = timer.Seconds();
+  return r;
+}
+
+int WriteKernelJson(const char* path) {
+  const int n = 100;
+  const int num_rankings = 2000;
+  const double theta = 0.6;
+  ModalDesignResult design = MakeRankerScaleDataset(n);
+  MallowsModel model(design.modal, theta);
+  std::vector<Ranking> base = model.SampleMany(num_rankings, /*seed=*/17);
+  ConsensusOptions options;
+  options.delta = 0.1;
+  options.time_limit_seconds = 10.0;
+
+  // Raw kernel timings for the perf trajectory.
+  Stopwatch build_timer;
+  PrecedenceMatrix w = PrecedenceMatrix::Build(base);
+  const double precedence_build_seconds = build_timer.Seconds();
+  Stopwatch parity_timer;
+  const std::vector<double> weights = FairnessWeights(base, design.table);
+  const double parity_scores_seconds = parity_timer.Seconds();
+  (void)w;
+  (void)weights;
+
+  // Best-of-3 for each scenario to damp scheduler noise.
+  SweepResult shared, rebuild;
+  for (int rep = 0; rep < 3; ++rep) {
+    SweepResult s = RunShared(base, design.table, options);
+    SweepResult r = RunRebuilding(base, design.table, options);
+    if (rep == 0 || s.seconds < shared.seconds) shared = s;
+    if (rep == 0 || r.seconds < rebuild.seconds) rebuild = r;
+  }
+  const double speedup = shared.seconds > 0.0
+                             ? rebuild.seconds / shared.seconds
+                             : 0.0;
+
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"kernels\",\n");
+  std::fprintf(f,
+               "  \"sweep\": {\"n\": %d, \"num_rankings\": %d, \"theta\": "
+               "%.2f, \"delta\": %.2f, \"methods\": [",
+               n, num_rankings, theta, options.delta);
+  for (size_t i = 0; i < std::size(kSweepMethods); ++i) {
+    std::fprintf(f, "%s\"%s\"", i == 0 ? "" : ", ", kSweepMethods[i]);
+  }
+  std::fprintf(f, "]},\n");
+  std::fprintf(f, "  \"shared_context\": {\"seconds\": %.6f, "
+               "\"precedence_builds\": %d, \"parity_score_builds\": %d},\n",
+               shared.seconds, shared.precedence_builds,
+               shared.parity_score_builds);
+  std::fprintf(f, "  \"per_method_rebuild\": {\"seconds\": %.6f, "
+               "\"precedence_builds\": %d, \"parity_score_builds\": %d},\n",
+               rebuild.seconds, rebuild.precedence_builds,
+               rebuild.parity_score_builds);
+  std::fprintf(f, "  \"speedup\": %.3f,\n", speedup);
+  std::fprintf(f, "  \"kernels\": {\"precedence_build_seconds\": %.6f, "
+               "\"parity_scores_seconds\": %.6f}\n",
+               precedence_build_seconds, parity_scores_seconds);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+
+  std::printf("shared context:     %.4fs (%d precedence builds)\n",
+              shared.seconds, shared.precedence_builds);
+  std::printf("per-method rebuild: %.4fs (%d precedence builds)\n",
+              rebuild.seconds, rebuild.precedence_builds);
+  std::printf("speedup: %.2fx  ->  %s\n", speedup, path);
+  return 0;
+}
+
+// --- google-benchmark micro suite -------------------------------------------
+
+#ifdef MANIRANK_HAVE_BENCHMARK
 
 Ranking RandomRanking(int n, Rng* rng) {
   std::vector<CandidateId> order(n);
@@ -174,6 +313,33 @@ BENCHMARK(BM_SimplexLp)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(5);
 
+#endif  // MANIRANK_HAVE_BENCHMARK
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const int json_status = WriteKernelJson("BENCH_kernels.json");
+  bool micro = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--micro") == 0) {
+      micro = true;
+      // Strip --micro so google-benchmark sees only its own flags.
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      break;
+    }
+  }
+  if (!micro) return json_status;
+#ifdef MANIRANK_HAVE_BENCHMARK
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return json_status;
+#else
+  std::fprintf(stderr,
+               "--micro requested but this binary was built without "
+               "google-benchmark\n");
+  return 1;
+#endif
+}

@@ -4,7 +4,10 @@
 //
 // Rankings are streamed: each Mallows sample is drawn, folded into the
 // Borda point totals, and discarded, so |R| = 10M needs no ranking storage
-// (the paper reports 50.75 s for 10M rankings on their machine).
+// (the paper reports 50.75 s for 10M rankings on their machine). Because
+// nothing is retained, this harness bypasses ConsensusContext (which owns
+// its profile) and drives the streaming kernel directly; the repeated
+// small ParallelFor regions reuse the persistent worker pool.
 
 #include <atomic>
 

@@ -43,14 +43,13 @@ int main() {
     add_row(data.year_labels[y], data.yearly_rankings[y]);
   }
 
-  ConsensusInput input;
-  input.base_rankings = &data.yearly_rankings;
-  input.table = &t;
-  input.delta = 0.05;
-  input.time_limit_seconds = FullScale() ? 60.0 : 15.0;
+  ConsensusContext ctx(data.yearly_rankings, t);
+  ConsensusOptions options;
+  options.delta = 0.05;
+  options.time_limit_seconds = FullScale() ? 60.0 : 15.0;
   for (const char* id : {"B1", "A1", "A2", "A3", "A4"}) {
     const MethodSpec* method = FindMethod(id);
-    ConsensusOutput out = method->run(input);
+    ConsensusOutput out = method->run(ctx, options);
     add_row(method->name, out.consensus);
   }
   table.Print(std::cout);

@@ -76,14 +76,29 @@ struct MethodRun {
   bool exact = true;
 };
 
-inline MethodRun RunMethod(const MethodSpec& method, const ConsensusInput& in) {
+/// Forces the context's shared caches (precedence matrix + parity scores)
+/// and returns the seconds spent. Scaling harnesses call this before
+/// timing methods so the shared build is reported once, explicitly —
+/// otherwise the first method to run would silently absorb it and later
+/// methods would report cache-warm marginal costs that depend on sweep
+/// order.
+inline double WarmContext(const ConsensusContext& ctx) {
+  Stopwatch timer;
+  ctx.Precedence();
+  ctx.BaseParityScores();
+  return timer.Seconds();
+}
+
+inline MethodRun RunMethod(const MethodSpec& method,
+                           const ConsensusContext& ctx,
+                           const ConsensusOptions& options) {
   MethodRun run;
   run.id = method.id;
   run.name = method.name;
-  ConsensusOutput out = method.run(in);
+  ConsensusOutput out = method.run(ctx, options);
   run.seconds = out.seconds;
-  run.pd_loss = PdLoss(*in.base_rankings, out.consensus);
-  run.parity = EvaluateFairness(out.consensus, *in.table).parity;
+  run.pd_loss = PdLoss(ctx.base_rankings(), out.consensus);
+  run.parity = ctx.EvaluateFairness(out.consensus).parity;
   run.satisfied = out.satisfied;
   run.exact = out.exact;
   return run;

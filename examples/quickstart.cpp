@@ -39,33 +39,35 @@ int main() {
   };
 
   // --- 3. measure fairness -------------------------------------------------
-  PrecedenceMatrix w = PrecedenceMatrix::Build(panel);
-  KemenyResult kemeny = KemenyAggregate(w);
-  FairnessReport before = EvaluateFairness(kemeny.ranking, applicants);
-  std::cout << "Kemeny consensus:      " << kemeny.ranking.ToString() << "\n";
+  // The ConsensusContext owns the profile and caches the precedence
+  // matrix; every method run against it shares one Definition-11 build.
+  ConsensusContext ctx(panel, applicants);
+  ConsensusOptions options;
+  options.delta = 0.2;  // required proximity to statistical parity
+
+  ConsensusOutput kemeny = ctx.RunMethod("Kemeny", options);
+  FairnessReport before = ctx.EvaluateFairness(kemeny.consensus);
+  std::cout << "Kemeny consensus:      " << kemeny.consensus.ToString() << "\n";
   std::cout << "  ARP Gender  = " << before.parity[0] << "\n";
   std::cout << "  ARP Veteran = " << before.parity[1] << "\n";
   std::cout << "  IRP         = " << before.parity[2] << "\n";
-  std::cout << "  PD loss     = " << PdLoss(panel, kemeny.ranking) << "\n\n";
+  std::cout << "  PD loss     = " << PdLoss(panel, kemeny.consensus) << "\n\n";
 
   // --- 4. fair consensus ---------------------------------------------------
-  FairKemenyOptions options;
-  options.delta = 0.2;  // required proximity to statistical parity
-  FairKemenyResult fair = FairKemenyAggregate(w, applicants, options);
-  FairnessReport after = EvaluateFairness(fair.ranking, applicants);
-  std::cout << "Fair-Kemeny consensus: " << fair.ranking.ToString() << "\n";
+  ConsensusOutput fair = ctx.RunMethod("Fair-Kemeny", options);
+  FairnessReport after = ctx.EvaluateFairness(fair.consensus);
+  std::cout << "Fair-Kemeny consensus: " << fair.consensus.ToString() << "\n";
   std::cout << "  ARP Gender  = " << after.parity[0] << "\n";
   std::cout << "  ARP Veteran = " << after.parity[1] << "\n";
   std::cout << "  IRP         = " << after.parity[2] << "\n";
-  std::cout << "  PD loss     = " << PdLoss(panel, fair.ranking) << "\n";
-  std::cout << "  optimal     = " << (fair.optimal ? "yes" : "no") << "\n\n";
+  std::cout << "  PD loss     = " << PdLoss(panel, fair.consensus) << "\n";
+  std::cout << "  optimal     = " << (fair.exact ? "yes" : "no") << "\n\n";
 
   std::cout << "Price of fairness: "
-            << PriceOfFairness(panel, fair.ranking, kemeny.ranking) << "\n";
+            << PriceOfFairness(panel, fair.consensus, kemeny.consensus) << "\n";
   std::cout << "MANI-Rank satisfied at Delta=0.2: "
-            << (SatisfiesManiRank(fair.ranking, applicants, options.delta)
-                    ? "yes"
-                    : "no")
-            << "\n";
+            << (fair.satisfied ? "yes" : "no") << "\n";
+  std::cout << "Precedence-matrix builds for both methods: "
+            << ctx.stats().precedence_builds << "\n";
   return 0;
 }

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "manirank.h"
+#include "util/stopwatch.h"
 #include "util/table_printer.h"
 
 namespace {
@@ -37,7 +38,7 @@ int Usage() {
   std::cerr <<
       "usage:\n"
       "  manirank audit     --table T.csv --rankings R.csv\n"
-      "  manirank consensus --table T.csv --rankings R.csv [--method ID]\n"
+      "  manirank consensus --table T.csv --rankings R.csv [--method ID|all]\n"
       "                     [--delta D] [--time-limit S] [--output out.csv]\n"
       "  manirank methods\n";
   return 2;
@@ -141,25 +142,71 @@ int RunAudit(const Args& args) {
 int RunConsensus(const Args& args) {
   std::optional<Study> study = Load(args);
   if (!study) return 1;
-  const MethodSpec* method = FindMethod(args.method);
-  if (method == nullptr) {
+  const bool run_all = args.method == "all";
+  const MethodSpec* method = run_all ? nullptr : FindMethod(args.method);
+  if (!run_all && method == nullptr) {
     std::cerr << "unknown method '" << args.method
               << "' (see `manirank methods`)\n";
     return 2;
   }
-  ConsensusInput input;
-  input.base_rankings = &study->rankings;
-  input.table = &study->table;
-  input.delta = args.delta;
-  input.time_limit_seconds = args.time_limit;
-  ConsensusOutput result = method->run(input);
+  // The context owns the rankings and shares every cached structure
+  // (precedence matrix, parity scores) across method runs.
+  ConsensusContext ctx(std::move(study->rankings), study->table);
+  ConsensusOptions options;
+  options.delta = args.delta;
+  options.time_limit_seconds = args.time_limit;
+
+  if (run_all) {
+    // Batch sweep: every registry method against one shared context (the
+    // precedence matrix is built exactly once for the whole table). Warm
+    // the shared caches first so the per-method secs column reports
+    // marginal costs instead of charging the build to the first method.
+    Stopwatch warm_timer;
+    ctx.Precedence();
+    ctx.BaseParityScores();
+    std::cout << "shared precedence+parity build: "
+              << TablePrinter::Fmt(warm_timer.Seconds(), 3) << "s\n";
+    std::vector<ConsensusOutput> outputs = ctx.RunAll(options);
+    TablePrinter out({"method", "PD loss", "max ARP/IRP", "fair", "secs"});
+    const auto& methods = AllMethods();
+    for (size_t i = 0; i < methods.size(); ++i) {
+      out.AddRow({"(" + methods[i].id + ") " + methods[i].name,
+                  TablePrinter::Fmt(
+                      PdLoss(ctx.base_rankings(), outputs[i].consensus), 4),
+                  TablePrinter::Fmt(
+                      ctx.EvaluateFairness(outputs[i].consensus).MaxParity(),
+                      3),
+                  outputs[i].satisfied ? "yes" : "NO",
+                  TablePrinter::Fmt(outputs[i].seconds, 2)});
+    }
+    out.Print(std::cout);
+    if (!args.output_path.empty()) {
+      std::ofstream out_file(args.output_path);
+      if (!out_file) {
+        std::cerr << "cannot open output file: " << args.output_path << "\n";
+        return 1;
+      }
+      std::vector<Ranking> consensuses;
+      for (ConsensusOutput& o : outputs) {
+        consensuses.push_back(std::move(o.consensus));
+      }
+      WriteRankingsCsv(out_file, consensuses);
+      std::cout << "all " << consensuses.size()
+                << " consensus rankings written to " << args.output_path
+                << " (rows in method order A1..B4)\n";
+    }
+    return 0;
+  }
+
+  ConsensusOutput result = method->run(ctx, options);
 
   TablePrinter out(FairnessHeader(study->table));
   PrintFairness("consensus (" + method->name + ")", result.consensus,
                 study->table, &out);
   out.Print(std::cout);
   std::cout << "PD loss: "
-            << TablePrinter::Fmt(PdLoss(study->rankings, result.consensus), 4)
+            << TablePrinter::Fmt(PdLoss(ctx.base_rankings(), result.consensus),
+                                 4)
             << "  time: " << TablePrinter::Fmt(result.seconds, 2) << "s"
             << "  delta " << args.delta << " satisfied: "
             << (result.satisfied ? "yes" : "no")

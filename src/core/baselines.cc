@@ -12,13 +12,9 @@ double MaxParityScore(const Ranking& ranking, const CandidateTable& table) {
   return EvaluateFairness(ranking, table).MaxParity();
 }
 
-std::vector<double> FairnessWeights(const std::vector<Ranking>& base_rankings,
-                                    const CandidateTable& table) {
-  const size_t m = base_rankings.size();
-  std::vector<double> scores(m);
-  for (size_t i = 0; i < m; ++i) {
-    scores[i] = MaxParityScore(base_rankings[i], table);
-  }
+std::vector<double> FairnessWeightsFromScores(
+    const std::vector<double>& scores) {
+  const size_t m = scores.size();
   // Sort indices from least fair (highest score) to most fair.
   std::vector<size_t> idx(m);
   std::iota(idx.begin(), idx.end(), 0);
@@ -34,6 +30,16 @@ std::vector<double> FairnessWeights(const std::vector<Ranking>& base_rankings,
   return weights;
 }
 
+std::vector<double> FairnessWeights(const std::vector<Ranking>& base_rankings,
+                                    const CandidateTable& table) {
+  const size_t m = base_rankings.size();
+  std::vector<double> scores(m);
+  for (size_t i = 0; i < m; ++i) {
+    scores[i] = MaxParityScore(base_rankings[i], table);
+  }
+  return FairnessWeightsFromScores(scores);
+}
+
 KemenyResult KemenyWeighted(const std::vector<Ranking>& base_rankings,
                             const CandidateTable& table,
                             const KemenyOptions& options) {
@@ -43,18 +49,25 @@ KemenyResult KemenyWeighted(const std::vector<Ranking>& base_rankings,
   return KemenyAggregate(w, options);
 }
 
-size_t PickFairestPermIndex(const std::vector<Ranking>& base_rankings,
-                            const CandidateTable& table) {
+size_t PickFairestPermIndexFromScores(const std::vector<double>& scores) {
   size_t best = 0;
   double best_score = std::numeric_limits<double>::infinity();
-  for (size_t i = 0; i < base_rankings.size(); ++i) {
-    const double score = MaxParityScore(base_rankings[i], table);
-    if (score < best_score) {
-      best_score = score;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    if (scores[i] < best_score) {
+      best_score = scores[i];
       best = i;
     }
   }
   return best;
+}
+
+size_t PickFairestPermIndex(const std::vector<Ranking>& base_rankings,
+                            const CandidateTable& table) {
+  std::vector<double> scores(base_rankings.size());
+  for (size_t i = 0; i < base_rankings.size(); ++i) {
+    scores[i] = MaxParityScore(base_rankings[i], table);
+  }
+  return PickFairestPermIndexFromScores(scores);
 }
 
 Ranking PickFairestPerm(const std::vector<Ranking>& base_rankings,

@@ -27,10 +27,22 @@ KemenyResult KemenyWeighted(const std::vector<Ranking>& base_rankings,
 std::vector<double> FairnessWeights(const std::vector<Ranking>& base_rankings,
                                     const CandidateTable& table);
 
+/// The weight assignment of FairnessWeights from precomputed per-ranking
+/// parity scores (lower = fairer): |R| for the lowest score down to 1 for
+/// the highest, ties broken by index. Shared with ConsensusContext, which
+/// caches the scores.
+std::vector<double> FairnessWeightsFromScores(
+    const std::vector<double>& scores);
+
 /// B3 Pick-Fairest-Perm (§IV-B): the Pick-A-Perm variant returning the base
 /// ranking with the lowest max ARP/IRP.
 size_t PickFairestPermIndex(const std::vector<Ranking>& base_rankings,
                             const CandidateTable& table);
+
+/// The selection rule of PickFairestPermIndex from precomputed parity
+/// scores: index of the lowest score, first occurrence wins. Shared with
+/// ConsensusContext, which caches the scores. `scores` must be non-empty.
+size_t PickFairestPermIndexFromScores(const std::vector<double>& scores);
 Ranking PickFairestPerm(const std::vector<Ranking>& base_rankings,
                         const CandidateTable& table);
 

@@ -1,0 +1,161 @@
+#include "core/context.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+
+#include "core/baselines.h"
+#include "core/method_registry.h"
+
+namespace manirank {
+namespace {
+
+/// FNV-1a over the raw bytes of the weight vector. Collisions are handled
+/// by exact comparison, so the hash only needs to spread well.
+uint64_t HashWeights(const std::vector<double>& weights) {
+  uint64_t h = 1469598103934665603ull;
+  for (double w : weights) {
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(w), "double must be 64-bit");
+    std::memcpy(&bits, &w, sizeof(bits));
+    for (int i = 0; i < 8; ++i) {
+      h ^= (bits >> (8 * i)) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  }
+  return h;
+}
+
+}  // namespace
+
+ConsensusContext::ConsensusContext(std::vector<Ranking> base_rankings,
+                                   const CandidateTable& table)
+    : base_(std::move(base_rankings)), table_(&table) {
+  const int n = table.num_candidates();
+  for (const Grouping* g : table.constrained_groupings()) {
+    std::vector<int64_t> denoms(g->num_groups());
+    for (int i = 0; i < g->num_groups(); ++i) {
+      denoms[i] = MixedPairs(g->group_size(i), n);
+    }
+    mixed_pair_denoms_.push_back(std::move(denoms));
+  }
+}
+
+const PrecedenceMatrix& ConsensusContext::Precedence() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!precedence_) {
+    precedence_ =
+        std::make_unique<PrecedenceMatrix>(PrecedenceMatrix::Build(base_));
+    ++stats_.precedence_builds;
+  }
+  return *precedence_;
+}
+
+const PrecedenceMatrix& ConsensusContext::WeightedPrecedence(
+    const std::vector<double>& weights) const {
+  const uint64_t key = HashWeights(weights);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [hash, entry] : weighted_) {
+    if (hash == key && entry.weights == weights) {
+      ++stats_.weighted_hits;
+      return *entry.matrix;
+    }
+  }
+  WeightedEntry entry;
+  entry.weights = weights;
+  entry.matrix = std::make_unique<PrecedenceMatrix>(
+      PrecedenceMatrix::BuildWeighted(base_, weights));
+  ++stats_.weighted_builds;
+  weighted_.emplace_back(key, std::move(entry));
+  return *weighted_.back().second.matrix;
+}
+
+const std::vector<double>& ConsensusContext::BaseParityScores() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!parity_scores_) {
+    auto scores = std::make_unique<std::vector<double>>(base_.size());
+    for (size_t i = 0; i < base_.size(); ++i) {
+      (*scores)[i] = EvaluateFairnessImpl(base_[i]).MaxParity();
+    }
+    parity_scores_ = std::move(scores);
+    ++stats_.parity_score_builds;
+  }
+  return *parity_scores_;
+}
+
+size_t ConsensusContext::FairestBaseIndex() const {
+  return PickFairestPermIndexFromScores(BaseParityScores());
+}
+
+const std::vector<double>& ConsensusContext::KemenyFairnessWeights() const {
+  const std::vector<double>& scores = BaseParityScores();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!fairness_weights_) {
+    fairness_weights_ = std::make_unique<std::vector<double>>(
+        FairnessWeightsFromScores(scores));
+  }
+  return *fairness_weights_;
+}
+
+FairnessReport ConsensusContext::EvaluateFairness(
+    const Ranking& ranking) const {
+  return EvaluateFairnessImpl(ranking);
+}
+
+FairnessReport ConsensusContext::EvaluateFairnessImpl(
+    const Ranking& ranking) const {
+  FairnessReport report;
+  const auto groupings = table_->constrained_groupings();
+  for (size_t gi = 0; gi < groupings.size(); ++gi) {
+    const std::vector<int64_t> favored =
+        GroupFavoredPairs(ranking, *groupings[gi]);
+    const std::vector<int64_t>& denoms = mixed_pair_denoms_[gi];
+    std::vector<double> fpr(favored.size(), 0.5);
+    for (size_t g = 0; g < favored.size(); ++g) {
+      if (denoms[g] > 0) {
+        fpr[g] =
+            static_cast<double>(favored[g]) / static_cast<double>(denoms[g]);
+      }
+    }
+    report.parity.push_back(RankParityFromFpr(fpr));
+    report.fpr.push_back(std::move(fpr));
+  }
+  return report;
+}
+
+bool ConsensusContext::Satisfies(const Ranking& ranking, double delta) const {
+  const FairnessReport report = EvaluateFairness(ranking);
+  for (double parity : report.parity) {
+    if (parity > delta + 1e-12) return false;
+  }
+  return true;
+}
+
+ConsensusOutput ConsensusContext::RunMethod(
+    std::string_view id_or_name, const ConsensusOptions& options) const {
+  const MethodSpec* method = FindMethod(id_or_name);
+  if (method == nullptr) {
+    throw std::invalid_argument("unknown consensus method: " +
+                                std::string(id_or_name));
+  }
+  return method->run(*this, options);
+}
+
+std::vector<ConsensusOutput> ConsensusContext::RunAll(
+    const ConsensusOptions& options) const {
+  std::vector<ConsensusOutput> outputs;
+  for (const MethodSpec& method : AllMethods()) {
+    outputs.push_back(method.run(*this, options));
+  }
+  return outputs;
+}
+
+ContextStats ConsensusContext::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace manirank

@@ -1,0 +1,144 @@
+#ifndef MANIRANK_CORE_CONTEXT_H_
+#define MANIRANK_CORE_CONTEXT_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+#include "core/candidate_table.h"
+#include "core/fairness_metrics.h"
+#include "core/precedence.h"
+#include "core/ranking.h"
+
+namespace manirank {
+
+/// Per-call knobs shared by every consensus method of the study.
+struct ConsensusOptions {
+  /// Desired proximity to statistical parity (ignored by fairness-unaware
+  /// baselines B1-B3).
+  double delta = 0.1;
+  /// Budget forwarded to ILP-backed methods.
+  long max_nodes = 1000000;
+  double time_limit_seconds = 0.0;
+};
+
+/// Result of one consensus method run through the context.
+struct ConsensusOutput {
+  Ranking consensus;
+  /// Wall-clock seconds spent inside the method.
+  double seconds = 0.0;
+  /// For exact methods: solved to proven optimality within budget.
+  bool exact = true;
+  /// For MFCR methods: MANI-Rank satisfied at Delta.
+  bool satisfied = false;
+};
+
+/// Cache-hit/miss counters; snapshot via ConsensusContext::stats().
+struct ContextStats {
+  /// Times the unweighted Definition-11 matrix was actually built.
+  int precedence_builds = 0;
+  /// Weighted-variant cache misses (builds) and hits.
+  int weighted_builds = 0;
+  int weighted_hits = 0;
+  /// Times the per-base-ranking parity scores were computed.
+  int parity_score_builds = 0;
+};
+
+/// Shared evaluation engine for one profile (base rankings + candidate
+/// table): every aggregator and fairness repair in the repo keys off the
+/// same Definition-11 precedence matrix and the same grouping structures,
+/// so the context builds each of them lazily, exactly once, and hands out
+/// references. Running N methods on the same inputs through one context
+/// pays for one O(|R| n^2) precedence build instead of N.
+///
+/// The context owns the base rankings (moved or copied in) and borrows the
+/// candidate table, which must outlive it. All caches are lazy and guarded
+/// by a mutex: concurrent method runs on one context are safe.
+class ConsensusContext {
+ public:
+  ConsensusContext(std::vector<Ranking> base_rankings,
+                   const CandidateTable& table);
+
+  ConsensusContext(const ConsensusContext&) = delete;
+  ConsensusContext& operator=(const ConsensusContext&) = delete;
+
+  const std::vector<Ranking>& base_rankings() const { return base_; }
+  const CandidateTable& table() const { return *table_; }
+  int num_candidates() const { return table_->num_candidates(); }
+  size_t num_rankings() const { return base_.size(); }
+
+  /// The unweighted precedence matrix W of Definition 11. Built on first
+  /// use, cached for the context's lifetime.
+  const PrecedenceMatrix& Precedence() const;
+
+  /// Weighted variant, cached per distinct weight vector (keyed by a
+  /// content hash; exact vectors are compared on collision). The returned
+  /// reference lives as long as the context.
+  const PrecedenceMatrix& WeightedPrecedence(
+      const std::vector<double>& weights) const;
+
+  /// Max ARP/IRP of each base ranking (lower = fairer). Shared by the
+  /// Kemeny-Weighted / Pick-Fairest-Perm / Correct-Fairest-Perm baselines,
+  /// which in the pre-context code each re-scanned the whole profile.
+  const std::vector<double>& BaseParityScores() const;
+
+  /// Index of the fairest base ranking (lowest parity score, first wins).
+  size_t FairestBaseIndex() const;
+
+  /// B2's ranking weights: |R| for the fairest base ranking down to 1 for
+  /// the least fair (ties broken by index); derived from BaseParityScores.
+  const std::vector<double>& KemenyFairnessWeights() const;
+
+  /// Fairness report of a candidate consensus against the table's
+  /// constrained groupings, using the context's cached per-grouping
+  /// mixed-pair denominators (the FPR denominators of Definition 4).
+  FairnessReport EvaluateFairness(const Ranking& ranking) const;
+
+  /// MANI-Rank (Definition 7) at a uniform delta, via the cached
+  /// denominators.
+  bool Satisfies(const Ranking& ranking, double delta) const;
+
+  /// Runs one registry method ("A1".."B4" or its display name) against
+  /// this context. Throws std::invalid_argument for unknown methods.
+  ConsensusOutput RunMethod(std::string_view id_or_name,
+                            const ConsensusOptions& options = {}) const;
+
+  /// Runs every registry method in paper order (aligned with
+  /// AllMethods()), sharing every cached structure across the sweep.
+  std::vector<ConsensusOutput> RunAll(
+      const ConsensusOptions& options = {}) const;
+
+  /// Snapshot of the cache counters (thread-safe).
+  ContextStats stats() const;
+
+ private:
+  /// Lock-free implementation of EvaluateFairness (touches only immutable
+  /// state), callable while mu_ is held.
+  FairnessReport EvaluateFairnessImpl(const Ranking& ranking) const;
+
+  struct WeightedEntry {
+    std::vector<double> weights;
+    std::unique_ptr<PrecedenceMatrix> matrix;
+  };
+
+  std::vector<Ranking> base_;
+  const CandidateTable* table_;
+
+  mutable std::mutex mu_;
+  mutable std::unique_ptr<PrecedenceMatrix> precedence_;
+  // Weighted matrices bucketed by content hash; each bucket holds the
+  // exact weight vectors that hashed there.
+  mutable std::vector<std::pair<uint64_t, WeightedEntry>> weighted_;
+  mutable std::unique_ptr<std::vector<double>> parity_scores_;
+  mutable std::unique_ptr<std::vector<double>> fairness_weights_;
+  // FPR denominators MixedPairs(|G|, n) per constrained grouping, in
+  // CandidateTable::constrained_groupings() order (eagerly built: cheap).
+  std::vector<std::vector<int64_t>> mixed_pair_denoms_;
+  mutable ContextStats stats_;
+};
+
+}  // namespace manirank
+
+#endif  // MANIRANK_CORE_CONTEXT_H_

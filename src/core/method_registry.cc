@@ -13,44 +13,41 @@
 namespace manirank {
 namespace {
 
-MakeMrFairOptions MmfOptions(const ConsensusInput& in) {
+MakeMrFairOptions MmfOptions(const ConsensusOptions& opts) {
   MakeMrFairOptions options;
-  options.delta = in.delta;
+  options.delta = opts.delta;
   return options;
 }
 
-ConsensusOutput RunFairKemeny(const ConsensusInput& in) {
+KemenyOptions IlpOptions(const ConsensusOptions& opts) {
+  KemenyOptions options;
+  options.max_nodes = opts.max_nodes;
+  options.time_limit_seconds = opts.time_limit_seconds;
+  return options;
+}
+
+ConsensusOutput RunFairKemeny(const ConsensusContext& ctx,
+                              const ConsensusOptions& opts) {
   Stopwatch timer;
-  const PrecedenceMatrix w = PrecedenceMatrix::Build(*in.base_rankings);
   FairKemenyOptions options;
-  options.delta = in.delta;
-  options.max_nodes = in.max_nodes;
-  options.time_limit_seconds = in.time_limit_seconds;
-  FairKemenyResult r = FairKemenyAggregate(w, *in.table, options);
+  options.delta = opts.delta;
+  options.max_nodes = opts.max_nodes;
+  options.time_limit_seconds = opts.time_limit_seconds;
+  FairKemenyResult r =
+      FairKemenyAggregate(ctx.Precedence(), ctx.table(), options);
   ConsensusOutput out;
   out.consensus = std::move(r.ranking);
   out.exact = r.optimal;
-  out.satisfied = r.feasible &&
-                  SatisfiesManiRank(out.consensus, *in.table, in.delta);
+  out.satisfied = r.feasible && ctx.Satisfies(out.consensus, opts.delta);
   out.seconds = timer.Seconds();
   return out;
 }
 
-ConsensusOutput RunFairSchulze(const ConsensusInput& in) {
-  Stopwatch timer;
-  const PrecedenceMatrix w = PrecedenceMatrix::Build(*in.base_rankings);
-  FairAggregateResult r = FairSchulze(w, *in.table, MmfOptions(in));
-  ConsensusOutput out;
-  out.consensus = std::move(r.fair_consensus);
-  out.satisfied = r.satisfied;
-  out.seconds = timer.Seconds();
-  return out;
-}
-
-ConsensusOutput RunFairBorda(const ConsensusInput& in) {
+ConsensusOutput RunFairSchulze(const ConsensusContext& ctx,
+                               const ConsensusOptions& opts) {
   Stopwatch timer;
   FairAggregateResult r =
-      FairBorda(*in.base_rankings, *in.table, MmfOptions(in));
+      FairSchulze(ctx.Precedence(), ctx.table(), MmfOptions(opts));
   ConsensusOutput out;
   out.consensus = std::move(r.fair_consensus);
   out.satisfied = r.satisfied;
@@ -58,10 +55,11 @@ ConsensusOutput RunFairBorda(const ConsensusInput& in) {
   return out;
 }
 
-ConsensusOutput RunFairCopeland(const ConsensusInput& in) {
+ConsensusOutput RunFairBorda(const ConsensusContext& ctx,
+                             const ConsensusOptions& opts) {
   Stopwatch timer;
-  const PrecedenceMatrix w = PrecedenceMatrix::Build(*in.base_rankings);
-  FairAggregateResult r = FairCopeland(w, *in.table, MmfOptions(in));
+  FairAggregateResult r =
+      FairBorda(ctx.base_rankings(), ctx.table(), MmfOptions(opts));
   ConsensusOutput out;
   out.consensus = std::move(r.fair_consensus);
   out.satisfied = r.satisfied;
@@ -69,48 +67,60 @@ ConsensusOutput RunFairCopeland(const ConsensusInput& in) {
   return out;
 }
 
-ConsensusOutput RunKemeny(const ConsensusInput& in) {
+ConsensusOutput RunFairCopeland(const ConsensusContext& ctx,
+                                const ConsensusOptions& opts) {
   Stopwatch timer;
-  const PrecedenceMatrix w = PrecedenceMatrix::Build(*in.base_rankings);
-  KemenyOptions options;
-  options.max_nodes = in.max_nodes;
-  options.time_limit_seconds = in.time_limit_seconds;
-  KemenyResult r = KemenyAggregate(w, options);
+  FairAggregateResult r =
+      FairCopeland(ctx.Precedence(), ctx.table(), MmfOptions(opts));
+  ConsensusOutput out;
+  out.consensus = std::move(r.fair_consensus);
+  out.satisfied = r.satisfied;
+  out.seconds = timer.Seconds();
+  return out;
+}
+
+ConsensusOutput RunKemeny(const ConsensusContext& ctx,
+                          const ConsensusOptions& opts) {
+  Stopwatch timer;
+  KemenyResult r = KemenyAggregate(ctx.Precedence(), IlpOptions(opts));
   ConsensusOutput out;
   out.consensus = std::move(r.ranking);
   out.exact = r.optimal;
-  out.satisfied = SatisfiesManiRank(out.consensus, *in.table, in.delta);
+  out.satisfied = ctx.Satisfies(out.consensus, opts.delta);
   out.seconds = timer.Seconds();
   return out;
 }
 
-ConsensusOutput RunKemenyWeighted(const ConsensusInput& in) {
+ConsensusOutput RunKemenyWeighted(const ConsensusContext& ctx,
+                                  const ConsensusOptions& opts) {
   Stopwatch timer;
-  KemenyOptions options;
-  options.max_nodes = in.max_nodes;
-  options.time_limit_seconds = in.time_limit_seconds;
-  KemenyResult r = KemenyWeighted(*in.base_rankings, *in.table, options);
+  const PrecedenceMatrix& w =
+      ctx.WeightedPrecedence(ctx.KemenyFairnessWeights());
+  KemenyResult r = KemenyAggregate(w, IlpOptions(opts));
   ConsensusOutput out;
   out.consensus = std::move(r.ranking);
   out.exact = r.optimal;
-  out.satisfied = SatisfiesManiRank(out.consensus, *in.table, in.delta);
+  out.satisfied = ctx.Satisfies(out.consensus, opts.delta);
   out.seconds = timer.Seconds();
   return out;
 }
 
-ConsensusOutput RunPickFairestPerm(const ConsensusInput& in) {
+ConsensusOutput RunPickFairestPerm(const ConsensusContext& ctx,
+                                   const ConsensusOptions& opts) {
   Stopwatch timer;
   ConsensusOutput out;
-  out.consensus = PickFairestPerm(*in.base_rankings, *in.table);
-  out.satisfied = SatisfiesManiRank(out.consensus, *in.table, in.delta);
+  out.consensus = ctx.base_rankings()[ctx.FairestBaseIndex()];
+  out.satisfied = ctx.Satisfies(out.consensus, opts.delta);
   out.seconds = timer.Seconds();
   return out;
 }
 
-ConsensusOutput RunCorrectFairestPerm(const ConsensusInput& in) {
+ConsensusOutput RunCorrectFairestPerm(const ConsensusContext& ctx,
+                                      const ConsensusOptions& opts) {
   Stopwatch timer;
   MakeMrFairResult r =
-      CorrectFairestPerm(*in.base_rankings, *in.table, MmfOptions(in));
+      MakeMrFair(ctx.base_rankings()[ctx.FairestBaseIndex()], ctx.table(),
+                 MmfOptions(opts));
   ConsensusOutput out;
   out.consensus = std::move(r.ranking);
   out.satisfied = r.satisfied;

@@ -6,34 +6,14 @@
 #include <string_view>
 #include <vector>
 
-#include "core/candidate_table.h"
-#include "core/ranking.h"
+#include "core/context.h"
 
 namespace manirank {
 
-/// Inputs shared by every consensus method in the experimental study.
-struct ConsensusInput {
-  const std::vector<Ranking>* base_rankings = nullptr;
-  const CandidateTable* table = nullptr;
-  /// Desired proximity to statistical parity (ignored by fairness-unaware
-  /// baselines B1-B3).
-  double delta = 0.1;
-  /// Budget forwarded to ILP-backed methods.
-  long max_nodes = 1000000;
-  double time_limit_seconds = 0.0;
-};
-
-struct ConsensusOutput {
-  Ranking consensus;
-  /// Wall-clock seconds spent inside the method.
-  double seconds = 0.0;
-  /// For exact methods: solved to proven optimality within budget.
-  bool exact = true;
-  /// For MFCR methods: MANI-Rank satisfied at Delta.
-  bool satisfied = false;
-};
-
-/// One consensus-generation method of the paper's §IV study.
+/// One consensus-generation method of the paper's §IV study. Every method
+/// draws its inputs from a shared ConsensusContext, so a sweep over
+/// several methods builds the precedence matrix (and the other cached
+/// structures) once instead of once per method.
 struct MethodSpec {
   /// Paper identifier, e.g. "A1" .. "A4" (MFCR methods), "B1" .. "B4"
   /// (baselines).
@@ -45,7 +25,9 @@ struct MethodSpec {
   bool uses_ilp = false;
   /// True for methods that aim at the MANI-Rank criteria.
   bool fairness_aware = false;
-  std::function<ConsensusOutput(const ConsensusInput&)> run;
+  std::function<ConsensusOutput(const ConsensusContext&,
+                                const ConsensusOptions&)>
+      run;
 };
 
 /// All eight methods of Fig. 4/6/7 in paper order:

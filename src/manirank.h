@@ -12,6 +12,7 @@
 ///  - core/distance.h                          Kendall tau, PD loss, PoF
 ///  - core/precedence.h                        precedence matrix W
 ///  - core/aggregators.h, core/kemeny.h        Borda/Copeland/Schulze/Kemeny
+///  - core/context.h                           shared ConsensusContext engine
 ///  - core/make_mr_fair.h                      the Make-MR-Fair repair loop
 ///  - core/fair_kemeny.h, core/fair_aggregators.h   the MFCR algorithms
 ///  - core/baselines.h, core/method_registry.h      study baselines A1..B4
@@ -22,6 +23,7 @@
 #include "core/aggregators.h"
 #include "core/baselines.h"
 #include "core/candidate_table.h"
+#include "core/context.h"
 #include "core/distance.h"
 #include "core/fair_aggregators.h"
 #include "core/fair_kemeny.h"

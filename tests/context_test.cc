@@ -1,0 +1,195 @@
+#include "core/context.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+
+#include "core/baselines.h"
+#include "core/fairness_metrics.h"
+#include "core/kemeny.h"
+#include "core/method_registry.h"
+#include "core/precedence.h"
+#include "mallows/mallows.h"
+#include "test_util.h"
+#include "util/rng.h"
+#include "util/threading.h"
+
+namespace manirank {
+namespace {
+
+struct Fixture {
+  CandidateTable table;
+  std::vector<Ranking> base;
+};
+
+Fixture MakeFixture(int n, uint64_t seed, double theta, int num_rankings = 20) {
+  Rng rng(seed);
+  CandidateTable table = testing::CyclicTable(n, 2, 2);
+  Ranking modal = testing::RandomRanking(n, &rng);
+  MallowsModel model(modal, theta);
+  return {std::move(table), model.SampleMany(num_rankings, seed)};
+}
+
+TEST(ConsensusContextTest, PrecedenceMatchesDirectBuild) {
+  Fixture f = MakeFixture(12, 101, 0.7);
+  ConsensusContext ctx(f.base, f.table);
+  const PrecedenceMatrix direct = PrecedenceMatrix::Build(f.base);
+  const PrecedenceMatrix& cached = ctx.Precedence();
+  ASSERT_EQ(cached.size(), direct.size());
+  for (CandidateId a = 0; a < 12; ++a) {
+    for (CandidateId b = 0; b < 12; ++b) {
+      EXPECT_DOUBLE_EQ(cached.W(a, b), direct.W(a, b));
+    }
+  }
+}
+
+TEST(ConsensusContextTest, PrecedenceBuiltExactlyOnceAcrossRunAll) {
+  // The acceptance contract of the context layer: running every registry
+  // method against one context pays for exactly one unweighted
+  // Definition-11 build (plus one weighted build for B2).
+  Fixture f = MakeFixture(16, 102, 0.8);
+  ConsensusContext ctx(f.base, f.table);
+  ConsensusOptions options;
+  options.delta = 0.2;
+  options.time_limit_seconds = 60.0;
+  std::vector<ConsensusOutput> outputs = ctx.RunAll(options);
+  ASSERT_EQ(outputs.size(), AllMethods().size());
+  const ContextStats stats = ctx.stats();
+  EXPECT_EQ(stats.precedence_builds, 1);
+  EXPECT_EQ(stats.weighted_builds, 1);
+  EXPECT_EQ(stats.parity_score_builds, 1);
+  // A second full sweep is served entirely from the caches.
+  ctx.RunAll(options);
+  const ContextStats again = ctx.stats();
+  EXPECT_EQ(again.precedence_builds, 1);
+  EXPECT_EQ(again.weighted_builds, 1);
+  EXPECT_GE(again.weighted_hits, 1);
+  EXPECT_EQ(again.parity_score_builds, 1);
+}
+
+TEST(ConsensusContextTest, CachedAndUncachedPathsAreBitIdentical) {
+  // Every method must return the same consensus whether its inputs come
+  // from cold caches (fresh context) or warm ones (context that already
+  // served a full sweep).
+  Fixture f = MakeFixture(14, 103, 0.6);
+  ConsensusOptions options;
+  options.delta = 0.2;
+  options.time_limit_seconds = 60.0;
+  ConsensusContext warm(f.base, f.table);
+  warm.RunAll(options);  // populate every cache
+  for (const MethodSpec& method : AllMethods()) {
+    ConsensusContext cold(f.base, f.table);
+    ConsensusOutput from_cold = method.run(cold, options);
+    ConsensusOutput from_warm = method.run(warm, options);
+    EXPECT_EQ(from_cold.consensus.order(), from_warm.consensus.order())
+        << method.name;
+    EXPECT_EQ(from_cold.satisfied, from_warm.satisfied) << method.name;
+  }
+}
+
+TEST(ConsensusContextTest, WeightedPrecedenceCachedPerWeightVector) {
+  Fixture f = MakeFixture(10, 104, 0.5);
+  ConsensusContext ctx(f.base, f.table);
+  std::vector<double> unit(f.base.size(), 1.0);
+  std::vector<double> ramp(f.base.size());
+  for (size_t i = 0; i < ramp.size(); ++i) ramp[i] = static_cast<double>(i + 1);
+
+  const PrecedenceMatrix& a = ctx.WeightedPrecedence(unit);
+  const PrecedenceMatrix& b = ctx.WeightedPrecedence(ramp);
+  const PrecedenceMatrix& a_again = ctx.WeightedPrecedence(unit);
+  EXPECT_EQ(&a, &a_again) << "same weights must hit the cache";
+  EXPECT_NE(&a, &b) << "distinct weights must get distinct matrices";
+  const ContextStats stats = ctx.stats();
+  EXPECT_EQ(stats.weighted_builds, 2);
+  EXPECT_EQ(stats.weighted_hits, 1);
+
+  // Content must match a direct build.
+  const PrecedenceMatrix direct = PrecedenceMatrix::BuildWeighted(f.base, ramp);
+  for (CandidateId x = 0; x < 10; ++x) {
+    for (CandidateId y = 0; y < 10; ++y) {
+      EXPECT_DOUBLE_EQ(b.W(x, y), direct.W(x, y));
+    }
+  }
+}
+
+TEST(ConsensusContextTest, EvaluateFairnessMatchesFreeFunction) {
+  Fixture f = MakeFixture(15, 105, 0.4);
+  ConsensusContext ctx(f.base, f.table);
+  Rng rng(9);
+  for (int trial = 0; trial < 10; ++trial) {
+    Ranking r = testing::RandomRanking(15, &rng);
+    FairnessReport from_ctx = ctx.EvaluateFairness(r);
+    FairnessReport from_free = EvaluateFairness(r, f.table);
+    ASSERT_EQ(from_ctx.parity.size(), from_free.parity.size());
+    for (size_t i = 0; i < from_ctx.parity.size(); ++i) {
+      EXPECT_DOUBLE_EQ(from_ctx.parity[i], from_free.parity[i]);
+      ASSERT_EQ(from_ctx.fpr[i].size(), from_free.fpr[i].size());
+      for (size_t g = 0; g < from_ctx.fpr[i].size(); ++g) {
+        EXPECT_DOUBLE_EQ(from_ctx.fpr[i][g], from_free.fpr[i][g]);
+      }
+    }
+    for (double delta : {0.05, 0.2, 0.5}) {
+      EXPECT_EQ(ctx.Satisfies(r, delta),
+                SatisfiesManiRank(r, f.table, delta));
+    }
+  }
+}
+
+TEST(ConsensusContextTest, BaseParityScoresMatchBruteForce) {
+  Fixture f = MakeFixture(12, 106, 0.6);
+  ConsensusContext ctx(f.base, f.table);
+  const std::vector<double>& scores = ctx.BaseParityScores();
+  ASSERT_EQ(scores.size(), f.base.size());
+  for (size_t i = 0; i < f.base.size(); ++i) {
+    EXPECT_DOUBLE_EQ(scores[i], MaxParityScore(f.base[i], f.table)) << i;
+  }
+  EXPECT_EQ(ctx.FairestBaseIndex(),
+            PickFairestPermIndex(f.base, f.table));
+  EXPECT_EQ(ctx.KemenyFairnessWeights(), FairnessWeights(f.base, f.table));
+}
+
+TEST(ConsensusContextTest, ConcurrentPrecedenceAccessBuildsOnce) {
+  Fixture f = MakeFixture(20, 107, 0.6, 50);
+  ConsensusContext ctx(f.base, f.table);
+  std::atomic<int> mismatches{0};
+  ParallelFor(
+      16,
+      [&](size_t begin, size_t end, size_t) {
+        for (size_t i = begin; i < end; ++i) {
+          if (ctx.Precedence().size() != 20) mismatches.fetch_add(1);
+        }
+      },
+      8);
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(ctx.stats().precedence_builds, 1);
+}
+
+TEST(ConsensusContextTest, RunMethodByIdAndNameAndUnknownThrows) {
+  Fixture f = MakeFixture(10, 108, 0.7);
+  ConsensusContext ctx(f.base, f.table);
+  ConsensusOptions options;
+  options.delta = 0.25;
+  ConsensusOutput by_id = ctx.RunMethod("A4", options);
+  ConsensusOutput by_name = ctx.RunMethod("Fair-Copeland", options);
+  EXPECT_EQ(by_id.consensus.order(), by_name.consensus.order());
+  EXPECT_THROW(ctx.RunMethod("no-such-method", options),
+               std::invalid_argument);
+}
+
+TEST(ConsensusContextTest, KemenyThroughContextMatchesDirectPipeline) {
+  // The context is plumbing, not math: B1 through the registry equals
+  // KemenyAggregate on a hand-built matrix.
+  Fixture f = MakeFixture(9, 109, 0.9);
+  ConsensusContext ctx(f.base, f.table);
+  ConsensusOptions options;
+  options.time_limit_seconds = 60.0;
+  ConsensusOutput through_ctx = ctx.RunMethod("B1", options);
+  KemenyOptions kopts;
+  kopts.time_limit_seconds = 60.0;
+  KemenyResult direct = KemenyAggregate(PrecedenceMatrix::Build(f.base), kopts);
+  EXPECT_EQ(through_ctx.consensus.order(), direct.ranking.order());
+}
+
+}  // namespace
+}  // namespace manirank

@@ -25,19 +25,18 @@ TEST(IntegrationTest, MiniFigure4Pipeline) {
 
   MallowsModel model(design.modal, /*theta=*/0.6);
   std::vector<Ranking> base = model.SampleMany(40, /*seed=*/5);
-  ConsensusInput input;
-  input.base_rankings = &base;
-  input.table = &design.table;
-  input.delta = 0.1;
-  input.time_limit_seconds = 60.0;
+  ConsensusContext ctx(base, design.table);
+  ConsensusOptions options;
+  options.delta = 0.1;
+  options.time_limit_seconds = 60.0;
 
-  ConsensusOutput kemeny = FindMethod("B1")->run(input);
+  ConsensusOutput kemeny = FindMethod("B1")->run(ctx, options);
   EXPECT_FALSE(SatisfiesManiRank(kemeny.consensus, design.table, 0.1))
       << "a Low-Fair profile should yield an unfair Kemeny consensus";
 
   double fair_kemeny_loss = -1.0;
   for (const char* id : {"A1", "A2", "A3", "A4"}) {
-    ConsensusOutput out = FindMethod(id)->run(input);
+    ConsensusOutput out = FindMethod(id)->run(ctx, options);
     EXPECT_TRUE(out.satisfied) << id;
     EXPECT_TRUE(SatisfiesManiRank(out.consensus, design.table, 0.1)) << id;
     const double loss = PdLoss(base, out.consensus);
@@ -82,21 +81,20 @@ TEST(IntegrationTest, ExamCaseStudyMatchesTableIVShape) {
   // §IV-F at full scale: the Kemeny consensus inherits the base rankings'
   // bias; all four MFCR methods de-bias to Delta = .05.
   ExamDataset data = GenerateExamDataset();
-  ConsensusInput input;
-  input.base_rankings = &data.base_rankings;
-  input.table = &data.table;
-  input.delta = 0.05;
+  ConsensusContext ctx(data.base_rankings, data.table);
+  ConsensusOptions options;
+  options.delta = 0.05;
   // n = 200 is far beyond the bundled ILP: B1 falls back to the
   // locally-optimised consensus under this budget (see DESIGN.md #1).
-  input.time_limit_seconds = 10.0;
+  options.time_limit_seconds = 10.0;
 
-  ConsensusOutput kemeny = FindMethod("B1")->run(input);
+  ConsensusOutput kemeny = FindMethod("B1")->run(ctx, options);
   FairnessReport kemeny_report = EvaluateFairness(kemeny.consensus, data.table);
   EXPECT_GT(kemeny_report.MaxParity(), 0.2)
       << "biases in the base rankings must be reflected in plain Kemeny";
 
   for (const char* id : {"A2", "A3", "A4"}) {
-    ConsensusOutput out = FindMethod(id)->run(input);
+    ConsensusOutput out = FindMethod(id)->run(ctx, options);
     FairnessReport report = EvaluateFairness(out.consensus, data.table);
     EXPECT_TRUE(out.satisfied) << id;
     for (double parity : report.parity) {

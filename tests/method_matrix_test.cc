@@ -48,16 +48,15 @@ class MethodMatrixTest : public ::testing::TestWithParam<MatrixParam> {
 
 TEST_P(MethodMatrixTest, UniversalMethodContracts) {
   const MatrixParam& p = GetParam();
-  ConsensusInput input;
-  input.base_rankings = &base_;
-  input.table = &design_->table;
-  input.delta = p.delta;
-  input.time_limit_seconds = 10.0;
+  ConsensusContext ctx(base_, design_->table);
+  ConsensusOptions options;
+  options.delta = p.delta;
+  options.time_limit_seconds = 10.0;
 
   const int n = design_->table.num_candidates();
   double kemeny_loss = -1.0;
   for (const MethodSpec& method : AllMethods()) {
-    ConsensusOutput out = method.run(input);
+    ConsensusOutput out = method.run(ctx, options);
     // Contract 1: a valid permutation of the right size, always.
     ASSERT_EQ(out.consensus.size(), n) << method.name;
     ASSERT_TRUE(Ranking::IsValidOrder(out.consensus.order())) << method.name;

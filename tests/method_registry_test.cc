@@ -45,13 +45,12 @@ TEST(MethodRegistryTest, FindByIdAndName) {
 
 TEST(MethodRegistryTest, AllMethodsProduceValidConsensus) {
   Fixture f = MakeFixture(16, 42, 0.8);
-  ConsensusInput input;
-  input.base_rankings = &f.base;
-  input.table = &f.table;
-  input.delta = 0.2;
-  input.time_limit_seconds = 60.0;
+  ConsensusContext ctx(f.base, f.table);
+  ConsensusOptions options;
+  options.delta = 0.2;
+  options.time_limit_seconds = 60.0;
   for (const MethodSpec& method : AllMethods()) {
-    ConsensusOutput out = method.run(input);
+    ConsensusOutput out = method.run(ctx, options);
     ASSERT_EQ(out.consensus.size(), 16) << method.name;
     ASSERT_TRUE(Ranking::IsValidOrder(out.consensus.order())) << method.name;
     EXPECT_GE(out.seconds, 0.0);
@@ -60,16 +59,15 @@ TEST(MethodRegistryTest, AllMethodsProduceValidConsensus) {
 
 TEST(MethodRegistryTest, FairnessAwareMethodsSatisfyDelta) {
   Fixture f = MakeFixture(20, 43, 1.0);
-  ConsensusInput input;
-  input.base_rankings = &f.base;
-  input.table = &f.table;
-  input.delta = 0.15;
-  input.time_limit_seconds = 60.0;
+  ConsensusContext ctx(f.base, f.table);
+  ConsensusOptions options;
+  options.delta = 0.15;
+  options.time_limit_seconds = 60.0;
   for (const char* id : {"A1", "A2", "A3", "A4", "B4"}) {
     const MethodSpec* method = FindMethod(id);
     ASSERT_NE(method, nullptr);
-    ConsensusOutput out = method->run(input);
-    EXPECT_TRUE(SatisfiesManiRank(out.consensus, f.table, input.delta))
+    ConsensusOutput out = method->run(ctx, options);
+    EXPECT_TRUE(SatisfiesManiRank(out.consensus, f.table, options.delta))
         << method->name;
     EXPECT_TRUE(out.satisfied) << method->name;
   }
@@ -79,17 +77,16 @@ TEST(MethodRegistryTest, FairKemenyHasLowestPdLossAmongFairMethods) {
   // A1 minimises disagreement subject to the same constraints the other
   // MFCR methods satisfy, so its PD loss is minimal among A1..A4 (Fig. 4).
   Fixture f = MakeFixture(14, 44, 0.6);
-  ConsensusInput input;
-  input.base_rankings = &f.base;
-  input.table = &f.table;
-  input.delta = 0.2;
-  input.time_limit_seconds = 60.0;
+  ConsensusContext ctx(f.base, f.table);
+  ConsensusOptions options;
+  options.delta = 0.2;
+  options.time_limit_seconds = 60.0;
   const MethodSpec* a1 = FindMethod("A1");
-  ConsensusOutput fair_kemeny = a1->run(input);
+  ConsensusOutput fair_kemeny = a1->run(ctx, options);
   ASSERT_TRUE(fair_kemeny.exact);
   const double a1_loss = PdLoss(f.base, fair_kemeny.consensus);
   for (const char* id : {"A2", "A3", "A4"}) {
-    ConsensusOutput out = FindMethod(id)->run(input);
+    ConsensusOutput out = FindMethod(id)->run(ctx, options);
     if (out.satisfied) {
       EXPECT_GE(PdLoss(f.base, out.consensus), a1_loss - 1e-9) << id;
     }
@@ -98,16 +95,15 @@ TEST(MethodRegistryTest, FairKemenyHasLowestPdLossAmongFairMethods) {
 
 TEST(MethodRegistryTest, KemenyHasLowestPdLossOverall) {
   Fixture f = MakeFixture(14, 45, 0.6);
-  ConsensusInput input;
-  input.base_rankings = &f.base;
-  input.table = &f.table;
-  input.delta = 0.2;
-  input.time_limit_seconds = 60.0;
-  ConsensusOutput kemeny = FindMethod("B1")->run(input);
+  ConsensusContext ctx(f.base, f.table);
+  ConsensusOptions options;
+  options.delta = 0.2;
+  options.time_limit_seconds = 60.0;
+  ConsensusOutput kemeny = FindMethod("B1")->run(ctx, options);
   ASSERT_TRUE(kemeny.exact);
   const double b1_loss = PdLoss(f.base, kemeny.consensus);
   for (const MethodSpec& method : AllMethods()) {
-    ConsensusOutput out = method.run(input);
+    ConsensusOutput out = method.run(ctx, options);
     EXPECT_GE(PdLoss(f.base, out.consensus), b1_loss - 1e-9) << method.name;
   }
 }

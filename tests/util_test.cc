@@ -3,9 +3,13 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <mutex>
 #include <numeric>
+#include <optional>
 #include <set>
 #include <sstream>
+#include <stdexcept>
+#include <string>
 
 #include "util/fenwick.h"
 #include "util/rng.h"
@@ -214,6 +218,125 @@ TEST(ThreadingTest, ExplicitThreadCount) {
       },
       3);
   EXPECT_EQ(sum.load(), 4950);
+}
+
+TEST(ThreadingTest, PoolReusesWorkersAfterWarmup) {
+  auto run = [] {
+    std::atomic<long> sum{0};
+    ParallelFor(
+        64, [&](size_t begin, size_t end, size_t) {
+          for (size_t i = begin; i < end; ++i) sum += 1;
+        },
+        4);
+    EXPECT_EQ(sum.load(), 64);
+  };
+  run();  // warmup: pool grows to 3 pooled workers (one chunk is inline)
+  const uint64_t created_after_warmup = PooledThreadsCreated();
+  EXPECT_GE(PooledWorkerCount(), 3u);
+  for (int i = 0; i < 50; ++i) run();
+  EXPECT_EQ(PooledThreadsCreated(), created_after_warmup)
+      << "repeated parallel regions must not construct fresh threads";
+}
+
+TEST(ThreadingTest, HelpingWaitNeverStealsLockHoldingSiblings) {
+  // Regression: the caller's inline partition holds a cache mutex and
+  // opens a nested parallel region (the ConsensusContext::Precedence()
+  // fill pattern) while sibling partitions of the OUTER fan-out — which
+  // also take the mutex — are still queued. The helping wait must only
+  // run its own fan-out's jobs; stealing a queued sibling here would
+  // relock the held mutex on the same thread and deadlock.
+  std::mutex cache_mu;
+  std::atomic<long> total{0};
+  ParallelFor(
+      8,
+      [&](size_t begin, size_t end, size_t) {
+        for (size_t i = begin; i < end; ++i) {
+          std::lock_guard<std::mutex> lock(cache_mu);
+          ParallelFor(
+              32,
+              [&](size_t b, size_t e, size_t) {
+                for (size_t j = b; j < e; ++j) total += 1;
+              },
+              4);
+        }
+      },
+      4);
+  EXPECT_EQ(total.load(), 8 * 32);
+}
+
+TEST(ThreadingTest, NestedParallelForRunsSeriallyWithoutDeadlock) {
+  std::atomic<long> total{0};
+  ParallelFor(
+      8,
+      [&](size_t begin, size_t end, size_t) {
+        for (size_t i = begin; i < end; ++i) {
+          ParallelFor(
+              10, [&](size_t b, size_t e, size_t) {
+                for (size_t j = b; j < e; ++j) total += 1;
+              },
+              4);
+        }
+      },
+      4);
+  EXPECT_EQ(total.load(), 80);
+}
+
+TEST(ThreadingTest, ThrowingBodyQuiescesThenRethrowsOnCaller) {
+  std::atomic<long> executed{0};
+  EXPECT_THROW(
+      ParallelFor(
+          16,
+          [&](size_t begin, size_t end, size_t) {
+            for (size_t i = begin; i < end; ++i) executed.fetch_add(1);
+            if (begin == 0) throw std::runtime_error("partition failed");
+          },
+          4),
+      std::runtime_error);
+  // Every partition ran to completion before the rethrow.
+  EXPECT_EQ(executed.load(), 16);
+}
+
+class ThreadEnvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const char* prev = std::getenv("MANIRANK_THREADS");
+    if (prev != nullptr) saved_ = prev;
+  }
+  void TearDown() override {
+    if (saved_.has_value()) {
+      setenv("MANIRANK_THREADS", saved_->c_str(), 1);
+    } else {
+      unsetenv("MANIRANK_THREADS");
+    }
+  }
+  std::optional<std::string> saved_;
+};
+
+TEST_F(ThreadEnvTest, NumericValuesPassThrough) {
+  setenv("MANIRANK_THREADS", "4", 1);
+  EXPECT_EQ(DefaultThreadCount(), 4u);
+  setenv("MANIRANK_THREADS", "0", 1);
+  EXPECT_EQ(DefaultThreadCount(), 0u);
+  setenv("MANIRANK_THREADS", "2 ", 1);  // trailing whitespace tolerated
+  EXPECT_EQ(DefaultThreadCount(), 2u);
+}
+
+TEST_F(ThreadEnvTest, MalformedValuesFallBackToHardwareDefault) {
+  unsetenv("MANIRANK_THREADS");
+  const size_t hw_default = DefaultThreadCount();
+  for (const char* bad : {"abc", "", "4x", "-3", "--2", " ", "3.5"}) {
+    setenv("MANIRANK_THREADS", bad, 1);
+    EXPECT_EQ(DefaultThreadCount(), hw_default) << "value: '" << bad << "'";
+  }
+}
+
+TEST_F(ThreadEnvTest, AbsurdValuesAreClamped) {
+  unsetenv("MANIRANK_THREADS");
+  const size_t hw_default = DefaultThreadCount();
+  setenv("MANIRANK_THREADS", "999999999", 1);
+  EXPECT_EQ(DefaultThreadCount(), kMaxThreads);
+  setenv("MANIRANK_THREADS", "99999999999999999999999", 1);  // overflows long
+  EXPECT_EQ(DefaultThreadCount(), hw_default);
 }
 
 }  // namespace
