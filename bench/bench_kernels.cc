@@ -4,11 +4,16 @@
 //                              comparison of running a 5-method registry
 //                              sweep against one shared ConsensusContext vs
 //                              rebuilding every cached structure per method
-//                              (the pre-context behaviour), plus raw kernel
-//                              timings seeding the perf trajectory.
+//                              (the pre-context behaviour), an
+//                              incremental-append vs full-rebuild section
+//                              (streaming profile mutations), plus raw
+//                              kernel timings seeding the perf trajectory.
 //   ./bench_kernels --micro    additionally runs the google-benchmark micro
 //                              suite (Kendall tau, FPR, precedence build,
 //                              Mallows sampling, Make-MR-Fair engines, LP).
+//
+// MANIRANK_BENCH_QUICK=1 shrinks the profile and repetition counts so the
+// JSON mode finishes in seconds (the CI smoke job).
 //
 // Any further arguments after --micro are forwarded to google-benchmark.
 // The JSON mode has no dependency on google-benchmark; when the library is
@@ -20,6 +25,7 @@
 #endif
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iterator>
 #include <string>
@@ -76,13 +82,60 @@ SweepResult RunRebuilding(const std::vector<Ranking>& base,
   return r;
 }
 
+/// True for the CI smoke configuration (small profile, single rep).
+bool QuickMode() {
+  const char* env = std::getenv("MANIRANK_BENCH_QUICK");
+  return env != nullptr && std::string(env) != "0";
+}
+
+// --- incremental append vs full rebuild -------------------------------------
+
+struct IncrementalResult {
+  double incremental_seconds = 0.0;
+  double rebuild_seconds = 0.0;
+};
+
+/// Appends `extra` to a warm context one ranking at a time (the streaming
+/// serving path: O(n^2) precedence fold + one parity score + O(n) Borda
+/// delta per ranking) vs reconstructing and re-warming a context over the
+/// grown profile from scratch (the pre-mutation behaviour).
+IncrementalResult RunIncrementalAppend(const std::vector<Ranking>& base,
+                                       const std::vector<Ranking>& extra,
+                                       const CandidateTable& table) {
+  IncrementalResult result;
+  {
+    ConsensusContext ctx(base, table);
+    ctx.Precedence();
+    ctx.BaseParityScores();
+    ctx.BordaPoints();
+    Stopwatch timer;
+    for (const Ranking& r : extra) ctx.AddRanking(r);
+    result.incremental_seconds = timer.Seconds();
+  }
+  {
+    std::vector<Ranking> full = base;
+    full.insert(full.end(), extra.begin(), extra.end());
+    Stopwatch timer;
+    ConsensusContext ctx(std::move(full), table);
+    ctx.Precedence();
+    ctx.BaseParityScores();
+    ctx.BordaPoints();
+    result.rebuild_seconds = timer.Seconds();
+  }
+  return result;
+}
+
 int WriteKernelJson(const char* path) {
+  const bool quick = QuickMode();
   const int n = 100;
-  const int num_rankings = 2000;
+  const int num_rankings = quick ? 300 : 2000;
+  const int num_appended = quick ? 50 : 200;
+  const int reps = quick ? 1 : 3;
   const double theta = 0.6;
   ModalDesignResult design = MakeRankerScaleDataset(n);
   MallowsModel model(design.modal, theta);
   std::vector<Ranking> base = model.SampleMany(num_rankings, /*seed=*/17);
+  std::vector<Ranking> extra = model.SampleMany(num_appended, /*seed=*/18);
   ConsensusOptions options;
   options.delta = 0.1;
   options.time_limit_seconds = 10.0;
@@ -97,17 +150,30 @@ int WriteKernelJson(const char* path) {
   (void)w;
   (void)weights;
 
-  // Best-of-3 for each scenario to damp scheduler noise.
+  // Best-of-N for each scenario to damp scheduler noise.
   SweepResult shared, rebuild;
-  for (int rep = 0; rep < 3; ++rep) {
+  IncrementalResult incremental;
+  for (int rep = 0; rep < reps; ++rep) {
     SweepResult s = RunShared(base, design.table, options);
     SweepResult r = RunRebuilding(base, design.table, options);
+    IncrementalResult inc = RunIncrementalAppend(base, extra, design.table);
     if (rep == 0 || s.seconds < shared.seconds) shared = s;
     if (rep == 0 || r.seconds < rebuild.seconds) rebuild = r;
+    if (rep == 0 ||
+        inc.incremental_seconds < incremental.incremental_seconds) {
+      incremental.incremental_seconds = inc.incremental_seconds;
+    }
+    if (rep == 0 || inc.rebuild_seconds < incremental.rebuild_seconds) {
+      incremental.rebuild_seconds = inc.rebuild_seconds;
+    }
   }
   const double speedup = shared.seconds > 0.0
                              ? rebuild.seconds / shared.seconds
                              : 0.0;
+  const double incremental_speedup =
+      incremental.incremental_seconds > 0.0
+          ? incremental.rebuild_seconds / incremental.incremental_seconds
+          : 0.0;
 
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
@@ -133,6 +199,11 @@ int WriteKernelJson(const char* path) {
                rebuild.seconds, rebuild.precedence_builds,
                rebuild.parity_score_builds);
   std::fprintf(f, "  \"speedup\": %.3f,\n", speedup);
+  std::fprintf(f, "  \"incremental_append\": {\"base_rankings\": %d, "
+               "\"appended\": %d, \"incremental_seconds\": %.6f, "
+               "\"full_rebuild_seconds\": %.6f, \"speedup\": %.3f},\n",
+               num_rankings, num_appended, incremental.incremental_seconds,
+               incremental.rebuild_seconds, incremental_speedup);
   std::fprintf(f, "  \"kernels\": {\"precedence_build_seconds\": %.6f, "
                "\"parity_scores_seconds\": %.6f}\n",
                precedence_build_seconds, parity_scores_seconds);
@@ -143,7 +214,11 @@ int WriteKernelJson(const char* path) {
               shared.seconds, shared.precedence_builds);
   std::printf("per-method rebuild: %.4fs (%d precedence builds)\n",
               rebuild.seconds, rebuild.precedence_builds);
-  std::printf("speedup: %.2fx  ->  %s\n", speedup, path);
+  std::printf("speedup: %.2fx\n", speedup);
+  std::printf("incremental append (+%d onto %d): %.4fs vs rebuild %.4fs "
+              "(%.2fx)  ->  %s\n",
+              num_appended, num_rankings, incremental.incremental_seconds,
+              incremental.rebuild_seconds, incremental_speedup, path);
   return 0;
 }
 

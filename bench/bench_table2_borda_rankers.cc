@@ -2,17 +2,15 @@
 // rankings grows to web scale. n = 100 candidates (Fig. 6 dataset),
 // Delta = 0.1, theta = 0.6.
 //
-// Rankings are streamed: each Mallows sample is drawn, folded into the
-// Borda point totals, and discarded, so |R| = 10M needs no ranking storage
-// (the paper reports 50.75 s for 10M rankings on their machine). Because
-// nothing is retained, this harness bypasses ConsensusContext (which owns
-// its profile) and drives the streaming kernel directly; the repeated
-// small ParallelFor regions reuse the persistent worker pool.
-
-#include <atomic>
+// Rankings are streamed through the core StreamingAccumulator kernel: each
+// Mallows sample is drawn, folded into per-worker Borda point totals, and
+// discarded, so |R| = 10M needs no ranking storage (the paper reports
+// 50.75 s for 10M rankings on their machine). The folded summary seeds a
+// summarized ConsensusContext, and Fair-Borda runs through the registry
+// (ctx.RunMethod("A3")) like every other harness — no hand-rolled Borda
+// loop, no context bypass.
 
 #include "bench_util.h"
-#include "util/threading.h"
 
 int main() {
   using namespace manirank;
@@ -28,33 +26,23 @@ int main() {
   const int n = design.table.num_candidates();
   MallowsModel model(design.modal, 0.6);
 
+  ConsensusOptions options;
+  options.delta = 0.1;
+
   TablePrinter table(
       {"|R| Number of Rankings", "Execution time (s)", "fair@0.1"});
   for (int64_t m : sizes) {
     Stopwatch timer;
-    // Streamed, thread-parallel Borda accumulation. Sample i depends only
-    // on (seed, i), so the result is independent of the thread count.
-    std::vector<std::vector<int64_t>> per_worker(DefaultThreadCount() + 1,
-                                                 std::vector<int64_t>(n, 0));
-    ParallelFor(static_cast<size_t>(m),
-                [&](size_t begin, size_t end, size_t worker) {
-                  std::vector<int64_t>& points = per_worker[worker];
-                  for (size_t i = begin; i < end; ++i) {
-                    Rng rng = MallowsModel::SampleRng(/*seed=*/71, i);
-                    Ranking r = model.Sample(&rng);
-                    for (int p = 0; p < n; ++p) {
-                      points[r.At(p)] += n - 1 - p;
-                    }
-                  }
-                });
-    std::vector<int64_t> points(n, 0);
-    for (const auto& local : per_worker) {
-      for (int c = 0; c < n; ++c) points[c] += local[c];
-    }
-    Ranking borda = BordaFromPoints(points);
-    MakeMrFairOptions options;
-    options.delta = 0.1;
-    MakeMrFairResult fair = MakeMrFair(borda, design.table, options);
+    // Streamed, thread-parallel Borda accumulation on the persistent
+    // worker pool. Sample i depends only on (seed, i), so the folded
+    // summary is independent of the thread count.
+    StreamingAccumulator acc(n);
+    acc.Drain(static_cast<size_t>(m), [&](size_t i) {
+      Rng rng = MallowsModel::SampleRng(/*seed=*/71, i);
+      return model.Sample(&rng);
+    });
+    ConsensusContext ctx(acc.Finish(), design.table);
+    ConsensusOutput fair = ctx.RunMethod("A3", options);  // Fair-Borda
     table.AddRow({std::to_string(m), Fmt(timer.Seconds(), 2),
                   fair.satisfied ? "yes" : "NO"});
   }

@@ -95,7 +95,9 @@ inline MethodRun RunMethod(const MethodSpec& method,
   MethodRun run;
   run.id = method.id;
   run.name = method.name;
-  ConsensusOutput out = method.run(ctx, options);
+  // Through the context entry point (not method.run directly) so the
+  // mutation-exclusion debug check registers the run.
+  ConsensusOutput out = ctx.RunMethod(method, options);
   run.seconds = out.seconds;
   run.pd_loss = PdLoss(ctx.base_rankings(), out.consensus);
   run.parity = ctx.EvaluateFairness(out.consensus).parity;

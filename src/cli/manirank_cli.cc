@@ -4,11 +4,18 @@
 //   manirank audit     --table T.csv --rankings R.csv
 //   manirank consensus --table T.csv --rankings R.csv --method A4
 //                      [--delta 0.1] [--time-limit 30] [--output out.csv]
+//                      [--append R2.csv ...]
 //   manirank methods
 //
 // CSV formats are the library's (data/csv.h): the table file starts with
 // "candidate,<attr>,..." and rankings are one permutation per row,
 // candidates best-first.
+//
+// --append (repeatable, consensus only) is the batch-serving mode: one
+// ConsensusContext is built over the initial rankings and then mutated in
+// place for every append file — each batch folds into the cached
+// precedence/parity/Borda state in O(n^2) per ranking instead of
+// rebuilding, and the chosen method re-runs against the updated profile.
 
 #include <fstream>
 #include <iostream>
@@ -30,6 +37,7 @@ struct Args {
   std::string rankings_path;
   std::string method = "A4";  // Fair-Copeland: fast and exact-polynomial
   std::string output_path;
+  std::vector<std::string> append_paths;
   double delta = 0.1;
   double time_limit = 30.0;
 };
@@ -40,17 +48,45 @@ int Usage() {
       "  manirank audit     --table T.csv --rankings R.csv\n"
       "  manirank consensus --table T.csv --rankings R.csv [--method ID|all]\n"
       "                     [--delta D] [--time-limit S] [--output out.csv]\n"
+      "                     [--append R2.csv ...]\n"
       "  manirank methods\n";
   return 2;
+}
+
+bool ParseDouble(const std::string& flag, const std::string& value,
+                 double* out) {
+  try {
+    size_t consumed = 0;
+    const double parsed = std::stod(value, &consumed);
+    if (consumed != value.size()) throw std::invalid_argument(value);
+    *out = parsed;
+    return true;
+  } catch (const std::exception&) {
+    std::cerr << "flag " << flag << " needs a number, got '" << value
+              << "'\n";
+    return false;
+  }
 }
 
 std::optional<Args> Parse(int argc, char** argv) {
   if (argc < 2) return std::nullopt;
   Args args;
   args.command = argv[1];
-  for (int i = 2; i + 1 < argc; i += 2) {
+  for (int i = 2; i < argc; ++i) {
     const std::string flag = argv[i];
-    const std::string value = argv[i + 1];
+    const bool known = flag == "--table" || flag == "--rankings" ||
+                       flag == "--method" || flag == "--delta" ||
+                       flag == "--time-limit" || flag == "--output" ||
+                       flag == "--append";
+    if (!known) {
+      std::cerr << "unknown flag: " << flag << "\n";
+      return std::nullopt;
+    }
+    if (i + 1 >= argc) {
+      std::cerr << "flag " << flag << " requires a value\n";
+      return std::nullopt;
+    }
+    const std::string value = argv[++i];
     if (flag == "--table") {
       args.table_path = value;
     } else if (flag == "--rankings") {
@@ -58,15 +94,23 @@ std::optional<Args> Parse(int argc, char** argv) {
     } else if (flag == "--method") {
       args.method = value;
     } else if (flag == "--delta") {
-      args.delta = std::stod(value);
+      if (!ParseDouble(flag, value, &args.delta)) return std::nullopt;
     } else if (flag == "--time-limit") {
-      args.time_limit = std::stod(value);
+      if (!ParseDouble(flag, value, &args.time_limit)) return std::nullopt;
     } else if (flag == "--output") {
       args.output_path = value;
+    } else if (flag == "--append") {
+      args.append_paths.push_back(value);
     } else {
-      std::cerr << "unknown flag: " << flag << "\n";
+      // Unreachable while the chain covers the `known` list; errors
+      // loudly if the two ever drift apart.
+      std::cerr << "unhandled flag: " << flag << "\n";
       return std::nullopt;
     }
+  }
+  if (!args.append_paths.empty() && args.command != "consensus") {
+    std::cerr << "--append is only valid with the consensus command\n";
+    return std::nullopt;
   }
   return args;
 }
@@ -139,26 +183,15 @@ int RunAudit(const Args& args) {
   return 0;
 }
 
-int RunConsensus(const Args& args) {
-  std::optional<Study> study = Load(args);
-  if (!study) return 1;
-  const bool run_all = args.method == "all";
-  const MethodSpec* method = run_all ? nullptr : FindMethod(args.method);
-  if (!run_all && method == nullptr) {
-    std::cerr << "unknown method '" << args.method
-              << "' (see `manirank methods`)\n";
-    return 2;
-  }
-  // The context owns the rankings and shares every cached structure
-  // (precedence matrix, parity scores) across method runs.
-  ConsensusContext ctx(std::move(study->rankings), study->table);
-  ConsensusOptions options;
-  options.delta = args.delta;
-  options.time_limit_seconds = args.time_limit;
-
+/// Runs the chosen method (or the full registry sweep) against the
+/// context's current profile and prints the report. Returns the consensus
+/// rankings for --output (method order A1..B4 for "all").
+std::vector<Ranking> RunBatch(const ConsensusContext& ctx,
+                              const MethodSpec* method, bool run_all,
+                              const ConsensusOptions& options) {
   if (run_all) {
     // Batch sweep: every registry method against one shared context (the
-    // precedence matrix is built exactly once for the whole table). Warm
+    // precedence matrix is built exactly once for the whole profile). Warm
     // the shared caches first so the per-method secs column reports
     // marginal costs instead of charging the build to the first method.
     Stopwatch warm_timer;
@@ -180,46 +213,97 @@ int RunConsensus(const Args& args) {
                   TablePrinter::Fmt(outputs[i].seconds, 2)});
     }
     out.Print(std::cout);
-    if (!args.output_path.empty()) {
-      std::ofstream out_file(args.output_path);
-      if (!out_file) {
-        std::cerr << "cannot open output file: " << args.output_path << "\n";
-        return 1;
-      }
-      std::vector<Ranking> consensuses;
-      for (ConsensusOutput& o : outputs) {
-        consensuses.push_back(std::move(o.consensus));
-      }
-      WriteRankingsCsv(out_file, consensuses);
-      std::cout << "all " << consensuses.size()
-                << " consensus rankings written to " << args.output_path
-                << " (rows in method order A1..B4)\n";
+    std::vector<Ranking> consensuses;
+    for (ConsensusOutput& o : outputs) {
+      consensuses.push_back(std::move(o.consensus));
     }
-    return 0;
+    return consensuses;
   }
 
-  ConsensusOutput result = method->run(ctx, options);
-
-  TablePrinter out(FairnessHeader(study->table));
+  ConsensusOutput result = ctx.RunMethod(*method, options);
+  TablePrinter out(FairnessHeader(ctx.table()));
   PrintFairness("consensus (" + method->name + ")", result.consensus,
-                study->table, &out);
+                ctx.table(), &out);
   out.Print(std::cout);
   std::cout << "PD loss: "
             << TablePrinter::Fmt(PdLoss(ctx.base_rankings(), result.consensus),
                                  4)
             << "  time: " << TablePrinter::Fmt(result.seconds, 2) << "s"
-            << "  delta " << args.delta << " satisfied: "
+            << "  delta " << options.delta << " satisfied: "
             << (result.satisfied ? "yes" : "no")
             << (method->uses_ilp && !result.exact ? "  (time-capped)" : "")
             << "\n";
+  return {std::move(result.consensus)};
+}
+
+int RunConsensus(const Args& args) {
+  std::optional<Study> study = Load(args);
+  if (!study) return 1;
+  const bool run_all = args.method == "all";
+  const MethodSpec* method = run_all ? nullptr : FindMethod(args.method);
+  if (!run_all && method == nullptr) {
+    std::cerr << "unknown method '" << args.method
+              << "' (see `manirank methods`)\n";
+    return 2;
+  }
+  // One context owns the whole serving session: it is built over the
+  // initial rankings and then mutated in place for every --append batch,
+  // so the cached precedence/parity/Borda state absorbs each batch as
+  // O(n^2)-per-ranking deltas instead of being rebuilt.
+  ConsensusContext ctx(std::move(study->rankings), study->table);
+  ConsensusOptions options;
+  options.delta = args.delta;
+  options.time_limit_seconds = args.time_limit;
+
+  std::vector<Ranking> consensuses =
+      RunBatch(ctx, method, run_all, options);
+
+  for (const std::string& path : args.append_paths) {
+    std::ifstream append_file(path);
+    if (!append_file) {
+      std::cerr << "cannot open append file: " << path << "\n";
+      return 1;
+    }
+    std::vector<Ranking> batch;
+    try {
+      batch = ReadRankingsCsv(append_file);
+    } catch (const std::exception& e) {
+      std::cerr << "parse error in " << path << ": " << e.what() << "\n";
+      return 1;
+    }
+    if (batch.empty()) {
+      std::cerr << "append file is empty: " << path << "\n";
+      return 1;
+    }
+    for (const Ranking& r : batch) {
+      if (r.size() != ctx.num_candidates()) {
+        std::cerr << "ranking size " << r.size() << " != table size "
+                  << ctx.num_candidates() << " in " << path << "\n";
+        return 1;
+      }
+    }
+    const size_t batch_size = batch.size();
+    Stopwatch append_timer;
+    ctx.AddRankings(std::move(batch));
+    std::cout << "\n--- appended " << batch_size << " rankings from " << path
+              << " (profile now " << ctx.num_rankings() << ", fold "
+              << TablePrinter::Fmt(append_timer.Seconds(), 3)
+              << "s, generation " << ctx.generation() << ") ---\n";
+    consensuses = RunBatch(ctx, method, run_all, options);
+  }
+
   if (!args.output_path.empty()) {
     std::ofstream out_file(args.output_path);
     if (!out_file) {
       std::cerr << "cannot open output file: " << args.output_path << "\n";
       return 1;
     }
-    WriteRankingsCsv(out_file, {result.consensus});
-    std::cout << "consensus written to " << args.output_path << "\n";
+    WriteRankingsCsv(out_file, consensuses);
+    std::cout << (run_all ? "all " + std::to_string(consensuses.size()) +
+                                " consensus rankings written to "
+                          : std::string("consensus written to "))
+              << args.output_path
+              << (run_all ? " (rows in method order A1..B4)" : "") << "\n";
   }
   return 0;
 }

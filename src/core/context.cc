@@ -6,6 +6,7 @@
 #include <numeric>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 #include "core/baselines.h"
 #include "core/method_registry.h"
@@ -29,6 +30,20 @@ uint64_t HashWeights(const std::vector<double>& weights) {
   return h;
 }
 
+/// Registers a RunMethod/RunAll reader for the mutation-exclusion check.
+class RunGuard {
+ public:
+  explicit RunGuard(std::atomic<int>& active) : active_(active) {
+    active_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  ~RunGuard() { active_.fetch_sub(1, std::memory_order_acq_rel); }
+  RunGuard(const RunGuard&) = delete;
+  RunGuard& operator=(const RunGuard&) = delete;
+
+ private:
+  std::atomic<int>& active_;
+};
+
 }  // namespace
 
 ConsensusContext::ConsensusContext(std::vector<Ranking> base_rankings,
@@ -44,9 +59,142 @@ ConsensusContext::ConsensusContext(std::vector<Ranking> base_rankings,
   }
 }
 
+ConsensusContext::ConsensusContext(StreamingSummary summary,
+                                   const CandidateTable& table)
+    : ConsensusContext(std::vector<Ranking>{}, table) {
+  if (summary.num_candidates != table.num_candidates()) {
+    throw std::invalid_argument(
+        "streaming summary candidate count does not match table");
+  }
+  summarized_ = true;
+  stream_count_ = summary.num_rankings;
+  borda_points_ =
+      std::make_unique<std::vector<int64_t>>(std::move(summary.borda_points));
+  precedence_ = std::move(summary.precedence);
+}
+
+size_t ConsensusContext::num_rankings() const {
+  return summarized_ ? static_cast<size_t>(stream_count_) : base_.size();
+}
+
+void ConsensusContext::RequireBase(const char* what) const {
+  if (summarized_) {
+    throw std::logic_error(std::string(what) +
+                           " needs the base rankings, but this context was "
+                           "built from a streaming summary");
+  }
+}
+
+void ConsensusContext::RequireNoActiveRuns(const char* what) const {
+  if (active_runs_.load(std::memory_order_acquire) != 0) {
+    throw std::logic_error(
+        std::string(what) +
+        " while a RunMethod/RunAll reader is in flight: profile mutations "
+        "must be exclusive with concurrent method runs");
+  }
+}
+
+void ConsensusContext::ApplyAddLocked(const Ranking& ranking) {
+  const int n = num_candidates();
+  if (ranking.size() != n) {
+    throw std::invalid_argument("added ranking size does not match table");
+  }
+  if (precedence_) {
+    precedence_->AddRanking(ranking);
+    ++stats_.precedence_delta_updates;
+  }
+  if (borda_points_) {
+    for (int p = 0; p < n; ++p) {
+      (*borda_points_)[ranking.At(p)] += n - 1 - p;
+    }
+  }
+  if (parity_scores_) {
+    parity_scores_->push_back(EvaluateFairnessImpl(ranking).MaxParity());
+    ++stats_.parity_delta_updates;
+  }
+  // The weight vectors these derive from change length with the profile.
+  fairness_weights_.reset();
+  weighted_.clear();
+  ++stats_.generation;
+}
+
+void ConsensusContext::AddRanking(Ranking ranking) {
+  RequireNoActiveRuns("AddRanking");
+  std::lock_guard<std::mutex> lock(mu_);
+  ApplyAddLocked(ranking);
+  if (summarized_) {
+    ++stream_count_;  // folded, not retained
+  } else {
+    base_.push_back(std::move(ranking));
+  }
+}
+
+void ConsensusContext::AddRankings(std::vector<Ranking> rankings) {
+  RequireNoActiveRuns("AddRankings");
+  std::lock_guard<std::mutex> lock(mu_);
+  // Validate the whole batch before folding anything, so a bad ranking
+  // cannot leave the profile partially mutated (strong guarantee).
+  for (const Ranking& ranking : rankings) {
+    if (ranking.size() != num_candidates()) {
+      throw std::invalid_argument("added ranking size does not match table");
+    }
+  }
+  for (Ranking& ranking : rankings) {
+    ApplyAddLocked(ranking);
+    if (summarized_) {
+      ++stream_count_;
+    } else {
+      base_.push_back(std::move(ranking));
+    }
+  }
+}
+
+void ConsensusContext::RemoveRanking(size_t index) {
+  RequireNoActiveRuns("RemoveRanking");
+  std::lock_guard<std::mutex> lock(mu_);
+  if (summarized_) {
+    throw std::logic_error(
+        "RemoveRanking is index-addressed and needs the retained profile; "
+        "summarized contexts fold rankings away");
+  }
+  if (index >= base_.size()) {
+    throw std::out_of_range("RemoveRanking index out of range");
+  }
+  const Ranking& ranking = base_[index];
+  const int n = num_candidates();
+  if (precedence_) {
+    precedence_->RemoveRanking(ranking);
+    ++stats_.precedence_delta_updates;
+  }
+  if (borda_points_) {
+    for (int p = 0; p < n; ++p) {
+      (*borda_points_)[ranking.At(p)] -= n - 1 - p;
+    }
+  }
+  if (parity_scores_) {
+    parity_scores_->erase(parity_scores_->begin() +
+                          static_cast<ptrdiff_t>(index));
+    ++stats_.parity_delta_updates;
+  }
+  fairness_weights_.reset();
+  weighted_.clear();
+  ++stats_.generation;
+  base_.erase(base_.begin() + static_cast<ptrdiff_t>(index));
+}
+
+uint64_t ConsensusContext::generation() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_.generation;
+}
+
 const PrecedenceMatrix& ConsensusContext::Precedence() const {
   std::lock_guard<std::mutex> lock(mu_);
   if (!precedence_) {
+    if (summarized_) {
+      throw std::logic_error(
+          "summarized context has no precedence matrix; stream with "
+          "StreamingAccumulator::Track::kBordaAndPrecedence");
+    }
     precedence_ =
         std::make_unique<PrecedenceMatrix>(PrecedenceMatrix::Build(base_));
     ++stats_.precedence_builds;
@@ -56,6 +204,7 @@ const PrecedenceMatrix& ConsensusContext::Precedence() const {
 
 const PrecedenceMatrix& ConsensusContext::WeightedPrecedence(
     const std::vector<double>& weights) const {
+  RequireBase("WeightedPrecedence");
   const uint64_t key = HashWeights(weights);
   std::lock_guard<std::mutex> lock(mu_);
   for (const auto& [hash, entry] : weighted_) {
@@ -73,7 +222,24 @@ const PrecedenceMatrix& ConsensusContext::WeightedPrecedence(
   return *weighted_.back().second.matrix;
 }
 
+const std::vector<int64_t>& ConsensusContext::BordaPoints() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!borda_points_) {
+    const int n = num_candidates();
+    auto points = std::make_unique<std::vector<int64_t>>(n, 0);
+    for (const Ranking& r : base_) {
+      for (int p = 0; p < n; ++p) {
+        (*points)[r.At(p)] += n - 1 - p;
+      }
+    }
+    borda_points_ = std::move(points);
+    ++stats_.borda_builds;
+  }
+  return *borda_points_;
+}
+
 const std::vector<double>& ConsensusContext::BaseParityScores() const {
+  RequireBase("BaseParityScores");
   std::lock_guard<std::mutex> lock(mu_);
   if (!parity_scores_) {
     auto scores = std::make_unique<std::vector<double>>(base_.size());
@@ -141,11 +307,18 @@ ConsensusOutput ConsensusContext::RunMethod(
     throw std::invalid_argument("unknown consensus method: " +
                                 std::string(id_or_name));
   }
-  return method->run(*this, options);
+  return RunMethod(*method, options);
+}
+
+ConsensusOutput ConsensusContext::RunMethod(
+    const MethodSpec& method, const ConsensusOptions& options) const {
+  RunGuard guard(active_runs_);
+  return method.run(*this, options);
 }
 
 std::vector<ConsensusOutput> ConsensusContext::RunAll(
     const ConsensusOptions& options) const {
+  RunGuard guard(active_runs_);
   std::vector<ConsensusOutput> outputs;
   for (const MethodSpec& method : AllMethods()) {
     outputs.push_back(method.run(*this, options));

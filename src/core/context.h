@@ -1,6 +1,7 @@
 #ifndef MANIRANK_CORE_CONTEXT_H_
 #define MANIRANK_CORE_CONTEXT_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -11,8 +12,11 @@
 #include "core/fairness_metrics.h"
 #include "core/precedence.h"
 #include "core/ranking.h"
+#include "core/streaming.h"
 
 namespace manirank {
+
+struct MethodSpec;
 
 /// Per-call knobs shared by every consensus method of the study.
 struct ConsensusOptions {
@@ -37,13 +41,25 @@ struct ConsensusOutput {
 
 /// Cache-hit/miss counters; snapshot via ConsensusContext::stats().
 struct ContextStats {
-  /// Times the unweighted Definition-11 matrix was actually built.
+  /// Times the unweighted Definition-11 matrix was actually built from
+  /// scratch (incremental deltas do not count as builds).
   int precedence_builds = 0;
+  /// O(n^2) in-place deltas applied to an already-built precedence matrix
+  /// by AddRanking / RemoveRanking.
+  int precedence_delta_updates = 0;
   /// Weighted-variant cache misses (builds) and hits.
   int weighted_builds = 0;
   int weighted_hits = 0;
-  /// Times the per-base-ranking parity scores were computed.
+  /// Times the per-base-ranking parity scores were computed from scratch.
   int parity_score_builds = 0;
+  /// Single-score appends/removals applied to already-built parity scores.
+  int parity_delta_updates = 0;
+  /// Times the Borda point totals were computed from scratch.
+  int borda_builds = 0;
+  /// Profile generation: bumped once per ranking added or removed. Caches
+  /// derived from the profile are only ever valid for one generation;
+  /// readers can compare snapshots to detect interleaved mutations.
+  uint64_t generation = 0;
 };
 
 /// Shared evaluation engine for one profile (base rankings + candidate
@@ -56,10 +72,42 @@ struct ContextStats {
 /// The context owns the base rankings (moved or copied in) and borrows the
 /// candidate table, which must outlive it. All caches are lazy and guarded
 /// by a mutex: concurrent method runs on one context are safe.
+///
+/// Streaming profiles. The profile is mutable in place: AddRanking /
+/// AddRankings / RemoveRanking update every already-built cache by its
+/// delta instead of invalidating it — the precedence matrix absorbs an
+/// O(n^2) fold per ranking (vs an O(|R| n^2) rebuild), the parity scores
+/// gain or lose one entry, and the Borda point totals shift by one
+/// ranking's points. Caches a delta genuinely dirties are dropped: the
+/// weighted precedence variants and the derived Kemeny fairness weights
+/// (both depend on the whole weight vector). The per-grouping mixed-pair
+/// denominators depend only on the table and survive every mutation. Each
+/// mutation bumps ContextStats::generation.
+///
+/// A context can also be constructed from a StreamingSummary — the folded
+/// residue of a profile too large to retain (Table II's 10M rankers). Such
+/// a summarized context serves every method that needs only the precedence
+/// matrix or Borda points; methods that need the base rankings themselves
+/// (B2/B3/B4's parity scores, Pick-A-Perm) throw std::logic_error.
+///
+/// Thread-safety contract: concurrent *readers* (RunMethod / RunAll /
+/// accessor calls) are safe against each other. Mutations must be
+/// exclusive with all readers — methods hold references into the caches
+/// for their whole run, outside the internal mutex. This precondition is
+/// debug-checked: RunMethod / RunAll register as active readers, and any
+/// mutation while a run is in flight throws std::logic_error instead of
+/// corrupting the caches. (The check is advisory — it cannot catch a
+/// reader that races the mutation exactly — but it keeps the contract
+/// honest in every test and serving loop that goes through RunMethod.)
 class ConsensusContext {
  public:
   ConsensusContext(std::vector<Ranking> base_rankings,
                    const CandidateTable& table);
+
+  /// Builds a summarized context from streamed state: no base rankings,
+  /// but Borda points (always) and the precedence matrix (when the
+  /// accumulator tracked it) arrive pre-folded.
+  ConsensusContext(StreamingSummary summary, const CandidateTable& table);
 
   ConsensusContext(const ConsensusContext&) = delete;
   ConsensusContext& operator=(const ConsensusContext&) = delete;
@@ -67,17 +115,56 @@ class ConsensusContext {
   const std::vector<Ranking>& base_rankings() const { return base_; }
   const CandidateTable& table() const { return *table_; }
   int num_candidates() const { return table_->num_candidates(); }
-  size_t num_rankings() const { return base_.size(); }
+
+  /// Profile size: retained rankings, or the folded count for a
+  /// summarized context.
+  size_t num_rankings() const;
+
+  /// False for summarized (streaming-built) contexts, whose profile was
+  /// folded and discarded.
+  bool has_base_rankings() const { return !summarized_; }
+
+  // --- mutation API (streaming profiles) ---------------------------------
+
+  /// Appends one ranking to the profile, updating every built cache in
+  /// place: O(n^2) on the precedence matrix, O(n · #groupings) for its
+  /// parity score, O(n) on the Borda points. Weighted precedence variants
+  /// and the Kemeny fairness weights are dropped (their weight vectors
+  /// change length). On a summarized context the ranking is folded into
+  /// the summary state and discarded. Throws std::logic_error if a
+  /// RunMethod/RunAll reader is in flight.
+  void AddRanking(Ranking ranking);
+
+  /// Batch append; one generation bump per ranking.
+  void AddRankings(std::vector<Ranking> rankings);
+
+  /// Removes the ranking at `index` (profile order), reversing its
+  /// contribution to every built cache in O(n^2). Index-addressed, so it
+  /// requires a retained profile: summarized contexts throw
+  /// std::logic_error, out-of-range indices std::out_of_range.
+  void RemoveRanking(size_t index);
+
+  /// Generation counter snapshot (bumped once per ranking added/removed).
+  uint64_t generation() const;
+
+  // --- cached structures --------------------------------------------------
 
   /// The unweighted precedence matrix W of Definition 11. Built on first
-  /// use, cached for the context's lifetime.
+  /// use, then maintained incrementally across mutations; the reference
+  /// stays valid (and its contents current) for the context's lifetime.
+  /// Summarized contexts that did not track precedence throw
+  /// std::logic_error.
   const PrecedenceMatrix& Precedence() const;
 
   /// Weighted variant, cached per distinct weight vector (keyed by a
   /// content hash; exact vectors are compared on collision). The returned
-  /// reference lives as long as the context.
+  /// reference lives until the next profile mutation.
   const PrecedenceMatrix& WeightedPrecedence(
       const std::vector<double>& weights) const;
+
+  /// Per-candidate Borda point totals (points[c] = sum over the profile of
+  /// n - 1 - position(c)); built on first use, maintained incrementally.
+  const std::vector<int64_t>& BordaPoints() const;
 
   /// Max ARP/IRP of each base ranking (lower = fairer). Shared by the
   /// Kemeny-Weighted / Pick-Fairest-Perm / Correct-Fairest-Perm baselines,
@@ -105,6 +192,12 @@ class ConsensusContext {
   ConsensusOutput RunMethod(std::string_view id_or_name,
                             const ConsensusOptions& options = {}) const;
 
+  /// Runs a resolved method spec. All method execution should go through
+  /// this entry point (rather than calling spec.run directly) so the
+  /// mutation-exclusion debug check sees the run.
+  ConsensusOutput RunMethod(const MethodSpec& method,
+                            const ConsensusOptions& options = {}) const;
+
   /// Runs every registry method in paper order (aligned with
   /// AllMethods()), sharing every cached structure across the sweep.
   std::vector<ConsensusOutput> RunAll(
@@ -118,6 +211,17 @@ class ConsensusContext {
   /// state), callable while mu_ is held.
   FairnessReport EvaluateFairnessImpl(const Ranking& ranking) const;
 
+  /// Throws std::logic_error when `what` needs the retained profile but
+  /// this context is summarized.
+  void RequireBase(const char* what) const;
+
+  /// Throws std::logic_error when a RunMethod/RunAll reader is in flight;
+  /// called at the top of every mutation.
+  void RequireNoActiveRuns(const char* what) const;
+
+  /// Folds one ranking into every built cache; caller holds mu_.
+  void ApplyAddLocked(const Ranking& ranking);
+
   struct WeightedEntry {
     std::vector<double> weights;
     std::unique_ptr<PrecedenceMatrix> matrix;
@@ -125,16 +229,24 @@ class ConsensusContext {
 
   std::vector<Ranking> base_;
   const CandidateTable* table_;
+  /// True when built from a StreamingSummary: base_ stays empty and
+  /// stream_count_ carries the profile size.
+  bool summarized_ = false;
+  int64_t stream_count_ = 0;
 
   mutable std::mutex mu_;
+  /// RunMethod/RunAll readers currently in flight (mutation debug check).
+  mutable std::atomic<int> active_runs_{0};
   mutable std::unique_ptr<PrecedenceMatrix> precedence_;
   // Weighted matrices bucketed by content hash; each bucket holds the
   // exact weight vectors that hashed there.
   mutable std::vector<std::pair<uint64_t, WeightedEntry>> weighted_;
+  mutable std::unique_ptr<std::vector<int64_t>> borda_points_;
   mutable std::unique_ptr<std::vector<double>> parity_scores_;
   mutable std::unique_ptr<std::vector<double>> fairness_weights_;
   // FPR denominators MixedPairs(|G|, n) per constrained grouping, in
   // CandidateTable::constrained_groupings() order (eagerly built: cheap).
+  // Depend only on the table, so they survive every profile mutation.
   std::vector<std::vector<int64_t>> mixed_pair_denoms_;
   mutable ContextStats stats_;
 };

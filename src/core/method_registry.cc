@@ -58,8 +58,11 @@ ConsensusOutput RunFairSchulze(const ConsensusContext& ctx,
 ConsensusOutput RunFairBorda(const ConsensusContext& ctx,
                              const ConsensusOptions& opts) {
   Stopwatch timer;
-  FairAggregateResult r =
-      FairBorda(ctx.base_rankings(), ctx.table(), MmfOptions(opts));
+  // Borda from the context's cached point totals (identical to
+  // BordaAggregate over the base rankings, but also available on
+  // summarized streaming contexts and maintained incrementally).
+  FairAggregateResult r = CorrectConsensus(BordaFromPoints(ctx.BordaPoints()),
+                                           ctx.table(), MmfOptions(opts));
   ConsensusOutput out;
   out.consensus = std::move(r.fair_consensus);
   out.satisfied = r.satisfied;

@@ -59,6 +59,23 @@ PrecedenceMatrix::PrecedenceMatrix(std::vector<std::vector<double>> w)
   }
 }
 
+PrecedenceMatrix PrecedenceMatrix::Zero(int n) {
+  PrecedenceMatrix m;
+  m.n_ = n;
+  m.w_.assign(static_cast<size_t>(n) * n, 0.0);
+  return m;
+}
+
+void PrecedenceMatrix::AddRanking(const Ranking& ranking, double weight) {
+  assert(ranking.size() == n_);
+  Accumulate(ranking, weight, n_, &w_);
+}
+
+void PrecedenceMatrix::Merge(const PrecedenceMatrix& other) {
+  assert(other.n_ == n_);
+  for (size_t c = 0; c < w_.size(); ++c) w_[c] += other.w_[c];
+}
+
 PrecedenceMatrix PrecedenceMatrix::Build(
     const std::vector<Ranking>& base_rankings) {
   return BuildImpl(base_rankings, nullptr);

@@ -27,6 +27,26 @@ class PrecedenceMatrix {
   /// Constructs directly from a dense matrix (tests, ablations).
   explicit PrecedenceMatrix(std::vector<std::vector<double>> w);
 
+  /// The all-zero matrix over n candidates: the starting point for
+  /// incremental construction via AddRanking / Merge.
+  static PrecedenceMatrix Zero(int n);
+
+  /// Folds one ranking of weight `weight` into W in place: O(n^2), the
+  /// per-delta cost of maintaining a streaming profile. Unit weights keep
+  /// every cell an exactly-representable integer, so any interleaving of
+  /// AddRanking / RemoveRanking is bit-identical to Build over the
+  /// resulting profile.
+  void AddRanking(const Ranking& ranking, double weight = 1.0);
+
+  /// Removes one previously folded ranking (AddRanking with -weight).
+  void RemoveRanking(const Ranking& ranking, double weight = 1.0) {
+    AddRanking(ranking, -weight);
+  }
+
+  /// Cell-wise sum with another matrix of the same size (merging
+  /// per-worker streaming deltas).
+  void Merge(const PrecedenceMatrix& other);
+
   int size() const { return n_; }
 
   /// W[a][b]: total weight of rankings placing b above a (Definition 11).

@@ -13,6 +13,7 @@
 ///  - core/precedence.h                        precedence matrix W
 ///  - core/aggregators.h, core/kemeny.h        Borda/Copeland/Schulze/Kemeny
 ///  - core/context.h                           shared ConsensusContext engine
+///  - core/streaming.h                         streaming profile accumulator
 ///  - core/make_mr_fair.h                      the Make-MR-Fair repair loop
 ///  - core/fair_kemeny.h, core/fair_aggregators.h   the MFCR algorithms
 ///  - core/baselines.h, core/method_registry.h      study baselines A1..B4
@@ -35,6 +36,7 @@
 #include "core/precedence.h"
 #include "core/ranking.h"
 #include "core/selection_metrics.h"
+#include "core/streaming.h"
 #include "core/types.h"
 #include "data/csrankings_generator.h"
 #include "data/csv.h"

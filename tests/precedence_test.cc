@@ -150,6 +150,62 @@ TEST(PrecedenceTest, LowerBoundMatchesBruteForcePairMinimaOnMallows) {
   }
 }
 
+TEST(PrecedenceTest, IncrementalAddMatchesBuild) {
+  // Zero + AddRanking over the profile is bit-identical to Build (unit
+  // weights are exactly representable, so fold order cannot matter).
+  Rng rng(19);
+  const int n = 13;
+  std::vector<Ranking> base;
+  for (int i = 0; i < 25; ++i) base.push_back(testing::RandomRanking(n, &rng));
+  PrecedenceMatrix built = PrecedenceMatrix::Build(base);
+  PrecedenceMatrix incremental = PrecedenceMatrix::Zero(n);
+  for (const Ranking& r : base) incremental.AddRanking(r);
+  EXPECT_EQ(incremental.ToDense(), built.ToDense());
+}
+
+TEST(PrecedenceTest, AddThenRemoveRoundTripsExactly) {
+  // Any interleaving of adds and removes lands on the matrix of the
+  // surviving profile, bit for bit.
+  Rng rng(23);
+  const int n = 10;
+  std::vector<Ranking> keep, churn;
+  for (int i = 0; i < 12; ++i) keep.push_back(testing::RandomRanking(n, &rng));
+  for (int i = 0; i < 7; ++i) churn.push_back(testing::RandomRanking(n, &rng));
+  PrecedenceMatrix w = PrecedenceMatrix::Zero(n);
+  for (size_t i = 0; i < keep.size(); ++i) {
+    w.AddRanking(keep[i]);
+    if (i < churn.size()) w.AddRanking(churn[i]);
+  }
+  for (const Ranking& r : churn) w.RemoveRanking(r);
+  EXPECT_EQ(w.ToDense(), PrecedenceMatrix::Build(keep).ToDense());
+}
+
+TEST(PrecedenceTest, WeightedAddAndRemoveScaleCounts) {
+  PrecedenceMatrix w = PrecedenceMatrix::Zero(2);
+  w.AddRanking(Ranking({0, 1}), 3.0);
+  w.AddRanking(Ranking({1, 0}), 5.0);
+  EXPECT_DOUBLE_EQ(w.W(1, 0), 3.0);
+  EXPECT_DOUBLE_EQ(w.W(0, 1), 5.0);
+  w.RemoveRanking(Ranking({1, 0}), 5.0);
+  EXPECT_DOUBLE_EQ(w.W(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(w.W(1, 0), 3.0);
+}
+
+TEST(PrecedenceTest, MergeSumsPerWorkerDeltas) {
+  Rng rng(29);
+  const int n = 8;
+  std::vector<Ranking> base;
+  for (int i = 0; i < 10; ++i) base.push_back(testing::RandomRanking(n, &rng));
+  // Fold the profile across three disjoint "worker" deltas, then merge.
+  PrecedenceMatrix merged = PrecedenceMatrix::Zero(n);
+  for (int worker = 0; worker < 3; ++worker) {
+    PrecedenceMatrix local = PrecedenceMatrix::Zero(n);
+    for (size_t i = worker; i < base.size(); i += 3) local.AddRanking(base[i]);
+    merged.Merge(local);
+  }
+  EXPECT_EQ(merged.ToDense(), PrecedenceMatrix::Build(base).ToDense());
+}
+
 TEST(PrecedenceTest, ToDenseRoundTrips) {
   Rng rng(17);
   std::vector<Ranking> base;

@@ -1,0 +1,317 @@
+// Streaming profile engine tests: the StreamingAccumulator kernel, the
+// summarized ConsensusContext, and the incremental mutation API. The
+// standard is the engine equivalence contract of ROADMAP.md: every
+// incremental path must be bit-identical to rebuilding from scratch over
+// the same profile.
+
+#include "core/streaming.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "core/aggregators.h"
+#include "core/context.h"
+#include "core/method_registry.h"
+#include "core/precedence.h"
+#include "mallows/mallows.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace manirank {
+namespace {
+
+struct Fixture {
+  CandidateTable table;
+  std::vector<Ranking> base;
+  MallowsModel model;
+};
+
+Fixture MakeFixture(int n, uint64_t seed, double theta, int num_rankings) {
+  Rng rng(seed);
+  CandidateTable table = testing::CyclicTable(n, 2, 2);
+  Ranking modal = testing::RandomRanking(n, &rng);
+  MallowsModel model(modal, theta);
+  return {std::move(table), model.SampleMany(num_rankings, seed),
+          std::move(model)};
+}
+
+std::vector<int64_t> BordaPointsOf(const std::vector<Ranking>& base) {
+  const int n = base[0].size();
+  std::vector<int64_t> points(n, 0);
+  for (const Ranking& r : base) {
+    for (int p = 0; p < n; ++p) points[r.At(p)] += n - 1 - p;
+  }
+  return points;
+}
+
+TEST(StreamingAccumulatorTest, FoldMatchesMaterializedProfile) {
+  Fixture f = MakeFixture(12, 201, 0.6, 37);
+  StreamingAccumulator acc(12,
+                           StreamingAccumulator::Track::kBordaAndPrecedence);
+  // Spread folds across worker slots; the merged summary must not depend
+  // on the slot assignment.
+  for (size_t i = 0; i < f.base.size(); ++i) {
+    acc.Fold(f.base[i], i % acc.num_workers());
+  }
+  EXPECT_EQ(acc.count(), static_cast<int64_t>(f.base.size()));
+  StreamingSummary summary = acc.Finish();
+  EXPECT_EQ(summary.num_candidates, 12);
+  EXPECT_EQ(summary.num_rankings, static_cast<int64_t>(f.base.size()));
+  EXPECT_EQ(summary.borda_points, BordaPointsOf(f.base));
+  ASSERT_NE(summary.precedence, nullptr);
+  EXPECT_EQ(summary.precedence->ToDense(),
+            PrecedenceMatrix::Build(f.base).ToDense());
+  // Finish resets the accumulator.
+  EXPECT_EQ(acc.count(), 0);
+  StreamingSummary empty = acc.Finish();
+  EXPECT_EQ(empty.num_rankings, 0);
+}
+
+TEST(StreamingAccumulatorTest, ParallelDrainIsDeterministic) {
+  const int n = 15;
+  Rng rng(203);
+  MallowsModel model(testing::RandomRanking(n, &rng), 0.6);
+  auto sample = [&](size_t i) {
+    Rng sample_rng = MallowsModel::SampleRng(/*seed=*/77, i);
+    return model.Sample(&sample_rng);
+  };
+  StreamingAccumulator acc(n);
+  acc.Drain(500, sample);
+  StreamingSummary parallel = acc.Finish();
+  // Same stream folded serially into one worker slot.
+  StreamingAccumulator serial(n);
+  for (size_t i = 0; i < 500; ++i) serial.Fold(sample(i), 0);
+  StreamingSummary expected = serial.Finish();
+  EXPECT_EQ(parallel.num_rankings, expected.num_rankings);
+  EXPECT_EQ(parallel.borda_points, expected.borda_points);
+}
+
+TEST(StreamingAccumulatorTest, RejectsBadInputs) {
+  EXPECT_THROW(StreamingAccumulator(0), std::invalid_argument);
+  StreamingAccumulator acc(5);
+  EXPECT_THROW(acc.Fold(Ranking::Identity(4), 0), std::invalid_argument);
+}
+
+TEST(SummarizedContextTest, FairBordaMatchesMaterializedContext) {
+  Fixture f = MakeFixture(14, 205, 0.6, 40);
+  StreamingAccumulator acc(14);
+  for (const Ranking& r : f.base) acc.Fold(r, 0);
+  ConsensusContext streamed(acc.Finish(), f.table);
+  ConsensusContext materialized(f.base, f.table);
+  EXPECT_FALSE(streamed.has_base_rankings());
+  EXPECT_EQ(streamed.num_rankings(), f.base.size());
+  ConsensusOptions options;
+  options.delta = 0.2;
+  ConsensusOutput from_stream = streamed.RunMethod("A3", options);
+  ConsensusOutput from_profile = materialized.RunMethod("A3", options);
+  EXPECT_EQ(from_stream.consensus.order(), from_profile.consensus.order());
+  EXPECT_EQ(from_stream.satisfied, from_profile.satisfied);
+}
+
+TEST(SummarizedContextTest, PrecedenceMethodsMatchWhenTracked) {
+  Fixture f = MakeFixture(11, 207, 0.8, 25);
+  StreamingAccumulator acc(11,
+                           StreamingAccumulator::Track::kBordaAndPrecedence);
+  for (size_t i = 0; i < f.base.size(); ++i) {
+    acc.Fold(f.base[i], i % acc.num_workers());
+  }
+  ConsensusContext streamed(acc.Finish(), f.table);
+  ConsensusContext materialized(f.base, f.table);
+  ConsensusOptions options;
+  options.delta = 0.2;
+  options.time_limit_seconds = 60.0;
+  for (const char* id : {"A2", "A3", "A4", "B1"}) {
+    ConsensusOutput from_stream = streamed.RunMethod(id, options);
+    ConsensusOutput from_profile = materialized.RunMethod(id, options);
+    EXPECT_EQ(from_stream.consensus.order(), from_profile.consensus.order())
+        << id;
+  }
+  EXPECT_EQ(streamed.stats().precedence_builds, 0)
+      << "streamed precedence must be adopted, not rebuilt";
+}
+
+TEST(SummarizedContextTest, BaseDependentAccessorsThrow) {
+  Fixture f = MakeFixture(10, 209, 0.5, 15);
+  StreamingAccumulator acc(10);  // Borda only: no precedence either
+  for (const Ranking& r : f.base) acc.Fold(r, 0);
+  ConsensusContext streamed(acc.Finish(), f.table);
+  EXPECT_THROW(streamed.Precedence(), std::logic_error);
+  EXPECT_THROW(streamed.BaseParityScores(), std::logic_error);
+  EXPECT_THROW(streamed.KemenyFairnessWeights(), std::logic_error);
+  EXPECT_THROW(streamed.WeightedPrecedence({1.0}), std::logic_error);
+  EXPECT_THROW(streamed.RunMethod("B3"), std::logic_error);
+  EXPECT_THROW(streamed.RemoveRanking(0), std::logic_error);
+  // But the streaming-friendly surface still works.
+  EXPECT_NO_THROW(streamed.RunMethod("A3"));
+}
+
+TEST(SummarizedContextTest, AddRankingFoldsWithoutRetaining) {
+  Fixture f = MakeFixture(10, 211, 0.6, 20);
+  StreamingAccumulator acc(10,
+                           StreamingAccumulator::Track::kBordaAndPrecedence);
+  for (const Ranking& r : f.base) acc.Fold(r, 0);
+  ConsensusContext streamed(acc.Finish(), f.table);
+  Rng rng(213);
+  std::vector<Ranking> grown = f.base;
+  for (int i = 0; i < 5; ++i) {
+    Ranking extra = testing::RandomRanking(10, &rng);
+    grown.push_back(extra);
+    streamed.AddRanking(std::move(extra));
+  }
+  EXPECT_EQ(streamed.num_rankings(), grown.size());
+  EXPECT_TRUE(streamed.base_rankings().empty());
+  EXPECT_EQ(streamed.BordaPoints(), BordaPointsOf(grown));
+  EXPECT_EQ(streamed.Precedence().ToDense(),
+            PrecedenceMatrix::Build(grown).ToDense());
+  EXPECT_EQ(streamed.generation(), 5u);
+}
+
+TEST(SummarizedContextTest, CandidateCountMismatchThrows) {
+  Fixture f = MakeFixture(10, 215, 0.6, 5);
+  StreamingAccumulator acc(9);
+  acc.Fold(Ranking::Identity(9), 0);
+  EXPECT_THROW(ConsensusContext(acc.Finish(), f.table),
+               std::invalid_argument);
+}
+
+TEST(MutableContextTest, InterleavedAddRemoveMatchesFreshContext) {
+  // The acceptance contract of the streaming engine: after any
+  // interleaving of Add/Remove on a warm context, every cached structure
+  // and every method output is bit-identical to a context freshly built
+  // over the surviving profile.
+  for (uint64_t seed : {301u, 302u, 303u}) {
+    Fixture f = MakeFixture(9, seed, 0.6, 12);
+    ConsensusContext ctx(f.base, f.table);
+    // Warm every incremental cache so mutations exercise the delta paths
+    // rather than starting cold.
+    ctx.Precedence();
+    ctx.BaseParityScores();
+    ctx.BordaPoints();
+    std::vector<Ranking> shadow = f.base;
+    Rng rng(seed * 7);
+    int mutations = 0;
+    for (int op = 0; op < 30; ++op) {
+      const bool remove = shadow.size() > 4 && rng.NextUint64(3) == 0;
+      if (remove) {
+        const size_t index = rng.NextUint64(shadow.size());
+        ctx.RemoveRanking(index);
+        shadow.erase(shadow.begin() + static_cast<ptrdiff_t>(index));
+        ++mutations;
+      } else if (rng.NextUint64(4) == 0) {
+        // Batch append through AddRankings.
+        std::vector<Ranking> batch;
+        for (int b = 0; b < 2; ++b) {
+          Rng sample_rng = MallowsModel::SampleRng(seed, 1000 + op * 2 + b);
+          batch.push_back(f.model.Sample(&sample_rng));
+        }
+        shadow.insert(shadow.end(), batch.begin(), batch.end());
+        ctx.AddRankings(std::move(batch));
+        mutations += 2;
+      } else {
+        Rng sample_rng = MallowsModel::SampleRng(seed, 2000 + op);
+        Ranking extra = f.model.Sample(&sample_rng);
+        shadow.push_back(extra);
+        ctx.AddRanking(std::move(extra));
+        ++mutations;
+      }
+    }
+    ASSERT_EQ(ctx.num_rankings(), shadow.size());
+    EXPECT_EQ(ctx.generation(), static_cast<uint64_t>(mutations));
+
+    ConsensusContext fresh(shadow, f.table);
+    EXPECT_EQ(ctx.Precedence().ToDense(), fresh.Precedence().ToDense());
+    EXPECT_EQ(ctx.BordaPoints(), fresh.BordaPoints());
+    EXPECT_EQ(ctx.BaseParityScores(), fresh.BaseParityScores());
+    EXPECT_EQ(ctx.KemenyFairnessWeights(), fresh.KemenyFairnessWeights());
+    EXPECT_EQ(ctx.FairestBaseIndex(), fresh.FairestBaseIndex());
+
+    // Everything above was maintained by deltas, never rebuilt.
+    const ContextStats stats = ctx.stats();
+    EXPECT_EQ(stats.precedence_builds, 1);
+    EXPECT_EQ(stats.parity_score_builds, 1);
+    EXPECT_EQ(stats.borda_builds, 1);
+    EXPECT_EQ(stats.precedence_delta_updates, mutations);
+    EXPECT_EQ(stats.parity_delta_updates, mutations);
+
+    // And the full method sweep agrees with the fresh context.
+    ConsensusOptions options;
+    options.delta = 0.2;
+    options.time_limit_seconds = 60.0;
+    std::vector<ConsensusOutput> mutated_out = ctx.RunAll(options);
+    std::vector<ConsensusOutput> fresh_out = fresh.RunAll(options);
+    ASSERT_EQ(mutated_out.size(), fresh_out.size());
+    for (size_t i = 0; i < mutated_out.size(); ++i) {
+      EXPECT_EQ(mutated_out[i].consensus.order(),
+                fresh_out[i].consensus.order())
+          << AllMethods()[i].name << " seed=" << seed;
+      EXPECT_EQ(mutated_out[i].satisfied, fresh_out[i].satisfied)
+          << AllMethods()[i].name << " seed=" << seed;
+    }
+  }
+}
+
+TEST(MutableContextTest, MutationDirtiesOnlyWhatItMust) {
+  Fixture f = MakeFixture(10, 304, 0.7, 18);
+  ConsensusContext ctx(f.base, f.table);
+  ConsensusOptions options;
+  options.delta = 0.2;
+  options.time_limit_seconds = 60.0;
+  ctx.Precedence();              // warm the unweighted matrix
+  ctx.RunMethod("B2", options);  // builds one weighted variant
+  ASSERT_EQ(ctx.stats().weighted_builds, 1);
+
+  Rng rng(305);
+  ctx.AddRanking(testing::RandomRanking(10, &rng));
+  ctx.RunMethod("B2", options);
+  const ContextStats stats = ctx.stats();
+  // The weighted variant depends on the whole weight vector, so the
+  // mutation dropped it and B2 rebuilt it...
+  EXPECT_EQ(stats.weighted_builds, 2);
+  // ...while the unweighted matrix and parity scores absorbed the delta.
+  EXPECT_EQ(stats.precedence_builds, 1);
+  EXPECT_EQ(stats.parity_score_builds, 1);
+  EXPECT_EQ(stats.generation, 1u);
+}
+
+TEST(MutableContextTest, BadMutationsThrow) {
+  Fixture f = MakeFixture(8, 306, 0.6, 6);
+  ConsensusContext ctx(f.base, f.table);
+  EXPECT_THROW(ctx.AddRanking(Ranking::Identity(7)), std::invalid_argument);
+  EXPECT_THROW(ctx.RemoveRanking(6), std::out_of_range);
+  EXPECT_EQ(ctx.generation(), 0u);
+}
+
+TEST(MutableContextTest, MutationDuringRunThrows) {
+  // The thread-safety contract of context.h: mutations must be exclusive
+  // with RunMethod/RunAll readers. A method that mutates its own context
+  // mid-run is the deterministic way to catch the guard in the act.
+  Fixture f = MakeFixture(8, 307, 0.6, 8);
+  ConsensusContext ctx(f.base, f.table);
+  Rng rng(308);
+  Ranking extra = testing::RandomRanking(8, &rng);
+  MethodSpec probe;
+  probe.id = "probe";
+  probe.name = "mutating-probe";
+  probe.run = [&](const ConsensusContext& inner,
+                  const ConsensusOptions&) -> ConsensusOutput {
+    EXPECT_EQ(&inner, &ctx);
+    EXPECT_THROW(ctx.AddRanking(extra), std::logic_error);
+    EXPECT_THROW(ctx.AddRankings({extra}), std::logic_error);
+    EXPECT_THROW(ctx.RemoveRanking(0), std::logic_error);
+    ConsensusOutput out;
+    out.consensus = Ranking::Identity(8);
+    return out;
+  };
+  ctx.RunMethod(probe);
+  // The failed mutations left no trace, and mutations work again once the
+  // run has drained.
+  EXPECT_EQ(ctx.generation(), 0u);
+  EXPECT_EQ(ctx.num_rankings(), 8u);
+  EXPECT_NO_THROW(ctx.AddRanking(extra));
+  EXPECT_EQ(ctx.num_rankings(), 9u);
+}
+
+}  // namespace
+}  // namespace manirank
