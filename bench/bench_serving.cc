@@ -1,0 +1,305 @@
+// Serving-layer benchmark: K tables served through the multi-table
+// ContextManager vs a naive per-request-rebuild server, on the same
+// interleaved append/run workload. Writes BENCH_serving.json.
+//
+// Workload: every table starts with a base profile; each of W waves
+// issues A APPEND requests of B rankings each and then one RUN request
+// per table. Three scenarios:
+//
+//   batched            the real serving path, driven through the text
+//                      protocol (serve/protocol.h): appends coalesce in
+//                      the shard's mutation queue and fold into the
+//                      long-lived context as one AddRankings batch per
+//                      wave; RUN reuses every warm cache.
+//   batched_concurrent the same requests, one client thread per table
+//                      against the shared ContextManager — measures the
+//                      sharding + per-table gate under real concurrency.
+//   per_request_rebuild a naive server holding raw ranking vectors: every
+//                      RUN builds a fresh ConsensusContext (cold caches),
+//                      which is what serving looked like before the
+//                      context layer.
+//
+// The batched and rebuild paths must produce bit-identical consensus
+// rankings; the bench aborts loudly if they ever drift.
+//
+// MANIRANK_BENCH_QUICK=1 shrinks the workload for the CI smoke job.
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "manirank.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+using namespace manirank;
+
+bool QuickMode() {
+  const char* env = std::getenv("MANIRANK_BENCH_QUICK");
+  return env != nullptr && std::string(env) != "0";
+}
+
+struct Workload {
+  int tables = 4;
+  int n = 60;                 // candidates per table
+  int base_rankings = 400;    // initial profile per table
+  int waves = 12;             // append+run waves per table
+  int appends_per_wave = 5;   // APPEND requests per wave (they coalesce)
+  int rankings_per_append = 8;
+  const char* method = "A4";  // Fair-Copeland: the fast precedence path
+  double theta = 0.6;
+};
+
+std::string TableName(int t) { return "t" + std::to_string(t); }
+
+/// Deterministic per-table ranking stream: table t's wave rankings are
+/// the same across scenarios, so outputs must match bit-for-bit.
+std::vector<std::vector<Ranking>> SampleStreams(const Workload& w) {
+  std::vector<std::vector<Ranking>> streams(w.tables);
+  for (int t = 0; t < w.tables; ++t) {
+    Rng rng(1000 + t);
+    std::vector<CandidateId> order(w.n);
+    for (int i = 0; i < w.n; ++i) order[i] = i;
+    rng.Shuffle(&order);
+    MallowsModel model(Ranking(std::move(order)), w.theta);
+    const int total = w.base_rankings +
+                      w.waves * w.appends_per_wave * w.rankings_per_append;
+    streams[t] = model.SampleMany(total, /*seed=*/2000 + t);
+  }
+  return streams;
+}
+
+std::string FormatAppendRequest(const std::string& table,
+                                const std::vector<Ranking>& stream,
+                                size_t begin, size_t count) {
+  std::ostringstream os;
+  os << "APPEND " << table;
+  for (size_t r = begin; r < begin + count; ++r) {
+    if (r != begin) os << " ;";
+    for (CandidateId c : stream[r].order()) os << ' ' << c;
+  }
+  return os.str();
+}
+
+/// Consensus order out of an "OK RUN ... consensus=c0,c1,..." response.
+std::vector<CandidateId> ParseConsensus(const std::string& response) {
+  const size_t at = response.rfind("consensus=");
+  std::vector<CandidateId> order;
+  if (at == std::string::npos) return order;
+  std::istringstream is(response.substr(at + 10));
+  std::string cell;
+  while (std::getline(is, cell, ',')) {
+    order.push_back(static_cast<CandidateId>(std::stol(cell)));
+  }
+  return order;
+}
+
+struct ScenarioResult {
+  double seconds = 0.0;
+  long requests = 0;
+  /// Final RUN consensus per table (equivalence check across scenarios).
+  std::vector<std::vector<CandidateId>> final_consensus;
+};
+
+/// One table's wave loop through a protocol dispatcher. Returns requests
+/// issued; records the last RUN consensus.
+long DriveTable(serve::Dispatcher& dispatcher, const Workload& w, int t,
+                const std::vector<Ranking>& stream,
+                std::vector<CandidateId>* final_consensus) {
+  const std::string table = TableName(t);
+  long requests = 0;
+  size_t next = w.base_rankings;  // base profile was loaded at CREATE
+  std::string response;
+  for (int wave = 0; wave < w.waves; ++wave) {
+    for (int a = 0; a < w.appends_per_wave; ++a) {
+      response = dispatcher.Handle(FormatAppendRequest(
+          table, stream, next, static_cast<size_t>(w.rankings_per_append)));
+      next += static_cast<size_t>(w.rankings_per_append);
+      ++requests;
+      if (response.rfind("OK", 0) != 0) {
+        std::fprintf(stderr, "append failed: %s\n", response.c_str());
+        std::abort();
+      }
+    }
+    response = dispatcher.Handle("RUN " + table + " " + w.method);
+    ++requests;
+    if (response.rfind("OK", 0) != 0) {
+      std::fprintf(stderr, "run failed: %s\n", response.c_str());
+      std::abort();
+    }
+  }
+  *final_consensus = ParseConsensus(response);
+  return requests;
+}
+
+/// Seeds a manager with every table's base profile (outside the timer:
+/// all scenarios start from a warm, equal footing).
+void SeedManager(serve::ContextManager* manager, const Workload& w,
+                 const std::vector<std::vector<Ranking>>& streams) {
+  for (int t = 0; t < w.tables; ++t) {
+    std::vector<Ranking> base(streams[t].begin(),
+                              streams[t].begin() + w.base_rankings);
+    manager->Create(TableName(t), MakeCyclicTable(w.n, 2, 2),
+                    std::move(base));
+    // Warm the caches the RUN path reuses.
+    manager->Run(TableName(t), w.method);
+  }
+}
+
+ScenarioResult RunBatched(const Workload& w,
+                          const std::vector<std::vector<Ranking>>& streams) {
+  serve::ContextManager manager;
+  SeedManager(&manager, w, streams);
+  serve::Dispatcher dispatcher(&manager);
+  ScenarioResult result;
+  result.final_consensus.resize(w.tables);
+  Stopwatch timer;
+  for (int t = 0; t < w.tables; ++t) {
+    result.requests +=
+        DriveTable(dispatcher, w, t, streams[t], &result.final_consensus[t]);
+  }
+  result.seconds = timer.Seconds();
+  return result;
+}
+
+ScenarioResult RunBatchedConcurrent(
+    const Workload& w, const std::vector<std::vector<Ranking>>& streams) {
+  serve::ContextManager manager;
+  SeedManager(&manager, w, streams);
+  ScenarioResult result;
+  result.final_consensus.resize(w.tables);
+  std::vector<long> requests(w.tables, 0);
+  Stopwatch timer;
+  std::vector<std::thread> clients;
+  for (int t = 0; t < w.tables; ++t) {
+    clients.emplace_back([&, t] {
+      serve::Dispatcher dispatcher(&manager);
+      requests[t] = DriveTable(dispatcher, w, t, streams[t],
+                               &result.final_consensus[t]);
+    });
+  }
+  for (std::thread& c : clients) c.join();
+  result.seconds = timer.Seconds();
+  for (long r : requests) result.requests += r;
+  return result;
+}
+
+ScenarioResult RunRebuild(const Workload& w,
+                          const std::vector<std::vector<Ranking>>& streams) {
+  // The naive server: raw profiles, fresh context per RUN.
+  std::vector<CandidateTable> tables;
+  std::vector<std::vector<Ranking>> profiles(w.tables);
+  for (int t = 0; t < w.tables; ++t) {
+    tables.push_back(MakeCyclicTable(w.n, 2, 2));
+    profiles[t].assign(streams[t].begin(),
+                       streams[t].begin() + w.base_rankings);
+  }
+  ScenarioResult result;
+  result.final_consensus.resize(w.tables);
+  ConsensusOptions options;
+  options.time_limit_seconds = 30.0;
+  Stopwatch timer;
+  for (int t = 0; t < w.tables; ++t) {
+    size_t next = static_cast<size_t>(w.base_rankings);
+    for (int wave = 0; wave < w.waves; ++wave) {
+      for (int a = 0; a < w.appends_per_wave; ++a) {
+        for (int r = 0; r < w.rankings_per_append; ++r) {
+          profiles[t].push_back(streams[t][next++]);
+        }
+        ++result.requests;
+      }
+      ConsensusContext ctx(profiles[t], tables[t]);
+      result.final_consensus[t] = ctx.RunMethod(w.method, options).consensus.order();
+      ++result.requests;
+    }
+  }
+  result.seconds = timer.Seconds();
+  return result;
+}
+
+void CheckEquivalent(const Workload& w, const char* label,
+                     const ScenarioResult& a, const ScenarioResult& b) {
+  for (int t = 0; t < w.tables; ++t) {
+    if (a.final_consensus[t] != b.final_consensus[t]) {
+      std::fprintf(stderr,
+                   "FATAL: %s drifted from the batched path on table %d\n",
+                   label, t);
+      std::abort();
+    }
+  }
+}
+
+void PrintScenarioJson(std::FILE* f, const char* name,
+                       const ScenarioResult& r, bool trailing_comma) {
+  const double rps = r.seconds > 0.0 ? r.requests / r.seconds : 0.0;
+  std::fprintf(f,
+               "  \"%s\": {\"seconds\": %.6f, \"requests\": %ld, "
+               "\"throughput_rps\": %.1f}%s\n",
+               name, r.seconds, r.requests, rps, trailing_comma ? "," : "");
+}
+
+}  // namespace
+
+int main() {
+  Workload w;
+  if (QuickMode()) {
+    // Small enough for a CI smoke run, but the base profile stays large
+    // relative to the appended batches — that ratio is what the batched
+    // fold exploits, so even the quick run shows the speedup.
+    w.tables = 3;
+    w.n = 40;
+    w.base_rankings = 300;
+    w.waves = 4;
+    w.appends_per_wave = 3;
+    w.rankings_per_append = 5;
+  }
+  const std::vector<std::vector<Ranking>> streams = SampleStreams(w);
+
+  const ScenarioResult batched = RunBatched(w, streams);
+  const ScenarioResult concurrent = RunBatchedConcurrent(w, streams);
+  const ScenarioResult rebuild = RunRebuild(w, streams);
+  CheckEquivalent(w, "batched_concurrent", concurrent, batched);
+  CheckEquivalent(w, "per_request_rebuild", rebuild, batched);
+
+  const double speedup =
+      batched.seconds > 0.0 ? rebuild.seconds / batched.seconds : 0.0;
+  const double concurrent_speedup =
+      concurrent.seconds > 0.0 ? batched.seconds / concurrent.seconds : 0.0;
+
+  std::FILE* f = std::fopen("BENCH_serving.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open BENCH_serving.json for writing\n");
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"serving\",\n");
+  std::fprintf(f,
+               "  \"workload\": {\"tables\": %d, \"n\": %d, "
+               "\"base_rankings\": %d, \"waves\": %d, "
+               "\"appends_per_wave\": %d, \"rankings_per_append\": %d, "
+               "\"method\": \"%s\", \"theta\": %.2f},\n",
+               w.tables, w.n, w.base_rankings, w.waves, w.appends_per_wave,
+               w.rankings_per_append, w.method, w.theta);
+  PrintScenarioJson(f, "batched", batched, true);
+  PrintScenarioJson(f, "batched_concurrent", concurrent, true);
+  PrintScenarioJson(f, "per_request_rebuild", rebuild, true);
+  std::fprintf(f, "  \"speedup_batched_vs_rebuild\": %.3f,\n", speedup);
+  std::fprintf(f, "  \"concurrent_scaling\": %.3f\n", concurrent_speedup);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+
+  std::printf("batched (1 thread):    %.4fs  %ld req\n", batched.seconds,
+              batched.requests);
+  std::printf("batched (%d threads):   %.4fs  %ld req\n", w.tables,
+              concurrent.seconds, concurrent.requests);
+  std::printf("per-request rebuild:   %.4fs  %ld req\n", rebuild.seconds,
+              rebuild.requests);
+  std::printf("batched vs rebuild: %.2fx   concurrent scaling: %.2fx"
+              "  ->  BENCH_serving.json\n",
+              speedup, concurrent_speedup);
+  return 0;
+}

@@ -6,6 +6,7 @@
 //                      [--delta 0.1] [--time-limit 30] [--output out.csv]
 //                      [--append R2.csv ...]
 //   manirank methods
+//   manirank serve     [--script S.txt]        (also: manirank --serve S.txt)
 //
 // CSV formats are the library's (data/csv.h): the table file starts with
 // "candidate,<attr>,..." and rankings are one permutation per row,
@@ -16,6 +17,11 @@
 // place for every append file — each batch folds into the cached
 // precedence/parity/Borda state in O(n^2) per ranking instead of
 // rebuilding, and the chosen method re-runs against the updated profile.
+//
+// `serve` replays a request script (or stdin) through the multi-table
+// ContextManager using the line protocol of serve/protocol.h — the same
+// engine the manirank_serve binary exposes over a socket. Exit status 1
+// when any request drew an ERR response.
 
 #include <fstream>
 #include <iostream>
@@ -37,6 +43,7 @@ struct Args {
   std::string rankings_path;
   std::string method = "A4";  // Fair-Copeland: fast and exact-polynomial
   std::string output_path;
+  std::string script_path;
   std::vector<std::string> append_paths;
   double delta = 0.1;
   double time_limit = 30.0;
@@ -49,7 +56,9 @@ int Usage() {
       "  manirank consensus --table T.csv --rankings R.csv [--method ID|all]\n"
       "                     [--delta D] [--time-limit S] [--output out.csv]\n"
       "                     [--append R2.csv ...]\n"
-      "  manirank methods\n";
+      "  manirank methods\n"
+      "  manirank serve     [--script S.txt]   (requests on stdin by default;\n"
+      "                     grammar in serve/protocol.h; also --serve S.txt)\n";
   return 2;
 }
 
@@ -77,7 +86,7 @@ std::optional<Args> Parse(int argc, char** argv) {
     const bool known = flag == "--table" || flag == "--rankings" ||
                        flag == "--method" || flag == "--delta" ||
                        flag == "--time-limit" || flag == "--output" ||
-                       flag == "--append";
+                       flag == "--append" || flag == "--script";
     if (!known) {
       std::cerr << "unknown flag: " << flag << "\n";
       return std::nullopt;
@@ -101,6 +110,8 @@ std::optional<Args> Parse(int argc, char** argv) {
       args.output_path = value;
     } else if (flag == "--append") {
       args.append_paths.push_back(value);
+    } else if (flag == "--script") {
+      args.script_path = value;
     } else {
       // Unreachable while the chain covers the `known` list; errors
       // loudly if the two ever drift apart.
@@ -110,6 +121,10 @@ std::optional<Args> Parse(int argc, char** argv) {
   }
   if (!args.append_paths.empty() && args.command != "consensus") {
     std::cerr << "--append is only valid with the consensus command\n";
+    return std::nullopt;
+  }
+  if (!args.script_path.empty() && args.command != "serve") {
+    std::cerr << "--script is only valid with the serve command\n";
     return std::nullopt;
   }
   return args;
@@ -308,6 +323,22 @@ int RunConsensus(const Args& args) {
   return 0;
 }
 
+/// Offline serving replay: drives the multi-table ContextManager with the
+/// line protocol of serve/protocol.h, from a script file or stdin.
+int RunServe(const Args& args) {
+  serve::ContextManager manager;
+  serve::Dispatcher dispatcher(&manager);
+  if (!args.script_path.empty()) {
+    std::ifstream in(args.script_path);
+    if (!in) {
+      std::cerr << "cannot open script: " << args.script_path << "\n";
+      return 1;
+    }
+    return dispatcher.ServeStream(in, std::cout) == 0 ? 0 : 1;
+  }
+  return dispatcher.ServeStream(std::cin, std::cout) == 0 ? 0 : 1;
+}
+
 int RunMethods() {
   TablePrinter out({"id", "name", "fairness-aware", "solver"});
   for (const MethodSpec& m : AllMethods()) {
@@ -321,10 +352,18 @@ int RunMethods() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // `manirank --serve S.txt` is shorthand for `manirank serve --script S.txt`.
+  if (argc == 3 && std::string(argv[1]) == "--serve") {
+    Args serve_args;
+    serve_args.command = "serve";
+    serve_args.script_path = argv[2];
+    return RunServe(serve_args);
+  }
   std::optional<Args> args = Parse(argc, argv);
   if (!args) return Usage();
   if (args->command == "audit") return RunAudit(*args);
   if (args->command == "consensus") return RunConsensus(*args);
   if (args->command == "methods") return RunMethods();
+  if (args->command == "serve") return RunServe(*args);
   return Usage();
 }

@@ -30,18 +30,87 @@ uint64_t HashWeights(const std::vector<double>& weights) {
   return h;
 }
 
-/// Registers a RunMethod/RunAll reader for the mutation-exclusion check.
+/// Contexts the calling thread is currently running a method against.
+/// Lets a mutation distinguish "a run on another thread is in flight"
+/// (block on the gate / advisory throw) from "this thread is mutating the
+/// context from inside its own run" (always a bug, always a throw — a
+/// blocking gate would self-deadlock on it).
+thread_local std::vector<const ConsensusContext*> t_run_stack;
+
+bool ThisThreadInRunOn(const ConsensusContext* ctx) {
+  for (const ConsensusContext* running : t_run_stack) {
+    if (running == ctx) return true;
+  }
+  return false;
+}
+
+/// Registers a RunMethod/RunAll reader: bumps the advisory active-run
+/// counter, pushes the context on the thread-local run stack, and — when a
+/// gate is attached and this is not a nested run on the same context —
+/// holds the gate shared for the run's lifetime.
 class RunGuard {
  public:
-  explicit RunGuard(std::atomic<int>& active) : active_(active) {
+  RunGuard(const ConsensusContext* ctx, ContextGate* gate,
+           std::atomic<int>& active)
+      : gate_(nullptr), active_(active) {
+    if (gate != nullptr && !ThisThreadInRunOn(ctx)) {
+      gate->LockShared();
+      gate_ = gate;
+    }
+    t_run_stack.push_back(ctx);
     active_.fetch_add(1, std::memory_order_acq_rel);
   }
-  ~RunGuard() { active_.fetch_sub(1, std::memory_order_acq_rel); }
+  ~RunGuard() {
+    active_.fetch_sub(1, std::memory_order_acq_rel);
+    t_run_stack.pop_back();
+    if (gate_ != nullptr) gate_->UnlockShared();
+  }
   RunGuard(const RunGuard&) = delete;
   RunGuard& operator=(const RunGuard&) = delete;
 
  private:
+  ContextGate* gate_;
   std::atomic<int>& active_;
+};
+
+/// Claims write access for one mutation. Same-thread re-entrant mutation
+/// (from inside a run on this context) always throws std::logic_error.
+/// Otherwise: with a gate attached, blocks exclusively until every
+/// in-flight run drains; without one, keeps the advisory behaviour of
+/// throwing while any run is in flight.
+class MutationGuard {
+ public:
+  MutationGuard(const ConsensusContext* ctx, const char* what,
+                ContextGate* gate, const std::atomic<int>& active)
+      : gate_(nullptr) {
+    if (ThisThreadInRunOn(ctx)) {
+      throw std::logic_error(
+          std::string(what) +
+          " from inside a RunMethod/RunAll on the same context: profile "
+          "mutations must be exclusive with concurrent method runs");
+    }
+    if (gate != nullptr) {
+      gate->LockExclusive();
+      gate_ = gate;
+    }
+    if (active.load(std::memory_order_acquire) != 0) {
+      // With a gate this means an ungated reader raced the exclusive
+      // acquisition; without one it is the plain advisory check.
+      if (gate_ != nullptr) gate_->UnlockExclusive();
+      throw std::logic_error(
+          std::string(what) +
+          " while a RunMethod/RunAll reader is in flight: profile mutations "
+          "must be exclusive with concurrent method runs");
+    }
+  }
+  ~MutationGuard() {
+    if (gate_ != nullptr) gate_->UnlockExclusive();
+  }
+  MutationGuard(const MutationGuard&) = delete;
+  MutationGuard& operator=(const MutationGuard&) = delete;
+
+ private:
+  ContextGate* gate_;
 };
 
 }  // namespace
@@ -74,6 +143,10 @@ ConsensusContext::ConsensusContext(StreamingSummary summary,
 }
 
 size_t ConsensusContext::num_rankings() const {
+  // Servable concurrently with mutations (the serving layer's STATS path
+  // deliberately skips the gate), so the profile size must be read under
+  // the cache mutex like generation().
+  std::lock_guard<std::mutex> lock(mu_);
   return summarized_ ? static_cast<size_t>(stream_count_) : base_.size();
 }
 
@@ -85,13 +158,16 @@ void ConsensusContext::RequireBase(const char* what) const {
   }
 }
 
-void ConsensusContext::RequireNoActiveRuns(const char* what) const {
+bool ConsensusContext::InRunOnThisThread() const {
+  return ThisThreadInRunOn(this);
+}
+
+void ConsensusContext::AttachGate(ContextGate* gate) {
   if (active_runs_.load(std::memory_order_acquire) != 0) {
     throw std::logic_error(
-        std::string(what) +
-        " while a RunMethod/RunAll reader is in flight: profile mutations "
-        "must be exclusive with concurrent method runs");
+        "AttachGate while a RunMethod/RunAll reader is in flight");
   }
+  gate_ = gate;
 }
 
 void ConsensusContext::ApplyAddLocked(const Ranking& ranking) {
@@ -119,7 +195,7 @@ void ConsensusContext::ApplyAddLocked(const Ranking& ranking) {
 }
 
 void ConsensusContext::AddRanking(Ranking ranking) {
-  RequireNoActiveRuns("AddRanking");
+  MutationGuard write(this, "AddRanking", gate_, active_runs_);
   std::lock_guard<std::mutex> lock(mu_);
   ApplyAddLocked(ranking);
   if (summarized_) {
@@ -130,7 +206,7 @@ void ConsensusContext::AddRanking(Ranking ranking) {
 }
 
 void ConsensusContext::AddRankings(std::vector<Ranking> rankings) {
-  RequireNoActiveRuns("AddRankings");
+  MutationGuard write(this, "AddRankings", gate_, active_runs_);
   std::lock_guard<std::mutex> lock(mu_);
   // Validate the whole batch before folding anything, so a bad ranking
   // cannot leave the profile partially mutated (strong guarantee).
@@ -150,7 +226,7 @@ void ConsensusContext::AddRankings(std::vector<Ranking> rankings) {
 }
 
 void ConsensusContext::RemoveRanking(size_t index) {
-  RequireNoActiveRuns("RemoveRanking");
+  MutationGuard write(this, "RemoveRanking", gate_, active_runs_);
   std::lock_guard<std::mutex> lock(mu_);
   if (summarized_) {
     throw std::logic_error(
@@ -312,13 +388,23 @@ ConsensusOutput ConsensusContext::RunMethod(
 
 ConsensusOutput ConsensusContext::RunMethod(
     const MethodSpec& method, const ConsensusOptions& options) const {
-  RunGuard guard(active_runs_);
+  RunGuard guard(this, gate_, active_runs_);
+  // Checked under the guard (writers are excluded by the gate from here
+  // on): every method's kernels assume at least one base ranking.
+  if (num_rankings() == 0) {
+    throw std::invalid_argument(
+        "cannot run a consensus method over an empty profile");
+  }
   return method.run(*this, options);
 }
 
 std::vector<ConsensusOutput> ConsensusContext::RunAll(
     const ConsensusOptions& options) const {
-  RunGuard guard(active_runs_);
+  RunGuard guard(this, gate_, active_runs_);
+  if (num_rankings() == 0) {
+    throw std::invalid_argument(
+        "cannot run a consensus method over an empty profile");
+  }
   std::vector<ConsensusOutput> outputs;
   for (const MethodSpec& method : AllMethods()) {
     outputs.push_back(method.run(*this, options));

@@ -10,6 +10,7 @@
 
 #include "core/candidate_table.h"
 #include "core/fairness_metrics.h"
+#include "core/gate.h"
 #include "core/precedence.h"
 #include "core/ranking.h"
 #include "core/streaming.h"
@@ -99,6 +100,16 @@ struct ContextStats {
 /// corrupting the caches. (The check is advisory — it cannot catch a
 /// reader that races the mutation exactly — but it keeps the contract
 /// honest in every test and serving loop that goes through RunMethod.)
+///
+/// Attaching a ContextGate (AttachGate) promotes that advisory check into
+/// a real synchronization layer: every RunMethod / RunAll holds the gate
+/// shared for the whole run and every mutation holds it exclusive, so a
+/// cross-thread mutation *blocks* until in-flight runs drain instead of
+/// throwing, and runs queued behind a waiting mutation wait their turn.
+/// Mutating the context from inside one of its own runs (same thread) is
+/// always a bug and still throws std::logic_error, gated or not. The
+/// serving layer (serve/context_manager.h) attaches one gate per table
+/// shard.
 class ConsensusContext {
  public:
   ConsensusContext(std::vector<Ranking> base_rankings,
@@ -147,6 +158,22 @@ class ConsensusContext {
   /// Generation counter snapshot (bumped once per ranking added/removed).
   uint64_t generation() const;
 
+  /// Attaches a reader/writer gate: from now on RunMethod/RunAll hold it
+  /// shared and mutations hold it exclusive (see the class comment). The
+  /// gate must outlive the context. Not thread-safe: attach before the
+  /// context is shared across threads; throws std::logic_error if a run
+  /// is already in flight. Pass nullptr to detach.
+  void AttachGate(ContextGate* gate);
+
+  /// The attached gate, or nullptr.
+  ContextGate* gate() const { return gate_; }
+
+  /// True iff the calling thread is currently inside a RunMethod/RunAll
+  /// on THIS context. Serving layers use it to fail fast (throw) instead
+  /// of self-deadlocking when a method body re-enters the serving API for
+  /// its own table.
+  bool InRunOnThisThread() const;
+
   // --- cached structures --------------------------------------------------
 
   /// The unweighted precedence matrix W of Definition 11. Built on first
@@ -188,7 +215,9 @@ class ConsensusContext {
   bool Satisfies(const Ranking& ranking, double delta) const;
 
   /// Runs one registry method ("A1".."B4" or its display name) against
-  /// this context. Throws std::invalid_argument for unknown methods.
+  /// this context. Throws std::invalid_argument for unknown methods and
+  /// for empty profiles (checked after the gate admits the run, so gated
+  /// serving paths cannot race a concurrent removal into an empty run).
   ConsensusOutput RunMethod(std::string_view id_or_name,
                             const ConsensusOptions& options = {}) const;
 
@@ -215,9 +244,6 @@ class ConsensusContext {
   /// this context is summarized.
   void RequireBase(const char* what) const;
 
-  /// Throws std::logic_error when a RunMethod/RunAll reader is in flight;
-  /// called at the top of every mutation.
-  void RequireNoActiveRuns(const char* what) const;
 
   /// Folds one ranking into every built cache; caller holds mu_.
   void ApplyAddLocked(const Ranking& ranking);
@@ -237,6 +263,8 @@ class ConsensusContext {
   mutable std::mutex mu_;
   /// RunMethod/RunAll readers currently in flight (mutation debug check).
   mutable std::atomic<int> active_runs_{0};
+  /// Optional reader/writer gate (see AttachGate); not owned.
+  ContextGate* gate_ = nullptr;
   mutable std::unique_ptr<PrecedenceMatrix> precedence_;
   // Weighted matrices bucketed by content hash; each bucket holds the
   // exact weight vectors that hashed there.

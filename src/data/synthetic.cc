@@ -7,6 +7,25 @@
 
 namespace manirank {
 
+CandidateTable MakeCyclicTable(int n, int d0, int d1) {
+  std::vector<Attribute> attributes(2);
+  attributes[0].name = "A";
+  for (int v = 0; v < d0; ++v) {
+    attributes[0].values.push_back("a" + std::to_string(v));
+  }
+  attributes[1].name = "B";
+  for (int v = 0; v < d1; ++v) {
+    attributes[1].values.push_back("b" + std::to_string(v));
+  }
+  std::vector<std::vector<AttributeValue>> values(
+      n, std::vector<AttributeValue>(2));
+  for (int c = 0; c < n; ++c) {
+    values[c][0] = static_cast<AttributeValue>(c % d0);
+    values[c][1] = static_cast<AttributeValue>((c / d0) % d1);
+  }
+  return CandidateTable(std::move(attributes), std::move(values));
+}
+
 const char* ToString(TableIDataset kind) {
   switch (kind) {
     case TableIDataset::kLowFair: return "Low-Fair";

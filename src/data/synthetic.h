@@ -4,9 +4,16 @@
 #include <cstdint>
 #include <string>
 
+#include "core/candidate_table.h"
 #include "mallows/modal_designer.h"
 
 namespace manirank {
+
+/// Deterministic two-attribute table: candidate i gets values
+/// (i % d0, (i / d0) % d1); all groups non-empty for n >= d0 * d1. Used
+/// by tests, benches, and the serve protocol's CREATE..CYCLIC, so every
+/// layer constructs bit-identical tables from the same parameters.
+CandidateTable MakeCyclicTable(int n, int d0, int d1);
 
 /// The three Table I Mallows datasets: 90 candidates, Race (5 values) x
 /// Gender (3 values), 6 candidates per intersectional cell, with the modal

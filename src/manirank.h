@@ -17,6 +17,8 @@
 ///  - core/make_mr_fair.h                      the Make-MR-Fair repair loop
 ///  - core/fair_kemeny.h, core/fair_aggregators.h   the MFCR algorithms
 ///  - core/baselines.h, core/method_registry.h      study baselines A1..B4
+///  - core/gate.h                              reader/writer context gate
+///  - serve/context_manager.h, serve/protocol.h     multi-table serving layer
 ///  - mallows/mallows.h, mallows/modal_designer.h   synthetic ranking model
 ///  - data/*.h                                 datasets and CSV I/O
 ///  - lp/*.h                                   the bundled LP/ILP engine
@@ -44,5 +46,7 @@
 #include "data/synthetic.h"
 #include "mallows/mallows.h"
 #include "mallows/modal_designer.h"
+#include "serve/context_manager.h"
+#include "serve/protocol.h"
 
 #endif  // MANIRANK_MANIRANK_H_

@@ -1,0 +1,287 @@
+#include "serve/context_manager.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace manirank::serve {
+
+void ContextManager::Create(const std::string& name, CandidateTable table,
+                            std::vector<Ranking> initial) {
+  if (name.empty()) {
+    throw std::invalid_argument("table name must be non-empty");
+  }
+  for (const Ranking& r : initial) {
+    if (r.size() != table.num_candidates()) {
+      throw std::invalid_argument("initial ranking size does not match table");
+    }
+    if (!Ranking::IsValidOrder(r.order())) {
+      throw std::invalid_argument("initial ranking is not a permutation");
+    }
+  }
+  {
+    // Fail duplicate names before paying for context construction over
+    // the whole initial profile (the emplace below re-checks the race).
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shards_.count(name) != 0) {
+      throw std::invalid_argument("table already exists: " + name);
+    }
+  }
+  auto shard = std::make_shared<Shard>();
+  shard->table = std::make_unique<CandidateTable>(std::move(table));
+  shard->virtual_size = initial.size();
+  shard->ctx =
+      std::make_unique<ConsensusContext>(std::move(initial), *shard->table);
+  shard->ctx->AttachGate(&shard->gate);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!shards_.emplace(name, std::move(shard)).second) {
+    throw std::invalid_argument("table already exists: " + name);
+  }
+}
+
+void ContextManager::Drop(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (shards_.erase(name) == 0) {
+    throw std::invalid_argument("no such table: " + name);
+  }
+}
+
+bool ContextManager::Has(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shards_.count(name) != 0;
+}
+
+size_t ContextManager::num_tables() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shards_.size();
+}
+
+std::vector<std::string> ContextManager::TableNames() const {
+  std::vector<std::string> names;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, shard] : shards_) names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+std::shared_ptr<ContextManager::Shard> ContextManager::Find(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = shards_.find(name);
+  if (it == shards_.end()) {
+    throw std::invalid_argument("no such table: " + name);
+  }
+  return it->second;
+}
+
+TableStats ContextManager::Append(const std::string& name,
+                                  std::vector<Ranking> rankings) {
+  std::shared_ptr<Shard> shard = Find(name);
+  if (rankings.empty()) {
+    throw std::invalid_argument("APPEND needs at least one ranking");
+  }
+  const int n = shard->table->num_candidates();
+  // Full validation at enqueue time: a bad batch must fail *now*, before
+  // anything is queued, so the error response maps to the request that
+  // caused it and the shard state is untouched.
+  for (const Ranking& r : rankings) {
+    if (r.size() != n) {
+      throw std::invalid_argument("appended ranking size does not match table");
+    }
+    if (!Ranking::IsValidOrder(r.order())) {
+      throw std::invalid_argument("appended ranking is not a permutation");
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(shard->queue_mu);
+    shard->queued_append_rankings += rankings.size();
+    shard->virtual_size += rankings.size();
+    if (!shard->queue.empty() && !shard->queue.back().is_remove) {
+      // Coalesce: adjacent append batches fold into one AddRankings call.
+      std::vector<Ranking>& tail = shard->queue.back().rankings;
+      tail.insert(tail.end(), std::make_move_iterator(rankings.begin()),
+                  std::make_move_iterator(rankings.end()));
+    } else {
+      PendingOp op;
+      op.rankings = std::move(rankings);
+      shard->queue.push_back(std::move(op));
+    }
+  }
+  return StatsFor(*shard);
+}
+
+TableStats ContextManager::Remove(const std::string& name, size_t index) {
+  std::shared_ptr<Shard> shard = Find(name);
+  {
+    std::lock_guard<std::mutex> lock(shard->queue_mu);
+    if (index >= shard->virtual_size) {
+      throw std::out_of_range("REMOVE index " + std::to_string(index) +
+                              " out of range for profile of " +
+                              std::to_string(shard->virtual_size));
+    }
+    PendingOp op;
+    op.is_remove = true;
+    op.remove_index = index;
+    shard->queue.push_back(std::move(op));
+    --shard->virtual_size;
+  }
+  return StatsFor(*shard);
+}
+
+bool ContextManager::Drain(Shard& shard, bool try_only, size_t* applied) {
+  if (applied != nullptr) *applied = 0;
+  // A method body re-entering the serving API for its own table would
+  // otherwise self-deadlock on the gate (the thread already holds it
+  // shared); fail fast like the context-level mutation API does.
+  if (shard.ctx->InRunOnThisThread()) {
+    throw std::logic_error(
+        "serving request on a table from inside one of its own method runs");
+  }
+  std::unique_lock<std::mutex> apply_lock(shard.apply_mu, std::defer_lock);
+  if (try_only) {
+    if (!apply_lock.try_lock()) return false;
+  } else {
+    apply_lock.lock();
+  }
+  // Fast path: nothing queued — skip the exclusive gate entirely so query
+  // waves with no pending mutations never block each other.
+  {
+    std::lock_guard<std::mutex> qlock(shard.queue_mu);
+    if (shard.queue.empty()) return true;
+  }
+  // Claim the gate for the whole backlog, then steal it. Stealing after
+  // the claim keeps try_only side-effect free on failure, and ops
+  // enqueued from here on simply ride the next wave.
+  if (try_only) {
+    if (!shard.gate.TryLockExclusive()) return false;
+  } else {
+    shard.gate.LockExclusive();
+  }
+  std::vector<PendingOp> backlog;
+  {
+    std::lock_guard<std::mutex> qlock(shard.queue_mu);
+    backlog.swap(shard.queue);
+    shard.queued_append_rankings = 0;
+  }
+  size_t total = 0;
+  uint64_t batches = 0;
+  try {
+    for (PendingOp& op : backlog) {
+      if (op.is_remove) {
+        shard.ctx->RemoveRanking(op.remove_index);
+        total += 1;
+      } else {
+        total += op.rankings.size();
+        ++batches;
+        shard.ctx->AddRankings(std::move(op.rankings));
+      }
+    }
+  } catch (...) {
+    shard.gate.UnlockExclusive();
+    // Ops applied before the throw stay applied; the rest of the stolen
+    // backlog is dropped. Resync the virtual-size bookkeeping to the
+    // surviving state (applied profile + ops still queued) so later
+    // enqueue validation stays truthful instead of drifting forever.
+    {
+      std::lock_guard<std::mutex> qlock(shard.queue_mu);
+      size_t vsize = shard.ctx->num_rankings();
+      size_t pending = 0;
+      for (const PendingOp& op : shard.queue) {
+        if (op.is_remove) {
+          if (vsize > 0) --vsize;
+        } else {
+          vsize += op.rankings.size();
+          pending += op.rankings.size();
+        }
+      }
+      shard.virtual_size = vsize;
+      shard.queued_append_rankings = pending;
+    }
+    throw;
+  }
+  shard.gate.UnlockExclusive();
+  {
+    // The applied_* counters are read by Stats under queue_mu.
+    std::lock_guard<std::mutex> qlock(shard.queue_mu);
+    shard.applied_batches += batches;
+    shard.applied_rankings += total;
+  }
+  if (applied != nullptr) *applied = total;
+  return true;
+}
+
+size_t ContextManager::Flush(const std::string& name) {
+  std::shared_ptr<Shard> shard = Find(name);
+  size_t applied = 0;
+  Drain(*shard, /*try_only=*/false, &applied);
+  return applied;
+}
+
+bool ContextManager::TryFlush(const std::string& name, size_t* applied) {
+  std::shared_ptr<Shard> shard = Find(name);
+  return Drain(*shard, /*try_only=*/true, applied);
+}
+
+ConsensusOutput ContextManager::Run(const std::string& name,
+                                    std::string_view method,
+                                    const ConsensusOptions& options,
+                                    uint64_t* generation_after) {
+  const MethodSpec* spec = FindMethod(method);
+  if (spec == nullptr) {
+    throw std::invalid_argument("unknown consensus method: " +
+                                std::string(method));
+  }
+  return Run(name, *spec, options, generation_after);
+}
+
+ConsensusOutput ContextManager::Run(const std::string& name,
+                                    const MethodSpec& method,
+                                    const ConsensusOptions& options,
+                                    uint64_t* generation_after) {
+  std::shared_ptr<Shard> shard = Find(name);
+  Drain(*shard, /*try_only=*/false, nullptr);
+  // The context's attached gate admits this run shared, so a concurrent
+  // drain on another thread waits for it (and vice versa). Empty-profile
+  // rejection happens inside RunMethod, under that gate.
+  ConsensusOutput out = shard->ctx->RunMethod(method, options);
+  shard->runs.fetch_add(1, std::memory_order_relaxed);
+  if (generation_after != nullptr) {
+    *generation_after = shard->ctx->generation();
+  }
+  return out;
+}
+
+std::vector<ConsensusOutput> ContextManager::RunAll(
+    const std::string& name, const ConsensusOptions& options,
+    uint64_t* generation_after) {
+  std::shared_ptr<Shard> shard = Find(name);
+  Drain(*shard, /*try_only=*/false, nullptr);
+  std::vector<ConsensusOutput> out = shard->ctx->RunAll(options);
+  shard->runs.fetch_add(out.size(), std::memory_order_relaxed);
+  if (generation_after != nullptr) {
+    *generation_after = shard->ctx->generation();
+  }
+  return out;
+}
+
+TableStats ContextManager::StatsFor(const Shard& shard) {
+  TableStats stats;
+  stats.num_candidates = shard.table->num_candidates();
+  stats.generation = shard.ctx->generation();
+  stats.num_rankings = shard.ctx->num_rankings();
+  stats.runs = shard.runs.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(shard.queue_mu);
+  stats.pending_ops = shard.queue.size();
+  stats.pending_rankings = shard.queued_append_rankings;
+  stats.applied_batches = shard.applied_batches;
+  stats.applied_rankings = shard.applied_rankings;
+  return stats;
+}
+
+TableStats ContextManager::Stats(const std::string& name) const {
+  return StatsFor(*Find(name));
+}
+
+}  // namespace manirank::serve

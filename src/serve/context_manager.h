@@ -1,0 +1,173 @@
+#ifndef MANIRANK_SERVE_CONTEXT_MANAGER_H_
+#define MANIRANK_SERVE_CONTEXT_MANAGER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/candidate_table.h"
+#include "core/context.h"
+#include "core/gate.h"
+#include "core/method_registry.h"
+
+namespace manirank::serve {
+
+/// Snapshot of one table shard, cheap enough to serve on every STATS
+/// request. pending_* count mutations still sitting in the queue;
+/// generation / num_rankings describe the applied profile only, so a
+/// client can use the generation counter to prove that a failed request
+/// left the shard untouched.
+struct TableStats {
+  int num_candidates = 0;
+  size_t num_rankings = 0;
+  uint64_t generation = 0;
+  /// Queued mutation ops (coalesced append batches + removes) not yet
+  /// folded into the context.
+  size_t pending_ops = 0;
+  /// Rankings inside the queued append batches.
+  size_t pending_rankings = 0;
+  /// Coalesced batches applied to the context so far.
+  uint64_t applied_batches = 0;
+  /// Rankings folded via the queue so far.
+  uint64_t applied_rankings = 0;
+  /// Method runs served (RunMethod calls; RunAll counts one per method).
+  uint64_t runs = 0;
+};
+
+/// Multi-table serving layer: owns N named tables, each backed by one
+/// long-lived ConsensusContext (the sharding unit), a per-shard
+/// ContextGate making the mutation/run exclusivity contract a real
+/// synchronization layer, and a per-shard mutation queue.
+///
+/// Request model. Mutations (Append / Remove) never touch the context
+/// directly: they are validated against the shard's *virtual* profile
+/// (applied size plus queued deltas), enqueued, and coalesced — adjacent
+/// append batches merge into one pending AddRankings call. The queue is
+/// drained at the next query wave (Run / RunAll / Flush): the drainer
+/// applies the whole backlog under the shard's exclusive gate, then runs
+/// under the shared gate. Queries therefore always observe a batch
+/// boundary, mutations admitted mid-wave simply ride the next wave, and a
+/// profile mutation can never interleave a method run — blocking on the
+/// gate instead of relying on the context's advisory std::logic_error.
+///
+/// Thread safety: every public method is safe to call concurrently from
+/// any number of threads. Create/Drop take the manager-level lock; all
+/// per-table traffic only touches the shard (via shared_ptr, so a Drop
+/// races safely with in-flight requests on the dropped table).
+class ContextManager {
+ public:
+  ContextManager() = default;
+  ContextManager(const ContextManager&) = delete;
+  ContextManager& operator=(const ContextManager&) = delete;
+
+  /// Registers a new named table over `table` with an optional initial
+  /// profile. Throws std::invalid_argument if the name is empty or taken,
+  /// or if an initial ranking does not match the table.
+  void Create(const std::string& name, CandidateTable table,
+              std::vector<Ranking> initial = {});
+
+  /// Unregisters a table. In-flight requests on it complete against the
+  /// detached shard. Throws std::invalid_argument for unknown names.
+  void Drop(const std::string& name);
+
+  bool Has(const std::string& name) const;
+  size_t num_tables() const;
+  /// Registered table names, sorted.
+  std::vector<std::string> TableNames() const;
+
+  /// Validates the batch against the shard's virtual profile and enqueues
+  /// it (coalescing with a pending append batch). Never blocks on runs.
+  /// Returns a post-enqueue stats snapshot of the shard, so protocol
+  /// responses need no second (dropped-table-racy) lookup.
+  TableStats Append(const std::string& name, std::vector<Ranking> rankings);
+
+  /// Enqueues removal of the ranking at `index` in the *virtual* profile
+  /// (the profile as it will stand once the queue drains). Throws
+  /// std::out_of_range for indices beyond the virtual size. Returns a
+  /// post-enqueue stats snapshot.
+  TableStats Remove(const std::string& name, size_t index);
+
+  /// Drains the shard's mutation queue now, blocking on the exclusive
+  /// gate until in-flight runs finish. Returns the number of rankings
+  /// applied (appended + removed).
+  size_t Flush(const std::string& name);
+
+  /// Non-blocking Flush: returns false without applying anything when
+  /// the exclusive gate cannot be claimed immediately (runs in flight).
+  bool TryFlush(const std::string& name, size_t* applied = nullptr);
+
+  /// Drains the queue, then runs one registry method under the shared
+  /// gate. Throws std::invalid_argument for unknown methods and empty
+  /// profiles. `generation_after`, when given, receives the profile
+  /// generation the run served (read from the shard, not by name).
+  ConsensusOutput Run(const std::string& name, std::string_view method,
+                      const ConsensusOptions& options = {},
+                      uint64_t* generation_after = nullptr);
+
+  /// Same, for a caller-supplied spec (custom probes, diagnostics).
+  ConsensusOutput Run(const std::string& name, const MethodSpec& method,
+                      const ConsensusOptions& options = {},
+                      uint64_t* generation_after = nullptr);
+
+  /// Drains the queue, then sweeps every registry method in paper order
+  /// against the shard's shared caches.
+  std::vector<ConsensusOutput> RunAll(const std::string& name,
+                                      const ConsensusOptions& options = {},
+                                      uint64_t* generation_after = nullptr);
+
+  /// Stats snapshot; does NOT drain the queue.
+  TableStats Stats(const std::string& name) const;
+
+ private:
+  /// One queued mutation: an append batch (rankings non-empty) or a
+  /// removal of `remove_index`.
+  struct PendingOp {
+    std::vector<Ranking> rankings;
+    size_t remove_index = 0;
+    bool is_remove = false;
+  };
+
+  struct Shard {
+    /// Declared before ctx: the context borrows the table and must be
+    /// destroyed first (members are destroyed in reverse order).
+    std::unique_ptr<CandidateTable> table;
+    ContextGate gate;
+    std::unique_ptr<ConsensusContext> ctx;
+    /// Guards the queue and the virtual-size bookkeeping. Never held
+    /// while touching the context, so enqueues stay non-blocking.
+    mutable std::mutex queue_mu;
+    std::vector<PendingOp> queue;
+    size_t queued_append_rankings = 0;
+    size_t virtual_size = 0;
+    uint64_t applied_batches = 0;
+    uint64_t applied_rankings = 0;
+    std::atomic<uint64_t> runs{0};
+    /// Serializes queue application so two drainers cannot interleave
+    /// their stolen backlogs (op order is load-bearing: remove indices
+    /// refer to the virtual profile order).
+    std::mutex apply_mu;
+  };
+
+  std::shared_ptr<Shard> Find(const std::string& name) const;
+  /// Stats snapshot straight off a shard (no name lookup).
+  static TableStats StatsFor(const Shard& shard);
+  /// Steals and applies the queued backlog. With `try_only`, gives up
+  /// without side effects when the gate is contended. Returns rankings
+  /// applied via *applied; returns false only in try_only mode.
+  bool Drain(Shard& shard, bool try_only, size_t* applied);
+
+  /// Guards only the name → shard map; per-table traffic leaves the
+  /// manager-wide critical section after one O(1) lookup.
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<Shard>> shards_;
+};
+
+}  // namespace manirank::serve
+
+#endif  // MANIRANK_SERVE_CONTEXT_MANAGER_H_

@@ -1,0 +1,323 @@
+#include "serve/protocol.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <istream>
+#include <limits>
+#include <optional>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "data/csv.h"
+#include "data/synthetic.h"
+
+namespace manirank::serve {
+namespace {
+
+/// Whitespace tokenizer that also splits ';' into its own token, so an
+/// APPEND payload may write "0 1 2; 2 1 0" or "0 1 2 ; 2 1 0".
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char c : line) {
+    if (c == ' ' || c == '\t' || c == '\r') {
+      if (!current.empty()) tokens.push_back(std::move(current));
+      current.clear();
+    } else if (c == ';') {
+      if (!current.empty()) tokens.push_back(std::move(current));
+      current.clear();
+      tokens.emplace_back(";");
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+std::optional<long> ParseLong(const std::string& token) {
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(token.c_str(), &end, 10);
+  if (end == token.c_str() || *end != '\0' || errno == ERANGE) {
+    return std::nullopt;
+  }
+  return v;
+}
+
+std::optional<double> ParseDouble(const std::string& token) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(token.c_str(), &end);
+  if (end == token.c_str() || *end != '\0' || errno == ERANGE) {
+    return std::nullopt;
+  }
+  return v;
+}
+
+std::string Err(const char* code, const std::string& detail) {
+  return std::string("ERR ") + code + ": " + detail;
+}
+
+/// Formats one method result as "<id> sat=<0|1> consensus=<c0,c1,...>".
+void AppendMethodResult(std::ostringstream* os, const std::string& id,
+                        const ConsensusOutput& out) {
+  *os << ' ' << id << " sat=" << (out.satisfied ? 1 : 0) << " consensus=";
+  const std::vector<CandidateId>& order = out.consensus.order();
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (i != 0) *os << ',';
+    *os << order[i];
+  }
+}
+
+std::string HandleCreate(ContextManager* manager,
+                         const std::vector<std::string>& tokens) {
+  if (tokens.size() < 3) {
+    return Err("bad-request", "CREATE <table> FILE <csv> | CYCLIC <n> <d0> <d1>");
+  }
+  const std::string& table_name = tokens[1];
+  const std::string& kind = tokens[2];
+  std::optional<CandidateTable> table;
+  std::vector<Ranking> initial;
+  if (kind == "CYCLIC") {
+    if (tokens.size() != 6) {
+      return Err("bad-request", "CREATE <table> CYCLIC <n> <d0> <d1>");
+    }
+    const auto n = ParseLong(tokens[3]);
+    const auto d0 = ParseLong(tokens[4]);
+    const auto d1 = ParseLong(tokens[5]);
+    if (!n || !d0 || !d1 || *n < 1 || *d0 < 1 || *d1 < 1) {
+      return Err("bad-request", "CYCLIC arguments must be positive integers");
+    }
+    // Bound before the int casts: a table a client can create in one
+    // request must neither truncate nor exhaust server memory — the first
+    // RUN densifies an n^2 precedence matrix (8 bytes per cell, ~200 MB
+    // at the cap), so n must stay far below what the int cast admits.
+    if (*n > 5000 || *d0 > 64 || *d1 > 64) {
+      return Err("bad-request",
+                 "CYCLIC size out of range (n <= 5000, domains <= 64)");
+    }
+    table = MakeCyclicTable(static_cast<int>(*n), static_cast<int>(*d0),
+                            static_cast<int>(*d1));
+  } else if (kind == "FILE") {
+    if (tokens.size() != 4 &&
+        !(tokens.size() == 6 && tokens[4] == "RANKINGS")) {
+      return Err("bad-request",
+                 "CREATE <table> FILE <csv> [RANKINGS <csv>]");
+    }
+    std::ifstream table_file(tokens[3]);
+    if (!table_file) return Err("io", "cannot open table file: " + tokens[3]);
+    try {
+      table = ReadCandidateTableCsv(table_file);
+    } catch (const std::exception& e) {
+      return Err("io", "table csv: " + std::string(e.what()));
+    }
+    if (tokens.size() == 6) {
+      std::ifstream rankings_file(tokens[5]);
+      if (!rankings_file) {
+        return Err("io", "cannot open rankings file: " + tokens[5]);
+      }
+      try {
+        initial = ReadRankingsCsv(rankings_file);
+      } catch (const std::exception& e) {
+        return Err("io", "rankings csv: " + std::string(e.what()));
+      }
+    }
+  } else {
+    return Err("bad-request", "CREATE source must be FILE or CYCLIC, got '" +
+                                  kind + "'");
+  }
+  const int n = table->num_candidates();
+  const size_t m = initial.size();
+  manager->Create(table_name, std::move(*table), std::move(initial));
+  std::ostringstream os;
+  os << "OK CREATE " << table_name << " candidates=" << n
+     << " rankings=" << m;
+  return os.str();
+}
+
+std::string HandleAppend(ContextManager* manager,
+                         const std::vector<std::string>& tokens) {
+  if (tokens.size() < 3) {
+    return Err("bad-request", "APPEND <table> <c0> <c1> ... [; ...]");
+  }
+  std::vector<Ranking> batch;
+  std::vector<CandidateId> order;
+  for (size_t i = 2; i <= tokens.size(); ++i) {
+    if (i == tokens.size() || tokens[i] == ";") {
+      if (order.empty()) {
+        return Err("bad-ranking", "empty ranking in APPEND payload");
+      }
+      if (!Ranking::IsValidOrder(order)) {
+        return Err("bad-ranking",
+                   "APPEND payload is not a permutation of 0..n-1");
+      }
+      batch.emplace_back(std::move(order));
+      order.clear();
+      continue;
+    }
+    const auto c = ParseLong(tokens[i]);
+    // Bound-check before the int32 cast: ids beyond CandidateId would
+    // otherwise truncate and alias a valid candidate.
+    if (!c || *c < 0 || *c > std::numeric_limits<CandidateId>::max()) {
+      return Err("bad-ranking",
+                 "candidate id must be a non-negative integer, got '" +
+                     tokens[i] + "'");
+    }
+    order.push_back(static_cast<CandidateId>(*c));
+  }
+  const size_t queued = batch.size();
+  const TableStats stats = manager->Append(tokens[1], std::move(batch));
+  std::ostringstream os;
+  os << "OK APPEND " << tokens[1] << " queued=" << queued
+     << " pending_ops=" << stats.pending_ops
+     << " pending_rankings=" << stats.pending_rankings;
+  return os.str();
+}
+
+std::string HandleRun(ContextManager* manager,
+                      const std::vector<std::string>& tokens) {
+  if (tokens.size() < 3) {
+    return Err("bad-request", "RUN <table> <method|all> [DELTA <d>] [LIMIT <s>]");
+  }
+  ConsensusOptions options;
+  options.time_limit_seconds = 30.0;
+  for (size_t i = 3; i < tokens.size(); i += 2) {
+    if (i + 1 >= tokens.size()) {
+      return Err("bad-request", "RUN option " + tokens[i] + " needs a value");
+    }
+    const auto value = ParseDouble(tokens[i + 1]);
+    // `>= 0` also rejects NaN for both options.
+    if (tokens[i] == "DELTA" && value && *value >= 0) {
+      options.delta = *value;
+    } else if (tokens[i] == "LIMIT" && value && *value >= 0) {
+      options.time_limit_seconds = *value;
+    } else {
+      return Err("bad-request",
+                 "bad RUN option: " + tokens[i] + " " + tokens[i + 1]);
+    }
+  }
+  const std::string& table = tokens[1];
+  const std::string& method = tokens[2];
+  std::ostringstream os;
+  uint64_t generation = 0;
+  if (method == "all") {
+    std::vector<ConsensusOutput> outputs =
+        manager->RunAll(table, options, &generation);
+    os << "OK RUN " << table << " gen=" << generation;
+    const std::vector<MethodSpec>& methods = AllMethods();
+    for (size_t i = 0; i < outputs.size(); ++i) {
+      AppendMethodResult(&os, methods[i].id, outputs[i]);
+    }
+  } else {
+    ConsensusOutput output = manager->Run(table, method, options, &generation);
+    os << "OK RUN " << table << " gen=" << generation;
+    AppendMethodResult(&os, FindMethod(method)->id, output);
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::string Dispatcher::Handle(const std::string& line) {
+  const std::vector<std::string> tokens = Tokenize(line);
+  if (tokens.empty() || tokens[0][0] == '#') return "";
+  const std::string& verb = tokens[0];
+  try {
+    if (verb == "CREATE") return HandleCreate(manager_, tokens);
+    if (verb == "APPEND") return HandleAppend(manager_, tokens);
+    if (verb == "RUN") return HandleRun(manager_, tokens);
+    if (verb == "REMOVE") {
+      if (tokens.size() != 3) {
+        return Err("bad-request", "REMOVE <table> <index>");
+      }
+      const auto index = ParseLong(tokens[2]);
+      if (!index || *index < 0) {
+        return Err("bad-index",
+                   "REMOVE index must be a non-negative integer, got '" +
+                       tokens[2] + "'");
+      }
+      const TableStats stats =
+          manager_->Remove(tokens[1], static_cast<size_t>(*index));
+      std::ostringstream os;
+      os << "OK REMOVE " << tokens[1] << " index=" << *index
+         << " pending_ops=" << stats.pending_ops;
+      return os.str();
+    }
+    if (verb == "STATS") {
+      if (tokens.size() != 2) return Err("bad-request", "STATS <table>");
+      const TableStats stats = manager_->Stats(tokens[1]);
+      std::ostringstream os;
+      os << "OK STATS " << tokens[1] << " candidates=" << stats.num_candidates
+         << " rankings=" << stats.num_rankings
+         << " generation=" << stats.generation
+         << " pending_ops=" << stats.pending_ops
+         << " pending_rankings=" << stats.pending_rankings
+         << " applied_batches=" << stats.applied_batches
+         << " applied_rankings=" << stats.applied_rankings
+         << " runs=" << stats.runs;
+      return os.str();
+    }
+    if (verb == "FLUSH") {
+      if (tokens.size() != 2) return Err("bad-request", "FLUSH <table>");
+      const size_t applied = manager_->Flush(tokens[1]);
+      std::ostringstream os;
+      os << "OK FLUSH " << tokens[1] << " applied=" << applied;
+      return os.str();
+    }
+    if (verb == "DROP") {
+      if (tokens.size() != 2) return Err("bad-request", "DROP <table>");
+      manager_->Drop(tokens[1]);
+      return "OK DROP " + tokens[1];
+    }
+    if (verb == "TABLES") {
+      if (tokens.size() != 1) return Err("bad-request", "TABLES");
+      std::ostringstream os;
+      const std::vector<std::string> names = manager_->TableNames();
+      os << "OK TABLES " << names.size();
+      for (const std::string& name : names) os << ' ' << name;
+      return os.str();
+    }
+    return Err("unknown-verb", verb);
+  } catch (const std::out_of_range& e) {
+    return Err("bad-index", e.what());
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    if (what.rfind("no such table", 0) == 0) {
+      return Err("no-such-table", what);
+    }
+    if (what.rfind("unknown consensus method", 0) == 0) {
+      return Err("unknown-method", what);
+    }
+    if (what.find("empty profile") != std::string::npos) {
+      return Err("empty-table", what);
+    }
+    if (what.find("ranking") != std::string::npos) {
+      return Err("bad-ranking", what);
+    }
+    return Err("bad-request", what);
+  } catch (const std::logic_error& e) {
+    return Err("conflict", e.what());
+  } catch (const std::exception& e) {
+    return Err("bad-request", e.what());
+  }
+}
+
+int Dispatcher::ServeStream(std::istream& in, std::ostream& out, bool echo) {
+  int errors = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (echo) out << "> " << line << '\n';
+    const std::string response = Handle(line);
+    if (response.empty()) continue;
+    out << response << '\n';
+    out.flush();
+    if (response.rfind("ERR", 0) == 0) ++errors;
+  }
+  return errors;
+}
+
+}  // namespace manirank::serve

@@ -1,0 +1,66 @@
+#ifndef MANIRANK_SERVE_PROTOCOL_H_
+#define MANIRANK_SERVE_PROTOCOL_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "core/candidate_table.h"
+#include "serve/context_manager.h"
+
+namespace manirank::serve {
+
+/// Line-oriented request protocol over a ContextManager. One request per
+/// line, one response line per request; responses start with "OK" or
+/// "ERR <code>:". Blank lines and lines starting with '#' are skipped
+/// (no response). The same grammar is served by the manirank_serve binary
+/// (stdin or socket), the CLI's --serve replay mode, and bench_serving.
+///
+/// Grammar (tokens are whitespace-separated; ';' separates rankings in an
+/// APPEND payload and may be glued to a number):
+///
+///   CREATE <table> FILE <table.csv> [RANKINGS <rankings.csv>]
+///   CREATE <table> CYCLIC <n> <d0> <d1>
+///   APPEND <table> <c0> <c1> ... [; <c0> <c1> ...]*
+///   REMOVE <table> <index>
+///   RUN    <table> <method|all> [DELTA <d>] [LIMIT <seconds>]
+///   STATS  <table>
+///   FLUSH  <table>
+///   DROP   <table>
+///   TABLES
+///
+/// CREATE..CYCLIC builds the deterministic two-attribute table where
+/// candidate i carries values (i % d0, (i / d0) % d1) — handy for scripts
+/// and tests that need no CSV files. APPEND payloads are candidate ids
+/// best-first and must form a permutation of 0..n-1. REMOVE addresses the
+/// *virtual* profile (applied rankings plus queued mutations). RUN drains
+/// the table's mutation queue, then runs one registry method (or the full
+/// paper sweep for "all") and reports each consensus as
+/// "<id> sat=<0|1> consensus=<c0,c1,...>". STATS never drains — its
+/// generation counter moves only when mutations are actually applied, so
+/// clients can use it to verify that a rejected request changed nothing.
+///
+/// Error codes: unknown-verb, bad-request (arity / malformed numbers),
+/// no-such-table, unknown-method, bad-ranking, bad-index, empty-table
+/// (RUN on a table with no applied or queued rankings), io, conflict.
+class Dispatcher {
+ public:
+  explicit Dispatcher(ContextManager* manager) : manager_(manager) {}
+
+  /// Handles one request line and returns the response line (no trailing
+  /// newline). Returns an empty string for blank/comment lines. Never
+  /// throws: every failure maps to an "ERR <code>: <detail>" response and
+  /// leaves the addressed table's applied state unchanged.
+  std::string Handle(const std::string& line);
+
+  /// Replays a whole stream: one response line per request line, written
+  /// to `out`. With `echo`, each request is echoed first, prefixed "> ".
+  /// Returns the number of ERR responses.
+  int ServeStream(std::istream& in, std::ostream& out, bool echo = false);
+
+ private:
+  ContextManager* manager_;
+};
+
+}  // namespace manirank::serve
+
+#endif  // MANIRANK_SERVE_PROTOCOL_H_

@@ -1,0 +1,203 @@
+// manirank_serve — multi-table consensus-ranking server.
+//
+// Usage:
+//   manirank_serve                      serve the line protocol on stdin/stdout
+//   manirank_serve --script FILE        replay a request script (offline mode)
+//   manirank_serve --port P             TCP server: one thread per connection,
+//                                       all connections share one ContextManager
+//   manirank_serve --echo               echo each request before its response
+//
+// The request grammar is documented in serve/protocol.h (CREATE / APPEND /
+// REMOVE / RUN / STATS / FLUSH / DROP / TABLES). Every connection gets its
+// own Dispatcher over the shared ContextManager, so concurrent clients
+// exercise the per-table gates and mutation queues directly.
+//
+// Exit status: 0 when every request succeeded, 1 when any request drew an
+// ERR response (stdin/script modes), 2 on usage or I/O errors.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/context_manager.h"
+#include "serve/protocol.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define MANIRANK_HAVE_SOCKETS 1
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace {
+
+using manirank::serve::ContextManager;
+using manirank::serve::Dispatcher;
+
+int Usage() {
+  std::cerr << "usage: manirank_serve [--script FILE | --port P] [--echo]\n"
+               "  (no mode flag: serve requests from stdin)\n";
+  return 2;
+}
+
+#ifdef MANIRANK_HAVE_SOCKETS
+
+/// Writes one full response line; false when the peer went away.
+bool SendResponse(int fd, std::string response) {
+  if (response.empty()) return true;  // comment/blank: no response
+  response.push_back('\n');
+  size_t sent = 0;
+  while (sent < response.size()) {
+    const ssize_t w =
+        ::write(fd, response.data() + sent, response.size() - sent);
+    if (w <= 0) return false;
+    sent += static_cast<size_t>(w);
+  }
+  return true;
+}
+
+/// Longest admissible request line. Generous for big APPEND batches, but
+/// a client streaming bytes with no newline must not grow server memory
+/// without bound.
+constexpr size_t kMaxRequestBytes = 16u << 20;
+
+/// Reads newline-delimited requests from `fd` and writes one response line
+/// per request. Each connection shares the process-wide manager.
+void ServeConnection(int fd, ContextManager* manager) {
+  Dispatcher dispatcher(manager);
+  std::string buffer;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t got = ::read(fd, chunk, sizeof(chunk));
+    if (got <= 0) break;
+    // Invariant: the retained buffer never contains '\n' (complete lines
+    // are consumed below), so only the new chunk needs scanning — a
+    // multi-megabyte line arriving in 4 KB reads stays O(L), not O(L^2).
+    const size_t scan_from = buffer.size();
+    buffer.append(chunk, static_cast<size_t>(got));
+    if (buffer.size() > kMaxRequestBytes &&
+        buffer.find('\n', scan_from) == std::string::npos) {
+      SendResponse(fd, "ERR bad-request: request line exceeds 16 MiB");
+      ::close(fd);
+      return;
+    }
+    size_t start = 0;
+    for (;;) {
+      const size_t newline = buffer.find('\n', std::max(start, scan_from));
+      if (newline == std::string::npos) break;
+      std::string line = buffer.substr(start, newline - start);
+      start = newline + 1;
+      if (!SendResponse(fd, dispatcher.Handle(line))) {
+        ::close(fd);
+        return;
+      }
+    }
+    buffer.erase(0, start);
+  }
+  // A final request may arrive without a trailing newline before the
+  // client half-closes; answer it rather than dropping it.
+  if (!buffer.empty()) SendResponse(fd, dispatcher.Handle(buffer));
+  ::close(fd);
+}
+
+int ServeSocket(int port, ContextManager* manager) {
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listener < 0) {
+    std::cerr << "socket: " << std::strerror(errno) << "\n";
+    return 2;
+  }
+  const int one = 1;
+  ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(listener, 16) < 0) {
+    std::cerr << "bind/listen on 127.0.0.1:" << port << ": "
+              << std::strerror(errno) << "\n";
+    ::close(listener);
+    return 2;
+  }
+  // Writes to a connection a client already closed must surface as write()
+  // errors, not process death.
+  ::signal(SIGPIPE, SIG_IGN);
+  std::cerr << "manirank_serve listening on 127.0.0.1:" << port << "\n";
+  // Connection threads detach so a long-lived server does not accumulate
+  // one joinable (stack-retaining) thread per closed connection; the
+  // counter lets shutdown wait for stragglers before the manager dies.
+  std::atomic<int> active_connections{0};
+  for (;;) {
+    const int fd = ::accept(listener, nullptr, nullptr);
+    if (fd < 0) break;
+    active_connections.fetch_add(1);
+    std::thread([fd, manager, &active_connections] {
+      ServeConnection(fd, manager);
+      active_connections.fetch_sub(1);
+    }).detach();
+  }
+  ::close(listener);
+  while (active_connections.load() > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return 0;
+}
+
+#endif  // MANIRANK_HAVE_SOCKETS
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::optional<std::string> script;
+  std::optional<int> port;
+  bool echo = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--echo") {
+      echo = true;
+    } else if (flag == "--script" && i + 1 < argc) {
+      script = argv[++i];
+    } else if (flag == "--port" && i + 1 < argc) {
+      char* end = nullptr;
+      const long p = std::strtol(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || p < 1 || p > 65535) {
+        std::cerr << "--port needs a value in [1, 65535]\n";
+        return 2;
+      }
+      port = static_cast<int>(p);
+    } else {
+      return Usage();
+    }
+  }
+  if (script.has_value() && port.has_value()) return Usage();
+
+  ContextManager manager;
+  if (port.has_value()) {
+#ifdef MANIRANK_HAVE_SOCKETS
+    return ServeSocket(*port, &manager);
+#else
+    std::cerr << "--port is not supported on this platform\n";
+    return 2;
+#endif
+  }
+  Dispatcher dispatcher(&manager);
+  if (script.has_value()) {
+    std::ifstream in(*script);
+    if (!in) {
+      std::cerr << "cannot open script: " << *script << "\n";
+      return 2;
+    }
+    return dispatcher.ServeStream(in, std::cout, echo) == 0 ? 0 : 1;
+  }
+  return dispatcher.ServeStream(std::cin, std::cout, echo) == 0 ? 0 : 1;
+}

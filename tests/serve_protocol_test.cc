@@ -1,0 +1,191 @@
+// Protocol robustness tests: every malformed request must draw an
+// "ERR <code>:" response and leave the addressed table's applied state
+// unchanged — verified through the STATS generation counter, which only
+// moves when mutations are actually folded into a context. Includes a
+// deterministic fuzz-ish sweep of mutated request lines.
+
+#include "serve/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "serve/context_manager.h"
+#include "util/rng.h"
+
+namespace manirank {
+namespace {
+
+using serve::ContextManager;
+using serve::Dispatcher;
+
+
+/// Fixture with one live table and helpers to assert state invariance.
+class ProtocolTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dispatcher_ = std::make_unique<Dispatcher>(&manager_);
+    ASSERT_EQ(Handle("CREATE t CYCLIC 6 2 3"), "OK CREATE t candidates=6 rankings=0");
+    ASSERT_TRUE(IsOk(Handle("APPEND t 0 1 2 3 4 5 ; 5 4 3 2 1 0")));
+    ASSERT_TRUE(IsOk(Handle("FLUSH t")));
+  }
+
+  std::string Handle(const std::string& line) {
+    return dispatcher_->Handle(line);
+  }
+  static bool IsOk(const std::string& r) { return r.rfind("OK", 0) == 0; }
+  static bool IsErr(const std::string& r) { return r.rfind("ERR ", 0) == 0; }
+
+  /// "generation=<g> ... pending_ops=<o>" snapshot of table t. If the
+  /// table has been dropped (fuzzing can legitimately issue DROP t), the
+  /// stable "ERR no-such-table" response doubles as the snapshot.
+  std::string StateSnapshot() { return Handle("STATS t"); }
+
+  ContextManager manager_;
+  std::unique_ptr<Dispatcher> dispatcher_;
+};
+
+TEST_F(ProtocolTest, BlankAndCommentLinesDrawNoResponse) {
+  EXPECT_EQ(Handle(""), "");
+  EXPECT_EQ(Handle("   \t  "), "");
+  EXPECT_EQ(Handle("# a comment"), "");
+  EXPECT_EQ(Handle("#APPEND t 0 1 2 3 4 5"), "");
+}
+
+TEST_F(ProtocolTest, MalformedRequestsErrAndLeaveStateUnchanged) {
+  const std::string before = StateSnapshot();
+  const std::vector<std::pair<std::string, std::string>> cases = {
+      // unknown verb
+      {"FROB t", "ERR unknown-verb"},
+      {"append t 0 1 2 3 4 5", "ERR unknown-verb"},  // verbs are upper-case
+      {"OK", "ERR unknown-verb"},
+      // missing / unknown table
+      {"RUN ghost A4", "ERR no-such-table"},
+      {"STATS ghost", "ERR no-such-table"},
+      {"APPEND ghost 0 1 2 3 4 5", "ERR no-such-table"},
+      {"REMOVE ghost 0", "ERR no-such-table"},
+      {"FLUSH ghost", "ERR no-such-table"},
+      {"DROP ghost", "ERR no-such-table"},
+      // arity errors
+      {"RUN", "ERR bad-request"},
+      {"RUN t", "ERR bad-request"},
+      {"APPEND t", "ERR bad-request"},
+      {"REMOVE t", "ERR bad-request"},
+      {"REMOVE t 0 0", "ERR bad-request"},
+      {"STATS", "ERR bad-request"},
+      {"TABLES t", "ERR bad-request"},
+      {"CREATE t2", "ERR bad-request"},
+      {"CREATE t2 SYNTH 6", "ERR bad-request"},
+      {"CREATE t2 CYCLIC 6 2", "ERR bad-request"},
+      {"CREATE t2 CYCLIC x 2 2", "ERR bad-request"},
+      {"CREATE t2 CYCLIC -6 2 2", "ERR bad-request"},
+      // duplicate table
+      {"CREATE t CYCLIC 6 2 2", "ERR bad-request"},
+      // bad ranking payloads
+      {"APPEND t 0 1 2", "ERR bad-ranking"},               // wrong size
+      {"APPEND t 0 1 2 3 4 9", "ERR bad-ranking"},         // out of domain
+      {"APPEND t 0 1 2 3 4 4", "ERR bad-ranking"},         // duplicate
+      {"APPEND t 0 1 2 3 4 x", "ERR bad-ranking"},         // non-numeric
+      {"APPEND t 0 1 2 3 4 -5", "ERR bad-ranking"},        // negative
+      // beyond int32: must NOT truncate into a valid candidate id
+      {"APPEND t 4294967296 1 2 3 4 5", "ERR bad-ranking"},
+      // would truncate n through the int cast (and OOM if honoured)
+      {"CREATE big CYCLIC 4294967297 2 2", "ERR bad-request"},
+      {"APPEND t 0 1 2 3 4 5 ;", "ERR bad-ranking"},       // empty 2nd ranking
+      {"APPEND t ; 0 1 2 3 4 5", "ERR bad-ranking"},       // empty 1st ranking
+      {"APPEND t 0 1 2 3 4 5 ; 0 1 2", "ERR bad-ranking"},  // ragged batch
+      // bad indices
+      {"REMOVE t 2", "ERR bad-index"},    // profile holds 2 → valid: 0, 1
+      {"REMOVE t 99", "ERR bad-index"},
+      {"REMOVE t -1", "ERR bad-index"},
+      {"REMOVE t 1.5", "ERR bad-index"},
+      // bad RUN arguments
+      {"RUN t Z9", "ERR unknown-method"},
+      {"RUN t A4 DELTA", "ERR bad-request"},
+      {"RUN t A4 DELTA x", "ERR bad-request"},
+      {"RUN t A4 LIMIT -3", "ERR bad-request"},
+      {"RUN t A4 WIBBLE 3", "ERR bad-request"},
+      // I/O errors
+      {"CREATE t3 FILE /no/such/file.csv", "ERR io"},
+  };
+  for (const auto& [request, expected_prefix] : cases) {
+    const std::string response = Handle(request);
+    EXPECT_EQ(response.rfind(expected_prefix, 0), 0u)
+        << "request '" << request << "' drew '" << response << "'";
+    EXPECT_EQ(StateSnapshot(), before)
+        << "request '" << request << "' changed table state";
+  }
+  // And the table still serves correctly after the abuse.
+  EXPECT_TRUE(IsOk(Handle("RUN t A4")));
+}
+
+TEST_F(ProtocolTest, RunOnEmptyTableDrawsEmptyTableError) {
+  ASSERT_TRUE(IsOk(Handle("CREATE empty CYCLIC 6 2 2")));
+  EXPECT_EQ(Handle("RUN empty A4").rfind("ERR empty-table", 0), 0u);
+  EXPECT_EQ(Handle("RUN empty all").rfind("ERR empty-table", 0), 0u);
+  // Still servable once a profile arrives.
+  ASSERT_TRUE(IsOk(Handle("APPEND empty 0 1 2 3 4 5")));
+  EXPECT_TRUE(IsOk(Handle("RUN empty A4")));
+}
+
+TEST_F(ProtocolTest, ErrorsNeverEnqueueHalfABatch) {
+  // A batch whose SECOND ranking is bad must not enqueue its first.
+  const std::string before = StateSnapshot();
+  EXPECT_TRUE(IsErr(Handle("APPEND t 0 1 2 3 4 5 ; 0 0 0 0 0 0")));
+  EXPECT_EQ(StateSnapshot(), before);
+  // The generation counter proves nothing was applied on a later wave.
+  EXPECT_TRUE(IsOk(Handle("RUN t A3")));
+  const std::string stats = Handle("STATS t");
+  EXPECT_NE(stats.find("rankings=2 generation=2"), std::string::npos)
+      << stats;
+}
+
+TEST_F(ProtocolTest, FuzzedRequestLinesNeverCrashOrCorrupt) {
+  // Deterministic fuzz-ish sweep: random token soup plus mutations of
+  // valid requests. Every line must draw exactly one OK/ERR response (or
+  // none for comments), never throw, and ERR responses must leave the
+  // applied state untouched.
+  Rng rng(20260730);
+  const std::vector<std::string> vocabulary = {
+      "CREATE", "APPEND",  "REMOVE", "RUN",   "STATS", "FLUSH",
+      "DROP",   "TABLES",  "t",      "ghost", "A4",    "all",
+      "0",      "1",       "5",      "-1",    ";",     "DELTA",
+      "LIMIT",  "CYCLIC",  "FILE",   "0.2",   "x",     "99999999999999999999",
+      "#",      "\t",      "",       "🙂",    "NaN",   "1e9"};
+  int errs = 0;
+  int oks = 0;
+  for (int round = 0; round < 400; ++round) {
+    std::ostringstream line;
+    const int tokens = 1 + static_cast<int>(rng.NextUint64(8));
+    for (int i = 0; i < tokens; ++i) {
+      if (i > 0) line << ' ';
+      line << vocabulary[rng.NextUint64(vocabulary.size())];
+    }
+    const std::string before = StateSnapshot();
+    std::string response;
+    ASSERT_NO_THROW(response = Handle(line.str())) << line.str();
+    if (response.empty()) continue;  // comment/blank
+    ASSERT_TRUE(IsOk(response) || IsErr(response))
+        << "request '" << line.str() << "' drew '" << response << "'";
+    if (IsErr(response)) {
+      ++errs;
+      EXPECT_EQ(StateSnapshot(), before)
+          << "request '" << line.str() << "' errored but changed state";
+    } else {
+      ++oks;
+    }
+  }
+  // The vocabulary is rigged so both outcomes occur.
+  EXPECT_GT(errs, 50);
+  EXPECT_GT(oks, 0);
+  // The dispatcher is still fully servable after the storm: a fresh
+  // table created post-fuzz serves a clean wave.
+  EXPECT_TRUE(IsOk(Handle("CREATE postfuzz CYCLIC 6 2 2")));
+  EXPECT_TRUE(IsOk(Handle("APPEND postfuzz 0 1 2 3 4 5")));
+  EXPECT_TRUE(IsOk(Handle("RUN postfuzz A4")));
+}
+
+}  // namespace
+}  // namespace manirank

@@ -1,0 +1,272 @@
+// Multi-table serving layer tests: ContextManager semantics (shards,
+// coalescing mutation queue, stats) and the serving equivalence contract —
+// a scripted multi-table workload replayed through the line protocol must
+// produce consensus rankings bit-identical to fresh single-shot contexts
+// built over the same surviving profiles.
+
+#include "serve/context_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/context.h"
+#include "core/method_registry.h"
+#include "mallows/mallows.h"
+#include "serve/protocol.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace manirank {
+namespace {
+
+using serve::ContextManager;
+using serve::Dispatcher;
+
+using serve::TableStats;
+
+Ranking SampleFor(uint64_t seed, uint64_t index, int n) {
+  Rng rng = MallowsModel::SampleRng(seed, index);
+  MallowsModel model(Ranking::Identity(n), 0.5);
+  return model.Sample(&rng);
+}
+
+TEST(ContextManagerTest, CreateDropHas) {
+  ContextManager manager;
+  EXPECT_EQ(manager.num_tables(), 0u);
+  manager.Create("alpha", MakeCyclicTable(6, 2, 2));
+  manager.Create("beta", MakeCyclicTable(8, 2, 2));
+  EXPECT_TRUE(manager.Has("alpha"));
+  EXPECT_TRUE(manager.Has("beta"));
+  EXPECT_FALSE(manager.Has("gamma"));
+  EXPECT_EQ(manager.num_tables(), 2u);
+  EXPECT_EQ(manager.TableNames(),
+            (std::vector<std::string>{"alpha", "beta"}));
+  EXPECT_THROW(manager.Create("alpha", MakeCyclicTable(6, 2, 2)),
+               std::invalid_argument);
+  EXPECT_THROW(manager.Create("", MakeCyclicTable(6, 2, 2)),
+               std::invalid_argument);
+  manager.Drop("alpha");
+  EXPECT_FALSE(manager.Has("alpha"));
+  EXPECT_THROW(manager.Drop("alpha"), std::invalid_argument);
+  EXPECT_THROW(manager.Stats("alpha"), std::invalid_argument);
+}
+
+TEST(ContextManagerTest, AppendsCoalesceUntilTheNextQueryWave) {
+  ContextManager manager;
+  manager.Create("t", MakeCyclicTable(6, 2, 2),
+                 {Ranking::Identity(6), Ranking::Identity(6).Reversed()});
+  // Three APPEND requests between query waves → one coalesced pending op.
+  for (int i = 0; i < 3; ++i) {
+    manager.Append("t", {SampleFor(7, static_cast<uint64_t>(i), 6)});
+  }
+  TableStats stats = manager.Stats("t");
+  EXPECT_EQ(stats.pending_ops, 1u);
+  EXPECT_EQ(stats.pending_rankings, 3u);
+  EXPECT_EQ(stats.num_rankings, 2u);   // nothing applied yet
+  EXPECT_EQ(stats.generation, 0u);
+
+  // A REMOVE breaks the append run; a later APPEND starts a new batch.
+  manager.Remove("t", 0);
+  manager.Append("t", {SampleFor(7, 10, 6)});
+  stats = manager.Stats("t");
+  EXPECT_EQ(stats.pending_ops, 3u);
+  EXPECT_EQ(stats.pending_rankings, 4u);
+
+  // The query wave drains the whole backlog: 4 adds + 1 remove.
+  manager.Run("t", "A4");
+  stats = manager.Stats("t");
+  EXPECT_EQ(stats.pending_ops, 0u);
+  EXPECT_EQ(stats.pending_rankings, 0u);
+  EXPECT_EQ(stats.num_rankings, 5u);  // 2 + 4 - 1
+  EXPECT_EQ(stats.generation, 5u);    // one bump per ranking added/removed
+  EXPECT_EQ(stats.applied_batches, 2u);
+  EXPECT_EQ(stats.applied_rankings, 5u);
+  EXPECT_EQ(stats.runs, 1u);
+}
+
+TEST(ContextManagerTest, ValidationLeavesStateUntouched) {
+  ContextManager manager;
+  manager.Create("t", MakeCyclicTable(6, 2, 2), {Ranking::Identity(6)});
+  const TableStats before = manager.Stats("t");
+  // Wrong size, not a permutation, empty batch, bad index, bad table.
+  EXPECT_THROW(manager.Append("t", {Ranking::Identity(5)}),
+               std::invalid_argument);
+  EXPECT_THROW(manager.Append("t", {}), std::invalid_argument);
+  EXPECT_THROW(manager.Remove("t", 1), std::out_of_range);
+  EXPECT_THROW(manager.Append("nope", {Ranking::Identity(6)}),
+               std::invalid_argument);
+  EXPECT_THROW(manager.Run("t", "Z9"), std::invalid_argument);
+  const TableStats after = manager.Stats("t");
+  EXPECT_EQ(after.generation, before.generation);
+  EXPECT_EQ(after.pending_ops, before.pending_ops);
+  EXPECT_EQ(after.num_rankings, before.num_rankings);
+}
+
+TEST(ContextManagerTest, RemoveAddressesTheVirtualProfile) {
+  ContextManager manager;
+  manager.Create("t", MakeCyclicTable(6, 2, 2), {Ranking::Identity(6)});
+  // Profile has 1 applied ranking; queue 2 appends → virtual size 3, so
+  // index 2 is legal even though nothing is applied yet.
+  manager.Append("t", {SampleFor(9, 0, 6), SampleFor(9, 1, 6)});
+  manager.Remove("t", 2);
+  EXPECT_THROW(manager.Remove("t", 2), std::out_of_range);  // now virtual 2
+  EXPECT_EQ(manager.Flush("t"), 3u);                        // 2 adds + 1 remove
+  const TableStats stats = manager.Stats("t");
+  EXPECT_EQ(stats.num_rankings, 2u);
+  EXPECT_EQ(stats.pending_ops, 0u);
+}
+
+TEST(ContextManagerTest, FlushIsIdempotentAndCountsApplications) {
+  ContextManager manager;
+  manager.Create("t", MakeCyclicTable(6, 2, 2), {Ranking::Identity(6)});
+  EXPECT_EQ(manager.Flush("t"), 0u);
+  manager.Append("t", {SampleFor(11, 0, 6)});
+  size_t applied = 0;
+  EXPECT_TRUE(manager.TryFlush("t", &applied));
+  EXPECT_EQ(applied, 1u);
+  EXPECT_EQ(manager.Flush("t"), 0u);
+}
+
+// --- the serving equivalence contract --------------------------------------
+
+/// Shadow model of one table: the profile as a plain vector, mutated in
+/// lockstep with the protocol script.
+struct ShadowTable {
+  int n = 0;
+  std::vector<Ranking> profile;
+};
+
+std::string FormatAppend(const std::string& table,
+                         const std::vector<Ranking>& rankings) {
+  std::ostringstream os;
+  os << "APPEND " << table;
+  for (size_t i = 0; i < rankings.size(); ++i) {
+    if (i != 0) os << " ;";
+    for (CandidateId c : rankings[i].order()) os << ' ' << c;
+  }
+  return os.str();
+}
+
+std::vector<CandidateId> ParseConsensusField(const std::string& response,
+                                             size_t from) {
+  const size_t at = response.find("consensus=", from);
+  std::vector<CandidateId> order;
+  EXPECT_NE(at, std::string::npos) << response;
+  if (at == std::string::npos) return order;
+  std::istringstream is(response.substr(at + 10));
+  std::string cell;
+  while (std::getline(is, cell, ',')) {
+    // The consensus field ends at the next space (RUN-all responses pack
+    // several method results on one line).
+    const size_t space = cell.find(' ');
+    if (space != std::string::npos) {
+      order.push_back(static_cast<CandidateId>(std::stol(cell.substr(0, space))));
+      break;
+    }
+    order.push_back(static_cast<CandidateId>(std::stol(cell)));
+  }
+  return order;
+}
+
+TEST(ServingEquivalenceTest, ScriptedMultiTableWorkloadMatchesFreshContexts) {
+  // The acceptance contract: a scripted workload over 3 tables with
+  // interleaved APPEND / RUN / REMOVE, replayed through the line
+  // protocol, must produce rankings bit-identical to single-shot
+  // contexts freshly built over each table's surviving profile.
+  ContextManager manager;
+  Dispatcher dispatcher(&manager);
+  std::map<std::string, ShadowTable> shadows;
+  const std::vector<std::pair<std::string, int>> tables = {
+      {"small", 8}, {"medium", 10}, {"wide", 12}};
+  for (const auto& [name, n] : tables) {
+    std::ostringstream os;
+    os << "CREATE " << name << " CYCLIC " << n << " 2 2";
+    ASSERT_EQ(dispatcher.Handle(os.str()).rfind("OK", 0), 0u);
+    shadows[name] = ShadowTable{n, {}};
+  }
+
+  // The fast methods of the sweep (ILP-free), rotated per RUN request.
+  const std::vector<std::string> methods = {"A2", "A3", "A4", "B1", "B2",
+                                            "B3", "B4"};
+  Rng script_rng(42);
+  uint64_t sample_index = 0;
+  int runs_checked = 0;
+  for (int step = 0; step < 120; ++step) {
+    auto& [name, n] = tables[script_rng.NextUint64(tables.size())];
+    ShadowTable& shadow = shadows[name];
+    const uint64_t action = script_rng.NextUint64(10);
+    if (action < 5 || shadow.profile.size() < 4) {
+      // APPEND a batch of 1..3 rankings.
+      std::vector<Ranking> batch;
+      const int k = 1 + static_cast<int>(script_rng.NextUint64(3));
+      for (int i = 0; i < k; ++i) {
+        batch.push_back(SampleFor(77, sample_index++, n));
+      }
+      const std::string response =
+          dispatcher.Handle(FormatAppend(name, batch));
+      ASSERT_EQ(response.rfind("OK APPEND", 0), 0u) << response;
+      shadow.profile.insert(shadow.profile.end(), batch.begin(), batch.end());
+    } else if (action < 7) {
+      // REMOVE a random index of the virtual profile.
+      const size_t index = script_rng.NextUint64(shadow.profile.size());
+      const std::string response = dispatcher.Handle(
+          "REMOVE " + name + " " + std::to_string(index));
+      ASSERT_EQ(response.rfind("OK REMOVE", 0), 0u) << response;
+      shadow.profile.erase(shadow.profile.begin() +
+                           static_cast<ptrdiff_t>(index));
+    } else {
+      // RUN one method; the served consensus must equal a fresh context.
+      const std::string& method =
+          methods[script_rng.NextUint64(methods.size())];
+      const std::string response = dispatcher.Handle(
+          "RUN " + name + " " + method + " DELTA 0.2 LIMIT 60");
+      ASSERT_EQ(response.rfind("OK RUN", 0), 0u) << response;
+      const std::vector<CandidateId> served = ParseConsensusField(response, 0);
+
+      CandidateTable fresh_table = MakeCyclicTable(shadow.n, 2, 2);
+      ConsensusContext fresh(shadow.profile, fresh_table);
+      ConsensusOptions options;
+      options.delta = 0.2;
+      options.time_limit_seconds = 60.0;
+      const ConsensusOutput expected = fresh.RunMethod(method, options);
+      EXPECT_EQ(served, expected.consensus.order())
+          << "step " << step << " table " << name << " method " << method;
+      ++runs_checked;
+    }
+  }
+  ASSERT_GE(runs_checked, 20);
+
+  // Epilogue: a full RUN-all sweep per table against fresh contexts.
+  for (const auto& [name, n] : tables) {
+    const ShadowTable& shadow = shadows.at(name);
+    ASSERT_GE(shadow.profile.size(), 1u);
+    const std::string response =
+        dispatcher.Handle("RUN " + name + " all DELTA 0.2 LIMIT 60");
+    ASSERT_EQ(response.rfind("OK RUN", 0), 0u) << response;
+    CandidateTable fresh_table = MakeCyclicTable(n, 2, 2);
+    ConsensusContext fresh(shadow.profile, fresh_table);
+    ConsensusOptions options;
+    options.delta = 0.2;
+    options.time_limit_seconds = 60.0;
+    const std::vector<ConsensusOutput> expected = fresh.RunAll(options);
+    // Walk the packed response method by method.
+    size_t cursor = 0;
+    for (size_t i = 0; i < AllMethods().size(); ++i) {
+      const std::string tag = " " + AllMethods()[i].id + " ";
+      cursor = response.find(tag, cursor);
+      ASSERT_NE(cursor, std::string::npos)
+          << AllMethods()[i].id << ": " << response;
+      EXPECT_EQ(ParseConsensusField(response, cursor),
+                expected[i].consensus.order())
+          << name << " " << AllMethods()[i].id;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace manirank

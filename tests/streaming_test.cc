@@ -168,6 +168,56 @@ TEST(SummarizedContextTest, AddRankingFoldsWithoutRetaining) {
   EXPECT_EQ(streamed.generation(), 5u);
 }
 
+TEST(SummarizedContextTest, EquivalencePropertyAcrossRandomizedProfiles) {
+  // Property: for ANY profile, a StreamingSummary-seeded summarized
+  // context must produce bit-identical consensus rankings to a fully
+  // retained context for every precedence/Borda-served method. Randomized
+  // over profile size, candidate count, table shape, dispersion, and the
+  // worker-slot assignment of the folds.
+  Rng meta_rng(0xF00D);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int n = 8 + static_cast<int>(meta_rng.NextUint64(6));       // 8..13
+    const int num_rankings = 5 + static_cast<int>(meta_rng.NextUint64(40));
+    // Dispersion 0.35..0.8: spans weak and strong consensus while keeping
+    // B1's exact Kemeny solve tractable at these candidate counts.
+    const double theta =
+        0.35 + 0.15 * static_cast<double>(meta_rng.NextUint64(4));
+    const uint64_t seed = 9000 + static_cast<uint64_t>(trial);
+    CandidateTable table =
+        meta_rng.NextUint64(2) == 0
+            ? testing::CyclicTable(n, 2, 2)
+            : testing::RandomTable(n, {2, 3}, &meta_rng);
+    Rng rng(seed);
+    MallowsModel model(testing::RandomRanking(n, &rng), theta);
+    std::vector<Ranking> base = model.SampleMany(num_rankings, seed);
+
+    StreamingAccumulator acc(n,
+                             StreamingAccumulator::Track::kBordaAndPrecedence);
+    for (const Ranking& r : base) {
+      acc.Fold(r, meta_rng.NextUint64(acc.num_workers()));
+    }
+    ConsensusContext streamed(acc.Finish(), table);
+    ConsensusContext materialized(base, table);
+    ConsensusOptions options;
+    options.delta = 0.2;
+    options.time_limit_seconds = 60.0;
+    for (const char* id : {"A2", "A3", "A4", "B1"}) {
+      const ConsensusOutput from_stream = streamed.RunMethod(id, options);
+      const ConsensusOutput from_profile = materialized.RunMethod(id, options);
+      EXPECT_EQ(from_stream.consensus.order(), from_profile.consensus.order())
+          << "trial " << trial << " n=" << n << " |R|=" << num_rankings
+          << " theta=" << theta << " method " << id;
+      EXPECT_EQ(from_stream.satisfied, from_profile.satisfied)
+          << "trial " << trial << " method " << id;
+    }
+    // The raw folded state agrees too, not just the method outputs.
+    EXPECT_EQ(streamed.BordaPoints(), materialized.BordaPoints());
+    EXPECT_EQ(streamed.Precedence().ToDense(),
+              materialized.Precedence().ToDense());
+    EXPECT_EQ(streamed.stats().precedence_builds, 0) << "trial " << trial;
+  }
+}
+
 TEST(SummarizedContextTest, CandidateCountMismatchThrows) {
   Fixture f = MakeFixture(10, 215, 0.6, 5);
   StreamingAccumulator acc(9);

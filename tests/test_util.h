@@ -6,6 +6,7 @@
 
 #include "core/candidate_table.h"
 #include "core/ranking.h"
+#include "data/synthetic.h"
 #include "util/rng.h"
 
 namespace manirank::testing {
@@ -46,19 +47,11 @@ inline CandidateTable RandomTable(int n, const std::vector<int>& domain_sizes,
 
 /// A two-attribute table where candidate i gets attribute values
 /// (i % d0, (i / d0) % d1) — deterministic, all groups non-empty for
-/// n >= d0 * d1.
+/// n >= d0 * d1. Delegates to the library's builder (the one behind the
+/// serve protocol's CREATE..CYCLIC) so tests and server construct
+/// bit-identical tables.
 inline CandidateTable CyclicTable(int n, int d0, int d1) {
-  std::vector<Attribute> attributes(2);
-  attributes[0].name = "A";
-  for (int v = 0; v < d0; ++v) attributes[0].values.push_back("a" + std::to_string(v));
-  attributes[1].name = "B";
-  for (int v = 0; v < d1; ++v) attributes[1].values.push_back("b" + std::to_string(v));
-  std::vector<std::vector<AttributeValue>> values(n, std::vector<AttributeValue>(2));
-  for (int c = 0; c < n; ++c) {
-    values[c][0] = static_cast<AttributeValue>(c % d0);
-    values[c][1] = static_cast<AttributeValue>((c / d0) % d1);
-  }
-  return CandidateTable(std::move(attributes), std::move(values));
+  return MakeCyclicTable(n, d0, d1);
 }
 
 }  // namespace manirank::testing

@@ -1,0 +1,192 @@
+// Concurrency stress tests for the persistent ParallelFor worker pool:
+// nested regions, many concurrent top-level callers, and MANIRANK_THREADS
+// edge values, all under repetition. util_test.cc covers the single-shot
+// semantics; this suite hammers the pool the way a serving process does.
+// The CI TSan job runs this binary to catch data races.
+
+#include "util/threading.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace manirank {
+namespace {
+
+/// Sums [0, count) through ParallelFor with per-worker partial sums (the
+/// worker index contract: at most one thread per slot at a time).
+uint64_t ParallelSum(size_t count, size_t threads) {
+  std::vector<uint64_t> partial(kMaxThreads + 1, 0);
+  ParallelFor(
+      count,
+      [&](size_t begin, size_t end, size_t worker) {
+        uint64_t local = 0;
+        for (size_t i = begin; i < end; ++i) local += i;
+        partial[worker] += local;
+      },
+      threads);
+  return std::accumulate(partial.begin(), partial.end(), uint64_t{0});
+}
+
+uint64_t ExpectedSum(size_t count) {
+  return count == 0 ? 0 : static_cast<uint64_t>(count) * (count - 1) / 2;
+}
+
+TEST(ThreadingStressTest, ConcurrentTopLevelCallersUnderRepetition) {
+  // Several top-level threads each running many fan-outs concurrently:
+  // every region must see correct results and the pool must never deadlock
+  // even while blocked callers help drain their own partitions.
+  constexpr int kCallers = 8;
+  constexpr int kReps = 60;
+  constexpr size_t kCount = 4096;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> callers;
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&, c] {
+      for (int rep = 0; rep < kReps; ++rep) {
+        const size_t threads = 1 + static_cast<size_t>((c + rep) % 6);
+        if (ParallelSum(kCount, threads) != ExpectedSum(kCount)) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(ThreadingStressTest, NestedRegionsFromConcurrentCallers) {
+  // Bodies that themselves call ParallelFor, launched from several
+  // top-level threads at once. Nested regions run inline on pool workers;
+  // the combination must neither deadlock nor double-run any index.
+  constexpr int kCallers = 6;
+  constexpr int kReps = 25;
+  constexpr size_t kOuter = 64;
+  constexpr size_t kInner = 128;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> callers;
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&] {
+      for (int rep = 0; rep < kReps; ++rep) {
+        std::atomic<uint64_t> total{0};
+        ParallelFor(kOuter, [&](size_t begin, size_t end, size_t) {
+          for (size_t i = begin; i < end; ++i) {
+            ParallelFor(kInner, [&](size_t ib, size_t ie, size_t) {
+              uint64_t local = 0;
+              for (size_t j = ib; j < ie; ++j) local += j + i;
+              total.fetch_add(local, std::memory_order_relaxed);
+            });
+          }
+        });
+        const uint64_t expected =
+            kOuter * ExpectedSum(kInner) + ExpectedSum(kOuter) * kInner;
+        if (total.load() != expected) failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(ThreadingStressTest, PoolStopsGrowingAfterWarmup) {
+  // Warm the pool to its peak demand, then hammer it: no further thread
+  // may ever be constructed (the whole point of the persistent pool).
+  ParallelSum(1 << 14, 8);
+  const uint64_t created_after_warmup = PooledThreadsCreated();
+  std::vector<std::thread> callers;
+  for (int c = 0; c < 4; ++c) {
+    callers.emplace_back([&] {
+      for (int rep = 0; rep < 100; ++rep) {
+        ASSERT_EQ(ParallelSum(2048, 8), ExpectedSum(2048));
+      }
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  // Concurrent callers may legitimately grow the pool beyond one caller's
+  // demand (8 submitted partitions each), but never past the cap…
+  EXPECT_LE(PooledThreadsCreated(), kMaxThreads);
+  // …and a second identical hammering reuses every worker.
+  const uint64_t created_after_storm = PooledThreadsCreated();
+  for (int rep = 0; rep < 50; ++rep) {
+    ASSERT_EQ(ParallelSum(2048, 8), ExpectedSum(2048));
+  }
+  EXPECT_EQ(PooledThreadsCreated(), created_after_storm);
+  EXPECT_GE(created_after_storm, created_after_warmup);
+}
+
+/// Saves/restores MANIRANK_THREADS so env mutations cannot leak into
+/// other tests. setenv/getenv are not thread-safe against each other, so
+/// the env-twiddling tests run strictly single-threaded regions between
+/// mutations (ParallelFor reads the env on the calling thread, before the
+/// fan-out).
+class ThreadsEnvStressTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const char* prev = std::getenv("MANIRANK_THREADS");
+    if (prev != nullptr) saved_ = prev;
+  }
+  void TearDown() override {
+    if (saved_.has_value()) {
+      setenv("MANIRANK_THREADS", saved_->c_str(), 1);
+    } else {
+      unsetenv("MANIRANK_THREADS");
+    }
+  }
+  std::optional<std::string> saved_;
+};
+
+TEST_F(ThreadsEnvStressTest, EdgeValuesUnderRepetition) {
+  // 1 = serial, kMaxThreads = the clamp boundary, kMaxThreads + 1 =
+  // clamped back down. Every configuration must produce exact sums over
+  // repeated regions. The fan-out count stays below kMaxThreads so the
+  // clamped configs exercise the env path without actually constructing
+  // hundreds of parked workers (ParallelFor takes min(threads, count)).
+  const std::string max_threads = std::to_string(kMaxThreads);
+  const std::string over_max = std::to_string(kMaxThreads + 1);
+  for (const std::string& value : {std::string("1"), max_threads, over_max}) {
+    setenv("MANIRANK_THREADS", value.c_str(), 1);
+    const size_t expected_count =
+        std::min(static_cast<size_t>(std::stoul(value)), kMaxThreads);
+    EXPECT_EQ(DefaultThreadCount(), expected_count) << value;
+    for (int rep = 0; rep < 20; ++rep) {
+      ASSERT_EQ(ParallelSum(96, /*threads=*/0), ExpectedSum(96))
+          << "MANIRANK_THREADS=" << value << " rep=" << rep;
+    }
+  }
+}
+
+TEST_F(ThreadsEnvStressTest, MalformedValuesAreRejectedUnderRepetition) {
+  // Malformed values must be rejected (fall back to the hardware default)
+  // on every single read — the env is re-read per ParallelFor call, so a
+  // sticky parse would show up under repetition.
+  unsetenv("MANIRANK_THREADS");
+  const size_t hw_default = DefaultThreadCount();
+  for (const char* bad : {"abc", "4x4", "-1", "", "  ", "1e3", "0x8"}) {
+    setenv("MANIRANK_THREADS", bad, 1);
+    for (int rep = 0; rep < 10; ++rep) {
+      ASSERT_EQ(DefaultThreadCount(), hw_default)
+          << "value='" << bad << "' rep=" << rep;
+      ASSERT_EQ(ParallelSum(512, /*threads=*/0), ExpectedSum(512));
+    }
+  }
+}
+
+TEST_F(ThreadsEnvStressTest, SerialAndParallelAgreeBitForBit) {
+  // The partition must never affect integer reductions: serial (1) and a
+  // spread of thread counts all agree exactly.
+  unsetenv("MANIRANK_THREADS");
+  const uint64_t expected = ExpectedSum(100000);
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{3}, size_t{7},
+                         size_t{16}, size_t{64}}) {
+    EXPECT_EQ(ParallelSum(100000, threads), expected) << threads;
+  }
+}
+
+}  // namespace
+}  // namespace manirank
