@@ -22,6 +22,15 @@
 // The batched and rebuild paths must produce bit-identical consensus
 // rankings; the bench aborts loudly if they ever drift.
 //
+// A second section measures the snapshot/restore path (data/snapshot.h):
+// a table folded from a large Mallows stream is snapshotted to disk,
+// restored into a fresh ContextManager, and compared against the only
+// alternative a restarted server has — replaying the whole profile
+// through the StreamingAccumulator. Restore reads O(n^2) bytes where
+// replay folds O(|R| n^2) work, so it wins by orders of magnitude at the
+// default 1M-ranking stream; the restored table must serve the
+// precedence/Borda methods bit-identically to the pre-snapshot context.
+//
 // MANIRANK_BENCH_QUICK=1 shrinks the workload for the CI smoke job.
 
 #include <cstdio>
@@ -243,6 +252,93 @@ void PrintScenarioJson(std::FILE* f, const char* name,
                name, r.seconds, r.requests, rps, trailing_comma ? "," : "");
 }
 
+// --- snapshot/restore vs profile replay ------------------------------------
+
+struct SnapshotBench {
+  size_t rankings = 0;
+  int n = 0;
+  double write_seconds = 0.0;
+  double restore_seconds = 0.0;
+  double replay_seconds = 0.0;
+  long snapshot_bytes = 0;
+};
+
+/// Cold-start comparison at stream scale: what a restarted server pays to
+/// resume serving one table, via RESTORE vs via replaying the profile.
+SnapshotBench RunSnapshotBench(bool quick) {
+  SnapshotBench result;
+  result.n = 60;
+  result.rankings = quick ? 20000 : 1000000;
+  const uint64_t seed = 4242;
+  CandidateTable table = MakeCyclicTable(result.n, 2, 2);
+  Rng rng(seed);
+  std::vector<CandidateId> modal(result.n);
+  for (int i = 0; i < result.n; ++i) modal[i] = i;
+  rng.Shuffle(&modal);
+  MallowsModel model(Ranking(std::move(modal)), 0.5);
+  const auto sample = [&](size_t i) {
+    Rng sample_rng = MallowsModel::SampleRng(seed, i);
+    return model.Sample(&sample_rng);
+  };
+
+  // The live table: folded once (outside the timers; both contenders
+  // resume from the same pre-crash state), served, snapshotted.
+  StreamingAccumulator acc(result.n,
+                           StreamingAccumulator::Track::kBordaAndPrecedence);
+  acc.Drain(result.rankings, sample);
+  ConsensusContext original(acc.Finish(), table);
+  const std::vector<CandidateId> expected_a3 =
+      original.RunMethod("A3").consensus.order();
+  const std::vector<CandidateId> expected_a4 =
+      original.RunMethod("A4").consensus.order();
+
+  const char* path = "serving_snapshot.snap";
+  {
+    Stopwatch timer;
+    WriteTableSnapshotFile(path,
+                           TableSnapshot{table, original.Snapshot(), 0, 0});
+    result.write_seconds = timer.Seconds();
+  }
+  {
+    std::FILE* f = std::fopen(path, "rb");
+    if (f != nullptr) {
+      std::fseek(f, 0, SEEK_END);
+      result.snapshot_bytes = std::ftell(f);
+      std::fclose(f);
+    }
+  }
+
+  // Contender 1: restore the snapshot into a fresh serving process.
+  serve::ContextManager restored;
+  {
+    Stopwatch timer;
+    restored.RestoreTable("t", ReadTableSnapshotFile(path));
+    result.restore_seconds = timer.Seconds();
+  }
+  // Contender 2: replay the profile through the streaming kernel (the
+  // fastest replay available — parallel fold, rankings never retained).
+  {
+    Stopwatch timer;
+    StreamingAccumulator replay_acc(
+        result.n, StreamingAccumulator::Track::kBordaAndPrecedence);
+    replay_acc.Drain(result.rankings, sample);
+    ConsensusContext replayed(replay_acc.Finish(), table);
+    result.replay_seconds = timer.Seconds();
+    if (replayed.RunMethod("A3").consensus.order() != expected_a3) {
+      std::fprintf(stderr, "FATAL: replayed A3 drifted from original\n");
+      std::abort();
+    }
+  }
+  // The restored table must serve bit-identically to the original.
+  if (restored.Run("t", "A3").consensus.order() != expected_a3 ||
+      restored.Run("t", "A4").consensus.order() != expected_a4) {
+    std::fprintf(stderr, "FATAL: restored table drifted from original\n");
+    std::abort();
+  }
+  std::remove(path);
+  return result;
+}
+
 }  // namespace
 
 int main() {
@@ -265,6 +361,11 @@ int main() {
   const ScenarioResult rebuild = RunRebuild(w, streams);
   CheckEquivalent(w, "batched_concurrent", concurrent, batched);
   CheckEquivalent(w, "per_request_rebuild", rebuild, batched);
+  const SnapshotBench snapshot = RunSnapshotBench(QuickMode());
+  const double restore_speedup = snapshot.restore_seconds > 0.0
+                                     ? snapshot.replay_seconds /
+                                           snapshot.restore_seconds
+                                     : 0.0;
 
   const double speedup =
       batched.seconds > 0.0 ? rebuild.seconds / batched.seconds : 0.0;
@@ -288,7 +389,15 @@ int main() {
   PrintScenarioJson(f, "batched_concurrent", concurrent, true);
   PrintScenarioJson(f, "per_request_rebuild", rebuild, true);
   std::fprintf(f, "  \"speedup_batched_vs_rebuild\": %.3f,\n", speedup);
-  std::fprintf(f, "  \"concurrent_scaling\": %.3f\n", concurrent_speedup);
+  std::fprintf(f, "  \"concurrent_scaling\": %.3f,\n", concurrent_speedup);
+  std::fprintf(f,
+               "  \"snapshot\": {\"rankings\": %zu, \"n\": %d, "
+               "\"snapshot_bytes\": %ld, \"write_seconds\": %.6f, "
+               "\"restore_seconds\": %.6f, \"replay_seconds\": %.6f, "
+               "\"speedup_restore_vs_replay\": %.1f}\n",
+               snapshot.rankings, snapshot.n, snapshot.snapshot_bytes,
+               snapshot.write_seconds, snapshot.restore_seconds,
+               snapshot.replay_seconds, restore_speedup);
   std::fprintf(f, "}\n");
   std::fclose(f);
 
@@ -298,8 +407,12 @@ int main() {
               concurrent.seconds, concurrent.requests);
   std::printf("per-request rebuild:   %.4fs  %ld req\n", rebuild.seconds,
               rebuild.requests);
-  std::printf("batched vs rebuild: %.2fx   concurrent scaling: %.2fx"
-              "  ->  BENCH_serving.json\n",
+  std::printf("batched vs rebuild: %.2fx   concurrent scaling: %.2fx\n",
               speedup, concurrent_speedup);
+  std::printf("snapshot restore (%zu rankings, %ld bytes): %.4fs vs "
+              "replay %.4fs  ->  %.0fx  ->  BENCH_serving.json\n",
+              snapshot.rankings, snapshot.snapshot_bytes,
+              snapshot.restore_seconds, snapshot.replay_seconds,
+              restore_speedup);
   return 0;
 }

@@ -5,8 +5,18 @@
 //   manirank consensus --table T.csv --rankings R.csv --method A4
 //                      [--delta 0.1] [--time-limit 30] [--output out.csv]
 //                      [--append R2.csv ...]
+//   manirank consensus --restore S.snap --method A3 [...]
+//   manirank snapshot  --table T.csv --rankings R.csv --output S.snap
 //   manirank methods
 //   manirank serve     [--script S.txt]        (also: manirank --serve S.txt)
+//
+// `snapshot` folds a profile into the versioned binary snapshot format of
+// data/snapshot.h (Borda points + precedence matrix, checksummed);
+// `consensus --restore` serves consensus methods straight from such a file
+// without the profile — the CLI twin of the serving layer's SNAPSHOT /
+// RESTORE verbs. A restored profile is summarized: precedence/Borda-based
+// methods only (B2-B4 need the retained rankings), and `--method all`
+// sweeps the supported subset.
 //
 // CSV formats are the library's (data/csv.h): the table file starts with
 // "candidate,<attr>,..." and rankings are one permutation per row,
@@ -44,6 +54,7 @@ struct Args {
   std::string method = "A4";  // Fair-Copeland: fast and exact-polynomial
   std::string output_path;
   std::string script_path;
+  std::string restore_path;
   std::vector<std::string> append_paths;
   double delta = 0.1;
   double time_limit = 30.0;
@@ -56,6 +67,10 @@ int Usage() {
       "  manirank consensus --table T.csv --rankings R.csv [--method ID|all]\n"
       "                     [--delta D] [--time-limit S] [--output out.csv]\n"
       "                     [--append R2.csv ...]\n"
+      "  manirank consensus --restore S.snap [--method ID|all] [...]\n"
+      "                     (serve from a snapshot, no profile replay;\n"
+      "                      precedence/Borda methods only)\n"
+      "  manirank snapshot  --table T.csv --rankings R.csv --output S.snap\n"
       "  manirank methods\n"
       "  manirank serve     [--script S.txt]   (requests on stdin by default;\n"
       "                     grammar in serve/protocol.h; also --serve S.txt)\n";
@@ -86,7 +101,8 @@ std::optional<Args> Parse(int argc, char** argv) {
     const bool known = flag == "--table" || flag == "--rankings" ||
                        flag == "--method" || flag == "--delta" ||
                        flag == "--time-limit" || flag == "--output" ||
-                       flag == "--append" || flag == "--script";
+                       flag == "--append" || flag == "--script" ||
+                       flag == "--restore";
     if (!known) {
       std::cerr << "unknown flag: " << flag << "\n";
       return std::nullopt;
@@ -112,6 +128,8 @@ std::optional<Args> Parse(int argc, char** argv) {
       args.append_paths.push_back(value);
     } else if (flag == "--script") {
       args.script_path = value;
+    } else if (flag == "--restore") {
+      args.restore_path = value;
     } else {
       // Unreachable while the chain covers the `known` list; errors
       // loudly if the two ever drift apart.
@@ -125,6 +143,16 @@ std::optional<Args> Parse(int argc, char** argv) {
   }
   if (!args.script_path.empty() && args.command != "serve") {
     std::cerr << "--script is only valid with the serve command\n";
+    return std::nullopt;
+  }
+  if (!args.restore_path.empty() && args.command != "consensus") {
+    std::cerr << "--restore is only valid with the consensus command\n";
+    return std::nullopt;
+  }
+  if (!args.restore_path.empty() &&
+      (!args.table_path.empty() || !args.rankings_path.empty())) {
+    std::cerr << "--restore replaces --table/--rankings (the snapshot "
+                 "carries both)\n";
     return std::nullopt;
   }
   return args;
@@ -198,39 +226,54 @@ int RunAudit(const Args& args) {
   return 0;
 }
 
-/// Runs the chosen method (or the full registry sweep) against the
-/// context's current profile and prints the report. Returns the consensus
-/// rankings for --output (method order A1..B4 for "all").
+/// PD loss column: undefined on a summarized (snapshot-restored) context,
+/// whose base rankings were folded away.
+std::string PdLossCell(const ConsensusContext& ctx, const Ranking& consensus) {
+  if (!ctx.has_base_rankings()) return "n/a";
+  return TablePrinter::Fmt(PdLoss(ctx.base_rankings(), consensus), 4);
+}
+
+/// Runs the chosen method (or the registry sweep — every method the
+/// context supports — for "all") and prints the report. Returns the
+/// consensus rankings for --output (paper order for "all").
 std::vector<Ranking> RunBatch(const ConsensusContext& ctx,
                               const MethodSpec* method, bool run_all,
                               const ConsensusOptions& options) {
   if (run_all) {
-    // Batch sweep: every registry method against one shared context (the
-    // precedence matrix is built exactly once for the whole profile). Warm
-    // the shared caches first so the per-method secs column reports
-    // marginal costs instead of charging the build to the first method.
+    // Batch sweep: every servable registry method against one shared
+    // context (the precedence matrix is built exactly once for the whole
+    // profile). Warm the shared caches first so the per-method secs
+    // column reports marginal costs instead of charging the build to the
+    // first method.
     Stopwatch warm_timer;
-    ctx.Precedence();
-    ctx.BaseParityScores();
-    std::cout << "shared precedence+parity build: "
-              << TablePrinter::Fmt(warm_timer.Seconds(), 3) << "s\n";
-    std::vector<ConsensusOutput> outputs = ctx.RunAll(options);
+    if (ctx.has_base_rankings()) {
+      ctx.Precedence();
+      ctx.BaseParityScores();
+      std::cout << "shared precedence+parity build: "
+                << TablePrinter::Fmt(warm_timer.Seconds(), 3) << "s\n";
+    }
     TablePrinter out({"method", "PD loss", "max ARP/IRP", "fair", "secs"});
-    const auto& methods = AllMethods();
-    for (size_t i = 0; i < methods.size(); ++i) {
-      out.AddRow({"(" + methods[i].id + ") " + methods[i].name,
+    std::vector<Ranking> consensuses;
+    size_t skipped = 0;
+    for (const MethodSpec& m : AllMethods()) {
+      if (!ctx.SupportsMethod(m)) {
+        ++skipped;
+        continue;
+      }
+      ConsensusOutput output = ctx.RunMethod(m, options);
+      out.AddRow({"(" + m.id + ") " + m.name,
+                  PdLossCell(ctx, output.consensus),
                   TablePrinter::Fmt(
-                      PdLoss(ctx.base_rankings(), outputs[i].consensus), 4),
-                  TablePrinter::Fmt(
-                      ctx.EvaluateFairness(outputs[i].consensus).MaxParity(),
-                      3),
-                  outputs[i].satisfied ? "yes" : "NO",
-                  TablePrinter::Fmt(outputs[i].seconds, 2)});
+                      ctx.EvaluateFairness(output.consensus).MaxParity(), 3),
+                  output.satisfied ? "yes" : "NO",
+                  TablePrinter::Fmt(output.seconds, 2)});
+      consensuses.push_back(std::move(output.consensus));
     }
     out.Print(std::cout);
-    std::vector<Ranking> consensuses;
-    for (ConsensusOutput& o : outputs) {
-      consensuses.push_back(std::move(o.consensus));
+    if (skipped != 0) {
+      std::cout << skipped
+                << " method(s) skipped: they need the retained base "
+                   "rankings, which a restored snapshot does not carry\n";
     }
     return consensuses;
   }
@@ -240,9 +283,7 @@ std::vector<Ranking> RunBatch(const ConsensusContext& ctx,
   PrintFairness("consensus (" + method->name + ")", result.consensus,
                 ctx.table(), &out);
   out.Print(std::cout);
-  std::cout << "PD loss: "
-            << TablePrinter::Fmt(PdLoss(ctx.base_rankings(), result.consensus),
-                                 4)
+  std::cout << "PD loss: " << PdLossCell(ctx, result.consensus)
             << "  time: " << TablePrinter::Fmt(result.seconds, 2) << "s"
             << "  delta " << options.delta << " satisfied: "
             << (result.satisfied ? "yes" : "no")
@@ -251,21 +292,10 @@ std::vector<Ranking> RunBatch(const ConsensusContext& ctx,
   return {std::move(result.consensus)};
 }
 
-int RunConsensus(const Args& args) {
-  std::optional<Study> study = Load(args);
-  if (!study) return 1;
-  const bool run_all = args.method == "all";
-  const MethodSpec* method = run_all ? nullptr : FindMethod(args.method);
-  if (!run_all && method == nullptr) {
-    std::cerr << "unknown method '" << args.method
-              << "' (see `manirank methods`)\n";
-    return 2;
-  }
-  // One context owns the whole serving session: it is built over the
-  // initial rankings and then mutated in place for every --append batch,
-  // so the cached precedence/parity/Borda state absorbs each batch as
-  // O(n^2)-per-ranking deltas instead of being rebuilt.
-  ConsensusContext ctx(std::move(study->rankings), study->table);
+/// The consensus serving loop shared by the CSV and --restore paths: run,
+/// fold each --append batch into the live context, re-run, write --output.
+int ServeConsensus(const Args& args, ConsensusContext& ctx,
+                   const MethodSpec* method, bool run_all) {
   ConsensusOptions options;
   options.delta = args.delta;
   options.time_limit_seconds = args.time_limit;
@@ -318,8 +348,76 @@ int RunConsensus(const Args& args) {
                                 " consensus rankings written to "
                           : std::string("consensus written to "))
               << args.output_path
-              << (run_all ? " (rows in method order A1..B4)" : "") << "\n";
+              << (run_all ? " (rows in paper method order)" : "") << "\n";
   }
+  return 0;
+}
+
+int RunConsensus(const Args& args) {
+  const bool run_all = args.method == "all";
+  const MethodSpec* method = run_all ? nullptr : FindMethod(args.method);
+  if (!run_all && method == nullptr) {
+    std::cerr << "unknown method '" << args.method
+              << "' (see `manirank methods`)\n";
+    return 2;
+  }
+  if (!args.restore_path.empty()) {
+    // Cold start from a snapshot: the summarized state replaces the
+    // profile replay — the CLI twin of the serving layer's RESTORE verb.
+    std::optional<TableSnapshot> snapshot;
+    try {
+      snapshot.emplace(ReadTableSnapshotFile(args.restore_path));
+    } catch (const std::exception& e) {
+      std::cerr << "cannot restore snapshot: " << e.what() << "\n";
+      return 1;
+    }
+    ConsensusContext ctx(std::move(snapshot->summary), snapshot->table);
+    std::cout << "restored " << ctx.num_rankings()
+              << " folded rankings (generation " << ctx.generation()
+              << ") from " << args.restore_path << "\n";
+    if (!run_all && !ctx.SupportsMethod(*method)) {
+      std::cerr << "method " << method->id << " (" << method->name
+                << ") needs the retained base rankings, which a snapshot "
+                   "does not carry — pick a precedence/Borda method\n";
+      return 2;
+    }
+    return ServeConsensus(args, ctx, method, run_all);
+  }
+  std::optional<Study> study = Load(args);
+  if (!study) return 1;
+  // One context owns the whole serving session: it is built over the
+  // initial rankings and then mutated in place for every --append batch,
+  // so the cached precedence/parity/Borda state absorbs each batch as
+  // O(n^2)-per-ranking deltas instead of being rebuilt.
+  ConsensusContext ctx(std::move(study->rankings), study->table);
+  return ServeConsensus(args, ctx, method, run_all);
+}
+
+/// Folds a CSV profile into the versioned binary snapshot format of
+/// data/snapshot.h — the artifact `consensus --restore` and the serving
+/// layer's RESTORE verb recover from without replaying the profile.
+int RunSnapshot(const Args& args) {
+  if (args.output_path.empty()) {
+    std::cerr << "snapshot needs --output S.snap\n";
+    return 2;
+  }
+  std::optional<Study> study = Load(args);
+  if (!study) return 1;
+  const size_t num_rankings = study->rankings.size();
+  ConsensusContext ctx(std::move(study->rankings), study->table);
+  Stopwatch timer;
+  TableSnapshot snapshot{study->table, ctx.Snapshot(), /*applied_batches=*/0,
+                         /*applied_rankings=*/0};
+  try {
+    WriteTableSnapshotFile(args.output_path, snapshot);
+  } catch (const std::exception& e) {
+    std::cerr << "cannot write snapshot: " << e.what() << "\n";
+    return 1;
+  }
+  std::cout << "snapshot of " << num_rankings << " rankings ("
+            << ctx.num_candidates() << " candidates, precedence matrix "
+            << "included) written to " << args.output_path << " in "
+            << TablePrinter::Fmt(timer.Seconds(), 3) << "s\n";
   return 0;
 }
 
@@ -363,6 +461,7 @@ int main(int argc, char** argv) {
   if (!args) return Usage();
   if (args->command == "audit") return RunAudit(*args);
   if (args->command == "consensus") return RunConsensus(*args);
+  if (args->command == "snapshot") return RunSnapshot(*args);
   if (args->command == "methods") return RunMethods();
   if (args->command == "serve") return RunServe(*args);
   return Usage();

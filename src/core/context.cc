@@ -126,6 +126,7 @@ ConsensusContext::ConsensusContext(std::vector<Ranking> base_rankings,
     }
     mixed_pair_denoms_.push_back(std::move(denoms));
   }
+  size_counter_.store(base_.size(), std::memory_order_relaxed);
 }
 
 ConsensusContext::ConsensusContext(StreamingSummary summary,
@@ -135,19 +136,39 @@ ConsensusContext::ConsensusContext(StreamingSummary summary,
     throw std::invalid_argument(
         "streaming summary candidate count does not match table");
   }
+  // A summary usually comes from StreamingAccumulator::Finish or
+  // Snapshot(), but snapshot files arrive from disk — validate the
+  // internal consistency here rather than trusting every producer.
+  if (summary.num_rankings < 0) {
+    throw std::invalid_argument("streaming summary ranking count is negative");
+  }
+  if (summary.borda_points.size() !=
+      static_cast<size_t>(table.num_candidates())) {
+    throw std::invalid_argument(
+        "streaming summary Borda points do not match table");
+  }
+  if (summary.precedence != nullptr &&
+      summary.precedence->size() != table.num_candidates()) {
+    throw std::invalid_argument(
+        "streaming summary precedence matrix does not match table");
+  }
   summarized_ = true;
   stream_count_ = summary.num_rankings;
+  stats_.generation = summary.generation;
   borda_points_ =
       std::make_unique<std::vector<int64_t>>(std::move(summary.borda_points));
   precedence_ = std::move(summary.precedence);
+  // Not yet shared across threads: plain publication is enough.
+  generation_counter_.store(stats_.generation, std::memory_order_relaxed);
+  size_counter_.store(static_cast<uint64_t>(stream_count_),
+                      std::memory_order_relaxed);
 }
 
 size_t ConsensusContext::num_rankings() const {
   // Servable concurrently with mutations (the serving layer's STATS path
-  // deliberately skips the gate), so the profile size must be read under
-  // the cache mutex like generation().
-  std::lock_guard<std::mutex> lock(mu_);
-  return summarized_ ? static_cast<size_t>(stream_count_) : base_.size();
+  // deliberately skips the gate): a lock-free counter read, so it never
+  // queues behind a long batch fold holding mu_.
+  return static_cast<size_t>(size_counter_.load(std::memory_order_acquire));
 }
 
 void ConsensusContext::RequireBase(const char* what) const {
@@ -194,6 +215,37 @@ void ConsensusContext::ApplyAddLocked(const Ranking& ranking) {
   ++stats_.generation;
 }
 
+void ConsensusContext::PublishCountersLocked() {
+  // Classic seqlock write: odd sequence while the pair is inconsistent.
+  // mu_ is held by every caller, so writers never interleave.
+  const uint64_t seq = counter_seq_.load(std::memory_order_relaxed);
+  counter_seq_.store(seq + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  generation_counter_.store(stats_.generation, std::memory_order_relaxed);
+  size_counter_.store(
+      summarized_ ? static_cast<uint64_t>(stream_count_) : base_.size(),
+      std::memory_order_relaxed);
+  counter_seq_.store(seq + 2, std::memory_order_release);
+}
+
+void ConsensusContext::ProfileCounters(uint64_t* generation,
+                                       size_t* num_rankings) const {
+  for (;;) {
+    const uint64_t begin = counter_seq_.load(std::memory_order_acquire);
+    if ((begin & 1) != 0) continue;  // mutation mid-publish: retry
+    const uint64_t gen = generation_counter_.load(std::memory_order_relaxed);
+    const uint64_t size = size_counter_.load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (counter_seq_.load(std::memory_order_relaxed) == begin) {
+      if (generation != nullptr) *generation = gen;
+      if (num_rankings != nullptr) {
+        *num_rankings = static_cast<size_t>(size);
+      }
+      return;
+    }
+  }
+}
+
 void ConsensusContext::AddRanking(Ranking ranking) {
   MutationGuard write(this, "AddRanking", gate_, active_runs_);
   std::lock_guard<std::mutex> lock(mu_);
@@ -203,6 +255,7 @@ void ConsensusContext::AddRanking(Ranking ranking) {
   } else {
     base_.push_back(std::move(ranking));
   }
+  PublishCountersLocked();
 }
 
 void ConsensusContext::AddRankings(std::vector<Ranking> rankings) {
@@ -222,6 +275,9 @@ void ConsensusContext::AddRankings(std::vector<Ranking> rankings) {
     } else {
       base_.push_back(std::move(ranking));
     }
+    // Per-ranking publication: STATS watching a large batch fold sees
+    // live progress instead of a frozen pre-batch snapshot.
+    PublishCountersLocked();
   }
 }
 
@@ -256,11 +312,11 @@ void ConsensusContext::RemoveRanking(size_t index) {
   weighted_.clear();
   ++stats_.generation;
   base_.erase(base_.begin() + static_cast<ptrdiff_t>(index));
+  PublishCountersLocked();
 }
 
 uint64_t ConsensusContext::generation() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_.generation;
+  return generation_counter_.load(std::memory_order_acquire);
 }
 
 const PrecedenceMatrix& ConsensusContext::Precedence() const {
@@ -412,9 +468,63 @@ std::vector<ConsensusOutput> ConsensusContext::RunAll(
   return outputs;
 }
 
+std::vector<ConsensusOutput> ConsensusContext::RunMethods(
+    const std::vector<const MethodSpec*>& methods,
+    const ConsensusOptions& options) const {
+  RunGuard guard(this, gate_, active_runs_);
+  if (num_rankings() == 0) {
+    throw std::invalid_argument(
+        "cannot run a consensus method over an empty profile");
+  }
+  std::vector<ConsensusOutput> outputs;
+  outputs.reserve(methods.size());
+  for (const MethodSpec* method : methods) {
+    outputs.push_back(method->run(*this, options));
+  }
+  return outputs;
+}
+
 ContextStats ConsensusContext::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;
+}
+
+StreamingSummary ConsensusContext::Snapshot() const {
+  // Taken like a method run: the shared gate (when attached) excludes
+  // concurrent gated mutations for the whole copy, so the emitted summary
+  // is a single consistent profile state.
+  RunGuard guard(this, gate_, active_runs_);
+  if (num_rankings() == 0) {
+    throw std::invalid_argument("cannot snapshot an empty profile");
+  }
+  // Warm the carried caches first (both lock mu_ internally; no-ops when
+  // already built). A retained profile can always build its precedence
+  // matrix; a Borda-only summarized context legitimately has none and the
+  // snapshot stays Borda-only.
+  BordaPoints();
+  if (!summarized_) Precedence();
+  StreamingSummary summary;
+  summary.num_candidates = num_candidates();
+  std::lock_guard<std::mutex> lock(mu_);
+  summary.num_rankings =
+      summarized_ ? stream_count_ : static_cast<int64_t>(base_.size());
+  summary.generation = stats_.generation;
+  summary.borda_points = *borda_points_;
+  if (precedence_ != nullptr) {
+    summary.precedence = std::make_unique<PrecedenceMatrix>(*precedence_);
+  }
+  return summary;
+}
+
+bool ConsensusContext::SupportsMethod(const MethodSpec& method) const {
+  if (method.requires_base && summarized_) return false;
+  if (method.requires_precedence && summarized_) {
+    // For summarized contexts the matrix exists iff the stream tracked it
+    // (set at construction, never dropped afterwards).
+    std::lock_guard<std::mutex> lock(mu_);
+    return precedence_ != nullptr;
+  }
+  return true;
 }
 
 }  // namespace manirank

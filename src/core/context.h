@@ -156,7 +156,33 @@ class ConsensusContext {
   void RemoveRanking(size_t index);
 
   /// Generation counter snapshot (bumped once per ranking added/removed).
+  /// Lock-free: serving stats paths read it without queueing behind a
+  /// long batch fold holding the cache mutex.
   uint64_t generation() const;
+
+  /// Coherent lock-free snapshot of {generation, num_rankings}: both
+  /// values come from the same instant (seqlock retry), so a serving
+  /// STATS response can never pair a pre-mutation profile size with a
+  /// post-mutation generation — and never blocks behind an in-flight
+  /// exclusive batch fold.
+  void ProfileCounters(uint64_t* generation, size_t* num_rankings) const;
+
+  /// Emits the profile's summarized state — Borda point totals, the
+  /// Definition-11 precedence matrix (built now if not yet cached;
+  /// omitted only when this context was streamed Borda-only), the folded
+  /// count, and the generation counter — under the shared gate, so a
+  /// concurrent gated mutation can never tear the snapshot. The summary
+  /// round-trips through the summarized constructor: a context restored
+  /// from it serves every precedence/Borda-based method bit-identically.
+  /// Throws std::invalid_argument on an empty profile (nothing to
+  /// snapshot; mirrors RunMethod).
+  StreamingSummary Snapshot() const;
+
+  /// True when this context can serve `method`: methods flagged
+  /// requires_base need the retained profile (summarized contexts fold it
+  /// away), and precedence-keyed methods need a matrix the stream must
+  /// have tracked.
+  bool SupportsMethod(const MethodSpec& method) const;
 
   /// Attaches a reader/writer gate: from now on RunMethod/RunAll hold it
   /// shared and mutations hold it exclusive (see the class comment). The
@@ -232,6 +258,14 @@ class ConsensusContext {
   std::vector<ConsensusOutput> RunAll(
       const ConsensusOptions& options = {}) const;
 
+  /// Runs the given methods as ONE reader registration — a single shared
+  /// gate hold for the whole sweep, like RunAll, so no mutation wave can
+  /// land between two of its methods. Serving layers use it to sweep the
+  /// supported subset of a summarized context atomically.
+  std::vector<ConsensusOutput> RunMethods(
+      const std::vector<const MethodSpec*>& methods,
+      const ConsensusOptions& options = {}) const;
+
   /// Snapshot of the cache counters (thread-safe).
   ContextStats stats() const;
 
@@ -248,6 +282,10 @@ class ConsensusContext {
   /// Folds one ranking into every built cache; caller holds mu_.
   void ApplyAddLocked(const Ranking& ranking);
 
+  /// Republishes {generation, profile size} into the seqlock-protected
+  /// atomics after a mutation; caller holds mu_ (the sole writer side).
+  void PublishCountersLocked();
+
   struct WeightedEntry {
     std::vector<double> weights;
     std::unique_ptr<PrecedenceMatrix> matrix;
@@ -261,6 +299,14 @@ class ConsensusContext {
   int64_t stream_count_ = 0;
 
   mutable std::mutex mu_;
+  /// Seqlock over the two serving counters below: odd while a mutation
+  /// (which already holds mu_, so writers never race each other) is
+  /// updating them, bumped to even when the pair is consistent again.
+  /// Readers (generation / num_rankings / ProfileCounters) retry instead
+  /// of locking, so STATS stays responsive during large batch folds.
+  mutable std::atomic<uint64_t> counter_seq_{0};
+  std::atomic<uint64_t> generation_counter_{0};
+  std::atomic<uint64_t> size_counter_{0};
   /// RunMethod/RunAll readers currently in flight (mutation debug check).
   mutable std::atomic<int> active_runs_{0};
   /// Optional reader/writer gate (see AttachGate); not owned.

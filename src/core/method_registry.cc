@@ -134,16 +134,21 @@ ConsensusOutput RunCorrectFairestPerm(const ConsensusContext& ctx,
 }  // namespace
 
 const std::vector<MethodSpec>& AllMethods() {
+  // Fields: id, name, uses_ilp, fairness_aware, requires_base,
+  // requires_precedence, run. B2-B4 need the retained profile (fairness
+  // weights / fairest-perm scans); A3 is the one method servable from
+  // Borda points alone.
   static const std::vector<MethodSpec>* methods = new std::vector<MethodSpec>{
-      {"A1", "Fair-Kemeny", /*uses_ilp=*/true, /*fairness_aware=*/true,
-       RunFairKemeny},
-      {"A2", "Fair-Schulze", false, true, RunFairSchulze},
-      {"A3", "Fair-Borda", false, true, RunFairBorda},
-      {"A4", "Fair-Copeland", false, true, RunFairCopeland},
-      {"B1", "Kemeny", true, false, RunKemeny},
-      {"B2", "Kemeny-Weighted", true, false, RunKemenyWeighted},
-      {"B3", "Pick-Fairest-Perm", false, false, RunPickFairestPerm},
-      {"B4", "Correct-Fairest-Perm", false, true, RunCorrectFairestPerm},
+      {"A1", "Fair-Kemeny", true, true, false, true, RunFairKemeny},
+      {"A2", "Fair-Schulze", false, true, false, true, RunFairSchulze},
+      {"A3", "Fair-Borda", false, true, false, false, RunFairBorda},
+      {"A4", "Fair-Copeland", false, true, false, true, RunFairCopeland},
+      {"B1", "Kemeny", true, false, false, true, RunKemeny},
+      {"B2", "Kemeny-Weighted", true, false, true, false, RunKemenyWeighted},
+      {"B3", "Pick-Fairest-Perm", false, false, true, false,
+       RunPickFairestPerm},
+      {"B4", "Correct-Fairest-Perm", false, true, true, false,
+       RunCorrectFairestPerm},
   };
   return *methods;
 }

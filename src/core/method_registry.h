@@ -25,6 +25,15 @@ struct MethodSpec {
   bool uses_ilp = false;
   /// True for methods that aim at the MANI-Rank criteria.
   bool fairness_aware = false;
+  /// True for methods that need the retained base rankings themselves
+  /// (B2's fairness weights, B3/B4's fairest-perm scan): summarized
+  /// contexts — including tables restored from a snapshot — cannot serve
+  /// them.
+  bool requires_base = false;
+  /// True for methods keyed off the Definition-11 precedence matrix.
+  /// Fair-Borda (A3) runs off the Borda point totals alone, so it stays
+  /// servable on a summary streamed with Track::kBordaOnly.
+  bool requires_precedence = true;
   std::function<ConsensusOutput(const ConsensusContext&,
                                 const ConsensusOptions&)>
       run;

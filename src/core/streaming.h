@@ -20,6 +20,11 @@ namespace manirank {
 struct StreamingSummary {
   int num_candidates = 0;
   int64_t num_rankings = 0;
+  /// Profile generation the summary was taken at. Zero for a fresh
+  /// accumulator; ConsensusContext::Snapshot() stamps the context's
+  /// counter here so a restored context resumes the same monotonic
+  /// sequence and serving clients can correlate across a restart.
+  uint64_t generation = 0;
   /// borda_points[c] = sum over folded rankings of (n - 1 - position(c)).
   std::vector<int64_t> borda_points;
   /// Null unless the accumulator tracked precedence

@@ -1,0 +1,405 @@
+#include "data/snapshot.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <iterator>
+#include <memory>
+#include <ostream>
+#include <utility>
+#include <vector>
+
+#include "core/precedence.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace manirank {
+namespace {
+
+// Caps on declared section sizes. The checksum already binds every field
+// to the bytes actually present, but bounding the declarations keeps a
+// crafted (checksum-consistent) file from requesting absurd allocations
+// before the per-field remaining-bytes checks run.
+constexpr uint32_t kMaxCandidates = 1u << 20;
+constexpr uint32_t kMaxAttributes = 256;
+constexpr uint32_t kMaxStringBytes = 1u << 16;
+/// Hard cap on a whole snapshot stream (1 GiB — a CREATE-capped n=5000
+/// table's precedence matrix is ~200 MB, so this is generous). Enforced
+/// while reading, before the buffer grows, so a stray multi-gigabyte file
+/// in a --restore-dir cannot balloon server memory at cold start.
+constexpr size_t kMaxSnapshotBytes = size_t{1} << 30;
+
+uint64_t Fnv1a64(const char* data, size_t size) {
+  uint64_t h = 1469598103934665603ull;
+  for (size_t i = 0; i < size; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+// --- little-endian encoders over a growing payload buffer ------------------
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xffu));
+  }
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xffu));
+  }
+}
+
+void PutI64(std::string* out, int64_t v) {
+  PutU64(out, static_cast<uint64_t>(v));
+}
+
+void PutDouble(std::string* out, double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v), "double must be 64-bit");
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+void PutString(std::string* out, const std::string& s) {
+  if (s.size() > kMaxStringBytes) {
+    throw std::invalid_argument("snapshot string field exceeds 64 KiB: " + s);
+  }
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+/// Bounds-checked little-endian cursor over the verified payload. Every
+/// read throws SnapshotFormatError on overrun, so a structurally
+/// inconsistent (yet checksum-consistent) file fails loudly instead of
+/// reading past its end.
+class Cursor {
+ public:
+  Cursor(const char* data, size_t size) : data_(data), size_(size) {}
+
+  size_t remaining() const { return size_ - pos_; }
+
+  void Require(size_t bytes, const char* what) const {
+    if (bytes > remaining()) {
+      throw SnapshotFormatError(std::string("snapshot truncated: ") + what);
+    }
+  }
+
+  uint8_t U8(const char* what) {
+    Require(1, what);
+    const uint8_t v = static_cast<unsigned char>(data_[pos_]);
+    pos_ += 1;
+    return v;
+  }
+
+  uint32_t U32(const char* what) {
+    Require(4, what);
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(static_cast<unsigned char>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  uint64_t U64(const char* what) {
+    Require(8, what);
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(static_cast<unsigned char>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+
+  int64_t I64(const char* what) { return static_cast<int64_t>(U64(what)); }
+
+  double Double(const char* what) {
+    const uint64_t bits = U64(what);
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  std::string String(const char* what) {
+    const uint32_t size = U32(what);
+    if (size > kMaxStringBytes) {
+      throw SnapshotFormatError(std::string("snapshot string too long: ") +
+                                what);
+    }
+    Require(size, what);
+    std::string s(data_ + pos_, size);
+    pos_ += size;
+    return s;
+  }
+
+ private:
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+void AppendTableSection(std::string* payload, const CandidateTable& table) {
+  PutU32(payload, static_cast<uint32_t>(table.num_candidates()));
+  PutU32(payload, static_cast<uint32_t>(table.num_attributes()));
+  for (int a = 0; a < table.num_attributes(); ++a) {
+    const Attribute& attr = table.attribute(a);
+    PutString(payload, attr.name);
+    PutU32(payload, static_cast<uint32_t>(attr.values.size()));
+    for (const std::string& value : attr.values) PutString(payload, value);
+  }
+  for (CandidateId c = 0; c < table.num_candidates(); ++c) {
+    for (int a = 0; a < table.num_attributes(); ++a) {
+      PutU32(payload, static_cast<uint32_t>(table.value(c, a)));
+    }
+  }
+}
+
+CandidateTable ReadTableSection(Cursor* in) {
+  const uint32_t n = in->U32("candidate count");
+  const uint32_t q = in->U32("attribute count");
+  if (n == 0 || n > kMaxCandidates) {
+    throw SnapshotFormatError("snapshot candidate count out of range: " +
+                              std::to_string(n));
+  }
+  if (q > kMaxAttributes) {
+    throw SnapshotFormatError("snapshot attribute count out of range: " +
+                              std::to_string(q));
+  }
+  std::vector<Attribute> attributes(q);
+  for (uint32_t a = 0; a < q; ++a) {
+    attributes[a].name = in->String("attribute name");
+    const uint32_t domain = in->U32("attribute domain size");
+    if (domain == 0 || domain > kMaxCandidates) {
+      throw SnapshotFormatError("snapshot attribute domain out of range: " +
+                                std::to_string(domain));
+    }
+    // 4 bytes of length prefix per value name bounds the loop by the
+    // remaining payload before any one allocation happens.
+    in->Require(static_cast<size_t>(domain) * 4, "attribute values");
+    attributes[a].values.resize(domain);
+    for (uint32_t v = 0; v < domain; ++v) {
+      attributes[a].values[v] = in->String("attribute value");
+    }
+  }
+  in->Require(static_cast<size_t>(n) * q * 4, "candidate values");
+  std::vector<std::vector<AttributeValue>> values(
+      n, std::vector<AttributeValue>(q));
+  for (uint32_t c = 0; c < n; ++c) {
+    for (uint32_t a = 0; a < q; ++a) {
+      const uint32_t raw = in->U32("candidate value");
+      if (raw >= attributes[a].values.size()) {
+        throw SnapshotFormatError("snapshot candidate value out of domain");
+      }
+      values[c][a] = static_cast<AttributeValue>(raw);
+    }
+  }
+  try {
+    return CandidateTable(std::move(attributes), std::move(values));
+  } catch (const std::exception& e) {
+    // The table constructor re-validates; a rejection here still means the
+    // file content is unusable.
+    throw SnapshotFormatError(std::string("snapshot table rejected: ") +
+                              e.what());
+  }
+}
+
+}  // namespace
+
+void WriteTableSnapshot(std::ostream& os, const TableSnapshot& snapshot) {
+  const int n = snapshot.table.num_candidates();
+  if (snapshot.summary.num_candidates != n) {
+    throw std::invalid_argument(
+        "snapshot summary candidate count does not match its table");
+  }
+  std::string buffer(kSnapshotMagic, sizeof(kSnapshotMagic));
+  PutU32(&buffer, kSnapshotVersion);
+  AppendTableSection(&buffer, snapshot.table);
+  PutI64(&buffer, snapshot.summary.num_rankings);
+  PutU64(&buffer, snapshot.summary.generation);
+  PutU64(&buffer, snapshot.applied_batches);
+  PutU64(&buffer, snapshot.applied_rankings);
+  if (snapshot.summary.borda_points.size() != static_cast<size_t>(n)) {
+    throw std::invalid_argument(
+        "snapshot summary Borda points do not match its table");
+  }
+  for (int64_t points : snapshot.summary.borda_points) {
+    PutI64(&buffer, points);
+  }
+  const PrecedenceMatrix* precedence = snapshot.summary.precedence.get();
+  buffer.push_back(precedence != nullptr ? 1 : 0);
+  if (precedence != nullptr) {
+    if (precedence->size() != n) {
+      throw std::invalid_argument(
+          "snapshot summary precedence matrix does not match its table");
+    }
+    for (CandidateId a = 0; a < n; ++a) {
+      for (CandidateId b = 0; b < n; ++b) {
+        PutDouble(&buffer, precedence->W(a, b));
+      }
+    }
+  }
+  const uint64_t checksum = Fnv1a64(buffer.data(), buffer.size());
+  PutU64(&buffer, checksum);
+  os.write(buffer.data(), static_cast<std::streamsize>(buffer.size()));
+  if (!os) {
+    throw std::runtime_error("snapshot write failed (stream error)");
+  }
+}
+
+TableSnapshot ReadTableSnapshot(std::istream& is) {
+  // Chunked slurp with the size cap checked as the buffer grows — never
+  // an unbounded allocation driven by the file's actual length.
+  std::string buffer;
+  char chunk[1 << 16];
+  for (;;) {
+    is.read(chunk, sizeof(chunk));
+    const std::streamsize got = is.gcount();
+    if (got <= 0) break;
+    if (buffer.size() + static_cast<size_t>(got) > kMaxSnapshotBytes) {
+      throw SnapshotFormatError("snapshot exceeds the 1 GiB size cap");
+    }
+    buffer.append(chunk, static_cast<size_t>(got));
+    if (!is) break;
+  }
+  constexpr size_t kHeaderBytes = sizeof(kSnapshotMagic) + 4;
+  if (buffer.size() < kHeaderBytes + 8) {
+    throw SnapshotFormatError("snapshot truncated: shorter than header");
+  }
+  if (std::memcmp(buffer.data(), kSnapshotMagic, sizeof(kSnapshotMagic)) !=
+      0) {
+    throw SnapshotFormatError("snapshot has bad magic (not a MANI-Rank "
+                              "snapshot file)");
+  }
+  // Verify the trailing checksum before trusting a single parsed field:
+  // truncation and bit corruption both fail here, loudly.
+  const size_t body = buffer.size() - 8;
+  Cursor trailer(buffer.data() + body, 8);
+  const uint64_t stored = trailer.U64("checksum");
+  const uint64_t computed = Fnv1a64(buffer.data(), body);
+  if (stored != computed) {
+    throw SnapshotFormatError("snapshot checksum mismatch (corrupt or "
+                              "truncated file)");
+  }
+  Cursor in(buffer.data() + sizeof(kSnapshotMagic),
+            body - sizeof(kSnapshotMagic));
+  const uint32_t version = in.U32("version");
+  if (version != kSnapshotVersion) {
+    throw SnapshotFormatError("snapshot version " + std::to_string(version) +
+                              " is not supported (expected " +
+                              std::to_string(kSnapshotVersion) + ")");
+  }
+  CandidateTable table = ReadTableSection(&in);
+  const int n = table.num_candidates();
+  StreamingSummary summary;
+  summary.num_candidates = n;
+  summary.num_rankings = in.I64("ranking count");
+  if (summary.num_rankings < 0) {
+    throw SnapshotFormatError("snapshot ranking count is negative");
+  }
+  summary.generation = in.U64("generation");
+  const uint64_t applied_batches = in.U64("applied batch counter");
+  const uint64_t applied_rankings = in.U64("applied ranking counter");
+  in.Require(static_cast<size_t>(n) * 8, "Borda points");
+  summary.borda_points.resize(static_cast<size_t>(n));
+  for (int c = 0; c < n; ++c) {
+    summary.borda_points[c] = in.I64("Borda points");
+  }
+  const uint8_t has_precedence = in.U8("precedence flag");
+  if (has_precedence > 1) {
+    throw SnapshotFormatError("snapshot precedence flag is not 0/1");
+  }
+  if (has_precedence == 1) {
+    const size_t cells = static_cast<size_t>(n) * static_cast<size_t>(n);
+    in.Require(cells * 8, "precedence matrix");
+    std::vector<std::vector<double>> dense(
+        static_cast<size_t>(n), std::vector<double>(static_cast<size_t>(n)));
+    for (int a = 0; a < n; ++a) {
+      for (int b = 0; b < n; ++b) {
+        dense[a][b] = in.Double("precedence matrix");
+      }
+    }
+    summary.precedence =
+        std::make_unique<PrecedenceMatrix>(std::move(dense));
+  }
+  if (in.remaining() != 0) {
+    throw SnapshotFormatError("snapshot has " +
+                              std::to_string(in.remaining()) +
+                              " trailing bytes after the payload");
+  }
+  TableSnapshot snapshot{std::move(table), std::move(summary),
+                         applied_batches, applied_rankings};
+  return snapshot;
+}
+
+/// Unique-per-writer temp path next to `path`: pid + process-wide counter
+/// suffix, so concurrent snapshots of one destination never truncate or
+/// unlink each other's in-progress file (the final renames are atomic and
+/// each installs a complete snapshot; last one wins).
+std::string NextSnapshotTempPath(const std::string& path) {
+  static std::atomic<uint64_t> counter{0};
+#if defined(__unix__) || defined(__APPLE__)
+  const uint64_t pid = static_cast<uint64_t>(::getpid());
+#else
+  const uint64_t pid = 0;
+#endif
+  return path + ".tmp." + std::to_string(pid) + "." +
+         std::to_string(counter.fetch_add(1) + 1);
+}
+
+bool ProbeSnapshotWritable(const std::string& path) {
+  const std::string tmp = NextSnapshotTempPath(path);
+  std::ofstream probe(tmp, std::ios::binary | std::ios::trunc);
+  if (!probe) return false;
+  probe.close();
+  std::remove(tmp.c_str());
+  return true;
+}
+
+void WriteTableSnapshotFile(const std::string& path,
+                            const TableSnapshot& snapshot) {
+  // Write-then-rename: a failure mid-write (disk full, crash) must never
+  // leave a truncated file at `path` — a --restore-dir cold start refuses
+  // to boot over a corrupt snapshot, so a partial write would turn one
+  // failed SNAPSHOT into a bricked restart.
+  const std::string tmp = NextSnapshotTempPath(path);
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os) {
+      throw std::runtime_error("cannot open snapshot for writing: " + tmp);
+    }
+    try {
+      WriteTableSnapshot(os, snapshot);
+      os.close();
+      if (!os) {
+        throw std::runtime_error("snapshot write failed (close error): " +
+                                 tmp);
+      }
+    } catch (...) {
+      std::remove(tmp.c_str());
+      throw;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("cannot move snapshot into place: " + path);
+  }
+}
+
+TableSnapshot ReadTableSnapshotFile(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    throw std::runtime_error("cannot open snapshot: " + path);
+  }
+  return ReadTableSnapshot(is);
+}
+
+}  // namespace manirank

@@ -1,0 +1,83 @@
+#ifndef MANIRANK_DATA_SNAPSHOT_H_
+#define MANIRANK_DATA_SNAPSHOT_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "core/candidate_table.h"
+#include "core/streaming.h"
+
+namespace manirank {
+
+/// Everything a serving process needs to recover one table shard without
+/// replaying its profile: the candidate table (attributes + values), the
+/// profile's summarized state (Borda points, precedence matrix when
+/// tracked, folded count, generation), and the shard's applied-mutation
+/// counters. Restoring yields a *summarized* context: it serves every
+/// precedence/Borda-based method bit-identically to the original, but
+/// methods needing the retained base rankings (B2-B4) stay unavailable.
+struct TableSnapshot {
+  CandidateTable table;
+  StreamingSummary summary;
+  /// Coalesced batches / rankings the serving shard had applied when the
+  /// snapshot was taken (ContextManager bookkeeping, restored verbatim).
+  uint64_t applied_batches = 0;
+  uint64_t applied_rankings = 0;
+};
+
+/// Thrown when a snapshot stream fails validation: bad magic, unsupported
+/// version, checksum mismatch, truncation, or inconsistent section sizes.
+/// Callers must treat the payload as unusable — a corrupt snapshot never
+/// loads silently.
+class SnapshotFormatError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Versioned binary snapshot format (see WriteTableSnapshot):
+///
+///   magic   "MRNKSNAP"                      (8 bytes)
+///   version u32 little-endian               (currently 1)
+///   payload table / summary / counter sections
+///   crc     FNV-1a 64 over magic+version+payload (8 bytes, trailing)
+///
+/// All integers are little-endian; precedence cells are raw IEEE-754
+/// doubles (integral counts, so the round trip is bit-exact). The
+/// trailing checksum makes truncation and corruption both detectable:
+/// readers verify it before parsing a single field.
+inline constexpr char kSnapshotMagic[8] = {'M', 'R', 'N', 'K',
+                                           'S', 'N', 'A', 'P'};
+inline constexpr uint32_t kSnapshotVersion = 1;
+
+/// Serializes `snapshot` to `os`. Throws std::runtime_error when the
+/// stream rejects writes.
+void WriteTableSnapshot(std::ostream& os, const TableSnapshot& snapshot);
+
+/// Parses a snapshot written by WriteTableSnapshot. Throws
+/// SnapshotFormatError on any validation failure (bad magic / version /
+/// checksum, truncated stream, out-of-range section sizes).
+TableSnapshot ReadTableSnapshot(std::istream& is);
+
+/// File-path convenience wrappers. Open failures throw std::runtime_error
+/// ("cannot open snapshot ..."), format failures SnapshotFormatError.
+/// Writes are atomic: the payload lands in a uniquely named temporary
+/// next to `path` (concurrent writers to one destination never share it)
+/// and is renamed into place only when complete, so `path` never holds a
+/// truncated snapshot — a --restore-dir cold start must not find one.
+void WriteTableSnapshotFile(const std::string& path,
+                            const TableSnapshot& snapshot);
+TableSnapshot ReadTableSnapshotFile(const std::string& path);
+
+/// Probes whether WriteTableSnapshotFile could create its temporary file
+/// next to `path` (creates and removes an empty probe file; serializes
+/// nothing). Serving layers call this before draining state for a
+/// snapshot, so an unwritable target rejects with zero side effects —
+/// kept here beside the writer so the probe can never drift from the
+/// writer's actual temp-path convention.
+bool ProbeSnapshotWritable(const std::string& path);
+
+}  // namespace manirank
+
+#endif  // MANIRANK_DATA_SNAPSHOT_H_

@@ -20,6 +20,7 @@
 ///  - core/gate.h                              reader/writer context gate
 ///  - serve/context_manager.h, serve/protocol.h     multi-table serving layer
 ///  - mallows/mallows.h, mallows/modal_designer.h   synthetic ranking model
+///  - data/snapshot.h                          table-shard snapshot format
 ///  - data/*.h                                 datasets and CSV I/O
 ///  - lp/*.h                                   the bundled LP/ILP engine
 
@@ -43,6 +44,7 @@
 #include "data/csrankings_generator.h"
 #include "data/csv.h"
 #include "data/exam_generator.h"
+#include "data/snapshot.h"
 #include "data/synthetic.h"
 #include "mallows/mallows.h"
 #include "mallows/modal_designer.h"

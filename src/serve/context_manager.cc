@@ -1,10 +1,25 @@
 #include "serve/context_manager.h"
 
 #include <algorithm>
+#include <optional>
 #include <stdexcept>
 #include <utility>
 
 namespace manirank::serve {
+namespace {
+
+/// The registry methods `ctx` can serve, in paper order — the single
+/// definition of the supported-subset predicate (SupportedMethods and
+/// RunSupported must never disagree).
+std::vector<const MethodSpec*> SupportedFor(const ConsensusContext& ctx) {
+  std::vector<const MethodSpec*> supported;
+  for (const MethodSpec& method : AllMethods()) {
+    if (ctx.SupportsMethod(method)) supported.push_back(&method);
+  }
+  return supported;
+}
+
+}  // namespace
 
 void ContextManager::Create(const std::string& name, CandidateTable table,
                             std::vector<Ranking> initial) {
@@ -33,6 +48,11 @@ void ContextManager::Create(const std::string& name, CandidateTable table,
   shard->ctx =
       std::make_unique<ConsensusContext>(std::move(initial), *shard->table);
   shard->ctx->AttachGate(&shard->gate);
+  Register(name, std::move(shard));
+}
+
+void ContextManager::Register(const std::string& name,
+                              std::shared_ptr<Shard> shard) {
   std::lock_guard<std::mutex> lock(mu_);
   if (!shards_.emplace(name, std::move(shard)).second) {
     throw std::invalid_argument("table already exists: " + name);
@@ -114,6 +134,15 @@ TableStats ContextManager::Append(const std::string& name,
 
 TableStats ContextManager::Remove(const std::string& name, size_t index) {
   std::shared_ptr<Shard> shard = Find(name);
+  // Index-addressed removal needs the retained profile. Rejecting a
+  // summarized (snapshot-restored) table here — instead of letting the op
+  // enqueue and throw at the next drain — keeps the mutation queue free
+  // of ops that can never apply.
+  if (!shard->ctx->has_base_rankings()) {
+    throw std::logic_error(
+        "REMOVE needs the retained profile, but table '" + name +
+        "' was restored from a summarized snapshot");
+  }
   {
     std::lock_guard<std::mutex> lock(shard->queue_mu);
     if (index >= shard->virtual_size) {
@@ -130,7 +159,8 @@ TableStats ContextManager::Remove(const std::string& name, size_t index) {
   return StatsFor(*shard);
 }
 
-bool ContextManager::Drain(Shard& shard, bool try_only, size_t* applied) {
+bool ContextManager::Drain(Shard& shard, bool try_only, size_t* applied,
+                           const std::function<void()>& under_gate) {
   if (applied != nullptr) *applied = 0;
   // A method body re-entering the serving API for its own table would
   // otherwise self-deadlock on the gate (the thread already holds it
@@ -146,10 +176,11 @@ bool ContextManager::Drain(Shard& shard, bool try_only, size_t* applied) {
     apply_lock.lock();
   }
   // Fast path: nothing queued — skip the exclusive gate entirely so query
-  // waves with no pending mutations never block each other.
+  // waves with no pending mutations never block each other. A caller that
+  // needs the gate held (under_gate) claims it even for an empty queue.
   {
     std::lock_guard<std::mutex> qlock(shard.queue_mu);
-    if (shard.queue.empty()) return true;
+    if (shard.queue.empty() && under_gate == nullptr) return true;
   }
   // Claim the gate for the whole backlog, then steal it. Stealing after
   // the claim keeps try_only side-effect free on failure, and ops
@@ -178,38 +209,58 @@ bool ContextManager::Drain(Shard& shard, bool try_only, size_t* applied) {
         shard.ctx->AddRankings(std::move(op.rankings));
       }
     }
+    {
+      // The applied_* counters are read by Stats under queue_mu. Updated
+      // while the gate is still held, so an under_gate observer sees the
+      // batch it just landed on.
+      std::lock_guard<std::mutex> qlock(shard.queue_mu);
+      shard.applied_batches += batches;
+      shard.applied_rankings += total;
+    }
+    if (under_gate != nullptr) under_gate();
   } catch (...) {
     shard.gate.UnlockExclusive();
     // Ops applied before the throw stay applied; the rest of the stolen
     // backlog is dropped. Resync the virtual-size bookkeeping to the
     // surviving state (applied profile + ops still queued) so later
     // enqueue validation stays truthful instead of drifting forever.
-    {
-      std::lock_guard<std::mutex> qlock(shard.queue_mu);
-      size_t vsize = shard.ctx->num_rankings();
-      size_t pending = 0;
-      for (const PendingOp& op : shard.queue) {
-        if (op.is_remove) {
-          if (vsize > 0) --vsize;
-        } else {
-          vsize += op.rankings.size();
-          pending += op.rankings.size();
-        }
-      }
-      shard.virtual_size = vsize;
-      shard.queued_append_rankings = pending;
-    }
+    ResyncQueueAfterFailedApply(shard);
     throw;
   }
   shard.gate.UnlockExclusive();
-  {
-    // The applied_* counters are read by Stats under queue_mu.
-    std::lock_guard<std::mutex> qlock(shard.queue_mu);
-    shard.applied_batches += batches;
-    shard.applied_rankings += total;
-  }
   if (applied != nullptr) *applied = total;
   return true;
+}
+
+void ContextManager::ResyncQueueAfterFailedApply(Shard& shard) {
+  std::lock_guard<std::mutex> qlock(shard.queue_mu);
+  // Replay the surviving queue against the applied profile size — exactly
+  // the order the next drain will use. A queued REMOVE was validated
+  // against a virtual profile that included backlog ops now dropped, so
+  // its index may no longer exist by the time it applies: clamping vsize
+  // alone would leave it to throw std::out_of_range on every later drain
+  // and wedge the queue behind it. Drop such removes here, accounted in
+  // dropped_removes (surfaced through STATS).
+  size_t vsize = shard.ctx->num_rankings();
+  size_t pending = 0;
+  std::vector<PendingOp> survivors;
+  survivors.reserve(shard.queue.size());
+  for (PendingOp& op : shard.queue) {
+    if (op.is_remove) {
+      if (op.remove_index >= vsize) {
+        ++shard.dropped_removes;
+        continue;
+      }
+      --vsize;
+    } else {
+      vsize += op.rankings.size();
+      pending += op.rankings.size();
+    }
+    survivors.push_back(std::move(op));
+  }
+  shard.queue = std::move(survivors);
+  shard.virtual_size = vsize;
+  shard.queued_append_rankings = pending;
 }
 
 size_t ContextManager::Flush(const std::string& name) {
@@ -256,32 +307,134 @@ ConsensusOutput ContextManager::Run(const std::string& name,
 std::vector<ConsensusOutput> ContextManager::RunAll(
     const std::string& name, const ConsensusOptions& options,
     uint64_t* generation_after) {
+  // One lookup for both the guard and the sweep: a concurrent
+  // DROP + RESTORE of the same name cannot swap a summarized shard in
+  // between them and hand back a subset misaligned with AllMethods().
   std::shared_ptr<Shard> shard = Find(name);
-  Drain(*shard, /*try_only=*/false, nullptr);
-  std::vector<ConsensusOutput> out = shard->ctx->RunAll(options);
-  shard->runs.fetch_add(out.size(), std::memory_order_relaxed);
-  if (generation_after != nullptr) {
-    *generation_after = shard->ctx->generation();
+  // Callers rely on the outputs aligning with AllMethods(), which a
+  // summarized (restored) table cannot provide — fail before running
+  // anything instead of throwing mid-sweep out of B2's RequireBase.
+  if (!shard->ctx->has_base_rankings()) {
+    throw std::logic_error("RunAll needs the retained profile, but table '" +
+                           name +
+                           "' was restored from a summarized snapshot; use "
+                           "RunSupported");
   }
+  std::vector<std::pair<const MethodSpec*, ConsensusOutput>> results =
+      RunSupportedOn(*shard, options, generation_after);
+  std::vector<ConsensusOutput> out;
+  out.reserve(results.size());
+  for (auto& [spec, output] : results) out.push_back(std::move(output));
   return out;
 }
 
 TableStats ContextManager::StatsFor(const Shard& shard) {
   TableStats stats;
   stats.num_candidates = shard.table->num_candidates();
-  stats.generation = shard.ctx->generation();
-  stats.num_rankings = shard.ctx->num_rankings();
+  // One coherent seqlock read: {generation, num_rankings} come from the
+  // same instant, and the read never blocks behind an exclusive batch
+  // fold — STATS and APPEND responses stay live (and mutually consistent)
+  // while another thread's FLUSH is folding a large backlog.
+  shard.ctx->ProfileCounters(&stats.generation, &stats.num_rankings);
+  stats.summarized = !shard.ctx->has_base_rankings();
   stats.runs = shard.runs.load(std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(shard.queue_mu);
   stats.pending_ops = shard.queue.size();
   stats.pending_rankings = shard.queued_append_rankings;
   stats.applied_batches = shard.applied_batches;
   stats.applied_rankings = shard.applied_rankings;
+  stats.dropped_removes = shard.dropped_removes;
   return stats;
 }
 
 TableStats ContextManager::Stats(const std::string& name) const {
   return StatsFor(*Find(name));
+}
+
+TableSnapshot ContextManager::SnapshotTable(const std::string& name) {
+  std::shared_ptr<Shard> shard = Find(name);
+  std::optional<TableSnapshot> snapshot;
+  // Drain the backlog, then copy the state while the exclusive gate is
+  // still held: the snapshot lands exactly on the batch boundary the
+  // drain produced, and no concurrent drain can slip a half-applied wave
+  // underneath it. (Context::Snapshot's own shared acquisition nests
+  // inside our exclusive hold, which the gate admits re-entrantly.)
+  Drain(*shard, /*try_only=*/false, nullptr, [&] {
+    StreamingSummary summary = shard->ctx->Snapshot();
+    uint64_t batches = 0;
+    uint64_t rankings = 0;
+    {
+      std::lock_guard<std::mutex> qlock(shard->queue_mu);
+      batches = shard->applied_batches;
+      rankings = shard->applied_rankings;
+    }
+    snapshot.emplace(
+        TableSnapshot{*shard->table, std::move(summary), batches, rankings});
+  });
+  return std::move(*snapshot);
+}
+
+TableStats ContextManager::RestoreTable(const std::string& name,
+                                        TableSnapshot snapshot) {
+  if (name.empty()) {
+    throw std::invalid_argument("table name must be non-empty");
+  }
+  {
+    // Same early duplicate check as Create: fail before paying for
+    // context construction (Register re-checks the race).
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shards_.count(name) != 0) {
+      throw std::invalid_argument("table already exists: " + name);
+    }
+  }
+  auto shard = std::make_shared<Shard>();
+  shard->table = std::make_unique<CandidateTable>(std::move(snapshot.table));
+  shard->virtual_size = static_cast<size_t>(snapshot.summary.num_rankings);
+  // The summarized constructor validates the summary against the table
+  // (candidate counts, Borda/precedence sizes) — a malformed snapshot
+  // fails loudly here with nothing registered.
+  shard->ctx = std::make_unique<ConsensusContext>(std::move(snapshot.summary),
+                                                  *shard->table);
+  shard->ctx->AttachGate(&shard->gate);
+  shard->applied_batches = snapshot.applied_batches;
+  shard->applied_rankings = snapshot.applied_rankings;
+  TableStats stats = StatsFor(*shard);
+  Register(name, std::move(shard));
+  return stats;
+}
+
+std::vector<const MethodSpec*> ContextManager::SupportedMethods(
+    const std::string& name) const {
+  return SupportedFor(*Find(name)->ctx);
+}
+
+std::vector<std::pair<const MethodSpec*, ConsensusOutput>>
+ContextManager::RunSupported(const std::string& name,
+                             const ConsensusOptions& options,
+                             uint64_t* generation_after) {
+  return RunSupportedOn(*Find(name), options, generation_after);
+}
+
+std::vector<std::pair<const MethodSpec*, ConsensusOutput>>
+ContextManager::RunSupportedOn(Shard& shard, const ConsensusOptions& options,
+                               uint64_t* generation_after) {
+  Drain(shard, /*try_only=*/false, nullptr);
+  const std::vector<const MethodSpec*> supported = SupportedFor(*shard.ctx);
+  // One RunMethods call = one reader registration: a concurrent drain
+  // waits for the whole sweep, so every output (and the reported
+  // generation) comes from the same profile state.
+  std::vector<ConsensusOutput> outputs =
+      shard.ctx->RunMethods(supported, options);
+  shard.runs.fetch_add(outputs.size(), std::memory_order_relaxed);
+  if (generation_after != nullptr) {
+    *generation_after = shard.ctx->generation();
+  }
+  std::vector<std::pair<const MethodSpec*, ConsensusOutput>> results;
+  results.reserve(outputs.size());
+  for (size_t i = 0; i < outputs.size(); ++i) {
+    results.emplace_back(supported[i], std::move(outputs[i]));
+  }
+  return results;
 }
 
 }  // namespace manirank::serve

@@ -4,17 +4,20 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/candidate_table.h"
 #include "core/context.h"
 #include "core/gate.h"
 #include "core/method_registry.h"
+#include "data/snapshot.h"
 
 namespace manirank::serve {
 
@@ -38,6 +41,12 @@ struct TableStats {
   uint64_t applied_rankings = 0;
   /// Method runs served (RunMethod calls; RunAll counts one per method).
   uint64_t runs = 0;
+  /// Queued REMOVEs discarded because a failed batch apply dropped the
+  /// profile state their index referenced (see Drain's failure resync).
+  uint64_t dropped_removes = 0;
+  /// True for tables restored from a snapshot (summarized context): they
+  /// serve precedence/Borda methods only and reject REMOVE.
+  bool summarized = false;
 };
 
 /// Multi-table serving layer: owns N named tables, each backed by one
@@ -89,8 +98,11 @@ class ContextManager {
 
   /// Enqueues removal of the ranking at `index` in the *virtual* profile
   /// (the profile as it will stand once the queue drains). Throws
-  /// std::out_of_range for indices beyond the virtual size. Returns a
-  /// post-enqueue stats snapshot.
+  /// std::out_of_range for indices beyond the virtual size, and
+  /// std::logic_error for summarized (snapshot-restored) tables, whose
+  /// rankings were folded away and cannot be removed by index — rejected
+  /// here at enqueue time so the mutation queue can never wedge on an
+  /// unappliable op.
   TableStats Remove(const std::string& name, size_t index);
 
   /// Drains the shard's mutation queue now, blocking on the exclusive
@@ -116,13 +128,46 @@ class ContextManager {
                       uint64_t* generation_after = nullptr);
 
   /// Drains the queue, then sweeps every registry method in paper order
-  /// against the shard's shared caches.
+  /// against the shard's shared caches. The outputs align with
+  /// AllMethods(), so summarized (restored) tables are rejected up front
+  /// (std::logic_error) — use RunSupported for a table-agnostic sweep.
   std::vector<ConsensusOutput> RunAll(const std::string& name,
                                       const ConsensusOptions& options = {},
                                       uint64_t* generation_after = nullptr);
 
   /// Stats snapshot; does NOT drain the queue.
   TableStats Stats(const std::string& name) const;
+
+  /// Drains the table's mutation queue, then snapshots its summarized
+  /// state (table + StreamingSummary + applied counters) while still
+  /// holding the exclusive gate — so the snapshot always lands exactly on
+  /// a batch boundary and can never tear against a concurrent drain.
+  /// Throws std::invalid_argument for unknown names and empty tables
+  /// (nothing to snapshot).
+  TableSnapshot SnapshotTable(const std::string& name);
+
+  /// Registers a new table from a snapshot: a *summarized* context seeded
+  /// by the snapshot's StreamingSummary, resuming its generation and
+  /// applied-mutation counters. The restored table serves every
+  /// precedence/Borda-based method bit-identically to the snapshotted
+  /// one; methods needing the retained profile (B2-B4) and REMOVE are
+  /// unavailable. Throws std::invalid_argument when the name is empty or
+  /// taken ("table already exists", so clients can retry idempotently).
+  TableStats RestoreTable(const std::string& name, TableSnapshot snapshot);
+
+  /// The registry methods the named table can currently serve, in paper
+  /// order: all eight for retained profiles, the precedence/Borda subset
+  /// for summarized (restored) tables.
+  std::vector<const MethodSpec*> SupportedMethods(
+      const std::string& name) const;
+
+  /// Drains the queue, then sweeps every method the table supports as ONE
+  /// shared-gate hold — atomic with respect to mutation waves exactly
+  /// like RunAll, but servable on summarized (restored) tables too.
+  /// Returns {method, output} pairs in paper order.
+  std::vector<std::pair<const MethodSpec*, ConsensusOutput>> RunSupported(
+      const std::string& name, const ConsensusOptions& options = {},
+      uint64_t* generation_after = nullptr);
 
  private:
   /// One queued mutation: an append batch (rankings non-empty) or a
@@ -147,6 +192,8 @@ class ContextManager {
     size_t virtual_size = 0;
     uint64_t applied_batches = 0;
     uint64_t applied_rankings = 0;
+    /// Stale queued REMOVEs dropped by the failed-apply resync.
+    uint64_t dropped_removes = 0;
     std::atomic<uint64_t> runs{0};
     /// Serializes queue application so two drainers cannot interleave
     /// their stolen backlogs (op order is load-bearing: remove indices
@@ -155,12 +202,36 @@ class ContextManager {
   };
 
   std::shared_ptr<Shard> Find(const std::string& name) const;
+  /// Registers a fully built shard under `name`; throws
+  /// std::invalid_argument when the name is empty or taken.
+  void Register(const std::string& name, std::shared_ptr<Shard> shard);
+  /// RunSupported on an already-resolved shard (RunAll shares it so its
+  /// retained-profile guard and the sweep use one lookup — no window for
+  /// a concurrent DROP + RESTORE to swap the shard between them).
+  std::vector<std::pair<const MethodSpec*, ConsensusOutput>> RunSupportedOn(
+      Shard& shard, const ConsensusOptions& options,
+      uint64_t* generation_after);
   /// Stats snapshot straight off a shard (no name lookup).
   static TableStats StatsFor(const Shard& shard);
   /// Steals and applies the queued backlog. With `try_only`, gives up
   /// without side effects when the gate is contended. Returns rankings
-  /// applied via *applied; returns false only in try_only mode.
-  bool Drain(Shard& shard, bool try_only, size_t* applied);
+  /// applied via *applied; returns false only in try_only mode. When
+  /// `under_gate` is given it runs after the backlog applies, still under
+  /// the exclusive gate (and the gate is claimed even for an empty
+  /// queue) — SnapshotTable uses this to read a batch-boundary state no
+  /// concurrent drain can interleave.
+  bool Drain(Shard& shard, bool try_only, size_t* applied,
+             const std::function<void()>& under_gate = nullptr);
+  /// Rebuilds the virtual-size bookkeeping after a failed batch apply:
+  /// replays the surviving queue against the applied profile size,
+  /// dropping (and accounting in dropped_removes) any queued REMOVE whose
+  /// index can no longer exist — a stale remove would otherwise throw on
+  /// every later drain and wedge the queue. Takes queue_mu itself.
+  static void ResyncQueueAfterFailedApply(Shard& shard);
+  /// White-box seam for the drain-failure recovery tests: no reachable
+  /// public path can make a validated backlog throw mid-apply, so the
+  /// tests inject one directly (tests/serve_test.cc).
+  friend struct ContextManagerTestPeer;
 
   /// Guards only the name → shard map; per-table traffic leaves the
   /// manager-wide critical section after one O(1) lookup.

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "data/csv.h"
+#include "data/snapshot.h"
 #include "data/synthetic.h"
 
 namespace manirank::serve {
@@ -205,18 +206,73 @@ std::string HandleRun(ContextManager* manager,
   std::ostringstream os;
   uint64_t generation = 0;
   if (method == "all") {
-    std::vector<ConsensusOutput> outputs =
-        manager->RunAll(table, options, &generation);
+    // One shared-gate hold for the whole sweep (retained tables serve all
+    // eight methods, restored ones the precedence/Borda subset), so the
+    // reported gen= holds for every result on the line — a concurrent
+    // mutation wave cannot land between two methods of one response.
+    std::vector<std::pair<const MethodSpec*, ConsensusOutput>> results =
+        manager->RunSupported(table, options, &generation);
     os << "OK RUN " << table << " gen=" << generation;
-    const std::vector<MethodSpec>& methods = AllMethods();
-    for (size_t i = 0; i < outputs.size(); ++i) {
-      AppendMethodResult(&os, methods[i].id, outputs[i]);
+    for (const auto& [spec, output] : results) {
+      AppendMethodResult(&os, spec->id, output);
     }
   } else {
     ConsensusOutput output = manager->Run(table, method, options, &generation);
     os << "OK RUN " << table << " gen=" << generation;
     AppendMethodResult(&os, FindMethod(method)->id, output);
   }
+  return os.str();
+}
+
+std::string HandleSnapshot(ContextManager* manager,
+                           const std::vector<std::string>& tokens) {
+  if (tokens.size() != 3) {
+    return Err("bad-request", "SNAPSHOT <table> <path>");
+  }
+  // Probe the write target BEFORE draining: the common failure — an
+  // unwritable path — must reject with zero state change, keeping the
+  // ERR-implies-untouched contract. Only a failure of the stream itself
+  // (e.g. disk full mid-write) can still follow the drain; the completed
+  // drain then stands, exactly as a FLUSH would.
+  if (!ProbeSnapshotWritable(tokens[2])) {
+    return Err("io", "cannot open snapshot for writing: " + tokens[2]);
+  }
+  const TableSnapshot snapshot = manager->SnapshotTable(tokens[1]);
+  try {
+    WriteTableSnapshotFile(tokens[2], snapshot);
+  } catch (const std::runtime_error& e) {
+    return Err("io", e.what());
+  }
+  std::ostringstream os;
+  os << "OK SNAPSHOT " << tokens[1]
+     << " rankings=" << snapshot.summary.num_rankings
+     << " generation=" << snapshot.summary.generation
+     << " precedence=" << (snapshot.summary.precedence != nullptr ? 1 : 0)
+     << " path=" << tokens[2];
+  return os.str();
+}
+
+std::string HandleRestore(ContextManager* manager,
+                          const std::vector<std::string>& tokens) {
+  if (tokens.size() != 3) {
+    return Err("bad-request", "RESTORE <table> <path>");
+  }
+  std::optional<TableSnapshot> snapshot;
+  try {
+    snapshot.emplace(ReadTableSnapshotFile(tokens[2]));
+  } catch (const SnapshotFormatError& e) {
+    // Corrupt / truncated / version-mismatched file: distinct code, and
+    // nothing was registered — the manager state is untouched.
+    return Err("bad-snapshot", e.what());
+  } catch (const std::runtime_error& e) {
+    return Err("io", e.what());
+  }
+  const TableStats stats =
+      manager->RestoreTable(tokens[1], std::move(*snapshot));
+  std::ostringstream os;
+  os << "OK RESTORE " << tokens[1] << " candidates=" << stats.num_candidates
+     << " rankings=" << stats.num_rankings
+     << " generation=" << stats.generation;
   return os.str();
 }
 
@@ -230,6 +286,8 @@ std::string Dispatcher::Handle(const std::string& line) {
     if (verb == "CREATE") return HandleCreate(manager_, tokens);
     if (verb == "APPEND") return HandleAppend(manager_, tokens);
     if (verb == "RUN") return HandleRun(manager_, tokens);
+    if (verb == "SNAPSHOT") return HandleSnapshot(manager_, tokens);
+    if (verb == "RESTORE") return HandleRestore(manager_, tokens);
     if (verb == "REMOVE") {
       if (tokens.size() != 3) {
         return Err("bad-request", "REMOVE <table> <index>");
@@ -258,7 +316,9 @@ std::string Dispatcher::Handle(const std::string& line) {
          << " pending_rankings=" << stats.pending_rankings
          << " applied_batches=" << stats.applied_batches
          << " applied_rankings=" << stats.applied_rankings
-         << " runs=" << stats.runs;
+         << " runs=" << stats.runs
+         << " dropped_removes=" << stats.dropped_removes
+         << " summarized=" << (stats.summarized ? 1 : 0);
       return os.str();
     }
     if (verb == "FLUSH") {
@@ -288,6 +348,11 @@ std::string Dispatcher::Handle(const std::string& line) {
     const std::string what = e.what();
     if (what.rfind("no such table", 0) == 0) {
       return Err("no-such-table", what);
+    }
+    if (what.rfind("table already exists", 0) == 0) {
+      // Distinct from bad-request so clients can treat a duplicate
+      // CREATE/RESTORE as an idempotent-retry success.
+      return Err("table-exists", what);
     }
     if (what.rfind("unknown consensus method", 0) == 0) {
       return Err("unknown-method", what);

@@ -18,14 +18,16 @@ namespace manirank::serve {
 /// Grammar (tokens are whitespace-separated; ';' separates rankings in an
 /// APPEND payload and may be glued to a number):
 ///
-///   CREATE <table> FILE <table.csv> [RANKINGS <rankings.csv>]
-///   CREATE <table> CYCLIC <n> <d0> <d1>
-///   APPEND <table> <c0> <c1> ... [; <c0> <c1> ...]*
-///   REMOVE <table> <index>
-///   RUN    <table> <method|all> [DELTA <d>] [LIMIT <seconds>]
-///   STATS  <table>
-///   FLUSH  <table>
-///   DROP   <table>
+///   CREATE   <table> FILE <table.csv> [RANKINGS <rankings.csv>]
+///   CREATE   <table> CYCLIC <n> <d0> <d1>
+///   APPEND   <table> <c0> <c1> ... [; <c0> <c1> ...]*
+///   REMOVE   <table> <index>
+///   RUN      <table> <method|all> [DELTA <d>] [LIMIT <seconds>]
+///   STATS    <table>
+///   FLUSH    <table>
+///   SNAPSHOT <table> <path>
+///   RESTORE  <table> <path>
+///   DROP     <table>
 ///   TABLES
 ///
 /// CREATE..CYCLIC builds the deterministic two-attribute table where
@@ -33,15 +35,32 @@ namespace manirank::serve {
 /// and tests that need no CSV files. APPEND payloads are candidate ids
 /// best-first and must form a permutation of 0..n-1. REMOVE addresses the
 /// *virtual* profile (applied rankings plus queued mutations). RUN drains
-/// the table's mutation queue, then runs one registry method (or the full
-/// paper sweep for "all") and reports each consensus as
+/// the table's mutation queue, then runs one registry method (or every
+/// method the table supports for "all") and reports each consensus as
 /// "<id> sat=<0|1> consensus=<c0,c1,...>". STATS never drains — its
 /// generation counter moves only when mutations are actually applied, so
 /// clients can use it to verify that a rejected request changed nothing.
 ///
+/// SNAPSHOT drains the table's queue and writes its summarized state to a
+/// versioned, checksummed binary file (data/snapshot.h); RESTORE registers
+/// a new table from such a file without replaying the profile. A restored
+/// table is *summarized*: it serves every precedence/Borda-based method
+/// bit-identically to the snapshotted one, but rejects REMOVE and the
+/// base-ranking baselines (B2-B4), and "RUN <table> all" sweeps only the
+/// supported subset.
+///
 /// Error codes: unknown-verb, bad-request (arity / malformed numbers),
-/// no-such-table, unknown-method, bad-ranking, bad-index, empty-table
-/// (RUN on a table with no applied or queued rankings), io, conflict.
+/// no-such-table, table-exists (CREATE/RESTORE onto a taken name — a
+/// distinct code so clients can retry idempotently), unknown-method,
+/// bad-ranking, bad-index, empty-table (RUN/SNAPSHOT on a table with no
+/// applied or queued rankings), bad-snapshot (RESTORE from a corrupt,
+/// truncated, or version-mismatched file; the manager state is untouched),
+/// io, conflict. SNAPSHOT probes its write target before draining, so an
+/// ERR io implies no state change unless the stream itself failed
+/// mid-write — the completed drain then stands, exactly as a FLUSH would
+/// (RUN, FLUSH, and SNAPSHOT are the draining verbs; their queue
+/// application is a success in its own right, never rolled back by a
+/// later failure in the same request).
 class Dispatcher {
  public:
   explicit Dispatcher(ContextManager* manager) : manager_(manager) {}

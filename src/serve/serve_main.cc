@@ -5,12 +5,21 @@
 //   manirank_serve --script FILE        replay a request script (offline mode)
 //   manirank_serve --port P             TCP server: one thread per connection,
 //                                       all connections share one ContextManager
+//   manirank_serve --restore-dir DIR    cold start: restore every *.snap table
+//                                       snapshot in DIR before serving
 //   manirank_serve --echo               echo each request before its response
 //
 // The request grammar is documented in serve/protocol.h (CREATE / APPEND /
-// REMOVE / RUN / STATS / FLUSH / DROP / TABLES). Every connection gets its
-// own Dispatcher over the shared ContextManager, so concurrent clients
-// exercise the per-table gates and mutation queues directly.
+// REMOVE / RUN / STATS / FLUSH / SNAPSHOT / RESTORE / DROP / TABLES). Every
+// connection gets its own Dispatcher over the shared ContextManager, so
+// concurrent clients exercise the per-table gates and mutation queues
+// directly.
+//
+// --restore-dir combines with any serving mode: each DIR/<name>.snap is
+// restored as table <name> (data/snapshot.h format) without replaying its
+// profile, so a restarted server resumes serving where SNAPSHOT left off.
+// A corrupt or unreadable snapshot aborts startup loudly (exit 2) rather
+// than silently serving a partial table set.
 //
 // Exit status: 0 when every request succeeded, 1 when any request drew an
 // ERR response (stdin/script modes), 2 on usage or I/O errors.
@@ -21,6 +30,7 @@
 #include <csignal>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -28,6 +38,7 @@
 #include <thread>
 #include <vector>
 
+#include "data/snapshot.h"
 #include "serve/context_manager.h"
 #include "serve/protocol.h"
 
@@ -45,9 +56,51 @@ using manirank::serve::ContextManager;
 using manirank::serve::Dispatcher;
 
 int Usage() {
-  std::cerr << "usage: manirank_serve [--script FILE | --port P] [--echo]\n"
-               "  (no mode flag: serve requests from stdin)\n";
+  std::cerr << "usage: manirank_serve [--script FILE | --port P]\n"
+               "                      [--restore-dir DIR] [--echo]\n"
+               "  (no mode flag: serve requests from stdin; --restore-dir\n"
+               "   cold-starts every DIR/<table>.snap before serving)\n";
   return 2;
+}
+
+/// Cold-start: restores every `*.snap` in `dir` as a table named after the
+/// file's stem. Returns false (after reporting to stderr) on the first
+/// failure — a server must not come up silently missing tables.
+bool RestoreFromDir(const std::string& dir, ContextManager* manager) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    std::cerr << "--restore-dir: not a directory: " << dir << "\n";
+    return false;
+  }
+  // Deterministic restore order (directory iteration order is not).
+  std::vector<fs::path> snapshots;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.path().extension() == ".snap") {
+      snapshots.push_back(entry.path());
+    }
+  }
+  if (ec) {
+    std::cerr << "--restore-dir: cannot list " << dir << ": " << ec.message()
+              << "\n";
+    return false;
+  }
+  std::sort(snapshots.begin(), snapshots.end());
+  for (const fs::path& path : snapshots) {
+    const std::string table = path.stem().string();
+    try {
+      const manirank::serve::TableStats stats = manager->RestoreTable(
+          table, manirank::ReadTableSnapshotFile(path.string()));
+      std::cerr << "restored table '" << table << "' (" << stats.num_rankings
+                << " rankings, generation " << stats.generation << ") from "
+                << path.string() << "\n";
+    } catch (const std::exception& e) {
+      std::cerr << "--restore-dir: failed to restore '" << table
+                << "' from " << path.string() << ": " << e.what() << "\n";
+      return false;
+    }
+  }
+  return true;
 }
 
 #ifdef MANIRANK_HAVE_SOCKETS
@@ -159,6 +212,7 @@ int ServeSocket(int port, ContextManager* manager) {
 
 int main(int argc, char** argv) {
   std::optional<std::string> script;
+  std::optional<std::string> restore_dir;
   std::optional<int> port;
   bool echo = false;
   for (int i = 1; i < argc; ++i) {
@@ -167,6 +221,8 @@ int main(int argc, char** argv) {
       echo = true;
     } else if (flag == "--script" && i + 1 < argc) {
       script = argv[++i];
+    } else if (flag == "--restore-dir" && i + 1 < argc) {
+      restore_dir = argv[++i];
     } else if (flag == "--port" && i + 1 < argc) {
       char* end = nullptr;
       const long p = std::strtol(argv[++i], &end, 10);
@@ -182,6 +238,9 @@ int main(int argc, char** argv) {
   if (script.has_value() && port.has_value()) return Usage();
 
   ContextManager manager;
+  if (restore_dir.has_value() && !RestoreFromDir(*restore_dir, &manager)) {
+    return 2;
+  }
   if (port.has_value()) {
 #ifdef MANIRANK_HAVE_SOCKETS
     return ServeSocket(*port, &manager);

@@ -81,8 +81,9 @@ TEST_F(ProtocolTest, MalformedRequestsErrAndLeaveStateUnchanged) {
       {"CREATE t2 CYCLIC 6 2", "ERR bad-request"},
       {"CREATE t2 CYCLIC x 2 2", "ERR bad-request"},
       {"CREATE t2 CYCLIC -6 2 2", "ERR bad-request"},
-      // duplicate table
-      {"CREATE t CYCLIC 6 2 2", "ERR bad-request"},
+      // duplicate table: a distinct code, so clients can retry CREATE
+      // idempotently without parsing the detail text
+      {"CREATE t CYCLIC 6 2 2", "ERR table-exists"},
       // bad ranking payloads
       {"APPEND t 0 1 2", "ERR bad-ranking"},               // wrong size
       {"APPEND t 0 1 2 3 4 9", "ERR bad-ranking"},         // out of domain
@@ -109,6 +110,12 @@ TEST_F(ProtocolTest, MalformedRequestsErrAndLeaveStateUnchanged) {
       {"RUN t A4 WIBBLE 3", "ERR bad-request"},
       // I/O errors
       {"CREATE t3 FILE /no/such/file.csv", "ERR io"},
+      // snapshot verbs: arity, unknown tables, unreadable files
+      {"SNAPSHOT t", "ERR bad-request"},
+      {"SNAPSHOT t a b", "ERR bad-request"},
+      {"SNAPSHOT ghost /tmp/x.snap", "ERR no-such-table"},
+      {"RESTORE t4", "ERR bad-request"},
+      {"RESTORE t4 /no/such/file.snap", "ERR io"},
   };
   for (const auto& [request, expected_prefix] : cases) {
     const std::string response = Handle(request);
@@ -119,6 +126,35 @@ TEST_F(ProtocolTest, MalformedRequestsErrAndLeaveStateUnchanged) {
   }
   // And the table still serves correctly after the abuse.
   EXPECT_TRUE(IsOk(Handle("RUN t A4")));
+}
+
+TEST_F(ProtocolTest, DuplicateCreateDrawsTableExistsCode) {
+  // The idempotent-retry contract: a client that lost a CREATE response
+  // can re-send it and treat ERR table-exists as success — distinct from
+  // bad-request, and guaranteed not to disturb the live table.
+  const std::string before = StateSnapshot();
+  const std::string response = Handle("CREATE t CYCLIC 6 2 3");
+  EXPECT_EQ(response.rfind("ERR table-exists", 0), 0u) << response;
+  EXPECT_EQ(StateSnapshot(), before);
+  // Same code regardless of the CREATE source (shape differences must not
+  // leak a different error class for the same condition).
+  EXPECT_EQ(Handle("CREATE t CYCLIC 9 3 3").rfind("ERR table-exists", 0), 0u);
+  // And the table still serves.
+  EXPECT_TRUE(IsOk(Handle("RUN t A4")));
+}
+
+TEST_F(ProtocolTest, SnapshotToUnwritablePathRejectsBeforeDraining) {
+  // The write target is probed before the queue drains: an unwritable
+  // path must draw ERR io with the queued mutation still pending and the
+  // generation counter unmoved.
+  ASSERT_TRUE(IsOk(Handle("APPEND t 2 1 0 5 4 3")));
+  const std::string before = StateSnapshot();
+  ASSERT_NE(before.find("pending_ops=1"), std::string::npos) << before;
+  const std::string response =
+      Handle("SNAPSHOT t /no/such/dir/t.snap");
+  EXPECT_EQ(response.rfind("ERR io", 0), 0u) << response;
+  EXPECT_EQ(StateSnapshot(), before)
+      << "a rejected SNAPSHOT must not have drained the queue";
 }
 
 TEST_F(ProtocolTest, RunOnEmptyTableDrawsEmptyTableError) {

@@ -270,3 +270,122 @@ TEST(ServingEquivalenceTest, ScriptedMultiTableWorkloadMatchesFreshContexts) {
 
 }  // namespace
 }  // namespace manirank
+
+// --- drain-failure recovery -------------------------------------------------
+
+namespace manirank::serve {
+
+/// White-box seam (friend of ContextManager): no reachable public path can
+/// make a validated backlog throw mid-apply or plant a stale remove, so
+/// these tests build the failure states directly.
+struct ContextManagerTestPeer {
+  /// Queues a remove without validation or virtual-size bookkeeping —
+  /// the state a remove is left in when a failed drain dropped the
+  /// backlog ops its index assumed.
+  static void InjectRemoveRaw(ContextManager& manager,
+                              const std::string& name, size_t index) {
+    std::shared_ptr<ContextManager::Shard> shard = manager.Find(name);
+    std::lock_guard<std::mutex> lock(shard->queue_mu);
+    ContextManager::PendingOp op;
+    op.is_remove = true;
+    op.remove_index = index;
+    shard->queue.push_back(std::move(op));
+  }
+
+  /// Queues an append whose ranking cannot apply (wrong size), with the
+  /// bookkeeping a 1-ranking append would have.
+  static void InjectPoisonAppend(ContextManager& manager,
+                                 const std::string& name, int wrong_size) {
+    std::shared_ptr<ContextManager::Shard> shard = manager.Find(name);
+    std::lock_guard<std::mutex> lock(shard->queue_mu);
+    ContextManager::PendingOp op;
+    op.rankings.push_back(Ranking::Identity(wrong_size));
+    shard->queue.push_back(std::move(op));
+    shard->queued_append_rankings += 1;
+    shard->virtual_size += 1;
+  }
+
+  static void Resync(ContextManager& manager, const std::string& name) {
+    ContextManager::ResyncQueueAfterFailedApply(*manager.Find(name));
+  }
+};
+
+namespace {
+
+std::vector<Ranking> InitialProfile(int n, size_t count, uint64_t seed) {
+  std::vector<Ranking> profile;
+  for (size_t i = 0; i < count; ++i) {
+    Rng rng = MallowsModel::SampleRng(seed, i);
+    profile.push_back(
+        MallowsModel(Ranking::Identity(n), 0.5).Sample(&rng));
+  }
+  return profile;
+}
+
+TEST(DrainFailureRecoveryTest, ResyncDropsStaleRemovesInApplicationOrder) {
+  // Queue after a hypothetical failed drain: [remove 7 (stale: only 5
+  // rankings applied), remove 1, append x1, remove 4 (valid only because
+  // the append precedes it)]. The resync must drop exactly the stale op,
+  // account it, and leave a queue the next drain applies without a throw.
+  ContextManager manager;
+  manager.Create("t", MakeCyclicTable(6, 2, 2), InitialProfile(6, 5, 501));
+  ContextManagerTestPeer::InjectRemoveRaw(manager, "t", 7);
+  ContextManagerTestPeer::InjectRemoveRaw(manager, "t", 1);
+  manager.Append("t", InitialProfile(6, 1, 502));
+  ContextManagerTestPeer::InjectRemoveRaw(manager, "t", 4);
+  ContextManagerTestPeer::Resync(manager, "t");
+
+  TableStats stats = manager.Stats("t");
+  EXPECT_EQ(stats.dropped_removes, 1u);
+  EXPECT_EQ(stats.pending_ops, 3u);
+  EXPECT_EQ(stats.pending_rankings, 1u);
+  // 5 applied - remove1 + append - remove4 = 4, with no throw.
+  size_t applied = 0;
+  EXPECT_NO_THROW(applied = manager.Flush("t"));
+  EXPECT_EQ(applied, 3u);
+  stats = manager.Stats("t");
+  EXPECT_EQ(stats.num_rankings, 4u);
+  EXPECT_EQ(stats.pending_ops, 0u);
+  EXPECT_NO_THROW(manager.Run("t", "A4"));
+}
+
+TEST(DrainFailureRecoveryTest, PoisonedBacklogFailsOnceThenRecovers) {
+  // End-to-end through the real Drain catch path: a backlog of
+  // [valid append x2, poison, remove] throws at the poison; the applied
+  // prefix survives, the rest of the stolen backlog is dropped, the
+  // bookkeeping resyncs, and the shard keeps serving.
+  ContextManager manager;
+  manager.Create("t", MakeCyclicTable(6, 2, 2), InitialProfile(6, 4, 503));
+  std::vector<Ranking> good = InitialProfile(6, 2, 504);
+  const std::vector<Ranking> surviving = [&] {
+    std::vector<Ranking> all = InitialProfile(6, 4, 503);
+    all.insert(all.end(), good.begin(), good.end());
+    return all;
+  }();
+  manager.Append("t", std::move(good));
+  ContextManagerTestPeer::InjectPoisonAppend(manager, "t", 5);
+  manager.Remove("t", 6);  // valid against the virtual profile of 7
+  EXPECT_THROW(manager.Flush("t"), std::invalid_argument);
+
+  TableStats stats = manager.Stats("t");
+  EXPECT_EQ(stats.num_rankings, 6u) << "applied prefix must survive";
+  EXPECT_EQ(stats.pending_ops, 0u) << "stolen backlog is dropped";
+  EXPECT_EQ(stats.pending_rankings, 0u);
+  // The shard is fully servable afterwards, and enqueue validation uses
+  // the resynced virtual size (index 6 is now out of range again).
+  EXPECT_THROW(manager.Remove("t", 6), std::out_of_range);
+  EXPECT_NO_THROW(manager.Remove("t", 5));
+  EXPECT_EQ(manager.Flush("t"), 1u);
+  ConsensusOptions options;
+  options.time_limit_seconds = 60.0;
+  const ConsensusOutput served = manager.Run("t", "A4", options);
+  std::vector<Ranking> expected_profile(surviving.begin(),
+                                        surviving.end() - 1);
+  CandidateTable fresh_table = MakeCyclicTable(6, 2, 2);
+  ConsensusContext fresh(expected_profile, fresh_table);
+  EXPECT_EQ(served.consensus.order(),
+            fresh.RunMethod("A4", options).consensus.order());
+}
+
+}  // namespace
+}  // namespace manirank::serve
