@@ -31,8 +31,11 @@
 // `serve` replays a request script (or stdin) through the multi-table
 // ContextManager using the line protocol of serve/protocol.h — the same
 // engine the manirank_serve binary exposes over a socket. Exit status 1
-// when any request drew an ERR response.
+// when any request drew an ERR response, 2 when the output stream died
+// mid-response (SIGPIPE is ignored during the replay, so a closed pipe
+// surfaces as that I/O error instead of killing the process).
 
+#include <csignal>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -424,17 +427,32 @@ int RunSnapshot(const Args& args) {
 /// Offline serving replay: drives the multi-table ContextManager with the
 /// line protocol of serve/protocol.h, from a script file or stdin.
 int RunServe(const Args& args) {
+#if defined(__unix__) || defined(__APPLE__)
+  // A reader closing the response pipe must surface as a stream failure
+  // below, not SIGPIPE process death.
+  std::signal(SIGPIPE, SIG_IGN);
+#endif
   serve::ContextManager manager;
   serve::Dispatcher dispatcher(&manager);
+  int errors = 0;
   if (!args.script_path.empty()) {
     std::ifstream in(args.script_path);
     if (!in) {
       std::cerr << "cannot open script: " << args.script_path << "\n";
       return 1;
     }
-    return dispatcher.ServeStream(in, std::cout) == 0 ? 0 : 1;
+    errors = dispatcher.ServeStream(in, std::cout);
+  } else {
+    errors = dispatcher.ServeStream(std::cin, std::cout);
   }
-  return dispatcher.ServeStream(std::cin, std::cout) == 0 ? 0 : 1;
+  if (!std::cout) {
+    // The reader closed our output mid-response (SIGPIPE-ignored write
+    // failure); ServeStream stopped serving — report it as an I/O error
+    // rather than pretending the replay completed.
+    std::cerr << "serve: output stream failed mid-response\n";
+    return 2;
+  }
+  return errors == 0 ? 0 : 1;
 }
 
 int RunMethods() {

@@ -19,6 +19,7 @@
 ///  - core/baselines.h, core/method_registry.h      study baselines A1..B4
 ///  - core/gate.h                              reader/writer context gate
 ///  - serve/context_manager.h, serve/protocol.h     multi-table serving layer
+///  - serve/executor.h                         async TCP request pipeline
 ///  - mallows/mallows.h, mallows/modal_designer.h   synthetic ranking model
 ///  - data/snapshot.h                          table-shard snapshot format
 ///  - data/*.h                                 datasets and CSV I/O
@@ -49,6 +50,7 @@
 #include "mallows/mallows.h"
 #include "mallows/modal_designer.h"
 #include "serve/context_manager.h"
+#include "serve/executor.h"
 #include "serve/protocol.h"
 
 #endif  // MANIRANK_MANIRANK_H_

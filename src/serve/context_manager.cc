@@ -43,6 +43,7 @@ void ContextManager::Create(const std::string& name, CandidateTable table,
     }
   }
   auto shard = std::make_shared<Shard>();
+  shard->name = name;
   shard->table = std::make_unique<CandidateTable>(std::move(table));
   shard->virtual_size = initial.size();
   shard->ctx =
@@ -88,12 +89,18 @@ std::vector<std::string> ContextManager::TableNames() const {
 
 std::shared_ptr<ContextManager::Shard> ContextManager::Find(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  const auto it = shards_.find(name);
-  if (it == shards_.end()) {
+  std::shared_ptr<Shard> shard = TryFind(name);
+  if (shard == nullptr) {
     throw std::invalid_argument("no such table: " + name);
   }
-  return it->second;
+  return shard;
+}
+
+std::shared_ptr<ContextManager::Shard> ContextManager::TryFind(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = shards_.find(name);
+  return it == shards_.end() ? nullptr : it->second;
 }
 
 TableStats ContextManager::Append(const std::string& name,
@@ -190,6 +197,11 @@ bool ContextManager::Drain(Shard& shard, bool try_only, size_t* applied,
   } else {
     shard.gate.LockExclusive();
   }
+  // Published for the async scheduling hooks: while this is set a
+  // draining verb on the same table would block on the exclusive gate,
+  // so an async front end parks such requests instead of burning a
+  // worker. NotifyDrained clears it before firing the observer.
+  shard.draining.store(true, std::memory_order_relaxed);
   std::vector<PendingOp> backlog;
   {
     std::lock_guard<std::mutex> qlock(shard.queue_mu);
@@ -225,11 +237,33 @@ bool ContextManager::Drain(Shard& shard, bool try_only, size_t* applied,
     // surviving state (applied profile + ops still queued) so later
     // enqueue validation stays truthful instead of drifting forever.
     ResyncQueueAfterFailedApply(shard);
+    NotifyDrained(shard);
     throw;
   }
   shard.gate.UnlockExclusive();
+  NotifyDrained(shard);
   if (applied != nullptr) *applied = total;
   return true;
+}
+
+void ContextManager::NotifyDrained(Shard& shard) {
+  // Order is load-bearing: the flag clears BEFORE the observer can fire,
+  // so a scheduler that saw the flag set and parked a request (under its
+  // own lock, which the observer also takes) is guaranteed this
+  // invocation happens after the park — no lost wakeup.
+  shard.draining.store(false, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(observer_mu_);
+  if (drain_observer_) drain_observer_(shard.name);
+}
+
+bool ContextManager::IsDraining(const std::string& name) const {
+  const std::shared_ptr<Shard> shard = TryFind(name);
+  return shard != nullptr && shard->draining.load(std::memory_order_relaxed);
+}
+
+void ContextManager::SetDrainObserver(DrainObserver observer) {
+  std::lock_guard<std::mutex> lock(observer_mu_);
+  drain_observer_ = std::move(observer);
 }
 
 void ContextManager::ResyncQueueAfterFailedApply(Shard& shard) {
@@ -388,6 +422,7 @@ TableStats ContextManager::RestoreTable(const std::string& name,
     }
   }
   auto shard = std::make_shared<Shard>();
+  shard->name = name;
   shard->table = std::make_unique<CandidateTable>(std::move(snapshot.table));
   shard->virtual_size = static_cast<size_t>(snapshot.summary.num_rankings);
   // The summarized constructor validates the summary against the table

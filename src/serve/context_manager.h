@@ -169,6 +169,42 @@ class ContextManager {
       const std::string& name, const ConsensusOptions& options = {},
       uint64_t* generation_after = nullptr);
 
+  // --- non-blocking drain scheduling hooks (async front ends) ---------
+  //
+  // A draining verb (Run / RunAll / RunSupported / Flush / SnapshotTable)
+  // can block for the length of a whole exclusive backlog fold. A
+  // thread-per-connection server just parks the client's thread; an async
+  // front end dispatching requests onto a bounded worker pool must not
+  // let one table's fold absorb every worker. These hooks let it route
+  // around the fold without ever blocking a scheduling thread:
+  // IsDraining says "an exclusive fold is running on this table right
+  // now", and the drain observer fires (table name, on the draining
+  // thread, after the gate is released) each time one finishes — park
+  // requests while IsDraining, release them from the observer.
+
+  /// True while a drain is applying this table's backlog under the
+  /// exclusive gate. Advisory and racy by design — a false return may be
+  /// stale by the time the caller acts on it — but paired with the drain
+  /// observer it admits no lost wakeup: the flag is cleared before the
+  /// observer fires, so a request parked while the flag was set is always
+  /// seen by that drain's observer call. Unknown tables return false.
+  bool IsDraining(const std::string& name) const;
+
+  /// Called after every exclusive drain releases the gate (including
+  /// failed applies), with the table's name. At most one invocation runs
+  /// at a time, and SetDrainObserver(nullptr) blocks until any in-flight
+  /// invocation returns — so an observer owner can tear down safely. The
+  /// callback runs on the draining thread and must not call back into
+  /// the draining verbs (deadlock: it would drain behind itself).
+  ///
+  /// SINGLE SLOT: each Set replaces the previous observer outright, so
+  /// exactly one front end may own a manager's drain scheduling at a
+  /// time — a second ServeExecutor Start()ed on the same manager would
+  /// steal the first one's wakeups and strand its parked requests. Run
+  /// multiple listeners off one manager only through one executor.
+  using DrainObserver = std::function<void(const std::string& table)>;
+  void SetDrainObserver(DrainObserver observer);
+
  private:
   /// One queued mutation: an append batch (rankings non-empty) or a
   /// removal of `remove_index`.
@@ -179,6 +215,12 @@ class ContextManager {
   };
 
   struct Shard {
+    /// The name the shard was registered under (stable for the shard's
+    /// lifetime, even across Drop — the drain observer reports it).
+    std::string name;
+    /// Set while Drain applies the backlog under the exclusive gate;
+    /// cleared before the drain observer fires (see IsDraining).
+    std::atomic<bool> draining{false};
     /// Declared before ctx: the context borrows the table and must be
     /// destroyed first (members are destroyed in reverse order).
     std::unique_ptr<CandidateTable> table;
@@ -233,10 +275,20 @@ class ContextManager {
   /// tests inject one directly (tests/serve_test.cc).
   friend struct ContextManagerTestPeer;
 
+  /// Find that returns nullptr instead of throwing (advisory probes).
+  std::shared_ptr<Shard> TryFind(const std::string& name) const;
+  /// Clears `shard.draining`, then invokes the drain observer (in that
+  /// order — the no-lost-wakeup contract of IsDraining depends on it).
+  void NotifyDrained(Shard& shard);
+
   /// Guards only the name → shard map; per-table traffic leaves the
   /// manager-wide critical section after one O(1) lookup.
   mutable std::mutex mu_;
   std::unordered_map<std::string, std::shared_ptr<Shard>> shards_;
+  /// Serializes drain-observer invocations; SetDrainObserver holds it
+  /// while swapping, so a swap to nullptr waits out in-flight calls.
+  mutable std::mutex observer_mu_;
+  DrainObserver drain_observer_;
 };
 
 }  // namespace manirank::serve

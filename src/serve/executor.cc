@@ -1,0 +1,922 @@
+#include "serve/executor.h"
+
+#ifdef MANIRANK_SERVE_HAVE_SOCKETS
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <functional>
+#include <ostream>
+#include <utility>
+
+namespace manirank::serve {
+namespace {
+
+/// Suppress SIGPIPE per-write where the platform allows it; serve_main
+/// additionally ignores the signal process-wide for its stream modes.
+#ifdef MSG_NOSIGNAL
+constexpr int kSendFlags = MSG_NOSIGNAL;
+#else
+constexpr int kSendFlags = 0;
+#endif
+
+bool SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+/// Nagle off for accepted connections: with it on, a pipelining client's
+/// final sub-MSS segment can stall ~40 ms behind the peer's delayed ACK
+/// whenever the server has no response traffic to piggyback ACKs on —
+/// which is exactly the quiet stretch while a big fold executes.
+void SetNoDelay(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+/// Bound on one blocking send() call in the thread-per-connection model:
+/// a client that stops reading would otherwise pin its handler thread in
+/// send() forever (and hang Shutdown's join with it). Generous for any
+/// live loopback/LAN peer — only a dead reader with a full socket buffer
+/// trips it, failing the send so the handler aborts the connection.
+constexpr time_t kSendTimeoutSeconds = 5;
+
+void SetSendTimeout(int fd) {
+  timeval timeout{};
+  timeout.tv_sec = kSendTimeoutSeconds;
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+}
+
+void Fail(std::string* error, const std::string& what) {
+  if (error != nullptr) *error = what + ": " + std::strerror(errno);
+}
+
+/// Binds and listens on 127.0.0.1:<port> (0 = ephemeral), reporting the
+/// actually-bound port. Returns the listener fd, or -1 with *error set.
+int OpenListener(int port, int* bound_port, std::string* error) {
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listener < 0) {
+    Fail(error, "socket");
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(listener, 64) < 0) {
+    Fail(error, "bind/listen on 127.0.0.1:" + std::to_string(port));
+    ::close(listener);
+    return -1;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listener, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    Fail(error, "getsockname");
+    ::close(listener);
+    return -1;
+  }
+  *bound_port = static_cast<int>(ntohs(addr.sin_port));
+  return listener;
+}
+
+/// Writes one full response line on a BLOCKING socket; false when the
+/// peer went away. Empty responses (comment/blank requests) send nothing.
+bool SendLine(int fd, std::string response) {
+  if (response.empty()) return true;
+  response.push_back('\n');
+  size_t sent = 0;
+  while (sent < response.size()) {
+    const ssize_t w = ::send(fd, response.data() + sent,
+                             response.size() - sent, kSendFlags);
+    if (w < 0 && errno == EINTR) continue;
+    if (w <= 0) return false;
+    sent += static_cast<size_t>(w);
+  }
+  return true;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ThreadPerConnectionServer
+// ---------------------------------------------------------------------------
+
+ThreadPerConnectionServer::ThreadPerConnectionServer(ContextManager* manager,
+                                                     ServerOptions options)
+    : manager_(manager), options_(options) {}
+
+ThreadPerConnectionServer::~ThreadPerConnectionServer() { Shutdown(); }
+
+bool ThreadPerConnectionServer::Start(std::string* error) {
+  if (started_) {
+    if (error != nullptr) *error = "server already started";
+    return false;
+  }
+  listener_ = OpenListener(options_.port, &port_, error);
+  if (listener_ < 0) return false;
+  stopping_.store(false);
+  started_ = true;
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  if (options_.log != nullptr) {
+    *options_.log << "manirank_serve listening on 127.0.0.1:" << port_
+                  << " (thread per connection)\n";
+  }
+  return true;
+}
+
+void ThreadPerConnectionServer::AcceptLoop() {
+  for (;;) {
+    const int fd = ::accept(listener_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load()) break;
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM || errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Transient resource exhaustion (or an already-aborted backlog
+        // entry): a long-lived server must not become a zombie that
+        // holds the port while refusing every future connection. Back
+        // off briefly and retry.
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        continue;
+      }
+      break;  // listener shut down (or fatal): stop accepting
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_.load()) {
+        // Raced the shutdown: turn the connection away instead of
+        // spawning a handler Shutdown would not wait for.
+        ::close(fd);
+        continue;
+      }
+      live_fds_.push_back(fd);
+      ++active_;
+    }
+    SetNoDelay(fd);
+    SetSendTimeout(fd);
+    // Detached so a long-lived server does not accumulate one joinable
+    // (stack-retaining) thread per closed connection; Shutdown joins
+    // stragglers through the active_ counter + condition variable.
+    std::thread([this, fd] { Connection(fd); }).detach();
+  }
+}
+
+void ThreadPerConnectionServer::Connection(int fd) {
+  Dispatcher dispatcher(manager_);
+  std::string buffer;
+  char chunk[4096];
+  bool peer_gone = false;
+  bool oversize = false;
+  for (;;) {
+    const ssize_t got = ::read(fd, chunk, sizeof(chunk));
+    if (got < 0 && errno == EINTR) continue;
+    if (got <= 0) break;
+    // Invariant: the retained buffer never contains '\n' (complete lines
+    // are consumed below), so only the new chunk needs scanning — a
+    // multi-megabyte line arriving in 4 KB reads stays O(L), not O(L^2).
+    const size_t scan_from = buffer.size();
+    buffer.append(chunk, static_cast<size_t>(got));
+    if (buffer.size() > kMaxRequestBytes &&
+        buffer.find('\n', scan_from) == std::string::npos) {
+      SendLine(fd, "ERR bad-request: request line exceeds 16 MiB");
+      oversize = true;
+      break;
+    }
+    size_t start = 0;
+    for (;;) {
+      const size_t newline = buffer.find('\n', std::max(start, scan_from));
+      if (newline == std::string::npos) break;
+      const std::string line = buffer.substr(start, newline - start);
+      start = newline + 1;
+      if (!SendLine(fd, dispatcher.Handle(line))) {
+        peer_gone = true;
+        break;
+      }
+    }
+    if (peer_gone) break;
+    buffer.erase(0, start);
+  }
+  if (!peer_gone) {
+    // A final request may arrive without a trailing newline before the
+    // client half-closes; answer it rather than dropping it.
+    if (!oversize && !buffer.empty()) SendLine(fd, dispatcher.Handle(buffer));
+    // Half-close and drain instead of an immediate close: an unread byte
+    // in the receive queue at close() makes the kernel send RST, which
+    // destroys the in-flight response — the client would see a reset
+    // instead of the oversize ERR (or its final answer). Draining until
+    // the client closes guarantees orderly delivery.
+    ::shutdown(fd, SHUT_WR);
+    for (;;) {
+      const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+      if (n > 0) continue;
+      if (n < 0 && errno == EINTR) continue;
+      break;
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  live_fds_.erase(std::remove(live_fds_.begin(), live_fds_.end(), fd),
+                  live_fds_.end());
+  ::close(fd);
+  if (--active_ == 0) done_cv_.notify_all();
+}
+
+void ThreadPerConnectionServer::Shutdown() {
+  if (!started_) return;
+  stopping_.store(true);
+  // shutdown() (not close()) reliably wakes the blocked accept().
+  ::shutdown(listener_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  ::close(listener_);
+  listener_ = -1;
+  {
+    // Half-close the read side of every live connection: its handler
+    // sees EOF once the in-flight request finishes, flushes the final
+    // response, and exits — no new requests are accepted, but already
+    // submitted ones are answered.
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int fd : live_fds_) ::shutdown(fd, SHUT_RD);
+  }
+  // In-flight requests finish at their own pace (methods are bounded by
+  // their time limits), and a handler can never block in send() beyond
+  // kSendTimeout to a client that stopped reading — so this join always
+  // terminates.
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return active_ == 0; });
+  started_ = false;
+}
+
+// ---------------------------------------------------------------------------
+// ServeExecutor
+// ---------------------------------------------------------------------------
+
+/// One queued request: scheduling metadata plus the intra-connection
+/// dependency edges that serialize same-table and barrier requests.
+/// Owned by live_nodes_; destroyed in CompleteLocked.
+struct ServeExecutor::Request {
+  std::shared_ptr<Conn> conn;
+  uint64_t seq = 0;
+  /// Global arrival stamp ordering the ready queue across connections.
+  uint64_t arrival = 0;
+  std::string line;
+  std::string table;
+  bool barrier = false;
+  bool draining = false;
+  /// Non-empty: respond with this without executing (oversize ERR).
+  std::string synthetic_response;
+  /// Unfinished predecessors; dispatched when this reaches zero.
+  size_t deps = 0;
+  std::vector<Request*> dependents;
+};
+
+struct ServeExecutor::Conn {
+  Conn(int fd, ContextManager* manager) : fd(fd), dispatcher(manager) {}
+
+  int fd;
+  /// Stateless over the shared manager, so concurrent requests of one
+  /// connection may execute on different workers simultaneously.
+  Dispatcher dispatcher;
+
+  // --- touched only by the I/O thread ---
+  std::string in_buffer;
+  /// Reading and scheduling new requests (false after client EOF, an
+  /// oversize line, or executor shutdown).
+  bool scheduling_reads = true;
+  bool saw_eof = false;
+  /// Response stream flushed and half-closed; reading-and-discarding
+  /// until the client closes (so close() never turns into an RST that
+  /// destroys the tail of the response stream).
+  bool discarding = false;
+  /// During shutdown a discarding client gets a bounded linger to close
+  /// its end, then is dropped — one idle peer must not hang Shutdown().
+  std::chrono::steady_clock::time_point discard_deadline{};
+  /// During shutdown, once every request has executed, a client that
+  /// stops reading its buffered responses gets a bounded flush window
+  /// before being dropped — same rationale as discard_deadline.
+  std::chrono::steady_clock::time_point flush_deadline{};
+
+  // --- guarded by sched_mu_ ---
+  uint64_t next_seq = 0;   // next request sequence number to assign
+  uint64_t next_send = 0;  // next sequence number to append to `out`
+  /// Bytes of parsed request lines not yet executed (the request-side
+  /// backpressure budget).
+  size_t queued_line_bytes = 0;
+  /// Finished responses waiting for an earlier sequence number.
+  std::map<uint64_t, std::string> finished_out_of_order;
+  /// Every unfinished request of this connection (barrier dependencies).
+  std::vector<Request*> unfinished;
+  /// Last unfinished request per table — the tail of each serial chain.
+  std::unordered_map<std::string, Request*> last_by_table;
+  Request* last_barrier = nullptr;
+  /// Sequenced response bytes awaiting POLLOUT.
+  std::string out;
+  size_t out_offset = 0;
+  /// Write error: the peer is gone; discard completions silently.
+  bool dead = false;
+};
+
+ServeExecutor::ServeExecutor(ContextManager* manager, ServerOptions options)
+    : manager_(manager), options_(options) {
+  if (options_.workers == 0) options_.workers = DefaultThreadCount();
+  options_.workers = std::min(std::max<size_t>(1, options_.workers),
+                              kMaxThreads);
+  options_.max_inflight_per_connection =
+      std::max<size_t>(1, options_.max_inflight_per_connection);
+  options_.max_buffered_response_bytes =
+      std::max<size_t>(4096, options_.max_buffered_response_bytes);
+}
+
+ServeExecutor::~ServeExecutor() { Shutdown(); }
+
+size_t ServeExecutor::workers() const { return options_.workers; }
+
+uint64_t ServeExecutor::requests_served() const {
+  return requests_served_.load();
+}
+
+uint64_t ServeExecutor::requests_parked() const {
+  return requests_parked_.load();
+}
+
+bool ServeExecutor::Start(std::string* error) {
+  if (started_) {
+    if (error != nullptr) *error = "executor already started";
+    return false;
+  }
+  listener_ = OpenListener(options_.port, &port_, error);
+  if (listener_ < 0) return false;
+  if (::pipe(wake_fds_) != 0 || !SetNonBlocking(wake_fds_[0]) ||
+      !SetNonBlocking(wake_fds_[1]) || !SetNonBlocking(listener_)) {
+    Fail(error, "wake pipe");
+    ::close(listener_);
+    listener_ = -1;
+    for (int& fd : wake_fds_) {
+      if (fd >= 0) ::close(fd);
+      fd = -1;
+    }
+    return false;
+  }
+  pool_ = std::make_unique<TaskPool>(options_.workers);
+  // Park-instead-of-block for draining verbs (see DispatchLocked); the
+  // observer releases parked requests the moment the fold ends.
+  manager_->SetDrainObserver(
+      [this](const std::string& table) { OnDrainFinished(table); });
+  stopping_.store(false);
+  // A worker's last Wake() during a previous Shutdown can leave the
+  // flag set with its pipe byte gone; carried into a restart it would
+  // make every future Wake() a no-op and strand the poll loop.
+  wake_pending_.store(false);
+  started_ = true;
+  io_thread_ = std::thread([this] { IoLoop(); });
+  if (options_.log != nullptr) {
+    *options_.log << "manirank_serve executor listening on 127.0.0.1:"
+                  << port_ << " (" << options_.workers << " workers)\n";
+  }
+  return true;
+}
+
+void ServeExecutor::Shutdown() {
+  if (!started_) return;
+  stopping_.store(true);
+  Wake();
+  if (io_thread_.joinable()) io_thread_.join();
+  // The I/O thread exits only once every connection is closed, i.e.
+  // every accepted request has executed and flushed; Stop() then drains
+  // whatever stragglers belong to already-aborted connections.
+  pool_->Stop();
+  manager_->SetDrainObserver(nullptr);
+  {
+    std::lock_guard<std::mutex> lock(sched_mu_);
+    parked_.clear();
+    ready_.clear();
+    live_nodes_.clear();
+    conns_.clear();
+  }
+  for (int& fd : wake_fds_) {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+  }
+  started_ = false;
+}
+
+void ServeExecutor::Wake() {
+  if (wake_pending_.exchange(true)) return;
+  const char byte = 1;
+  // Nonblocking; a full pipe means a wakeup is already in flight.
+  [[maybe_unused]] const ssize_t w = ::write(wake_fds_[1], &byte, 1);
+}
+
+void ServeExecutor::IoLoop() {
+  bool parked_flushed = false;
+  std::vector<pollfd> pfds;
+  std::vector<std::shared_ptr<Conn>> polled;
+  std::vector<std::shared_ptr<Conn>> flushed;
+  for (;;) {
+    const bool stopping = stopping_.load();
+    if (stopping && listener_ >= 0) {
+      ::close(listener_);
+      listener_ = -1;
+    }
+    pfds.clear();
+    polled.clear();
+    flushed.clear();
+    pfds.push_back({wake_fds_[0], POLLIN, 0});
+    const bool accept_backing_off =
+        std::chrono::steady_clock::now() < accept_backoff_until_;
+    const bool poll_listener = listener_ >= 0 && !accept_backing_off;
+    if (poll_listener) pfds.push_back({listener_, POLLIN, 0});
+    const size_t conn_base = pfds.size();
+    bool all_closed;
+    {
+      std::lock_guard<std::mutex> lock(sched_mu_);
+      if (stopping && !parked_flushed) {
+        // No further drains may come to release parked requests once the
+        // request inflow stops — dispatch them now; they execute (at
+        // worst briefly blocking on a finishing fold) and their clients
+        // still get responses before the half-close.
+        parked_flushed = true;
+        for (auto& [table, nodes] : parked_) {
+          for (Request* node : nodes) EnqueueReadyLocked(node);
+        }
+        parked_.clear();
+      }
+      for (auto it = conns_.begin(); it != conns_.end();) {
+        const std::shared_ptr<Conn>& conn = it->second;
+        if (conn->dead) {
+          // A completing worker flagged a write failure; finish the
+          // teardown here, on the fd-owning thread.
+          ::close(it->first);
+          conn->fd = -1;
+          it = conns_.erase(it);
+          continue;
+        }
+        if (stopping && conn->scheduling_reads) {
+          // Stop reading new requests; a partial line that never got its
+          // newline is abandoned, accepted requests still complete.
+          conn->scheduling_reads = false;
+          conn->in_buffer.clear();
+        }
+        const size_t inflight = conn->next_seq - conn->next_send;
+        const size_t out_bytes = conn->out.size() - conn->out_offset;
+        if (!conn->scheduling_reads && !conn->discarding &&
+            conn->unfinished.empty() && out_bytes == 0) {
+          // Every accepted request is answered and flushed: response
+          // stream complete.
+          flushed.push_back(conn);
+          ++it;
+          continue;
+        }
+        if (stopping && conn->discarding) {
+          // The response stream is delivered and half-closed; give the
+          // client a bounded linger to close its end, then drop it — an
+          // idle peer must not hang Shutdown() forever.
+          const auto now = std::chrono::steady_clock::now();
+          if (conn->discard_deadline == decltype(now){}) {
+            conn->discard_deadline = now + std::chrono::seconds(1);
+          } else if (now >= conn->discard_deadline) {
+            conn->dead = true;
+            ::close(it->first);
+            conn->fd = -1;
+            it = conns_.erase(it);
+            continue;
+          }
+        }
+        if (stopping && !conn->discarding && conn->unfinished.empty() &&
+            out_bytes > 0) {
+          // Everything has executed but the client is not reading its
+          // responses; bound the flush the same way — a dead reader
+          // with a full socket buffer must not hang Shutdown().
+          const auto now = std::chrono::steady_clock::now();
+          if (conn->flush_deadline == decltype(now){}) {
+            conn->flush_deadline = now + std::chrono::seconds(5);
+          } else if (now >= conn->flush_deadline) {
+            conn->dead = true;
+            ::close(it->first);
+            conn->fd = -1;
+            it = conns_.erase(it);
+            continue;
+          }
+        }
+        short events = 0;
+        if (conn->discarding) {
+          events |= POLLIN;
+        } else if (conn->scheduling_reads &&
+                   inflight < options_.max_inflight_per_connection &&
+                   out_bytes <= options_.max_buffered_response_bytes &&
+                   conn->queued_line_bytes <=
+                       options_.max_buffered_request_bytes) {
+          // Backpressure: a connection over its in-flight, buffered-
+          // response, or buffered-request budget is simply not polled
+          // for input; the kernel socket buffer then pushes back on the
+          // client.
+          events |= POLLIN;
+        }
+        if (out_bytes > 0) events |= POLLOUT;
+        pfds.push_back({it->first, events, 0});
+        polled.push_back(conn);
+        ++it;
+      }
+      for (const std::shared_ptr<Conn>& conn : flushed) {
+        if (conn->fd < 0) continue;
+        if (conn->saw_eof || conn->dead) {
+          // The client already half-closed (or vanished): nothing left
+          // in flight in either direction.
+          conns_.erase(conn->fd);
+          ::close(conn->fd);
+          conn->fd = -1;
+        } else {
+          // Oversize ERR or shutdown: half-close and drain so the
+          // client receives the full response stream and an orderly
+          // EOF, never a reset.
+          ::shutdown(conn->fd, SHUT_WR);
+          conn->discarding = true;
+          pfds.push_back({conn->fd, POLLIN, 0});
+          polled.push_back(conn);
+        }
+      }
+      all_closed = conns_.empty();
+    }
+    if (stopping && all_closed) break;
+    // While stopping, tick so discard-linger deadlines are enforced even
+    // if no fd ever becomes ready again; while backing off from accept,
+    // tick so the listener resumes without needing another event.
+    const int timeout_ms = stopping ? 100 : (accept_backing_off ? 50 : -1);
+    const int rc =
+        ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), timeout_ms);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;  // poll itself failed: abandon ship (Shutdown cleans up)
+    }
+    if (pfds[0].revents != 0) {
+      char drain[64];
+      while (::read(wake_fds_[0], drain, sizeof(drain)) > 0) {
+      }
+      wake_pending_.store(false);
+    }
+    if (poll_listener && pfds[1].revents != 0) AcceptReady();
+    for (size_t i = 0; i < polled.size(); ++i) {
+      const std::shared_ptr<Conn>& conn = polled[i];
+      const short revents = pfds[conn_base + i].revents;
+      if (revents == 0 || conn->fd < 0) continue;
+      if ((revents & (POLLIN | POLLERR | POLLHUP)) != 0) {
+        if (conn->discarding) {
+          // Draining after half-close: eat bytes until the client
+          // closes, then finish the connection.
+          char chunk[4096];
+          for (;;) {
+            const ssize_t n = ::read(conn->fd, chunk, sizeof(chunk));
+            if (n > 0) continue;
+            if (n < 0 && errno == EINTR) continue;
+            if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+            AbortConn(conn);  // EOF or error: fully closed now
+            break;
+          }
+          continue;
+        }
+        if (conn->scheduling_reads) {
+          HandleReadable(conn);
+        } else if ((revents & (POLLERR | POLLHUP)) != 0 &&
+                   (revents & POLLOUT) == 0) {
+          // Peer vanished while we were not reading; undeliverable.
+          AbortConn(conn);
+          continue;
+        }
+      }
+      if ((revents & POLLOUT) != 0 && conn->fd >= 0) FlushWritable(conn);
+    }
+  }
+  // Defensive teardown for the poll-failure exit: Shutdown's cleanup
+  // assumes the loop closed everything it owned.
+  std::lock_guard<std::mutex> lock(sched_mu_);
+  for (auto& [fd, conn] : conns_) {
+    ::close(fd);
+    conn->fd = -1;
+    conn->dead = true;
+  }
+  conns_.clear();
+  if (listener_ >= 0) {
+    ::close(listener_);
+    listener_ = -1;
+  }
+}
+
+void ServeExecutor::AcceptReady() {
+  for (;;) {
+    const int fd = ::accept(listener_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM) {
+        // Resource exhaustion leaves the pending connection queued, so
+        // the listener stays level-triggered readable — without a
+        // backoff the poll loop would hot-spin at 100% CPU until an fd
+        // frees. Pause accepting briefly; live connections keep being
+        // served meanwhile.
+        accept_backoff_until_ = std::chrono::steady_clock::now() +
+                                std::chrono::milliseconds(50);
+      }
+      return;  // EAGAIN / transient error: back to poll
+    }
+    if (!SetNonBlocking(fd)) {
+      ::close(fd);
+      continue;
+    }
+    SetNoDelay(fd);
+    auto conn = std::make_shared<Conn>(fd, manager_);
+    std::lock_guard<std::mutex> lock(sched_mu_);
+    conns_.emplace(fd, std::move(conn));
+  }
+}
+
+void ServeExecutor::HandleReadable(const std::shared_ptr<Conn>& conn) {
+  // Per-wakeup fairness budget: one connection streaming data at full
+  // speed (e.g. a firehose of comment lines, which never trip the
+  // in-flight backpressure because they draw no response) must not pin
+  // the I/O thread in this loop — after the budget, return to poll() so
+  // accepts, other reads, and flushes interleave.
+  constexpr size_t kReadBudgetPerWakeup = 256u << 10;
+  size_t consumed = 0;
+  char chunk[16384];
+  while (consumed < kReadBudgetPerWakeup) {
+    const ssize_t got = ::read(conn->fd, chunk, sizeof(chunk));
+    if (got > 0) {
+      consumed += static_cast<size_t>(got);
+      std::string& buffer = conn->in_buffer;
+      // Invariant: the retained buffer never contains '\n', so only the
+      // new chunk needs scanning (O(L) total for an L-byte line).
+      const size_t scan_from = buffer.size();
+      buffer.append(chunk, static_cast<size_t>(got));
+      if (buffer.size() > kMaxRequestBytes &&
+          buffer.find('\n', scan_from) == std::string::npos) {
+        ScheduleOversize(conn);
+        return;
+      }
+      size_t start = 0;
+      for (;;) {
+        const size_t newline = buffer.find('\n', std::max(start, scan_from));
+        if (newline == std::string::npos) break;
+        ScheduleLine(conn, buffer.substr(start, newline - start));
+        start = newline + 1;
+      }
+      buffer.erase(0, start);
+      {
+        // Soft backpressure check between chunks: everything already
+        // read is scheduled, but stop pulling more once over budget.
+        std::lock_guard<std::mutex> lock(sched_mu_);
+        if (conn->next_seq - conn->next_send >=
+                options_.max_inflight_per_connection ||
+            conn->queued_line_bytes > options_.max_buffered_request_bytes) {
+          return;
+        }
+      }
+    } else if (got == 0) {
+      conn->saw_eof = true;
+      conn->scheduling_reads = false;
+      // A final request may arrive without a trailing newline before
+      // the client half-closes; answer it rather than dropping it.
+      if (!conn->in_buffer.empty()) {
+        ScheduleLine(conn, std::move(conn->in_buffer));
+        conn->in_buffer.clear();
+      }
+      return;
+    } else {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      AbortConn(conn);
+      return;
+    }
+  }
+}
+
+void ServeExecutor::ScheduleLine(const std::shared_ptr<Conn>& conn,
+                                 std::string&& line) {
+  RequestClass cls = ClassifyRequest(line);
+  // Blank/comment lines get no response and need no scheduling.
+  if (cls.no_response) return;
+  std::lock_guard<std::mutex> lock(sched_mu_);
+  auto owned = std::make_unique<Request>();
+  Request* node = owned.get();
+  node->conn = conn;
+  node->seq = conn->next_seq++;
+  node->arrival = next_arrival_++;
+  node->line = std::move(line);
+  conn->queued_line_bytes += node->line.size();
+  node->table = std::move(cls.table);
+  node->barrier = cls.barrier;
+  node->draining = cls.draining;
+  live_nodes_.emplace(node, std::move(owned));
+  const auto depend_on = [node](Request* pred) {
+    if (pred != nullptr) {
+      pred->dependents.push_back(node);
+      ++node->deps;
+    }
+  };
+  if (node->barrier) {
+    // Orders against everything in flight on this connection, and
+    // (via last_barrier) everything that arrives later.
+    for (Request* pred : conn->unfinished) depend_on(pred);
+    conn->last_barrier = node;
+  } else {
+    // Same-table requests form a serial chain (arrival order); the
+    // barrier edge keeps namespace verbs totally ordered around them.
+    // The two predecessors are necessarily distinct nodes: a barrier is
+    // never registered in last_by_table.
+    const auto it = conn->last_by_table.find(node->table);
+    depend_on(it != conn->last_by_table.end() ? it->second : nullptr);
+    depend_on(conn->last_barrier);
+    conn->last_by_table[node->table] = node;
+  }
+  conn->unfinished.push_back(node);
+  if (node->deps == 0) DispatchLocked(node);
+}
+
+void ServeExecutor::ScheduleOversize(const std::shared_ptr<Conn>& conn) {
+  conn->scheduling_reads = false;
+  conn->in_buffer.clear();
+  conn->in_buffer.shrink_to_fit();
+  std::lock_guard<std::mutex> lock(sched_mu_);
+  auto owned = std::make_unique<Request>();
+  Request* node = owned.get();
+  node->conn = conn;
+  node->seq = conn->next_seq++;
+  node->arrival = next_arrival_++;
+  node->barrier = true;
+  node->synthetic_response = "ERR bad-request: request line exceeds 16 MiB";
+  live_nodes_.emplace(node, std::move(owned));
+  for (Request* pred : conn->unfinished) {
+    pred->dependents.push_back(node);
+    ++node->deps;
+  }
+  conn->last_barrier = node;
+  conn->unfinished.push_back(node);
+  // Once this response flushes (after every pipelined predecessor), the
+  // I/O loop half-closes and drains — the client reliably receives the
+  // ERR rather than a reset.
+  if (node->deps == 0) DispatchLocked(node);
+}
+
+void ServeExecutor::DispatchLocked(Request* node) {
+  if (!node->synthetic_response.empty()) {
+    CompleteLocked(node, node->synthetic_response);
+    return;
+  }
+  if (!stopping_.load() && node->draining && !node->table.empty() &&
+      manager_->IsDraining(node->table)) {
+    // The table's backlog is mid-fold: executing now would just block a
+    // pool worker on the exclusive gate. Park; OnDrainFinished (the
+    // manager's drain observer) re-dispatches the moment the fold ends.
+    // No lost wakeup: the manager clears its draining flag before the
+    // observer fires, and the observer takes sched_mu_, so it cannot
+    // run between our check and this insertion.
+    parked_[node->table].push_back(node);
+    requests_parked_.fetch_add(1);
+    return;
+  }
+  EnqueueReadyLocked(node);
+}
+
+void ServeExecutor::EnqueueReadyLocked(Request* node) {
+  ready_.emplace_back(node->arrival, node);
+  std::push_heap(ready_.begin(), ready_.end(),
+                 std::greater<std::pair<uint64_t, Request*>>());
+  // Generic pop-the-oldest jobs: exactly one per ready node, so the pool
+  // never idles while work is ready, and every worker serves the oldest
+  // request first.
+  pool_->Submit([this] { RunNextReady(); });
+}
+
+void ServeExecutor::RunNextReady() {
+  Request* node = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(sched_mu_);
+    if (ready_.empty()) return;
+    std::pop_heap(ready_.begin(), ready_.end(),
+                  std::greater<std::pair<uint64_t, Request*>>());
+    node = ready_.back().second;
+    ready_.pop_back();
+  }
+  std::string response;
+  try {
+    response = node->conn->dispatcher.Handle(node->line);
+  } catch (...) {
+    // Handle() maps every failure to an ERR response; this is a belt for
+    // the contract so one rogue exception cannot kill a pool worker.
+    response = "ERR internal: unexpected exception in request execution";
+  }
+  std::lock_guard<std::mutex> lock(sched_mu_);
+  CompleteLocked(node, std::move(response));
+}
+
+void ServeExecutor::CompleteLocked(Request* node, std::string response) {
+  const std::shared_ptr<Conn> conn = node->conn;
+  conn->queued_line_bytes -= node->line.size();
+  if (conn->last_barrier == node) conn->last_barrier = nullptr;
+  if (!node->barrier) {
+    const auto it = conn->last_by_table.find(node->table);
+    if (it != conn->last_by_table.end() && it->second == node) {
+      conn->last_by_table.erase(it);
+    }
+  }
+  conn->unfinished.erase(
+      std::remove(conn->unfinished.begin(), conn->unfinished.end(), node),
+      conn->unfinished.end());
+  for (Request* dependent : node->dependents) {
+    if (--dependent->deps == 0) DispatchLocked(dependent);
+  }
+  if (!conn->dead) {
+    conn->finished_out_of_order.emplace(node->seq, std::move(response));
+    SequenceLocked(*conn);
+    // Flush from the completion context instead of waiting for the I/O
+    // thread: on an oversubscribed CPU the busy workers can starve the
+    // poll loop for a whole scheduling quantum, which would batch every
+    // response toward the end of a pipeline. The socket is nonblocking,
+    // so this never stalls a worker; leftovers fall back to POLLOUT.
+    FlushLocked(*conn);
+  }
+  requests_served_.fetch_add(1);
+  live_nodes_.erase(node);  // destroys *node
+  // Output may still be pending, reads resumable, or the connection
+  // finishable — let the poll loop re-evaluate.
+  Wake();
+}
+
+void ServeExecutor::SequenceLocked(Conn& conn) {
+  // Completion order is whatever the pool produced; the wire order is
+  // the request order. Append every response whose turn has come.
+  for (auto it = conn.finished_out_of_order.find(conn.next_send);
+       it != conn.finished_out_of_order.end();
+       it = conn.finished_out_of_order.find(conn.next_send)) {
+    if (!it->second.empty()) {
+      conn.out += it->second;
+      conn.out += '\n';
+    }
+    conn.finished_out_of_order.erase(it);
+    ++conn.next_send;
+  }
+}
+
+void ServeExecutor::OnDrainFinished(const std::string& table) {
+  std::lock_guard<std::mutex> lock(sched_mu_);
+  const auto it = parked_.find(table);
+  if (it == parked_.end()) return;
+  for (Request* node : it->second) EnqueueReadyLocked(node);
+  parked_.erase(it);
+}
+
+void ServeExecutor::FlushWritable(const std::shared_ptr<Conn>& conn) {
+  std::lock_guard<std::mutex> lock(sched_mu_);
+  FlushLocked(*conn);
+}
+
+void ServeExecutor::FlushLocked(Conn& conn) {
+  if (conn.fd < 0 || conn.dead) return;
+  std::string& out = conn.out;
+  while (conn.out_offset < out.size()) {
+    const ssize_t n = ::send(conn.fd, out.data() + conn.out_offset,
+                             out.size() - conn.out_offset, kSendFlags);
+    if (n > 0) {
+      conn.out_offset += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    // Peer gone: the remaining responses are undeliverable. Only flag it
+    // here — a completing worker may be the caller, and fd lifecycle
+    // (close + conns_ erase) belongs to the I/O thread alone, otherwise
+    // a reused descriptor number could alias a freshly accepted
+    // connection in the poll set.
+    conn.dead = true;
+    out.clear();
+    conn.out_offset = 0;
+    return;
+  }
+  if (conn.out_offset == out.size()) {
+    out.clear();
+    conn.out_offset = 0;
+  }
+}
+
+void ServeExecutor::AbortConn(const std::shared_ptr<Conn>& conn) {
+  std::lock_guard<std::mutex> lock(sched_mu_);
+  conn->dead = true;
+  conn->scheduling_reads = false;
+  conn->discarding = false;
+  if (conn->fd >= 0) {
+    conns_.erase(conn->fd);
+    ::close(conn->fd);
+    conn->fd = -1;
+  }
+}
+
+}  // namespace manirank::serve
+
+#endif  // MANIRANK_SERVE_HAVE_SOCKETS

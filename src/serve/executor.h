@@ -1,0 +1,270 @@
+#ifndef MANIRANK_SERVE_EXECUTOR_H_
+#define MANIRANK_SERVE_EXECUTOR_H_
+
+/// \file
+/// TCP front ends for the multi-table serving layer: the async
+/// ServeExecutor (the production model) and the legacy
+/// ThreadPerConnectionServer (kept as the measured baseline). Both speak
+/// the newline-delimited protocol of serve/protocol.h over loopback TCP
+/// and share one ContextManager across every connection.
+///
+/// ## Why an executor
+///
+/// MANI-Rank consensus runs are seconds-long gate holds: a RUN first
+/// drains the table's mutation backlog under the exclusive gate, then
+/// runs the method under the shared gate. A thread-per-connection server
+/// executes each connection's pipeline strictly serially, so one big
+/// request head-of-line-blocks every request queued behind it on that
+/// connection — even requests for completely unrelated tables.
+///
+/// The ServeExecutor splits the connection handler into
+///
+///  - one poll-driven I/O thread that accepts connections, reads
+///    newline-delimited requests from all of them, and flushes response
+///    bytes (it never executes a request, so the accept loop and every
+///    socket stay live during the heaviest fold), and
+///  - a bounded shared worker pool (util/threading.h TaskPool) that
+///    executes parsed requests through the per-connection Dispatcher.
+///
+/// Scheduling preserves the observable semantics of serial execution:
+/// requests addressing the same table execute in arrival order, requests
+/// addressing different tables commute (shards share no state) and run
+/// concurrently, and namespace verbs — plus SNAPSHOT, whose destination
+/// path is a shared resource outside the table key — act as per-connection barriers (see
+/// ClassifyRequest in serve/protocol.h). Responses are sequenced through
+/// a per-connection in-order queue, so a pipelined client still receives
+/// exactly one response line per request, in request order — the
+/// response stream is bit-identical to the synchronous dispatcher's,
+/// while the server-side work overlaps.
+///
+/// Draining verbs additionally consult the ContextManager's non-blocking
+/// scheduling hooks: a RUN or FLUSH aimed at a table whose backlog is
+/// mid-fold is parked and re-dispatched by the drain observer instead
+/// of blocking a pool worker, so one table's exclusive mutation wave
+/// cannot absorb the whole pool. (SNAPSHOT drains too, but runs as a
+/// barrier — alone on its connection — so it never stacks workers.)
+///
+/// ## Backpressure
+///
+/// A connection stops being polled for input while it has
+/// max_inflight_per_connection parsed-but-unanswered requests or more
+/// than max_buffered_response_bytes of unflushed response bytes; the
+/// kernel socket buffer then pushes back on the client the normal TCP
+/// way. (The cap is soft: every complete line already read in the
+/// current chunk is still scheduled.)
+///
+/// ## Shutdown
+///
+/// Shutdown() (and the destructor) stop accepting and reading, let every
+/// in-flight request finish, flush its response, half-close each
+/// connection (shutdown(SHUT_WR)) so the client actually receives the
+/// tail of the stream, and join the I/O thread and workers. A client
+/// that never closes its end after the half-close is given a bounded
+/// linger (~1 s) and then dropped, so one idle or hostile connection
+/// cannot hang the shutdown. The same flush-then-half-close discipline
+/// answers an oversize request line: the client receives the ERR
+/// response and an orderly EOF, never a connection reset.
+
+#if defined(__unix__) || defined(__APPLE__)
+#define MANIRANK_SERVE_HAVE_SOCKETS 1
+#endif
+
+#ifdef MANIRANK_SERVE_HAVE_SOCKETS
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/context_manager.h"
+#include "serve/protocol.h"
+#include "util/threading.h"
+
+namespace manirank::serve {
+
+/// Longest admissible request line. Generous for big APPEND batches, but
+/// a client streaming bytes with no newline must not grow server memory
+/// without bound.
+inline constexpr size_t kMaxRequestBytes = 16u << 20;
+
+/// Shared knobs for both TCP front ends. The worker/backpressure fields
+/// only apply to the ServeExecutor.
+struct ServerOptions {
+  /// Loopback port to bind; 0 asks the kernel for an ephemeral port
+  /// (read it back via port() — this is how the tests and bench run).
+  int port = 0;
+  /// Executor worker threads; 0 = DefaultThreadCount() (at least 1).
+  size_t workers = 0;
+  /// Parsed-but-unanswered requests per connection before the reader
+  /// stops polling that socket.
+  size_t max_inflight_per_connection = 64;
+  /// Unflushed response bytes per connection before the same.
+  size_t max_buffered_response_bytes = 4u << 20;
+  /// Bytes of parsed-but-unexecuted request lines per connection before
+  /// the same — without this a client could pipeline 64 nearly-16 MiB
+  /// APPENDs and pin ~1 GiB per connection. The default admits two
+  /// maximum-size lines; one over-cap line is always admitted (soft
+  /// cap), so a single kMaxRequestBytes request still works.
+  size_t max_buffered_request_bytes = 32u << 20;
+  /// Announce "listening on 127.0.0.1:<port>" to this stream (nullptr =
+  /// quiet; serve_main passes stderr).
+  std::ostream* log = nullptr;
+};
+
+/// The pre-executor serving model: one detached thread per accepted
+/// connection, each running the read-request/execute/write-response loop
+/// synchronously. Kept in the library as the baseline the executor is
+/// benchmarked against (bench_serving's `async` section) and as a
+/// maximally-simple fallback (`manirank_serve --threaded`).
+class ThreadPerConnectionServer {
+ public:
+  explicit ThreadPerConnectionServer(ContextManager* manager,
+                                     ServerOptions options = {});
+  ~ThreadPerConnectionServer();
+  ThreadPerConnectionServer(const ThreadPerConnectionServer&) = delete;
+  ThreadPerConnectionServer& operator=(const ThreadPerConnectionServer&) =
+      delete;
+
+  /// Binds 127.0.0.1:<port> and starts the accept thread. On failure
+  /// reports into `*error` and returns false.
+  bool Start(std::string* error = nullptr);
+
+  /// The bound port (after Start); useful with options.port == 0.
+  int port() const { return port_; }
+
+  /// Graceful shutdown: closes the listener, half-closes the read side
+  /// of every live connection so its handler sees EOF after the current
+  /// request, and blocks on a condition variable until every connection
+  /// thread has flushed its final response and exited.
+  void Shutdown();
+
+ private:
+  void AcceptLoop();
+  void Connection(int fd);
+
+  ContextManager* manager_;
+  ServerOptions options_;
+  int listener_ = -1;
+  int port_ = 0;
+  bool started_ = false;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  /// Guards live_fds_/active_; done_cv_ signals active_ reaching zero —
+  /// connection threads detach, so this is how Shutdown joins stragglers.
+  std::mutex mu_;
+  std::condition_variable done_cv_;
+  std::vector<int> live_fds_;
+  int active_ = 0;
+};
+
+/// Async request pipeline: poll-driven I/O front end + shared worker
+/// pool + per-connection in-order response queues. See the file comment
+/// for the model. All public methods are safe to call from one
+/// controlling thread (the usual Start / wait / Shutdown lifecycle).
+class ServeExecutor {
+ public:
+  explicit ServeExecutor(ContextManager* manager, ServerOptions options = {});
+  ~ServeExecutor();
+  ServeExecutor(const ServeExecutor&) = delete;
+  ServeExecutor& operator=(const ServeExecutor&) = delete;
+
+  /// Binds 127.0.0.1:<port>, registers the drain observer, and starts
+  /// the I/O thread and worker pool. On failure reports into `*error`
+  /// and returns false.
+  bool Start(std::string* error = nullptr);
+
+  /// The bound port (after Start); useful with options.port == 0.
+  int port() const { return port_; }
+
+  /// Graceful shutdown (see file comment). Safe to call twice; the
+  /// destructor calls it.
+  void Shutdown();
+
+  size_t workers() const;
+  /// Requests whose responses were completed (diagnostics).
+  uint64_t requests_served() const;
+  /// Requests parked on the IsDraining hook instead of blocking a
+  /// worker (diagnostics).
+  uint64_t requests_parked() const;
+
+ private:
+  struct Conn;
+  struct Request;
+
+  void IoLoop();
+  void Wake();
+  void AcceptReady();
+  void HandleReadable(const std::shared_ptr<Conn>& conn);
+  void ScheduleLine(const std::shared_ptr<Conn>& conn, std::string&& line);
+  void ScheduleOversize(const std::shared_ptr<Conn>& conn);
+  /// sched_mu_ held: dispatch a dependency-free request (park, answer a
+  /// synthetic, or enqueue for the pool).
+  void DispatchLocked(Request* node);
+  /// sched_mu_ held: push onto the arrival-ordered ready queue and wake
+  /// one pool worker.
+  void EnqueueReadyLocked(Request* node);
+  /// Worker-thread entry: pop the oldest ready request and execute it.
+  void RunNextReady();
+  /// sched_mu_ held: record the response, resolve dependents, sequence.
+  void CompleteLocked(Request* node, std::string response);
+  static void SequenceLocked(Conn& conn);
+  void OnDrainFinished(const std::string& table);
+  void FlushWritable(const std::shared_ptr<Conn>& conn);
+  /// sched_mu_ held: nonblocking flush of `conn.out`; on a write error
+  /// the connection is aborted in place.
+  void FlushLocked(Conn& conn);
+  void AbortConn(const std::shared_ptr<Conn>& conn);
+
+  ContextManager* manager_;
+  ServerOptions options_;
+  int listener_ = -1;
+  int port_ = 0;
+  int wake_fds_[2] = {-1, -1};
+  bool started_ = false;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> wake_pending_{false};
+  std::thread io_thread_;
+  std::unique_ptr<TaskPool> pool_;
+  /// I/O-thread-only: until this instant the listener is not polled —
+  /// set on accept() resource exhaustion (EMFILE etc.), where the
+  /// undequeued pending connection would otherwise keep the listener
+  /// level-triggered readable and hot-spin the loop.
+  std::chrono::steady_clock::time_point accept_backoff_until_{};
+
+  /// One scheduling lock for parse-side (I/O thread) and completion-side
+  /// (workers) bookkeeping. Scheduling operations are micro-sized
+  /// compared to request execution, which never holds it.
+  std::mutex sched_mu_;
+  /// Owns every unfinished request; executing workers hold raw pointers,
+  /// so nodes die only in CompleteLocked (or teardown after the pool has
+  /// drained).
+  std::unordered_map<Request*, std::unique_ptr<Request>> live_nodes_;
+  /// Dependency-free requests awaiting a worker, ordered by arrival.
+  /// Workers always take the oldest ready request: on a saturated (or
+  /// single-worker) pool this converges to exactly the serial service
+  /// order — readiness-FIFO would interleave younger independent
+  /// requests into an older chain and delay the response that gates the
+  /// connection's in-order delivery — while an idle pool still takes
+  /// everything immediately.
+  std::vector<std::pair<uint64_t, Request*>> ready_;  // min-heap by arrival
+  uint64_t next_arrival_ = 0;
+  /// Draining requests parked while their table's backlog folds;
+  /// released by OnDrainFinished.
+  std::unordered_map<std::string, std::vector<Request*>> parked_;
+  /// fd -> connection; owned by the I/O thread, read under sched_mu_.
+  std::map<int, std::shared_ptr<Conn>> conns_;
+
+  std::atomic<uint64_t> requests_served_{0};
+  std::atomic<uint64_t> requests_parked_{0};
+};
+
+}  // namespace manirank::serve
+
+#endif  // MANIRANK_SERVE_HAVE_SOCKETS
+#endif  // MANIRANK_SERVE_EXECUTOR_H_

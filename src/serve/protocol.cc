@@ -380,9 +380,64 @@ int Dispatcher::ServeStream(std::istream& in, std::ostream& out, bool echo) {
     if (response.empty()) continue;
     out << response << '\n';
     out.flush();
+    // The sink died (reader closed the pipe; the write surfaced as a
+    // stream failure rather than SIGPIPE death). Every further response
+    // would be dropped on the floor — stop executing requests instead of
+    // mutating tables on behalf of a client that can no longer see the
+    // results. The caller reports the I/O failure from the stream state.
+    if (!out) break;
     if (response.rfind("ERR", 0) == 0) ++errors;
   }
   return errors;
+}
+
+RequestClass ClassifyRequest(const std::string& line) {
+  // Only the first two tokens matter, and an APPEND payload can be
+  // megabytes — scan just the prefix instead of tokenizing the line
+  // (Handle re-tokenizes anyway). The scan mirrors Tokenize exactly:
+  // space/tab/CR separate, ';' is always its own token.
+  const auto is_space = [](char c) {
+    return c == ' ' || c == '\t' || c == '\r';
+  };
+  const auto next_token = [&](size_t* pos) {
+    while (*pos < line.size() && is_space(line[*pos])) ++*pos;
+    const size_t begin = *pos;
+    if (begin == line.size()) return std::string();
+    if (line[begin] == ';') {
+      ++*pos;
+      return std::string(";");
+    }
+    while (*pos < line.size() && !is_space(line[*pos]) && line[*pos] != ';') {
+      ++*pos;
+    }
+    return line.substr(begin, *pos - begin);
+  };
+  size_t pos = 0;
+  const std::string verb = next_token(&pos);
+  RequestClass cls;
+  if (verb.empty() || verb[0] == '#') {
+    cls.no_response = true;
+    return cls;
+  }
+  const bool per_table = verb == "APPEND" || verb == "REMOVE" ||
+                         verb == "RUN" || verb == "STATS" ||
+                         verb == "FLUSH";
+  std::string table;
+  if (per_table) table = next_token(&pos);
+  if (per_table && !table.empty()) {
+    cls.table = std::move(table);
+    cls.draining = verb == "RUN" || verb == "FLUSH";
+  } else {
+    // Namespace verbs (CREATE / RESTORE / DROP / TABLES), unknown verbs,
+    // and malformed per-table requests (no table token) all serialize
+    // against the whole connection — correctness beats overlap for the
+    // rare requests that touch the table namespace or will only ERR.
+    // SNAPSHOT is a barrier too: its destination PATH is a second
+    // shared resource the table key cannot order (two snapshots of
+    // different tables to one path must not interleave their writes).
+    cls.barrier = true;
+  }
+  return cls;
 }
 
 }  // namespace manirank::serve

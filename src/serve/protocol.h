@@ -73,12 +73,46 @@ class Dispatcher {
 
   /// Replays a whole stream: one response line per request line, written
   /// to `out`. With `echo`, each request is echoed first, prefixed "> ".
-  /// Returns the number of ERR responses.
+  /// Returns the number of ERR responses. Stops early when `out` fails
+  /// (e.g. the reader closed the pipe and SIGPIPE is ignored): serving
+  /// into a dead sink would silently drop every later response, so the
+  /// caller must check `out` afterwards and report the I/O failure.
   int ServeStream(std::istream& in, std::ostream& out, bool echo = false);
 
  private:
   ContextManager* manager_;
 };
+
+/// Scheduling metadata an async front end needs about one request line —
+/// derived from the verb alone, without executing anything. Used to
+/// overlap a connection's pipelined requests while preserving the
+/// semantics of executing them one at a time in arrival order:
+///
+///  - Two requests addressing the SAME table must execute in arrival
+///    order (`table` is the scheduling key).
+///  - Requests addressing different tables commute — shards share no
+///    state — and may execute concurrently.
+///  - A `barrier` request (namespace verbs CREATE / RESTORE / DROP /
+///    TABLES, SNAPSHOT — whose destination path is a shared resource
+///    the table key cannot order — plus anything unparseable) orders
+///    against EVERY other request on the connection: it runs alone,
+///    after all predecessors and before all successors.
+///  - A `draining` verb (RUN / FLUSH) may block for a whole exclusive
+///    backlog fold; schedulers pair this with
+///    ContextManager::IsDraining to park instead of blocking a worker.
+struct RequestClass {
+  /// Scheduling key; empty for barriers and no-response lines.
+  std::string table;
+  /// Orders against every in-flight request of the connection.
+  bool barrier = false;
+  /// May block on the table's exclusive gate (RUN / FLUSH).
+  bool draining = false;
+  /// Blank or comment line: Dispatcher::Handle returns no response and
+  /// the request needs no scheduling at all.
+  bool no_response = false;
+};
+
+RequestClass ClassifyRequest(const std::string& line);
 
 }  // namespace manirank::serve
 

@@ -3,17 +3,23 @@
 // Usage:
 //   manirank_serve                      serve the line protocol on stdin/stdout
 //   manirank_serve --script FILE        replay a request script (offline mode)
-//   manirank_serve --port P             TCP server: one thread per connection,
-//                                       all connections share one ContextManager
+//   manirank_serve --port P             TCP server: async executor pipeline —
+//                                       a poll-driven I/O thread plus a shared
+//                                       worker pool (serve/executor.h)
+//   manirank_serve --workers N          executor worker threads (default:
+//                                       hardware concurrency, max 256)
+//   manirank_serve --threaded           TCP fallback: one thread per
+//                                       connection (the pre-executor model)
 //   manirank_serve --restore-dir DIR    cold start: restore every *.snap table
 //                                       snapshot in DIR before serving
 //   manirank_serve --echo               echo each request before its response
 //
 // The request grammar is documented in serve/protocol.h (CREATE / APPEND /
 // REMOVE / RUN / STATS / FLUSH / SNAPSHOT / RESTORE / DROP / TABLES). Every
-// connection gets its own Dispatcher over the shared ContextManager, so
-// concurrent clients exercise the per-table gates and mutation queues
-// directly.
+// connection gets its own Dispatcher over the shared ContextManager; the
+// executor overlaps requests for different tables (responses stay in
+// per-connection request order) while same-table requests respect the
+// per-table gates and mutation queues.
 //
 // --restore-dir combines with any serving mode: each DIR/<name>.snap is
 // restored as table <name> (data/snapshot.h format) without replaying its
@@ -21,12 +27,18 @@
 // A corrupt or unreadable snapshot aborts startup loudly (exit 2) rather
 // than silently serving a partial table set.
 //
-// Exit status: 0 when every request succeeded, 1 when any request drew an
-// ERR response (stdin/script modes), 2 on usage or I/O errors.
+// Shutdown: SIGINT or SIGTERM stops the TCP server gracefully — the
+// listener closes, no new requests are read, every in-flight request
+// finishes and its response is flushed, then connections half-close.
+// SIGPIPE is ignored in every mode, so a client closing its end of a pipe
+// or socket surfaces as an I/O error, never as process death.
+//
+// Exit status: 0 when every request succeeded (TCP: clean signal
+// shutdown), 1 when any request drew an ERR response (stdin/script
+// modes), 2 on usage or I/O errors — including the output stream dying
+// mid-response in stdin/script mode.
 
 #include <algorithm>
-#include <atomic>
-#include <chrono>
 #include <csignal>
 #include <cstdlib>
 #include <cstring>
@@ -34,19 +46,17 @@
 #include <fstream>
 #include <iostream>
 #include <optional>
+#include <set>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "data/snapshot.h"
 #include "serve/context_manager.h"
+#include "serve/executor.h"
 #include "serve/protocol.h"
+#include "util/threading.h"
 
 #if defined(__unix__) || defined(__APPLE__)
-#define MANIRANK_HAVE_SOCKETS 1
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <sys/socket.h>
 #include <unistd.h>
 #endif
 
@@ -57,9 +67,12 @@ using manirank::serve::Dispatcher;
 
 int Usage() {
   std::cerr << "usage: manirank_serve [--script FILE | --port P]\n"
+               "                      [--workers N] [--threaded]\n"
                "                      [--restore-dir DIR] [--echo]\n"
                "  (no mode flag: serve requests from stdin; --restore-dir\n"
-               "   cold-starts every DIR/<table>.snap before serving)\n";
+               "   cold-starts every DIR/<table>.snap before serving;\n"
+               "   --port serves the async executor pipeline, --threaded\n"
+               "   falls back to one thread per connection)\n";
   return 2;
 }
 
@@ -74,18 +87,71 @@ bool RestoreFromDir(const std::string& dir, ContextManager* manager) {
     return false;
   }
   // Deterministic restore order (directory iteration order is not).
+  // The iterator is advanced with the error_code overload AND wrapped in
+  // a try block: directory_iterator::increment may still throw (e.g.
+  // allocation failure, or implementations that throw from refresh), and
+  // an unhandled exception here would crash the whole cold start instead
+  // of reporting which directory failed.
   std::vector<fs::path> snapshots;
-  for (const fs::directory_entry& entry : fs::directory_iterator(dir, ec)) {
-    if (entry.path().extension() == ".snap") {
-      snapshots.push_back(entry.path());
+  try {
+    fs::directory_iterator it(dir, ec);
+    if (ec) {
+      std::cerr << "--restore-dir: cannot list " << dir << ": "
+                << ec.message() << "\n";
+      return false;
     }
-  }
-  if (ec) {
-    std::cerr << "--restore-dir: cannot list " << dir << ": " << ec.message()
-              << "\n";
+    for (const fs::directory_iterator end; it != end; it.increment(ec)) {
+      const fs::path& path = it->path();
+      // A file named exactly ".snap" is a dotfile to the filesystem
+      // library (no extension, or an empty stem, depending on the
+      // implementation): there is no table name to restore it as. Fail
+      // loudly instead of either skipping the snapshot or passing an
+      // empty name to RestoreTable.
+      if (path.filename() == ".snap") {
+        std::cerr << "--restore-dir: cannot derive a table name from "
+                  << path.string() << " (empty stem)\n";
+        return false;
+      }
+      if (path.extension() == ".snap") snapshots.push_back(path);
+    }
+    // A failed increment(ec) lands the iterator ON the end iterator, so
+    // the loop above simply stops — the error is only visible here.
+    // Without this check a readdir-level failure mid-listing would skip
+    // the unlisted snapshots and silently serve a partial table set.
+    if (ec) {
+      std::cerr << "--restore-dir: error while listing " << dir << ": "
+                << ec.message() << "\n";
+      return false;
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "--restore-dir: error while listing " << dir << ": "
+              << e.what() << "\n";
     return false;
   }
   std::sort(snapshots.begin(), snapshots.end());
+  // Validate the derived table names up front: a file whose stem is
+  // empty (or all dots — "..snap" stems to ".") cannot name a table, and
+  // two files mapping to one stem would silently shadow each other. Both
+  // must fail the cold start with a message naming the offending file,
+  // not a late RestoreTable error naming only the table. (With today's
+  // exact-case ".snap" filter one directory cannot actually produce two
+  // equal stems; the duplicate check is cheap insurance for the day the
+  // collection rule widens — case-insensitive match, multiple dirs.)
+  std::set<std::string> stems;
+  for (const fs::path& path : snapshots) {
+    const std::string table = path.stem().string();
+    if (table.empty() ||
+        table.find_first_not_of('.') == std::string::npos) {
+      std::cerr << "--restore-dir: cannot derive a table name from "
+                << path.string() << " (empty stem)\n";
+      return false;
+    }
+    if (!stems.insert(table).second) {
+      std::cerr << "--restore-dir: duplicate table name '" << table
+                << "' from " << path.string() << "\n";
+      return false;
+    }
+  }
   for (const fs::path& path : snapshots) {
     const std::string table = path.stem().string();
     try {
@@ -103,110 +169,49 @@ bool RestoreFromDir(const std::string& dir, ContextManager* manager) {
   return true;
 }
 
-#ifdef MANIRANK_HAVE_SOCKETS
+#ifdef MANIRANK_SERVE_HAVE_SOCKETS
 
-/// Writes one full response line; false when the peer went away.
-bool SendResponse(int fd, std::string response) {
-  if (response.empty()) return true;  // comment/blank: no response
-  response.push_back('\n');
-  size_t sent = 0;
-  while (sent < response.size()) {
-    const ssize_t w =
-        ::write(fd, response.data() + sent, response.size() - sent);
-    if (w <= 0) return false;
-    sent += static_cast<size_t>(w);
-  }
-  return true;
+/// Self-pipe for the signal handlers: async-signal-safe write on one
+/// end, the main thread blocks reading the other until shutdown time.
+int g_signal_pipe[2] = {-1, -1};
+
+extern "C" void OnTerminationSignal(int) {
+  const char byte = 1;
+  [[maybe_unused]] const ssize_t w = ::write(g_signal_pipe[1], &byte, 1);
 }
 
-/// Longest admissible request line. Generous for big APPEND batches, but
-/// a client streaming bytes with no newline must not grow server memory
-/// without bound.
-constexpr size_t kMaxRequestBytes = 16u << 20;
-
-/// Reads newline-delimited requests from `fd` and writes one response line
-/// per request. Each connection shares the process-wide manager.
-void ServeConnection(int fd, ContextManager* manager) {
-  Dispatcher dispatcher(manager);
-  std::string buffer;
-  char chunk[4096];
-  for (;;) {
-    const ssize_t got = ::read(fd, chunk, sizeof(chunk));
-    if (got <= 0) break;
-    // Invariant: the retained buffer never contains '\n' (complete lines
-    // are consumed below), so only the new chunk needs scanning — a
-    // multi-megabyte line arriving in 4 KB reads stays O(L), not O(L^2).
-    const size_t scan_from = buffer.size();
-    buffer.append(chunk, static_cast<size_t>(got));
-    if (buffer.size() > kMaxRequestBytes &&
-        buffer.find('\n', scan_from) == std::string::npos) {
-      SendResponse(fd, "ERR bad-request: request line exceeds 16 MiB");
-      ::close(fd);
-      return;
-    }
-    size_t start = 0;
-    for (;;) {
-      const size_t newline = buffer.find('\n', std::max(start, scan_from));
-      if (newline == std::string::npos) break;
-      std::string line = buffer.substr(start, newline - start);
-      start = newline + 1;
-      if (!SendResponse(fd, dispatcher.Handle(line))) {
-        ::close(fd);
-        return;
-      }
-    }
-    buffer.erase(0, start);
-  }
-  // A final request may arrive without a trailing newline before the
-  // client half-closes; answer it rather than dropping it.
-  if (!buffer.empty()) SendResponse(fd, dispatcher.Handle(buffer));
-  ::close(fd);
-}
-
-int ServeSocket(int port, ContextManager* manager) {
-  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listener < 0) {
-    std::cerr << "socket: " << std::strerror(errno) << "\n";
+/// Runs `server` (either TCP front end) until SIGINT/SIGTERM, then shuts
+/// it down gracefully. Returns the process exit status.
+template <typename Server>
+int ServeUntilSignal(Server& server) {
+  std::string error;
+  if (!server.Start(&error)) {
+    std::cerr << error << "\n";
     return 2;
   }
-  const int one = 1;
-  ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<uint16_t>(port));
-  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
-      ::listen(listener, 16) < 0) {
-    std::cerr << "bind/listen on 127.0.0.1:" << port << ": "
-              << std::strerror(errno) << "\n";
-    ::close(listener);
+  if (::pipe(g_signal_pipe) != 0) {
+    std::cerr << "signal pipe: " << std::strerror(errno) << "\n";
+    server.Shutdown();
     return 2;
   }
-  // Writes to a connection a client already closed must surface as write()
-  // errors, not process death.
-  ::signal(SIGPIPE, SIG_IGN);
-  std::cerr << "manirank_serve listening on 127.0.0.1:" << port << "\n";
-  // Connection threads detach so a long-lived server does not accumulate
-  // one joinable (stack-retaining) thread per closed connection; the
-  // counter lets shutdown wait for stragglers before the manager dies.
-  std::atomic<int> active_connections{0};
-  for (;;) {
-    const int fd = ::accept(listener, nullptr, nullptr);
-    if (fd < 0) break;
-    active_connections.fetch_add(1);
-    std::thread([fd, manager, &active_connections] {
-      ServeConnection(fd, manager);
-      active_connections.fetch_sub(1);
-    }).detach();
+  std::signal(SIGINT, OnTerminationSignal);
+  std::signal(SIGTERM, OnTerminationSignal);
+  char byte = 0;
+  while (::read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
   }
-  ::close(listener);
-  while (active_connections.load() > 0) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(10));
-  }
+  std::cerr << "manirank_serve: shutting down (draining in-flight "
+               "requests)\n";
+  // A second signal during the drain falls back to default disposition
+  // (immediate termination) — an operator can always ^C twice.
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  server.Shutdown();
+  ::close(g_signal_pipe[0]);
+  ::close(g_signal_pipe[1]);
   return 0;
 }
 
-#endif  // MANIRANK_HAVE_SOCKETS
+#endif  // MANIRANK_SERVE_HAVE_SOCKETS
 
 }  // namespace
 
@@ -214,15 +219,29 @@ int main(int argc, char** argv) {
   std::optional<std::string> script;
   std::optional<std::string> restore_dir;
   std::optional<int> port;
+  size_t workers = 0;
+  bool threaded = false;
   bool echo = false;
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
     if (flag == "--echo") {
       echo = true;
+    } else if (flag == "--threaded") {
+      threaded = true;
     } else if (flag == "--script" && i + 1 < argc) {
       script = argv[++i];
     } else if (flag == "--restore-dir" && i + 1 < argc) {
       restore_dir = argv[++i];
+    } else if (flag == "--workers" && i + 1 < argc) {
+      char* end = nullptr;
+      const long w = std::strtol(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || w < 1 ||
+          w > static_cast<long>(manirank::kMaxThreads)) {
+        std::cerr << "--workers needs a value in [1, "
+                  << manirank::kMaxThreads << "]\n";
+        return 2;
+      }
+      workers = static_cast<size_t>(w);
     } else if (flag == "--port" && i + 1 < argc) {
       char* end = nullptr;
       const long p = std::strtol(argv[++i], &end, 10);
@@ -236,27 +255,65 @@ int main(int argc, char** argv) {
     }
   }
   if (script.has_value() && port.has_value()) return Usage();
+  if ((threaded || workers != 0) && !port.has_value()) {
+    std::cerr << "--threaded/--workers only apply to --port mode\n";
+    return 2;
+  }
+  if (threaded && workers != 0) {
+    // Refuse rather than silently ignore: the thread-per-connection
+    // model has no worker pool, and an operator who asked for one must
+    // learn the flag did nothing before deploying that way.
+    std::cerr << "--workers has no effect with --threaded "
+                 "(one thread per connection)\n";
+    return 2;
+  }
+
+#if defined(__unix__) || defined(__APPLE__)
+  // In EVERY mode, not just TCP: a client closing the output pipe
+  // mid-response must surface as a stream/write failure (exit 2 below),
+  // not kill the process with SIGPIPE.
+  std::signal(SIGPIPE, SIG_IGN);
+#endif
 
   ContextManager manager;
   if (restore_dir.has_value() && !RestoreFromDir(*restore_dir, &manager)) {
     return 2;
   }
   if (port.has_value()) {
-#ifdef MANIRANK_HAVE_SOCKETS
-    return ServeSocket(*port, &manager);
+#ifdef MANIRANK_SERVE_HAVE_SOCKETS
+    manirank::serve::ServerOptions options;
+    options.port = *port;
+    options.workers = workers;
+    options.log = &std::cerr;
+    if (threaded) {
+      manirank::serve::ThreadPerConnectionServer server(&manager, options);
+      return ServeUntilSignal(server);
+    }
+    manirank::serve::ServeExecutor server(&manager, options);
+    return ServeUntilSignal(server);
 #else
     std::cerr << "--port is not supported on this platform\n";
     return 2;
 #endif
   }
   Dispatcher dispatcher(&manager);
+  int errors = 0;
   if (script.has_value()) {
     std::ifstream in(*script);
     if (!in) {
       std::cerr << "cannot open script: " << *script << "\n";
       return 2;
     }
-    return dispatcher.ServeStream(in, std::cout, echo) == 0 ? 0 : 1;
+    errors = dispatcher.ServeStream(in, std::cout, echo);
+  } else {
+    errors = dispatcher.ServeStream(std::cin, std::cout, echo);
   }
-  return dispatcher.ServeStream(std::cin, std::cout, echo) == 0 ? 0 : 1;
+  if (!std::cout) {
+    // The response sink died mid-stream (e.g. the reader closed the
+    // pipe; with SIGPIPE ignored the write fails instead). ServeStream
+    // stopped serving at that point — report it as an I/O error.
+    std::cerr << "manirank_serve: output stream failed mid-response\n";
+    return 2;
+  }
+  return errors == 0 ? 0 : 1;
 }

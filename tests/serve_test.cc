@@ -8,10 +8,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <map>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/context.h"
@@ -131,6 +133,43 @@ TEST(ContextManagerTest, FlushIsIdempotentAndCountsApplications) {
   EXPECT_EQ(applied, 1u);
   EXPECT_EQ(manager.Flush("t"), 0u);
 }
+
+// --- non-blocking drain scheduling hooks (async front ends) ----------------
+
+TEST(ContextManagerTest, DrainObserverFiresPerExclusiveDrainWithTableName) {
+  ContextManager manager;
+  manager.Create("alpha", MakeCyclicTable(6, 2, 2), {Ranking::Identity(6)});
+  manager.Create("beta", MakeCyclicTable(8, 2, 2), {Ranking::Identity(8)});
+  std::vector<std::string> drained;
+  manager.SetDrainObserver(
+      [&](const std::string& table) { drained.push_back(table); });
+  // The empty-queue fast path never claims the exclusive gate, so it
+  // must not report a drain either.
+  manager.Flush("alpha");
+  EXPECT_TRUE(drained.empty());
+  EXPECT_FALSE(manager.IsDraining("alpha"));
+  // A real backlog fold reports exactly once, with the right name, and
+  // the draining flag is clear by the time the observer has fired.
+  manager.Append("alpha", {SampleFor(21, 0, 6)});
+  manager.Flush("alpha");
+  EXPECT_EQ(drained, (std::vector<std::string>{"alpha"}));
+  EXPECT_FALSE(manager.IsDraining("alpha"));
+  // Draining verbs (Run) report the same way; per-table attribution.
+  manager.Append("beta", {SampleFor(22, 0, 8)});
+  manager.Run("beta", "A4");
+  EXPECT_EQ(drained, (std::vector<std::string>{"alpha", "beta"}));
+  // Unknown tables are an advisory "no".
+  EXPECT_FALSE(manager.IsDraining("nope"));
+  manager.SetDrainObserver(nullptr);
+  manager.Append("alpha", {SampleFor(23, 0, 6)});
+  manager.Flush("alpha");
+  EXPECT_EQ(drained.size(), 2u);  // cleared observer: no further calls
+}
+
+// IsDraining's mid-fold visibility is tested through the white-box drain
+// seam at the bottom of this file (DrainSchedulingHookTest) — observing
+// the advisory flag by racing a poller thread against a real fold is
+// inherently timing-dependent and flakes on a loaded single-core box.
 
 // --- the serving equivalence contract --------------------------------------
 
@@ -308,6 +347,15 @@ struct ContextManagerTestPeer {
   static void Resync(ContextManager& manager, const std::string& name) {
     ContextManager::ResyncQueueAfterFailedApply(*manager.Find(name));
   }
+
+  /// Runs a real drain and invokes `probe` while the exclusive gate is
+  /// still held — i.e. at the exact moment a concurrent scheduler's
+  /// IsDraining query would need to say "yes". Timing-free alternative
+  /// to racing a poller thread against the fold.
+  static void DrainWithProbe(ContextManager& manager, const std::string& name,
+                             const std::function<void()>& probe) {
+    manager.Drain(*manager.Find(name), /*try_only=*/false, nullptr, probe);
+  }
 };
 
 namespace {
@@ -347,6 +395,29 @@ TEST(DrainFailureRecoveryTest, ResyncDropsStaleRemovesInApplicationOrder) {
   EXPECT_EQ(stats.num_rankings, 4u);
   EXPECT_EQ(stats.pending_ops, 0u);
   EXPECT_NO_THROW(manager.Run("t", "A4"));
+}
+
+TEST(DrainSchedulingHookTest, IsDrainingIsVisibleUnderTheExclusiveGate) {
+  // The moment a concurrent scheduler's IsDraining query must say "yes"
+  // is while the exclusive gate is held for a backlog apply. The drain
+  // seam's under-gate probe observes exactly that instant — no thread
+  // race, no timing assumptions.
+  ContextManager manager;
+  manager.Create("t", MakeCyclicTable(6, 2, 2), InitialProfile(6, 2, 601));
+  manager.Append("t", InitialProfile(6, 3, 602));
+  ASSERT_FALSE(manager.IsDraining("t"));
+  bool probed = false;
+  ContextManagerTestPeer::DrainWithProbe(manager, "t", [&] {
+    probed = true;
+    EXPECT_TRUE(manager.IsDraining("t"));
+    // Other tables (and unknown names) stay unaffected.
+    EXPECT_FALSE(manager.IsDraining("elsewhere"));
+  });
+  EXPECT_TRUE(probed);
+  EXPECT_FALSE(manager.IsDraining("t"));
+  const TableStats stats = manager.Stats("t");
+  EXPECT_EQ(stats.num_rankings, 5u);
+  EXPECT_EQ(stats.pending_ops, 0u);
 }
 
 TEST(DrainFailureRecoveryTest, PoisonedBacklogFailsOnceThenRecovers) {
