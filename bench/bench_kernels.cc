@@ -125,6 +125,66 @@ IncrementalResult RunIncrementalAppend(const std::vector<Ranking>& base,
   return result;
 }
 
+// --- scalar vs bit-sliced precedence build ----------------------------------
+
+struct BitsetBuildCase {
+  int n = 0;
+  int m = 0;
+  double scalar_seconds = 0.0;
+  double bitset_seconds = 0.0;
+  double speedup = 0.0;
+  const char* kernel = "";  // flavor the bit-sliced timing ran on
+};
+
+/// Times PrecedenceMatrix::Build under MANIRANK_KERNEL=scalar vs the
+/// auto-dispatched bit-sliced kernel on the same profile (best of `reps`)
+/// and checks the two matrices are bit-identical — a mismatch is a kernel
+/// bug and aborts the benchmark rather than reporting a bogus speedup.
+BitsetBuildCase RunBitsetBuildCase(int n, int m, int reps) {
+  BitsetBuildCase result;
+  result.n = n;
+  result.m = m;
+  MallowsModel model(Ranking::Identity(n), 0.6);
+  std::vector<Ranking> base = model.SampleMany(m, /*seed=*/23);
+
+  setenv("MANIRANK_KERNEL", "scalar", /*overwrite=*/1);
+  PrecedenceMatrix scalar = PrecedenceMatrix::Build(base);
+  for (int rep = 0; rep < reps; ++rep) {
+    Stopwatch timer;
+    PrecedenceMatrix w = PrecedenceMatrix::Build(base);
+    const double seconds = timer.Seconds();
+    if (rep == 0 || seconds < result.scalar_seconds) {
+      result.scalar_seconds = seconds;
+    }
+    (void)w;
+  }
+
+  unsetenv("MANIRANK_KERNEL");
+  result.kernel = PrecedenceMatrix::ActiveKernelName();
+  PrecedenceMatrix bitset = PrecedenceMatrix::Build(base);
+  for (int rep = 0; rep < reps; ++rep) {
+    Stopwatch timer;
+    PrecedenceMatrix w = PrecedenceMatrix::Build(base);
+    const double seconds = timer.Seconds();
+    if (rep == 0 || seconds < result.bitset_seconds) {
+      result.bitset_seconds = seconds;
+    }
+    (void)w;
+  }
+
+  if (scalar.ToDense() != bitset.ToDense()) {
+    std::fprintf(stderr,
+                 "FATAL: bit-sliced build (n=%d, m=%d, kernel=%s) does not "
+                 "match the scalar build bit-for-bit\n",
+                 n, m, result.kernel);
+    std::abort();
+  }
+  result.speedup = result.bitset_seconds > 0.0
+                       ? result.scalar_seconds / result.bitset_seconds
+                       : 0.0;
+  return result;
+}
+
 int WriteKernelJson(const char* path) {
   const bool quick = QuickMode();
   const int n = 100;
@@ -149,6 +209,15 @@ int WriteKernelJson(const char* path) {
   const double parity_scores_seconds = parity_timer.Seconds();
   (void)w;
   (void)weights;
+
+  // Scalar vs bit-sliced precedence build across the candidate-count
+  // sweep. Profile sizes shrink with n so even the quick (CI) run covers
+  // the n >= 512 regime the kernel targets.
+  const BitsetBuildCase bitset_cases[] = {
+      RunBitsetBuildCase(128, quick ? 256 : 1024, reps),
+      RunBitsetBuildCase(512, quick ? 128 : 512, reps),
+      RunBitsetBuildCase(2048, quick ? 64 : 128, reps),
+  };
 
   // Best-of-N for each scenario to damp scheduler noise.
   SweepResult shared, rebuild;
@@ -204,11 +273,28 @@ int WriteKernelJson(const char* path) {
                "\"full_rebuild_seconds\": %.6f, \"speedup\": %.3f},\n",
                num_rankings, num_appended, incremental.incremental_seconds,
                incremental.rebuild_seconds, incremental_speedup);
+  std::fprintf(f, "  \"precedence_build_bitset\": [\n");
+  for (size_t i = 0; i < std::size(bitset_cases); ++i) {
+    const BitsetBuildCase& c = bitset_cases[i];
+    std::fprintf(f,
+                 "    {\"n\": %d, \"m\": %d, \"scalar_seconds\": %.6f, "
+                 "\"bitset_seconds\": %.6f, \"speedup\": %.3f, "
+                 "\"kernel\": \"%s\"}%s\n",
+                 c.n, c.m, c.scalar_seconds, c.bitset_seconds, c.speedup,
+                 c.kernel, i + 1 < std::size(bitset_cases) ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
   std::fprintf(f, "  \"kernels\": {\"precedence_build_seconds\": %.6f, "
                "\"parity_scores_seconds\": %.6f}\n",
                precedence_build_seconds, parity_scores_seconds);
   std::fprintf(f, "}\n");
   std::fclose(f);
+
+  for (const BitsetBuildCase& c : bitset_cases) {
+    std::printf(
+        "precedence build n=%-5d m=%-5d scalar %.4fs vs %s %.4fs (%.1fx)\n",
+        c.n, c.m, c.scalar_seconds, c.kernel, c.bitset_seconds, c.speedup);
+  }
 
   std::printf("shared context:     %.4fs (%d precedence builds)\n",
               shared.seconds, shared.precedence_builds);

@@ -191,12 +191,13 @@ void ConsensusContext::AttachGate(ContextGate* gate) {
   gate_ = gate;
 }
 
-void ConsensusContext::ApplyAddLocked(const Ranking& ranking) {
+void ConsensusContext::ApplyAddLocked(const Ranking& ranking,
+                                      bool fold_precedence) {
   const int n = num_candidates();
   if (ranking.size() != n) {
     throw std::invalid_argument("added ranking size does not match table");
   }
-  if (precedence_) {
+  if (precedence_ && fold_precedence) {
     precedence_->AddRanking(ranking);
     ++stats_.precedence_delta_updates;
   }
@@ -268,16 +269,28 @@ void ConsensusContext::AddRankings(std::vector<Ranking> rankings) {
       throw std::invalid_argument("added ranking size does not match table");
     }
   }
-  for (Ranking& ranking : rankings) {
-    ApplyAddLocked(ranking);
-    if (summarized_) {
-      ++stream_count_;
-    } else {
-      base_.push_back(std::move(ranking));
+  // Precedence deltas ride the bit-sliced batch path in kernel-sized
+  // chunks (bit-identical to per-ranking folds); everything else — Borda,
+  // parity, retention, generation — stays per-ranking so observable
+  // counters are unchanged.
+  constexpr size_t kChunk = 64;
+  for (size_t begin = 0; begin < rankings.size(); begin += kChunk) {
+    const size_t count = std::min(kChunk, rankings.size() - begin);
+    if (precedence_) {
+      precedence_->AddRankingsBatch(&rankings[begin], count);
+      stats_.precedence_delta_updates += static_cast<int>(count);
     }
-    // Per-ranking publication: STATS watching a large batch fold sees
-    // live progress instead of a frozen pre-batch snapshot.
-    PublishCountersLocked();
+    for (size_t i = begin; i < begin + count; ++i) {
+      ApplyAddLocked(rankings[i], /*fold_precedence=*/false);
+      if (summarized_) {
+        ++stream_count_;
+      } else {
+        base_.push_back(std::move(rankings[i]));
+      }
+      // Per-ranking publication: STATS watching a large batch fold sees
+      // live progress instead of a frozen pre-batch snapshot.
+      PublishCountersLocked();
+    }
   }
 }
 

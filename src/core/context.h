@@ -279,8 +279,10 @@ class ConsensusContext {
   void RequireBase(const char* what) const;
 
 
-  /// Folds one ranking into every built cache; caller holds mu_.
-  void ApplyAddLocked(const Ranking& ranking);
+  /// Folds one ranking into every built cache; caller holds mu_. Batch
+  /// callers that fold precedence separately (through the bit-sliced
+  /// AddRankingsBatch path) pass fold_precedence = false.
+  void ApplyAddLocked(const Ranking& ranking, bool fold_precedence = true);
 
   /// Republishes {generation, profile size} into the seqlock-protected
   /// atomics after a mutation; caller holds mu_ (the sole writer side).

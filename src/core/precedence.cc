@@ -1,16 +1,26 @@
 #include "core/precedence.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
+#include <cmath>
+#include <cstdio>
 #include <mutex>
 
+#include "core/precedence_kernel.h"
+#include "util/cpu_dispatch.h"
 #include "util/threading.h"
 
 namespace manirank {
 namespace {
 
+/// Rankings folded per bit-sliced kernel invocation: one bit lane per
+/// ranking in the 64x64 transpose.
+constexpr size_t kKernelBatch = 64;
+
 /// Adds `weight` to W for one ranking: every pair (worse, better)
 /// contributes to W[worse][better] (the ranking puts `better` above).
+/// The scalar reference path; also the only path for non-unit weights.
 void Accumulate(const Ranking& r, double weight, int n, std::vector<double>* w) {
   const auto& order = r.order();
   // For positions p < q: order[p] is above order[q], so the ranking
@@ -25,27 +35,103 @@ void Accumulate(const Ranking& r, double weight, int n, std::vector<double>* w) 
   }
 }
 
-PrecedenceMatrix BuildImpl(const std::vector<Ranking>& base,
-                           const std::vector<double>* weights) {
-  assert(!base.empty());
-  const int n = base[0].size();
+/// The bit-sliced flavor the current MANIRANK_KERNEL setting resolves to,
+/// or nullptr when the scalar path is forced.
+const kernel::KernelFlavor* ActiveBitsetFlavor() {
+  switch (ResolvePrecedenceKernel(kernel::Avx2Kernel() != nullptr)) {
+    case PrecedenceKernel::kScalar:
+      return nullptr;
+    case PrecedenceKernel::kAvx2:
+      return kernel::Avx2Kernel();
+    case PrecedenceKernel::kPortable:
+      break;
+  }
+  return &kernel::PortableKernel();
+}
+
+/// Stripe count for merging per-worker build deltas: enough stripes that
+/// workers starting at staggered offsets rarely queue on the same lock.
+size_t NumMergeStripes() {
+  return std::max<size_t>(4 * (DefaultThreadCount() + 1), 8);
+}
+
+/// Merges `local` into `shared` one stripe at a time, starting at a
+/// worker-staggered stripe. Replaces the old single-mutex whole-matrix
+/// merge, which serialized every worker behind one lock for O(n^2) adds
+/// apiece and capped the parallel build at ~4 workers.
+void StripedMerge(double* shared, const double* local, size_t cells,
+                  std::vector<std::mutex>* stripe_mu, size_t worker) {
+  const size_t stripes = stripe_mu->size();
+  for (size_t s = 0; s < stripes; ++s) {
+    const size_t idx = (worker + s) % stripes;
+    const size_t lo = cells * idx / stripes;
+    const size_t hi = cells * (idx + 1) / stripes;
+    std::lock_guard<std::mutex> lock((*stripe_mu)[idx]);
+    for (size_t c = lo; c < hi; ++c) shared[c] += local[c];
+  }
+}
+
+/// Scalar build: shard rankings across workers into per-worker local
+/// matrices, stripe-merge into `w`. Weighted and forced-scalar builds.
+void ScalarBuildInto(const std::vector<Ranking>& base,
+                     const std::vector<double>* weights, int n, double* w) {
   const size_t cells = static_cast<size_t>(n) * n;
-  std::vector<double> w(cells, 0.0);
-  std::mutex merge_mutex;
-  ParallelFor(base.size(), [&](size_t begin, size_t end, size_t /*worker*/) {
+  std::vector<std::mutex> stripe_mu(NumMergeStripes());
+  ParallelFor(base.size(), [&](size_t begin, size_t end, size_t worker) {
     std::vector<double> local(cells, 0.0);
     for (size_t i = begin; i < end; ++i) {
       assert(base[i].size() == n);
       Accumulate(base[i], weights ? (*weights)[i] : 1.0, n, &local);
     }
-    std::lock_guard<std::mutex> lock(merge_mutex);
-    for (size_t c = 0; c < cells; ++c) w[c] += local[c];
+    StripedMerge(w, local.data(), cells, &stripe_mu, worker);
   });
-  std::vector<std::vector<double>> dense(n, std::vector<double>(n));
-  for (int a = 0; a < n; ++a) {
-    for (int b = 0; b < n; ++b) dense[a][b] = w[static_cast<size_t>(a) * n + b];
+}
+
+/// Runs the bit-sliced kernel over every (64-ranking chunk, 64-row block)
+/// pair of [rankings, rankings + count) into `w`, single block at a time.
+void BitsetFoldBlocks(const kernel::KernelFlavor& flavor,
+                      const Ranking* rankings, size_t count, int sign,
+                      size_t block_begin, size_t block_end, int n, double* w) {
+  for (size_t blk = block_begin; blk < block_end; ++blk) {
+    const int row_begin = static_cast<int>(blk * 64);
+    const int row_end = std::min(n, row_begin + 64);
+    for (size_t i = 0; i < count; i += kKernelBatch) {
+      flavor.row_block(rankings + i, std::min(kKernelBatch, count - i), sign,
+                       row_begin, row_end, n, w);
+    }
   }
-  return PrecedenceMatrix(std::move(dense));
+}
+
+/// Bit-sliced unit build. Two sharding strategies, both bit-identical:
+/// with enough 64-row blocks to feed every worker, blocks are sharded
+/// shared-nothing (each worker owns disjoint matrix rows — no locals, no
+/// merging at all); for small-n / many-rankings shapes, ranking chunks
+/// are sharded into per-worker locals and stripe-merged like the scalar
+/// path.
+void BitsetBuildInto(const kernel::KernelFlavor& flavor,
+                     const std::vector<Ranking>& base, int n, double* w) {
+#ifndef NDEBUG
+  for (const Ranking& r : base) assert(r.size() == n);
+#endif
+  const size_t count = base.size();
+  const size_t num_blocks = (static_cast<size_t>(n) + 63) / 64;
+  const size_t num_chunks = (count + kKernelBatch - 1) / kKernelBatch;
+  const size_t max_workers = DefaultThreadCount() + 1;
+  if (num_blocks >= std::min(max_workers, num_chunks)) {
+    ParallelFor(num_blocks, [&](size_t begin, size_t end, size_t /*worker*/) {
+      BitsetFoldBlocks(flavor, base.data(), count, /*sign=*/1, begin, end, n,
+                       w);
+    });
+  } else {
+    const size_t cells = static_cast<size_t>(n) * n;
+    std::vector<std::mutex> stripe_mu(NumMergeStripes());
+    ParallelFor(count, [&](size_t begin, size_t end, size_t worker) {
+      std::vector<double> local(cells, 0.0);
+      BitsetFoldBlocks(flavor, base.data() + begin, end - begin, /*sign=*/1, 0,
+                       num_blocks, n, local.data());
+      StripedMerge(w, local.data(), cells, &stripe_mu, worker);
+    });
+  }
 }
 
 }  // namespace
@@ -53,10 +139,24 @@ PrecedenceMatrix BuildImpl(const std::vector<Ranking>& base,
 PrecedenceMatrix::PrecedenceMatrix(std::vector<std::vector<double>> w)
     : n_(static_cast<int>(w.size())) {
   w_.resize(static_cast<size_t>(n_) * n_);
+  // One scan decides batch-path eligibility: integer cells within the
+  // 2^53 envelope (snapshot-restored matrices pass and keep the fast
+  // fold; ad-hoc fractional test matrices demote to the scalar path).
+  bool integral = true;
+  double max_abs = 0.0;
   for (int a = 0; a < n_; ++a) {
     assert(static_cast<int>(w[a].size()) == n_);
-    for (int b = 0; b < n_; ++b) w_[Index(a, b)] = w[a][b];
+    for (int b = 0; b < n_; ++b) {
+      const double v = w[a][b];
+      w_[Index(a, b)] = v;
+      if (std::nearbyint(v) != v || std::fabs(v) > kExactIntegerLimit) {
+        integral = false;
+      }
+      max_abs = std::max(max_abs, std::fabs(v));
+    }
   }
+  exact_int_ = integral;
+  folded_magnitude_ = max_abs;
 }
 
 PrecedenceMatrix PrecedenceMatrix::Zero(int n) {
@@ -66,26 +166,88 @@ PrecedenceMatrix PrecedenceMatrix::Zero(int n) {
   return m;
 }
 
+void PrecedenceMatrix::NoteFold(double weight) {
+  folded_magnitude_ += std::fabs(weight);
+  if (std::nearbyint(weight) != weight) exact_int_ = false;
+}
+
+bool PrecedenceMatrix::BatchExactEligible(size_t count) const {
+  if (!exact_int_) return false;
+  if (folded_magnitude_ + static_cast<double>(count) > kExactIntegerLimit) {
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true, std::memory_order_relaxed)) {
+      std::fprintf(stderr,
+                   "manirank: precedence matrix magnitude bound exceeds 2^53; "
+                   "unit batches fall back to scalar folds (bit-sliced "
+                   "exactness no longer provable)\n");
+    }
+    return false;
+  }
+  return true;
+}
+
 void PrecedenceMatrix::AddRanking(const Ranking& ranking, double weight) {
   assert(ranking.size() == n_);
   Accumulate(ranking, weight, n_, &w_);
+  NoteFold(weight);
+}
+
+void PrecedenceMatrix::AddRankingsBatch(const Ranking* rankings, size_t count,
+                                        double weight) {
+  if (count == 0) return;
+  const kernel::KernelFlavor* flavor = ActiveBitsetFlavor();
+  if (flavor == nullptr || (weight != 1.0 && weight != -1.0) ||
+      !BatchExactEligible(count)) {
+    for (size_t i = 0; i < count; ++i) AddRanking(rankings[i], weight);
+    return;
+  }
+#ifndef NDEBUG
+  for (size_t i = 0; i < count; ++i) assert(rankings[i].size() == n_);
+#endif
+  const int sign = weight > 0.0 ? 1 : -1;
+  const size_t num_blocks = (static_cast<size_t>(n_) + 63) / 64;
+  // Row blocks are disjoint rows of w_, so a delta batch fans out across
+  // the pool even while the owning context holds its cache mutex.
+  ParallelFor(num_blocks, [&](size_t begin, size_t end, size_t /*worker*/) {
+    BitsetFoldBlocks(*flavor, rankings, count, sign, begin, end, n_,
+                     w_.data());
+  });
+  folded_magnitude_ += static_cast<double>(count);
 }
 
 void PrecedenceMatrix::Merge(const PrecedenceMatrix& other) {
   assert(other.n_ == n_);
   for (size_t c = 0; c < w_.size(); ++c) w_[c] += other.w_[c];
+  exact_int_ = exact_int_ && other.exact_int_;
+  folded_magnitude_ += other.folded_magnitude_;
 }
 
 PrecedenceMatrix PrecedenceMatrix::Build(
     const std::vector<Ranking>& base_rankings) {
-  return BuildImpl(base_rankings, nullptr);
+  assert(!base_rankings.empty());
+  const int n = base_rankings[0].size();
+  PrecedenceMatrix m = Zero(n);
+  const kernel::KernelFlavor* flavor = ActiveBitsetFlavor();
+  if (flavor != nullptr) {
+    BitsetBuildInto(*flavor, base_rankings, n, m.w_.data());
+  } else {
+    ScalarBuildInto(base_rankings, nullptr, n, m.w_.data());
+  }
+  m.folded_magnitude_ = static_cast<double>(base_rankings.size());
+  return m;
 }
 
 PrecedenceMatrix PrecedenceMatrix::BuildWeighted(
     const std::vector<Ranking>& base_rankings,
     const std::vector<double>& weights) {
   assert(weights.size() == base_rankings.size());
-  return BuildImpl(base_rankings, &weights);
+  assert(!base_rankings.empty());
+  const int n = base_rankings[0].size();
+  PrecedenceMatrix m = Zero(n);
+  ScalarBuildInto(base_rankings, &weights, n, m.w_.data());
+  m.folded_magnitude_ = 0.0;
+  for (double w : weights) m.NoteFold(w);
+  return m;
 }
 
 std::vector<std::vector<double>> PrecedenceMatrix::ToDense() const {
@@ -97,24 +259,49 @@ std::vector<std::vector<double>> PrecedenceMatrix::ToDense() const {
 }
 
 double PrecedenceMatrix::KemenyCost(const Ranking& consensus) const {
+  // One branchless row-major pass: cell (a, b) contributes iff the
+  // consensus places a above b. (The previous per-consensus-pair probing
+  // walked W in transposed order, paying a strided miss per pair once the
+  // matrix left L2.)
+  const std::vector<int>& pos = consensus.positions();
   double cost = 0.0;
-  const auto& order = consensus.order();
-  for (int p = 0; p < n_; ++p) {
-    for (int q = p + 1; q < n_; ++q) {
-      cost += W(order[p], order[q]);  // order[p] is above order[q]
+  const double* row = w_.data();
+  for (int a = 0; a < n_; ++a, row += n_) {
+    const int pos_a = pos[a];
+    double row_cost = 0.0;
+    for (int b = 0; b < n_; ++b) {
+      row_cost += pos_a < pos[b] ? row[b] : 0.0;
     }
+    cost += row_cost;
   }
   return cost;
 }
 
 double PrecedenceMatrix::LowerBound() const {
+  // Paired-tile traversal: for tiles (I, J) above the diagonal, W[a][b]
+  // streams row-major while the transposed operand W[b][a] stays confined
+  // to one 64x64 tile that remains cache-resident, instead of striding a
+  // whole matrix column per row.
+  constexpr int kTile = 64;
   double bound = 0.0;
-  for (int a = 0; a < n_; ++a) {
-    for (int b = a + 1; b < n_; ++b) {
-      bound += std::min(W(a, b), W(b, a));
+  for (int ti = 0; ti < n_; ti += kTile) {
+    const int a_end = std::min(n_, ti + kTile);
+    for (int tj = ti; tj < n_; tj += kTile) {
+      const int b_end = std::min(n_, tj + kTile);
+      for (int a = ti; a < a_end; ++a) {
+        const double* row_a = w_.data() + static_cast<size_t>(a) * n_;
+        for (int b = std::max(tj, a + 1); b < b_end; ++b) {
+          bound += std::min(row_a[b], w_[static_cast<size_t>(b) * n_ + a]);
+        }
+      }
     }
   }
   return bound;
+}
+
+const char* PrecedenceMatrix::ActiveKernelName() {
+  return PrecedenceKernelName(
+      ResolvePrecedenceKernel(kernel::Avx2Kernel() != nullptr));
 }
 
 }  // namespace manirank

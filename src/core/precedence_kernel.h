@@ -1,0 +1,43 @@
+#ifndef MANIRANK_CORE_PRECEDENCE_KERNEL_H_
+#define MANIRANK_CORE_PRECEDENCE_KERNEL_H_
+
+#include <cstddef>
+
+#include "core/ranking.h"
+
+namespace manirank {
+namespace kernel {
+
+/// One flavor of the bit-sliced unit-weight precedence kernel.
+///
+/// `row_block` folds a batch of `count` (<= 64) unit-weight rankings into
+/// rows [row_begin, row_end) of the row-major n x n matrix `w`:
+///
+///   w[b * n + a] += sign * #{k : ranking k places a above b}
+///
+/// for every b in the row block and every a. The per-pair counts are
+/// produced by popcounts over ranking-sliced bitsets, and each cell
+/// receives exactly ONE integer->double accumulation per batch — which is
+/// bit-identical to `count` scalar +/-1.0 folds as long as every cell
+/// holds an exactly-representable integer (|cell| <= 2^53 before and
+/// after; the caller tracks that bound). Row blocks are disjoint, so
+/// different blocks of one batch may run on different threads.
+struct KernelFlavor {
+  const char* name;
+  void (*row_block)(const Ranking* rankings, size_t count, int sign,
+                    int row_begin, int row_end, int n, double* w);
+};
+
+/// Baseline flavor: portable uint64 word ops + __builtin_popcountll.
+/// Always available.
+const KernelFlavor& PortableKernel();
+
+/// AVX2-codegen flavor of the same kernel, or nullptr when the build did
+/// not compile it (non-x86 target or compiler without -mavx2). Callers
+/// must additionally check CpuSupportsAvx2() before dispatching to it.
+const KernelFlavor* Avx2Kernel();
+
+}  // namespace kernel
+}  // namespace manirank
+
+#endif  // MANIRANK_CORE_PRECEDENCE_KERNEL_H_

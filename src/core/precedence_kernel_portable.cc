@@ -1,0 +1,15 @@
+// Baseline flavor of the bit-sliced precedence kernel: portable uint64
+// word ops, no ISA-specific flags. Always linked; the runtime dispatcher
+// falls back here whenever AVX2 is unavailable or forced off.
+
+#define MANIRANK_KERNEL_FLAVOR_NS portable
+#define MANIRANK_KERNEL_FLAVOR_NAME "portable"
+#include "core/precedence_kernel_impl.h"
+
+namespace manirank {
+namespace kernel {
+
+const KernelFlavor& PortableKernel() { return portable::Flavor(); }
+
+}  // namespace kernel
+}  // namespace manirank

@@ -25,6 +25,12 @@ StreamingAccumulator::StreamingAccumulator(int num_candidates, Track track)
   }
 }
 
+void StreamingAccumulator::FlushPending(WorkerState* worker) {
+  if (worker->pending.empty()) return;
+  worker->precedence.AddRankingsBatch(worker->pending);
+  worker->pending.clear();
+}
+
 void StreamingAccumulator::Fold(const Ranking& ranking, size_t worker) {
   assert(worker < workers_.size());
   if (ranking.size() != n_) {
@@ -35,7 +41,9 @@ void StreamingAccumulator::Fold(const Ranking& ranking, size_t worker) {
     state.points[ranking.At(p)] += n_ - 1 - p;
   }
   if (track_ == Track::kBordaAndPrecedence) {
-    state.precedence.AddRanking(ranking);
+    // Buffer for the bit-sliced batch fold; one full batch per 64 folds.
+    state.pending.push_back(ranking);
+    if (state.pending.size() == 64) FlushPending(&state);
   }
   ++state.count;
 }
@@ -64,6 +72,7 @@ StreamingSummary StreamingAccumulator::Finish() {
         std::make_unique<PrecedenceMatrix>(PrecedenceMatrix::Zero(n_));
   }
   for (WorkerState& w : workers_) {
+    FlushPending(&w);
     summary.num_rankings += w.count;
     for (int c = 0; c < n_; ++c) summary.borda_points[c] += w.points[c];
     if (summary.precedence) summary.precedence->Merge(w.precedence);

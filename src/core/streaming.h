@@ -34,10 +34,14 @@ struct StreamingSummary {
 
 /// Streaming accumulator kernel: folds sampled rankings into per-worker
 /// Borda point totals (O(n) per ranking) and, optionally, per-worker
-/// precedence deltas (O(n^2) per ranking) without retaining the rankings.
-/// Worker states are merged once in Finish(), so folding is lock-free as
-/// long as each worker index is used by at most one thread at a time —
-/// exactly the contract ParallelFor provides via its worker argument.
+/// precedence deltas without retaining the rankings. Precedence deltas
+/// ride the bit-sliced batch path: each worker buffers up to 64 rankings
+/// and folds them through PrecedenceMatrix::AddRankingsBatch (amortised
+/// O(n^2 / 64) word ops per ranking, bit-identical to per-ranking scalar
+/// folds), flushing any remainder in Finish(). Worker states are merged
+/// once in Finish(), so folding is lock-free as long as each worker index
+/// is used by at most one thread at a time — exactly the contract
+/// ParallelFor provides via its worker argument.
 ///
 /// All folded quantities are integer counts, so the merged summary is
 /// independent of the worker partition and bit-identical to materialising
@@ -59,7 +63,8 @@ class StreamingAccumulator {
   Track track() const { return track_; }
 
   /// Folds one ranking into worker slot `worker` (< num_workers()). The
-  /// ranking is consumed, not retained.
+  /// ranking is consumed, not retained (precedence tracking buffers at
+  /// most 64 rankings per worker between batch folds).
   void Fold(const Ranking& ranking, size_t worker);
 
   /// Parallel drain: folds sample(i) for every i in [0, count) across the
@@ -80,7 +85,13 @@ class StreamingAccumulator {
     int64_t count = 0;
     std::vector<int64_t> points;
     PrecedenceMatrix precedence;  // Zero(n) when tracked, empty otherwise
+    /// Rankings folded but not yet batched into `precedence` (at most
+    /// one bit-sliced batch's worth; empty when not tracking precedence).
+    std::vector<Ranking> pending;
   };
+
+  /// Batches `pending` into the worker's precedence delta and clears it.
+  static void FlushPending(WorkerState* worker);
 
   int n_;
   Track track_;

@@ -191,5 +191,38 @@ TEST(ConsensusContextTest, KemenyThroughContextMatchesDirectPipeline) {
   EXPECT_EQ(through_ctx.consensus.order(), direct.ranking.order());
 }
 
+// AddRankings folds precedence deltas through the bit-sliced batch path
+// in 64-ranking chunks; under every kernel flavor the warm context must
+// land on the bits of a fresh scalar rebuild over the grown profile, with
+// the same observable delta counters as the per-ranking path.
+TEST(ConsensusContextTest, BatchAddMatchesRebuildUnderEveryKernel) {
+  Fixture f = MakeFixture(70, 111, 0.6, 30);
+  // 150 appended rankings: two full 64-chunks plus a remainder.
+  std::vector<Ranking> appended;
+  Rng rng(1111);
+  for (int i = 0; i < 150; ++i) {
+    appended.push_back(testing::RandomRanking(70, &rng));
+  }
+  std::vector<Ranking> grown = f.base;
+  grown.insert(grown.end(), appended.begin(), appended.end());
+  std::vector<std::vector<double>> reference;
+  {
+    testing::ScopedKernelEnv env("scalar");
+    reference = PrecedenceMatrix::Build(grown).ToDense();
+  }
+  for (const std::string& kernel : testing::AllPrecedenceKernels()) {
+    testing::ScopedKernelEnv env(kernel.c_str());
+    ConsensusContext ctx(f.base, f.table);
+    ctx.Precedence();  // warm, so AddRankings exercises the delta path
+    ctx.AddRankings(appended);
+    EXPECT_EQ(ctx.Precedence().ToDense(), reference) << "kernel=" << kernel;
+    const ContextStats stats = ctx.stats();
+    EXPECT_EQ(stats.precedence_builds, 1) << "kernel=" << kernel;
+    EXPECT_EQ(stats.precedence_delta_updates, 150) << "kernel=" << kernel;
+    EXPECT_EQ(ctx.generation(), 150u) << "kernel=" << kernel;
+    EXPECT_EQ(ctx.num_rankings(), grown.size()) << "kernel=" << kernel;
+  }
+}
+
 }  // namespace
 }  // namespace manirank

@@ -363,5 +363,60 @@ TEST(MutableContextTest, MutationDuringRunThrows) {
   EXPECT_EQ(ctx.num_rankings(), 9u);
 }
 
+// The streaming fold path (which batches 64 rankings through the
+// bit-sliced kernel per worker) must stay bit-identical to a materialized
+// build under every kernel flavor the machine can run, including the
+// forced scalar reference.
+TEST(StreamingAccumulatorTest, FoldMatchesMaterializedUnderEveryKernel) {
+  // 87 rankings: worker buffers flush one full 64-batch plus a remainder.
+  Fixture f = MakeFixture(70, 401, 0.6, 87);
+  std::vector<std::vector<double>> reference;
+  {
+    testing::ScopedKernelEnv env("scalar");
+    reference = PrecedenceMatrix::Build(f.base).ToDense();
+  }
+  for (const std::string& kernel : testing::AllPrecedenceKernels()) {
+    testing::ScopedKernelEnv env(kernel.c_str());
+    StreamingAccumulator acc(70,
+                             StreamingAccumulator::Track::kBordaAndPrecedence);
+    for (size_t i = 0; i < f.base.size(); ++i) {
+      acc.Fold(f.base[i], i % acc.num_workers());
+    }
+    StreamingSummary summary = acc.Finish();
+    ASSERT_NE(summary.precedence, nullptr);
+    EXPECT_EQ(summary.precedence->ToDense(), reference)
+        << "kernel=" << kernel;
+    EXPECT_EQ(summary.borda_points, BordaPointsOf(f.base))
+        << "kernel=" << kernel;
+  }
+}
+
+// Snapshot -> restore -> append under every kernel: a summary round-trip
+// through the dense matrix (the snapshot wire format) must keep the batch
+// fold exact, so restored shards inherit the equivalence guarantee.
+TEST(SummarizedContextTest, SnapshotRestoreAppendMatchesUnderEveryKernel) {
+  Fixture f = MakeFixture(66, 407, 0.6, 40);
+  std::vector<Ranking> appended;
+  for (int i = 0; i < 70; ++i) {
+    Rng sample_rng = MallowsModel::SampleRng(407, 5000 + i);
+    appended.push_back(f.model.Sample(&sample_rng));
+  }
+  std::vector<Ranking> grown = f.base;
+  grown.insert(grown.end(), appended.begin(), appended.end());
+  std::vector<std::vector<double>> reference;
+  {
+    testing::ScopedKernelEnv env("scalar");
+    reference = PrecedenceMatrix::Build(grown).ToDense();
+  }
+  for (const std::string& kernel : testing::AllPrecedenceKernels()) {
+    testing::ScopedKernelEnv env(kernel.c_str());
+    ConsensusContext ctx(f.base, f.table);
+    ConsensusContext restored(ctx.Snapshot(), f.table);
+    restored.AddRankings(appended);
+    EXPECT_EQ(restored.Precedence().ToDense(), reference)
+        << "kernel=" << kernel;
+  }
+}
+
 }  // namespace
 }  // namespace manirank

@@ -1,15 +1,58 @@
 #ifndef MANIRANK_TESTS_TEST_UTIL_H_
 #define MANIRANK_TESTS_TEST_UTIL_H_
 
+#include <cstdlib>
 #include <numeric>
+#include <string>
 #include <vector>
 
 #include "core/candidate_table.h"
 #include "core/ranking.h"
 #include "data/synthetic.h"
+#include "util/cpu_dispatch.h"
 #include "util/rng.h"
 
 namespace manirank::testing {
+
+/// Forces MANIRANK_KERNEL (the precedence kernel override) for one scope,
+/// restoring the prior value on destruction. nullptr = auto dispatch.
+/// Only safe while no concurrent PrecedenceMatrix build/batch is running:
+/// the variable is re-read at the start of each call, on the calling
+/// thread.
+class ScopedKernelEnv {
+ public:
+  explicit ScopedKernelEnv(const char* value) {
+    const char* old = std::getenv("MANIRANK_KERNEL");
+    had_prior_ = old != nullptr;
+    if (had_prior_) prior_ = old;
+    if (value == nullptr) {
+      unsetenv("MANIRANK_KERNEL");
+    } else {
+      setenv("MANIRANK_KERNEL", value, /*overwrite=*/1);
+    }
+  }
+  ~ScopedKernelEnv() {
+    if (had_prior_) {
+      setenv("MANIRANK_KERNEL", prior_.c_str(), /*overwrite=*/1);
+    } else {
+      unsetenv("MANIRANK_KERNEL");
+    }
+  }
+  ScopedKernelEnv(const ScopedKernelEnv&) = delete;
+  ScopedKernelEnv& operator=(const ScopedKernelEnv&) = delete;
+
+ private:
+  bool had_prior_ = false;
+  std::string prior_;
+};
+
+/// Every precedence kernel this machine can run: the scalar reference and
+/// portable bit-sliced always, AVX2 when the CPU supports it.
+inline std::vector<std::string> AllPrecedenceKernels() {
+  std::vector<std::string> kernels = {"scalar", "portable"};
+  if (CpuSupportsAvx2()) kernels.push_back("avx2");
+  return kernels;
+}
 
 /// Uniformly random ranking over n candidates.
 inline Ranking RandomRanking(int n, Rng* rng) {
