@@ -61,10 +61,13 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <sys/resource.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <condition_variable>
+#include <mutex>
 #endif
 
 namespace {
@@ -721,6 +724,219 @@ AsyncBench RunAsyncBench(bool quick) {
   return bench;
 }
 
+// --- epoll vs poll event-loop scaling --------------------------------------
+//
+// The `async_epoll` section measures the readiness backends head to head
+// on the axis they differ on: wake cost per ready connection. C clients
+// each pipeline an identical read-only STATS stream (served inline on
+// the event loop, so the worker pool is idle and the measurement is pure
+// I/O machinery), against poll with a single loop and against epoll with
+// the default sharded loop count. Every connection's response stream is
+// equivalence-checked against a synchronous Dispatcher replay. On a
+// one-core host the two converge — the CI gate only applies with >= 2
+// cores and a real epoll backend.
+
+/// Raises RLIMIT_NOFILE toward its hard limit so the 512-connection
+/// point fits (each connection costs a client fd + an accepted fd).
+void RaiseFdLimit() {
+  struct rlimit limit;
+  if (::getrlimit(RLIMIT_NOFILE, &limit) != 0) return;
+  const rlim_t target = limit.rlim_max == RLIM_INFINITY
+                            ? static_cast<rlim_t>(8192)
+                            : std::min<rlim_t>(limit.rlim_max, 8192);
+  if (limit.rlim_cur < target) {
+    limit.rlim_cur = target;
+    ::setrlimit(RLIMIT_NOFILE, &limit);
+  }
+}
+
+size_t MaxAffordableConnections() {
+  struct rlimit limit;
+  if (::getrlimit(RLIMIT_NOFILE, &limit) != 0) return 128;
+  const rlim_t slack = 128;
+  if (limit.rlim_cur <= slack) return 16;
+  return static_cast<size_t>((limit.rlim_cur - slack) / 2);
+}
+
+struct EpollScalePoint {
+  int connections = 0;
+  long requests = 0;  // whole scenario, all connections
+  double poll_seconds = 0.0;
+  double epoll_seconds = 0.0;
+};
+
+struct EpollScaleBench {
+  size_t cores = 0;
+  int requests_per_connection = 0;
+  int reps = 0;
+  std::string poll_backend;   // resolved names: the "epoll" config falls
+  std::string epoll_backend;  // back to poll off Linux
+  size_t epoll_loops = 0;
+  std::vector<EpollScalePoint> points;
+};
+
+/// One scenario: C identical pipelining clients against a fresh server.
+/// Returns the wall-clock from the post-connect barrier to the last
+/// drained response stream; aborts on any drift from `expected`.
+double RunEpollScalePoint(const serve::ServerOptions& options, int connections,
+                          const std::vector<std::string>& seed,
+                          const std::string& wire,
+                          const std::vector<std::string>& expected,
+                          std::string* backend, size_t* loops) {
+  serve::ContextManager manager;
+  serve::ServeExecutor server(&manager, options);
+  std::string error;
+  if (!server.Start(&error)) {
+    std::fprintf(stderr, "async_epoll bench: %s\n", error.c_str());
+    std::abort();
+  }
+  if (backend != nullptr) *backend = server.poller_name();
+  if (loops != nullptr) *loops = server.io_loops();
+  {
+    AsyncClientSocket seeder(server.port());
+    std::string seed_wire;
+    for (const std::string& request : seed) {
+      seed_wire += request;
+      seed_wire += '\n';
+    }
+    seeder.Send(seed_wire);
+    std::vector<std::string> lines;
+    std::vector<double> ignored;
+    Stopwatch clock;
+    seeder.ReadResponses(seed.size(), clock, &lines, &ignored);
+    for (const std::string& line : lines) {
+      if (line.rfind("OK ", 0) != 0) {
+        std::fprintf(stderr, "async_epoll bench: seed failed: %s\n",
+                     line.c_str());
+        std::abort();
+      }
+    }
+  }
+  // Connect everyone first (untimed), then release the pipeline storm
+  // through a condvar: 512 yield-spinners would trample the accept path
+  // on a small host.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool go = false;
+  std::atomic<int> ready{0};
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(connections));
+  Stopwatch timer;
+  for (int c = 0; c < connections; ++c) {
+    threads.emplace_back([&] {
+      AsyncClientSocket socket(server.port());
+      ready.fetch_add(1);
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return go; });
+      }
+      socket.Send(wire);
+      std::vector<std::string> lines;
+      std::vector<double> ignored;
+      Stopwatch local_clock;
+      socket.ReadResponses(expected.size(), local_clock, &lines, &ignored);
+      if (lines != expected) mismatches.fetch_add(1);
+    });
+  }
+  while (ready.load() < connections) std::this_thread::yield();
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    timer.Restart();
+    go = true;
+  }
+  cv.notify_all();
+  for (std::thread& t : threads) t.join();
+  const double seconds = timer.Seconds();
+  server.Shutdown();
+  if (mismatches.load() != 0) {
+    std::fprintf(stderr,
+                 "FATAL: async_epoll (%s, %d connections) response streams "
+                 "drifted from the synchronous dispatcher on %d connections\n",
+                 backend != nullptr ? backend->c_str() : "?", connections,
+                 mismatches.load());
+    std::abort();
+  }
+  return seconds;
+}
+
+EpollScaleBench RunEpollScaleBench(bool quick) {
+  RaiseFdLimit();
+  EpollScaleBench bench;
+  bench.cores = std::max<size_t>(1, DefaultThreadCount());
+  bench.requests_per_connection = quick ? 24 : 64;
+  bench.reps = 2;
+
+  constexpr int kSeedTables = 8;
+  constexpr int kSeedN = 24;
+  std::vector<std::string> seed;
+  for (int t = 0; t < kSeedTables; ++t) {
+    const std::string table = "s" + std::to_string(t);
+    seed.push_back("CREATE " + table + " CYCLIC " + std::to_string(kSeedN) +
+                   " 2 2");
+    seed.push_back("APPEND " + table + " " + AsyncRankingText(kSeedN, t));
+    seed.push_back("APPEND " + table + " " + AsyncRankingText(kSeedN, t + 3));
+  }
+  std::vector<std::string> client_requests;
+  for (int r = 0; r < bench.requests_per_connection; ++r) {
+    client_requests.push_back("STATS s" + std::to_string(r % kSeedTables));
+  }
+  std::string wire;
+  for (const std::string& request : client_requests) {
+    wire += request;
+    wire += '\n';
+  }
+  std::vector<std::string> expected;
+  {
+    serve::ContextManager manager;
+    serve::Dispatcher dispatcher(&manager);
+    for (const std::string& request : seed) dispatcher.Handle(request);
+    for (const std::string& request : client_requests) {
+      expected.push_back(dispatcher.Handle(request));
+    }
+  }
+
+  serve::ServerOptions poll_options;
+  poll_options.workers = 2;
+  poll_options.io_threads = 1;
+  poll_options.poller = PollerBackend::kPoll;
+  serve::ServerOptions epoll_options;
+  epoll_options.workers = 2;
+  epoll_options.io_threads = std::min<size_t>(4, bench.cores);
+  epoll_options.poller = DefaultPollerBackend();
+
+  const size_t affordable = MaxAffordableConnections();
+  for (const int connections : {16, 128, 512}) {
+    if (static_cast<size_t>(connections) > affordable) {
+      std::fprintf(stderr,
+                   "async_epoll bench: skipping %d connections "
+                   "(RLIMIT_NOFILE affords %zu)\n",
+                   connections, affordable);
+      continue;
+    }
+    EpollScalePoint point;
+    point.connections = connections;
+    point.requests =
+        static_cast<long>(connections) * bench.requests_per_connection;
+    for (int rep = 0; rep < bench.reps; ++rep) {
+      const double poll_seconds =
+          RunEpollScalePoint(poll_options, connections, seed, wire, expected,
+                             &bench.poll_backend, nullptr);
+      const double epoll_seconds =
+          RunEpollScalePoint(epoll_options, connections, seed, wire, expected,
+                             &bench.epoll_backend, &bench.epoll_loops);
+      if (rep == 0 || poll_seconds < point.poll_seconds) {
+        point.poll_seconds = poll_seconds;
+      }
+      if (rep == 0 || epoll_seconds < point.epoll_seconds) {
+        point.epoll_seconds = epoll_seconds;
+      }
+    }
+    bench.points.push_back(point);
+  }
+  return bench;
+}
+
 #endif  // MANIRANK_SERVE_HAVE_SOCKETS
 
 }  // namespace
@@ -756,6 +972,7 @@ int main() {
           ? async.threaded.light_latency_mean_ms /
                 async.executor.light_latency_mean_ms
           : 0.0;
+  const EpollScaleBench epoll_scale = RunEpollScaleBench(QuickMode());
 #endif
   const SnapshotBench snapshot = RunSnapshotBench(QuickMode());
   const double restore_speedup = snapshot.restore_seconds > 0.0
@@ -807,6 +1024,28 @@ int main() {
       async.threaded.light_latency_mean_ms, async.executor.seconds,
       async.executor.requests, async.executor.light_latency_mean_ms,
       async_speedup, async_latency_ratio);
+  std::fprintf(f,
+               "  \"async_epoll\": {\"cores\": %zu, "
+               "\"requests_per_connection\": %d, \"reps\": %d,\n"
+               "    \"poll\": {\"backend\": \"%s\", \"io_loops\": 1},\n"
+               "    \"epoll\": {\"backend\": \"%s\", \"io_loops\": %zu},\n"
+               "    \"points\": [",
+               epoll_scale.cores, epoll_scale.requests_per_connection,
+               epoll_scale.reps, epoll_scale.poll_backend.c_str(),
+               epoll_scale.epoll_backend.c_str(), epoll_scale.epoll_loops);
+  for (size_t i = 0; i < epoll_scale.points.size(); ++i) {
+    const EpollScalePoint& point = epoll_scale.points[i];
+    const double point_speedup = point.epoll_seconds > 0.0
+                                     ? point.poll_seconds / point.epoll_seconds
+                                     : 0.0;
+    std::fprintf(f,
+                 "%s\n      {\"connections\": %d, \"requests\": %ld, "
+                 "\"poll_seconds\": %.6f, \"epoll_seconds\": %.6f, "
+                 "\"speedup_epoll_vs_poll\": %.3f}",
+                 i == 0 ? "" : ",", point.connections, point.requests,
+                 point.poll_seconds, point.epoll_seconds, point_speedup);
+  }
+  std::fprintf(f, "]},\n");
 #endif
   std::fprintf(f,
                "  \"snapshot\": {\"rankings\": %zu, \"n\": %d, "
@@ -836,6 +1075,17 @@ int main() {
               async.executor.seconds, async.executor.light_latency_mean_ms,
               async_speedup, async_latency_ratio,
               static_cast<unsigned long long>(async.parked));
+  for (const EpollScalePoint& point : epoll_scale.points) {
+    std::printf("async_epoll %4d conns: %s/1-loop %.4fs vs %s/%zu-loop "
+                "%.4fs -> %.2fx (%ld req, %zu cores)\n",
+                point.connections, epoll_scale.poll_backend.c_str(),
+                point.poll_seconds, epoll_scale.epoll_backend.c_str(),
+                epoll_scale.epoll_loops, point.epoll_seconds,
+                point.epoll_seconds > 0.0
+                    ? point.poll_seconds / point.epoll_seconds
+                    : 0.0,
+                point.requests, epoll_scale.cores);
+  }
 #endif
   std::printf("snapshot restore (%zu rankings, %ld bytes): %.4fs vs "
               "replay %.4fs  ->  %.0fx  ->  BENCH_serving.json\n",

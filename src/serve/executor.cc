@@ -6,7 +6,6 @@
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
-#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -15,7 +14,9 @@
 #include <chrono>
 #include <cstring>
 #include <functional>
+#include <map>
 #include <ostream>
+#include <sstream>
 #include <utility>
 
 namespace manirank::serve {
@@ -28,6 +29,18 @@ constexpr int kSendFlags = MSG_NOSIGNAL;
 #else
 constexpr int kSendFlags = 0;
 #endif
+
+/// Longest request line eligible for the loop-thread inline fast path.
+/// Small enough that parsing + a non-blocking table op cannot stall the
+/// loop's other connections; anything bigger goes through the pool.
+constexpr size_t kInlineMaxLineBytes = 4096;
+
+/// WFQ billing: one draining verb (RUN/FLUSH — seconds of gate-holding
+/// work) costs this many virtual slots, a light verb costs one. A hot
+/// table's parked-then-released drain backlog therefore advances its
+/// lane's virtual finish time 8x faster than a light table's STATS
+/// stream, and the light request sorts ahead of the backlog.
+constexpr uint64_t kDrainWeight = 8;
 
 bool SetNonBlocking(int fd) {
   const int flags = ::fcntl(fd, F_GETFL, 0);
@@ -61,8 +74,14 @@ void Fail(std::string* error, const std::string& what) {
 }
 
 /// Binds and listens on 127.0.0.1:<port> (0 = ephemeral), reporting the
-/// actually-bound port. Returns the listener fd, or -1 with *error set.
-int OpenListener(int port, int* bound_port, std::string* error) {
+/// actually-bound port. With `reuseport`, SO_REUSEPORT is set before the
+/// bind so several listeners can share one port and the kernel shards
+/// incoming connections across them (the executor's accept sharding; the
+/// first listener of the group must set it too, which is why the flag is
+/// decided up front from the loop count). Returns the listener fd, or -1
+/// with *error set.
+int OpenListener(int port, bool reuseport, int* bound_port,
+                 std::string* error) {
   const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listener < 0) {
     Fail(error, "socket");
@@ -70,12 +89,22 @@ int OpenListener(int port, int* bound_port, std::string* error) {
   }
   const int one = 1;
   ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+#ifdef SO_REUSEPORT
+  if (reuseport) {
+    ::setsockopt(listener, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one));
+  }
+#else
+  (void)reuseport;
+#endif
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(static_cast<uint16_t>(port));
   if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
-      ::listen(listener, 64) < 0) {
+      // 511 absorbs a whole connection-storm burst (the scaling bench
+      // opens 512 sockets at once); a short backlog would drop SYNs into
+      // 1s retransmit limbo on loopback.
+      ::listen(listener, 511) < 0) {
     Fail(error, "bind/listen on 127.0.0.1:" + std::to_string(port));
     ::close(listener);
     return -1;
@@ -123,7 +152,7 @@ bool ThreadPerConnectionServer::Start(std::string* error) {
     if (error != nullptr) *error = "server already started";
     return false;
   }
-  listener_ = OpenListener(options_.port, &port_, error);
+  listener_ = OpenListener(options_.port, /*reuseport=*/false, &port_, error);
   if (listener_ < 0) return false;
   stopping_.store(false);
   started_ = true;
@@ -266,7 +295,7 @@ void ThreadPerConnectionServer::Shutdown() {
 struct ServeExecutor::Request {
   std::shared_ptr<Conn> conn;
   uint64_t seq = 0;
-  /// Global arrival stamp ordering the ready queue across connections.
+  /// Global arrival stamp: FIFO tie-break within one WFQ virtual slot.
   uint64_t arrival = 0;
   std::string line;
   std::string table;
@@ -282,12 +311,17 @@ struct ServeExecutor::Request {
 struct ServeExecutor::Conn {
   Conn(int fd, ContextManager* manager) : fd(fd), dispatcher(manager) {}
 
+  /// Mutated only by the owning loop thread, and only under write_mu
+  /// (FlushConn reads it under write_mu from any thread).
   int fd;
+  /// The event loop this connection is pinned to for life. Set once at
+  /// accept, read by completion-side code to route notifications.
+  IoLoop* loop = nullptr;
   /// Stateless over the shared manager, so concurrent requests of one
   /// connection may execute on different workers simultaneously.
   Dispatcher dispatcher;
 
-  // --- touched only by the I/O thread ---
+  // --- touched only by the owning loop thread ---
   std::string in_buffer;
   /// Reading and scheduling new requests (false after client EOF, an
   /// oversize line, or executor shutdown).
@@ -297,6 +331,21 @@ struct ServeExecutor::Conn {
   /// until the client closes (so close() never turns into an RST that
   /// destroys the tail of the response stream).
   bool discarding = false;
+  /// Edge-triggered readiness latch: the poller reported the fd readable
+  /// and it has not been drained to EAGAIN since. The poll backend
+  /// re-reports a still-ready level, which merely re-sets this.
+  bool read_ready = false;
+  /// An error/hangup edge not yet acted on.
+  bool saw_error = false;
+  /// Already queued on its loop's service list (dedupe flag).
+  bool in_service = false;
+  /// Currently counted as backpressure-stalled (counts transitions, not
+  /// service passes).
+  bool stalled = false;
+  /// The poll backend's currently-declared interest (epoll registers
+  /// both directions edge-triggered once and never updates).
+  bool poll_want_read = true;
+  bool poll_want_write = false;
   /// During shutdown a discarding client gets a bounded linger to close
   /// its end, then is dropped — one idle peer must not hang Shutdown().
   std::chrono::steady_clock::time_point discard_deadline{};
@@ -307,7 +356,7 @@ struct ServeExecutor::Conn {
 
   // --- guarded by sched_mu_ ---
   uint64_t next_seq = 0;   // next request sequence number to assign
-  uint64_t next_send = 0;  // next sequence number to append to `out`
+  uint64_t next_send = 0;  // next sequence number to sequence to the wire
   /// Bytes of parsed request lines not yet executed (the request-side
   /// backpressure budget).
   size_t queued_line_bytes = 0;
@@ -318,11 +367,122 @@ struct ServeExecutor::Conn {
   /// Last unfinished request per table — the tail of each serial chain.
   std::unordered_map<std::string, Request*> last_by_table;
   Request* last_barrier = nullptr;
-  /// Sequenced response bytes awaiting POLLOUT.
-  std::string out;
-  size_t out_offset = 0;
+  /// Sequenced response bytes not yet handed to the sender (stage one of
+  /// the two-buffer flush; stage two is `sending` under write_mu).
+  std::string pending_out;
+  /// pending_out plus the unsent remainder of `sending`: the response-
+  /// side backpressure budget, maintained here so the loop can read it
+  /// under sched_mu_ alone.
+  size_t unsent_bytes = 0;
   /// Write error: the peer is gone; discard completions silently.
   bool dead = false;
+  /// Already on its loop's notify list (dedupe flag).
+  bool notified = false;
+
+  // --- guarded by write_mu ---
+  /// Serializes send() against fd close. Lock order: write_mu BEFORE
+  /// sched_mu_; never acquire write_mu while holding sched_mu_.
+  std::mutex write_mu;
+  /// Bytes in flight to the kernel (swapped out of pending_out); the
+  /// send() syscalls run under write_mu only, so a slow flush never
+  /// blocks the global scheduler.
+  std::string sending;
+  size_t send_offset = 0;
+};
+
+/// One event loop: poller + SO_REUSEPORT listener + wake pipe +
+/// emergency fd + every connection the kernel sharded to it.
+struct ServeExecutor::IoLoop {
+  size_t index = 0;
+  int listener = -1;
+  int wake_fds[2] = {-1, -1};
+  /// Reserved fd burned to accept-then-reject on EMFILE/ENFILE.
+  int emergency_fd = -1;
+  /// Edge-triggered backend (epoll): register both directions once;
+  /// otherwise maintain the poll interest set per connection.
+  bool et = false;
+  std::atomic<bool> wake_pending{false};
+  std::unique_ptr<EventPoller> poller;
+  std::thread thread;
+  /// Event-data sentinels distinguishing the wake pipe and listener from
+  /// connection pointers.
+  char wake_tag = 0;
+  char listener_tag = 0;
+
+  // --- touched only by this loop's thread ---
+  std::map<int, std::shared_ptr<Conn>> conns;
+  /// Connections queued for a service pass (deduped via Conn::in_service).
+  std::vector<std::shared_ptr<Conn>> pending;
+  bool accept_ready = false;
+  std::chrono::steady_clock::time_point accept_backoff_until{};
+
+  // --- guarded by sched_mu_ ---
+  /// Connections with completion-side news for this loop; ground truth
+  /// for cross-thread wakeups (the wake pipe is only the doorbell).
+  std::vector<std::shared_ptr<Conn>> notify;
+  struct Shadow {
+    uint64_t accepted = 0;
+    uint64_t served = 0;
+    uint64_t inline_served = 0;
+    uint64_t bytes_in = 0;
+    uint64_t bytes_out = 0;
+    uint64_t backpressure_stalls = 0;
+    uint64_t parked_drains = 0;
+    uint64_t emfile_rejected = 0;
+  };
+  /// Write-side counter state; every mutation happens under sched_mu_
+  /// and is followed by PublishLocked().
+  Shadow shadow;
+
+  // --- seqlock-published mirror (lock-free readers) ---
+  std::atomic<uint64_t> counter_seq{0};
+  std::atomic<uint64_t> pub_accepted{0};
+  std::atomic<uint64_t> pub_served{0};
+  std::atomic<uint64_t> pub_inline{0};
+  std::atomic<uint64_t> pub_bytes_in{0};
+  std::atomic<uint64_t> pub_bytes_out{0};
+  std::atomic<uint64_t> pub_stalls{0};
+  std::atomic<uint64_t> pub_parked{0};
+  std::atomic<uint64_t> pub_emfile{0};
+
+  /// sched_mu_ held (serializes writers — the seqlock protects readers
+  /// only). Same idiom as the engine's ProfileCounters: odd seq marks
+  /// the write window, fences order the field stores against it.
+  void PublishLocked() {
+    counter_seq.store(counter_seq.load(std::memory_order_relaxed) + 1,
+                      std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+    pub_accepted.store(shadow.accepted, std::memory_order_relaxed);
+    pub_served.store(shadow.served, std::memory_order_relaxed);
+    pub_inline.store(shadow.inline_served, std::memory_order_relaxed);
+    pub_bytes_in.store(shadow.bytes_in, std::memory_order_relaxed);
+    pub_bytes_out.store(shadow.bytes_out, std::memory_order_relaxed);
+    pub_stalls.store(shadow.backpressure_stalls, std::memory_order_relaxed);
+    pub_parked.store(shadow.parked_drains, std::memory_order_relaxed);
+    pub_emfile.store(shadow.emfile_rejected, std::memory_order_relaxed);
+    counter_seq.store(counter_seq.load(std::memory_order_relaxed) + 1,
+                      std::memory_order_release);
+  }
+
+  /// Any thread, lock-free: retries until it observes a quiescent
+  /// (even, unchanged) sequence around the field reads.
+  Shadow ReadCounters() const {
+    for (;;) {
+      const uint64_t begin = counter_seq.load(std::memory_order_acquire);
+      if ((begin & 1) != 0) continue;
+      Shadow snap;
+      snap.accepted = pub_accepted.load(std::memory_order_relaxed);
+      snap.served = pub_served.load(std::memory_order_relaxed);
+      snap.inline_served = pub_inline.load(std::memory_order_relaxed);
+      snap.bytes_in = pub_bytes_in.load(std::memory_order_relaxed);
+      snap.bytes_out = pub_bytes_out.load(std::memory_order_relaxed);
+      snap.backpressure_stalls = pub_stalls.load(std::memory_order_relaxed);
+      snap.parked_drains = pub_parked.load(std::memory_order_relaxed);
+      snap.emfile_rejected = pub_emfile.load(std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (counter_seq.load(std::memory_order_relaxed) == begin) return snap;
+    }
+  }
 };
 
 ServeExecutor::ServeExecutor(ContextManager* manager, ServerOptions options)
@@ -353,34 +513,83 @@ bool ServeExecutor::Start(std::string* error) {
     if (error != nullptr) *error = "executor already started";
     return false;
   }
-  listener_ = OpenListener(options_.port, &port_, error);
-  if (listener_ < 0) return false;
-  if (::pipe(wake_fds_) != 0 || !SetNonBlocking(wake_fds_[0]) ||
-      !SetNonBlocking(wake_fds_[1]) || !SetNonBlocking(listener_)) {
-    Fail(error, "wake pipe");
-    ::close(listener_);
-    listener_ = -1;
-    for (int& fd : wake_fds_) {
-      if (fd >= 0) ::close(fd);
-      fd = -1;
-    }
-    return false;
+  backend_ = ResolvePollerBackend(options_.poller);
+  size_t nloops = options_.io_threads;
+  if (nloops == 0) {
+    nloops = std::min<size_t>(4, std::max<size_t>(1, DefaultThreadCount()));
   }
+  nloops = std::min(std::max<size_t>(1, nloops), kMaxThreads);
+#ifndef SO_REUSEPORT
+  // Without kernel accept sharding, a second listener on the same port
+  // cannot bind; run the single-loop topology.
+  nloops = 1;
+#endif
+  const auto cleanup = [this] {
+    for (auto& loop : loops_) {
+      if (loop->listener >= 0) ::close(loop->listener);
+      for (int fd : loop->wake_fds) {
+        if (fd >= 0) ::close(fd);
+      }
+      if (loop->emergency_fd >= 0) ::close(loop->emergency_fd);
+    }
+    loops_.clear();
+  };
+  port_ = options_.port;
+  for (size_t i = 0; i < nloops; ++i) {
+    auto loop = std::make_unique<IoLoop>();
+    loop->index = i;
+    int bound = 0;
+    // Loop 0 may bind an ephemeral port; the rest of the group joins the
+    // port it actually got.
+    loop->listener =
+        OpenListener(i == 0 ? options_.port : port_, nloops > 1, &bound,
+                     error);
+    if (loop->listener < 0) {
+      cleanup();
+      return false;
+    }
+    if (i == 0) port_ = bound;
+    loops_.push_back(std::move(loop));
+    IoLoop& l = *loops_.back();
+    if (::pipe(l.wake_fds) != 0 || !SetNonBlocking(l.wake_fds[0]) ||
+        !SetNonBlocking(l.wake_fds[1]) || !SetNonBlocking(l.listener)) {
+      Fail(error, "wake pipe");
+      cleanup();
+      return false;
+    }
+    l.emergency_fd = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
+    l.poller = MakeEventPoller(backend_);
+    l.et = l.poller->backend() == PollerBackend::kEpoll;
+    if (!l.poller->Add(l.wake_fds[0], true, false, &l.wake_tag) ||
+        !l.poller->Add(l.listener, true, false, &l.listener_tag)) {
+      Fail(error, "poller registration");
+      cleanup();
+      return false;
+    }
+    // Sweep the backlog once at startup regardless of edges (connects
+    // racing Start).
+    l.accept_ready = true;
+  }
+  // MakeEventPoller may have degraded the request (epoll_create1 failure).
+  backend_ = loops_.front()->poller->backend();
+  io_loops_ = nloops;
   pool_ = std::make_unique<TaskPool>(options_.workers);
   // Park-instead-of-block for draining verbs (see DispatchLocked); the
   // observer releases parked requests the moment the fold ends.
   manager_->SetDrainObserver(
       [this](const std::string& table) { OnDrainFinished(table); });
   stopping_.store(false);
-  // A worker's last Wake() during a previous Shutdown can leave the
-  // flag set with its pipe byte gone; carried into a restart it would
-  // make every future Wake() a no-op and strand the poll loop.
-  wake_pending_.store(false);
+  parked_flushed_ = false;
   started_ = true;
-  io_thread_ = std::thread([this] { IoLoop(); });
+  for (auto& loop : loops_) {
+    IoLoop* raw = loop.get();
+    raw->thread = std::thread([this, raw] { LoopMain(*raw); });
+  }
   if (options_.log != nullptr) {
     *options_.log << "manirank_serve executor listening on 127.0.0.1:"
-                  << port_ << " (" << options_.workers << " workers)\n";
+                  << port_ << " (" << options_.workers << " workers, "
+                  << io_loops_ << " io-loops, " << PollerBackendName(backend_)
+                  << ")\n";
   }
   return true;
 }
@@ -388,11 +597,15 @@ bool ServeExecutor::Start(std::string* error) {
 void ServeExecutor::Shutdown() {
   if (!started_) return;
   stopping_.store(true);
-  Wake();
-  if (io_thread_.joinable()) io_thread_.join();
-  // The I/O thread exits only once every connection is closed, i.e.
-  // every accepted request has executed and flushed; Stop() then drains
-  // whatever stragglers belong to already-aborted connections.
+  for (auto& loop : loops_) WakeLoop(*loop);
+  // A loop exits only once every connection it owns is closed, i.e.
+  // every accepted request has executed and flushed.
+  for (auto& loop : loops_) {
+    if (loop->thread.joinable()) loop->thread.join();
+  }
+  // Stop() then drains whatever stragglers belong to already-aborted
+  // connections; those completions may still ring loop doorbells, so the
+  // wake pipes stay open until after the pool is down.
   pool_->Stop();
   manager_->SetDrainObserver(nullptr);
   {
@@ -400,231 +613,179 @@ void ServeExecutor::Shutdown() {
     parked_.clear();
     ready_.clear();
     live_nodes_.clear();
-    conns_.clear();
+    table_vfinish_.clear();
+    virtual_time_ = 0;
+    for (auto& loop : loops_) loop->notify.clear();
   }
-  for (int& fd : wake_fds_) {
-    if (fd >= 0) ::close(fd);
-    fd = -1;
+  for (auto& loop : loops_) {
+    for (int& fd : loop->wake_fds) {
+      if (fd >= 0) ::close(fd);
+      fd = -1;
+    }
+    if (loop->emergency_fd >= 0) {
+      ::close(loop->emergency_fd);
+      loop->emergency_fd = -1;
+    }
+    if (loop->listener >= 0) {
+      ::close(loop->listener);
+      loop->listener = -1;
+    }
   }
+  loops_.clear();
+  io_loops_ = 0;
   started_ = false;
 }
 
-void ServeExecutor::Wake() {
-  if (wake_pending_.exchange(true)) return;
+void ServeExecutor::WakeLoop(IoLoop& loop) {
+  if (loop.wake_pending.exchange(true)) return;
   const char byte = 1;
-  // Nonblocking; a full pipe means a wakeup is already in flight.
-  [[maybe_unused]] const ssize_t w = ::write(wake_fds_[1], &byte, 1);
+  // Nonblocking; a full pipe means a wakeup is already in flight. A lost
+  // byte is harmless: the notify list under sched_mu_ is the ground
+  // truth and is re-checked at the top of every loop iteration.
+  [[maybe_unused]] const ssize_t w = ::write(loop.wake_fds[1], &byte, 1);
 }
 
-void ServeExecutor::IoLoop() {
-  bool parked_flushed = false;
-  std::vector<pollfd> pfds;
-  std::vector<std::shared_ptr<Conn>> polled;
-  std::vector<std::shared_ptr<Conn>> flushed;
+void ServeExecutor::LoopMain(IoLoop& loop) {
+  std::vector<PolledEvent> events;
+  std::vector<std::shared_ptr<Conn>> work;
   for (;;) {
     const bool stopping = stopping_.load();
-    if (stopping && listener_ >= 0) {
-      ::close(listener_);
-      listener_ = -1;
+    if (stopping && loop.listener >= 0) {
+      loop.poller->Remove(loop.listener);
+      ::close(loop.listener);
+      loop.listener = -1;
+      loop.accept_ready = false;
     }
-    pfds.clear();
-    polled.clear();
-    flushed.clear();
-    pfds.push_back({wake_fds_[0], POLLIN, 0});
-    const bool accept_backing_off =
-        std::chrono::steady_clock::now() < accept_backoff_until_;
-    const bool poll_listener = listener_ >= 0 && !accept_backing_off;
-    if (poll_listener) pfds.push_back({listener_, POLLIN, 0});
-    const size_t conn_base = pfds.size();
-    bool all_closed;
     {
       std::lock_guard<std::mutex> lock(sched_mu_);
-      if (stopping && !parked_flushed) {
+      if (stopping && !parked_flushed_) {
         // No further drains may come to release parked requests once the
-        // request inflow stops — dispatch them now; they execute (at
-        // worst briefly blocking on a finishing fold) and their clients
-        // still get responses before the half-close.
-        parked_flushed = true;
+        // request inflow stops — dispatch them now (first loop to notice
+        // wins); they execute, at worst briefly blocking on a finishing
+        // fold, and their clients still get responses before half-close.
+        parked_flushed_ = true;
         for (auto& [table, nodes] : parked_) {
           for (Request* node : nodes) EnqueueReadyLocked(node);
         }
         parked_.clear();
       }
-      for (auto it = conns_.begin(); it != conns_.end();) {
-        const std::shared_ptr<Conn>& conn = it->second;
-        if (conn->dead) {
-          // A completing worker flagged a write failure; finish the
-          // teardown here, on the fd-owning thread.
-          ::close(it->first);
-          conn->fd = -1;
-          it = conns_.erase(it);
-          continue;
-        }
-        if (stopping && conn->scheduling_reads) {
-          // Stop reading new requests; a partial line that never got its
-          // newline is abandoned, accepted requests still complete.
-          conn->scheduling_reads = false;
-          conn->in_buffer.clear();
-        }
-        const size_t inflight = conn->next_seq - conn->next_send;
-        const size_t out_bytes = conn->out.size() - conn->out_offset;
-        if (!conn->scheduling_reads && !conn->discarding &&
-            conn->unfinished.empty() && out_bytes == 0) {
-          // Every accepted request is answered and flushed: response
-          // stream complete.
-          flushed.push_back(conn);
-          ++it;
-          continue;
-        }
-        if (stopping && conn->discarding) {
-          // The response stream is delivered and half-closed; give the
-          // client a bounded linger to close its end, then drop it — an
-          // idle peer must not hang Shutdown() forever.
-          const auto now = std::chrono::steady_clock::now();
-          if (conn->discard_deadline == decltype(now){}) {
-            conn->discard_deadline = now + std::chrono::seconds(1);
-          } else if (now >= conn->discard_deadline) {
-            conn->dead = true;
-            ::close(it->first);
-            conn->fd = -1;
-            it = conns_.erase(it);
-            continue;
-          }
-        }
-        if (stopping && !conn->discarding && conn->unfinished.empty() &&
-            out_bytes > 0) {
-          // Everything has executed but the client is not reading its
-          // responses; bound the flush the same way — a dead reader
-          // with a full socket buffer must not hang Shutdown().
-          const auto now = std::chrono::steady_clock::now();
-          if (conn->flush_deadline == decltype(now){}) {
-            conn->flush_deadline = now + std::chrono::seconds(5);
-          } else if (now >= conn->flush_deadline) {
-            conn->dead = true;
-            ::close(it->first);
-            conn->fd = -1;
-            it = conns_.erase(it);
-            continue;
-          }
-        }
-        short events = 0;
-        if (conn->discarding) {
-          events |= POLLIN;
-        } else if (conn->scheduling_reads &&
-                   inflight < options_.max_inflight_per_connection &&
-                   out_bytes <= options_.max_buffered_response_bytes &&
-                   conn->queued_line_bytes <=
-                       options_.max_buffered_request_bytes) {
-          // Backpressure: a connection over its in-flight, buffered-
-          // response, or buffered-request budget is simply not polled
-          // for input; the kernel socket buffer then pushes back on the
-          // client.
-          events |= POLLIN;
-        }
-        if (out_bytes > 0) events |= POLLOUT;
-        pfds.push_back({it->first, events, 0});
-        polled.push_back(conn);
-        ++it;
-      }
-      for (const std::shared_ptr<Conn>& conn : flushed) {
-        if (conn->fd < 0) continue;
-        if (conn->saw_eof || conn->dead) {
-          // The client already half-closed (or vanished): nothing left
-          // in flight in either direction.
-          conns_.erase(conn->fd);
-          ::close(conn->fd);
-          conn->fd = -1;
-        } else {
-          // Oversize ERR or shutdown: half-close and drain so the
-          // client receives the full response stream and an orderly
-          // EOF, never a reset.
-          ::shutdown(conn->fd, SHUT_WR);
-          conn->discarding = true;
-          pfds.push_back({conn->fd, POLLIN, 0});
-          polled.push_back(conn);
+      for (const std::shared_ptr<Conn>& conn : loop.notify) {
+        conn->notified = false;
+        if (!conn->in_service) {
+          conn->in_service = true;
+          loop.pending.push_back(conn);
         }
       }
-      all_closed = conns_.empty();
+      loop.notify.clear();
     }
-    if (stopping && all_closed) break;
-    // While stopping, tick so discard-linger deadlines are enforced even
-    // if no fd ever becomes ready again; while backing off from accept,
-    // tick so the listener resumes without needing another event.
-    const int timeout_ms = stopping ? 100 : (accept_backing_off ? 50 : -1);
-    const int rc =
-        ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), timeout_ms);
-    if (rc < 0) {
-      if (errno == EINTR) continue;
-      break;  // poll itself failed: abandon ship (Shutdown cleans up)
-    }
-    if (pfds[0].revents != 0) {
-      char drain[64];
-      while (::read(wake_fds_[0], drain, sizeof(drain)) > 0) {
-      }
-      wake_pending_.store(false);
-    }
-    if (poll_listener && pfds[1].revents != 0) AcceptReady();
-    for (size_t i = 0; i < polled.size(); ++i) {
-      const std::shared_ptr<Conn>& conn = polled[i];
-      const short revents = pfds[conn_base + i].revents;
-      if (revents == 0 || conn->fd < 0) continue;
-      if ((revents & (POLLIN | POLLERR | POLLHUP)) != 0) {
-        if (conn->discarding) {
-          // Draining after half-close: eat bytes until the client
-          // closes, then finish the connection.
-          char chunk[4096];
-          for (;;) {
-            const ssize_t n = ::read(conn->fd, chunk, sizeof(chunk));
-            if (n > 0) continue;
-            if (n < 0 && errno == EINTR) continue;
-            if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
-            AbortConn(conn);  // EOF or error: fully closed now
-            break;
-          }
-          continue;
-        }
-        if (conn->scheduling_reads) {
-          HandleReadable(conn);
-        } else if ((revents & (POLLERR | POLLHUP)) != 0 &&
-                   (revents & POLLOUT) == 0) {
-          // Peer vanished while we were not reading; undeliverable.
-          AbortConn(conn);
-          continue;
+    if (stopping) {
+      // Tick every connection so shutdown transitions and linger
+      // deadlines advance even without fd events.
+      for (auto& [fd, conn] : loop.conns) {
+        if (!conn->in_service) {
+          conn->in_service = true;
+          loop.pending.push_back(conn);
         }
       }
-      if ((revents & POLLOUT) != 0 && conn->fd >= 0) FlushWritable(conn);
+    }
+    work.clear();
+    work.swap(loop.pending);
+    // Clear the dedupe flags before servicing: a connection that needs
+    // another pass (read budget, self-unblocked flush) re-queues itself
+    // onto loop.pending for the next iteration.
+    for (const std::shared_ptr<Conn>& conn : work) conn->in_service = false;
+    for (const std::shared_ptr<Conn>& conn : work) ServiceConn(loop, conn);
+    if (stopping && loop.conns.empty()) break;
+    const bool backing_off =
+        std::chrono::steady_clock::now() < loop.accept_backoff_until;
+    if (loop.accept_ready && !backing_off) AcceptReady(loop);
+    int timeout_ms;
+    if (!loop.pending.empty()) {
+      timeout_ms = 0;  // more service work already queued
+    } else if (stopping) {
+      timeout_ms = 100;  // tick linger deadlines
+    } else if (loop.accept_ready) {
+      timeout_ms = 50;  // resume accepting after the backoff expires
+    } else {
+      timeout_ms = -1;
+    }
+    const int rc = loop.poller->Wait(&events, timeout_ms);
+    if (rc < 0) break;  // poller failed: abandon ship (teardown below)
+    for (const PolledEvent& event : events) {
+      if (event.data == &loop.wake_tag) {
+        char drain[64];
+        while (::read(loop.wake_fds[0], drain, sizeof(drain)) > 0) {
+        }
+        // Drain THEN clear: a doorbell rung after this store writes a
+        // fresh byte; one rung in the window loses its byte but its
+        // notify entry is drained next iteration anyway.
+        loop.wake_pending.store(false);
+        continue;
+      }
+      if (event.data == &loop.listener_tag) {
+        loop.accept_ready = true;
+        continue;
+      }
+      // A connection. The pointer is safe: closes happen only in the
+      // service phase, which runs before Wait, and Remove precedes every
+      // close — so no event in this batch refers to a freed Conn.
+      Conn* raw = static_cast<Conn*>(event.data);
+      const auto it = loop.conns.find(raw->fd);
+      if (it == loop.conns.end() || it->second.get() != raw) continue;
+      const std::shared_ptr<Conn>& conn = it->second;
+      if (event.readable || event.error) conn->read_ready = true;
+      if (event.error) conn->saw_error = true;
+      if (!conn->in_service) {
+        conn->in_service = true;
+        loop.pending.push_back(conn);
+      }
     }
   }
-  // Defensive teardown for the poll-failure exit: Shutdown's cleanup
+  // Defensive teardown for the poller-failure exit: Shutdown's cleanup
   // assumes the loop closed everything it owned.
-  std::lock_guard<std::mutex> lock(sched_mu_);
-  for (auto& [fd, conn] : conns_) {
-    ::close(fd);
-    conn->fd = -1;
+  for (auto& [fd, conn] : loop.conns) {
+    loop.poller->Remove(fd);
+    {
+      std::lock_guard<std::mutex> wlock(conn->write_mu);
+      ::close(fd);
+      conn->fd = -1;
+      conn->sending.clear();
+      conn->send_offset = 0;
+    }
+    std::lock_guard<std::mutex> lock(sched_mu_);
     conn->dead = true;
+    conn->pending_out.clear();
+    conn->unsent_bytes = 0;
   }
-  conns_.clear();
-  if (listener_ >= 0) {
-    ::close(listener_);
-    listener_ = -1;
+  loop.conns.clear();
+  if (loop.listener >= 0) {
+    ::close(loop.listener);
+    loop.listener = -1;
   }
 }
 
-void ServeExecutor::AcceptReady() {
+void ServeExecutor::AcceptReady(IoLoop& loop) {
+  loop.accept_ready = false;
   for (;;) {
-    const int fd = ::accept(listener_, nullptr, nullptr);
+    const int fd = ::accept(loop.listener, nullptr, nullptr);
     if (fd < 0) {
-      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
-          errno == ENOMEM) {
-        // Resource exhaustion leaves the pending connection queued, so
-        // the listener stays level-triggered readable — without a
-        // backoff the poll loop would hot-spin at 100% CPU until an fd
-        // frees. Pause accepting briefly; live connections keep being
-        // served meanwhile.
-        accept_backoff_until_ = std::chrono::steady_clock::now() +
-                                std::chrono::milliseconds(50);
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EMFILE || errno == ENFILE) {
+        RejectOverloadedAccept(loop);
+        continue;
       }
-      return;  // EAGAIN / transient error: back to poll
+      if (errno == ENOBUFS || errno == ENOMEM) {
+        // Transient kernel memory pressure: the pending connection stays
+        // queued. Back off briefly; accept_ready keeps the timed retry
+        // alive (mandatory under edge triggering — no new edge will
+        // announce the already-queued backlog).
+        loop.accept_backoff_until = std::chrono::steady_clock::now() +
+                                    std::chrono::milliseconds(50);
+        loop.accept_ready = true;
+        return;
+      }
+      return;  // listener closed or fatal
     }
     if (!SetNonBlocking(fd)) {
       ::close(fd);
@@ -632,21 +793,252 @@ void ServeExecutor::AcceptReady() {
     }
     SetNoDelay(fd);
     auto conn = std::make_shared<Conn>(fd, manager_);
+    conn->loop = &loop;
+    conn->dispatcher.set_metrics_provider([this] { return MetricsResponse(); });
+    // Register both directions under epoll (edge-triggered, set once);
+    // the poll backend starts read-only and maintains interest per pass.
+    if (!loop.poller->Add(fd, true, loop.et, conn.get())) {
+      ::close(fd);
+      continue;
+    }
+    conn->poll_want_read = true;
+    conn->poll_want_write = loop.et;
+    // Data may have raced the registration; force one read attempt.
+    conn->read_ready = true;
+    conn->in_service = true;
+    loop.conns.emplace(fd, conn);
+    loop.pending.push_back(std::move(conn));
     std::lock_guard<std::mutex> lock(sched_mu_);
-    conns_.emplace(fd, std::move(conn));
+    ++loop.shadow.accepted;
+    loop.PublishLocked();
   }
 }
 
-void ServeExecutor::HandleReadable(const std::shared_ptr<Conn>& conn) {
-  // Per-wakeup fairness budget: one connection streaming data at full
+void ServeExecutor::RejectOverloadedAccept(IoLoop& loop) {
+  // Out of descriptors: burn the reserve to accept into the freed slot,
+  // tell the client why, and hang up — a loud rejection instead of a
+  // connect that hangs in the backlog until an fd frees.
+  if (loop.emergency_fd >= 0) {
+    ::close(loop.emergency_fd);
+    loop.emergency_fd = -1;
+  }
+  const int fd = ::accept(loop.listener, nullptr, nullptr);
+  if (fd >= 0) {
+    // Nonblocking throughout: this path must never park the loop on a
+    // hostile peer. The one-line ERR fits any socket buffer; the brief
+    // drain reduces (but cannot eliminate) the close-with-unread-RST
+    // window.
+    SetNonBlocking(fd);
+    const char msg[] = "ERR unavailable: server out of file descriptors\n";
+    [[maybe_unused]] const ssize_t w = ::send(fd, msg, sizeof(msg) - 1,
+                                              kSendFlags);
+    ::shutdown(fd, SHUT_WR);
+    char chunk[256];
+    while (::read(fd, chunk, sizeof(chunk)) > 0) {
+    }
+    ::close(fd);
+    std::lock_guard<std::mutex> lock(sched_mu_);
+    ++loop.shadow.emfile_rejected;
+    loop.PublishLocked();
+  } else {
+    // Even the emergency slot did not cover it (another thread won the
+    // fd); fall back to a timed retry.
+    loop.accept_backoff_until = std::chrono::steady_clock::now() +
+                                std::chrono::milliseconds(50);
+    loop.accept_ready = true;
+  }
+  loop.emergency_fd = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
+}
+
+void ServeExecutor::ServiceConn(IoLoop& loop,
+                                const std::shared_ptr<Conn>& conn) {
+  if (conn->fd < 0) return;  // closed earlier in this service batch
+  const bool stopping = stopping_.load();
+  const auto requeue = [&] {
+    if (!conn->in_service) {
+      conn->in_service = true;
+      loop.pending.push_back(conn);
+    }
+  };
+  const auto can_read_locked = [&] {
+    return conn->next_seq - conn->next_send <
+               options_.max_inflight_per_connection &&
+           conn->unsent_bytes <= options_.max_buffered_response_bytes &&
+           conn->queued_line_bytes <= options_.max_buffered_request_bytes;
+  };
+  bool dead;
+  bool can_read;
+  {
+    std::lock_guard<std::mutex> lock(sched_mu_);
+    dead = conn->dead;
+    can_read = can_read_locked();
+  }
+  if (dead) {
+    CloseConn(loop, conn);
+    return;
+  }
+  if (stopping && conn->scheduling_reads) {
+    // Stop reading new requests; a partial line that never got its
+    // newline is abandoned, accepted requests still complete.
+    conn->scheduling_reads = false;
+    conn->in_buffer.clear();
+  }
+  if (conn->discarding) {
+    if (conn->read_ready) {
+      // Draining after half-close: eat bytes until the client closes,
+      // then finish the connection.
+      char chunk[4096];
+      for (;;) {
+        const ssize_t n = ::read(conn->fd, chunk, sizeof(chunk));
+        if (n > 0) continue;
+        if (n < 0 && errno == EINTR) continue;
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+          conn->read_ready = false;
+          conn->saw_error = false;
+          break;
+        }
+        CloseConn(loop, conn);  // EOF or error: fully closed now
+        return;
+      }
+    }
+  } else if (conn->scheduling_reads && conn->read_ready) {
+    // saw_error overrides the backpressure gate: a HUP/ERR level would
+    // otherwise re-fire every poll() while the budget recovers (the old
+    // single-loop code read through it the same way — the read surfaces
+    // EOF/ECONNRESET and retires the connection).
+    if (!can_read && !conn->saw_error) {
+      if (!conn->stalled) {
+        conn->stalled = true;
+        std::lock_guard<std::mutex> lock(sched_mu_);
+        ++loop.shadow.backpressure_stalls;
+        loop.PublishLocked();
+      }
+    } else {
+      conn->stalled = false;
+      conn->saw_error = false;
+      switch (HandleReadable(loop, conn)) {
+        case ReadStatus::kAborted:
+          return;  // connection closed
+        case ReadStatus::kDrained:
+          conn->read_ready = false;
+          break;
+        case ReadStatus::kBudget:
+          requeue();  // fair round-robin: let other connections run
+          break;
+        case ReadStatus::kBackpressured:
+          if (!conn->stalled) {
+            conn->stalled = true;
+            std::lock_guard<std::mutex> lock(sched_mu_);
+            ++loop.shadow.backpressure_stalls;
+            loop.PublishLocked();
+          }
+          break;
+        case ReadStatus::kEof:
+          break;
+      }
+    }
+  }
+  FlushConn(conn);
+  bool now_dead;
+  bool now_can_read;
+  bool all_executed;
+  size_t unsent;
+  {
+    std::lock_guard<std::mutex> lock(sched_mu_);
+    now_dead = conn->dead;
+    now_can_read = can_read_locked();
+    unsent = conn->unsent_bytes;
+    all_executed = !conn->scheduling_reads && conn->unfinished.empty() &&
+                   conn->finished_out_of_order.empty();
+  }
+  if (now_dead) {
+    CloseConn(loop, conn);
+    return;
+  }
+  if (!conn->discarding) {
+    if (all_executed && unsent == 0) {
+      // Every accepted request is answered and flushed: response stream
+      // complete.
+      if (conn->saw_eof) {
+        // The client already half-closed: nothing in flight either way.
+        CloseConn(loop, conn);
+        return;
+      }
+      // Oversize ERR or shutdown: half-close and drain so the client
+      // receives the full response stream and an orderly EOF, never a
+      // reset.
+      ::shutdown(conn->fd, SHUT_WR);
+      conn->discarding = true;
+      conn->read_ready = true;  // force one drain pass
+      requeue();
+    } else if (conn->saw_error && !conn->scheduling_reads) {
+      // Peer hangup while not reading: the remaining responses are
+      // undeliverable; close rather than spin on a level-triggered HUP.
+      CloseConn(loop, conn);
+      return;
+    } else if (conn->scheduling_reads && conn->read_ready && now_can_read) {
+      // Readiness is latched and the budget allows reading — requeue
+      // rather than wait for a fresh edge that may never come (the
+      // typical case: our own flush just restored the response budget
+      // while the client sits blocked in send(), producing no new
+      // edges). A stale latch costs one EAGAIN read, which clears it.
+      requeue();
+    }
+  }
+  if (stopping) {
+    const auto now = std::chrono::steady_clock::now();
+    if (conn->discarding) {
+      if (conn->discard_deadline == decltype(now){}) {
+        conn->discard_deadline = now + std::chrono::seconds(1);
+      } else if (now >= conn->discard_deadline) {
+        CloseConn(loop, conn);
+        return;
+      }
+    } else if (all_executed && unsent > 0) {
+      // Everything has executed but the client is not reading its
+      // responses; bound the flush — a dead reader with a full socket
+      // buffer must not hang Shutdown().
+      if (conn->flush_deadline == decltype(now){}) {
+        conn->flush_deadline = now + std::chrono::seconds(5);
+      } else if (now >= conn->flush_deadline) {
+        CloseConn(loop, conn);
+        return;
+      }
+    }
+  }
+  if (!loop.et && conn->fd >= 0) {
+    // Maintain the poll backend's interest set (epoll registered both
+    // directions edge-triggered at accept and never changes it).
+    const bool want_read =
+        conn->discarding || (conn->scheduling_reads && now_can_read);
+    const bool want_write = unsent > 0;
+    if (want_read != conn->poll_want_read ||
+        want_write != conn->poll_want_write) {
+      loop.poller->Update(conn->fd, want_read, want_write);
+      if (want_read && !conn->poll_want_read) {
+        // A level may have come and gone while the read side was muted;
+        // force one read attempt rather than trusting a future report.
+        conn->read_ready = true;
+        requeue();
+      }
+      conn->poll_want_read = want_read;
+      conn->poll_want_write = want_write;
+    }
+  }
+}
+
+ServeExecutor::ReadStatus ServeExecutor::HandleReadable(
+    IoLoop& loop, const std::shared_ptr<Conn>& conn) {
+  // Per-pass fairness budget: one connection streaming data at full
   // speed (e.g. a firehose of comment lines, which never trip the
   // in-flight backpressure because they draw no response) must not pin
-  // the I/O thread in this loop — after the budget, return to poll() so
-  // accepts, other reads, and flushes interleave.
+  // the loop — after the budget, requeue so accepts, other reads, and
+  // flushes interleave.
   constexpr size_t kReadBudgetPerWakeup = 256u << 10;
   size_t consumed = 0;
   char chunk[16384];
-  while (consumed < kReadBudgetPerWakeup) {
+  for (;;) {
+    if (consumed >= kReadBudgetPerWakeup) return ReadStatus::kBudget;
     const ssize_t got = ::read(conn->fd, chunk, sizeof(chunk));
     if (got > 0) {
       consumed += static_cast<size_t>(got);
@@ -658,50 +1050,59 @@ void ServeExecutor::HandleReadable(const std::shared_ptr<Conn>& conn) {
       if (buffer.size() > kMaxRequestBytes &&
           buffer.find('\n', scan_from) == std::string::npos) {
         ScheduleOversize(conn);
-        return;
+        return ReadStatus::kEof;
       }
       size_t start = 0;
       for (;;) {
         const size_t newline = buffer.find('\n', std::max(start, scan_from));
         if (newline == std::string::npos) break;
-        ScheduleLine(conn, buffer.substr(start, newline - start));
+        Request* inline_node =
+            ScheduleLine(conn, buffer.substr(start, newline - start));
         start = newline + 1;
+        if (inline_node != nullptr) ExecuteNode(inline_node, true);
       }
       buffer.erase(0, start);
+      bool over;
       {
         // Soft backpressure check between chunks: everything already
         // read is scheduled, but stop pulling more once over budget.
         std::lock_guard<std::mutex> lock(sched_mu_);
-        if (conn->next_seq - conn->next_send >=
-                options_.max_inflight_per_connection ||
-            conn->queued_line_bytes > options_.max_buffered_request_bytes) {
-          return;
-        }
+        loop.shadow.bytes_in += static_cast<uint64_t>(got);
+        loop.PublishLocked();
+        over = conn->next_seq - conn->next_send >=
+                   options_.max_inflight_per_connection ||
+               conn->unsent_bytes > options_.max_buffered_response_bytes ||
+               conn->queued_line_bytes > options_.max_buffered_request_bytes;
       }
+      if (over) return ReadStatus::kBackpressured;
     } else if (got == 0) {
       conn->saw_eof = true;
       conn->scheduling_reads = false;
+      conn->read_ready = false;
       // A final request may arrive without a trailing newline before
       // the client half-closes; answer it rather than dropping it.
       if (!conn->in_buffer.empty()) {
-        ScheduleLine(conn, std::move(conn->in_buffer));
+        Request* inline_node = ScheduleLine(conn, std::move(conn->in_buffer));
         conn->in_buffer.clear();
+        if (inline_node != nullptr) ExecuteNode(inline_node, true);
       }
-      return;
+      return ReadStatus::kEof;
     } else {
       if (errno == EINTR) continue;
-      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
-      AbortConn(conn);
-      return;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return ReadStatus::kDrained;
+      }
+      CloseConn(loop, conn);
+      return ReadStatus::kAborted;
     }
   }
 }
 
-void ServeExecutor::ScheduleLine(const std::shared_ptr<Conn>& conn,
-                                 std::string&& line) {
+ServeExecutor::Request* ServeExecutor::ScheduleLine(
+    const std::shared_ptr<Conn>& conn, std::string&& line) {
   RequestClass cls = ClassifyRequest(line);
   // Blank/comment lines get no response and need no scheduling.
-  if (cls.no_response) return;
+  if (cls.no_response) return nullptr;
   std::lock_guard<std::mutex> lock(sched_mu_);
   auto owned = std::make_unique<Request>();
   Request* node = owned.get();
@@ -736,11 +1137,23 @@ void ServeExecutor::ScheduleLine(const std::shared_ptr<Conn>& conn,
     conn->last_by_table[node->table] = node;
   }
   conn->unfinished.push_back(node);
-  if (node->deps == 0) DispatchLocked(node);
+  if (node->deps == 0) {
+    if (!node->barrier && !node->draining && !stopping_.load() &&
+        node->line.size() <= kInlineMaxLineBytes) {
+      // Loop-thread fast path: a small dependency-free non-draining
+      // per-table verb (STATS, small APPEND, REMOVE — all non-blocking
+      // on the gate) executes where it was parsed, skipping the pool
+      // handoff and its wakeups. The caller executes the returned node.
+      return node;
+    }
+    DispatchLocked(node);
+  }
+  return nullptr;
 }
 
 void ServeExecutor::ScheduleOversize(const std::shared_ptr<Conn>& conn) {
   conn->scheduling_reads = false;
+  conn->read_ready = false;
   conn->in_buffer.clear();
   conn->in_buffer.shrink_to_fit();
   std::lock_guard<std::mutex> lock(sched_mu_);
@@ -759,14 +1172,14 @@ void ServeExecutor::ScheduleOversize(const std::shared_ptr<Conn>& conn) {
   conn->last_barrier = node;
   conn->unfinished.push_back(node);
   // Once this response flushes (after every pipelined predecessor), the
-  // I/O loop half-closes and drains — the client reliably receives the
-  // ERR rather than a reset.
+  // loop half-closes and drains — the client reliably receives the ERR
+  // rather than a reset.
   if (node->deps == 0) DispatchLocked(node);
 }
 
 void ServeExecutor::DispatchLocked(Request* node) {
   if (!node->synthetic_response.empty()) {
-    CompleteLocked(node, node->synthetic_response);
+    CompleteLocked(node, node->synthetic_response, /*notify_loop=*/true);
     return;
   }
   if (!stopping_.load() && node->draining && !node->table.empty() &&
@@ -779,18 +1192,39 @@ void ServeExecutor::DispatchLocked(Request* node) {
     // run between our check and this insertion.
     parked_[node->table].push_back(node);
     requests_parked_.fetch_add(1);
+    if (node->conn->loop != nullptr) {
+      ++node->conn->loop->shadow.parked_drains;
+      node->conn->loop->PublishLocked();
+    }
     return;
   }
   EnqueueReadyLocked(node);
 }
 
 void ServeExecutor::EnqueueReadyLocked(Request* node) {
-  ready_.emplace_back(node->arrival, node);
-  std::push_heap(ready_.begin(), ready_.end(),
-                 std::greater<std::pair<uint64_t, Request*>>());
-  // Generic pop-the-oldest jobs: exactly one per ready node, so the pool
-  // never idles while work is ready, and every worker serves the oldest
-  // request first.
+  // Weighted fair queuing over per-table lanes ("" = the barrier lane).
+  // The request's virtual start is where its lane's previous request
+  // finished, but never behind the global clock — a lane idle past the
+  // clock gets its stale finish time snapped forward, so a light table's
+  // fresh request starts "now" and sorts ahead of a hot table's billed
+  // backlog, where plain arrival-order FIFO would queue it behind every
+  // entry of that backlog.
+  uint64_t& vfinish = table_vfinish_[node->barrier ? std::string()
+                                                  : node->table];
+  const uint64_t vstart = std::max(virtual_time_, vfinish);
+  vfinish = vstart + (node->draining ? kDrainWeight : 1);
+  ReadyEntry entry;
+  entry.vstart = vstart;
+  entry.arrival = node->arrival;
+  entry.node = node;
+  ready_.push_back(entry);
+  const auto later = [](const ReadyEntry& a, const ReadyEntry& b) {
+    return a.vstart > b.vstart ||
+           (a.vstart == b.vstart && a.arrival > b.arrival);
+  };
+  std::push_heap(ready_.begin(), ready_.end(), later);
+  // Generic pop-the-fairest jobs: exactly one per ready node, so the
+  // pool never idles while work is ready.
   pool_->Submit([this] { RunNextReady(); });
 }
 
@@ -799,24 +1233,52 @@ void ServeExecutor::RunNextReady() {
   {
     std::lock_guard<std::mutex> lock(sched_mu_);
     if (ready_.empty()) return;
-    std::pop_heap(ready_.begin(), ready_.end(),
-                  std::greater<std::pair<uint64_t, Request*>>());
-    node = ready_.back().second;
+    const auto later = [](const ReadyEntry& a, const ReadyEntry& b) {
+      return a.vstart > b.vstart ||
+             (a.vstart == b.vstart && a.arrival > b.arrival);
+    };
+    std::pop_heap(ready_.begin(), ready_.end(), later);
+    const ReadyEntry entry = ready_.back();
     ready_.pop_back();
+    node = entry.node;
+    // Advance the WFQ clock to the dispatched start time; lanes that
+    // idled past it snap forward on their next enqueue.
+    virtual_time_ = std::max(virtual_time_, entry.vstart);
   }
-  std::string response;
-  try {
-    response = node->conn->dispatcher.Handle(node->line);
-  } catch (...) {
-    // Handle() maps every failure to an ERR response; this is a belt for
-    // the contract so one rogue exception cannot kill a pool worker.
-    response = "ERR internal: unexpected exception in request execution";
-  }
-  std::lock_guard<std::mutex> lock(sched_mu_);
-  CompleteLocked(node, std::move(response));
+  ExecuteNode(node, /*inline_on_loop=*/false);
 }
 
-void ServeExecutor::CompleteLocked(Request* node, std::string response) {
+void ServeExecutor::ExecuteNode(Request* node, bool inline_on_loop) {
+  const std::shared_ptr<Conn> conn = node->conn;
+  std::string response;
+  try {
+    response = conn->dispatcher.Handle(node->line);
+  } catch (...) {
+    // Handle() maps every failure to an ERR response; this is a belt for
+    // the contract so one rogue exception cannot kill a worker (or the
+    // owning loop, on the inline path).
+    response = "ERR internal: unexpected exception in request execution";
+  }
+  {
+    std::lock_guard<std::mutex> lock(sched_mu_);
+    if (inline_on_loop && conn->loop != nullptr) {
+      ++conn->loop->shadow.inline_served;
+      conn->loop->PublishLocked();
+    }
+    CompleteLocked(node, std::move(response), !inline_on_loop);
+  }
+  // Flush from the worker instead of waiting for the loop: on an
+  // oversubscribed CPU the busy workers can starve the loops for a whole
+  // scheduling quantum, which would batch every response toward the end
+  // of a pipeline. The socket is nonblocking, so this never stalls a
+  // worker; leftovers fall back to the loop's writability handling. The
+  // inline path skips it — its ServiceConn flushes right after, batching
+  // every response parsed from the same chunk into one send.
+  if (!inline_on_loop) FlushConn(conn);
+}
+
+void ServeExecutor::CompleteLocked(Request* node, std::string response,
+                                   bool notify_loop) {
   const std::shared_ptr<Conn> conn = node->conn;
   conn->queued_line_bytes -= node->line.size();
   if (conn->last_barrier == node) conn->last_barrier = nullptr;
@@ -835,18 +1297,18 @@ void ServeExecutor::CompleteLocked(Request* node, std::string response) {
   if (!conn->dead) {
     conn->finished_out_of_order.emplace(node->seq, std::move(response));
     SequenceLocked(*conn);
-    // Flush from the completion context instead of waiting for the I/O
-    // thread: on an oversubscribed CPU the busy workers can starve the
-    // poll loop for a whole scheduling quantum, which would batch every
-    // response toward the end of a pipeline. The socket is nonblocking,
-    // so this never stalls a worker; leftovers fall back to POLLOUT.
-    FlushLocked(*conn);
+  }
+  if (conn->loop != nullptr) {
+    ++conn->loop->shadow.served;
+    conn->loop->PublishLocked();
   }
   requests_served_.fetch_add(1);
+  // Output may be flushable, reads resumable, or the connection
+  // finishable — let the owning loop re-evaluate (skipped on the inline
+  // path: the loop is the caller and re-evaluates at the end of this
+  // very service pass).
+  if (notify_loop) NotifyLoopLocked(conn);
   live_nodes_.erase(node);  // destroys *node
-  // Output may still be pending, reads resumable, or the connection
-  // finishable — let the poll loop re-evaluate.
-  Wake();
 }
 
 void ServeExecutor::SequenceLocked(Conn& conn) {
@@ -856,12 +1318,20 @@ void ServeExecutor::SequenceLocked(Conn& conn) {
        it != conn.finished_out_of_order.end();
        it = conn.finished_out_of_order.find(conn.next_send)) {
     if (!it->second.empty()) {
-      conn.out += it->second;
-      conn.out += '\n';
+      conn.pending_out += it->second;
+      conn.pending_out += '\n';
+      conn.unsent_bytes += it->second.size() + 1;
     }
     conn.finished_out_of_order.erase(it);
     ++conn.next_send;
   }
+}
+
+void ServeExecutor::NotifyLoopLocked(const std::shared_ptr<Conn>& conn) {
+  if (conn->notified || conn->loop == nullptr) return;
+  conn->notified = true;
+  conn->loop->notify.push_back(conn);
+  WakeLoop(*conn->loop);
 }
 
 void ServeExecutor::OnDrainFinished(const std::string& table) {
@@ -872,49 +1342,109 @@ void ServeExecutor::OnDrainFinished(const std::string& table) {
   parked_.erase(it);
 }
 
-void ServeExecutor::FlushWritable(const std::shared_ptr<Conn>& conn) {
-  std::lock_guard<std::mutex> lock(sched_mu_);
-  FlushLocked(*conn);
-}
-
-void ServeExecutor::FlushLocked(Conn& conn) {
-  if (conn.fd < 0 || conn.dead) return;
-  std::string& out = conn.out;
-  while (conn.out_offset < out.size()) {
-    const ssize_t n = ::send(conn.fd, out.data() + conn.out_offset,
-                             out.size() - conn.out_offset, kSendFlags);
+void ServeExecutor::FlushConn(const std::shared_ptr<Conn>& conn) {
+  std::lock_guard<std::mutex> wlock(conn->write_mu);
+  if (conn->fd < 0) return;
+  size_t sent_total = 0;
+  bool peer_gone = false;
+  for (;;) {
+    if (conn->send_offset >= conn->sending.size()) {
+      conn->sending.clear();
+      conn->send_offset = 0;
+      std::lock_guard<std::mutex> lock(sched_mu_);
+      if (conn->dead || conn->pending_out.empty()) break;
+      conn->sending.swap(conn->pending_out);
+    }
+    const ssize_t n = ::send(conn->fd, conn->sending.data() + conn->send_offset,
+                             conn->sending.size() - conn->send_offset,
+                             kSendFlags);
     if (n > 0) {
-      conn.out_offset += static_cast<size_t>(n);
+      conn->send_offset += static_cast<size_t>(n);
+      sent_total += static_cast<size_t>(n);
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
     // Peer gone: the remaining responses are undeliverable. Only flag it
-    // here — a completing worker may be the caller, and fd lifecycle
-    // (close + conns_ erase) belongs to the I/O thread alone, otherwise
-    // a reused descriptor number could alias a freshly accepted
-    // connection in the poll set.
-    conn.dead = true;
-    out.clear();
-    conn.out_offset = 0;
-    return;
+    // — fd lifecycle (close + conns erase) belongs to the owning loop
+    // alone, otherwise a reused descriptor number could alias a freshly
+    // accepted connection.
+    peer_gone = true;
+    conn->sending.clear();
+    conn->send_offset = 0;
+    break;
   }
-  if (conn.out_offset == out.size()) {
-    out.clear();
-    conn.out_offset = 0;
+  if (sent_total == 0 && !peer_gone) return;
+  std::lock_guard<std::mutex> lock(sched_mu_);
+  conn->unsent_bytes -= std::min(conn->unsent_bytes, sent_total);
+  if (sent_total > 0 && conn->loop != nullptr) {
+    conn->loop->shadow.bytes_out += sent_total;
+    conn->loop->PublishLocked();
+  }
+  if (peer_gone && !conn->dead) {
+    conn->dead = true;
+    conn->pending_out.clear();
+    conn->unsent_bytes = 0;
+    NotifyLoopLocked(conn);
   }
 }
 
-void ServeExecutor::AbortConn(const std::shared_ptr<Conn>& conn) {
-  std::lock_guard<std::mutex> lock(sched_mu_);
-  conn->dead = true;
-  conn->scheduling_reads = false;
-  conn->discarding = false;
+void ServeExecutor::CloseConn(IoLoop& loop, const std::shared_ptr<Conn>& conn) {
   if (conn->fd >= 0) {
-    conns_.erase(conn->fd);
+    loop.poller->Remove(conn->fd);
+    loop.conns.erase(conn->fd);
+    std::lock_guard<std::mutex> wlock(conn->write_mu);
     ::close(conn->fd);
     conn->fd = -1;
+    conn->sending.clear();
+    conn->send_offset = 0;
   }
+  {
+    std::lock_guard<std::mutex> lock(sched_mu_);
+    conn->dead = true;
+    conn->pending_out.clear();
+    conn->unsent_bytes = 0;
+  }
+  conn->scheduling_reads = false;
+  conn->discarding = false;
+}
+
+std::string ServeExecutor::MetricsResponse() const {
+  // Safe from any worker while the executor runs: loops_ is mutated only
+  // in Start/Shutdown, when no requests execute; the per-loop snapshots
+  // are seqlock reads.
+  IoLoop::Shadow total;
+  std::vector<IoLoop::Shadow> snaps;
+  snaps.reserve(loops_.size());
+  for (const auto& loop : loops_) {
+    snaps.push_back(loop->ReadCounters());
+    const IoLoop::Shadow& s = snaps.back();
+    total.accepted += s.accepted;
+    total.served += s.served;
+    total.inline_served += s.inline_served;
+    total.bytes_in += s.bytes_in;
+    total.bytes_out += s.bytes_out;
+    total.backpressure_stalls += s.backpressure_stalls;
+    total.parked_drains += s.parked_drains;
+    total.emfile_rejected += s.emfile_rejected;
+  }
+  std::ostringstream out;
+  out << "OK METRICS poller=" << PollerBackendName(backend_)
+      << " io_loops=" << io_loops_ << " workers=" << options_.workers
+      << " accepted=" << total.accepted << " served=" << total.served
+      << " inline=" << total.inline_served
+      << " parked_drains=" << total.parked_drains
+      << " bytes_in=" << total.bytes_in << " bytes_out=" << total.bytes_out
+      << " backpressure_stalls=" << total.backpressure_stalls
+      << " emfile_rejected=" << total.emfile_rejected;
+  for (size_t i = 0; i < snaps.size(); ++i) {
+    const IoLoop::Shadow& s = snaps[i];
+    out << " loop" << i << "=accepted:" << s.accepted << ",served:" << s.served
+        << ",inline:" << s.inline_served << ",bytes_in:" << s.bytes_in
+        << ",bytes_out:" << s.bytes_out << ",stalls:" << s.backpressure_stalls
+        << ",parked:" << s.parked_drains << ",emfile:" << s.emfile_rejected;
+  }
+  return out.str();
 }
 
 }  // namespace manirank::serve

@@ -19,12 +19,22 @@
 ///
 /// The ServeExecutor splits the connection handler into
 ///
-///  - one poll-driven I/O thread that accepts connections, reads
-///    newline-delimited requests from all of them, and flushes response
-///    bytes (it never executes a request, so the accept loop and every
-///    socket stay live during the heaviest fold), and
+///  - N independent event loops (ServerOptions::io_threads, default
+///    min(4, cores)). Each loop owns an edge-triggered readiness poller
+///    (util/event_poller.h — epoll on Linux, poll(2) as the portable
+///    fallback, MANIRANK_POLLER=epoll|poll|auto), its own SO_REUSEPORT
+///    listener so the kernel shards accepted connections across loops,
+///    and every connection the kernel hands it: a connection is pinned
+///    to its loop for life, so all per-connection I/O state stays
+///    single-writer (and TSan-clean) with no cross-loop fd migration.
+///    Loops never execute requests, so accepts and every socket stay
+///    live during the heaviest fold; and
 ///  - a bounded shared worker pool (util/threading.h TaskPool) that
 ///    executes parsed requests through the per-connection Dispatcher.
+///    Small non-draining per-table requests with no in-flight
+///    predecessor (STATS, APPEND, REMOVE) skip the pool handoff and
+///    execute inline on their loop — a read-mostly workload then scales
+///    with the loop count instead of serializing on the pool queue.
 ///
 /// Scheduling preserves the observable semantics of serial execution:
 /// requests addressing the same table execute in arrival order, requests
@@ -37,6 +47,15 @@
 /// response stream is bit-identical to the synchronous dispatcher's,
 /// while the server-side work overlaps.
 ///
+/// Worker shares are dealt per TABLE, not per request: the pool-bound
+/// ready queue is a weighted-fair-queuing heap keyed by per-table
+/// virtual start times (a draining verb bills kDrainWeight slots, a
+/// light verb one), so a hot table's deep backlog cannot starve a light
+/// table's single request — the light request's virtual start snaps to
+/// the current virtual time and sorts ahead of the backlog's
+/// already-billed slots, where plain arrival-order FIFO would queue it
+/// behind every one of them.
+///
 /// Draining verbs additionally consult the ContextManager's non-blocking
 /// scheduling hooks: a RUN or FLUSH aimed at a table whose backlog is
 /// mid-fold is parked and re-dispatched by the drain observer instead
@@ -46,19 +65,35 @@
 ///
 /// ## Backpressure
 ///
-/// A connection stops being polled for input while it has
+/// A connection stops being read while it has
 /// max_inflight_per_connection parsed-but-unanswered requests or more
 /// than max_buffered_response_bytes of unflushed response bytes; the
 /// kernel socket buffer then pushes back on the client the normal TCP
 /// way. (The cap is soft: every complete line already read in the
 /// current chunk is still scheduled.)
 ///
+/// ## Accept-time resource exhaustion
+///
+/// Each loop holds one reserved emergency fd (/dev/null). On
+/// EMFILE/ENFILE the loop closes it, accepts the pending connection into
+/// the freed slot, answers "ERR unavailable: ..." and closes, then
+/// reopens the reserve — a client sees a loud rejection instead of a
+/// connect that hangs in the backlog until an fd frees.
+///
+/// ## Observability
+///
+/// Every loop publishes counters (connections accepted, requests served
+/// and served-inline, bytes in/out, backpressure stalls, parked drains,
+/// EMFILE rejections) through the same seqlock idiom as the engine's
+/// ProfileCounters: writers are serialized by the scheduler lock, the
+/// METRICS verb reads a consistent snapshot lock-free.
+///
 /// ## Shutdown
 ///
 /// Shutdown() (and the destructor) stop accepting and reading, let every
 /// in-flight request finish, flush its response, half-close each
 /// connection (shutdown(SHUT_WR)) so the client actually receives the
-/// tail of the stream, and join the I/O thread and workers. A client
+/// tail of the stream, and join every event loop and worker. A client
 /// that never closes its end after the half-close is given a bounded
 /// linger (~1 s) and then dropped, so one idle or hostile connection
 /// cannot hang the shutdown. The same flush-then-half-close discipline
@@ -75,8 +110,8 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
-#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -84,6 +119,7 @@
 
 #include "serve/context_manager.h"
 #include "serve/protocol.h"
+#include "util/event_poller.h"
 #include "util/threading.h"
 
 namespace manirank::serve {
@@ -93,14 +129,22 @@ namespace manirank::serve {
 /// without bound.
 inline constexpr size_t kMaxRequestBytes = 16u << 20;
 
-/// Shared knobs for both TCP front ends. The worker/backpressure fields
-/// only apply to the ServeExecutor.
+/// Shared knobs for both TCP front ends. The worker/backpressure/loop
+/// fields only apply to the ServeExecutor.
 struct ServerOptions {
   /// Loopback port to bind; 0 asks the kernel for an ephemeral port
   /// (read it back via port() — this is how the tests and bench run).
   int port = 0;
   /// Executor worker threads; 0 = DefaultThreadCount() (at least 1).
   size_t workers = 0;
+  /// Executor event-loop (I/O) threads; each owns its own poller and
+  /// SO_REUSEPORT listener. 0 = min(4, DefaultThreadCount()). Clamped
+  /// to 1 on platforms without SO_REUSEPORT.
+  size_t io_threads = 0;
+  /// Readiness-backend preference for the event loops. The
+  /// MANIRANK_POLLER environment variable (epoll|poll|auto) overrides a
+  /// non-auto value at Start — see util/event_poller.h.
+  PollerBackend poller = DefaultPollerBackend();
   /// Parsed-but-unanswered requests per connection before the reader
   /// stops polling that socket.
   size_t max_inflight_per_connection = 64;
@@ -163,10 +207,11 @@ class ThreadPerConnectionServer {
   int active_ = 0;
 };
 
-/// Async request pipeline: poll-driven I/O front end + shared worker
-/// pool + per-connection in-order response queues. See the file comment
-/// for the model. All public methods are safe to call from one
-/// controlling thread (the usual Start / wait / Shutdown lifecycle).
+/// Async request pipeline: N sharded event loops + shared worker pool +
+/// per-connection in-order response queues. See the file comment for the
+/// model. All public methods are safe to call from one controlling
+/// thread (the usual Start / wait / Shutdown lifecycle); the accessors
+/// are additionally safe from any thread while the executor runs.
 class ServeExecutor {
  public:
   explicit ServeExecutor(ContextManager* manager, ServerOptions options = {});
@@ -174,9 +219,9 @@ class ServeExecutor {
   ServeExecutor(const ServeExecutor&) = delete;
   ServeExecutor& operator=(const ServeExecutor&) = delete;
 
-  /// Binds 127.0.0.1:<port>, registers the drain observer, and starts
-  /// the I/O thread and worker pool. On failure reports into `*error`
-  /// and returns false.
+  /// Binds the SO_REUSEPORT listener group on 127.0.0.1:<port>,
+  /// registers the drain observer, and starts the event loops and worker
+  /// pool. On failure reports into `*error` and returns false.
   bool Start(std::string* error = nullptr);
 
   /// The bound port (after Start); useful with options.port == 0.
@@ -187,6 +232,10 @@ class ServeExecutor {
   void Shutdown();
 
   size_t workers() const;
+  /// Event loops actually running (after Start).
+  size_t io_loops() const { return io_loops_; }
+  /// Resolved readiness backend name ("epoll" / "poll", after Start).
+  const char* poller_name() const { return PollerBackendName(backend_); }
   /// Requests whose responses were completed (diagnostics).
   uint64_t requests_served() const;
   /// Requests parked on the IsDraining hook instead of blocking a
@@ -195,70 +244,99 @@ class ServeExecutor {
 
  private:
   struct Conn;
+  struct IoLoop;
   struct Request;
+  /// Pool-bound ready-queue entry: a min-heap on (vstart, arrival).
+  /// vstart is the request's weighted-fair-queuing virtual start time —
+  /// see EnqueueReadyLocked; arrival breaks ties back to strict FIFO.
+  struct ReadyEntry {
+    uint64_t vstart = 0;
+    uint64_t arrival = 0;
+    Request* node = nullptr;
+  };
+  enum class ReadStatus { kDrained, kBudget, kBackpressured, kEof, kAborted };
 
-  void IoLoop();
-  void Wake();
-  void AcceptReady();
-  void HandleReadable(const std::shared_ptr<Conn>& conn);
-  void ScheduleLine(const std::shared_ptr<Conn>& conn, std::string&& line);
+  void LoopMain(IoLoop& loop);
+  static void WakeLoop(IoLoop& loop);
+  void ServiceConn(IoLoop& loop, const std::shared_ptr<Conn>& conn);
+  void AcceptReady(IoLoop& loop);
+  /// EMFILE/ENFILE: burn the reserved emergency fd to accept, reject
+  /// loudly, reopen the reserve.
+  void RejectOverloadedAccept(IoLoop& loop);
+  ReadStatus HandleReadable(IoLoop& loop, const std::shared_ptr<Conn>& conn);
+  /// Classifies and registers one request line. Returns a node the
+  /// CALLER must execute inline (loop-thread fast path), or nullptr when
+  /// the request was dispatched to the pool / parked / answered.
+  Request* ScheduleLine(const std::shared_ptr<Conn>& conn, std::string&& line);
   void ScheduleOversize(const std::shared_ptr<Conn>& conn);
   /// sched_mu_ held: dispatch a dependency-free request (park, answer a
   /// synthetic, or enqueue for the pool).
   void DispatchLocked(Request* node);
-  /// sched_mu_ held: push onto the arrival-ordered ready queue and wake
-  /// one pool worker.
+  /// sched_mu_ held: stamp the WFQ virtual start time, push onto the
+  /// ready heap, and wake one pool worker.
   void EnqueueReadyLocked(Request* node);
-  /// Worker-thread entry: pop the oldest ready request and execute it.
+  /// Worker-thread entry: pop the fairest ready request and execute it.
   void RunNextReady();
-  /// sched_mu_ held: record the response, resolve dependents, sequence.
-  void CompleteLocked(Request* node, std::string response);
+  /// Executes one node's request (no executor lock held), completes it,
+  /// and — on the worker path — flushes the response.
+  void ExecuteNode(Request* node, bool inline_on_loop);
+  /// sched_mu_ held: record the response, resolve dependents, sequence,
+  /// bump counters, and (unless the caller IS the owning loop) queue the
+  /// connection for service on its loop.
+  void CompleteLocked(Request* node, std::string response, bool notify_loop);
   static void SequenceLocked(Conn& conn);
+  /// sched_mu_ held: add the connection to its loop's service queue
+  /// (deduplicated) and wake the loop.
+  void NotifyLoopLocked(const std::shared_ptr<Conn>& conn);
   void OnDrainFinished(const std::string& table);
-  void FlushWritable(const std::shared_ptr<Conn>& conn);
-  /// sched_mu_ held: nonblocking flush of `conn.out`; on a write error
-  /// the connection is aborted in place.
-  void FlushLocked(Conn& conn);
-  void AbortConn(const std::shared_ptr<Conn>& conn);
+  /// Any-thread response flusher: two-buffer scheme, so the send()
+  /// syscalls run under the connection's write lock only — never under
+  /// the global scheduler lock. Lock order: write_mu before sched_mu_.
+  void FlushConn(const std::shared_ptr<Conn>& conn);
+  /// Loop-thread only: deregister, close, and forget a connection.
+  void CloseConn(IoLoop& loop, const std::shared_ptr<Conn>& conn);
+  /// One-line counter snapshot for the METRICS verb (lock-free reads).
+  std::string MetricsResponse() const;
 
   ContextManager* manager_;
   ServerOptions options_;
-  int listener_ = -1;
   int port_ = 0;
-  int wake_fds_[2] = {-1, -1};
   bool started_ = false;
   std::atomic<bool> stopping_{false};
-  std::atomic<bool> wake_pending_{false};
-  std::thread io_thread_;
+  PollerBackend backend_ = PollerBackend::kPoll;
+  size_t io_loops_ = 0;
+  std::vector<std::unique_ptr<IoLoop>> loops_;
   std::unique_ptr<TaskPool> pool_;
-  /// I/O-thread-only: until this instant the listener is not polled —
-  /// set on accept() resource exhaustion (EMFILE etc.), where the
-  /// undequeued pending connection would otherwise keep the listener
-  /// level-triggered readable and hot-spin the loop.
-  std::chrono::steady_clock::time_point accept_backoff_until_{};
 
-  /// One scheduling lock for parse-side (I/O thread) and completion-side
+  /// One scheduling lock for parse-side (event loops) and completion-side
   /// (workers) bookkeeping. Scheduling operations are micro-sized
-  /// compared to request execution, which never holds it.
+  /// compared to request execution, which never holds it — and response
+  /// flushing happens under per-connection write locks, not this one.
   std::mutex sched_mu_;
   /// Owns every unfinished request; executing workers hold raw pointers,
   /// so nodes die only in CompleteLocked (or teardown after the pool has
   /// drained).
   std::unordered_map<Request*, std::unique_ptr<Request>> live_nodes_;
-  /// Dependency-free requests awaiting a worker, ordered by arrival.
-  /// Workers always take the oldest ready request: on a saturated (or
-  /// single-worker) pool this converges to exactly the serial service
-  /// order — readiness-FIFO would interleave younger independent
-  /// requests into an older chain and delay the response that gates the
-  /// connection's in-order delivery — while an idle pool still takes
-  /// everything immediately.
-  std::vector<std::pair<uint64_t, Request*>> ready_;  // min-heap by arrival
+  /// Dependency-free requests awaiting a worker: WFQ min-heap (see
+  /// ReadyEntry). On a saturated pool the pop order is the per-table
+  /// weighted fair order; an idle pool still takes everything
+  /// immediately.
+  std::vector<ReadyEntry> ready_;
   uint64_t next_arrival_ = 0;
+  /// WFQ clock: the largest virtual start time ever popped. A table
+  /// idle past this point has its stale vfinish snapped forward, so
+  /// fresh light-table requests sort ahead of a hot table's billed
+  /// backlog.
+  uint64_t virtual_time_ = 0;
+  /// Per-table virtual finish times ("" = barrier lane). Bounded by the
+  /// number of distinct table names seen; cleared on Shutdown.
+  std::unordered_map<std::string, uint64_t> table_vfinish_;
   /// Draining requests parked while their table's backlog folds;
   /// released by OnDrainFinished.
   std::unordered_map<std::string, std::vector<Request*>> parked_;
-  /// fd -> connection; owned by the I/O thread, read under sched_mu_.
-  std::map<int, std::shared_ptr<Conn>> conns_;
+  /// One global parked-queue flush when shutdown begins (first loop to
+  /// notice performs it).
+  bool parked_flushed_ = false;
 
   std::atomic<uint64_t> requests_served_{0};
   std::atomic<uint64_t> requests_parked_{0};

@@ -341,6 +341,14 @@ std::string Dispatcher::Handle(const std::string& line) {
       for (const std::string& name : names) os << ' ' << name;
       return os.str();
     }
+    if (verb == "METRICS") {
+      if (tokens.size() != 1) return Err("bad-request", "METRICS");
+      if (!metrics_provider_) {
+        return Err("unavailable",
+                   "METRICS requires the async executor front end");
+      }
+      return metrics_provider_();
+    }
     return Err("unknown-verb", verb);
   } catch (const std::out_of_range& e) {
     return Err("bad-index", e.what());

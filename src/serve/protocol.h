@@ -1,6 +1,7 @@
 #ifndef MANIRANK_SERVE_PROTOCOL_H_
 #define MANIRANK_SERVE_PROTOCOL_H_
 
+#include <functional>
 #include <iosfwd>
 #include <string>
 
@@ -29,6 +30,7 @@ namespace manirank::serve {
 ///   RESTORE  <table> <path>
 ///   DROP     <table>
 ///   TABLES
+///   METRICS
 ///
 /// CREATE..CYCLIC builds the deterministic two-attribute table where
 /// candidate i carries values (i % d0, (i / d0) % d1) — handy for scripts
@@ -55,12 +57,18 @@ namespace manirank::serve {
 /// bad-ranking, bad-index, empty-table (RUN/SNAPSHOT on a table with no
 /// applied or queued rankings), bad-snapshot (RESTORE from a corrupt,
 /// truncated, or version-mismatched file; the manager state is untouched),
-/// io, conflict. SNAPSHOT probes its write target before draining, so an
+/// io, conflict, unavailable (METRICS on a front end without an
+/// executor, or an EMFILE-rejected connect). SNAPSHOT probes its write target before draining, so an
 /// ERR io implies no state change unless the stream itself failed
 /// mid-write — the completed drain then stands, exactly as a FLUSH would
 /// (RUN, FLUSH, and SNAPSHOT are the draining verbs; their queue
 /// application is a success in its own right, never rolled back by a
 /// later failure in the same request).
+///
+/// METRICS reports the serving front end's per-event-loop counters (see
+/// ServeExecutor::MetricsResponse); it answers "ERR unavailable:" on
+/// front ends without an executor (stdin / --serve replay / --threaded),
+/// which have no event loops to report on.
 class Dispatcher {
  public:
   explicit Dispatcher(ContextManager* manager) : manager_(manager) {}
@@ -79,8 +87,18 @@ class Dispatcher {
   /// caller must check `out` afterwards and report the I/O failure.
   int ServeStream(std::istream& in, std::ostream& out, bool echo = false);
 
+  /// Installs the METRICS data source. The serving executor points every
+  /// connection's dispatcher at its counter snapshot; front ends that
+  /// leave it unset answer METRICS with "ERR unavailable:". Must be set
+  /// before the dispatcher handles requests (not thread-safe against a
+  /// concurrent Handle).
+  void set_metrics_provider(std::function<std::string()> provider) {
+    metrics_provider_ = std::move(provider);
+  }
+
  private:
   ContextManager* manager_;
+  std::function<std::string()> metrics_provider_;
 };
 
 /// Scheduling metadata an async front end needs about one request line —

@@ -4,10 +4,17 @@
 //   manirank_serve                      serve the line protocol on stdin/stdout
 //   manirank_serve --script FILE        replay a request script (offline mode)
 //   manirank_serve --port P             TCP server: async executor pipeline —
-//                                       a poll-driven I/O thread plus a shared
-//                                       worker pool (serve/executor.h)
+//                                       N sharded event loops (epoll where
+//                                       available, SO_REUSEPORT accept
+//                                       sharding) plus a shared worker pool
+//                                       (serve/executor.h)
 //   manirank_serve --workers N          executor worker threads (default:
 //                                       hardware concurrency, max 256)
+//   manirank_serve --io-threads N       executor event-loop threads, each
+//                                       with its own poller and listener
+//                                       (default: min(4, cores)); the
+//                                       MANIRANK_POLLER env var picks the
+//                                       readiness backend (epoll|poll|auto)
 //   manirank_serve --threaded           TCP fallback: one thread per
 //                                       connection (the pre-executor model)
 //   manirank_serve --restore-dir DIR    cold start: restore every *.snap table
@@ -67,8 +74,9 @@ using manirank::serve::Dispatcher;
 
 int Usage() {
   std::cerr << "usage: manirank_serve [--script FILE | --port P]\n"
-               "                      [--workers N] [--threaded]\n"
-               "                      [--restore-dir DIR] [--echo]\n"
+               "                      [--workers N] [--io-threads N]\n"
+               "                      [--threaded] [--restore-dir DIR]\n"
+               "                      [--echo]\n"
                "  (no mode flag: serve requests from stdin; --restore-dir\n"
                "   cold-starts every DIR/<table>.snap before serving;\n"
                "   --port serves the async executor pipeline, --threaded\n"
@@ -220,6 +228,7 @@ int main(int argc, char** argv) {
   std::optional<std::string> restore_dir;
   std::optional<int> port;
   size_t workers = 0;
+  size_t io_threads = 0;
   bool threaded = false;
   bool echo = false;
   for (int i = 1; i < argc; ++i) {
@@ -242,6 +251,16 @@ int main(int argc, char** argv) {
         return 2;
       }
       workers = static_cast<size_t>(w);
+    } else if (flag == "--io-threads" && i + 1 < argc) {
+      char* end = nullptr;
+      const long n = std::strtol(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || n < 1 ||
+          n > static_cast<long>(manirank::kMaxThreads)) {
+        std::cerr << "--io-threads needs a value in [1, "
+                  << manirank::kMaxThreads << "]\n";
+        return 2;
+      }
+      io_threads = static_cast<size_t>(n);
     } else if (flag == "--port" && i + 1 < argc) {
       char* end = nullptr;
       const long p = std::strtol(argv[++i], &end, 10);
@@ -255,15 +274,16 @@ int main(int argc, char** argv) {
     }
   }
   if (script.has_value() && port.has_value()) return Usage();
-  if ((threaded || workers != 0) && !port.has_value()) {
-    std::cerr << "--threaded/--workers only apply to --port mode\n";
+  if ((threaded || workers != 0 || io_threads != 0) && !port.has_value()) {
+    std::cerr << "--threaded/--workers/--io-threads only apply to --port "
+                 "mode\n";
     return 2;
   }
-  if (threaded && workers != 0) {
+  if (threaded && (workers != 0 || io_threads != 0)) {
     // Refuse rather than silently ignore: the thread-per-connection
-    // model has no worker pool, and an operator who asked for one must
-    // learn the flag did nothing before deploying that way.
-    std::cerr << "--workers has no effect with --threaded "
+    // model has no worker pool or event loops, and an operator who asked
+    // for them must learn the flag did nothing before deploying that way.
+    std::cerr << "--workers/--io-threads have no effect with --threaded "
                  "(one thread per connection)\n";
     return 2;
   }
@@ -284,6 +304,7 @@ int main(int argc, char** argv) {
     manirank::serve::ServerOptions options;
     options.port = *port;
     options.workers = workers;
+    options.io_threads = io_threads;
     options.log = &std::cerr;
     if (threaded) {
       manirank::serve::ThreadPerConnectionServer server(&manager, options);

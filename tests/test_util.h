@@ -14,36 +14,54 @@
 
 namespace manirank::testing {
 
-/// Forces MANIRANK_KERNEL (the precedence kernel override) for one scope,
-/// restoring the prior value on destruction. nullptr = auto dispatch.
-/// Only safe while no concurrent PrecedenceMatrix build/batch is running:
-/// the variable is re-read at the start of each call, on the calling
-/// thread.
-class ScopedKernelEnv {
+/// Forces one environment variable for one scope, restoring the prior
+/// value (or its absence) on destruction. nullptr value unsets it. Only
+/// safe while nothing concurrently reads the variable: setenv is not
+/// thread-safe against getenv on another thread.
+class ScopedEnvVar {
  public:
-  explicit ScopedKernelEnv(const char* value) {
-    const char* old = std::getenv("MANIRANK_KERNEL");
+  ScopedEnvVar(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
     had_prior_ = old != nullptr;
     if (had_prior_) prior_ = old;
     if (value == nullptr) {
-      unsetenv("MANIRANK_KERNEL");
+      unsetenv(name);
     } else {
-      setenv("MANIRANK_KERNEL", value, /*overwrite=*/1);
+      setenv(name, value, /*overwrite=*/1);
     }
   }
-  ~ScopedKernelEnv() {
+  ~ScopedEnvVar() {
     if (had_prior_) {
-      setenv("MANIRANK_KERNEL", prior_.c_str(), /*overwrite=*/1);
+      setenv(name_.c_str(), prior_.c_str(), /*overwrite=*/1);
     } else {
-      unsetenv("MANIRANK_KERNEL");
+      unsetenv(name_.c_str());
     }
   }
-  ScopedKernelEnv(const ScopedKernelEnv&) = delete;
-  ScopedKernelEnv& operator=(const ScopedKernelEnv&) = delete;
+  ScopedEnvVar(const ScopedEnvVar&) = delete;
+  ScopedEnvVar& operator=(const ScopedEnvVar&) = delete;
 
  private:
+  std::string name_;
   bool had_prior_ = false;
   std::string prior_;
+};
+
+/// Forces MANIRANK_KERNEL (the precedence kernel override) for one scope.
+/// nullptr = auto dispatch. The variable is re-read at the start of each
+/// PrecedenceMatrix build/batch, on the calling thread.
+class ScopedKernelEnv : public ScopedEnvVar {
+ public:
+  explicit ScopedKernelEnv(const char* value)
+      : ScopedEnvVar("MANIRANK_KERNEL", value) {}
+};
+
+/// Forces MANIRANK_POLLER (the serving event-poller override) for one
+/// scope: "epoll", "poll", "auto", or nullptr (= auto). Read once per
+/// ServeExecutor::Start, so scope it around server construction+Start.
+class ScopedPollerEnv : public ScopedEnvVar {
+ public:
+  explicit ScopedPollerEnv(const char* value)
+      : ScopedEnvVar("MANIRANK_POLLER", value) {}
 };
 
 /// Every precedence kernel this machine can run: the scalar reference and
