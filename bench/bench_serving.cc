@@ -43,17 +43,29 @@
 // default 1M-ranking stream; the restored table must serve the
 // precedence/Borda methods bit-identically to the pre-snapshot context.
 //
+// An `oplog` section prices the durability layer (serve/durability.h):
+// the same batched protocol workload runs once plain and once with the
+// append-only op log attached (one fsync per fold), giving the log's
+// append overhead; then a cold start (snapshot floor + log replay) races
+// the only logless alternative — re-streaming the whole append history
+// into a fresh manager. Both the durable run and the cold-started
+// manager must match the plain path bit-for-bit.
+//
 // MANIRANK_BENCH_QUICK=1 shrinks the workload for the CI smoke job.
+
+#include <unistd.h>
 
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "manirank.h"
+#include "serve/durability.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
 
@@ -363,6 +375,189 @@ SnapshotBench RunSnapshotBench(bool quick) {
   }
   std::remove(path);
   return result;
+}
+
+// --- op-log durability: append overhead + cold start vs re-stream ----------
+
+struct OpLogBench {
+  Workload workload;
+  long requests = 0;
+  double plain_seconds = 0.0;
+  double durable_seconds = 0.0;
+  double append_overhead_percent = 0.0;
+  uint64_t log_records = 0;
+  uint64_t log_bytes = 0;
+  double coldstart_seconds = 0.0;   // floor read + log replay, all tables
+  double replay_ms = 0.0;           // the log-replay share of the above
+  uint64_t replayed_records = 0;
+  uint64_t replayed_rankings = 0;
+  double restream_seconds = 0.0;    // rebuild by re-folding the history
+  double speedup_coldstart_vs_restream = 0.0;
+};
+
+/// RunBatchedConcurrent with the durability hook attached: every fold
+/// appends one op-log record and fdatasyncs under that table's gate —
+/// which is the point of measuring concurrently: one table's sync is
+/// device wait the other tables' folds and RUNs overlap. Leaves the
+/// durability dir populated for the cold-start leg.
+ScenarioResult RunBatchedDurable(
+    const Workload& w, const std::vector<std::vector<Ranking>>& streams,
+    const std::string& dir, OpLogBench* bench) {
+  serve::ContextManager manager;
+  serve::DurabilityManager durability(dir, &manager);
+  durability.Attach();  // before Create: floors are written at registration
+  SeedManager(&manager, w, streams);
+  ScenarioResult result;
+  result.final_consensus.resize(w.tables);
+  std::vector<long> requests(w.tables, 0);
+  Stopwatch timer;
+  std::vector<std::thread> clients;
+  for (int t = 0; t < w.tables; ++t) {
+    clients.emplace_back([&, t] {
+      serve::Dispatcher dispatcher(&manager);
+      requests[t] = DriveTable(dispatcher, w, t, streams[t],
+                               &result.final_consensus[t]);
+    });
+  }
+  for (std::thread& c : clients) c.join();
+  result.seconds = timer.Seconds();
+  for (long r : requests) result.requests += r;
+  bench->log_records = 0;
+  bench->log_bytes = 0;
+  for (int t = 0; t < w.tables; ++t) {
+    const auto stats = durability.StatsFor(TableName(t));
+    if (!stats.has_value() || !stats->healthy) {
+      std::fprintf(stderr, "oplog bench: table %d lost its log\n", t);
+      std::abort();
+    }
+    bench->log_records += stats->log_records;
+    bench->log_bytes += stats->log_bytes;
+  }
+  return result;
+}
+
+OpLogBench RunOpLogBench(bool quick) {
+  OpLogBench bench;
+  // The durability workload is multi-table serving: each table driven by
+  // its own client through append waves and Fair-Kemeny RUNs. Overhead
+  // is measured on the concurrent driver because that is how the layer
+  // is deployed: the one
+  // fdatasync per fold happens under ONE table's gate and is pure device
+  // wait, so the other tables' folds and queries overlap it. A
+  // single-threaded append-only firehose instead serializes every sync
+  // behind the (very fast) bit-sliced fold and pays the device latency
+  // in full — that shape is priced by log_bytes, not by this ratio.
+  // Fair-Kemeny over a near-uniform profile: the exact search is the
+  // expensive, deterministic query this workload re-answers after every
+  // fold, and n is chosen so one solve costs tens of milliseconds — two
+  // decades above the fold's fdatasync, the regime the <=5% overhead
+  // claim targets.
+  Workload& w = bench.workload;
+  w.tables = 2;
+  w.n = 13;
+  w.base_rankings = 2000;
+  w.waves = 5;
+  w.appends_per_wave = 4;
+  w.rankings_per_append = 10;
+  w.method = "A1";
+  w.theta = 0.01;
+  if (quick) {
+    w.n = 12;
+    w.base_rankings = 500;
+    w.waves = 3;
+    w.appends_per_wave = 2;
+  }
+  const std::vector<std::vector<Ranking>> streams = SampleStreams(w);
+  const ScenarioResult batched = RunBatchedConcurrent(w, streams);
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("manirank_oplog_bench_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  // Best-of-5 on both sides of the overhead ratio: the two runs happen at
+  // different instants, the quantity reported is their (small)
+  // difference, and the exact-search solve time jitters by more than the
+  // sync cost being measured.
+  constexpr int kReps = 5;
+  ScenarioResult durable;
+  bench.plain_seconds = 0.0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    // (The reference run above is equivalence-only: both sides get the
+    // same best-of-kReps treatment so the ratio is rep-symmetric.)
+    const ScenarioResult plain = RunBatchedConcurrent(w, streams);
+    CheckEquivalent(w, "oplog_plain", plain, batched);
+    if (rep == 0 || plain.seconds < bench.plain_seconds) {
+      bench.plain_seconds = plain.seconds;
+    }
+    // Each rep recreates the tables in the same dir: registration starts
+    // a fresh floor + log chain, so the dir always holds the last run.
+    ScenarioResult result = RunBatchedDurable(w, streams, dir.string(), &bench);
+    CheckEquivalent(w, "oplog_durable", result, batched);
+    if (rep == 0 || result.seconds < durable.seconds) {
+      durable = std::move(result);
+    }
+  }
+  bench.requests = durable.requests;
+  bench.durable_seconds = durable.seconds;
+  bench.append_overhead_percent =
+      bench.plain_seconds > 0.0
+          ? 100.0 * (bench.durable_seconds / bench.plain_seconds - 1.0)
+          : 0.0;
+
+  // Cold start: what a restarted server pays to resume serving from the
+  // floor + log left on disk.
+  serve::ContextManager restarted;
+  serve::DurabilityManager recovery(dir.string(), &restarted);
+  {
+    Stopwatch timer;
+    const auto report = recovery.ColdStart();
+    bench.coldstart_seconds = timer.Seconds();
+    if (report.size() != static_cast<size_t>(w.tables)) {
+      std::fprintf(stderr, "oplog bench: cold start restored %zu tables\n",
+                   report.size());
+      std::abort();
+    }
+    for (const auto& table : report) {
+      bench.replay_ms += table.replay_ms;
+      bench.replayed_records += table.replayed_records;
+      bench.replayed_rankings += table.replayed_rankings;
+    }
+  }
+  // The logless alternative: re-fold the entire append history (base
+  // profile + every appended ranking) into a fresh manager.
+  serve::ContextManager restreamed;
+  {
+    Stopwatch timer;
+    for (int t = 0; t < w.tables; ++t) {
+      std::vector<Ranking> base(streams[t].begin(),
+                                streams[t].begin() + w.base_rankings);
+      restreamed.Create(TableName(t), MakeCyclicTable(w.n, 2, 2),
+                        std::move(base));
+      restreamed.Append(
+          TableName(t),
+          std::vector<Ranking>(streams[t].begin() + w.base_rankings,
+                               streams[t].end()));
+      restreamed.Flush(TableName(t));
+    }
+    bench.restream_seconds = timer.Seconds();
+  }
+  bench.speedup_coldstart_vs_restream =
+      bench.coldstart_seconds > 0.0
+          ? bench.restream_seconds / bench.coldstart_seconds
+          : 0.0;
+  // Both recovery paths must serve exactly what the live process served.
+  for (int t = 0; t < w.tables; ++t) {
+    const auto expected = batched.final_consensus[t];
+    if (restarted.Run(TableName(t), w.method).consensus.order() != expected ||
+        restreamed.Run(TableName(t), w.method).consensus.order() != expected) {
+      std::fprintf(stderr,
+                   "FATAL: oplog recovery drifted from the live table %d\n", t);
+      std::abort();
+    }
+  }
+  std::filesystem::remove_all(dir);
+  return bench;
 }
 
 // --- async executor vs thread-per-connection over loopback TCP -------------
@@ -979,6 +1174,7 @@ int main() {
                                      ? snapshot.replay_seconds /
                                            snapshot.restore_seconds
                                      : 0.0;
+  const OpLogBench oplog = RunOpLogBench(QuickMode());
 
   const double speedup =
       batched.seconds > 0.0 ? rebuild.seconds / batched.seconds : 0.0;
@@ -1051,10 +1247,35 @@ int main() {
                "  \"snapshot\": {\"rankings\": %zu, \"n\": %d, "
                "\"snapshot_bytes\": %ld, \"write_seconds\": %.6f, "
                "\"restore_seconds\": %.6f, \"replay_seconds\": %.6f, "
-               "\"speedup_restore_vs_replay\": %.1f}\n",
+               "\"speedup_restore_vs_replay\": %.1f},\n",
                snapshot.rankings, snapshot.n, snapshot.snapshot_bytes,
                snapshot.write_seconds, snapshot.restore_seconds,
                snapshot.replay_seconds, restore_speedup);
+  std::fprintf(f,
+               "  \"oplog\": {\"tables\": %d, \"n\": %d, "
+               "\"base_rankings\": %d, \"waves\": %d, "
+               "\"rankings_per_wave\": %d, \"method\": \"%s\",\n"
+               "    \"requests\": %ld, \"plain_seconds\": %.6f, "
+               "\"durable_seconds\": %.6f, "
+               "\"append_overhead_percent\": %.2f,\n"
+               "    \"log_records\": %llu, \"log_bytes\": %llu, "
+               "\"coldstart_seconds\": %.6f, \"replay_ms\": %.3f, "
+               "\"replayed_records\": %llu, \"replayed_rankings\": %llu,\n"
+               "    \"restream_seconds\": %.6f, "
+               "\"speedup_coldstart_vs_restream\": %.1f}\n",
+               oplog.workload.tables, oplog.workload.n,
+               oplog.workload.base_rankings, oplog.workload.waves,
+               oplog.workload.appends_per_wave *
+                   oplog.workload.rankings_per_append,
+               oplog.workload.method, oplog.requests, oplog.plain_seconds,
+               oplog.durable_seconds,
+               oplog.append_overhead_percent,
+               static_cast<unsigned long long>(oplog.log_records),
+               static_cast<unsigned long long>(oplog.log_bytes),
+               oplog.coldstart_seconds, oplog.replay_ms,
+               static_cast<unsigned long long>(oplog.replayed_records),
+               static_cast<unsigned long long>(oplog.replayed_rankings),
+               oplog.restream_seconds, oplog.speedup_coldstart_vs_restream);
   std::fprintf(f, "}\n");
   std::fclose(f);
 
@@ -1088,9 +1309,18 @@ int main() {
   }
 #endif
   std::printf("snapshot restore (%zu rankings, %ld bytes): %.4fs vs "
-              "replay %.4fs  ->  %.0fx  ->  BENCH_serving.json\n",
+              "replay %.4fs  ->  %.0fx\n",
               snapshot.rankings, snapshot.snapshot_bytes,
               snapshot.restore_seconds, snapshot.replay_seconds,
               restore_speedup);
+  std::printf("oplog: append overhead %.2f%% (plain %.4fs vs durable %.4fs); "
+              "cold start %.4fs (%llu records, %llu bytes, replay %.3fms) vs "
+              "re-stream %.4fs  ->  %.1fx  ->  BENCH_serving.json\n",
+              oplog.append_overhead_percent, oplog.plain_seconds,
+              oplog.durable_seconds, oplog.coldstart_seconds,
+              static_cast<unsigned long long>(oplog.replayed_records),
+              static_cast<unsigned long long>(oplog.log_bytes),
+              oplog.replay_ms, oplog.restream_seconds,
+              oplog.speedup_coldstart_vs_restream);
   return 0;
 }

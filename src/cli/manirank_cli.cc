@@ -61,6 +61,9 @@ struct Args {
   std::vector<std::string> append_paths;
   double delta = 0.1;
   double time_limit = 30.0;
+  /// snapshot command: also carry the retained profile (format v2), so a
+  /// restore serves every method — including the base-ranking baselines.
+  bool exact_snapshot = false;
 };
 
 int Usage() {
@@ -74,6 +77,8 @@ int Usage() {
       "                     (serve from a snapshot, no profile replay;\n"
       "                      precedence/Borda methods only)\n"
       "  manirank snapshot  --table T.csv --rankings R.csv --output S.snap\n"
+      "                     [--exact]     (exact: keep the full profile, so\n"
+      "                      a restore serves all methods, B2-B4 included)\n"
       "  manirank methods\n"
       "  manirank serve     [--script S.txt]   (requests on stdin by default;\n"
       "                     grammar in serve/protocol.h; also --serve S.txt)\n";
@@ -101,6 +106,10 @@ std::optional<Args> Parse(int argc, char** argv) {
   args.command = argv[1];
   for (int i = 2; i < argc; ++i) {
     const std::string flag = argv[i];
+    if (flag == "--exact") {  // the one value-less flag
+      args.exact_snapshot = true;
+      continue;
+    }
     const bool known = flag == "--table" || flag == "--rankings" ||
                        flag == "--method" || flag == "--delta" ||
                        flag == "--time-limit" || flag == "--output" ||
@@ -146,6 +155,10 @@ std::optional<Args> Parse(int argc, char** argv) {
   }
   if (!args.script_path.empty() && args.command != "serve") {
     std::cerr << "--script is only valid with the serve command\n";
+    return std::nullopt;
+  }
+  if (args.exact_snapshot && args.command != "snapshot") {
+    std::cerr << "--exact is only valid with the snapshot command\n";
     return std::nullopt;
   }
   if (!args.restore_path.empty() && args.command != "consensus") {
@@ -374,17 +387,27 @@ int RunConsensus(const Args& args) {
       std::cerr << "cannot restore snapshot: " << e.what() << "\n";
       return 1;
     }
-    ConsensusContext ctx(std::move(snapshot->summary), snapshot->table);
-    std::cout << "restored " << ctx.num_rankings()
-              << " folded rankings (generation " << ctx.generation()
-              << ") from " << args.restore_path << "\n";
-    if (!run_all && !ctx.SupportsMethod(*method)) {
+    // An exact (v2, --exact) snapshot restores the full retained context;
+    // a summarized one restores the folded state only.
+    std::optional<ConsensusContext> ctx;
+    if (snapshot->retained) {
+      ctx.emplace(std::move(snapshot->base_rankings),
+                  std::move(snapshot->summary), snapshot->table);
+    } else {
+      ctx.emplace(std::move(snapshot->summary), snapshot->table);
+    }
+    std::cout << "restored " << ctx->num_rankings() << " "
+              << (snapshot->retained ? "retained" : "folded")
+              << " rankings (generation " << ctx->generation() << ") from "
+              << args.restore_path << "\n";
+    if (!run_all && !ctx->SupportsMethod(*method)) {
       std::cerr << "method " << method->id << " (" << method->name
-                << ") needs the retained base rankings, which a snapshot "
-                   "does not carry — pick a precedence/Borda method\n";
+                << ") needs the retained base rankings, which this "
+                   "snapshot does not carry — pick a precedence/Borda "
+                   "method, or write the snapshot with --exact\n";
       return 2;
     }
-    return ServeConsensus(args, ctx, method, run_all);
+    return ServeConsensus(args, *ctx, method, run_all);
   }
   std::optional<Study> study = Load(args);
   if (!study) return 1;
@@ -410,7 +433,9 @@ int RunSnapshot(const Args& args) {
   ConsensusContext ctx(std::move(study->rankings), study->table);
   Stopwatch timer;
   TableSnapshot snapshot{study->table, ctx.Snapshot(), /*applied_batches=*/0,
-                         /*applied_rankings=*/0};
+                         /*applied_rankings=*/0, args.exact_snapshot,
+                         args.exact_snapshot ? ctx.base_rankings()
+                                             : std::vector<Ranking>{}};
   try {
     WriteTableSnapshotFile(args.output_path, snapshot);
   } catch (const std::exception& e) {
@@ -419,7 +444,9 @@ int RunSnapshot(const Args& args) {
   }
   std::cout << "snapshot of " << num_rankings << " rankings ("
             << ctx.num_candidates() << " candidates, precedence matrix "
-            << "included) written to " << args.output_path << " in "
+            << (args.exact_snapshot ? "and retained profile included"
+                                    : "included")
+            << ") written to " << args.output_path << " in "
             << TablePrinter::Fmt(timer.Seconds(), 3) << "s\n";
   return 0;
 }

@@ -164,6 +164,44 @@ ConsensusContext::ConsensusContext(StreamingSummary summary,
                       std::memory_order_relaxed);
 }
 
+ConsensusContext::ConsensusContext(std::vector<Ranking> base_rankings,
+                                   StreamingSummary cached_state,
+                                   const CandidateTable& table)
+    : ConsensusContext(std::move(base_rankings), table) {
+  if (cached_state.num_candidates != table.num_candidates()) {
+    throw std::invalid_argument(
+        "cached state candidate count does not match table");
+  }
+  if (cached_state.num_rankings < 0 ||
+      static_cast<size_t>(cached_state.num_rankings) != base_.size()) {
+    throw std::invalid_argument(
+        "cached state ranking count does not match the recovered profile");
+  }
+  if (!cached_state.borda_points.empty() &&
+      cached_state.borda_points.size() !=
+          static_cast<size_t>(table.num_candidates())) {
+    throw std::invalid_argument(
+        "cached state Borda points do not match table");
+  }
+  if (cached_state.precedence != nullptr &&
+      cached_state.precedence->size() != table.num_candidates()) {
+    throw std::invalid_argument(
+        "cached state precedence matrix does not match table");
+  }
+  // summarized_ stays false: the profile IS retained; the summary only
+  // pre-warms the caches a fresh build would have produced (Borda points
+  // and precedence cells are integer counts, so the seeded caches are
+  // bit-identical to rebuilt ones).
+  stats_.generation = cached_state.generation;
+  if (!cached_state.borda_points.empty()) {
+    borda_points_ = std::make_unique<std::vector<int64_t>>(
+        std::move(cached_state.borda_points));
+  }
+  precedence_ = std::move(cached_state.precedence);
+  // Not yet shared across threads: plain publication is enough.
+  generation_counter_.store(stats_.generation, std::memory_order_relaxed);
+}
+
 size_t ConsensusContext::num_rankings() const {
   // Servable concurrently with mutations (the serving layer's STATS path
   // deliberately skips the gate): a lock-free counter read, so it never

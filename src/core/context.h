@@ -120,6 +120,19 @@ class ConsensusContext {
   /// accumulator tracked it) arrive pre-folded.
   ConsensusContext(StreamingSummary summary, const CandidateTable& table);
 
+  /// Rebuilds a *retained* context from a recovered profile plus the
+  /// cached state that was saved with it (exact-snapshot restore,
+  /// data/snapshot.h format v2): the base rankings are retained — every
+  /// method and REMOVE work exactly as before the save — while the
+  /// summary's Borda points and precedence matrix (when present) seed
+  /// the caches, so the restore skips the O(|R| n^2) precedence rebuild.
+  /// The generation counter resumes from the summary. Validates that the
+  /// summary matches the profile (candidate counts, ranking count,
+  /// cache section sizes); empty borda_points means "not cached" and the
+  /// cache stays lazy. Throws std::invalid_argument on any mismatch.
+  ConsensusContext(std::vector<Ranking> base_rankings,
+                   StreamingSummary cached_state, const CandidateTable& table);
+
   ConsensusContext(const ConsensusContext&) = delete;
   ConsensusContext& operator=(const ConsensusContext&) = delete;
 

@@ -1,0 +1,57 @@
+#ifndef MANIRANK_DATA_DURABLE_FILE_H_
+#define MANIRANK_DATA_DURABLE_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace manirank {
+
+/// FNV-1a 64 over raw bytes — the checksum every on-disk format in this
+/// repo (snapshots, op logs) trails its payload with.
+uint64_t Fnv1a64(const char* data, size_t size);
+
+/// Unique-per-writer temporary path next to `path`: `path + ".tmp." +
+/// pid + "." + counter`, so concurrent writers to one destination never
+/// truncate or unlink each other's in-progress file. Every atomic write
+/// in the repo goes through this convention, which is why a crashed
+/// writer's leftovers are recognizable (see LooksLikeDurableTempFile).
+std::string NextDurableTempPath(const std::string& path);
+
+/// True when `filename` (no directory part) matches the temp-file
+/// convention above ("<anything>.tmp.<digits>.<digits>"). Cold-start
+/// directory scans use it to skip — and unlink — the debris a crashed
+/// writer left behind, instead of refusing to boot over a "corrupt"
+/// snapshot that was never a snapshot at all.
+bool LooksLikeDurableTempFile(const std::string& filename);
+
+/// fsync(2) the directory containing `path`, making a just-renamed entry
+/// durable against power loss (on POSIX the rename itself only becomes
+/// persistent once the parent directory's metadata reaches disk). Throws
+/// std::runtime_error when the directory cannot be opened or synced. A
+/// no-op on platforms without directory fsync.
+void FsyncParentDir(const std::string& path);
+
+/// Copies `src` to `dst` byte-for-byte through a temp file next to `dst`
+/// (fsync'd before the final same-filesystem rename), then fsyncs dst's
+/// parent directory. The cross-filesystem half of RenameDurably; also
+/// usable on its own. Throws std::runtime_error on any I/O failure.
+void CopyFileDurably(const std::string& src, const std::string& dst);
+
+/// Moves `src` into place at `dst` durably: rename(2) plus a parent-dir
+/// fsync — and when the rename fails with EXDEV (src and dst on
+/// different filesystems, where rename cannot work), falls back to
+/// copy+fsync+unlink via CopyFileDurably. Any other failure throws
+/// std::runtime_error naming the paths and errno.
+void RenameDurably(const std::string& src, const std::string& dst);
+
+/// Writes `data` to `path` atomically AND durably: unique temp file next
+/// to `path`, full write, fsync, close, RenameDurably into place. A
+/// crash at any point leaves either the old file or the new one — never
+/// a torn mix — and a completed call survives power loss. Throws
+/// std::runtime_error; the temp file is unlinked on failure.
+void WriteFileDurably(const std::string& path, const std::string& data);
+
+}  // namespace manirank
+
+#endif  // MANIRANK_DATA_DURABLE_FILE_H_

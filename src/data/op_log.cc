@@ -1,0 +1,399 @@
+#include "data/op_log.h"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+#include "data/durable_file.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define MANIRANK_OPLOG_HAVE_POSIX 1
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace manirank {
+namespace {
+
+/// Caps a single record's declared body length. The serving layer logs
+/// one record per applied coalesced batch, which is bounded by what fits
+/// in memory anyway; the cap only stops a corrupt length prefix from
+/// driving a multi-gigabyte allocation before the checksum check runs.
+constexpr uint32_t kMaxRecordBodyBytes = 1u << 30;
+/// Mirrors the snapshot reader's table cap (snapshot.cc kMaxCandidates).
+constexpr uint32_t kMaxOpLogCandidates = 1u << 20;
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xffu));
+  }
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xffu));
+  }
+}
+
+uint32_t GetU32(const char* data) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(data[i])) << (8 * i);
+  }
+  return v;
+}
+
+uint64_t GetU64(const char* data) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(data[i])) << (8 * i);
+  }
+  return v;
+}
+
+std::string EncodeHeader(int num_candidates, uint64_t base_generation,
+                         uint64_t base_rankings) {
+  std::string header(kOpLogMagic, sizeof(kOpLogMagic));
+  PutU32(&header, kOpLogVersion);
+  PutU32(&header, static_cast<uint32_t>(num_candidates));
+  PutU64(&header, base_generation);
+  PutU64(&header, base_rankings);
+  PutU64(&header, Fnv1a64(header.data(), header.size()));
+  return header;
+}
+
+/// Encodes one framed record (length | body | crc) onto `out`.
+void EncodeRecord(std::string* out, const OpRecord& record) {
+  std::string body;
+  body.push_back(static_cast<char>(record.kind));
+  if (record.kind == OpRecord::Kind::kAppend) {
+    PutU32(&body, static_cast<uint32_t>(record.rankings.size()));
+    for (const Ranking& r : record.rankings) {
+      for (CandidateId c : r.order()) {
+        PutU32(&body, static_cast<uint32_t>(c));
+      }
+    }
+  } else {
+    PutU64(&body, record.remove_index);
+  }
+  const size_t frame_start = out->size();
+  PutU32(out, static_cast<uint32_t>(body.size()));
+  out->append(body);
+  const uint64_t crc =
+      Fnv1a64(out->data() + frame_start, out->size() - frame_start);
+  PutU64(out, crc);
+}
+
+/// Parses one checksum-verified record body. Throws OpLogFormatError —
+/// the checksum already passed, so malformed contents are corruption (or
+/// a writer bug), never a torn write.
+OpRecord ParseBody(const char* body, uint32_t len, uint32_t n,
+                   size_t record_index) {
+  const auto fail = [record_index](const std::string& what) -> OpRecord {
+    throw OpLogFormatError("op log record " + std::to_string(record_index) +
+                           " is corrupt (checksum-valid but malformed): " +
+                           what);
+  };
+  if (len < 1) return fail("empty body");
+  OpRecord record;
+  const uint8_t kind = static_cast<unsigned char>(body[0]);
+  if (kind == static_cast<uint8_t>(OpRecord::Kind::kAppend)) {
+    record.kind = OpRecord::Kind::kAppend;
+    if (len < 5) return fail("APPEND body shorter than its count");
+    const uint32_t count = GetU32(body + 1);
+    const uint64_t expect =
+        5 + static_cast<uint64_t>(count) * static_cast<uint64_t>(n) * 4;
+    if (count == 0) return fail("APPEND with zero rankings");
+    if (expect != len) {
+      return fail("APPEND body length does not match its ranking count");
+    }
+    record.rankings.reserve(count);
+    const char* cursor = body + 5;
+    std::vector<CandidateId> order(n);
+    for (uint32_t i = 0; i < count; ++i) {
+      for (uint32_t p = 0; p < n; ++p) {
+        const uint32_t id = GetU32(cursor);
+        cursor += 4;
+        if (id >= n) return fail("candidate id out of range");
+        order[p] = static_cast<CandidateId>(id);
+      }
+      if (!Ranking::IsValidOrder(order)) {
+        return fail("APPEND ranking is not a permutation");
+      }
+      record.rankings.emplace_back(order);
+    }
+  } else if (kind == static_cast<uint8_t>(OpRecord::Kind::kRemove)) {
+    record.kind = OpRecord::Kind::kRemove;
+    if (len != 9) return fail("REMOVE body must be exactly 9 bytes");
+    record.remove_index = GetU64(body + 1);
+  } else {
+    return fail("unknown record kind " + std::to_string(kind));
+  }
+  return record;
+}
+
+/// Parses header + records out of a fully slurped file. Shared by the
+/// reader and OpenExisting's tail scan.
+OpLogContents ParseOpLog(const std::string& buffer, const std::string& path) {
+  if (buffer.size() < kOpLogHeaderBytes) {
+    throw OpLogFormatError("op log shorter than its header: " + path);
+  }
+  if (std::memcmp(buffer.data(), kOpLogMagic, sizeof(kOpLogMagic)) != 0) {
+    throw OpLogFormatError("op log has bad magic (not a MANI-Rank op log): " +
+                           path);
+  }
+  const size_t header_body = kOpLogHeaderBytes - 8;
+  const uint64_t header_crc = GetU64(buffer.data() + header_body);
+  if (header_crc != Fnv1a64(buffer.data(), header_body)) {
+    throw OpLogFormatError("op log header checksum mismatch: " + path);
+  }
+  const uint32_t version = GetU32(buffer.data() + 8);
+  if (version != kOpLogVersion) {
+    throw OpLogFormatError("op log version " + std::to_string(version) +
+                           " is not supported (expected " +
+                           std::to_string(kOpLogVersion) + "): " + path);
+  }
+  OpLogContents contents;
+  contents.num_candidates = GetU32(buffer.data() + 12);
+  contents.base_generation = GetU64(buffer.data() + 16);
+  contents.base_rankings = GetU64(buffer.data() + 24);
+  if (contents.num_candidates == 0 ||
+      contents.num_candidates > kMaxOpLogCandidates) {
+    throw OpLogFormatError("op log candidate count out of range: " +
+                           std::to_string(contents.num_candidates));
+  }
+  contents.clean_bytes = kOpLogHeaderBytes;
+  size_t pos = kOpLogHeaderBytes;
+  const auto torn = [&](const std::string& what) {
+    contents.torn_tail = "torn record " +
+                         std::to_string(contents.records.size()) +
+                         " at byte " + std::to_string(pos) + ": " + what;
+  };
+  while (pos < buffer.size()) {
+    const size_t remaining = buffer.size() - pos;
+    if (remaining < 4) {
+      torn("partial length prefix (" + std::to_string(remaining) + " bytes)");
+      break;
+    }
+    const uint32_t len = GetU32(buffer.data() + pos);
+    if (len > kMaxRecordBodyBytes) {
+      torn("record length " + std::to_string(len) + " exceeds the cap");
+      break;
+    }
+    const uint64_t frame = 4 + static_cast<uint64_t>(len) + 8;
+    if (frame > remaining) {
+      torn("record frame of " + std::to_string(frame) +
+           " bytes exceeds the " + std::to_string(remaining) +
+           " bytes remaining");
+      break;
+    }
+    const uint64_t stored = GetU64(buffer.data() + pos + 4 + len);
+    if (stored != Fnv1a64(buffer.data() + pos, 4 + len)) {
+      torn("record checksum mismatch");
+      break;
+    }
+    contents.records.push_back(ParseBody(buffer.data() + pos + 4, len,
+                                         contents.num_candidates,
+                                         contents.records.size()));
+    pos += frame;
+    contents.clean_bytes = pos;
+  }
+  return contents;
+}
+
+std::string SlurpFile(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    throw std::runtime_error("cannot open op log: " + path);
+  }
+  std::string buffer;
+  char chunk[1 << 16];
+  for (;;) {
+    is.read(chunk, sizeof(chunk));
+    const std::streamsize got = is.gcount();
+    if (got <= 0) break;
+    buffer.append(chunk, static_cast<size_t>(got));
+    if (!is) break;
+  }
+  return buffer;
+}
+
+}  // namespace
+
+OpLogContents ReadOpLogFile(const std::string& path) {
+  return ParseOpLog(SlurpFile(path), path);
+}
+
+OpLogWriter::OpLogWriter(std::string path, int fd, int num_candidates,
+                         uint64_t base_generation, uint64_t base_rankings,
+                         uint64_t bytes, uint64_t records)
+    : path_(std::move(path)),
+      fd_(fd),
+      num_candidates_(num_candidates),
+      base_generation_(base_generation),
+      base_rankings_(base_rankings),
+      bytes_(bytes),
+      records_(records) {}
+
+OpLogWriter::~OpLogWriter() {
+#ifdef MANIRANK_OPLOG_HAVE_POSIX
+  if (fd_ >= 0) ::close(fd_);
+#endif
+}
+
+std::unique_ptr<OpLogWriter> OpLogWriter::Create(const std::string& path,
+                                                 int num_candidates,
+                                                 uint64_t base_generation,
+                                                 uint64_t base_rankings) {
+  const std::string header =
+      EncodeHeader(num_candidates, base_generation, base_rankings);
+  // Atomic + durable replacement: a crash mid-truncation leaves either
+  // the previous log (still chained to the previous snapshot) or the
+  // fresh empty one — never a torn header.
+  WriteFileDurably(path, header);
+#ifdef MANIRANK_OPLOG_HAVE_POSIX
+  const int fd = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC);
+  if (fd < 0) {
+    throw std::runtime_error("cannot open op log for append: " + path + ": " +
+                             std::strerror(errno));
+  }
+#else
+  const int fd = -1;
+#endif
+  return std::unique_ptr<OpLogWriter>(
+      new OpLogWriter(path, fd, num_candidates, base_generation,
+                      base_rankings, header.size(), 0));
+}
+
+std::unique_ptr<OpLogWriter> OpLogWriter::OpenExisting(
+    const std::string& path, int num_candidates, OpLogContents* contents) {
+  OpLogContents scanned = ReadOpLogFile(path);
+  if (scanned.num_candidates != static_cast<uint32_t>(num_candidates)) {
+    throw std::invalid_argument(
+        "op log candidate count " + std::to_string(scanned.num_candidates) +
+        " does not match the table's " + std::to_string(num_candidates) +
+        ": " + path);
+  }
+#ifdef MANIRANK_OPLOG_HAVE_POSIX
+  // O_APPEND like Create's handle: after any ftruncate rewind, writes
+  // land at the (new) end of file without bookkeeping a seek position.
+  const int fd = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC);
+  if (fd < 0) {
+    throw std::runtime_error("cannot open op log for append: " + path + ": " +
+                             std::strerror(errno));
+  }
+  // Truncate a torn tail before appending anything: the next record must
+  // start exactly at the clean boundary, or the tail's garbage bytes
+  // would frame-shift everything written after them.
+  if (!scanned.torn_tail.empty()) {
+    if (::ftruncate(fd, static_cast<off_t>(scanned.clean_bytes)) != 0 ||
+        ::fsync(fd) != 0) {
+      const int saved = errno;
+      ::close(fd);
+      throw std::runtime_error("cannot truncate torn op log tail: " + path +
+                               ": " + std::strerror(saved));
+    }
+  }
+  if (::lseek(fd, static_cast<off_t>(scanned.clean_bytes), SEEK_SET) < 0) {
+    const int saved = errno;
+    ::close(fd);
+    throw std::runtime_error("cannot seek op log: " + path + ": " +
+                             std::strerror(saved));
+  }
+#else
+  const int fd = -1;
+#endif
+  auto writer = std::unique_ptr<OpLogWriter>(new OpLogWriter(
+      path, fd, num_candidates, scanned.base_generation,
+      scanned.base_rankings, scanned.clean_bytes, scanned.records.size()));
+  if (contents != nullptr) *contents = std::move(scanned);
+  return writer;
+}
+
+void OpLogWriter::BufferAppend(const std::vector<Ranking>& rankings) {
+  record_starts_.push_back(buffer_.size());
+  // Encode without copying the rankings into an OpRecord: frame the
+  // batch directly onto the buffer.
+  std::string body;
+  body.push_back(static_cast<char>(OpRecord::Kind::kAppend));
+  PutU32(&body, static_cast<uint32_t>(rankings.size()));
+  for (const Ranking& r : rankings) {
+    for (CandidateId c : r.order()) {
+      PutU32(&body, static_cast<uint32_t>(c));
+    }
+  }
+  const size_t frame_start = buffer_.size();
+  PutU32(&buffer_, static_cast<uint32_t>(body.size()));
+  buffer_.append(body);
+  PutU64(&buffer_,
+         Fnv1a64(buffer_.data() + frame_start, buffer_.size() - frame_start));
+}
+
+void OpLogWriter::BufferRemove(uint64_t index) {
+  record_starts_.push_back(buffer_.size());
+  OpRecord record;
+  record.kind = OpRecord::Kind::kRemove;
+  record.remove_index = index;
+  EncodeRecord(&buffer_, record);
+}
+
+void OpLogWriter::AbortLast() {
+  if (record_starts_.empty()) return;
+  buffer_.resize(record_starts_.back());
+  record_starts_.pop_back();
+}
+
+void OpLogWriter::Commit() {
+  if (buffer_.empty()) return;
+#ifdef MANIRANK_OPLOG_HAVE_POSIX
+  size_t done = 0;
+  while (done < buffer_.size()) {
+    const ssize_t n = ::write(fd_, buffer_.data() + done,
+                              buffer_.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      // A short write may have landed a partial frame: the on-disk tail
+      // is now torn, exactly like a crash — the next open truncates it.
+      // Rewind our own offset so a retried Commit does not double-write
+      // the prefix after the torn bytes.
+      const int saved = errno;
+      if (done > 0) {
+        (void)::ftruncate(fd_, static_cast<off_t>(bytes_));
+        (void)::lseek(fd_, static_cast<off_t>(bytes_), SEEK_SET);
+      }
+      throw std::runtime_error("op log append failed: " + path_ + ": " +
+                               std::strerror(saved));
+    }
+    done += static_cast<size_t>(n);
+  }
+  // fdatasync, not fsync: record data plus the metadata needed to read
+  // it back (the file size) is exactly what recovery requires —
+  // timestamps are not — and skipping the timestamp journal commit
+  // roughly halves the per-fold latency on ext4.
+  if (::fdatasync(fd_) != 0) {
+    // Same rewind as the write-failure path: the records reached the
+    // page cache but are not durable, and they stay buffered for a
+    // retry — without the rewind that retry would append them twice.
+    const int saved = errno;
+    (void)::ftruncate(fd_, static_cast<off_t>(bytes_));
+    (void)::lseek(fd_, static_cast<off_t>(bytes_), SEEK_SET);
+    throw std::runtime_error("op log fdatasync failed: " + path_ + ": " +
+                             std::strerror(saved));
+  }
+#else
+  std::ofstream os(path_, std::ios::binary | std::ios::app);
+  os.write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
+  os.close();
+  if (!os) {
+    throw std::runtime_error("op log append failed: " + path_);
+  }
+#endif
+  bytes_ += buffer_.size();
+  records_ += record_starts_.size();
+  buffer_.clear();
+  record_starts_.clear();
+}
+
+}  // namespace manirank

@@ -1,6 +1,5 @@
 #include "data/snapshot.h"
 
-#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -8,14 +7,12 @@
 #include <iterator>
 #include <memory>
 #include <ostream>
+#include <sstream>
 #include <utility>
 #include <vector>
 
 #include "core/precedence.h"
-
-#if defined(__unix__) || defined(__APPLE__)
-#include <unistd.h>
-#endif
+#include "data/durable_file.h"
 
 namespace manirank {
 namespace {
@@ -32,15 +29,6 @@ constexpr uint32_t kMaxStringBytes = 1u << 16;
 /// while reading, before the buffer grows, so a stray multi-gigabyte file
 /// in a --restore-dir cannot balloon server memory at cold start.
 constexpr size_t kMaxSnapshotBytes = size_t{1} << 30;
-
-uint64_t Fnv1a64(const char* data, size_t size) {
-  uint64_t h = 1469598103934665603ull;
-  for (size_t i = 0; i < size; ++i) {
-    h ^= static_cast<unsigned char>(data[i]);
-    h *= 1099511628211ull;
-  }
-  return h;
-}
 
 // --- little-endian encoders over a growing payload buffer ------------------
 
@@ -247,6 +235,29 @@ void WriteTableSnapshot(std::ostream& os, const TableSnapshot& snapshot) {
       }
     }
   }
+  // v2 retained section: the exact profile, when this snapshot is an
+  // op-log floor rather than a summarized checkpoint.
+  buffer.push_back(snapshot.retained ? 1 : 0);
+  if (snapshot.retained) {
+    if (snapshot.base_rankings.size() !=
+        static_cast<size_t>(snapshot.summary.num_rankings)) {
+      throw std::invalid_argument(
+          "retained snapshot profile size does not match its summary");
+    }
+    PutU64(&buffer, static_cast<uint64_t>(snapshot.base_rankings.size()));
+    for (const Ranking& r : snapshot.base_rankings) {
+      if (r.size() != n) {
+        throw std::invalid_argument(
+            "retained snapshot ranking size does not match its table");
+      }
+      for (CandidateId c : r.order()) {
+        PutU32(&buffer, static_cast<uint32_t>(c));
+      }
+    }
+  } else if (!snapshot.base_rankings.empty()) {
+    throw std::invalid_argument(
+        "snapshot carries base rankings without the retained flag");
+  }
   const uint64_t checksum = Fnv1a64(buffer.data(), buffer.size());
   PutU64(&buffer, checksum);
   os.write(buffer.data(), static_cast<std::streamsize>(buffer.size()));
@@ -292,9 +303,9 @@ TableSnapshot ReadTableSnapshot(std::istream& is) {
   Cursor in(buffer.data() + sizeof(kSnapshotMagic),
             body - sizeof(kSnapshotMagic));
   const uint32_t version = in.U32("version");
-  if (version != kSnapshotVersion) {
+  if (version < 1 || version > kSnapshotVersion) {
     throw SnapshotFormatError("snapshot version " + std::to_string(version) +
-                              " is not supported (expected " +
+                              " is not supported (expected 1.." +
                               std::to_string(kSnapshotVersion) + ")");
   }
   CandidateTable table = ReadTableSection(&in);
@@ -330,33 +341,56 @@ TableSnapshot ReadTableSnapshot(std::istream& is) {
     summary.precedence =
         std::make_unique<PrecedenceMatrix>(std::move(dense));
   }
+  bool retained = false;
+  std::vector<Ranking> base_rankings;
+  if (version >= 2) {
+    const uint8_t flag = in.U8("retained flag");
+    if (flag > 1) {
+      throw SnapshotFormatError("snapshot retained flag is not 0/1");
+    }
+    retained = flag == 1;
+    if (retained) {
+      const uint64_t count = in.U64("retained ranking count");
+      if (count != static_cast<uint64_t>(summary.num_rankings)) {
+        throw SnapshotFormatError(
+            "snapshot retained profile size does not match its summary");
+      }
+      in.Require(static_cast<size_t>(count) * static_cast<size_t>(n) * 4,
+                 "retained rankings");
+      base_rankings.reserve(static_cast<size_t>(count));
+      std::vector<CandidateId> order(static_cast<size_t>(n));
+      for (uint64_t r = 0; r < count; ++r) {
+        for (int p = 0; p < n; ++p) {
+          const uint32_t id = in.U32("retained ranking id");
+          if (id >= static_cast<uint32_t>(n)) {
+            throw SnapshotFormatError(
+                "snapshot retained ranking id out of range");
+          }
+          order[static_cast<size_t>(p)] = static_cast<CandidateId>(id);
+        }
+        if (!Ranking::IsValidOrder(order)) {
+          throw SnapshotFormatError(
+              "snapshot retained ranking is not a permutation");
+        }
+        base_rankings.emplace_back(order);
+      }
+    }
+  }
   if (in.remaining() != 0) {
     throw SnapshotFormatError("snapshot has " +
                               std::to_string(in.remaining()) +
                               " trailing bytes after the payload");
   }
-  TableSnapshot snapshot{std::move(table), std::move(summary),
-                         applied_batches, applied_rankings};
+  TableSnapshot snapshot{std::move(table),      std::move(summary),
+                         applied_batches,       applied_rankings,
+                         retained,              std::move(base_rankings)};
   return snapshot;
 }
 
-/// Unique-per-writer temp path next to `path`: pid + process-wide counter
-/// suffix, so concurrent snapshots of one destination never truncate or
-/// unlink each other's in-progress file (the final renames are atomic and
-/// each installs a complete snapshot; last one wins).
-std::string NextSnapshotTempPath(const std::string& path) {
-  static std::atomic<uint64_t> counter{0};
-#if defined(__unix__) || defined(__APPLE__)
-  const uint64_t pid = static_cast<uint64_t>(::getpid());
-#else
-  const uint64_t pid = 0;
-#endif
-  return path + ".tmp." + std::to_string(pid) + "." +
-         std::to_string(counter.fetch_add(1) + 1);
-}
-
 bool ProbeSnapshotWritable(const std::string& path) {
-  const std::string tmp = NextSnapshotTempPath(path);
+  // Shares the durable-write temp-path convention, so the probe can never
+  // drift from what WriteTableSnapshotFile actually creates.
+  const std::string tmp = NextDurableTempPath(path);
   std::ofstream probe(tmp, std::ios::binary | std::ios::trunc);
   if (!probe) return false;
   probe.close();
@@ -366,32 +400,17 @@ bool ProbeSnapshotWritable(const std::string& path) {
 
 void WriteTableSnapshotFile(const std::string& path,
                             const TableSnapshot& snapshot) {
-  // Write-then-rename: a failure mid-write (disk full, crash) must never
-  // leave a truncated file at `path` — a --restore-dir cold start refuses
-  // to boot over a corrupt snapshot, so a partial write would turn one
-  // failed SNAPSHOT into a bricked restart.
-  const std::string tmp = NextSnapshotTempPath(path);
-  {
-    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
-    if (!os) {
-      throw std::runtime_error("cannot open snapshot for writing: " + tmp);
-    }
-    try {
-      WriteTableSnapshot(os, snapshot);
-      os.close();
-      if (!os) {
-        throw std::runtime_error("snapshot write failed (close error): " +
-                                 tmp);
-      }
-    } catch (...) {
-      std::remove(tmp.c_str());
-      throw;
-    }
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    throw std::runtime_error("cannot move snapshot into place: " + path);
-  }
+  // Write-then-rename with full fsync discipline (WriteFileDurably): a
+  // failure mid-write (disk full, crash, power cut) must never leave a
+  // truncated file at `path` — a --restore-dir cold start refuses to boot
+  // over a corrupt snapshot, so a partial write would turn one failed
+  // SNAPSHOT into a bricked restart. The temp is fsynced *before* the
+  // rename and the parent directory after it; a bare write-then-rename
+  // can be reordered by the filesystem into a complete-looking name
+  // pointing at unwritten blocks.
+  std::ostringstream os(std::ios::binary);
+  WriteTableSnapshot(os, snapshot);
+  WriteFileDurably(path, os.str());
 }
 
 TableSnapshot ReadTableSnapshotFile(const std::string& path) {

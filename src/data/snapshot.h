@@ -5,8 +5,10 @@
 #include <iosfwd>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "core/candidate_table.h"
+#include "core/ranking.h"
 #include "core/streaming.h"
 
 namespace manirank {
@@ -15,9 +17,19 @@ namespace manirank {
 /// replaying its profile: the candidate table (attributes + values), the
 /// profile's summarized state (Borda points, precedence matrix when
 /// tracked, folded count, generation), and the shard's applied-mutation
-/// counters. Restoring yields a *summarized* context: it serves every
-/// precedence/Borda-based method bit-identically to the original, but
-/// methods needing the retained base rankings (B2-B4) stay unavailable.
+/// counters.
+///
+/// Two flavors (format v2):
+///  - summarized (`retained == false`, the v1 behaviour): restoring
+///    yields a *summarized* context serving every precedence/Borda-based
+///    method bit-identically to the original, but methods needing the
+///    retained base rankings (B2-B4) and REMOVE stay unavailable.
+///  - exact (`retained == true`): `base_rankings` carries the whole
+///    profile, so restoring yields a full *retained* context — every
+///    method and REMOVE work, bit-identically — with the summary seeding
+///    its caches so the restore skips the O(|R| n^2) precedence rebuild.
+///    Exact snapshots are the floor the per-table op log (data/op_log.h)
+///    chains from.
 struct TableSnapshot {
   CandidateTable table;
   StreamingSummary summary;
@@ -25,6 +37,12 @@ struct TableSnapshot {
   /// snapshot was taken (ContextManager bookkeeping, restored verbatim).
   uint64_t applied_batches = 0;
   uint64_t applied_rankings = 0;
+  /// True when base_rankings carries the exact retained profile.
+  bool retained = false;
+  /// The profile, in order; present (and summary.num_rankings-sized) iff
+  /// `retained`. May be empty WITH retained set: an empty exact snapshot
+  /// is the valid floor of a freshly created table.
+  std::vector<Ranking> base_rankings;
 };
 
 /// Thrown when a snapshot stream fails validation: bad magic, unsupported
@@ -39,17 +57,20 @@ class SnapshotFormatError : public std::runtime_error {
 /// Versioned binary snapshot format (see WriteTableSnapshot):
 ///
 ///   magic   "MRNKSNAP"                      (8 bytes)
-///   version u32 little-endian               (currently 1)
+///   version u32 little-endian               (currently 2; 1 still reads)
 ///   payload table / summary / counter sections
+///           v2 appends: retained flag u8, and when set a u64 ranking
+///           count followed by that many rankings of n u32 ids each
 ///   crc     FNV-1a 64 over magic+version+payload (8 bytes, trailing)
 ///
 /// All integers are little-endian; precedence cells are raw IEEE-754
 /// doubles (integral counts, so the round trip is bit-exact). The
 /// trailing checksum makes truncation and corruption both detectable:
-/// readers verify it before parsing a single field.
+/// readers verify it before parsing a single field. Readers accept both
+/// versions — a v1 file simply loads with `retained == false`.
 inline constexpr char kSnapshotMagic[8] = {'M', 'R', 'N', 'K',
                                            'S', 'N', 'A', 'P'};
-inline constexpr uint32_t kSnapshotVersion = 1;
+inline constexpr uint32_t kSnapshotVersion = 2;
 
 /// Serializes `snapshot` to `os`. Throws std::runtime_error when the
 /// stream rejects writes.
@@ -62,10 +83,13 @@ TableSnapshot ReadTableSnapshot(std::istream& is);
 
 /// File-path convenience wrappers. Open failures throw std::runtime_error
 /// ("cannot open snapshot ..."), format failures SnapshotFormatError.
-/// Writes are atomic: the payload lands in a uniquely named temporary
-/// next to `path` (concurrent writers to one destination never share it)
-/// and is renamed into place only when complete, so `path` never holds a
-/// truncated snapshot — a --restore-dir cold start must not find one.
+/// Writes are atomic AND crash-durable (data/durable_file.h): the payload
+/// lands in a uniquely named temporary next to `path` (concurrent writers
+/// to one destination never share it), is fsynced *before* the rename,
+/// and the parent directory is fsynced after — so a power cut can leave
+/// either the old file or the complete new one at `path`, never a
+/// truncated snapshot and never a rename pointing at unsynced data. A
+/// --restore-dir cold start must not find a torn snapshot.
 void WriteTableSnapshotFile(const std::string& path,
                             const TableSnapshot& snapshot);
 TableSnapshot ReadTableSnapshotFile(const std::string& path);

@@ -19,6 +19,21 @@ std::vector<const MethodSpec*> SupportedFor(const ConsensusContext& ctx) {
   return supported;
 }
 
+/// Context::Snapshot(), extended to the empty profile (which it rejects:
+/// a summarized restore of zero rankings would be useless — but an exact
+/// floor of a fresh table is exactly that, and must serialize).
+StreamingSummary SummaryFor(const ConsensusContext& ctx) {
+  if (ctx.num_rankings() == 0) {
+    StreamingSummary summary;
+    summary.num_candidates = ctx.num_candidates();
+    summary.num_rankings = 0;
+    summary.generation = ctx.generation();
+    summary.borda_points.assign(static_cast<size_t>(ctx.num_candidates()), 0);
+    return summary;
+  }
+  return ctx.Snapshot();
+}
+
 }  // namespace
 
 void ContextManager::Create(const std::string& name, CandidateTable table,
@@ -34,6 +49,11 @@ void ContextManager::Create(const std::string& name, CandidateTable table,
       throw std::invalid_argument("initial ranking is not a permutation");
     }
   }
+  // Lifecycle ops serialize: with a durability hook attached, the floor
+  // write below and the Register must be one indivisible step per name —
+  // two racing CREATEs must not both write floors with only one winning
+  // the map.
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
   {
     // Fail duplicate names before paying for context construction over
     // the whole initial profile (the emplace below re-checks the race).
@@ -49,6 +69,10 @@ void ContextManager::Create(const std::string& name, CandidateTable table,
   shard->ctx =
       std::make_unique<ConsensusContext>(std::move(initial), *shard->table);
   shard->ctx->AttachGate(&shard->gate);
+  // Floor before Register: a table whose durability floor cannot be
+  // written (the hook throws) must never become visible — nothing to
+  // roll back.
+  if (hook_ != nullptr) hook_->OnTableRegistered(name, BuildFloor(*shard));
   Register(name, std::move(shard));
 }
 
@@ -61,10 +85,17 @@ void ContextManager::Register(const std::string& name,
 }
 
 void ContextManager::Drop(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (shards_.erase(name) == 0) {
-    throw std::invalid_argument("no such table: " + name);
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shards_.erase(name) == 0) {
+      throw std::invalid_argument("no such table: " + name);
+    }
   }
+  // After the erase: the table is gone from the map, so the hook can
+  // retire its files without a racing CREATE of the same name slipping a
+  // fresh floor underneath (lifecycle_mu_ covers both).
+  if (hook_ != nullptr) hook_->OnTableDropped(name);
 }
 
 bool ContextManager::Has(const std::string& name) const {
@@ -210,12 +241,23 @@ bool ContextManager::Drain(Shard& shard, bool try_only, size_t* applied,
   }
   size_t total = 0;
   uint64_t batches = 0;
+  // Distinguishes the two throw sites for the durability hook: a throw
+  // with this still false came out of an op's apply, so the just-logged
+  // record describes a mutation that never happened and must be aborted;
+  // a throw after it (from under_gate) leaves every logged op applied.
+  bool ops_applied = false;
   try {
     for (PendingOp& op : backlog) {
       if (op.is_remove) {
+        // Logged immediately before the apply (and for appends, before
+        // AddRankings move-consumes the batch): the log sees exactly the
+        // fold order, and AbortLastOp below can retract the one record
+        // whose apply threw.
+        if (hook_ != nullptr) hook_->LogRemove(shard.name, op.remove_index);
         shard.ctx->RemoveRanking(op.remove_index);
         total += 1;
       } else {
+        if (hook_ != nullptr) hook_->LogAppend(shard.name, op.rankings);
         total += op.rankings.size();
         ++batches;
         shard.ctx->AddRankings(std::move(op.rankings));
@@ -229,8 +271,16 @@ bool ContextManager::Drain(Shard& shard, bool try_only, size_t* applied,
       shard.applied_batches += batches;
       shard.applied_rankings += total;
     }
+    ops_applied = true;
     if (under_gate != nullptr) under_gate();
   } catch (...) {
+    if (hook_ != nullptr) {
+      // Persist the fold's applied prefix while the gate still excludes
+      // other folds; the failed op's record (if any) is retracted first,
+      // so the log keeps describing exactly the applied profile.
+      if (!ops_applied) hook_->AbortLastOp(shard.name);
+      hook_->CommitFold(shard.name);
+    }
     shard.gate.UnlockExclusive();
     // Ops applied before the throw stay applied; the rest of the stolen
     // backlog is dropped. Resync the virtual-size bookkeeping to the
@@ -240,6 +290,10 @@ bool ContextManager::Drain(Shard& shard, bool try_only, size_t* applied,
     NotifyDrained(shard);
     throw;
   }
+  // One durable commit per fold — a whole coalesced backlog costs one
+  // fsync, and it lands before the gate releases, so any state a query
+  // observes after this fold is already recoverable.
+  if (hook_ != nullptr) hook_->CommitFold(shard.name);
   shard.gate.UnlockExclusive();
   NotifyDrained(shard);
   if (applied != nullptr) *applied = total;
@@ -385,8 +439,17 @@ TableStats ContextManager::Stats(const std::string& name) const {
   return StatsFor(*Find(name));
 }
 
-TableSnapshot ContextManager::SnapshotTable(const std::string& name) {
+TableSnapshot ContextManager::SnapshotTable(const std::string& name,
+                                            SnapshotMode mode,
+                                            const SnapshotConsumer& under_gate) {
   std::shared_ptr<Shard> shard = Find(name);
+  const bool retained_profile = shard->ctx->has_base_rankings();
+  if (mode == SnapshotMode::kExact && !retained_profile) {
+    throw std::logic_error(
+        "exact snapshot needs the retained profile, but table '" + name +
+        "' was restored from a summarized snapshot");
+  }
+  const bool exact = mode != SnapshotMode::kSummarized && retained_profile;
   std::optional<TableSnapshot> snapshot;
   // Drain the backlog, then copy the state while the exclusive gate is
   // still held: the snapshot lands exactly on the batch boundary the
@@ -394,7 +457,11 @@ TableSnapshot ContextManager::SnapshotTable(const std::string& name) {
   // underneath it. (Context::Snapshot's own shared acquisition nests
   // inside our exclusive hold, which the gate admits re-entrantly.)
   Drain(*shard, /*try_only=*/false, nullptr, [&] {
-    StreamingSummary summary = shard->ctx->Snapshot();
+    // The exact modes tolerate an empty profile (a fresh table's op-log
+    // floor); kSummarized keeps rejecting it via Context::Snapshot —
+    // restoring zero folded rankings would serve nothing.
+    StreamingSummary summary =
+        exact ? SummaryFor(*shard->ctx) : shard->ctx->Snapshot();
     uint64_t batches = 0;
     uint64_t rankings = 0;
     {
@@ -402,8 +469,11 @@ TableSnapshot ContextManager::SnapshotTable(const std::string& name) {
       batches = shard->applied_batches;
       rankings = shard->applied_rankings;
     }
-    snapshot.emplace(
-        TableSnapshot{*shard->table, std::move(summary), batches, rankings});
+    snapshot.emplace(TableSnapshot{*shard->table, std::move(summary), batches,
+                                   rankings, exact,
+                                   exact ? shard->ctx->base_rankings()
+                                         : std::vector<Ranking>{}});
+    if (under_gate != nullptr) under_gate(*snapshot);
   });
   return std::move(*snapshot);
 }
@@ -413,6 +483,7 @@ TableStats ContextManager::RestoreTable(const std::string& name,
   if (name.empty()) {
     throw std::invalid_argument("table name must be non-empty");
   }
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
   {
     // Same early duplicate check as Create: fail before paying for
     // context construction (Register re-checks the race).
@@ -425,18 +496,44 @@ TableStats ContextManager::RestoreTable(const std::string& name,
   shard->name = name;
   shard->table = std::make_unique<CandidateTable>(std::move(snapshot.table));
   shard->virtual_size = static_cast<size_t>(snapshot.summary.num_rankings);
-  // The summarized constructor validates the summary against the table
-  // (candidate counts, Borda/precedence sizes) — a malformed snapshot
-  // fails loudly here with nothing registered.
-  shard->ctx = std::make_unique<ConsensusContext>(std::move(snapshot.summary),
-                                                  *shard->table);
+  // Either constructor validates the snapshot pieces against the table
+  // (candidate counts, profile/Borda/precedence sizes) — a malformed
+  // snapshot fails loudly here with nothing registered.
+  if (snapshot.retained) {
+    // Exact snapshot: a full retained context, with the summary seeding
+    // its Borda/precedence caches so nothing is recomputed at restore.
+    shard->ctx = std::make_unique<ConsensusContext>(
+        std::move(snapshot.base_rankings), std::move(snapshot.summary),
+        *shard->table);
+  } else {
+    shard->ctx = std::make_unique<ConsensusContext>(
+        std::move(snapshot.summary), *shard->table);
+  }
   shard->ctx->AttachGate(&shard->gate);
   shard->applied_batches = snapshot.applied_batches;
   shard->applied_rankings = snapshot.applied_rankings;
   TableStats stats = StatsFor(*shard);
+  // Floor before Register, exactly like Create — a restored table is a
+  // fresh durability chain (its snapshot file + empty log).
+  if (hook_ != nullptr) hook_->OnTableRegistered(name, BuildFloor(*shard));
   Register(name, std::move(shard));
   return stats;
 }
+
+TableSnapshot ContextManager::BuildFloor(const Shard& shard) {
+  // Not-yet-registered shards only: no gate needed, nothing else can see
+  // the context. SummaryFor admits the empty profile (a fresh CREATE).
+  const bool retained = shard.ctx->has_base_rankings();
+  return TableSnapshot{*shard.table,
+                       SummaryFor(*shard.ctx),
+                       shard.applied_batches,
+                       shard.applied_rankings,
+                       retained,
+                       retained ? shard.ctx->base_rankings()
+                                : std::vector<Ranking>{}};
+}
+
+void ContextManager::SetDurabilityHook(DurabilityHook* hook) { hook_ = hook; }
 
 std::vector<const MethodSpec*> ContextManager::SupportedMethods(
     const std::string& name) const {

@@ -49,6 +49,57 @@ struct TableStats {
   bool summarized = false;
 };
 
+/// How SnapshotTable captures a table's state.
+enum class SnapshotMode {
+  /// Summary only (the v1 behaviour): small, restores as a *summarized*
+  /// context — precedence/Borda methods bit-identical, B2-B4 and REMOVE
+  /// unavailable. Rejects empty profiles (nothing to snapshot).
+  kSummarized,
+  /// Summary plus the exact retained profile: restores as a full
+  /// *retained* context serving everything bit-identically. The floor an
+  /// op log chains from. Empty profiles are allowed (a fresh table's
+  /// floor). Throws std::logic_error on summarized tables, whose profile
+  /// was folded away.
+  kExact,
+  /// kExact when the table retains its profile, kSummarized otherwise —
+  /// what a durability policy wants without knowing the table's flavor.
+  kAuto,
+};
+
+/// Observer the serving layer attaches to persist mutations as they fold
+/// (see serve/durability.h for the op-log implementation).
+///
+/// Fold group — LogAppend / LogRemove / AbortLastOp / CommitFold — is
+/// called from inside Drain while the table's EXCLUSIVE gate is held:
+/// each op is logged immediately before it applies (in fold order),
+/// AbortLastOp fires when the just-logged op's apply threw (drop its
+/// record; earlier ops of the fold stay logged), and exactly one
+/// CommitFold ends every fold, successful or not. Folds of one table are
+/// serialized by the gate, so implementations need no locking against
+/// them. Fold-group calls MUST NOT throw: a durability failure must not
+/// fail the in-memory apply — record it and surface it through health
+/// reporting instead.
+///
+/// Lifecycle group — OnTableRegistered / OnTableDropped — runs under the
+/// manager's lifecycle lock, before the table becomes visible (resp.
+/// after it is gone). `floor` is the table's complete state at
+/// registration (retained tables get an exact floor). OnTableRegistered
+/// MAY throw: the CREATE/RESTORE then fails cleanly with nothing
+/// registered — a table whose durability floor cannot be written is
+/// never served.
+class DurabilityHook {
+ public:
+  virtual ~DurabilityHook() = default;
+  virtual void LogAppend(const std::string& table,
+                         const std::vector<Ranking>& batch) = 0;
+  virtual void LogRemove(const std::string& table, uint64_t index) = 0;
+  virtual void AbortLastOp(const std::string& table) = 0;
+  virtual void CommitFold(const std::string& table) = 0;
+  virtual void OnTableRegistered(const std::string& table,
+                                 const TableSnapshot& floor) = 0;
+  virtual void OnTableDropped(const std::string& table) = 0;
+};
+
 /// Multi-table serving layer: owns N named tables, each backed by one
 /// long-lived ConsensusContext (the sharding unit), a per-shard
 /// ContextGate making the mutation/run exclusivity contract a real
@@ -138,21 +189,36 @@ class ContextManager {
   /// Stats snapshot; does NOT drain the queue.
   TableStats Stats(const std::string& name) const;
 
-  /// Drains the table's mutation queue, then snapshots its summarized
-  /// state (table + StreamingSummary + applied counters) while still
-  /// holding the exclusive gate — so the snapshot always lands exactly on
-  /// a batch boundary and can never tear against a concurrent drain.
-  /// Throws std::invalid_argument for unknown names and empty tables
-  /// (nothing to snapshot).
-  TableSnapshot SnapshotTable(const std::string& name);
+  /// Drains the table's mutation queue, then snapshots its state (table
+  /// + StreamingSummary + applied counters, plus the exact profile for
+  /// the exact modes — see SnapshotMode) while still holding the
+  /// exclusive gate — so the snapshot always lands exactly on a batch
+  /// boundary and can never tear against a concurrent drain. Throws
+  /// std::invalid_argument for unknown names, and for empty tables in
+  /// kSummarized mode (nothing to snapshot; the exact modes allow them).
+  ///
+  /// When `under_gate` is given it runs with the finished snapshot while
+  /// the exclusive gate is STILL HELD: nothing can fold into the table
+  /// until it returns. serve/durability.h uses this to write the
+  /// snapshot file and truncate the op log as one atomic-against-folds
+  /// step — the truncated log provably chains from the snapshot. The
+  /// callback must not call back into this table's serving verbs.
+  using SnapshotConsumer = std::function<void(const TableSnapshot&)>;
+  TableSnapshot SnapshotTable(const std::string& name,
+                              SnapshotMode mode = SnapshotMode::kSummarized,
+                              const SnapshotConsumer& under_gate = nullptr);
 
-  /// Registers a new table from a snapshot: a *summarized* context seeded
-  /// by the snapshot's StreamingSummary, resuming its generation and
-  /// applied-mutation counters. The restored table serves every
-  /// precedence/Borda-based method bit-identically to the snapshotted
-  /// one; methods needing the retained profile (B2-B4) and REMOVE are
-  /// unavailable. Throws std::invalid_argument when the name is empty or
-  /// taken ("table already exists", so clients can retry idempotently).
+  /// Registers a new table from a snapshot, resuming its generation and
+  /// applied-mutation counters. A summarized snapshot yields a
+  /// *summarized* context: every precedence/Borda-based method serves
+  /// bit-identically to the snapshotted table, but methods needing the
+  /// retained profile (B2-B4) and REMOVE are unavailable. An exact
+  /// (retained) snapshot yields a full *retained* context — every method
+  /// and REMOVE work, bit-identically — with the snapshot's summary
+  /// seeding the Borda/precedence caches so the restore skips the
+  /// O(|R| n^2) rebuild. Throws std::invalid_argument when the name is
+  /// empty or taken ("table already exists", so clients can retry
+  /// idempotently).
   TableStats RestoreTable(const std::string& name, TableSnapshot snapshot);
 
   /// The registry methods the named table can currently serve, in paper
@@ -204,6 +270,14 @@ class ContextManager {
   /// multiple listeners off one manager only through one executor.
   using DrainObserver = std::function<void(const std::string& table)>;
   void SetDrainObserver(DrainObserver observer);
+
+  /// Attaches (or clears, with nullptr) the durability hook. NOT
+  /// synchronized against traffic: attach before the manager serves its
+  /// first request and detach only after serving stops — the fold path
+  /// reads the pointer without a lock on purpose, so the no-durability
+  /// configuration pays nothing. The hook is borrowed, not owned, and
+  /// must outlive every fold. See DurabilityHook for the contract.
+  void SetDurabilityHook(DurabilityHook* hook);
 
  private:
   /// One queued mutation: an append batch (rankings non-empty) or a
@@ -277,6 +351,10 @@ class ContextManager {
 
   /// Find that returns nullptr instead of throwing (advisory probes).
   std::shared_ptr<Shard> TryFind(const std::string& name) const;
+  /// The shard's complete current state as a registration floor for the
+  /// durability hook (exact for retained tables, summarized otherwise).
+  /// Callers synchronize: used on not-yet-registered shards only.
+  static TableSnapshot BuildFloor(const Shard& shard);
   /// Clears `shard.draining`, then invokes the drain observer (in that
   /// order — the no-lost-wakeup contract of IsDraining depends on it).
   void NotifyDrained(Shard& shard);
@@ -285,6 +363,16 @@ class ContextManager {
   /// manager-wide critical section after one O(1) lookup.
   mutable std::mutex mu_;
   std::unordered_map<std::string, std::shared_ptr<Shard>> shards_;
+  /// Serializes table lifecycle (Create / RestoreTable / Drop) so the
+  /// durability hook's floor files can never interleave with a racing
+  /// lifecycle op on the same name — e.g. two concurrent CREATEs both
+  /// writing a floor before one loses the Register. Ordered strictly
+  /// outside mu_ (held across the dup-check, the hook call, and
+  /// Register/erase); per-table traffic never touches it.
+  std::mutex lifecycle_mu_;
+  /// Borrowed fold/lifecycle observer; nullptr when durability is off.
+  /// Read without a lock on the fold path (see SetDurabilityHook).
+  DurabilityHook* hook_ = nullptr;
   /// Serializes drain-observer invocations; SetDrainObserver holds it
   /// while swapping, so a swap to nullptr waits out in-flight calls.
   mutable std::mutex observer_mu_;

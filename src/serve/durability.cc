@@ -1,0 +1,527 @@
+#include "serve/durability.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <set>
+#include <stdexcept>
+#include <utility>
+
+#include "data/durable_file.h"
+#include "data/snapshot.h"
+
+namespace manirank::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr char kSnapshotExt[] = ".snap";
+constexpr char kLogExt[] = ".oplog";
+
+/// Profile-generation delta one replayed record contributes: the context
+/// bumps its generation once per ranking added or removed, so an APPEND
+/// of k rankings advances it by k and a REMOVE by 1. This is what makes
+/// the crash window healable: the snapshot's generation always lands on
+/// a cumulative record boundary, so the already-snapshotted prefix of an
+/// un-truncated log can be identified and skipped exactly.
+uint64_t GenerationDelta(const OpRecord& record) {
+  return record.kind == OpRecord::Kind::kRemove
+             ? 1
+             : static_cast<uint64_t>(record.rankings.size());
+}
+
+}  // namespace
+
+bool IsDurableTableName(const std::string& name) {
+  if (name.empty() || name == "." || name == "..") return false;
+  for (const char c : name) {
+    if (c == '/' || c == '\\' || c == '\0') return false;
+  }
+  return true;
+}
+
+DurabilityManager::DurabilityManager(std::string dir, ContextManager* manager)
+    : dir_(std::move(dir)), manager_(manager) {}
+
+DurabilityManager::~DurabilityManager() = default;
+
+std::string DurabilityManager::SnapshotPathFor(
+    const std::string& table) const {
+  return dir_ + "/" + table + kSnapshotExt;
+}
+
+std::string DurabilityManager::LogPathFor(const std::string& table) const {
+  return dir_ + "/" + table + kLogExt;
+}
+
+std::shared_ptr<DurabilityManager::Entry> DurabilityManager::FindEntry(
+    const std::string& table) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(table);
+  return it == entries_.end() ? nullptr : it->second;
+}
+
+std::shared_ptr<DurabilityManager::Entry> DurabilityManager::FindOrCreateEntry(
+    const std::string& table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_ptr<Entry>& slot = entries_[table];
+  if (slot == nullptr) slot = std::make_shared<Entry>();
+  return slot;
+}
+
+void DurabilityManager::MarkUnhealthy(Entry& entry, const std::string& error) {
+  // The writer is CLOSED, not retried: after a failed append/commit the
+  // on-disk log may be missing ops the context already applied, and
+  // appending later folds over that gap would produce a log whose records
+  // all validate yet replay a wrong profile — strictly worse than a log
+  // that is honestly short. The next successful snapshot truncation
+  // starts a fresh chain and restores health.
+  entry.healthy = false;
+  entry.last_error = error;
+  entry.writer.reset();
+}
+
+// --- cold start -------------------------------------------------------------
+
+std::vector<DurabilityManager::RestoredTable> DurabilityManager::ColdStart(
+    std::vector<std::string>* removed_temp_files) {
+  std::error_code ec;
+  if (!fs::is_directory(dir_, ec)) {
+    throw std::runtime_error("durability dir is not a directory: " + dir_);
+  }
+  std::set<std::string> snapshot_tables;
+  std::set<std::string> log_tables;
+  try {
+    fs::directory_iterator it(dir_, ec);
+    if (ec) {
+      throw std::runtime_error("cannot list durability dir " + dir_ + ": " +
+                               ec.message());
+    }
+    for (const fs::directory_iterator end; it != end; it.increment(ec)) {
+      const fs::path path = it->path();
+      const std::string filename = path.filename().string();
+      if (LooksLikeDurableTempFile(filename)) {
+        // A crashed writer's half-written temp: its rename never
+        // happened, so the content is garbage by construction. Skipping
+        // alone would leak one file per crash forever — unlink it.
+        fs::remove(path, ec);
+        if (removed_temp_files != nullptr) {
+          removed_temp_files->push_back(path.string());
+        }
+        continue;
+      }
+      const std::string stem = path.stem().string();
+      if (stem.empty() || !IsDurableTableName(stem)) continue;
+      if (path.extension() == kSnapshotExt) snapshot_tables.insert(stem);
+      if (path.extension() == kLogExt) log_tables.insert(stem);
+    }
+    if (ec) {
+      throw std::runtime_error("error while listing durability dir " + dir_ +
+                               ": " + ec.message());
+    }
+  } catch (const fs::filesystem_error& e) {
+    throw std::runtime_error(std::string("error while listing durability "
+                                         "dir: ") +
+                             e.what());
+  }
+  for (const std::string& table : log_tables) {
+    if (snapshot_tables.count(table) == 0) {
+      // Registration writes the snapshot floor strictly before creating
+      // the log, and Drop removes the log before... the pair is only
+      // ever snapshot-then-log. A log with no snapshot is therefore not
+      // a crash artifact — refuse to guess at its floor.
+      throw std::runtime_error("orphaned op log (no snapshot floor): " +
+                               LogPathFor(table));
+    }
+  }
+  std::vector<RestoredTable> restored;
+  for (const std::string& table : snapshot_tables) {
+    restored.push_back(RestoreOne(table, log_tables.count(table) != 0));
+  }
+  return restored;
+}
+
+DurabilityManager::RestoredTable DurabilityManager::RestoreOne(
+    const std::string& table, bool has_log) {
+  RestoredTable report;
+  report.table = table;
+  TableSnapshot snapshot = ReadTableSnapshotFile(SnapshotPathFor(table));
+  const int n = snapshot.table.num_candidates();
+  const uint64_t floor_generation = snapshot.summary.generation;
+  const uint64_t floor_rankings =
+      static_cast<uint64_t>(snapshot.summary.num_rankings);
+  report.snapshot_rankings = floor_rankings;
+  const TableStats stats = manager_->RestoreTable(table, std::move(snapshot));
+  report.summarized = stats.summarized;
+
+  auto entry = std::make_shared<Entry>();
+  entry->last_truncation = Clock::now();
+  if (!has_log) {
+    // Snapshot without a log: the crash landed between the floor write
+    // and the log creation (or an operator copied a bare snapshot in).
+    // Start a fresh chain from the floor.
+    entry->writer = OpLogWriter::Create(LogPathFor(table), n,
+                                        floor_generation, floor_rankings);
+  } else {
+    OpLogContents contents;
+    // OpenExisting validates the header, finds the clean tail, truncates
+    // any torn record in place, and leaves the writer positioned to
+    // append — the file is read exactly once.
+    entry->writer =
+        OpLogWriter::OpenExisting(LogPathFor(table), n, &contents);
+    report.torn_tail = contents.torn_tail;
+    if (contents.base_generation > floor_generation) {
+      throw std::runtime_error(
+          "op log " + LogPathFor(table) +
+          " chains from generation " +
+          std::to_string(contents.base_generation) +
+          ", newer than its snapshot floor (generation " +
+          std::to_string(floor_generation) + ") — unusable state");
+    }
+    if (contents.base_generation == floor_generation &&
+        contents.base_rankings != floor_rankings) {
+      throw std::runtime_error(
+          "op log " + LogPathFor(table) +
+          " and its snapshot floor disagree on the profile size at "
+          "generation " + std::to_string(floor_generation));
+    }
+    const auto start = Clock::now();
+    // base < floor happens when the crash hit between the snapshot write
+    // and the log truncation: the log's head records are already folded
+    // into the floor. Skip them by cumulative generation — the floor was
+    // taken at a fold boundary, so it always lands between records.
+    uint64_t generation = contents.base_generation;
+    for (OpRecord& record : contents.records) {
+      const uint64_t delta = GenerationDelta(record);
+      if (generation + delta <= floor_generation) {
+        generation += delta;
+        ++report.skipped_records;
+        continue;
+      }
+      if (generation < floor_generation) {
+        throw std::runtime_error(
+            "op log " + LogPathFor(table) +
+            " has a record straddling the snapshot boundary at "
+            "generation " + std::to_string(floor_generation) +
+            " — unusable state");
+      }
+      try {
+        if (record.kind == OpRecord::Kind::kRemove) {
+          manager_->Remove(table, record.remove_index);
+        } else {
+          report.replayed_rankings += record.rankings.size();
+          manager_->Append(table, std::move(record.rankings));
+        }
+        // One Flush per record reproduces the shard's applied_batches /
+        // applied_rankings bookkeeping exactly: each record was one
+        // applied coalesced batch (or one remove) in the original
+        // process, and becomes exactly one here.
+        manager_->Flush(table);
+      } catch (const std::exception& e) {
+        // The record passed its checksum, so this is not a torn tail —
+        // a checksum-valid record the manager rejects means the log does
+        // not describe this snapshot's table. Refuse the whole restore.
+        throw std::runtime_error("op log " + LogPathFor(table) +
+                                 " replay failed at record " +
+                                 std::to_string(report.replayed_records) +
+                                 ": " + e.what());
+      }
+      generation += delta;
+      ++report.replayed_records;
+    }
+    report.replay_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - start)
+            .count();
+    entry->replayed_records = report.replayed_records;
+    entry->replayed_rankings = report.replayed_rankings;
+    entry->replay_ms = report.replay_ms;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_[table] = std::move(entry);
+  }
+  return report;
+}
+
+void DurabilityManager::Attach() {
+  manager_->SetDurabilityHook(this);
+  // Tables already in the manager without durability state (imported via
+  // --restore-dir, or registered before this attach) get a floor now, so
+  // the very first crash after attach is already recoverable.
+  for (const std::string& table : manager_->TableNames()) {
+    if (FindEntry(table) != nullptr) continue;
+    if (!IsDurableTableName(table)) {
+      throw std::runtime_error("table name cannot be persisted: " + table);
+    }
+    SnapshotNow(table);
+  }
+}
+
+// --- snapshot policy --------------------------------------------------------
+
+void DurabilityManager::SnapshotNow(const std::string& table) {
+  if (!IsDurableTableName(table)) {
+    throw std::invalid_argument("table name cannot be persisted: " + table);
+  }
+  manager_->SnapshotTable(
+      table, SnapshotMode::kAuto, [&](const TableSnapshot& snap) {
+        // Both steps run while the table's exclusive gate is held, so no
+        // fold can land between the floor and the truncation. Order is
+        // load-bearing: floor first — a crash after it leaves
+        // {new floor, old log}, which ColdStart heals by skipping the
+        // already-snapshotted log prefix. Truncating first would lose
+        // the un-snapshotted delta outright.
+        WriteTableSnapshotFile(SnapshotPathFor(table), snap);
+        std::unique_ptr<OpLogWriter> writer = OpLogWriter::Create(
+            LogPathFor(table), snap.table.num_candidates(),
+            snap.summary.generation,
+            static_cast<uint64_t>(snap.summary.num_rankings));
+        const std::shared_ptr<Entry> entry = FindOrCreateEntry(table);
+        std::lock_guard<std::mutex> lock(entry->mu);
+        entry->writer = std::move(writer);
+        entry->healthy = true;
+        entry->last_error.clear();
+        ++entry->truncations;
+        entry->last_truncation = Clock::now();
+      });
+}
+
+void DurabilityManager::SetPolicy(const std::string& table,
+                                  const Policy& policy) {
+  const std::shared_ptr<Entry> entry = FindEntry(table);
+  if (entry == nullptr) {
+    throw std::invalid_argument("no durability state for table: " + table);
+  }
+  std::lock_guard<std::mutex> lock(entry->mu);
+  entry->policy = policy;
+}
+
+int64_t DurabilityManager::NextDeadlineMs() const {
+  int64_t best = -1;
+  const Clock::time_point now = Clock::now();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [table, entry] : entries_) {
+    std::lock_guard<std::mutex> elock(entry->mu);
+    if (entry->policy.kind != Policy::Kind::kSeconds) continue;
+    const auto deadline =
+        entry->last_truncation +
+        std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double>(entry->policy.every_seconds));
+    const int64_t ms =
+        std::max<int64_t>(0, std::chrono::duration_cast<std::chrono::milliseconds>(
+                                 deadline - now)
+                                 .count());
+    if (best < 0 || ms < best) best = ms;
+  }
+  return best;
+}
+
+size_t DurabilityManager::RunDuePolicies() {
+  // Collect the due set under the locks, snapshot outside them —
+  // SnapshotNow drains the table under its exclusive gate, which must
+  // never nest inside mu_/entry->mu (the fold path takes them the other
+  // way around).
+  std::vector<std::string> due;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const Clock::time_point now = Clock::now();
+    for (const auto& [table, entry] : entries_) {
+      std::lock_guard<std::mutex> elock(entry->mu);
+      switch (entry->policy.kind) {
+        case Policy::Kind::kOff:
+          break;
+        case Policy::Kind::kSeconds: {
+          const auto elapsed = std::chrono::duration<double>(
+                                   now - entry->last_truncation)
+                                   .count();
+          if (elapsed >= entry->policy.every_seconds) due.push_back(table);
+          break;
+        }
+        case Policy::Kind::kGenerations: {
+          if (entry->writer == nullptr) {
+            // Unhealthy with a policy armed: a truncation is the healing
+            // step, take it at the next opportunity.
+            due.push_back(table);
+            break;
+          }
+          uint64_t generation = 0;
+          size_t rankings = 0;
+          try {
+            const TableStats stats = manager_->Stats(table);
+            generation = stats.generation;
+            rankings = stats.num_rankings;
+          } catch (const std::exception&) {
+            break;  // dropped concurrently; the entry is on its way out
+          }
+          (void)rankings;
+          if (generation >= entry->writer->base_generation() +
+                                entry->policy.every_generations) {
+            due.push_back(table);
+          }
+          break;
+        }
+      }
+    }
+  }
+  size_t snapshotted = 0;
+  for (const std::string& table : due) {
+    try {
+      SnapshotNow(table);
+      ++snapshotted;
+    } catch (const std::exception& e) {
+      // Policy work must never take the serving loop down. Record the
+      // failure; the policy stays armed and retries at the next
+      // evaluation, and the old chain remains recoverable.
+      const std::shared_ptr<Entry> entry = FindEntry(table);
+      if (entry != nullptr) {
+        std::lock_guard<std::mutex> lock(entry->mu);
+        entry->last_error = e.what();
+      }
+    }
+  }
+  return snapshotted;
+}
+
+std::optional<DurabilityManager::TableDurability> DurabilityManager::StatsFor(
+    const std::string& table) const {
+  const std::shared_ptr<Entry> entry = FindEntry(table);
+  if (entry == nullptr) return std::nullopt;
+  TableDurability out;
+  std::lock_guard<std::mutex> lock(entry->mu);
+  if (entry->writer != nullptr) {
+    out.log_records = entry->writer->records();
+    out.log_bytes = entry->writer->bytes();
+  }
+  out.truncations = entry->truncations;
+  out.replayed_records = entry->replayed_records;
+  out.replayed_rankings = entry->replayed_rankings;
+  out.replay_ms = entry->replay_ms;
+  out.healthy = entry->healthy;
+  out.policy = entry->policy;
+  return out;
+}
+
+std::string DurabilityManager::MetricsSuffix() const {
+  uint64_t tables = 0;
+  uint64_t records = 0;
+  uint64_t bytes = 0;
+  uint64_t truncations = 0;
+  uint64_t replayed = 0;
+  uint64_t unhealthy = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [table, entry] : entries_) {
+      std::lock_guard<std::mutex> elock(entry->mu);
+      ++tables;
+      if (entry->writer != nullptr) {
+        records += entry->writer->records();
+        bytes += entry->writer->bytes();
+      }
+      truncations += entry->truncations;
+      replayed += entry->replayed_records;
+      if (!entry->healthy) ++unhealthy;
+    }
+  }
+  std::string out;
+  out += " oplog_tables=" + std::to_string(tables);
+  out += " oplog_records=" + std::to_string(records);
+  out += " oplog_bytes=" + std::to_string(bytes);
+  out += " oplog_truncations=" + std::to_string(truncations);
+  out += " oplog_replayed_records=" + std::to_string(replayed);
+  out += " oplog_unhealthy=" + std::to_string(unhealthy);
+  return out;
+}
+
+// --- DurabilityHook ---------------------------------------------------------
+
+void DurabilityManager::LogAppend(const std::string& table,
+                                  const std::vector<Ranking>& batch) {
+  const std::shared_ptr<Entry> entry = FindEntry(table);
+  if (entry == nullptr) return;
+  std::lock_guard<std::mutex> lock(entry->mu);
+  if (entry->writer == nullptr) return;  // unhealthy: chain already broken
+  try {
+    entry->writer->BufferAppend(batch);
+  } catch (const std::exception& e) {
+    MarkUnhealthy(*entry, e.what());
+  }
+}
+
+void DurabilityManager::LogRemove(const std::string& table, uint64_t index) {
+  const std::shared_ptr<Entry> entry = FindEntry(table);
+  if (entry == nullptr) return;
+  std::lock_guard<std::mutex> lock(entry->mu);
+  if (entry->writer == nullptr) return;
+  try {
+    entry->writer->BufferRemove(index);
+  } catch (const std::exception& e) {
+    MarkUnhealthy(*entry, e.what());
+  }
+}
+
+void DurabilityManager::AbortLastOp(const std::string& table) {
+  const std::shared_ptr<Entry> entry = FindEntry(table);
+  if (entry == nullptr) return;
+  std::lock_guard<std::mutex> lock(entry->mu);
+  if (entry->writer == nullptr) return;
+  entry->writer->AbortLast();
+}
+
+void DurabilityManager::CommitFold(const std::string& table) {
+  const std::shared_ptr<Entry> entry = FindEntry(table);
+  if (entry == nullptr) return;
+  std::lock_guard<std::mutex> lock(entry->mu);
+  if (entry->writer == nullptr) return;
+  try {
+    entry->writer->Commit();
+  } catch (const std::exception& e) {
+    MarkUnhealthy(*entry, e.what());
+  }
+}
+
+void DurabilityManager::OnTableRegistered(const std::string& table,
+                                          const TableSnapshot& floor) {
+  if (!IsDurableTableName(table)) {
+    throw std::invalid_argument("table name cannot be persisted: " + table);
+  }
+  const std::string snap_path = SnapshotPathFor(table);
+  const std::string log_path = LogPathFor(table);
+  try {
+    // Floor first, log second — the only order ColdStart can heal (a
+    // lone snapshot gets a fresh log; a lone log is unusable).
+    WriteTableSnapshotFile(snap_path, floor);
+    auto entry = std::make_shared<Entry>();
+    entry->writer = OpLogWriter::Create(
+        log_path, floor.table.num_candidates(), floor.summary.generation,
+        static_cast<uint64_t>(floor.summary.num_rankings));
+    entry->last_truncation = Clock::now();
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_[table] = std::move(entry);
+  } catch (...) {
+    // The CREATE/RESTORE is about to fail: leave no ghost files behind,
+    // or the next cold start would resurrect a table the client was told
+    // does not exist.
+    std::remove(snap_path.c_str());
+    std::remove(log_path.c_str());
+    throw;
+  }
+}
+
+void DurabilityManager::OnTableDropped(const std::string& table) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.erase(table);
+  }
+  // Retire the files so a restart cannot resurrect the dropped table.
+  // Unlinks are made durable the same way the writes were: parent-dir
+  // fsync (best-effort — a failure here means the drop may reappear
+  // after a crash, which DROP-again handles).
+  std::remove(SnapshotPathFor(table).c_str());
+  std::remove(LogPathFor(table).c_str());
+  try {
+    FsyncParentDir(SnapshotPathFor(table));
+  } catch (const std::exception&) {
+  }
+}
+
+}  // namespace manirank::serve

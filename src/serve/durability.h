@@ -1,0 +1,196 @@
+#ifndef MANIRANK_SERVE_DURABILITY_H_
+#define MANIRANK_SERVE_DURABILITY_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "data/op_log.h"
+#include "serve/context_manager.h"
+
+namespace manirank::serve {
+
+/// Exact-profile durability for a ContextManager: every table gets a
+/// snapshot *floor* (`<dir>/<table>.snap`, format v2 — exact for
+/// retained tables) plus an append-only op log (`<dir>/<table>.oplog`)
+/// holding the delta folded since that floor. Implements
+/// ContextManager::DurabilityHook, so mutations are logged at exact fold
+/// boundaries (one fsync per fold); a cold start restores floor + replay
+/// and serves bit-identically to the process that died — including after
+/// a kill -9 mid-stream, where the torn tail of the log is detected,
+/// reported, and truncated to the last clean record.
+///
+/// Chain invariant: the log's header binds it to the floor it chains
+/// from (base generation / ranking count). A snapshot truncation writes
+/// the new floor FIRST and recreates the log second, both while the
+/// table's exclusive gate is held — so a crash anywhere in the window
+/// leaves either {old floor, old log} or {new floor, old log} or
+/// {new floor, new log}; the middle state is healed at cold start by
+/// skipping the already-snapshotted prefix of the log (record generation
+/// deltas make the boundary exact).
+///
+/// Failure policy: a log write/fsync failure marks the table UNHEALTHY —
+/// serving continues (in-memory state is authoritative), the log is
+/// closed (a gap must never be appended over — valid-looking records
+/// after missing ops would replay a wrong profile), STATS surfaces
+/// `oplog_healthy 0`, and the next successful snapshot truncation starts
+/// a fresh chain and restores health. Ops folded while unhealthy are
+/// recoverable only from that next snapshot onward.
+///
+/// Threading: fold-group hook calls arrive serialized per table (under
+/// the table's exclusive gate); everything else (policies, stats,
+/// metrics) may be called from any thread. Lock order is
+/// gate -> map mu_ -> entry mu; no call here ever takes a lock and then
+/// re-enters a serving verb except SnapshotNow, which enters
+/// SnapshotTable *before* taking any DurabilityManager lock.
+class DurabilityManager : public DurabilityHook {
+ public:
+  /// Automatic snapshot-truncation policy for one table
+  /// (SNAPSHOT-POLICY verb). kGenerations triggers after the table's
+  /// profile generation advances `every_generations` past the current
+  /// floor; kSeconds after `every_seconds` of wall time since the last
+  /// truncation.
+  struct Policy {
+    enum class Kind { kOff, kGenerations, kSeconds };
+    Kind kind = Kind::kOff;
+    uint64_t every_generations = 0;
+    double every_seconds = 0.0;
+  };
+
+  /// STATS / METRICS view of one table's durability state.
+  struct TableDurability {
+    uint64_t log_records = 0;   ///< committed records in the current log
+    uint64_t log_bytes = 0;     ///< durable bytes in the current log
+    uint64_t truncations = 0;   ///< snapshot truncations since startup
+    uint64_t replayed_records = 0;   ///< records replayed at cold start
+    uint64_t replayed_rankings = 0;  ///< rankings inside those records
+    double replay_ms = 0.0;          ///< cold-start replay wall time
+    bool healthy = true;
+    Policy policy;
+  };
+
+  /// One table's cold-start outcome (ColdStart's report).
+  struct RestoredTable {
+    std::string table;
+    bool summarized = false;  ///< restored without the retained profile
+    uint64_t snapshot_rankings = 0;
+    uint64_t replayed_records = 0;
+    uint64_t replayed_rankings = 0;
+    uint64_t skipped_records = 0;  ///< already inside the floor (crash window)
+    double replay_ms = 0.0;
+    /// Non-empty when the log ended in a torn (partially written) record:
+    /// the description of what was dropped. The table still restored —
+    /// from the clean prefix.
+    std::string torn_tail;
+  };
+
+  /// `dir` must exist and be writable; the manager is borrowed and must
+  /// outlive this object.
+  DurabilityManager(std::string dir, ContextManager* manager);
+  ~DurabilityManager() override;
+
+  /// Scans `dir` and restores every table found (snapshot floor, then
+  /// op-log replay) into the manager. Leftover durable-write temp files
+  /// from a crashed writer (`*.tmp.<pid>.<seq>`) are unlinked and
+  /// skipped — reported through `removed_temp_files` when given. Must
+  /// run BEFORE Attach (the hook must not observe its own replay);
+  /// throws std::runtime_error on unusable state — an orphaned op log
+  /// with no snapshot, a log that does not chain from its snapshot, or
+  /// a corrupt (not merely torn) file. A torn log tail is NOT an error:
+  /// it is truncated, reported in the result, and recovery proceeds
+  /// from the clean prefix.
+  std::vector<RestoredTable> ColdStart(
+      std::vector<std::string>* removed_temp_files = nullptr);
+
+  /// Registers this object as the manager's durability hook and writes
+  /// floors for any manager tables that do not have one yet (tables
+  /// imported via --restore-dir before durability engaged). Call once,
+  /// after ColdStart, before serving starts.
+  void Attach();
+
+  /// Sets the automatic truncation policy for a durable table. Throws
+  /// std::invalid_argument for tables without durability state.
+  void SetPolicy(const std::string& table, const Policy& policy);
+
+  /// Snapshots the table now and truncates its log (one exclusive-gate
+  /// hold; see class comment for the crash window). Propagates
+  /// snapshot/serving errors; a failure leaves the old chain intact and
+  /// still recoverable.
+  void SnapshotNow(const std::string& table);
+
+  /// Milliseconds until the earliest due time-based policy, 0 when one
+  /// is already due, -1 when none is armed. Event loops bound their poll
+  /// timeout with this — the policy timer runs off the serving loop's
+  /// clock, no extra threads.
+  int64_t NextDeadlineMs() const;
+
+  /// Evaluates every table's policy and snapshots the due ones. Returns
+  /// how many tables were snapshotted. Per-table failures are recorded
+  /// (the policy re-arms) and never propagate.
+  size_t RunDuePolicies();
+
+  /// Durability stats for one table; nullopt when the table has none.
+  std::optional<TableDurability> StatsFor(const std::string& table) const;
+
+  /// Aggregate " key=value" tokens (oplog_* namespace, leading space)
+  /// appended to the single-line METRICS response.
+  std::string MetricsSuffix() const;
+
+  const std::string& dir() const { return dir_; }
+
+  // --- DurabilityHook (fold group called under the table's gate) ------
+  void LogAppend(const std::string& table,
+                 const std::vector<Ranking>& batch) override;
+  void LogRemove(const std::string& table, uint64_t index) override;
+  void AbortLastOp(const std::string& table) override;
+  void CommitFold(const std::string& table) override;
+  void OnTableRegistered(const std::string& table,
+                         const TableSnapshot& floor) override;
+  void OnTableDropped(const std::string& table) override;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Entry {
+    mutable std::mutex mu;
+    /// Null while unhealthy (closed on write failure; see class comment).
+    std::unique_ptr<OpLogWriter> writer;
+    Policy policy;
+    bool healthy = true;
+    std::string last_error;
+    uint64_t truncations = 0;
+    uint64_t replayed_records = 0;
+    uint64_t replayed_rankings = 0;
+    double replay_ms = 0.0;
+    Clock::time_point last_truncation;
+  };
+
+  std::string SnapshotPathFor(const std::string& table) const;
+  std::string LogPathFor(const std::string& table) const;
+  std::shared_ptr<Entry> FindEntry(const std::string& table) const;
+  /// Marks the entry unhealthy and closes its writer (fold path).
+  static void MarkUnhealthy(Entry& entry, const std::string& error);
+  /// Restores one scanned table (ColdStart body).
+  RestoredTable RestoreOne(const std::string& table, bool has_log);
+  /// Entry lookup that inserts a fresh entry when absent.
+  std::shared_ptr<Entry> FindOrCreateEntry(const std::string& table);
+
+  const std::string dir_;
+  ContextManager* const manager_;
+  mutable std::mutex mu_;  ///< guards entries_ (the map only)
+  std::unordered_map<std::string, std::shared_ptr<Entry>> entries_;
+};
+
+/// True when `name` can be used as a durability file stem: non-empty, no
+/// path separators or NUL, not "." / "..". Tables failing this cannot be
+/// created while durability is attached (the floor write refuses).
+bool IsDurableTableName(const std::string& name);
+
+}  // namespace manirank::serve
+
+#endif  // MANIRANK_SERVE_DURABILITY_H_

@@ -19,6 +19,8 @@
 #include <sstream>
 #include <utility>
 
+#include "serve/durability.h"
+
 namespace manirank::serve {
 namespace {
 
@@ -203,6 +205,8 @@ void ThreadPerConnectionServer::AcceptLoop() {
 
 void ThreadPerConnectionServer::Connection(int fd) {
   Dispatcher dispatcher(manager_);
+  // No event loop to run the policy timer off — tick inline per request.
+  dispatcher.set_durability(options_.durability, /*inline_policy_eval=*/true);
   std::string buffer;
   char chunk[4096];
   bool peer_gone = false;
@@ -709,6 +713,20 @@ void ServeExecutor::LoopMain(IoLoop& loop) {
     } else {
       timeout_ms = -1;
     }
+    if (loop.index == 0 && options_.durability != nullptr && !stopping) {
+      // Loop 0 doubles as the snapshot-policy timer: bound its poll
+      // timeout by the earliest SECONDS deadline and hand due work to
+      // the pool — the loop thread itself never snapshots (a truncation
+      // drains a whole table under its exclusive gate).
+      const int64_t due_ms = options_.durability->NextDeadlineMs();
+      if (due_ms == 0) {
+        SchedulePolicyEval();
+      } else if (due_ms > 0) {
+        const int bounded =
+            static_cast<int>(std::min<int64_t>(due_ms, 60 * 1000));
+        if (timeout_ms < 0 || bounded < timeout_ms) timeout_ms = bounded;
+      }
+    }
     const int rc = loop.poller->Wait(&events, timeout_ms);
     if (rc < 0) break;  // poller failed: abandon ship (teardown below)
     for (const PolledEvent& event : events) {
@@ -795,6 +813,10 @@ void ServeExecutor::AcceptReady(IoLoop& loop) {
     auto conn = std::make_shared<Conn>(fd, manager_);
     conn->loop = &loop;
     conn->dispatcher.set_metrics_provider([this] { return MetricsResponse(); });
+    // The executor drives RunDuePolicies from loop 0's poll timeout and
+    // the drain observer — never inline on a loop thread.
+    conn->dispatcher.set_durability(options_.durability,
+                                    /*inline_policy_eval=*/false);
     // Register both directions under epoll (edge-triggered, set once);
     // the poll backend starts read-only and maintains interest per pass.
     if (!loop.poller->Add(fd, true, loop.et, conn.get())) {
@@ -1335,11 +1357,41 @@ void ServeExecutor::NotifyLoopLocked(const std::shared_ptr<Conn>& conn) {
 }
 
 void ServeExecutor::OnDrainFinished(const std::string& table) {
-  std::lock_guard<std::mutex> lock(sched_mu_);
-  const auto it = parked_.find(table);
-  if (it == parked_.end()) return;
-  for (Request* node : it->second) EnqueueReadyLocked(node);
-  parked_.erase(it);
+  {
+    std::lock_guard<std::mutex> lock(sched_mu_);
+    const auto it = parked_.find(table);
+    if (it != parked_.end()) {
+      for (Request* node : it->second) EnqueueReadyLocked(node);
+      parked_.erase(it);
+    }
+  }
+  // A finished drain is exactly when a GENERATIONS policy can newly come
+  // due — the generation only moves at fold boundaries. Outside
+  // sched_mu_: SchedulePolicyEval touches the pool, not the scheduler.
+  if (options_.durability != nullptr && !stopping_.load()) {
+    SchedulePolicyEval();
+  }
+}
+
+void ServeExecutor::SchedulePolicyEval() {
+  if (options_.durability == nullptr || pool_ == nullptr) return;
+  if (policy_eval_scheduled_.exchange(true)) return;
+  const bool submitted = pool_->Submit([this] {
+    try {
+      options_.durability->RunDuePolicies();
+    } catch (...) {
+      // Per-table failures are already swallowed inside; nothing else
+      // may escape onto a pool worker.
+    }
+    policy_eval_scheduled_.store(false);
+    // Re-check after the clear: a deadline that came due during the pass
+    // (or a drain that raced the flag) must not wait for the next loop-0
+    // poll tick.
+    if (!stopping_.load() && options_.durability->NextDeadlineMs() == 0) {
+      SchedulePolicyEval();
+    }
+  });
+  if (!submitted) policy_eval_scheduled_.store(false);  // pool stopping
 }
 
 void ServeExecutor::FlushConn(const std::shared_ptr<Conn>& conn) {
@@ -1443,6 +1495,9 @@ std::string ServeExecutor::MetricsResponse() const {
         << ",inline:" << s.inline_served << ",bytes_in:" << s.bytes_in
         << ",bytes_out:" << s.bytes_out << ",stalls:" << s.backpressure_stalls
         << ",parked:" << s.parked_drains << ",emfile:" << s.emfile_rejected;
+  }
+  if (options_.durability != nullptr) {
+    out << options_.durability->MetricsSuffix();
   }
   return out.str();
 }

@@ -124,6 +124,8 @@
 
 namespace manirank::serve {
 
+class DurabilityManager;
+
 /// Longest admissible request line. Generous for big APPEND batches, but
 /// a client streaming bytes with no newline must not grow server memory
 /// without bound.
@@ -159,6 +161,13 @@ struct ServerOptions {
   /// Announce "listening on 127.0.0.1:<port>" to this stream (nullptr =
   /// quiet; serve_main passes stderr).
   std::ostream* log = nullptr;
+  /// Optional durability layer (serve/durability.h), borrowed. Enables
+  /// SNAPSHOT-POLICY on every connection, appends oplog_* tokens to
+  /// METRICS, and — on the ServeExecutor — drives the time-based policy
+  /// timer from event loop 0's poll timeout and re-evaluates generation
+  /// policies after each finished drain; the thread-per-connection
+  /// server instead ticks policies inline after each request.
+  DurabilityManager* durability = nullptr;
 };
 
 /// The pre-executor serving model: one detached thread per accepted
@@ -289,6 +298,12 @@ class ServeExecutor {
   /// (deduplicated) and wake the loop.
   void NotifyLoopLocked(const std::shared_ptr<Conn>& conn);
   void OnDrainFinished(const std::string& table);
+  /// Dispatches one DurabilityManager::RunDuePolicies pass to the worker
+  /// pool, deduplicated: at most one pass is queued/running at a time
+  /// (policy snapshots drain whole tables — stacking them would absorb
+  /// the pool). The runner re-checks for newly due work after clearing
+  /// the flag, so a deadline arriving mid-pass is never lost.
+  void SchedulePolicyEval();
   /// Any-thread response flusher: two-buffer scheme, so the send()
   /// syscalls run under the connection's write lock only — never under
   /// the global scheduler lock. Lock order: write_mu before sched_mu_.
@@ -340,6 +355,8 @@ class ServeExecutor {
 
   std::atomic<uint64_t> requests_served_{0};
   std::atomic<uint64_t> requests_parked_{0};
+  /// SchedulePolicyEval dedup flag (see its comment).
+  std::atomic<bool> policy_eval_scheduled_{false};
 };
 
 }  // namespace manirank::serve

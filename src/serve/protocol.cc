@@ -14,6 +14,7 @@
 #include "data/csv.h"
 #include "data/snapshot.h"
 #include "data/synthetic.h"
+#include "serve/durability.h"
 
 namespace manirank::serve {
 namespace {
@@ -226,9 +227,10 @@ std::string HandleRun(ContextManager* manager,
 
 std::string HandleSnapshot(ContextManager* manager,
                            const std::vector<std::string>& tokens) {
-  if (tokens.size() != 3) {
-    return Err("bad-request", "SNAPSHOT <table> <path>");
+  if (tokens.size() != 3 && !(tokens.size() == 4 && tokens[3] == "EXACT")) {
+    return Err("bad-request", "SNAPSHOT <table> <path> [EXACT]");
   }
+  const bool exact = tokens.size() == 4;
   // Probe the write target BEFORE draining: the common failure — an
   // unwritable path — must reject with zero state change, keeping the
   // ERR-implies-untouched contract. Only a failure of the stream itself
@@ -237,7 +239,9 @@ std::string HandleSnapshot(ContextManager* manager,
   if (!ProbeSnapshotWritable(tokens[2])) {
     return Err("io", "cannot open snapshot for writing: " + tokens[2]);
   }
-  const TableSnapshot snapshot = manager->SnapshotTable(tokens[1]);
+  const TableSnapshot snapshot = manager->SnapshotTable(
+      tokens[1],
+      exact ? SnapshotMode::kExact : SnapshotMode::kSummarized);
   try {
     WriteTableSnapshotFile(tokens[2], snapshot);
   } catch (const std::runtime_error& e) {
@@ -247,8 +251,63 @@ std::string HandleSnapshot(ContextManager* manager,
   os << "OK SNAPSHOT " << tokens[1]
      << " rankings=" << snapshot.summary.num_rankings
      << " generation=" << snapshot.summary.generation
-     << " precedence=" << (snapshot.summary.precedence != nullptr ? 1 : 0)
-     << " path=" << tokens[2];
+     << " precedence=" << (snapshot.summary.precedence != nullptr ? 1 : 0);
+  if (exact) os << " exact=1";
+  os << " path=" << tokens[2];
+  return os.str();
+}
+
+std::string HandleSnapshotPolicy(ContextManager* manager,
+                                 DurabilityManager* durability,
+                                 const std::vector<std::string>& tokens) {
+  static constexpr char kUsage[] =
+      "SNAPSHOT-POLICY <table> GENERATIONS <n> | SECONDS <s> | OFF";
+  if (tokens.size() < 3) return Err("bad-request", kUsage);
+  if (durability == nullptr) {
+    return Err("unavailable",
+               "SNAPSHOT-POLICY requires the --log-dir durability layer");
+  }
+  const std::string& table = tokens[1];
+  const std::string& mode = tokens[2];
+  DurabilityManager::Policy policy;
+  if (mode == "OFF") {
+    if (tokens.size() != 3) {
+      return Err("bad-request", "SNAPSHOT-POLICY <table> OFF");
+    }
+  } else if (mode == "GENERATIONS") {
+    if (tokens.size() != 4) {
+      return Err("bad-request", "SNAPSHOT-POLICY <table> GENERATIONS <n>");
+    }
+    const auto n = ParseLong(tokens[3]);
+    if (!n || *n < 1) {
+      return Err("bad-request",
+                 "GENERATIONS needs a positive integer, got '" + tokens[3] +
+                     "'");
+    }
+    policy.kind = DurabilityManager::Policy::Kind::kGenerations;
+    policy.every_generations = static_cast<uint64_t>(*n);
+  } else if (mode == "SECONDS") {
+    if (tokens.size() != 4) {
+      return Err("bad-request", "SNAPSHOT-POLICY <table> SECONDS <s>");
+    }
+    const auto s = ParseDouble(tokens[3]);
+    // `> 0` also rejects NaN.
+    if (!s || !(*s > 0)) {
+      return Err("bad-request",
+                 "SECONDS needs a positive number, got '" + tokens[3] + "'");
+    }
+    policy.kind = DurabilityManager::Policy::Kind::kSeconds;
+    policy.every_seconds = *s;
+  } else {
+    return Err("bad-request", kUsage);
+  }
+  if (!manager->Has(table)) {
+    return Err("no-such-table", "no such table: " + table);
+  }
+  durability->SetPolicy(table, policy);
+  std::ostringstream os;
+  os << "OK SNAPSHOT-POLICY " << table << ' ' << mode;
+  if (tokens.size() == 4) os << ' ' << tokens[3];
   return os.str();
 }
 
@@ -279,6 +338,20 @@ std::string HandleRestore(ContextManager* manager,
 }  // namespace
 
 std::string Dispatcher::Handle(const std::string& line) {
+  std::string response = HandleRequest(line);
+  // Single-threaded front ends (stdin, script replay, thread-per-conn)
+  // have no event loop to run the snapshot-policy timer, so they
+  // piggyback it on request handling: any due policy fires between
+  // requests — which is also the only instant the response stream is
+  // quiet. The executor front end passes inline_policy_eval=false and
+  // drives RunDuePolicies from its loops instead.
+  if (durability_ != nullptr && inline_policy_eval_ && !response.empty()) {
+    durability_->RunDuePolicies();
+  }
+  return response;
+}
+
+std::string Dispatcher::HandleRequest(const std::string& line) {
   const std::vector<std::string> tokens = Tokenize(line);
   if (tokens.empty() || tokens[0][0] == '#') return "";
   const std::string& verb = tokens[0];
@@ -287,6 +360,9 @@ std::string Dispatcher::Handle(const std::string& line) {
     if (verb == "APPEND") return HandleAppend(manager_, tokens);
     if (verb == "RUN") return HandleRun(manager_, tokens);
     if (verb == "SNAPSHOT") return HandleSnapshot(manager_, tokens);
+    if (verb == "SNAPSHOT-POLICY") {
+      return HandleSnapshotPolicy(manager_, durability_, tokens);
+    }
     if (verb == "RESTORE") return HandleRestore(manager_, tokens);
     if (verb == "REMOVE") {
       if (tokens.size() != 3) {
@@ -319,6 +395,17 @@ std::string Dispatcher::Handle(const std::string& line) {
          << " runs=" << stats.runs
          << " dropped_removes=" << stats.dropped_removes
          << " summarized=" << (stats.summarized ? 1 : 0);
+      if (durability_ != nullptr) {
+        const auto d = durability_->StatsFor(tokens[1]);
+        if (d.has_value()) {
+          os << " oplog_records=" << d->log_records
+             << " oplog_bytes=" << d->log_bytes
+             << " oplog_truncations=" << d->truncations
+             << " oplog_replayed=" << d->replayed_records
+             << " oplog_replay_ms=" << d->replay_ms
+             << " oplog_healthy=" << (d->healthy ? 1 : 0);
+        }
+      }
       return os.str();
     }
     if (verb == "FLUSH") {
@@ -374,6 +461,13 @@ std::string Dispatcher::Handle(const std::string& line) {
     return Err("bad-request", what);
   } catch (const std::logic_error& e) {
     return Err("conflict", e.what());
+  } catch (const std::runtime_error& e) {
+    // File-system and durability failures surfacing through a serving
+    // verb (snapshot write, op-log truncation, replay) are I/O trouble,
+    // not a malformed request — a client retrying verbatim may well
+    // succeed once the disk recovers. Before this branch existed they
+    // fell through to bad-request and misdirected the retry logic.
+    return Err("io", e.what());
   } catch (const std::exception& e) {
     return Err("bad-request", e.what());
   }

@@ -26,7 +26,8 @@ namespace manirank::serve {
 ///   RUN      <table> <method|all> [DELTA <d>] [LIMIT <seconds>]
 ///   STATS    <table>
 ///   FLUSH    <table>
-///   SNAPSHOT <table> <path>
+///   SNAPSHOT <table> <path> [EXACT]
+///   SNAPSHOT-POLICY <table> GENERATIONS <n> | SECONDS <s> | OFF
 ///   RESTORE  <table> <path>
 ///   DROP     <table>
 ///   TABLES
@@ -49,7 +50,19 @@ namespace manirank::serve {
 /// table is *summarized*: it serves every precedence/Borda-based method
 /// bit-identically to the snapshotted one, but rejects REMOVE and the
 /// base-ranking baselines (B2-B4), and "RUN <table> all" sweeps only the
-/// supported subset.
+/// supported subset. With the EXACT token the snapshot additionally
+/// carries the retained profile (format v2): restoring it yields a full
+/// retained table serving all eight methods and REMOVE, bit-identically.
+/// EXACT is rejected (ERR conflict) on tables that are themselves
+/// summarized — their profile was folded away.
+///
+/// SNAPSHOT-POLICY arms per-table automatic snapshot truncation of the
+/// durability op log (serve/durability.h): GENERATIONS <n> truncates
+/// after the profile generation advances n past the current floor,
+/// SECONDS <s> after s seconds of wall time since the last truncation
+/// (fractions allowed), OFF disarms. Requires the --log-dir durability
+/// layer; front ends without it answer "ERR unavailable:". The timer
+/// runs off the serving loop's own clock — no extra threads.
 ///
 /// Error codes: unknown-verb, bad-request (arity / malformed numbers),
 /// no-such-table, table-exists (CREATE/RESTORE onto a taken name — a
@@ -69,6 +82,12 @@ namespace manirank::serve {
 /// ServeExecutor::MetricsResponse); it answers "ERR unavailable:" on
 /// front ends without an executor (stdin / --serve replay / --threaded),
 /// which have no event loops to report on.
+///
+/// With durability attached, STATS gains oplog_* fields (committed log
+/// records/bytes, truncations, cold-start replay counters, health) for
+/// tables with durability state.
+class DurabilityManager;
+
 class Dispatcher {
  public:
   explicit Dispatcher(ContextManager* manager) : manager_(manager) {}
@@ -96,9 +115,28 @@ class Dispatcher {
     metrics_provider_ = std::move(provider);
   }
 
+  /// Attaches the durability layer: enables SNAPSHOT-POLICY, adds
+  /// oplog_* fields to STATS. With `inline_policy_eval`, due snapshot
+  /// policies are evaluated after each handled request — the right mode
+  /// for single-threaded front ends (stdin, script replay) that have no
+  /// event loop to run the timer; the executor passes false and drives
+  /// RunDuePolicies from its loops instead. Must be set before the
+  /// dispatcher handles requests (not thread-safe against a concurrent
+  /// Handle). The durability object is borrowed, not owned.
+  void set_durability(DurabilityManager* durability,
+                      bool inline_policy_eval) {
+    durability_ = durability;
+    inline_policy_eval_ = inline_policy_eval;
+  }
+
  private:
+  /// The whole verb switch — Handle minus the inline policy tick.
+  std::string HandleRequest(const std::string& line);
+
   ContextManager* manager_;
   std::function<std::string()> metrics_provider_;
+  DurabilityManager* durability_ = nullptr;
+  bool inline_policy_eval_ = false;
 };
 
 /// Scheduling metadata an async front end needs about one request line —
@@ -112,7 +150,9 @@ class Dispatcher {
 ///    state — and may execute concurrently.
 ///  - A `barrier` request (namespace verbs CREATE / RESTORE / DROP /
 ///    TABLES, SNAPSHOT — whose destination path is a shared resource
-///    the table key cannot order — plus anything unparseable) orders
+///    the table key cannot order — SNAPSHOT-POLICY, whose truncation
+///    side effects span the durability dir, plus anything unparseable)
+///    orders
 ///    against EVERY other request on the connection: it runs alone,
 ///    after all predecessors and before all successors.
 ///  - A `draining` verb (RUN / FLUSH) may block for a whole exclusive

@@ -19,6 +19,12 @@
 //                                       connection (the pre-executor model)
 //   manirank_serve --restore-dir DIR    cold start: restore every *.snap table
 //                                       snapshot in DIR before serving
+//   manirank_serve --log-dir DIR        exact-profile durability: cold-start
+//                                       every DIR/<table>.snap + .oplog pair
+//                                       (snapshot floor, then op-log replay —
+//                                       bit-exact even after kill -9), then
+//                                       log every fold to DIR and enable the
+//                                       SNAPSHOT-POLICY verb
 //   manirank_serve --echo               echo each request before its response
 //
 // The request grammar is documented in serve/protocol.h (CREATE / APPEND /
@@ -33,6 +39,15 @@
 // profile, so a restarted server resumes serving where SNAPSHOT left off.
 // A corrupt or unreadable snapshot aborts startup loudly (exit 2) rather
 // than silently serving a partial table set.
+//
+// --log-dir layers exact durability on top (serve/durability.h): ops are
+// appended to DIR/<table>.oplog at fold boundaries (one fsync per fold)
+// and a restart replays snapshot floor + log tail into a bit-identical
+// table — a torn log tail from a crash is truncated and reported, a
+// corrupt or non-chaining file aborts startup (exit 2). It combines with
+// --restore-dir (the snapshots restore first; durability then writes
+// fresh floors for them) unless both name the same table. Leftover
+// durable-write temp files from a crashed writer are removed at startup.
 //
 // Shutdown: SIGINT or SIGTERM stops the TCP server gracefully — the
 // listener closes, no new requests are read, every in-flight request
@@ -57,8 +72,10 @@
 #include <string>
 #include <vector>
 
+#include "data/durable_file.h"
 #include "data/snapshot.h"
 #include "serve/context_manager.h"
+#include "serve/durability.h"
 #include "serve/executor.h"
 #include "serve/protocol.h"
 #include "util/threading.h"
@@ -76,12 +93,51 @@ int Usage() {
   std::cerr << "usage: manirank_serve [--script FILE | --port P]\n"
                "                      [--workers N] [--io-threads N]\n"
                "                      [--threaded] [--restore-dir DIR]\n"
-               "                      [--echo]\n"
+               "                      [--log-dir DIR] [--echo]\n"
                "  (no mode flag: serve requests from stdin; --restore-dir\n"
                "   cold-starts every DIR/<table>.snap before serving;\n"
-               "   --port serves the async executor pipeline, --threaded\n"
-               "   falls back to one thread per connection)\n";
+               "   --log-dir adds exact-profile durability: op-log replay\n"
+               "   at cold start, fold logging and SNAPSHOT-POLICY while\n"
+               "   serving; --port serves the async executor pipeline,\n"
+               "   --threaded falls back to one thread per connection)\n";
   return 2;
+}
+
+/// Cold-starts the durability layer: replays every DIR/<table>.snap (+
+/// optional .oplog tail) into the manager and reports each outcome.
+/// Returns false (after reporting) on unusable state — the server must
+/// not come up serving less than what was durably written.
+bool DurableColdStart(manirank::serve::DurabilityManager* durability) {
+  std::vector<std::string> removed_temps;
+  std::vector<manirank::serve::DurabilityManager::RestoredTable> restored;
+  try {
+    restored = durability->ColdStart(&removed_temps);
+  } catch (const std::exception& e) {
+    std::cerr << "--log-dir: cold start failed: " << e.what() << "\n";
+    return false;
+  }
+  for (const std::string& temp : removed_temps) {
+    std::cerr << "--log-dir: removed leftover temp file " << temp << "\n";
+  }
+  for (const auto& table : restored) {
+    std::cerr << "restored table '" << table.table << "' ("
+              << table.snapshot_rankings << " snapshot rankings, "
+              << table.replayed_rankings << " replayed from "
+              << table.replayed_records << " log records in "
+              << table.replay_ms << " ms";
+    if (table.skipped_records > 0) {
+      std::cerr << ", " << table.skipped_records
+                << " already-snapshotted records skipped";
+    }
+    if (table.summarized) std::cerr << ", summarized";
+    std::cerr << ") from " << durability->dir() << "\n";
+    if (!table.torn_tail.empty()) {
+      std::cerr << "--log-dir: table '" << table.table
+                << "': torn op-log tail truncated: " << table.torn_tail
+                << "\n";
+    }
+  }
+  return true;
 }
 
 /// Cold-start: restores every `*.snap` in `dir` as a table named after the
@@ -110,6 +166,22 @@ bool RestoreFromDir(const std::string& dir, ContextManager* manager) {
     }
     for (const fs::directory_iterator end; it != end; it.increment(ec)) {
       const fs::path& path = it->path();
+      // A leftover durable-write temp file (`*.tmp.<pid>.<seq>`) means a
+      // writer crashed between the temp write and the rename: it is
+      // never a table, and the rename never happened, so deleting it is
+      // always safe. Skipping without deleting would leak one file per
+      // crash forever.
+      if (manirank::LooksLikeDurableTempFile(path.filename().string())) {
+        std::error_code remove_ec;
+        fs::remove(path, remove_ec);
+        std::cerr << "--restore-dir: removed leftover temp file "
+                  << path.string()
+                  << (remove_ec ? " (remove failed: " + remove_ec.message() +
+                                      ")"
+                                : "")
+                  << "\n";
+        continue;
+      }
       // A file named exactly ".snap" is a dotfile to the filesystem
       // library (no extension, or an empty stem, depending on the
       // implementation): there is no table name to restore it as. Fail
@@ -226,6 +298,7 @@ int ServeUntilSignal(Server& server) {
 int main(int argc, char** argv) {
   std::optional<std::string> script;
   std::optional<std::string> restore_dir;
+  std::optional<std::string> log_dir;
   std::optional<int> port;
   size_t workers = 0;
   size_t io_threads = 0;
@@ -241,6 +314,8 @@ int main(int argc, char** argv) {
       script = argv[++i];
     } else if (flag == "--restore-dir" && i + 1 < argc) {
       restore_dir = argv[++i];
+    } else if (flag == "--log-dir" && i + 1 < argc) {
+      log_dir = argv[++i];
     } else if (flag == "--workers" && i + 1 < argc) {
       char* end = nullptr;
       const long w = std::strtol(argv[++i], &end, 10);
@@ -299,6 +374,28 @@ int main(int argc, char** argv) {
   if (restore_dir.has_value() && !RestoreFromDir(*restore_dir, &manager)) {
     return 2;
   }
+  std::optional<manirank::serve::DurabilityManager> durability;
+  if (log_dir.has_value()) {
+    std::error_code ec;
+    if (!std::filesystem::is_directory(*log_dir, ec)) {
+      std::cerr << "--log-dir: not a directory: " << *log_dir << "\n";
+      return 2;
+    }
+    durability.emplace(*log_dir, &manager);
+    // Cold start BEFORE Attach: the hook must not observe its own
+    // replay. Attach then floors any --restore-dir tables that have no
+    // durability state yet and starts logging every fold.
+    if (!DurableColdStart(&*durability)) return 2;
+    try {
+      durability->Attach();
+    } catch (const std::exception& e) {
+      std::cerr << "--log-dir: cannot attach durability (writing initial "
+                   "snapshot floors): " << e.what() << "\n";
+      return 2;
+    }
+  }
+  manirank::serve::DurabilityManager* durability_ptr =
+      durability.has_value() ? &*durability : nullptr;
   if (port.has_value()) {
 #ifdef MANIRANK_SERVE_HAVE_SOCKETS
     manirank::serve::ServerOptions options;
@@ -306,6 +403,7 @@ int main(int argc, char** argv) {
     options.workers = workers;
     options.io_threads = io_threads;
     options.log = &std::cerr;
+    options.durability = durability_ptr;
     if (threaded) {
       manirank::serve::ThreadPerConnectionServer server(&manager, options);
       return ServeUntilSignal(server);
@@ -318,6 +416,8 @@ int main(int argc, char** argv) {
 #endif
   }
   Dispatcher dispatcher(&manager);
+  // Stream modes have no event loop for the policy timer — tick inline.
+  dispatcher.set_durability(durability_ptr, /*inline_policy_eval=*/true);
   int errors = 0;
   if (script.has_value()) {
     std::ifstream in(*script);

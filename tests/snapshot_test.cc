@@ -363,5 +363,129 @@ TEST(SnapshotServingTest, RemoveOnRestoredTableIsRejectedAtEnqueue) {
   EXPECT_EQ(restarted.Stats("t").num_rankings, 7u);
 }
 
+// --- exact (v2, retained-profile) snapshots -----------------------------
+
+TEST(ExactSnapshotTest, RoundTripPreservesTheRetainedProfile) {
+  Fixture f = MakeFixture(9, 414, 14);
+  ConsensusContext ctx(f.base, f.table);
+  TableSnapshot original{f.table, ctx.Snapshot(), /*applied_batches=*/2,
+                         /*applied_rankings=*/14, /*retained=*/true, f.base};
+  TableSnapshot restored = FromBytes(ToBytes(original));
+  EXPECT_TRUE(restored.retained);
+  ASSERT_EQ(restored.base_rankings.size(), f.base.size());
+  for (size_t i = 0; i < f.base.size(); ++i) {
+    EXPECT_EQ(restored.base_rankings[i].order(), f.base[i].order());
+  }
+  EXPECT_EQ(restored.summary.borda_points, original.summary.borda_points);
+}
+
+TEST(ExactSnapshotTest, InconsistentRetainedSectionsRefuseToSerialize) {
+  Fixture f = MakeFixture(8, 415, 5);
+  ConsensusContext ctx(f.base, f.table);
+  // retained set but the profile is short of summary.num_rankings...
+  std::vector<Ranking> short_profile(f.base.begin(), f.base.end() - 1);
+  TableSnapshot short_snap{f.table, ctx.Snapshot(), 0, 0, true,
+                           short_profile};
+  EXPECT_THROW(ToBytes(short_snap), std::invalid_argument);
+  // ...and base rankings without the retained flag are a caller bug too.
+  TableSnapshot unflagged{f.table, ctx.Snapshot(), 0, 0, false, f.base};
+  EXPECT_THROW(ToBytes(unflagged), std::invalid_argument);
+}
+
+TEST(ExactSnapshotTest, SummarizedTablesRejectExactSnapshots) {
+  Fixture f = MakeFixture(8, 416, 6);
+  ContextManager manager;
+  manager.Create("t", f.table, f.base);
+  ContextManager restarted;
+  restarted.RestoreTable("t", manager.SnapshotTable("t"));
+  // The restored table's profile was folded away — there is nothing
+  // exact to write.
+  EXPECT_THROW(restarted.SnapshotTable("t", serve::SnapshotMode::kExact),
+               std::logic_error);
+  // kAuto degrades to summarized instead of throwing.
+  const TableSnapshot snap =
+      restarted.SnapshotTable("t", serve::SnapshotMode::kAuto);
+  EXPECT_FALSE(snap.retained);
+}
+
+TEST(ExactSnapshotTest, ExactRestoreServesAllMethodsAndRemove) {
+  Fixture f = MakeFixture(9, 417, 16);
+  ContextManager manager;
+  manager.Create("t", f.table, f.base);
+  const std::string path = TempPath("exact");
+  WriteTableSnapshotFile(path,
+                         manager.SnapshotTable("t", serve::SnapshotMode::kExact));
+  ContextManager restarted;
+  const TableStats restored =
+      restarted.RestoreTable("t", ReadTableSnapshotFile(path));
+  EXPECT_FALSE(restored.summarized);
+  EXPECT_EQ(restored.num_rankings, f.base.size());
+  // The FULL registry — the base-ranking baselines included — serves
+  // bit-identically to the never-snapshotted table.
+  ConsensusOptions options;
+  options.delta = 0.2;
+  options.time_limit_seconds = 60.0;
+  ASSERT_EQ(restarted.SupportedMethods("t").size(), AllMethods().size());
+  for (const MethodSpec& m : AllMethods()) {
+    const ConsensusOutput a = manager.Run("t", m, options);
+    const ConsensusOutput b = restarted.Run("t", m, options);
+    EXPECT_EQ(a.consensus.order(), b.consensus.order()) << m.id;
+    EXPECT_EQ(a.satisfied, b.satisfied) << m.id;
+  }
+  // REMOVE works on the restored profile — and stays in lockstep with
+  // the original.
+  manager.Remove("t", 3);
+  restarted.Remove("t", 3);
+  EXPECT_EQ(manager.Flush("t"), restarted.Flush("t"));
+  EXPECT_EQ(manager.Stats("t").num_rankings, restarted.Stats("t").num_rankings);
+  const ConsensusOutput a = manager.Run("t", *FindMethod("B3"), options);
+  const ConsensusOutput b = restarted.Run("t", *FindMethod("B3"), options);
+  EXPECT_EQ(a.consensus.order(), b.consensus.order());
+  std::remove(path.c_str());
+}
+
+TEST(ExactSnapshotTest, ProtocolExactTokenEndToEnd) {
+  ContextManager manager;
+  Dispatcher dispatcher(&manager);
+  ASSERT_EQ(dispatcher.Handle("CREATE t CYCLIC 8 2 2").rfind("OK", 0), 0u);
+  Rng rng(418);
+  for (int i = 0; i < 5; ++i) {
+    const Ranking ranking = testing::RandomRanking(8, &rng);
+    std::ostringstream os;
+    os << "APPEND t";
+    for (CandidateId c : ranking.order()) os << ' ' << c;
+    const std::string r = dispatcher.Handle(os.str());
+    ASSERT_EQ(r.rfind("OK", 0), 0u) << os.str() << "\n-> " << r;
+  }
+  const std::string before = dispatcher.Handle("RUN t all LIMIT 60");
+  const std::string path = TempPath("exact_protocol");
+  const std::string response = dispatcher.Handle("SNAPSHOT t " + path +
+                                                 " EXACT");
+  ASSERT_EQ(response.rfind("OK SNAPSHOT", 0), 0u) << response;
+  // The EXACT token is echoed, and ONLY then (the default response is
+  // pinned by ProtocolRoundTripRunAllMatchesPerMethod).
+  EXPECT_NE(response.find(" exact=1"), std::string::npos) << response;
+  ASSERT_EQ(dispatcher.Handle("RESTORE copy " + path).rfind("OK", 0), 0u);
+  // The restored copy runs the full sweep bit-identically — B2-B4 now
+  // report instead of being dropped from the sweep.
+  const std::string after = dispatcher.Handle("RUN copy all LIMIT 60");
+  EXPECT_EQ(after.substr(after.find(' ', 7)), before.substr(before.find(' ', 7)))
+      << "\nbefore: " << before << "\nafter:  " << after;
+  EXPECT_NE(after.find(" B2 "), std::string::npos);
+  // And REMOVE is accepted on the exact-restored table.
+  EXPECT_EQ(dispatcher.Handle("REMOVE copy 0").rfind("OK", 0), 0u);
+  // An exact-restored table is retained, so EXACT works on it again; a
+  // summarized-restored one draws the documented conflict.
+  const std::string sum_path = TempPath("exact_sum");
+  ASSERT_EQ(dispatcher.Handle("SNAPSHOT t " + sum_path).rfind("OK", 0), 0u);
+  ASSERT_EQ(dispatcher.Handle("RESTORE s " + sum_path).rfind("OK", 0), 0u);
+  EXPECT_EQ(dispatcher
+                .Handle("SNAPSHOT s " + TempPath("exact_reject") + " EXACT")
+                .rfind("ERR conflict", 0),
+            0u);
+  std::remove(path.c_str());
+  std::remove(sum_path.c_str());
+}
+
 }  // namespace
 }  // namespace manirank
