@@ -73,12 +73,17 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/resource.h>
 #include <sys/socket.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <condition_variable>
+#include <csignal>
 #include <mutex>
 #endif
 
@@ -1136,6 +1141,448 @@ EpollScaleBench RunEpollScaleBench(bool quick) {
 
 }  // namespace
 
+// ---------------------------------------------------------- replication
+
+/// The `replication` section measures read scale-OUT via leader/follower
+/// replication with REAL processes: a manirank_serve leader (--log-dir)
+/// and K=2 followers (--follow) are forked, each pinned to one worker
+/// and one event loop so adding a follower adds capacity the way adding
+/// a machine would (not the way adding a thread would). After the
+/// followers converge, the same read-heavy RUN/EVAL request list is
+/// timed twice — every client on the leader, then round-robin across
+/// the followers — and the two response streams are equivalence-checked
+/// request by request. The binary is found next to /proc/self/exe (or
+/// via MANIRANK_SERVE_BIN); when it cannot be found or spawned the
+/// section reports itself skipped instead of failing the bench.
+struct ReplicationBench {
+  bool skipped = true;
+  std::string skip_reason;
+  int followers = 0;
+  size_t cores = 0;
+  int client_threads = 0;
+  long requests = 0;
+  double leader_only_seconds = 0.0;
+  double replicated_seconds = 0.0;
+  double speedup = 0.0;
+  bool equivalent = false;
+};
+
+#ifdef MANIRANK_SERVE_HAVE_SOCKETS
+
+struct ServeProcess {
+  pid_t pid = -1;
+  int port = 0;
+};
+
+std::string FindServeBinary() {
+  if (const char* env = std::getenv("MANIRANK_SERVE_BIN")) return env;
+  std::error_code ec;
+  const std::filesystem::path self =
+      std::filesystem::read_symlink("/proc/self/exe", ec);
+  if (ec) return "";
+  const std::filesystem::path sibling = self.parent_path() / "manirank_serve";
+  if (!std::filesystem::exists(sibling, ec) || ec) return "";
+  return sibling.string();
+}
+
+/// Forks `bin` with `args`, reads the child's stderr until the
+/// machine-parseable "listening on port N" line (15 s deadline), then
+/// keeps draining the pipe on a detached thread so the child can never
+/// block on it. pid stays -1 on failure, with *error filled in.
+ServeProcess SpawnServe(const std::string& bin, std::vector<std::string> args,
+                        std::string* error) {
+  ServeProcess proc;
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    *error = "pipe() failed";
+    return proc;
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(pipe_fds[0]);
+    ::close(pipe_fds[1]);
+    *error = "fork() failed";
+    return proc;
+  }
+  if (pid == 0) {
+    ::dup2(pipe_fds[1], 2);
+    ::close(pipe_fds[0]);
+    ::close(pipe_fds[1]);
+    std::vector<char*> argv;
+    argv.push_back(const_cast<char*>(bin.c_str()));
+    for (std::string& arg : args) argv.push_back(arg.data());
+    argv.push_back(nullptr);
+    ::execv(bin.c_str(), argv.data());
+    _exit(127);
+  }
+  ::close(pipe_fds[1]);
+  std::string buffered;
+  int port = 0;
+  Stopwatch deadline;
+  while (port == 0) {
+    if (deadline.Seconds() > 15.0) {
+      *error = "timed out waiting for 'listening on port N' on stderr";
+      break;
+    }
+    pollfd pfd{pipe_fds[0], POLLIN, 0};
+    if (::poll(&pfd, 1, 200) <= 0) continue;
+    char chunk[4096];
+    const ssize_t n = ::read(pipe_fds[0], chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      *error = "server exited before reporting its port";
+      break;
+    }
+    buffered.append(chunk, static_cast<size_t>(n));
+    size_t start = 0;
+    for (size_t nl = buffered.find('\n'); nl != std::string::npos;
+         nl = buffered.find('\n', start)) {
+      const std::string line = buffered.substr(start, nl - start);
+      start = nl + 1;
+      if (line.rfind("listening on port ", 0) == 0) {
+        port = std::atoi(line.c_str() + 18);
+        break;
+      }
+    }
+    buffered.erase(0, start);
+  }
+  if (port == 0) {
+    ::kill(pid, SIGKILL);
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    ::close(pipe_fds[0]);
+    return proc;
+  }
+  std::thread([fd = pipe_fds[0]] {
+    char sink[4096];
+    while (::read(fd, sink, sizeof(sink)) > 0) {
+    }
+    ::close(fd);
+  }).detach();
+  proc.pid = pid;
+  proc.port = port;
+  return proc;
+}
+
+void StopServe(ServeProcess* proc) {
+  if (proc->pid < 0) return;
+  ::kill(proc->pid, SIGTERM);
+  int status = 0;
+  ::waitpid(proc->pid, &status, 0);
+  proc->pid = -1;
+}
+
+/// Minimal blocking line client against a forked server. Unlike the
+/// in-process bench sockets it reports failures instead of aborting —
+/// a spawned-server hiccup should skip the section, not kill the bench.
+class ReplClient {
+ public:
+  explicit ReplClient(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      ::close(fd_);
+      fd_ = -1;
+      return;
+    }
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+  ~ReplClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  ReplClient(const ReplClient&) = delete;
+  ReplClient& operator=(const ReplClient&) = delete;
+
+  bool ok() const { return fd_ >= 0; }
+
+  bool Send(const std::string& bytes) {
+    size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+#ifdef MSG_NOSIGNAL
+                               MSG_NOSIGNAL
+#else
+                               0
+#endif
+      );
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return false;
+      sent += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  bool ReadLines(size_t count, std::vector<std::string>* lines) {
+    while (lines->size() < count) {
+      char chunk[65536];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return false;
+      buffer_.append(chunk, static_cast<size_t>(n));
+      size_t start = 0;
+      for (size_t nl = buffer_.find('\n');
+           nl != std::string::npos && lines->size() < count;
+           nl = buffer_.find('\n', start)) {
+        lines->push_back(buffer_.substr(start, nl - start));
+        start = nl + 1;
+      }
+      buffer_.erase(0, start);
+    }
+    return true;
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+/// One fresh connection, pipelined requests, all responses (empty on any
+/// I/O failure).
+std::vector<std::string> ReplRequest(int port,
+                                     const std::vector<std::string>& requests) {
+  std::vector<std::string> lines;
+  ReplClient client(port);
+  if (!client.ok()) return lines;
+  std::string wire;
+  for (const std::string& request : requests) {
+    wire += request;
+    wire += '\n';
+  }
+  if (!client.Send(wire)) return lines;
+  if (!client.ReadLines(requests.size(), &lines)) lines.clear();
+  return lines;
+}
+
+uint64_t ReplStatsGeneration(const std::string& stats) {
+  const size_t at = stats.find(" generation=");
+  if (at == std::string::npos) return ~0ull;
+  return std::strtoull(stats.c_str() + at + 12, nullptr, 10);
+}
+
+/// Times the per-thread request plans against `ports[thread % ports]`,
+/// collecting every response stream for the equivalence check.
+double RunReplicationScenario(
+    const std::vector<std::vector<std::string>>& plans,
+    const std::vector<int>& ports,
+    std::vector<std::vector<std::string>>* responses, bool* io_ok) {
+  responses->assign(plans.size(), {});
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  std::atomic<bool> ok{true};
+  std::vector<std::thread> threads;
+  Stopwatch timer;
+  for (size_t c = 0; c < plans.size(); ++c) {
+    threads.emplace_back([&, c] {
+      ReplClient client(ports[c % ports.size()]);
+      if (!client.ok()) {
+        ok.store(false);
+        ready.fetch_add(1);
+        return;
+      }
+      ready.fetch_add(1);
+      while (!go.load()) std::this_thread::yield();
+      // Pipeline in bounded chunks: deep enough to keep the server's
+      // queue full, shallow enough to bound client buffering.
+      constexpr size_t kChunk = 32;
+      const std::vector<std::string>& plan = plans[c];
+      for (size_t at = 0; at < plan.size() && ok.load(); at += kChunk) {
+        const size_t end = std::min(plan.size(), at + kChunk);
+        std::string wire;
+        for (size_t i = at; i < end; ++i) {
+          wire += plan[i];
+          wire += '\n';
+        }
+        std::vector<std::string> lines;
+        if (!client.Send(wire) || !client.ReadLines(end - at, &lines)) {
+          ok.store(false);
+          break;
+        }
+        for (std::string& line : lines) {
+          (*responses)[c].push_back(std::move(line));
+        }
+      }
+    });
+  }
+  while (ready.load() < static_cast<int>(plans.size())) {
+    std::this_thread::yield();
+  }
+  timer.Restart();
+  go.store(true);
+  for (std::thread& t : threads) t.join();
+  const double seconds = timer.Seconds();
+  *io_ok = ok.load();
+  return seconds;
+}
+
+ReplicationBench RunReplicationBench(bool quick) {
+  ReplicationBench bench;
+  bench.followers = 2;
+  bench.cores = std::thread::hardware_concurrency();
+  const std::string bin = FindServeBinary();
+  if (bin.empty()) {
+    bench.skip_reason =
+        "manirank_serve not found next to the bench binary "
+        "(set MANIRANK_SERVE_BIN)";
+    return bench;
+  }
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("manirank_bench_repl_" + std::to_string(::getpid())))
+          .string();
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  if (!std::filesystem::create_directories(dir, ec) || ec) {
+    bench.skip_reason = "cannot create temp log dir " + dir;
+    return bench;
+  }
+  // One worker + one event loop per process: the leader-only baseline is
+  // a single serving core, so the follower comparison measures scale-out.
+  std::string error;
+  ServeProcess leader = SpawnServe(
+      bin,
+      {"--port", "0", "--workers", "1", "--io-threads", "1", "--log-dir", dir},
+      &error);
+  std::vector<ServeProcess> followers;
+  const auto cleanup = [&] {
+    for (ServeProcess& follower : followers) StopServe(&follower);
+    StopServe(&leader);
+    std::error_code cleanup_ec;
+    std::filesystem::remove_all(dir, cleanup_ec);
+  };
+  if (leader.pid < 0) {
+    bench.skip_reason = "cannot spawn leader: " + error;
+    cleanup();
+    return bench;
+  }
+
+  // Seed one table and fold it (records replicate at fold boundaries).
+  const int n = 24;
+  const int base_rankings = quick ? 120 : 240;
+  const auto rotation_text = [n](int rotation) {
+    std::ostringstream os;
+    for (int i = 0; i < n; ++i) {
+      if (i != 0) os << ' ';
+      os << (i + rotation) % n;
+    }
+    return os.str();
+  };
+  std::vector<std::string> seed;
+  seed.push_back("CREATE t CYCLIC " + std::to_string(n) + " 2 2");
+  for (int r = 0; r < base_rankings; r += 12) {
+    std::ostringstream os;
+    os << "APPEND t";
+    for (int i = 0; i < 12; ++i) {
+      if (i != 0) os << " ;";
+      os << ' ' << rotation_text((r + i) % n);
+    }
+    seed.push_back(os.str());
+  }
+  seed.push_back("FLUSH t");
+  const std::vector<std::string> seeded = ReplRequest(leader.port, seed);
+  if (seeded.size() != seed.size()) {
+    bench.skip_reason = "seeding the leader failed";
+    cleanup();
+    return bench;
+  }
+  const std::vector<std::string> leader_stats =
+      ReplRequest(leader.port, {"STATS t"});
+  const uint64_t generation =
+      leader_stats.empty() ? ~0ull : ReplStatsGeneration(leader_stats[0]);
+
+  for (int k = 0; k < bench.followers; ++k) {
+    ServeProcess follower = SpawnServe(
+        bin,
+        {"--port", "0", "--workers", "1", "--io-threads", "1", "--follow",
+         "127.0.0.1:" + std::to_string(leader.port)},
+        &error);
+    if (follower.pid < 0) {
+      bench.skip_reason = "cannot spawn follower: " + error;
+      cleanup();
+      return bench;
+    }
+    followers.push_back(follower);
+  }
+  // Wait for every follower to converge on the leader's generation.
+  Stopwatch catchup;
+  for (const ServeProcess& follower : followers) {
+    for (;;) {
+      const std::vector<std::string> stats =
+          ReplRequest(follower.port, {"STATS t"});
+      if (!stats.empty() && ReplStatsGeneration(stats[0]) == generation &&
+          stats[0].find(" replica_connected=1") != std::string::npos) {
+        break;
+      }
+      if (catchup.Seconds() > 30.0) {
+        bench.skip_reason = "followers failed to catch up within 30 s";
+        cleanup();
+        return bench;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+
+  // The read-heavy mix: consensus RUNs on two methods plus EVAL probes.
+  bench.client_threads = 4;
+  const int per_thread = quick ? 150 : 600;
+  std::vector<std::vector<std::string>> plans(bench.client_threads);
+  for (int c = 0; c < bench.client_threads; ++c) {
+    for (int i = 0; i < per_thread; ++i) {
+      switch (i % 4) {
+        case 0:
+          plans[c].push_back("RUN t A3");
+          break;
+        case 1:
+          plans[c].push_back("EVAL t " + rotation_text((c + i) % n));
+          break;
+        case 2:
+          plans[c].push_back("RUN t A4");
+          break;
+        default:
+          plans[c].push_back("EVAL t " + rotation_text((c * 7 + i) % n));
+          break;
+      }
+      ++bench.requests;
+    }
+  }
+  bool leader_ok = false;
+  bool replicated_ok = false;
+  std::vector<std::vector<std::string>> leader_responses;
+  std::vector<std::vector<std::string>> replicated_responses;
+  std::vector<int> follower_ports;
+  for (const ServeProcess& follower : followers) {
+    follower_ports.push_back(follower.port);
+  }
+  bench.leader_only_seconds = RunReplicationScenario(
+      plans, {leader.port}, &leader_responses, &leader_ok);
+  bench.replicated_seconds = RunReplicationScenario(
+      plans, follower_ports, &replicated_responses, &replicated_ok);
+  cleanup();
+  if (!leader_ok || !replicated_ok) {
+    bench.skip_reason = "a timed scenario hit an I/O failure";
+    return bench;
+  }
+  bench.equivalent = leader_responses == replicated_responses;
+  if (!bench.equivalent) {
+    std::fprintf(stderr,
+                 "FATAL: follower responses drifted from the leader's on "
+                 "the identical read mix\n");
+    std::abort();
+  }
+  bench.speedup = bench.replicated_seconds > 0.0
+                      ? bench.leader_only_seconds / bench.replicated_seconds
+                      : 0.0;
+  bench.skipped = false;
+  return bench;
+}
+
+#endif  // MANIRANK_SERVE_HAVE_SOCKETS
+
 int main() {
   Workload w;
   if (QuickMode()) {
@@ -1168,6 +1615,7 @@ int main() {
                 async.executor.light_latency_mean_ms
           : 0.0;
   const EpollScaleBench epoll_scale = RunEpollScaleBench(QuickMode());
+  const ReplicationBench replication = RunReplicationBench(QuickMode());
 #endif
   const SnapshotBench snapshot = RunSnapshotBench(QuickMode());
   const double restore_speedup = snapshot.restore_seconds > 0.0
@@ -1242,6 +1690,30 @@ int main() {
                  point.poll_seconds, point.epoll_seconds, point_speedup);
   }
   std::fprintf(f, "]},\n");
+  if (replication.skipped) {
+    std::fprintf(f,
+                 "  \"replication\": {\"skipped\": true, "
+                 "\"skip_reason\": \"%s\", \"cores\": %zu},\n",
+                 replication.skip_reason.c_str(), replication.cores);
+  } else {
+    std::fprintf(
+        f,
+        "  \"replication\": {\"skipped\": false, \"followers\": %d, "
+        "\"cores\": %zu, \"client_threads\": %d, \"requests\": %ld,\n"
+        "    \"leader_only_seconds\": %.6f, \"replicated_seconds\": %.6f, "
+        "\"leader_only_rps\": %.1f, \"replicated_rps\": %.1f,\n"
+        "    \"speedup_replicated_vs_leader\": %.3f, \"equivalent\": %s},\n",
+        replication.followers, replication.cores, replication.client_threads,
+        replication.requests, replication.leader_only_seconds,
+        replication.replicated_seconds,
+        replication.leader_only_seconds > 0.0
+            ? replication.requests / replication.leader_only_seconds
+            : 0.0,
+        replication.replicated_seconds > 0.0
+            ? replication.requests / replication.replicated_seconds
+            : 0.0,
+        replication.speedup, replication.equivalent ? "true" : "false");
+  }
 #endif
   std::fprintf(f,
                "  \"snapshot\": {\"rankings\": %zu, \"n\": %d, "
@@ -1306,6 +1778,17 @@ int main() {
                     ? point.poll_seconds / point.epoll_seconds
                     : 0.0,
                 point.requests, epoll_scale.cores);
+  }
+  if (replication.skipped) {
+    std::printf("replication: skipped (%s)\n",
+                replication.skip_reason.c_str());
+  } else {
+    std::printf(
+        "replication (1 leader vs %d followers, %ld reads, %zu cores): "
+        "leader-only %.4fs vs replicated %.4fs -> %.2fx, equivalent\n",
+        replication.followers, replication.requests, replication.cores,
+        replication.leader_only_seconds, replication.replicated_seconds,
+        replication.speedup);
   }
 #endif
   std::printf("snapshot restore (%zu rankings, %ld bytes): %.4fs vs "

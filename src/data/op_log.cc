@@ -134,72 +134,36 @@ OpRecord ParseBody(const char* body, uint32_t len, uint32_t n,
   return record;
 }
 
-/// Parses header + records out of a fully slurped file. Shared by the
-/// reader and OpenExisting's tail scan.
+/// Parses header + records out of a fully slurped file by pumping the
+/// incremental cursor over the whole buffer — the file path and the
+/// streaming path share one verifier. Shared by the reader and
+/// OpenExisting's tail scan.
 OpLogContents ParseOpLog(const std::string& buffer, const std::string& path) {
-  if (buffer.size() < kOpLogHeaderBytes) {
-    throw OpLogFormatError("op log shorter than its header: " + path);
-  }
-  if (std::memcmp(buffer.data(), kOpLogMagic, sizeof(kOpLogMagic)) != 0) {
-    throw OpLogFormatError("op log has bad magic (not a MANI-Rank op log): " +
-                           path);
-  }
-  const size_t header_body = kOpLogHeaderBytes - 8;
-  const uint64_t header_crc = GetU64(buffer.data() + header_body);
-  if (header_crc != Fnv1a64(buffer.data(), header_body)) {
-    throw OpLogFormatError("op log header checksum mismatch: " + path);
-  }
-  const uint32_t version = GetU32(buffer.data() + 8);
-  if (version != kOpLogVersion) {
-    throw OpLogFormatError("op log version " + std::to_string(version) +
-                           " is not supported (expected " +
-                           std::to_string(kOpLogVersion) + "): " + path);
-  }
+  OpLogCursor cursor(path);
+  cursor.Feed(buffer.data(), buffer.size());
   OpLogContents contents;
-  contents.num_candidates = GetU32(buffer.data() + 12);
-  contents.base_generation = GetU64(buffer.data() + 16);
-  contents.base_rankings = GetU64(buffer.data() + 24);
-  if (contents.num_candidates == 0 ||
-      contents.num_candidates > kMaxOpLogCandidates) {
-    throw OpLogFormatError("op log candidate count out of range: " +
-                           std::to_string(contents.num_candidates));
+  OpRecord record;
+  for (;;) {
+    const OpLogCursor::Status status = cursor.Next(&record);
+    if (status == OpLogCursor::Status::kRecord) {
+      contents.records.push_back(std::move(record));
+      continue;
+    }
+    if (!cursor.header_ready()) {
+      throw OpLogFormatError("op log shorter than its header: " + path);
+    }
+    // At EOF both an incomplete frame (kNeedMore with bytes pending) and
+    // a frame that failed verification (kTorn) are the torn-tail crash
+    // artifact: recovery keeps the clean prefix.
+    if (status == OpLogCursor::Status::kTorn || cursor.pending_bytes() > 0) {
+      contents.torn_tail = cursor.TornDetail();
+    }
+    break;
   }
-  contents.clean_bytes = kOpLogHeaderBytes;
-  size_t pos = kOpLogHeaderBytes;
-  const auto torn = [&](const std::string& what) {
-    contents.torn_tail = "torn record " +
-                         std::to_string(contents.records.size()) +
-                         " at byte " + std::to_string(pos) + ": " + what;
-  };
-  while (pos < buffer.size()) {
-    const size_t remaining = buffer.size() - pos;
-    if (remaining < 4) {
-      torn("partial length prefix (" + std::to_string(remaining) + " bytes)");
-      break;
-    }
-    const uint32_t len = GetU32(buffer.data() + pos);
-    if (len > kMaxRecordBodyBytes) {
-      torn("record length " + std::to_string(len) + " exceeds the cap");
-      break;
-    }
-    const uint64_t frame = 4 + static_cast<uint64_t>(len) + 8;
-    if (frame > remaining) {
-      torn("record frame of " + std::to_string(frame) +
-           " bytes exceeds the " + std::to_string(remaining) +
-           " bytes remaining");
-      break;
-    }
-    const uint64_t stored = GetU64(buffer.data() + pos + 4 + len);
-    if (stored != Fnv1a64(buffer.data() + pos, 4 + len)) {
-      torn("record checksum mismatch");
-      break;
-    }
-    contents.records.push_back(ParseBody(buffer.data() + pos + 4, len,
-                                         contents.num_candidates,
-                                         contents.records.size()));
-    pos += frame;
-    contents.clean_bytes = pos;
-  }
+  contents.num_candidates = cursor.num_candidates();
+  contents.base_generation = cursor.base_generation();
+  contents.base_rankings = cursor.base_rankings();
+  contents.clean_bytes = cursor.clean_bytes();
   return contents;
 }
 
@@ -224,6 +188,99 @@ std::string SlurpFile(const std::string& path) {
 
 OpLogContents ReadOpLogFile(const std::string& path) {
   return ParseOpLog(SlurpFile(path), path);
+}
+
+OpLogCursor::OpLogCursor(std::string path) : path_(std::move(path)) {}
+
+void OpLogCursor::Feed(const char* data, size_t size) {
+  buffer_.append(data, size);
+}
+
+OpLogCursor::Status OpLogCursor::Next(OpRecord* record) {
+  if (torn_) return Status::kTorn;
+  const Status status = Step(record);
+  if (status == Status::kTorn) torn_ = true;
+  // Compact the consumed prefix once it dominates the buffer, so a
+  // long-lived streaming cursor does not hold every byte it ever saw.
+  if (off_ > (1u << 18) && off_ > buffer_.size() - off_) {
+    buffer_.erase(0, off_);
+    off_ = 0;
+  }
+  return status;
+}
+
+OpLogCursor::Status OpLogCursor::Step(OpRecord* record) {
+  if (!header_ready_) {
+    if (buffer_.size() - off_ < kOpLogHeaderBytes) return Status::kNeedMore;
+    const char* header = buffer_.data() + off_;
+    if (std::memcmp(header, kOpLogMagic, sizeof(kOpLogMagic)) != 0) {
+      throw OpLogFormatError(
+          "op log has bad magic (not a MANI-Rank op log): " + path_);
+    }
+    const size_t header_body = kOpLogHeaderBytes - 8;
+    const uint64_t header_crc = GetU64(header + header_body);
+    if (header_crc != Fnv1a64(header, header_body)) {
+      throw OpLogFormatError("op log header checksum mismatch: " + path_);
+    }
+    const uint32_t version = GetU32(header + 8);
+    if (version != kOpLogVersion) {
+      throw OpLogFormatError("op log version " + std::to_string(version) +
+                             " is not supported (expected " +
+                             std::to_string(kOpLogVersion) + "): " + path_);
+    }
+    num_candidates_ = GetU32(header + 12);
+    base_generation_ = GetU64(header + 16);
+    base_rankings_ = GetU64(header + 24);
+    if (num_candidates_ == 0 || num_candidates_ > kMaxOpLogCandidates) {
+      throw OpLogFormatError("op log candidate count out of range: " +
+                             std::to_string(num_candidates_));
+    }
+    header_ready_ = true;
+    off_ += kOpLogHeaderBytes;
+    clean_bytes_ = kOpLogHeaderBytes;
+  }
+  const size_t remaining = buffer_.size() - off_;
+  if (remaining < 4) return Status::kNeedMore;
+  const char* frame_start = buffer_.data() + off_;
+  const uint32_t len = GetU32(frame_start);
+  // A length over the cap can never verify no matter how many more bytes
+  // arrive — unlike a short frame, this is terminal even for a stream.
+  if (len > kMaxRecordBodyBytes) return Status::kTorn;
+  const uint64_t frame = 4 + static_cast<uint64_t>(len) + 8;
+  if (frame > remaining) return Status::kNeedMore;
+  const uint64_t stored = GetU64(frame_start + 4 + len);
+  if (stored != Fnv1a64(frame_start, 4 + len)) return Status::kTorn;
+  *record = ParseBody(frame_start + 4, len, num_candidates_,
+                      static_cast<size_t>(records_));
+  off_ += frame;
+  clean_bytes_ += frame;
+  ++records_;
+  return Status::kRecord;
+}
+
+std::string OpLogCursor::TornDetail() const {
+  const size_t remaining = buffer_.size() - off_;
+  if (header_ready_ && remaining == 0 && !torn_) return std::string();
+  std::string what;
+  if (!header_ready_) {
+    what = "partial header (" + std::to_string(remaining) + " bytes)";
+  } else if (remaining < 4) {
+    what = "partial length prefix (" + std::to_string(remaining) + " bytes)";
+  } else {
+    const uint32_t len = GetU32(buffer_.data() + off_);
+    const uint64_t frame = 4 + static_cast<uint64_t>(len) + 8;
+    if (len > kMaxRecordBodyBytes) {
+      what = "record length " + std::to_string(len) + " exceeds the cap";
+    } else if (frame > remaining) {
+      what = "record frame of " + std::to_string(frame) +
+             " bytes exceeds the " + std::to_string(remaining) +
+             " bytes remaining";
+    } else {
+      what = "record checksum mismatch";
+    }
+  }
+  return "torn record " + std::to_string(records_) + " at byte " +
+         std::to_string(clean_bytes_) + ": " + what;
 }
 
 OpLogWriter::OpLogWriter(std::string path, int fd, int num_candidates,

@@ -90,6 +90,76 @@ struct OpLogContents {
 /// (see above); a torn tail is reported, not thrown.
 OpLogContents ReadOpLogFile(const std::string& path);
 
+/// Incremental, push-style op-log verifier: feed bytes as they arrive
+/// (from a file slurp or a replication socket), pull verified records one
+/// at a time. Cold start, crash recovery, and follower catch-up all run
+/// their bytes through this one class, so every consumer applies exactly
+/// the same header / framing / checksum / body validation.
+///
+/// The caller interprets the two non-record statuses by source:
+///
+///   kNeedMore  the buffered tail is an incomplete frame. A streaming
+///              reader waits for more bytes; a file reader at EOF treats
+///              a non-empty tail as the torn-tail crash artifact.
+///   kTorn      a complete frame failed verification (checksum mismatch,
+///              or a length prefix over the cap — no amount of further
+///              input can make it parse). A file reader treats this as a
+///              torn tail too; a streaming reader must drop the
+///              connection and re-handshake. Sticky once returned.
+///
+/// Next() throws OpLogFormatError exactly where the whole-file reader
+/// does: bad magic / version / header checksum, and checksum-valid
+/// records with malformed bodies.
+class OpLogCursor {
+ public:
+  enum class Status { kRecord, kNeedMore, kTorn };
+
+  /// `path` is used only in error/torn-tail messages.
+  explicit OpLogCursor(std::string path = std::string());
+
+  /// Appends bytes to the cursor's input. Cheap; no parsing happens here.
+  void Feed(const char* data, size_t size);
+
+  /// Attempts to verify and yield the next record (parsing the header
+  /// first if it has not been seen yet). On kRecord, `*record` holds the
+  /// verified record.
+  Status Next(OpRecord* record);
+
+  /// True once the 40-byte header has been parsed and validated; the
+  /// base_* accessors are meaningful only after that.
+  bool header_ready() const { return header_ready_; }
+  uint32_t num_candidates() const { return num_candidates_; }
+  uint64_t base_generation() const { return base_generation_; }
+  uint64_t base_rankings() const { return base_rankings_; }
+
+  /// Byte offset of the end of the last verified record (header
+  /// included) — the same clean-prefix boundary OpLogContents reports.
+  uint64_t clean_bytes() const { return clean_bytes_; }
+  /// Verified records yielded so far.
+  uint64_t records() const { return records_; }
+  /// Fed bytes beyond the clean boundary (the incomplete / torn tail).
+  uint64_t pending_bytes() const { return buffer_.size() - off_; }
+
+  /// Human-readable description of the pending tail, in the same format
+  /// OpLogContents::torn_tail uses. Empty when the input ends cleanly.
+  std::string TornDetail() const;
+
+ private:
+  Status Step(OpRecord* record);
+
+  std::string path_;
+  std::string buffer_;
+  /// Consumed prefix of buffer_ (compacted away periodically).
+  size_t off_ = 0;
+  bool header_ready_ = false;
+  bool torn_ = false;
+  uint32_t num_candidates_ = 0;
+  uint64_t base_generation_ = 0;
+  uint64_t base_rankings_ = 0;
+  uint64_t clean_bytes_ = 0;
+  uint64_t records_ = 0;
+};
+
 /// Append-side handle over one table's op log. Records are *buffered*
 /// per fold (BufferAppend / BufferRemove, one call per applied op) and
 /// made durable by a single Commit — write + fsync — at the fold

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/distance.h"
+
 namespace manirank::serve {
 namespace {
 
@@ -137,10 +139,19 @@ std::shared_ptr<ContextManager::Shard> ContextManager::TryFind(
 TableStats ContextManager::Append(const std::string& name,
                                   std::vector<Ranking> rankings) {
   std::shared_ptr<Shard> shard = Find(name);
+  if (shard->follower.load(std::memory_order_relaxed)) {
+    throw ReadOnlyTableError("table '" + name +
+                             "' is a read-only follower replica");
+  }
+  return EnqueueAppend(*shard, std::move(rankings));
+}
+
+TableStats ContextManager::EnqueueAppend(Shard& shard,
+                                         std::vector<Ranking> rankings) {
   if (rankings.empty()) {
     throw std::invalid_argument("APPEND needs at least one ranking");
   }
-  const int n = shard->table->num_candidates();
+  const int n = shard.table->num_candidates();
   // Full validation at enqueue time: a bad batch must fail *now*, before
   // anything is queued, so the error response maps to the request that
   // caused it and the shard state is untouched.
@@ -153,48 +164,90 @@ TableStats ContextManager::Append(const std::string& name,
     }
   }
   {
-    std::lock_guard<std::mutex> lock(shard->queue_mu);
-    shard->queued_append_rankings += rankings.size();
-    shard->virtual_size += rankings.size();
-    if (!shard->queue.empty() && !shard->queue.back().is_remove) {
+    std::lock_guard<std::mutex> lock(shard.queue_mu);
+    shard.queued_append_rankings += rankings.size();
+    shard.virtual_size += rankings.size();
+    if (!shard.queue.empty() && !shard.queue.back().is_remove) {
       // Coalesce: adjacent append batches fold into one AddRankings call.
-      std::vector<Ranking>& tail = shard->queue.back().rankings;
+      std::vector<Ranking>& tail = shard.queue.back().rankings;
       tail.insert(tail.end(), std::make_move_iterator(rankings.begin()),
                   std::make_move_iterator(rankings.end()));
     } else {
       PendingOp op;
       op.rankings = std::move(rankings);
-      shard->queue.push_back(std::move(op));
+      shard.queue.push_back(std::move(op));
     }
   }
-  return StatsFor(*shard);
+  return StatsFor(shard);
 }
 
 TableStats ContextManager::Remove(const std::string& name, size_t index) {
   std::shared_ptr<Shard> shard = Find(name);
+  if (shard->follower.load(std::memory_order_relaxed)) {
+    throw ReadOnlyTableError("table '" + name +
+                             "' is a read-only follower replica");
+  }
+  return EnqueueRemove(*shard, index);
+}
+
+TableStats ContextManager::EnqueueRemove(Shard& shard, size_t index) {
   // Index-addressed removal needs the retained profile. Rejecting a
   // summarized (snapshot-restored) table here — instead of letting the op
   // enqueue and throw at the next drain — keeps the mutation queue free
   // of ops that can never apply.
-  if (!shard->ctx->has_base_rankings()) {
+  if (!shard.ctx->has_base_rankings()) {
     throw std::logic_error(
-        "REMOVE needs the retained profile, but table '" + name +
+        "REMOVE needs the retained profile, but table '" + shard.name +
         "' was restored from a summarized snapshot");
   }
   {
-    std::lock_guard<std::mutex> lock(shard->queue_mu);
-    if (index >= shard->virtual_size) {
+    std::lock_guard<std::mutex> lock(shard.queue_mu);
+    if (index >= shard.virtual_size) {
       throw std::out_of_range("REMOVE index " + std::to_string(index) +
                               " out of range for profile of " +
-                              std::to_string(shard->virtual_size));
+                              std::to_string(shard.virtual_size));
     }
     PendingOp op;
     op.is_remove = true;
     op.remove_index = index;
-    shard->queue.push_back(std::move(op));
-    --shard->virtual_size;
+    shard.queue.push_back(std::move(op));
+    --shard.virtual_size;
   }
-  return StatsFor(*shard);
+  return StatsFor(shard);
+}
+
+void ContextManager::SetTableRole(const std::string& name, TableRole role) {
+  Find(name)->follower.store(role == TableRole::kFollower,
+                             std::memory_order_relaxed);
+}
+
+size_t ContextManager::ApplyReplicated(const std::string& name,
+                                       OpRecord record) {
+  std::shared_ptr<Shard> shard = Find(name);
+  if (record.kind == OpRecord::Kind::kRemove) {
+    EnqueueRemove(*shard, static_cast<size_t>(record.remove_index));
+  } else {
+    EnqueueAppend(*shard, std::move(record.rankings));
+  }
+  // One record = one fold: the replication session feeds records
+  // serially, external mutations are rejected on followers, so nothing
+  // can coalesce into this drain and the leader's per-record
+  // applied_batches bookkeeping is reproduced exactly.
+  size_t applied = 0;
+  Drain(*shard, /*try_only=*/false, &applied);
+  return applied;
+}
+
+void ContextManager::SetReplicaProgress(const std::string& name,
+                                        uint64_t leader_generation,
+                                        uint64_t bytes_streamed,
+                                        bool connected) {
+  const std::shared_ptr<Shard> shard = TryFind(name);
+  if (shard == nullptr) return;
+  std::lock_guard<std::mutex> lock(shard->queue_mu);
+  shard->replica_leader_generation = leader_generation;
+  shard->replica_bytes_streamed = bytes_streamed;
+  shard->replica_connected = connected;
 }
 
 bool ContextManager::Drain(Shard& shard, bool try_only, size_t* applied,
@@ -425,6 +478,9 @@ TableStats ContextManager::StatsFor(const Shard& shard) {
   // while another thread's FLUSH is folding a large backlog.
   shard.ctx->ProfileCounters(&stats.generation, &stats.num_rankings);
   stats.summarized = !shard.ctx->has_base_rankings();
+  stats.role = shard.follower.load(std::memory_order_relaxed)
+                   ? TableRole::kFollower
+                   : TableRole::kLeader;
   stats.runs = shard.runs.load(std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(shard.queue_mu);
   stats.pending_ops = shard.queue.size();
@@ -432,11 +488,49 @@ TableStats ContextManager::StatsFor(const Shard& shard) {
   stats.applied_batches = shard.applied_batches;
   stats.applied_rankings = shard.applied_rankings;
   stats.dropped_removes = shard.dropped_removes;
+  stats.replica_bytes_streamed = shard.replica_bytes_streamed;
+  stats.replica_connected = shard.replica_connected;
+  // Lag is what the leader has folded beyond us. The session publishes
+  // the leader generation it last heard; until it hears one (or once we
+  // catch up) the lag reads 0.
+  stats.replica_lag_generations =
+      shard.replica_leader_generation > stats.generation
+          ? shard.replica_leader_generation - stats.generation
+          : 0;
   return stats;
 }
 
 TableStats ContextManager::Stats(const std::string& name) const {
   return StatsFor(*Find(name));
+}
+
+EvalResult ContextManager::Eval(const std::string& name,
+                                const Ranking& ranking) {
+  std::shared_ptr<Shard> shard = Find(name);
+  if (ranking.size() != shard->table->num_candidates()) {
+    throw std::invalid_argument("evaluated ranking size does not match table");
+  }
+  if (!Ranking::IsValidOrder(ranking.order())) {
+    throw std::invalid_argument("evaluated ranking is not a permutation");
+  }
+  // A3 Fair-Borda: fairness-aware, needs neither the retained profile
+  // nor the precedence matrix, so EVAL serves every context flavor —
+  // summarized restores and followers included — straight off the cached
+  // Borda points.
+  const MethodSpec* spec = FindMethod("A3");
+  EvalResult result;
+  result.method = spec->id;
+  // The attached gate admits the run shared (like Run, but without
+  // draining the queue first — EVAL observes the applied profile, queued
+  // mutations ride the next wave). Empty profiles throw inside
+  // RunMethod, under the gate.
+  const ConsensusOutput consensus = shard->ctx->RunMethod(*spec, {});
+  shard->runs.fetch_add(1, std::memory_order_relaxed);
+  result.generation = shard->ctx->generation();
+  result.tau = KendallTau(ranking, consensus.consensus);
+  result.normalized_tau = NormalizedKendallTau(ranking, consensus.consensus);
+  result.fairness = shard->ctx->EvaluateFairness(ranking);
+  return result;
 }
 
 TableSnapshot ContextManager::SnapshotTable(const std::string& name,

@@ -15,11 +15,28 @@
 
 #include "core/candidate_table.h"
 #include "core/context.h"
+#include "core/fairness_metrics.h"
 #include "core/gate.h"
 #include "core/method_registry.h"
+#include "data/op_log.h"
 #include "data/snapshot.h"
 
 namespace manirank::serve {
+
+/// Thrown when a mutation verb addresses a follower table: replication
+/// targets fold only records streamed from their leader, so external
+/// APPEND / REMOVE are rejected (mapped to "ERR readonly:" by the
+/// protocol layer). Derives from logic_error because it is a usage
+/// error, not table damage — the shard state is untouched.
+class ReadOnlyTableError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Which side of a replication link a table is on. kLeader is the
+/// default (and the only role that accepts mutations); kFollower marks a
+/// table owned by a replication session (see serve/replica.h).
+enum class TableRole { kLeader, kFollower };
 
 /// Snapshot of one table shard, cheap enough to serve on every STATS
 /// request. pending_* count mutations still sitting in the queue;
@@ -47,6 +64,34 @@ struct TableStats {
   /// True for tables restored from a snapshot (summarized context): they
   /// serve precedence/Borda methods only and reject REMOVE.
   bool summarized = false;
+  /// kFollower for replication targets (mutations rejected). STATS
+  /// appends the replica_* fields only for followers, so leader output
+  /// is unchanged.
+  TableRole role = TableRole::kLeader;
+  /// Followers: last leader generation the replication session observed
+  /// minus the locally applied generation (0 once caught up).
+  uint64_t replica_lag_generations = 0;
+  /// Followers: replication bytes received (handshake floor + stream).
+  uint64_t replica_bytes_streamed = 0;
+  /// Followers: whether the leader link is currently up.
+  bool replica_connected = false;
+};
+
+/// Result of scoring one submitted ranking against a live table (EVAL).
+struct EvalResult {
+  /// Profile generation the consensus comparison observed.
+  uint64_t generation = 0;
+  /// Registry id of the consensus method the tau compares against (A3
+  /// Fair-Borda — the cheapest fairness-aware method, servable on every
+  /// context flavor including summarized restores and followers).
+  std::string method;
+  /// Kendall tau distance between the submitted ranking and that
+  /// consensus, and its [0,1] normalization.
+  int64_t tau = 0;
+  double normalized_tau = 0.0;
+  /// Fairness of the submitted ranking itself (ARP per attribute, IRP
+  /// last — see FairnessReport::parity).
+  FairnessReport fairness;
 };
 
 /// How SnapshotTable captures a table's state.
@@ -189,6 +234,36 @@ class ContextManager {
   /// Stats snapshot; does NOT drain the queue.
   TableStats Stats(const std::string& name) const;
 
+  /// Scores a submitted ranking against the applied profile: consensus
+  /// via A3 Fair-Borda under the shared gate, Kendall tau (Fenwick path)
+  /// of the submitted ranking vs that consensus, and the submitted
+  /// ranking's own fairness report (ARP per attribute via the favored-
+  /// pair counters, IRP last). Read-only and non-draining — like STATS
+  /// it observes the applied profile, so queued mutations ride the next
+  /// wave. Throws std::invalid_argument for unknown tables, malformed
+  /// rankings, and empty profiles.
+  EvalResult Eval(const std::string& name, const Ranking& ranking);
+
+  /// Marks the table a follower (external mutations rejected with
+  /// ReadOnlyTableError) or back to a leader. Throws
+  /// std::invalid_argument for unknown names.
+  void SetTableRole(const std::string& name, TableRole role);
+
+  /// Applies one verified leader log record through the exact fold path
+  /// Append/Remove use — enqueue, then drain under the exclusive gate,
+  /// one record per fold, so the follower's applied_batches bookkeeping
+  /// reproduces the leader's (the same property crash replay has).
+  /// Bypasses the follower readonly check: the replication session is
+  /// the only intended caller. Returns rankings applied.
+  size_t ApplyReplicated(const std::string& name, OpRecord record);
+
+  /// Publishes follower link progress for STATS: the last generation the
+  /// leader reported for this table, total replication bytes received,
+  /// and whether the link is up. No-op for unknown names (the table may
+  /// be mid-swap during a re-handshake).
+  void SetReplicaProgress(const std::string& name, uint64_t leader_generation,
+                          uint64_t bytes_streamed, bool connected);
+
   /// Drains the table's mutation queue, then snapshots its state (table
   /// + StreamingSummary + applied counters, plus the exact profile for
   /// the exact modes — see SnapshotMode) while still holding the
@@ -310,6 +385,14 @@ class ContextManager {
     uint64_t applied_rankings = 0;
     /// Stale queued REMOVEs dropped by the failed-apply resync.
     uint64_t dropped_removes = 0;
+    /// True for follower shards: external mutations are rejected and
+    /// only ApplyReplicated may fold (see TableRole).
+    std::atomic<bool> follower{false};
+    /// Follower link progress, guarded by queue_mu like the applied
+    /// counters (SetReplicaProgress writes, StatsFor reads).
+    uint64_t replica_leader_generation = 0;
+    uint64_t replica_bytes_streamed = 0;
+    bool replica_connected = false;
     std::atomic<uint64_t> runs{0};
     /// Serializes queue application so two drainers cannot interleave
     /// their stolen backlogs (op order is load-bearing: remove indices
@@ -321,6 +404,10 @@ class ContextManager {
   /// Registers a fully built shard under `name`; throws
   /// std::invalid_argument when the name is empty or taken.
   void Register(const std::string& name, std::shared_ptr<Shard> shard);
+  /// Validation + enqueue shared by Append and ApplyReplicated (the
+  /// public verb adds the follower readonly check on top).
+  TableStats EnqueueAppend(Shard& shard, std::vector<Ranking> rankings);
+  TableStats EnqueueRemove(Shard& shard, size_t index);
   /// RunSupported on an already-resolved shard (RunAll shares it so its
   /// retained-profile guard and the sweep use one lookup — no window for
   /// a concurrent DROP + RESTORE to swap the shard between them).

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <set>
 #include <stdexcept>
 #include <utility>
@@ -28,6 +29,37 @@ uint64_t GenerationDelta(const OpRecord& record) {
   return record.kind == OpRecord::Kind::kRemove
              ? 1
              : static_cast<uint64_t>(record.rankings.size());
+}
+
+/// Reads bytes [offset, offset + want) of `path`. Short results are
+/// returned as-is — the caller re-validates the chain and decides.
+std::string ReadFileRange(const std::string& path, uint64_t offset,
+                          size_t want) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    throw std::runtime_error("cannot open for replication: " + path);
+  }
+  is.seekg(static_cast<std::streamoff>(offset));
+  std::string out(want, '\0');
+  is.read(out.data(), static_cast<std::streamsize>(want));
+  out.resize(static_cast<size_t>(std::max<std::streamsize>(0, is.gcount())));
+  return out;
+}
+
+std::string SlurpWholeFile(const std::string& path) {
+  std::ifstream is(path, std::ios::binary | std::ios::ate);
+  if (!is) {
+    throw std::runtime_error("cannot open for replication: " + path);
+  }
+  const std::streamoff size = is.tellg();
+  is.seekg(0);
+  std::string out(static_cast<size_t>(std::max<std::streamoff>(0, size)),
+                  '\0');
+  is.read(out.data(), static_cast<std::streamsize>(out.size()));
+  if (is.gcount() != static_cast<std::streamsize>(out.size())) {
+    throw std::runtime_error("short read for replication: " + path);
+  }
+  return out;
 }
 
 }  // namespace
@@ -277,12 +309,17 @@ void DurabilityManager::SnapshotNow(const std::string& table) {
             snap.summary.generation,
             static_cast<uint64_t>(snap.summary.num_rankings));
         const std::shared_ptr<Entry> entry = FindOrCreateEntry(table);
-        std::lock_guard<std::mutex> lock(entry->mu);
-        entry->writer = std::move(writer);
-        entry->healthy = true;
-        entry->last_error.clear();
-        ++entry->truncations;
-        entry->last_truncation = Clock::now();
+        {
+          std::lock_guard<std::mutex> lock(entry->mu);
+          entry->writer = std::move(writer);
+          entry->healthy = true;
+          entry->last_error.clear();
+          ++entry->truncations;
+          entry->last_truncation = Clock::now();
+        }
+        // Chain rotated: streams on the old chain must close so their
+        // followers re-handshake against the new floor.
+        NotifyReplicationEvent();
       });
 }
 
@@ -432,6 +469,109 @@ std::string DurabilityManager::MetricsSuffix() const {
   return out;
 }
 
+// --- replication source -----------------------------------------------------
+
+DurabilityManager::ReplicationHandshake DurabilityManager::TakeHandshake(
+    const std::string& table) {
+  for (int attempt = 0;; ++attempt) {
+    const std::shared_ptr<Entry> entry = FindEntry(table);
+    if (entry == nullptr) {
+      throw std::invalid_argument("no durability state for table: " + table);
+    }
+    uint64_t chain = 0;
+    uint64_t committed = 0;
+    {
+      std::lock_guard<std::mutex> lock(entry->mu);
+      if (entry->writer == nullptr) {
+        throw std::runtime_error("durability for table '" + table +
+                                 "' is unhealthy: " + entry->last_error);
+      }
+      chain = entry->truncations;
+      committed = entry->writer->bytes();
+    }
+    ReplicationHandshake hs;
+    // Files are read OUTSIDE entry->mu so a large handshake never stalls
+    // the fold path's CommitFold; consistency comes from re-validating
+    // the chain below (WriteFileDurably replaces files by rename, so a
+    // racing truncation gives us the NEW files — detectably).
+    hs.snapshot_bytes = SlurpWholeFile(SnapshotPathFor(table));
+    hs.log_bytes = ReadFileRange(LogPathFor(table), 0, committed);
+    hs.chain = chain;
+    hs.committed_bytes = committed;
+    bool consistent = hs.log_bytes.size() == committed;
+    {
+      std::lock_guard<std::mutex> lock(entry->mu);
+      consistent = consistent && entry->writer != nullptr &&
+                   entry->truncations == chain;
+    }
+    if (consistent) return hs;
+    if (attempt >= 100) {
+      throw std::runtime_error(
+          "replication handshake kept racing truncations: " + table);
+    }
+  }
+}
+
+DurabilityManager::ReplicationPoll DurabilityManager::PollReplication(
+    const std::string& table, uint64_t chain, uint64_t* offset,
+    size_t max_bytes, std::string* out) {
+  const std::shared_ptr<Entry> entry = FindEntry(table);
+  if (entry == nullptr) return ReplicationPoll::kRotated;  // dropped
+  uint64_t committed = 0;
+  {
+    std::lock_guard<std::mutex> lock(entry->mu);
+    // Unhealthy counts as rotated: the chain is broken and heals only
+    // via the next truncation, which rotates anyway.
+    if (entry->writer == nullptr || entry->truncations != chain) {
+      return ReplicationPoll::kRotated;
+    }
+    committed = entry->writer->bytes();
+  }
+  if (*offset >= committed) return ReplicationPoll::kData;
+  const size_t want =
+      static_cast<size_t>(std::min<uint64_t>(max_bytes, committed - *offset));
+  std::string chunk;
+  try {
+    chunk = ReadFileRange(LogPathFor(table), *offset, want);
+  } catch (const std::exception&) {
+    return ReplicationPoll::kRotated;  // file replaced/unreadable mid-poll
+  }
+  {
+    // A truncation may have atomically replaced the path between the
+    // committed-size read and the file read, handing us bytes of the NEW
+    // chain at an old offset. Re-validate before trusting the chunk.
+    std::lock_guard<std::mutex> lock(entry->mu);
+    if (entry->writer == nullptr || entry->truncations != chain) {
+      return ReplicationPoll::kRotated;
+    }
+  }
+  if (chunk.size() != want) return ReplicationPoll::kRotated;
+  out->append(chunk);
+  *offset += want;
+  return ReplicationPoll::kData;
+}
+
+uint64_t DurabilityManager::ReplicationEvents() const {
+  std::lock_guard<std::mutex> lock(repl_mu_);
+  return repl_events_;
+}
+
+uint64_t DurabilityManager::WaitReplicationEvent(
+    uint64_t seen, std::chrono::milliseconds timeout) const {
+  std::unique_lock<std::mutex> lock(repl_mu_);
+  repl_cv_.wait_for(lock, timeout,
+                    [&] { return repl_events_ != seen; });
+  return repl_events_;
+}
+
+void DurabilityManager::NotifyReplicationEvent() {
+  {
+    std::lock_guard<std::mutex> lock(repl_mu_);
+    ++repl_events_;
+  }
+  repl_cv_.notify_all();
+}
+
 // --- DurabilityHook ---------------------------------------------------------
 
 void DurabilityManager::LogAppend(const std::string& table,
@@ -470,13 +610,19 @@ void DurabilityManager::AbortLastOp(const std::string& table) {
 void DurabilityManager::CommitFold(const std::string& table) {
   const std::shared_ptr<Entry> entry = FindEntry(table);
   if (entry == nullptr) return;
-  std::lock_guard<std::mutex> lock(entry->mu);
-  if (entry->writer == nullptr) return;
-  try {
-    entry->writer->Commit();
-  } catch (const std::exception& e) {
-    MarkUnhealthy(*entry, e.what());
+  {
+    std::lock_guard<std::mutex> lock(entry->mu);
+    if (entry->writer == nullptr) return;
+    try {
+      entry->writer->Commit();
+    } catch (const std::exception& e) {
+      MarkUnhealthy(*entry, e.what());
+    }
   }
+  // Wake replication streams: new committed bytes (or, on failure, a
+  // broken chain they must rotate off). Outside entry->mu — the waiters
+  // take entry locks themselves when they poll.
+  NotifyReplicationEvent();
 }
 
 void DurabilityManager::OnTableRegistered(const std::string& table,
@@ -495,8 +641,11 @@ void DurabilityManager::OnTableRegistered(const std::string& table,
         log_path, floor.table.num_candidates(), floor.summary.generation,
         static_cast<uint64_t>(floor.summary.num_rankings));
     entry->last_truncation = Clock::now();
-    std::lock_guard<std::mutex> lock(mu_);
-    entries_[table] = std::move(entry);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      entries_[table] = std::move(entry);
+    }
+    NotifyReplicationEvent();
   } catch (...) {
     // The CREATE/RESTORE is about to fail: leave no ghost files behind,
     // or the next cold start would resurrect a table the client was told
@@ -522,6 +671,8 @@ void DurabilityManager::OnTableDropped(const std::string& table) {
     FsyncParentDir(SnapshotPathFor(table));
   } catch (const std::exception&) {
   }
+  // Streams on the dropped table discover the rotation and close.
+  NotifyReplicationEvent();
 }
 
 }  // namespace manirank::serve

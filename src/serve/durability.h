@@ -2,6 +2,7 @@
 #define MANIRANK_SERVE_DURABILITY_H_
 
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -143,6 +144,55 @@ class DurabilityManager : public DurabilityHook {
 
   const std::string& dir() const { return dir_; }
 
+  // --- replication source (leader side) -------------------------------
+  //
+  // The durable files double as the replication stream: a follower's
+  // handshake ships the snapshot floor plus the committed log prefix,
+  // then the session tails committed log bytes as folds land. A chain is
+  // identified by the entry's truncation counter — a snapshot truncation
+  // (or drop) ROTATES the chain, and sessions on the old chain must
+  // close so the follower re-handshakes against the new floor (records
+  // a lagging follower missed live only inside that new floor).
+
+  /// One replication handshake: a consistent {snapshot floor, committed
+  /// log prefix} pair plus the coordinates the stream continues from.
+  struct ReplicationHandshake {
+    std::string snapshot_bytes;  ///< serialized v2 snapshot (the floor)
+    std::string log_bytes;       ///< committed log: header + records
+    uint64_t chain = 0;          ///< truncation counter naming the chain
+    uint64_t committed_bytes = 0;  ///< log offset the stream resumes at
+  };
+
+  enum class ReplicationPoll { kData, kRotated };
+
+  /// Builds the handshake for one durable table. The pair is consistent:
+  /// the chain is re-validated after the file reads and the read retried
+  /// if a truncation raced them. Throws std::invalid_argument when the
+  /// table has no durability state and std::runtime_error when it is
+  /// unhealthy or a file cannot be read.
+  ReplicationHandshake TakeHandshake(const std::string& table);
+
+  /// Appends up to `max_bytes` of committed log bytes at *offset on
+  /// chain `chain` to *out, advancing *offset. Returns kRotated when the
+  /// chain was truncated, marked unhealthy, or dropped — the caller
+  /// closes the stream and the follower re-handshakes. kData otherwise
+  /// (possibly with zero new bytes).
+  ReplicationPoll PollReplication(const std::string& table, uint64_t chain,
+                                  uint64_t* offset, size_t max_bytes,
+                                  std::string* out);
+
+  /// Monotonic counter bumped after every committed fold, truncation,
+  /// registration, and drop — the signal that a replication stream may
+  /// have new bytes (or needs to rotate).
+  uint64_t ReplicationEvents() const;
+
+  /// Blocks until the event counter passes `seen` or `timeout` elapses;
+  /// returns the current counter. Blocking front ends drive their
+  /// streaming loop with this; the event-loop front end pumps off its
+  /// drain observer instead.
+  uint64_t WaitReplicationEvent(uint64_t seen,
+                                std::chrono::milliseconds timeout) const;
+
   // --- DurabilityHook (fold group called under the table's gate) ------
   void LogAppend(const std::string& table,
                  const std::vector<Ranking>& batch) override;
@@ -179,11 +229,17 @@ class DurabilityManager : public DurabilityHook {
   RestoredTable RestoreOne(const std::string& table, bool has_log);
   /// Entry lookup that inserts a fresh entry when absent.
   std::shared_ptr<Entry> FindOrCreateEntry(const std::string& table);
+  /// Bumps the replication event counter and wakes waiters.
+  void NotifyReplicationEvent();
 
   const std::string dir_;
   ContextManager* const manager_;
   mutable std::mutex mu_;  ///< guards entries_ (the map only)
   std::unordered_map<std::string, std::shared_ptr<Entry>> entries_;
+  /// Replication event counter + waiters (see WaitReplicationEvent).
+  mutable std::mutex repl_mu_;
+  mutable std::condition_variable repl_cv_;
+  uint64_t repl_events_ = 0;
 };
 
 /// True when `name` can be used as a durability file stem: non-empty, no

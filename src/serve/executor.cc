@@ -137,6 +137,32 @@ bool SendLine(int fd, std::string response) {
   return true;
 }
 
+/// Raw-byte counterpart of SendLine for the replication payloads (no
+/// newline framing; the byte stream is the op-log format itself).
+bool SendAll(int fd, const std::string& bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t w = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                             kSendFlags);
+    if (w < 0 && errno == EINTR) continue;
+    if (w <= 0) return false;
+    sent += static_cast<size_t>(w);
+  }
+  return true;
+}
+
+std::vector<std::string> SplitTokens(const std::string& line) {
+  std::istringstream in(line);
+  std::vector<std::string> tokens;
+  std::string token;
+  while (in >> token) tokens.push_back(std::move(token));
+  return tokens;
+}
+
+/// Per-pass byte budget for one replication pump: bounds both the file
+/// read on the loop thread and the response-buffer growth per stream.
+constexpr size_t kReplPumpBytes = 256u << 10;
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -227,17 +253,43 @@ void ThreadPerConnectionServer::Connection(int fd) {
       break;
     }
     size_t start = 0;
+    bool stream_closed = false;
     for (;;) {
       const size_t newline = buffer.find('\n', std::max(start, scan_from));
       if (newline == std::string::npos) break;
       const std::string line = buffer.substr(start, newline - start);
       start = newline + 1;
+      // A valid REPLICATE flips the connection into a blocking
+      // replication stream on this very thread (the thread-per-connection
+      // model's natural shape). Invalid variants fall through to the
+      // dispatcher, which answers the precise ERR (bad-request /
+      // no-such-table / unavailable without --log-dir).
+      if (options_.durability != nullptr && ClassifyRequest(line).replicate) {
+        const std::vector<std::string> tokens = SplitTokens(line);
+        if (tokens.size() == 2 && manager_->Has(tokens[1])) {
+          switch (StreamReplication(fd, tokens[1])) {
+            case ReplStreamEnd::kKeepServing:
+              continue;  // handshake refused with an ERR line
+            case ReplStreamEnd::kCloseOrderly:
+              stream_closed = true;
+              break;
+            case ReplStreamEnd::kPeerGone:
+              peer_gone = true;
+              break;
+          }
+          break;
+        }
+      }
       if (!SendLine(fd, dispatcher.Handle(line))) {
         peer_gone = true;
         break;
       }
     }
     if (peer_gone) break;
+    if (stream_closed) {
+      oversize = true;  // suppress the final-buffer handling below
+      break;
+    }
     buffer.erase(0, start);
   }
   if (!peer_gone) {
@@ -262,6 +314,51 @@ void ThreadPerConnectionServer::Connection(int fd) {
                   live_fds_.end());
   ::close(fd);
   if (--active_ == 0) done_cv_.notify_all();
+}
+
+ThreadPerConnectionServer::ReplStreamEnd
+ThreadPerConnectionServer::StreamReplication(int fd,
+                                             const std::string& table) {
+  DurabilityManager* durability = options_.durability;
+  DurabilityManager::ReplicationHandshake handshake;
+  try {
+    handshake = durability->TakeHandshake(table);
+  } catch (const std::invalid_argument& e) {
+    return SendLine(fd, std::string("ERR no-such-table: ") + e.what())
+               ? ReplStreamEnd::kKeepServing
+               : ReplStreamEnd::kPeerGone;
+  } catch (const std::exception& e) {
+    return SendLine(fd, std::string("ERR io: ") + e.what())
+               ? ReplStreamEnd::kKeepServing
+               : ReplStreamEnd::kPeerGone;
+  }
+  std::ostringstream head;
+  head << "OK REPLICATE " << table
+       << " snapshot_bytes=" << handshake.snapshot_bytes.size()
+       << " log_bytes=" << handshake.log_bytes.size();
+  if (!SendLine(fd, head.str()) || !SendAll(fd, handshake.snapshot_bytes) ||
+      !SendAll(fd, handshake.log_bytes)) {
+    return ReplStreamEnd::kPeerGone;
+  }
+  uint64_t offset = handshake.committed_bytes;
+  uint64_t seen = durability->ReplicationEvents();
+  while (!stopping_.load()) {
+    std::string chunk;
+    if (durability->PollReplication(table, handshake.chain, &offset,
+                                    1u << 20, &chunk) ==
+        DurabilityManager::ReplicationPoll::kRotated) {
+      return ReplStreamEnd::kCloseOrderly;
+    }
+    if (!chunk.empty()) {
+      if (!SendAll(fd, chunk)) return ReplStreamEnd::kPeerGone;
+      continue;  // drain everything available before waiting again
+    }
+    // The bounded wait doubles as the stopping_ poll: Shutdown's
+    // SHUT_RD does not interrupt a thread that never reads.
+    seen = durability->WaitReplicationEvent(seen,
+                                            std::chrono::milliseconds(200));
+  }
+  return ReplStreamEnd::kCloseOrderly;
 }
 
 void ThreadPerConnectionServer::Shutdown() {
@@ -358,7 +455,20 @@ struct ServeExecutor::Conn {
   /// before being dropped — same rationale as discard_deadline.
   std::chrono::steady_clock::time_point flush_deadline{};
 
+  /// Leader-side replication stream state (guarded by sched_mu_, like
+  /// the response buffer it feeds). Non-null from the REPLICATE
+  /// interception until CloseConn (or a refused handshake).
+  struct Repl {
+    std::string table;
+    uint64_t chain = 0;   ///< truncation counter naming the chain
+    uint64_t offset = 0;  ///< next committed log byte to ship
+    /// Header + floor + log prefix appended to pending_out; the loop may
+    /// start pumping.
+    bool handshake_done = false;
+  };
+
   // --- guarded by sched_mu_ ---
+  std::unique_ptr<Repl> repl;
   uint64_t next_seq = 0;   // next request sequence number to assign
   uint64_t next_send = 0;  // next sequence number to sequence to the wire
   /// Bytes of parsed request lines not yet executed (the request-side
@@ -417,6 +527,10 @@ struct ServeExecutor::IoLoop {
   std::map<int, std::shared_ptr<Conn>> conns;
   /// Connections queued for a service pass (deduped via Conn::in_service).
   std::vector<std::shared_ptr<Conn>> pending;
+  /// Replication streams pinned to this loop. Each iteration queues them
+  /// for service (bounded 200 ms poll tick: catches chain rotations and
+  /// missed pushes) and prunes closed entries.
+  std::vector<std::shared_ptr<Conn>> repl_streams;
   bool accept_ready = false;
   std::chrono::steady_clock::time_point accept_backoff_until{};
 
@@ -433,6 +547,8 @@ struct ServeExecutor::IoLoop {
     uint64_t backpressure_stalls = 0;
     uint64_t parked_drains = 0;
     uint64_t emfile_rejected = 0;
+    uint64_t repl_sessions = 0;  ///< REPLICATE streams accepted
+    uint64_t repl_bytes = 0;     ///< handshake + streamed log bytes
   };
   /// Write-side counter state; every mutation happens under sched_mu_
   /// and is followed by PublishLocked().
@@ -448,6 +564,8 @@ struct ServeExecutor::IoLoop {
   std::atomic<uint64_t> pub_stalls{0};
   std::atomic<uint64_t> pub_parked{0};
   std::atomic<uint64_t> pub_emfile{0};
+  std::atomic<uint64_t> pub_repl_sessions{0};
+  std::atomic<uint64_t> pub_repl_bytes{0};
 
   /// sched_mu_ held (serializes writers — the seqlock protects readers
   /// only). Same idiom as the engine's ProfileCounters: odd seq marks
@@ -464,6 +582,8 @@ struct ServeExecutor::IoLoop {
     pub_stalls.store(shadow.backpressure_stalls, std::memory_order_relaxed);
     pub_parked.store(shadow.parked_drains, std::memory_order_relaxed);
     pub_emfile.store(shadow.emfile_rejected, std::memory_order_relaxed);
+    pub_repl_sessions.store(shadow.repl_sessions, std::memory_order_relaxed);
+    pub_repl_bytes.store(shadow.repl_bytes, std::memory_order_relaxed);
     counter_seq.store(counter_seq.load(std::memory_order_relaxed) + 1,
                       std::memory_order_release);
   }
@@ -483,6 +603,8 @@ struct ServeExecutor::IoLoop {
       snap.backpressure_stalls = pub_stalls.load(std::memory_order_relaxed);
       snap.parked_drains = pub_parked.load(std::memory_order_relaxed);
       snap.emfile_rejected = pub_emfile.load(std::memory_order_relaxed);
+      snap.repl_sessions = pub_repl_sessions.load(std::memory_order_relaxed);
+      snap.repl_bytes = pub_repl_bytes.load(std::memory_order_relaxed);
       std::atomic_thread_fence(std::memory_order_acquire);
       if (counter_seq.load(std::memory_order_relaxed) == begin) return snap;
     }
@@ -619,6 +741,7 @@ void ServeExecutor::Shutdown() {
     live_nodes_.clear();
     table_vfinish_.clear();
     virtual_time_ = 0;
+    repl_conns_.clear();
     for (auto& loop : loops_) loop->notify.clear();
   }
   for (auto& loop : loops_) {
@@ -692,6 +815,22 @@ void ServeExecutor::LoopMain(IoLoop& loop) {
         }
       }
     }
+    if (!loop.repl_streams.empty()) {
+      // Pump every live replication stream this pass (the 200 ms poll
+      // tick below caps the latency between passes); prune closed ones.
+      loop.repl_streams.erase(
+          std::remove_if(loop.repl_streams.begin(), loop.repl_streams.end(),
+                         [](const std::shared_ptr<Conn>& conn) {
+                           return conn->fd < 0;
+                         }),
+          loop.repl_streams.end());
+      for (const std::shared_ptr<Conn>& conn : loop.repl_streams) {
+        if (!conn->in_service) {
+          conn->in_service = true;
+          loop.pending.push_back(conn);
+        }
+      }
+    }
     work.clear();
     work.swap(loop.pending);
     // Clear the dedupe flags before servicing: a connection that needs
@@ -710,6 +849,11 @@ void ServeExecutor::LoopMain(IoLoop& loop) {
       timeout_ms = 100;  // tick linger deadlines
     } else if (loop.accept_ready) {
       timeout_ms = 50;  // resume accepting after the backoff expires
+    } else if (!loop.repl_streams.empty()) {
+      // Replication poll tick: bounds the latency of rotation detection
+      // and of any pump notification lost to a race. The drain observer
+      // is the fast path; this is the backstop.
+      timeout_ms = 200;
     } else {
       timeout_ms = -1;
     }
@@ -960,6 +1104,24 @@ void ServeExecutor::ServiceConn(IoLoop& loop,
       }
     }
   }
+  {
+    bool is_repl;
+    {
+      std::lock_guard<std::mutex> lock(sched_mu_);
+      is_repl = conn->repl != nullptr;
+    }
+    if (is_repl) {
+      if (stopping) {
+        // Replication streams never finish on their own — close them
+        // outright; the follower treats EOF as "reconnect and
+        // re-handshake" (against whoever serves the durable dir next).
+        FlushConn(conn);
+        CloseConn(loop, conn);
+        return;
+      }
+      if (PumpReplication(loop, conn)) return;  // chain rotated: closed
+    }
+  }
   FlushConn(conn);
   bool now_dead;
   bool now_can_read;
@@ -970,8 +1132,11 @@ void ServeExecutor::ServiceConn(IoLoop& loop,
     now_dead = conn->dead;
     now_can_read = can_read_locked();
     unsent = conn->unsent_bytes;
+    // A replication stream keeps the connection open indefinitely — it
+    // must never take the all-flushed half-close path below.
     all_executed = !conn->scheduling_reads && conn->unfinished.empty() &&
-                   conn->finished_out_of_order.empty();
+                   conn->finished_out_of_order.empty() &&
+                   conn->repl == nullptr;
   }
   if (now_dead) {
     CloseConn(loop, conn);
@@ -1082,6 +1247,16 @@ ServeExecutor::ReadStatus ServeExecutor::HandleReadable(
             ScheduleLine(conn, buffer.substr(start, newline - start));
         start = newline + 1;
         if (inline_node != nullptr) ExecuteNode(inline_node, true);
+        if (!conn->scheduling_reads) {
+          // REPLICATE flipped the connection into a replication stream
+          // mid-chunk: stop parsing. A follower sends nothing after the
+          // verb, so any residual bytes are protocol garbage — drop them.
+          conn->in_buffer.clear();
+          std::lock_guard<std::mutex> lock(sched_mu_);
+          loop.shadow.bytes_in += static_cast<uint64_t>(got);
+          loop.PublishLocked();
+          return ReadStatus::kEof;
+        }
       }
       buffer.erase(0, start);
       bool over;
@@ -1126,6 +1301,49 @@ ServeExecutor::Request* ServeExecutor::ScheduleLine(
   // Blank/comment lines get no response and need no scheduling.
   if (cls.no_response) return nullptr;
   std::lock_guard<std::mutex> lock(sched_mu_);
+  std::string synthetic;
+  if (cls.replicate && options_.durability != nullptr && !stopping_.load()) {
+    // A valid REPLICATE flips this connection into a replication stream.
+    // Invalid variants (arity, unknown table, no durability) fall through
+    // to the dispatcher, which answers the precise ERR; the "streaming
+    // front end" rejection it would give a VALID request never surfaces
+    // here because that case is intercepted.
+    const std::vector<std::string> tokens = SplitTokens(line);
+    if (tokens.size() == 2 && manager_->Has(tokens[1])) {
+      if (conn->unfinished.empty() && conn->repl == nullptr) {
+        // We are on the owning loop thread (the only ScheduleLine
+        // caller), so flipping the read-side flag here is safe;
+        // HandleReadable stops parsing the moment it observes it.
+        conn->scheduling_reads = false;
+        conn->repl = std::make_unique<Conn::Repl>();
+        conn->repl->table = tokens[1];
+        repl_conns_.emplace(conn.get(), conn);
+        if (conn->loop != nullptr) conn->loop->repl_streams.push_back(conn);
+        const std::shared_ptr<Conn> stream = conn;
+        // The worker cannot observe a half-built stream: StartReplication
+        // takes sched_mu_ (held here) before reading the Repl state.
+        if (pool_->Submit([this, stream] { StartReplication(stream); })) {
+          if (conn->loop != nullptr) {
+            ++conn->loop->shadow.repl_sessions;
+            conn->loop->PublishLocked();
+          }
+          return nullptr;
+        }
+        // Pool already stopping (shutdown race): revert and let the
+        // normal path answer whatever the dispatcher says.
+        conn->repl.reset();
+        repl_conns_.erase(conn.get());
+        if (conn->loop != nullptr) conn->loop->repl_streams.pop_back();
+        conn->scheduling_reads = true;
+      } else {
+        // Pipelined predecessors would interleave their responses into
+        // the binary stream; refuse (ordered after them, as a barrier).
+        synthetic =
+            "ERR conflict: REPLICATE must be the only request in flight "
+            "on its connection";
+      }
+    }
+  }
   auto owned = std::make_unique<Request>();
   Request* node = owned.get();
   node->conn = conn;
@@ -1136,6 +1354,7 @@ ServeExecutor::Request* ServeExecutor::ScheduleLine(
   node->table = std::move(cls.table);
   node->barrier = cls.barrier;
   node->draining = cls.draining;
+  node->synthetic_response = std::move(synthetic);
   live_nodes_.emplace(node, std::move(owned));
   const auto depend_on = [node](Request* pred) {
     if (pred != nullptr) {
@@ -1364,6 +1583,15 @@ void ServeExecutor::OnDrainFinished(const std::string& table) {
       for (Request* node : it->second) EnqueueReadyLocked(node);
       parked_.erase(it);
     }
+    // A finished fold is exactly when this table's replication streams
+    // have new committed bytes: push a pump pass to their loops so
+    // replication latency tracks fold latency, not the 200 ms backstop.
+    for (const auto& [raw, conn] : repl_conns_) {
+      if (conn->repl != nullptr && conn->repl->handshake_done &&
+          conn->repl->table == table) {
+        NotifyLoopLocked(conn);
+      }
+    }
   }
   // A finished drain is exactly when a GENERATIONS policy can newly come
   // due — the generation only moves at fold boundaries. Outside
@@ -1392,6 +1620,100 @@ void ServeExecutor::SchedulePolicyEval() {
     }
   });
   if (!submitted) policy_eval_scheduled_.store(false);  // pool stopping
+}
+
+void ServeExecutor::StartReplication(const std::shared_ptr<Conn>& conn) {
+  std::string table;
+  {
+    std::lock_guard<std::mutex> lock(sched_mu_);
+    if (conn->repl == nullptr || conn->dead) return;
+    table = conn->repl->table;
+  }
+  // File reads happen here on the worker, never under sched_mu_.
+  DurabilityManager::ReplicationHandshake handshake;
+  std::string err;
+  try {
+    handshake = options_.durability->TakeHandshake(table);
+  } catch (const std::invalid_argument& e) {
+    err = std::string("ERR no-such-table: ") + e.what();
+  } catch (const std::exception& e) {
+    err = std::string("ERR io: ") + e.what();
+  }
+  std::lock_guard<std::mutex> lock(sched_mu_);
+  if (conn->repl == nullptr || conn->dead) return;
+  if (!err.empty()) {
+    // Refused handshake: answer the ERR and revert to a normal (idle,
+    // no-longer-reading) connection — the loop half-closes after the
+    // flush, exactly like an oversize rejection.
+    conn->pending_out += err;
+    conn->pending_out += '\n';
+    conn->unsent_bytes += err.size() + 1;
+    conn->repl.reset();
+    repl_conns_.erase(conn.get());
+    NotifyLoopLocked(conn);
+    return;
+  }
+  std::ostringstream head;
+  head << "OK REPLICATE " << table
+       << " snapshot_bytes=" << handshake.snapshot_bytes.size()
+       << " log_bytes=" << handshake.log_bytes.size() << "\n";
+  const std::string header = head.str();
+  const size_t added = header.size() + handshake.snapshot_bytes.size() +
+                       handshake.log_bytes.size();
+  conn->pending_out += header;
+  conn->pending_out += handshake.snapshot_bytes;
+  conn->pending_out += handshake.log_bytes;
+  conn->unsent_bytes += added;
+  conn->repl->chain = handshake.chain;
+  conn->repl->offset = handshake.committed_bytes;
+  conn->repl->handshake_done = true;
+  if (conn->loop != nullptr) {
+    conn->loop->shadow.repl_bytes += added;
+    conn->loop->PublishLocked();
+  }
+  NotifyLoopLocked(conn);
+}
+
+bool ServeExecutor::PumpReplication(IoLoop& loop,
+                                    const std::shared_ptr<Conn>& conn) {
+  std::string table;
+  uint64_t chain;
+  uint64_t offset;
+  {
+    std::lock_guard<std::mutex> lock(sched_mu_);
+    if (conn->repl == nullptr || !conn->repl->handshake_done || conn->dead) {
+      return false;
+    }
+    if (conn->unsent_bytes > options_.max_buffered_response_bytes) {
+      // Slow follower: the stream honors the same response-byte budget
+      // as everything else; the 200 ms tick retries once bytes drain.
+      return false;
+    }
+    table = conn->repl->table;
+    chain = conn->repl->chain;
+    offset = conn->repl->offset;
+  }
+  std::string chunk;
+  if (options_.durability->PollReplication(table, chain, &offset,
+                                           kReplPumpBytes, &chunk) ==
+      DurabilityManager::ReplicationPoll::kRotated) {
+    // Snapshot truncation, DROP, or an unhealthy log: bytes at this
+    // offset no longer mean anything on the wire. Deliver what was
+    // already buffered (best effort), then close so the follower
+    // re-handshakes against the new floor.
+    FlushConn(conn);
+    CloseConn(loop, conn);
+    return true;
+  }
+  if (chunk.empty()) return false;
+  std::lock_guard<std::mutex> lock(sched_mu_);
+  if (conn->repl == nullptr || conn->dead) return false;
+  conn->repl->offset = offset;
+  conn->pending_out += chunk;
+  conn->unsent_bytes += chunk.size();
+  loop.shadow.repl_bytes += chunk.size();
+  loop.PublishLocked();
+  return false;
 }
 
 void ServeExecutor::FlushConn(const std::shared_ptr<Conn>& conn) {
@@ -1456,6 +1778,8 @@ void ServeExecutor::CloseConn(IoLoop& loop, const std::shared_ptr<Conn>& conn) {
     conn->dead = true;
     conn->pending_out.clear();
     conn->unsent_bytes = 0;
+    conn->repl.reset();
+    repl_conns_.erase(conn.get());
   }
   conn->scheduling_reads = false;
   conn->discarding = false;
@@ -1479,6 +1803,8 @@ std::string ServeExecutor::MetricsResponse() const {
     total.backpressure_stalls += s.backpressure_stalls;
     total.parked_drains += s.parked_drains;
     total.emfile_rejected += s.emfile_rejected;
+    total.repl_sessions += s.repl_sessions;
+    total.repl_bytes += s.repl_bytes;
   }
   std::ostringstream out;
   out << "OK METRICS poller=" << PollerBackendName(backend_)
@@ -1488,7 +1814,9 @@ std::string ServeExecutor::MetricsResponse() const {
       << " parked_drains=" << total.parked_drains
       << " bytes_in=" << total.bytes_in << " bytes_out=" << total.bytes_out
       << " backpressure_stalls=" << total.backpressure_stalls
-      << " emfile_rejected=" << total.emfile_rejected;
+      << " emfile_rejected=" << total.emfile_rejected
+      << " repl_sessions=" << total.repl_sessions
+      << " repl_bytes_streamed=" << total.repl_bytes;
   for (size_t i = 0; i < snaps.size(); ++i) {
     const IoLoop::Shadow& s = snaps[i];
     out << " loop" << i << "=accepted:" << s.accepted << ",served:" << s.served

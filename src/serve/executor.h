@@ -99,6 +99,23 @@
 /// cannot hang the shutdown. The same flush-then-half-close discipline
 /// answers an oversize request line: the client receives the ERR
 /// response and an orderly EOF, never a connection reset.
+///
+/// ## Replication streams
+///
+/// With a durability layer attached, a REPLICATE request flips its
+/// connection into a leader-side replication stream (serve/protocol.h
+/// documents the wire format). The handshake (snapshot floor + committed
+/// log prefix, read from the durable files by DurabilityManager::
+/// TakeHandshake) is built on a pool worker; from then on the owning
+/// event loop pumps newly committed log bytes into the ordinary response
+/// buffer, so replication rides the same edge-triggered write path and
+/// response-byte backpressure as every other connection. Pump triggers:
+/// the drain observer (a finished fold is exactly when new committed
+/// bytes exist) plus a bounded 200 ms poll tick while streams are live —
+/// the tick also notices chain rotations (snapshot truncation, DROP),
+/// which close the stream so the follower re-handshakes. Streams are
+/// closed outright at shutdown; followers treat any EOF as "reconnect
+/// and re-handshake".
 
 #if defined(__unix__) || defined(__APPLE__)
 #define MANIRANK_SERVE_HAVE_SOCKETS 1
@@ -198,8 +215,20 @@ class ThreadPerConnectionServer {
   void Shutdown();
 
  private:
+  /// Outcome of one blocking REPLICATE stream (see StreamReplication).
+  enum class ReplStreamEnd {
+    kKeepServing,   ///< handshake refused with an ERR line; keep serving
+    kCloseOrderly,  ///< chain rotated or shutting down: half-close
+    kPeerGone,      ///< follower vanished mid-stream
+  };
+
   void AcceptLoop();
   void Connection(int fd);
+  /// Serves one leader-side replication stream synchronously on the
+  /// connection's own thread: handshake, then PollReplication chunks
+  /// driven by DurabilityManager::WaitReplicationEvent until the chain
+  /// rotates, the peer disappears, or the server stops.
+  ReplStreamEnd StreamReplication(int fd, const std::string& table);
 
   ContextManager* manager_;
   ServerOptions options_;
@@ -304,6 +333,16 @@ class ServeExecutor {
   /// the pool). The runner re-checks for newly due work after clearing
   /// the flag, so a deadline arriving mid-pass is never lost.
   void SchedulePolicyEval();
+  /// Pool-worker entry for a replication handshake: reads the snapshot
+  /// floor + committed log prefix (TakeHandshake) and appends the header
+  /// line plus both raw payloads to the connection's response buffer —
+  /// the stream then continues via PumpReplication on the owning loop.
+  void StartReplication(const std::shared_ptr<Conn>& conn);
+  /// Loop-thread only: appends newly committed log bytes (bounded per
+  /// pass, gated by the response-byte budget) to a live replication
+  /// stream. Returns true when the connection was closed (chain
+  /// rotation — the follower must re-handshake).
+  bool PumpReplication(IoLoop& loop, const std::shared_ptr<Conn>& conn);
   /// Any-thread response flusher: two-buffer scheme, so the send()
   /// syscalls run under the connection's write lock only — never under
   /// the global scheduler lock. Lock order: write_mu before sched_mu_.
@@ -352,6 +391,10 @@ class ServeExecutor {
   /// One global parked-queue flush when shutdown begins (first loop to
   /// notice performs it).
   bool parked_flushed_ = false;
+  /// Live replication streams (handshake pending or done), keyed by raw
+  /// Conn pointer: the drain observer pushes a pump notification to each
+  /// stream of the folded table. Entries leave in CloseConn.
+  std::unordered_map<Conn*, std::shared_ptr<Conn>> repl_conns_;
 
   std::atomic<uint64_t> requests_served_{0};
   std::atomic<uint64_t> requests_parked_{0};

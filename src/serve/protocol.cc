@@ -180,6 +180,40 @@ std::string HandleAppend(ContextManager* manager,
   return os.str();
 }
 
+std::string HandleEval(ContextManager* manager,
+                       const std::vector<std::string>& tokens) {
+  if (tokens.size() < 3) {
+    return Err("bad-request", "EVAL <table> <c0> <c1> ...");
+  }
+  std::vector<CandidateId> order;
+  order.reserve(tokens.size() - 2);
+  for (size_t i = 2; i < tokens.size(); ++i) {
+    const auto c = ParseLong(tokens[i]);
+    // Same bound-check-before-cast discipline as APPEND.
+    if (!c || *c < 0 || *c > std::numeric_limits<CandidateId>::max()) {
+      return Err("bad-ranking",
+                 "candidate id must be a non-negative integer, got '" +
+                     tokens[i] + "'");
+    }
+    order.push_back(static_cast<CandidateId>(*c));
+  }
+  if (!Ranking::IsValidOrder(order)) {
+    return Err("bad-ranking", "EVAL payload is not a permutation of 0..n-1");
+  }
+  const EvalResult result =
+      manager->Eval(tokens[1], Ranking(std::move(order)));
+  std::ostringstream os;
+  os << "OK EVAL " << tokens[1] << " gen=" << result.generation
+     << " method=" << result.method << " tau=" << result.tau
+     << " ntau=" << result.normalized_tau << " parity=";
+  for (size_t i = 0; i < result.fairness.parity.size(); ++i) {
+    if (i != 0) os << ',';
+    os << result.fairness.parity[i];
+  }
+  os << " max_parity=" << result.fairness.MaxParity();
+  return os.str();
+}
+
 std::string HandleRun(ContextManager* manager,
                       const std::vector<std::string>& tokens) {
   if (tokens.size() < 3) {
@@ -359,6 +393,24 @@ std::string Dispatcher::HandleRequest(const std::string& line) {
     if (verb == "CREATE") return HandleCreate(manager_, tokens);
     if (verb == "APPEND") return HandleAppend(manager_, tokens);
     if (verb == "RUN") return HandleRun(manager_, tokens);
+    if (verb == "EVAL") return HandleEval(manager_, tokens);
+    if (verb == "REPLICATE") {
+      // Streaming front ends (the executor and the threaded server)
+      // intercept REPLICATE before dispatch; reaching this handler means
+      // the front end cannot switch the connection into a binary stream
+      // (stdin, script replay). Validate anyway so every front end
+      // agrees on the failure modes.
+      if (tokens.size() != 2) return Err("bad-request", "REPLICATE <table>");
+      if (!manager_->Has(tokens[1])) {
+        return Err("no-such-table", "no such table: " + tokens[1]);
+      }
+      if (durability_ == nullptr) {
+        return Err("unavailable",
+                   "REPLICATE requires the --log-dir durability layer");
+      }
+      return Err("unavailable",
+                 "REPLICATE requires a streaming socket front end");
+    }
     if (verb == "SNAPSHOT") return HandleSnapshot(manager_, tokens);
     if (verb == "SNAPSHOT-POLICY") {
       return HandleSnapshotPolicy(manager_, durability_, tokens);
@@ -395,6 +447,15 @@ std::string Dispatcher::HandleRequest(const std::string& line) {
          << " runs=" << stats.runs
          << " dropped_removes=" << stats.dropped_removes
          << " summarized=" << (stats.summarized ? 1 : 0);
+      if (stats.role == TableRole::kFollower) {
+        // Trailing and follower-only: leader STATS output is unchanged
+        // byte-for-byte, which the replication equivalence checks (and
+        // older clients) rely on.
+        os << " role=follower"
+           << " replica_lag_generations=" << stats.replica_lag_generations
+           << " replica_bytes_streamed=" << stats.replica_bytes_streamed
+           << " replica_connected=" << (stats.replica_connected ? 1 : 0);
+      }
       if (durability_ != nullptr) {
         const auto d = durability_->StatsFor(tokens[1]);
         if (d.has_value()) {
@@ -439,6 +500,11 @@ std::string Dispatcher::HandleRequest(const std::string& line) {
     return Err("unknown-verb", verb);
   } catch (const std::out_of_range& e) {
     return Err("bad-index", e.what());
+  } catch (const ReadOnlyTableError& e) {
+    // Before the logic_error catch (its base): a mutation on a follower
+    // table is its own protocol condition, not a generic conflict — the
+    // client should redirect the write to the leader.
+    return Err("readonly", e.what());
   } catch (const std::invalid_argument& e) {
     const std::string what = e.what();
     if (what.rfind("no such table", 0) == 0) {
@@ -521,9 +587,10 @@ RequestClass ClassifyRequest(const std::string& line) {
     cls.no_response = true;
     return cls;
   }
+  cls.replicate = verb == "REPLICATE";
   const bool per_table = verb == "APPEND" || verb == "REMOVE" ||
                          verb == "RUN" || verb == "STATS" ||
-                         verb == "FLUSH";
+                         verb == "FLUSH" || verb == "EVAL";
   std::string table;
   if (per_table) table = next_token(&pos);
   if (per_table && !table.empty()) {

@@ -24,6 +24,7 @@ namespace manirank::serve {
 ///   APPEND   <table> <c0> <c1> ... [; <c0> <c1> ...]*
 ///   REMOVE   <table> <index>
 ///   RUN      <table> <method|all> [DELTA <d>] [LIMIT <seconds>]
+///   EVAL     <table> <c0> <c1> ...
 ///   STATS    <table>
 ///   FLUSH    <table>
 ///   SNAPSHOT <table> <path> [EXACT]
@@ -32,6 +33,7 @@ namespace manirank::serve {
 ///   DROP     <table>
 ///   TABLES
 ///   METRICS
+///   REPLICATE <table>
 ///
 /// CREATE..CYCLIC builds the deterministic two-attribute table where
 /// candidate i carries values (i % d0, (i / d0) % d1) — handy for scripts
@@ -55,6 +57,29 @@ namespace manirank::serve {
 /// retained table serving all eight methods and REMOVE, bit-identically.
 /// EXACT is rejected (ERR conflict) on tables that are themselves
 /// summarized — their profile was folded away.
+///
+/// EVAL scores a client-submitted ranking against the live table without
+/// mutating anything: the consensus comparison runs A3 Fair-Borda under
+/// the shared gate (servable on every table flavor, followers included),
+/// Kendall tau against that consensus uses the Fenwick-tree distance
+/// path, and the submitted ranking's own fairness (ARP per attribute,
+/// IRP last) comes from the cached favored-pair denominators. Response:
+/// "OK EVAL <table> gen=<g> method=A3 tau=<t> ntau=<x>
+/// parity=<p0,p1,...> max_parity=<m>". Like STATS it does not drain the
+/// mutation queue — it observes the applied profile at gen=.
+///
+/// REPLICATE switches the connection into a replication stream (leader
+/// side): the response line "OK REPLICATE <table> snapshot_bytes=<N>
+/// log_bytes=<M>" is followed by N raw bytes of the table's v2 snapshot
+/// floor, M raw bytes of the committed op log (header + records), and
+/// then committed log records streamed continuously as folds land. The
+/// stream carries the exact on-disk byte format — FNV-1a checksums and
+/// all — so a follower verifies it with the same OpLogCursor that cold
+/// start uses. When the leader truncates the log (snapshot policy) or
+/// drops the table, it CLOSES the stream; the follower reconnects and
+/// re-handshakes against the new floor. Only socket front ends with the
+/// --log-dir durability layer serve it; others answer ERR unavailable.
+/// Mutations on follower tables are rejected with "ERR readonly:".
 ///
 /// SNAPSHOT-POLICY arms per-table automatic snapshot truncation of the
 /// durability op log (serve/durability.h): GENERATIONS <n> truncates
@@ -85,7 +110,10 @@ namespace manirank::serve {
 ///
 /// With durability attached, STATS gains oplog_* fields (committed log
 /// records/bytes, truncations, cold-start replay counters, health) for
-/// tables with durability state.
+/// tables with durability state. On follower tables STATS additionally
+/// reports role=follower, replica_lag_generations (leader generation
+/// last heard minus local), replica_bytes_streamed, and
+/// replica_connected — trailing fields, so leader output is unchanged.
 class DurabilityManager;
 
 class Dispatcher {
@@ -168,6 +196,11 @@ struct RequestClass {
   /// Blank or comment line: Dispatcher::Handle returns no response and
   /// the request needs no scheduling at all.
   bool no_response = false;
+  /// REPLICATE: a streaming front end must intercept the line instead of
+  /// dispatching it (the connection becomes a binary stream). Classified
+  /// as a barrier too, so a non-streaming front end that dispatches it
+  /// anyway still orders it safely (and answers ERR unavailable).
+  bool replicate = false;
 };
 
 RequestClass ClassifyRequest(const std::string& line);

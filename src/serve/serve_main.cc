@@ -7,7 +7,20 @@
 //                                       N sharded event loops (epoll where
 //                                       available, SO_REUSEPORT accept
 //                                       sharding) plus a shared worker pool
-//                                       (serve/executor.h)
+//                                       (serve/executor.h); P=0 picks an
+//                                       ephemeral port (the bound port is
+//                                       printed as "listening on port N")
+//   manirank_serve --follow HOST:PORT   follower: replicate every table of
+//                                       the leader at HOST:PORT (snapshot
+//                                       floor + streamed op log, verified
+//                                       with the cold-start cursor) and
+//                                       serve reads from the replicated
+//                                       state; mutations answer
+//                                       "ERR readonly:". A follower that
+//                                       loses its leader keeps serving its
+//                                       last consistent fold boundary and
+//                                       reconnects with backoff
+//                                       (serve/replica.h)
 //   manirank_serve --workers N          executor worker threads (default:
 //                                       hardware concurrency, max 256)
 //   manirank_serve --io-threads N       executor event-loop threads, each
@@ -78,6 +91,7 @@
 #include "serve/durability.h"
 #include "serve/executor.h"
 #include "serve/protocol.h"
+#include "serve/replica.h"
 #include "util/threading.h"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -91,6 +105,7 @@ using manirank::serve::Dispatcher;
 
 int Usage() {
   std::cerr << "usage: manirank_serve [--script FILE | --port P]\n"
+               "                      [--follow HOST:PORT]\n"
                "                      [--workers N] [--io-threads N]\n"
                "                      [--threaded] [--restore-dir DIR]\n"
                "                      [--log-dir DIR] [--echo]\n"
@@ -98,8 +113,10 @@ int Usage() {
                "   cold-starts every DIR/<table>.snap before serving;\n"
                "   --log-dir adds exact-profile durability: op-log replay\n"
                "   at cold start, fold logging and SNAPSHOT-POLICY while\n"
-               "   serving; --port serves the async executor pipeline,\n"
-               "   --threaded falls back to one thread per connection)\n";
+               "   serving; --port serves the async executor pipeline\n"
+               "   (0 = ephemeral), --threaded falls back to one thread\n"
+               "   per connection; --follow replicates every table of the\n"
+               "   leader at HOST:PORT and serves them read-only)\n";
   return 2;
 }
 
@@ -269,6 +286,9 @@ int ServeUntilSignal(Server& server) {
     std::cerr << error << "\n";
     return 2;
   }
+  // The one machine-parseable line: with --port 0 this is where scripts
+  // (CI, the replication bench) learn which port the kernel picked.
+  std::cerr << "listening on port " << server.port() << "\n";
   if (::pipe(g_signal_pipe) != 0) {
     std::cerr << "signal pipe: " << std::strerror(errno) << "\n";
     server.Shutdown();
@@ -299,6 +319,7 @@ int main(int argc, char** argv) {
   std::optional<std::string> script;
   std::optional<std::string> restore_dir;
   std::optional<std::string> log_dir;
+  std::optional<std::string> follow;
   std::optional<int> port;
   size_t workers = 0;
   size_t io_threads = 0;
@@ -339,16 +360,50 @@ int main(int argc, char** argv) {
     } else if (flag == "--port" && i + 1 < argc) {
       char* end = nullptr;
       const long p = std::strtol(argv[++i], &end, 10);
-      if (end == argv[i] || *end != '\0' || p < 1 || p > 65535) {
-        std::cerr << "--port needs a value in [1, 65535]\n";
+      if (end == argv[i] || *end != '\0' || p < 0 || p > 65535) {
+        std::cerr << "--port needs a value in [0, 65535] (0 picks an "
+                     "ephemeral port)\n";
         return 2;
       }
       port = static_cast<int>(p);
+    } else if (flag == "--follow" && i + 1 < argc) {
+      follow = argv[++i];
     } else {
       return Usage();
     }
   }
   if (script.has_value() && port.has_value()) return Usage();
+  std::string follow_host;
+  int follow_port = 0;
+  if (follow.has_value()) {
+    const size_t colon = follow->rfind(':');
+    if (colon == std::string::npos || colon == 0) {
+      std::cerr << "--follow needs HOST:PORT\n";
+      return 2;
+    }
+    char* end = nullptr;
+    const long p = std::strtol(follow->c_str() + colon + 1, &end, 10);
+    if (end == follow->c_str() + colon + 1 || *end != '\0' || p < 1 ||
+        p > 65535) {
+      std::cerr << "--follow needs HOST:PORT with a port in [1, 65535]\n";
+      return 2;
+    }
+    follow_host = follow->substr(0, colon);
+    follow_port = static_cast<int>(p);
+    if (script.has_value()) {
+      std::cerr << "--follow and --script are mutually exclusive (a "
+                   "script replay has no leader to track)\n";
+      return 2;
+    }
+    if (log_dir.has_value()) {
+      // A follower's state is OWNED by the leader's durability: every
+      // re-handshake replaces the local tables wholesale, so a local op
+      // log would record state it cannot be the authority for.
+      std::cerr << "--follow and --log-dir are mutually exclusive: "
+                   "followers replicate the leader's durability\n";
+      return 2;
+    }
+  }
   if ((threaded || workers != 0 || io_threads != 0) && !port.has_value()) {
     std::cerr << "--threaded/--workers/--io-threads only apply to --port "
                  "mode\n";
@@ -396,6 +451,31 @@ int main(int argc, char** argv) {
   }
   manirank::serve::DurabilityManager* durability_ptr =
       durability.has_value() ? &*durability : nullptr;
+#ifdef MANIRANK_SERVE_HAVE_SOCKETS
+  // The follower client starts BEFORE serving begins (any mode): tables
+  // appear as their replication streams land, and its destructor (after
+  // the server's, whose scope is inner) closes the streams on exit.
+  std::optional<manirank::serve::FollowerClient> follower;
+  if (follow.has_value()) {
+    manirank::serve::FollowerClient::Options follower_options;
+    follower_options.host = follow_host;
+    follower_options.port = follow_port;
+    follower_options.log = &std::cerr;
+    follower.emplace(&manager, follower_options);
+    std::string error;
+    if (!follower->Start(&error)) {
+      std::cerr << "--follow: " << error << "\n";
+      return 2;
+    }
+    std::cerr << "following leader at " << follow_host << ":" << follow_port
+              << "\n";
+  }
+#else
+  if (follow.has_value()) {
+    std::cerr << "--follow is not supported on this platform\n";
+    return 2;
+  }
+#endif
   if (port.has_value()) {
 #ifdef MANIRANK_SERVE_HAVE_SOCKETS
     manirank::serve::ServerOptions options;

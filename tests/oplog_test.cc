@@ -256,6 +256,140 @@ TEST_F(OpLogTest, OpenExistingTruncatesTheTornTailInPlace) {
   EXPECT_EQ(contents.records[1].kind, OpRecord::Kind::kRemove);
 }
 
+// --------------------------------------------------- incremental cursor
+
+/// The every-offset truncation sweep again, but through the incremental
+/// cursor — the shared verifier that cold start, crash recovery, and
+/// follower catch-up all run on. A prefix cut at EVERY byte of the final
+/// record must yield exactly the clean two-record prefix, with the tail
+/// reported as incomplete (kNeedMore), never as corruption.
+TEST_F(OpLogTest, CursorEveryOffsetTruncationSweepRecoversThePrefix) {
+  const std::string path = Path("t.oplog");
+  {
+    auto writer = OpLogWriter::Create(path, 5, 0, 0);
+    writer->BufferAppend(SampleRankings(5, 1, 5));
+    writer->BufferRemove(0);
+    writer->BufferAppend(SampleRankings(5, 2, 6));
+    writer->Commit();
+  }
+  const std::string full = ReadAllBytes(path);
+  uint64_t boundary = 0;
+  {
+    const std::string probe = Path("probe.oplog");
+    auto writer = OpLogWriter::Create(probe, 5, 0, 0);
+    writer->BufferAppend(SampleRankings(5, 1, 5));
+    writer->BufferRemove(0);
+    writer->Commit();
+    boundary = writer->bytes();
+  }
+  ASSERT_LT(boundary, full.size());
+  for (size_t cut = boundary; cut < full.size(); ++cut) {
+    OpLogCursor cursor("sweep");
+    cursor.Feed(full.data(), cut);
+    OpRecord record;
+    size_t yielded = 0;
+    while (cursor.Next(&record) == OpLogCursor::Status::kRecord) ++yielded;
+    EXPECT_EQ(yielded, 2u) << "cut at byte " << cut;
+    EXPECT_EQ(cursor.Next(&record), OpLogCursor::Status::kNeedMore)
+        << "cut at byte " << cut;
+    EXPECT_EQ(cursor.clean_bytes(), boundary) << "cut at byte " << cut;
+    EXPECT_EQ(cursor.pending_bytes(), cut - boundary) << "cut at byte "
+                                                      << cut;
+    if (cut == boundary) {
+      EXPECT_TRUE(cursor.TornDetail().empty()) << "cut at byte " << cut;
+    } else {
+      EXPECT_FALSE(cursor.TornDetail().empty()) << "cut at byte " << cut;
+    }
+    // Feeding the withheld suffix completes the third record: a cut is
+    // an *incomplete* frame, and the cursor resumes exactly where the
+    // stream paused — the property follower tailing rides on.
+    cursor.Feed(full.data() + cut, full.size() - cut);
+    EXPECT_EQ(cursor.Next(&record), OpLogCursor::Status::kRecord)
+        << "cut at byte " << cut;
+    EXPECT_EQ(cursor.clean_bytes(), full.size()) << "cut at byte " << cut;
+    EXPECT_EQ(cursor.Next(&record), OpLogCursor::Status::kNeedMore);
+    EXPECT_TRUE(cursor.TornDetail().empty());
+  }
+}
+
+/// Byte-at-a-time feeding (the worst possible packetization of a
+/// replication stream) must yield exactly what the whole-file reader
+/// sees: same header, same records, same clean boundary.
+TEST_F(OpLogTest, CursorByteAtATimeFeedMatchesTheWholeFileReader) {
+  const std::string path = Path("t.oplog");
+  {
+    auto writer = OpLogWriter::Create(path, 6, /*base_generation=*/4,
+                                      /*base_rankings=*/2);
+    writer->BufferAppend(SampleRankings(6, 2, 10));
+    writer->BufferRemove(1);
+    writer->BufferAppend(SampleRankings(6, 1, 11));
+    writer->Commit();
+  }
+  const std::string full = ReadAllBytes(path);
+  const OpLogContents slurped = ReadOpLogFile(path);
+  OpLogCursor cursor(path);
+  std::vector<OpRecord> streamed;
+  for (size_t i = 0; i < full.size(); ++i) {
+    cursor.Feed(full.data() + i, 1);
+    OpRecord record;
+    while (cursor.Next(&record) == OpLogCursor::Status::kRecord) {
+      streamed.push_back(record);
+    }
+  }
+  ASSERT_TRUE(cursor.header_ready());
+  EXPECT_EQ(cursor.num_candidates(), slurped.num_candidates);
+  EXPECT_EQ(cursor.base_generation(), slurped.base_generation);
+  EXPECT_EQ(cursor.base_rankings(), slurped.base_rankings);
+  EXPECT_EQ(cursor.clean_bytes(), slurped.clean_bytes);
+  EXPECT_EQ(cursor.pending_bytes(), 0u);
+  EXPECT_TRUE(cursor.TornDetail().empty());
+  ASSERT_EQ(streamed.size(), slurped.records.size());
+  for (size_t i = 0; i < streamed.size(); ++i) {
+    EXPECT_EQ(streamed[i].kind, slurped.records[i].kind) << i;
+    EXPECT_EQ(streamed[i].remove_index, slurped.records[i].remove_index)
+        << i;
+    ASSERT_EQ(streamed[i].rankings.size(), slurped.records[i].rankings.size())
+        << i;
+    for (size_t j = 0; j < streamed[i].rankings.size(); ++j) {
+      EXPECT_EQ(streamed[i].rankings[j].order(),
+                slurped.records[i].rankings[j].order())
+          << i << "," << j;
+    }
+  }
+}
+
+/// A complete-but-corrupt frame is kTorn, kTorn is sticky, and feeding
+/// more bytes never resurrects the stream — the follower's cue to drop
+/// the connection and re-handshake rather than guess at a resync point.
+TEST_F(OpLogTest, CursorTornStatusIsStickyAcrossFurtherFeeds) {
+  const std::string path = Path("t.oplog");
+  uint64_t boundary = 0;
+  {
+    auto writer = OpLogWriter::Create(path, 4, 0, 0);
+    writer->BufferAppend(SampleRankings(4, 1, 12));
+    writer->Commit();
+    boundary = writer->bytes();
+    writer->BufferAppend(SampleRankings(4, 1, 13));
+    writer->BufferRemove(0);
+    writer->Commit();
+  }
+  std::string hurt = ReadAllBytes(path);
+  hurt[boundary + 5] = static_cast<char>(hurt[boundary + 5] ^ 0x5a);
+  OpLogCursor cursor(path);
+  cursor.Feed(hurt.data(), hurt.size());
+  OpRecord record;
+  ASSERT_EQ(cursor.Next(&record), OpLogCursor::Status::kRecord);
+  EXPECT_EQ(cursor.Next(&record), OpLogCursor::Status::kTorn);
+  EXPECT_EQ(cursor.clean_bytes(), boundary);
+  EXPECT_FALSE(cursor.TornDetail().empty());
+  // Sticky: more input (even the pristine bytes) changes nothing.
+  const std::string clean = ReadAllBytes(path);
+  cursor.Feed(clean.data(), clean.size());
+  EXPECT_EQ(cursor.Next(&record), OpLogCursor::Status::kTorn);
+  EXPECT_EQ(cursor.clean_bytes(), boundary);
+  EXPECT_EQ(cursor.records(), 1u);
+}
+
 // ------------------------------------------------- corruption rejection
 
 TEST_F(OpLogTest, HeaderDamageIsCorruptionNotATornTail) {

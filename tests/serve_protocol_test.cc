@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "core/ranking.h"
+#include "data/op_log.h"
 #include "serve/context_manager.h"
 #include "util/rng.h"
 
@@ -178,6 +180,110 @@ TEST_F(ProtocolTest, ErrorsNeverEnqueueHalfABatch) {
       << stats;
 }
 
+/// Masks the runs= counter: EVAL bumps it (it IS a consensus run), but
+/// everything else in STATS must hold still.
+std::string MaskRuns(std::string stats) {
+  const size_t at = stats.find(" runs=");
+  if (at == std::string::npos) return stats;
+  size_t end = at + 6;
+  while (end < stats.size() && stats[end] != ' ') ++end;
+  return stats.replace(at, end - at, " runs=_");
+}
+
+TEST_F(ProtocolTest, EvalScoresARankingWithoutMutating) {
+  const std::string before = StateSnapshot();
+  const std::string response = Handle("EVAL t 0 1 2 3 4 5");
+  EXPECT_EQ(response.rfind("OK EVAL t gen=2 method=A3", 0), 0u) << response;
+  EXPECT_NE(response.find(" tau="), std::string::npos) << response;
+  EXPECT_NE(response.find(" ntau="), std::string::npos) << response;
+  EXPECT_NE(response.find(" parity="), std::string::npos) << response;
+  EXPECT_NE(response.find(" max_parity="), std::string::npos) << response;
+  // Read-only up to the runs counter: the generation must not have
+  // moved, and EVAL must not drain queued mutations (it observes the
+  // applied profile).
+  EXPECT_EQ(MaskRuns(StateSnapshot()), MaskRuns(before));
+  ASSERT_TRUE(IsOk(Handle("APPEND t 2 1 0 5 4 3")));
+  EXPECT_EQ(Handle("EVAL t 0 1 2 3 4 5").rfind("OK EVAL t gen=2", 0), 0u);
+  EXPECT_NE(StateSnapshot().find("pending_ops=1"), std::string::npos);
+  // Deterministic: same table state, same ranking, same bytes.
+  EXPECT_EQ(Handle("EVAL t 5 4 3 2 1 0"), Handle("EVAL t 5 4 3 2 1 0"));
+}
+
+TEST_F(ProtocolTest, EvalRejectsBadInputsAndLeavesStateUnchanged) {
+  const std::string before = StateSnapshot();
+  const std::vector<std::pair<std::string, std::string>> cases = {
+      {"EVAL", "ERR bad-request"},
+      {"EVAL t", "ERR bad-request"},
+      {"EVAL ghost 0 1 2 3 4 5", "ERR no-such-table"},
+      {"EVAL t 0 1 2", "ERR bad-ranking"},            // wrong size
+      {"EVAL t 0 1 2 3 4 9", "ERR bad-ranking"},      // out of domain
+      {"EVAL t 0 1 2 3 4 4", "ERR bad-ranking"},      // duplicate
+      {"EVAL t 0 1 2 3 4 x", "ERR bad-ranking"},      // non-numeric
+      {"EVAL t 0 1 2 3 4 -5", "ERR bad-ranking"},     // negative
+  };
+  for (const auto& [request, expected_prefix] : cases) {
+    const std::string response = Handle(request);
+    EXPECT_EQ(response.rfind(expected_prefix, 0), 0u)
+        << "request '" << request << "' drew '" << response << "'";
+    EXPECT_EQ(StateSnapshot(), before)
+        << "request '" << request << "' changed table state";
+  }
+  // An empty table has no consensus to score against.
+  ASSERT_TRUE(IsOk(Handle("CREATE hollow CYCLIC 6 2 2")));
+  EXPECT_EQ(Handle("EVAL hollow 0 1 2 3 4 5").rfind("ERR empty-table", 0),
+            0u);
+}
+
+TEST_F(ProtocolTest, ReplicateIsUnavailableWithoutAStreamingFrontEnd) {
+  // The plain dispatcher (stdin / script / --serve replay) has no
+  // durability layer and no binary stream to switch into: every arity
+  // draws a single ERR line and no state moves.
+  const std::string before = StateSnapshot();
+  EXPECT_EQ(Handle("REPLICATE t").rfind("ERR unavailable", 0), 0u);
+  EXPECT_EQ(Handle("REPLICATE ghost").rfind("ERR no-such-table", 0), 0u);
+  EXPECT_EQ(Handle("REPLICATE").rfind("ERR bad-request", 0), 0u);
+  EXPECT_EQ(Handle("REPLICATE t extra").rfind("ERR bad-request", 0), 0u);
+  EXPECT_EQ(StateSnapshot(), before);
+  // Classified for the schedulers: a barrier AND flagged for streaming
+  // interception; malformed variants lose the stream flag's table.
+  const serve::RequestClass cls = serve::ClassifyRequest("REPLICATE t");
+  EXPECT_TRUE(cls.replicate);
+  EXPECT_TRUE(cls.barrier);
+}
+
+TEST_F(ProtocolTest, FollowerTablesRejectMutationsWithReadonly) {
+  manager_.SetTableRole("t", serve::TableRole::kFollower);
+  const std::string before = StateSnapshot();
+  ASSERT_NE(before.find("role=follower"), std::string::npos) << before;
+  for (const char* request :
+       {"APPEND t 0 1 2 3 4 5", "REMOVE t 0",
+        "SNAPSHOT-POLICY t GENERATIONS 4"}) {
+    const std::string response = Handle(request);
+    EXPECT_TRUE(IsErr(response)) << request << " drew " << response;
+    EXPECT_EQ(StateSnapshot(), before)
+        << "request '" << request << "' changed follower state";
+  }
+  EXPECT_EQ(Handle("APPEND t 0 1 2 3 4 5").rfind("ERR readonly", 0), 0u);
+  // With APPEND/REMOVE rejected the follower's queue is always empty, so
+  // FLUSH degenerates to a harmless no-op drain.
+  EXPECT_EQ(Handle("FLUSH t"), "OK FLUSH t applied=0");
+  // Reads keep serving: RUN (draining is a no-op on an empty queue),
+  // STATS, EVAL.
+  EXPECT_TRUE(IsOk(Handle("RUN t A4")));
+  EXPECT_TRUE(IsOk(Handle("EVAL t 0 1 2 3 4 5")));
+  // The replication path itself may still apply records.
+  OpRecord record;
+  record.kind = OpRecord::Kind::kAppend;
+  record.rankings.push_back(Ranking({2, 0, 4, 1, 5, 3}));
+  EXPECT_EQ(manager_.ApplyReplicated("t", std::move(record)), 1u);
+  EXPECT_NE(Handle("STATS t").find("rankings=3 generation=3"),
+            std::string::npos);
+  // Back to leader: mutations flow again.
+  manager_.SetTableRole("t", serve::TableRole::kLeader);
+  EXPECT_TRUE(IsOk(Handle("APPEND t 0 1 2 3 4 5")));
+  EXPECT_TRUE(IsOk(Handle("FLUSH t")));
+}
+
 TEST_F(ProtocolTest, FuzzedRequestLinesNeverCrashOrCorrupt) {
   // Deterministic fuzz-ish sweep: random token soup plus mutations of
   // valid requests. Every line must draw exactly one OK/ERR response (or
@@ -189,7 +295,8 @@ TEST_F(ProtocolTest, FuzzedRequestLinesNeverCrashOrCorrupt) {
       "DROP",   "TABLES",  "t",      "ghost", "A4",    "all",
       "0",      "1",       "5",      "-1",    ";",     "DELTA",
       "LIMIT",  "CYCLIC",  "FILE",   "0.2",   "x",     "99999999999999999999",
-      "#",      "\t",      "",       "🙂",    "NaN",   "1e9"};
+      "#",      "\t",      "",       "🙂",    "NaN",   "1e9",
+      "EVAL",   "REPLICATE"};
   int errs = 0;
   int oks = 0;
   for (int round = 0; round < 400; ++round) {

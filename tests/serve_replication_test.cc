@@ -1,0 +1,254 @@
+// Leader/follower replication end-to-end: a ServeExecutor leader with
+// the durability layer streams snapshot floors + op-log records to a
+// FollowerClient feeding a second ContextManager. The contract under
+// test is the equivalence invariant of serve/replica.h — after catching
+// up to generation G the follower serves RUN / EVAL bit-identically to
+// the leader at G, stays converged while the leader keeps folding
+// (including across snapshot-truncation chain rotations, which close
+// the stream and force a re-handshake), and keeps serving its last
+// consistent fold boundary after the leader dies.
+
+#include "serve/replica.h"
+
+#include <gtest/gtest.h>
+
+#ifdef MANIRANK_SERVE_HAVE_SOCKETS
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <functional>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/context_manager.h"
+#include "serve/durability.h"
+#include "serve/executor.h"
+#include "serve/protocol.h"
+#include "serve_test_util.h"
+
+namespace manirank {
+namespace {
+
+namespace fs = std::filesystem;
+using serve::ContextManager;
+using serve::Dispatcher;
+using serve::DurabilityManager;
+using serve::FollowerClient;
+using serve::ServeExecutor;
+
+uint64_t StatsGeneration(const std::string& stats) {
+  const size_t at = stats.find(" generation=");
+  if (at == std::string::npos) return ~0ull;
+  return std::strtoull(stats.c_str() + at + 12, nullptr, 10);
+}
+
+class ReplicationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "manirank_repl_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    durability_.emplace(dir_, &leader_manager_);
+    durability_->Attach();
+    serve::ServerOptions options;
+    options.port = 0;
+    options.durability = &*durability_;
+    leader_.emplace(&leader_manager_, options);
+    std::string error;
+    ASSERT_TRUE(leader_->Start(&error)) << error;
+  }
+
+  void TearDown() override {
+    if (follower_.has_value()) follower_->Shutdown();
+    if (leader_.has_value()) leader_->Shutdown();
+    fs::remove_all(dir_);
+  }
+
+  void StartFollower() {
+    FollowerClient::Options options;
+    options.port = leader_->port();
+    options.reconnect_ms = 100;
+    options.discover_ms = 100;
+    follower_.emplace(&follower_manager_, options);
+    std::string error;
+    ASSERT_TRUE(follower_->Start(&error)) << error;
+  }
+
+  /// STATS through a local dispatcher over the follower's manager — the
+  /// same code path manirank_serve --follow serves remotely.
+  std::string FollowerStats(const std::string& table) {
+    Dispatcher dispatcher(&follower_manager_);
+    return dispatcher.Handle("STATS " + table);
+  }
+
+  bool WaitUntil(const std::function<bool()>& pred, int timeout_ms = 30000) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (pred()) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    return pred();
+  }
+
+  /// Caught up = the follower has the table, at the given generation,
+  /// with zero reported lag on a live stream.
+  bool FollowerConverged(const std::string& table, uint64_t generation) {
+    const std::string stats = FollowerStats(table);
+    return stats.rfind("OK", 0) == 0 &&
+           StatsGeneration(stats) == generation &&
+           stats.find(" replica_lag_generations=0 ") != std::string::npos &&
+           stats.find(" replica_connected=1") != std::string::npos;
+  }
+
+  std::string dir_;
+  ContextManager leader_manager_;
+  ContextManager follower_manager_;
+  std::optional<DurabilityManager> durability_;
+  std::optional<ServeExecutor> leader_;
+  std::optional<FollowerClient> follower_;
+};
+
+TEST_F(ReplicationTest, FollowerCatchesUpAndServesBitIdentically) {
+  testing::Client client(leader_->port());
+  const std::vector<std::string> setup = {
+      "CREATE t CYCLIC 6 2 3",
+      "APPEND t 0 1 2 3 4 5 ; 5 4 3 2 1 0",
+      "APPEND t 2 0 4 1 5 3",
+      "FLUSH t",  // records commit at fold boundaries only
+  };
+  ASSERT_TRUE(client.Send(testing::JoinRequests(setup)));
+  for (const std::string& response : client.ReadLines(setup.size())) {
+    ASSERT_EQ(response.rfind("OK", 0), 0u) << response;
+  }
+
+  StartFollower();
+  ASSERT_TRUE(WaitUntil([&] { return FollowerConverged("t", 3); }))
+      << FollowerStats("t");
+
+  // The core contract: RUN-all and EVAL byte-identical at generation 3.
+  ASSERT_TRUE(client.Send("RUN t all\nEVAL t 0 1 2 3 4 5\n"));
+  const std::vector<std::string> leader_reads = client.ReadLines(2);
+  Dispatcher follower_dispatcher(&follower_manager_);
+  EXPECT_EQ(follower_dispatcher.Handle("RUN t all"), leader_reads[0]);
+  EXPECT_EQ(follower_dispatcher.Handle("EVAL t 0 1 2 3 4 5"),
+            leader_reads[1]);
+
+  // Followers are read-only replicas.
+  EXPECT_EQ(follower_dispatcher.Handle("APPEND t 0 1 2 3 4 5")
+                .rfind("ERR readonly", 0),
+            0u);
+  EXPECT_EQ(follower_dispatcher.Handle("REMOVE t 0").rfind("ERR readonly", 0),
+            0u);
+  const std::string stats = FollowerStats("t");
+  EXPECT_NE(stats.find(" role=follower "), std::string::npos) << stats;
+}
+
+TEST_F(ReplicationTest, FollowerTailsFoldsAcrossChainRotations) {
+  testing::Client client(leader_->port());
+  const std::vector<std::string> setup = {
+      "CREATE t CYCLIC 6 2 3",
+      // GENERATIONS 1: EVERY fold truncates the log into a fresh chain,
+      // so each one closes the replication stream — the follower must
+      // re-handshake its way through all of them and still converge.
+      "SNAPSHOT-POLICY t GENERATIONS 1",
+      "APPEND t 0 1 2 3 4 5",
+      "FLUSH t",
+  };
+  ASSERT_TRUE(client.Send(testing::JoinRequests(setup)));
+  for (const std::string& response : client.ReadLines(setup.size())) {
+    ASSERT_EQ(response.rfind("OK", 0), 0u) << response;
+  }
+  StartFollower();
+  ASSERT_TRUE(WaitUntil([&] { return FollowerConverged("t", 1); }))
+      << FollowerStats("t");
+
+  const std::vector<std::string> rotations = {
+      "5 4 3 2 1 0", "2 0 4 1 5 3", "3 1 4 0 5 2", "1 2 3 4 5 0"};
+  uint64_t generation = 1;
+  for (const std::string& ranking : rotations) {
+    ASSERT_TRUE(client.Send("APPEND t " + ranking + "\nFLUSH t\n"));
+    for (const std::string& response : client.ReadLines(2)) {
+      ASSERT_EQ(response.rfind("OK", 0), 0u) << response;
+    }
+    ++generation;
+    ASSERT_TRUE(WaitUntil([&] { return FollowerConverged("t", generation); }))
+        << "after fold " << generation << ": " << FollowerStats("t");
+    ASSERT_TRUE(client.Send("RUN t all\n"));
+    Dispatcher follower_dispatcher(&follower_manager_);
+    EXPECT_EQ(follower_dispatcher.Handle("RUN t all"),
+              client.ReadLines(1)[0])
+        << "diverged at generation " << generation;
+  }
+}
+
+TEST_F(ReplicationTest, FollowerKeepsServingAfterLeaderDies) {
+  testing::Client client(leader_->port());
+  const std::vector<std::string> setup = {
+      "CREATE t CYCLIC 6 2 3",
+      "APPEND t 0 1 2 3 4 5 ; 2 0 4 1 5 3",
+      "FLUSH t",
+  };
+  ASSERT_TRUE(client.Send(testing::JoinRequests(setup)));
+  for (const std::string& response : client.ReadLines(setup.size())) {
+    ASSERT_EQ(response.rfind("OK", 0), 0u) << response;
+  }
+  StartFollower();
+  ASSERT_TRUE(WaitUntil([&] { return FollowerConverged("t", 2); }))
+      << FollowerStats("t");
+  Dispatcher follower_dispatcher(&follower_manager_);
+  const std::string reference = follower_dispatcher.Handle("RUN t all");
+  ASSERT_EQ(reference.rfind("OK", 0), 0u) << reference;
+
+  // The leader goes away entirely (graceful here; the CI smoke covers
+  // kill -9 of a whole process — from the follower's end both are the
+  // same event: the stream dies).
+  leader_->Shutdown();
+  leader_.reset();
+
+  // The follower notices the loss and reports it, but keeps serving its
+  // last consistent fold boundary — bit-identically.
+  ASSERT_TRUE(WaitUntil([&] {
+    return FollowerStats("t").find(" replica_connected=0") !=
+           std::string::npos;
+  })) << FollowerStats("t");
+  const std::string stats = FollowerStats("t");
+  EXPECT_NE(stats.find(" role=follower "), std::string::npos) << stats;
+  EXPECT_EQ(StatsGeneration(stats), 2u) << stats;
+  EXPECT_EQ(follower_dispatcher.Handle("RUN t all"), reference);
+  EXPECT_EQ(follower_dispatcher.Handle("APPEND t 0 1 2 3 4 5")
+                .rfind("ERR readonly", 0),
+            0u);
+  // Shutdown of the client leaves the replicated tables serving too.
+  follower_->Shutdown();
+  EXPECT_EQ(follower_dispatcher.Handle("RUN t all"), reference);
+}
+
+TEST_F(ReplicationTest, FollowerDiscoversTablesCreatedAfterItStarted) {
+  StartFollower();  // nothing to replicate yet
+  testing::Client client(leader_->port());
+  const std::vector<std::string> setup = {
+      "CREATE late CYCLIC 5 2 2",
+      "APPEND late 0 1 2 3 4 ; 4 3 2 1 0",
+      "FLUSH late",
+  };
+  ASSERT_TRUE(client.Send(testing::JoinRequests(setup)));
+  for (const std::string& response : client.ReadLines(setup.size())) {
+    ASSERT_EQ(response.rfind("OK", 0), 0u) << response;
+  }
+  ASSERT_TRUE(WaitUntil([&] { return FollowerConverged("late", 2); }))
+      << FollowerStats("late");
+  ASSERT_TRUE(client.Send("RUN late all\n"));
+  Dispatcher follower_dispatcher(&follower_manager_);
+  EXPECT_EQ(follower_dispatcher.Handle("RUN late all"),
+            client.ReadLines(1)[0]);
+}
+
+}  // namespace
+}  // namespace manirank
+
+#endif  // MANIRANK_SERVE_HAVE_SOCKETS
