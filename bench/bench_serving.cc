@@ -64,6 +64,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/fair_select.h"
 #include "manirank.h"
 #include "serve/durability.h"
 #include "util/rng.h"
@@ -293,6 +294,190 @@ void PrintScenarioJson(std::FILE* f, const char* name,
                "  \"%s\": {\"seconds\": %.6f, \"requests\": %ld, "
                "\"throughput_rps\": %.1f}%s\n",
                name, r.seconds, r.requests, rps, trailing_comma ? "," : "");
+}
+
+// --- result cache: cached vs uncached read mix, SELECT, large-n EVAL -------
+
+struct SelectCacheBench {
+  // Read-heavy mix at a fixed generation, cached vs cache-disabled twin.
+  int n = 0;
+  int base_rankings = 0;
+  long requests = 0;
+  double cached_seconds = 0.0;
+  double uncached_seconds = 0.0;
+  bool equivalent = false;
+  // SELECT algorithm split: greedy-certified vs forced ILP fallback.
+  int select_n = 0;
+  int select_reps = 0;
+  double greedy_mean_us = 0.0;
+  double ilp_mean_us = 0.0;
+  // Large-n EVAL: Borda consensus leg cached, Fenwick tau + fairness per
+  // call — the counting paths the cache can NOT absorb.
+  int eval_n = 0;
+  int eval_rankings = 0;
+  int eval_requests = 0;
+  double eval_cold_seconds = 0.0;
+  double eval_warm_seconds = 0.0;
+};
+
+/// Replays one read-heavy request mix through a Dispatcher and returns
+/// the responses; `seconds` gets the wall-clock for the whole replay.
+std::vector<std::string> ReplayMix(serve::ContextManager* manager,
+                                   const std::vector<std::string>& requests,
+                                   double* seconds) {
+  serve::Dispatcher dispatcher(manager);
+  std::vector<std::string> responses;
+  responses.reserve(requests.size());
+  Stopwatch timer;
+  for (const std::string& line : requests) {
+    responses.push_back(dispatcher.Handle(line));
+  }
+  *seconds = timer.Seconds();
+  return responses;
+}
+
+/// Prices the generation-keyed result cache on the workload it exists
+/// for: repeated RUN/EVAL/SELECT against an unchanged table. The twin
+/// with the cache disabled recomputes every consensus from scratch; both
+/// sides must produce byte-identical responses (the cache must be
+/// invisible in the bytes, visible only in the clock).
+SelectCacheBench RunSelectCacheBench(bool quick) {
+  SelectCacheBench result;
+  result.n = quick ? 120 : 400;
+  result.base_rankings = quick ? 300 : 2000;
+  const int rounds = quick ? 40 : 150;
+
+  // Seed profile: Mallows stream around a shuffled center.
+  Rng rng(77);
+  std::vector<CandidateId> center(result.n);
+  for (int i = 0; i < result.n; ++i) center[i] = i;
+  rng.Shuffle(&center);
+  MallowsModel model(Ranking(std::move(center)), 0.4);
+  const std::vector<Ranking> base =
+      model.SampleMany(result.base_rankings, /*seed=*/78);
+
+  std::vector<std::string> requests;
+  {
+    std::ostringstream create;
+    create << "CREATE mix CYCLIC " << result.n << " 2 3";
+    requests.push_back(create.str());
+    for (size_t r = 0; r < base.size();) {
+      const size_t batch = std::min<size_t>(base.size() - r, 50);
+      std::ostringstream append;
+      append << "APPEND mix";
+      for (size_t i = 0; i < batch; ++i, ++r) {
+        if (i != 0) append << " ;";
+        for (CandidateId c : base[r].order()) append << ' ' << c;
+      }
+      requests.push_back(append.str());
+    }
+    requests.push_back("FLUSH mix");
+    std::ostringstream eval;
+    eval << "EVAL mix";
+    for (int c = 0; c < result.n; ++c) eval << ' ' << c;
+    std::ostringstream select;
+    select << "SELECT mix " << result.n / 4 << " ATTR 0 0 " << result.n / 10
+           << ' ' << result.n;
+    for (int round = 0; round < rounds; ++round) {
+      requests.push_back("RUN mix A3");
+      requests.push_back("RUN mix A4");
+      requests.push_back(eval.str());
+      requests.push_back(select.str());
+    }
+  }
+  result.requests = static_cast<long>(requests.size());
+
+  serve::ContextManager cached_manager;
+  const std::vector<std::string> cached_responses =
+      ReplayMix(&cached_manager, requests, &result.cached_seconds);
+  serve::ContextManager uncached_manager;
+  uncached_manager.SetResultCacheEnabled(false);
+  const std::vector<std::string> uncached_responses =
+      ReplayMix(&uncached_manager, requests, &result.uncached_seconds);
+  result.equivalent = cached_responses == uncached_responses;
+  if (!result.equivalent) {
+    std::fprintf(stderr,
+                 "FATAL: cached responses drifted from the uncached twin\n");
+    std::abort();
+  }
+
+  // SELECT algorithm split on one consensus: a single-grouping query
+  // greedy certifies, and the crafted cross-grouping trap (phase A's
+  // cheapest min-cover exhausts another grouping's maximum) forces the
+  // branch & bound fallback.
+  result.select_n = 24;
+  result.select_reps = quick ? 200 : 2000;
+  {
+    std::vector<Attribute> attrs(2);
+    attrs[0].name = "X";
+    attrs[0].values = {"x0", "x1"};
+    attrs[1].name = "Y";
+    attrs[1].values = {"y0", "y1"};
+    std::vector<std::vector<AttributeValue>> values;
+    for (int c = 0; c < result.select_n; ++c) {
+      const AttributeValue x = static_cast<AttributeValue>(c % 2);
+      const AttributeValue y =
+          static_cast<AttributeValue>(c != 0 && c % 2 == 0 ? 1 : 0);
+      values.push_back({x, y});
+    }
+    const CandidateTable table({attrs[0], attrs[1]}, std::move(values));
+    const Grouping& gx = table.attribute_grouping(0);
+    const Grouping& gy = table.attribute_grouping(1);
+    const Ranking consensus = Ranking::Identity(result.select_n);
+    const std::vector<SelectConstraint> greedy_query = {
+        {&gx, 1, 2, result.select_n}};
+    const std::vector<SelectConstraint> ilp_query = {
+        {&gx, 0, 1, result.select_n},
+        {&gx, 1, 1, result.select_n},
+        {&gy, 0, 0, 1}};
+    Stopwatch timer;
+    for (int rep = 0; rep < result.select_reps; ++rep) {
+      const FairSelectResult r = FairTopKSelect(consensus, 6, greedy_query);
+      if (r.used_ilp || !r.feasible) std::abort();
+    }
+    result.greedy_mean_us = timer.Seconds() * 1e6 / result.select_reps;
+    timer.Restart();
+    for (int rep = 0; rep < result.select_reps; ++rep) {
+      const FairSelectResult r = FairTopKSelect(consensus, 2, ilp_query);
+      if (!r.used_ilp || !r.feasible) std::abort();
+    }
+    result.ilp_mean_us = timer.Seconds() * 1e6 / result.select_reps;
+  }
+
+  // Large-n EVAL: A3 needs only Borda points (no O(n^2) precedence
+  // matrix), so n reaches 1e4/1e5 — the regime where the Fenwick tau
+  // O(n log n) and the per-grouping fairness passes dominate. The first
+  // EVAL pays the consensus build; the rest hit the cache and time the
+  // counting paths alone.
+  result.eval_n = quick ? 10000 : 100000;
+  result.eval_rankings = 6;
+  result.eval_requests = quick ? 5 : 10;
+  {
+    serve::ContextManager manager;
+    manager.Create("big", MakeCyclicTable(result.eval_n, 2, 3));
+    std::vector<Ranking> profile;
+    std::vector<CandidateId> order(result.eval_n);
+    for (int i = 0; i < result.eval_n; ++i) order[i] = i;
+    profile.emplace_back(order);
+    for (int r = 1; r < result.eval_rankings; ++r) {
+      rng.Shuffle(&order);
+      profile.emplace_back(order);
+    }
+    manager.Append("big", profile);
+    manager.Flush("big");
+    std::vector<CandidateId> probe(order);
+    rng.Shuffle(&probe);
+    const Ranking ranking(std::move(probe));
+    Stopwatch timer;
+    manager.Eval("big", ranking);
+    result.eval_cold_seconds = timer.Seconds();
+    timer.Restart();
+    for (int r = 0; r < result.eval_requests; ++r) {
+      manager.Eval("big", ranking);
+    }
+    result.eval_warm_seconds = timer.Seconds() / result.eval_requests;
+  }
+  return result;
 }
 
 // --- snapshot/restore vs profile replay ------------------------------------
@@ -1623,6 +1808,11 @@ int main() {
                                            snapshot.restore_seconds
                                      : 0.0;
   const OpLogBench oplog = RunOpLogBench(QuickMode());
+  const SelectCacheBench select_cache = RunSelectCacheBench(QuickMode());
+  const double cached_speedup =
+      select_cache.cached_seconds > 0.0
+          ? select_cache.uncached_seconds / select_cache.cached_seconds
+          : 0.0;
 
   const double speedup =
       batched.seconds > 0.0 ? rebuild.seconds / batched.seconds : 0.0;
@@ -1647,6 +1837,23 @@ int main() {
   PrintScenarioJson(f, "per_request_rebuild", rebuild, true);
   std::fprintf(f, "  \"speedup_batched_vs_rebuild\": %.3f,\n", speedup);
   std::fprintf(f, "  \"concurrent_scaling\": %.3f,\n", concurrent_speedup);
+  std::fprintf(
+      f,
+      "  \"select_cache\": {\"n\": %d, \"base_rankings\": %d, "
+      "\"requests\": %ld,\n"
+      "    \"cached_seconds\": %.6f, \"uncached_seconds\": %.6f, "
+      "\"speedup_cached\": %.3f, \"equivalent\": %s,\n"
+      "    \"select_n\": %d, \"select_reps\": %d, "
+      "\"greedy_mean_us\": %.2f, \"ilp_mean_us\": %.2f,\n"
+      "    \"eval_n\": %d, \"eval_rankings\": %d, "
+      "\"eval_cold_seconds\": %.6f, \"eval_warm_seconds\": %.6f},\n",
+      select_cache.n, select_cache.base_rankings, select_cache.requests,
+      select_cache.cached_seconds, select_cache.uncached_seconds,
+      cached_speedup, select_cache.equivalent ? "true" : "false",
+      select_cache.select_n, select_cache.select_reps,
+      select_cache.greedy_mean_us, select_cache.ilp_mean_us,
+      select_cache.eval_n, select_cache.eval_rankings,
+      select_cache.eval_cold_seconds, select_cache.eval_warm_seconds);
 #ifdef MANIRANK_SERVE_HAVE_SOCKETS
   std::fprintf(
       f,
@@ -1791,6 +1998,15 @@ int main() {
         replication.speedup);
   }
 #endif
+  std::printf("select_cache (n=%d, %d rankings, %ld req): cached %.4fs vs "
+              "uncached %.4fs -> %.2fx, equivalent; SELECT greedy %.1fus vs "
+              "ilp %.1fus; EVAL n=%d cold %.4fs warm %.4fs\n",
+              select_cache.n, select_cache.base_rankings,
+              select_cache.requests, select_cache.cached_seconds,
+              select_cache.uncached_seconds, cached_speedup,
+              select_cache.greedy_mean_us, select_cache.ilp_mean_us,
+              select_cache.eval_n, select_cache.eval_cold_seconds,
+              select_cache.eval_warm_seconds);
   std::printf("snapshot restore (%zu rankings, %ld bytes): %.4fs vs "
               "replay %.4fs  ->  %.0fx\n",
               snapshot.rankings, snapshot.snapshot_bytes,

@@ -495,6 +495,12 @@ ConsensusOutput ConsensusContext::RunMethod(
 
 ConsensusOutput ConsensusContext::RunMethod(
     const MethodSpec& method, const ConsensusOptions& options) const {
+  return RunMethod(method, options, nullptr);
+}
+
+ConsensusOutput ConsensusContext::RunMethod(
+    const MethodSpec& method, const ConsensusOptions& options,
+    uint64_t* generation_observed) const {
   RunGuard guard(this, gate_, active_runs_);
   // Checked under the guard (writers are excluded by the gate from here
   // on): every method's kernels assume at least one base ranking.
@@ -502,6 +508,10 @@ ConsensusOutput ConsensusContext::RunMethod(
     throw std::invalid_argument(
         "cannot run a consensus method over an empty profile");
   }
+  // Read while the guard still excludes gated mutations: this is the
+  // generation the method body sees, so it is the only generation a
+  // result cache may key this output by.
+  if (generation_observed != nullptr) *generation_observed = generation();
   return method.run(*this, options);
 }
 
@@ -522,11 +532,18 @@ std::vector<ConsensusOutput> ConsensusContext::RunAll(
 std::vector<ConsensusOutput> ConsensusContext::RunMethods(
     const std::vector<const MethodSpec*>& methods,
     const ConsensusOptions& options) const {
+  return RunMethods(methods, options, nullptr);
+}
+
+std::vector<ConsensusOutput> ConsensusContext::RunMethods(
+    const std::vector<const MethodSpec*>& methods,
+    const ConsensusOptions& options, uint64_t* generation_observed) const {
   RunGuard guard(this, gate_, active_runs_);
   if (num_rankings() == 0) {
     throw std::invalid_argument(
         "cannot run a consensus method over an empty profile");
   }
+  if (generation_observed != nullptr) *generation_observed = generation();
   std::vector<ConsensusOutput> outputs;
   outputs.reserve(methods.size());
   for (const MethodSpec* method : methods) {

@@ -266,6 +266,17 @@ class ConsensusContext {
   ConsensusOutput RunMethod(const MethodSpec& method,
                             const ConsensusOptions& options = {}) const;
 
+  /// Like RunMethod, but also reports the generation the run observed,
+  /// read while the reader registration (and the shared gate, when one is
+  /// attached) is still held — the only read that is guaranteed to match
+  /// the profile the method actually saw. Callers keying results by
+  /// generation (the serving result cache) must use this instead of
+  /// pairing RunMethod with a later generation() read, which can observe
+  /// a fold that landed after the run finished.
+  ConsensusOutput RunMethod(const MethodSpec& method,
+                            const ConsensusOptions& options,
+                            uint64_t* generation_observed) const;
+
   /// Runs every registry method in paper order (aligned with
   /// AllMethods()), sharing every cached structure across the sweep.
   std::vector<ConsensusOutput> RunAll(
@@ -278,6 +289,13 @@ class ConsensusContext {
   std::vector<ConsensusOutput> RunMethods(
       const std::vector<const MethodSpec*>& methods,
       const ConsensusOptions& options = {}) const;
+
+  /// RunMethods with the generation observed under the reader
+  /// registration (see the RunMethod overload above): every output in the
+  /// sweep is keyed by this single generation.
+  std::vector<ConsensusOutput> RunMethods(
+      const std::vector<const MethodSpec*>& methods,
+      const ConsensusOptions& options, uint64_t* generation_observed) const;
 
   /// Snapshot of the cache counters (thread-safe).
   ContextStats stats() const;

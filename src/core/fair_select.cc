@@ -1,0 +1,202 @@
+#include "core/fair_select.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "lp/branch_and_bound.h"
+#include "lp/model.h"
+
+namespace manirank {
+namespace {
+
+void ValidateInputs(const Ranking& consensus, int k,
+                    const std::vector<SelectConstraint>& constraints) {
+  const int n = consensus.size();
+  if (k < 1 || k > n) {
+    throw std::invalid_argument("fair select: k must be in [1, " +
+                                std::to_string(n) + "], got " +
+                                std::to_string(k));
+  }
+  for (const SelectConstraint& c : constraints) {
+    if (c.grouping == nullptr) {
+      throw std::invalid_argument("fair select: null grouping in constraint");
+    }
+    if (static_cast<int>(c.grouping->group_of.size()) != n) {
+      throw std::invalid_argument(
+          "fair select: constraint grouping does not match ranking size");
+    }
+    if (c.group < 0 || c.group >= c.grouping->num_groups()) {
+      throw std::invalid_argument("fair select: group index " +
+                                  std::to_string(c.group) + " out of range");
+    }
+    if (c.min_count < 0 || c.max_count < c.min_count) {
+      throw std::invalid_argument(
+          "fair select: need 0 <= min_count <= max_count, got [" +
+          std::to_string(c.min_count) + ", " + std::to_string(c.max_count) +
+          "]");
+    }
+  }
+}
+
+/// True iff candidate `c` belongs to the constraint's target group.
+bool InGroup(const SelectConstraint& sc, CandidateId c) {
+  return sc.grouping->group_of[c] == sc.group;
+}
+
+/// Greedy repair. Returns true and fills `result` only when the slate is
+/// verified feasible (size k, every min met, no max exceeded).
+bool GreedySelect(const Ranking& consensus, int k,
+                  const std::vector<SelectConstraint>& constraints,
+                  FairSelectResult* result) {
+  const int n = consensus.size();
+  const int m = static_cast<int>(constraints.size());
+  std::vector<int> count(m, 0);
+  std::vector<char> taken(n, 0);
+  int selected = 0;
+
+  auto blocked = [&](CandidateId c) {
+    for (int i = 0; i < m; ++i) {
+      if (InGroup(constraints[i], c) &&
+          count[i] + 1 > constraints[i].max_count) {
+        return true;
+      }
+    }
+    return false;
+  };
+  auto take = [&](CandidateId c) {
+    taken[c] = 1;
+    ++selected;
+    for (int i = 0; i < m; ++i) {
+      if (InGroup(constraints[i], c)) ++count[i];
+    }
+  };
+
+  // Phase A: satisfy minimums in consensus order.
+  for (int p = 0; p < n && selected < k; ++p) {
+    const CandidateId c = consensus.At(p);
+    bool helps = false;
+    for (int i = 0; i < m; ++i) {
+      if (InGroup(constraints[i], c) && count[i] < constraints[i].min_count) {
+        helps = true;
+        break;
+      }
+    }
+    if (helps && !blocked(c)) take(c);
+  }
+  for (int i = 0; i < m; ++i) {
+    if (count[i] < constraints[i].min_count) return false;
+  }
+
+  // Phase B: fill to k in consensus order.
+  for (int p = 0; p < n && selected < k; ++p) {
+    const CandidateId c = consensus.At(p);
+    if (!taken[c] && !blocked(c)) take(c);
+  }
+  if (selected != k) return false;
+
+  result->selected.clear();
+  result->cost = 0;
+  for (int p = 0; p < n; ++p) {
+    const CandidateId c = consensus.At(p);
+    if (taken[c]) {
+      result->selected.push_back(c);
+      result->cost += p;
+    }
+  }
+  result->feasible = true;
+  return true;
+}
+
+FairSelectResult IlpSelect(const Ranking& consensus, int k,
+                           const std::vector<SelectConstraint>& constraints,
+                           const FairSelectOptions& options) {
+  const int n = consensus.size();
+  lp::Model model;
+  // Variable c is "candidate c selected"; the objective coefficient is its
+  // consensus position, so the optimum is the cheapest feasible slate.
+  for (CandidateId c = 0; c < n; ++c) {
+    model.AddBinary(static_cast<double>(consensus.PositionOf(c)));
+  }
+  {
+    std::vector<std::pair<int, double>> terms;
+    terms.reserve(n);
+    for (CandidateId c = 0; c < n; ++c) terms.emplace_back(c, 1.0);
+    model.AddConstraint(std::move(terms), lp::Sense::kEqual,
+                        static_cast<double>(k));
+  }
+  for (const SelectConstraint& sc : constraints) {
+    std::vector<std::pair<int, double>> terms;
+    for (CandidateId c : sc.grouping->members[sc.group]) {
+      terms.emplace_back(c, 1.0);
+    }
+    if (sc.min_count > 0) {
+      model.AddConstraint(terms, lp::Sense::kGreaterEqual,
+                          static_cast<double>(sc.min_count));
+    }
+    if (sc.max_count < static_cast<int>(terms.size())) {
+      model.AddConstraint(std::move(terms), lp::Sense::kLessEqual,
+                          static_cast<double>(sc.max_count));
+    }
+  }
+
+  lp::IlpOptions ilp_options;
+  ilp_options.max_nodes = options.max_nodes;
+  ilp_options.time_limit_seconds = options.time_limit_seconds;
+  const lp::IlpResult solved = lp::SolveIlp(model, ilp_options);
+
+  FairSelectResult result;
+  result.used_ilp = true;
+  if (!solved.has_solution) {
+    // A kInfeasible verdict is a proof — a deterministic property of the
+    // profile; a node/time-limit exit without an incumbent is merely
+    // "not found within budget" (optimal stays false, so it is never
+    // cached).
+    result.optimal = solved.status == lp::SolveStatus::kInfeasible;
+    return result;
+  }
+  result.feasible = true;
+  result.optimal = solved.status == lp::SolveStatus::kOptimal;
+  for (int p = 0; p < n; ++p) {
+    const CandidateId c = consensus.At(p);
+    if (solved.x[c] > 0.5) {
+      result.selected.push_back(c);
+      result.cost += p;
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+FairSelectResult FairTopKSelect(const Ranking& consensus, int k,
+                                const std::vector<SelectConstraint>& constraints,
+                                const FairSelectOptions& options) {
+  ValidateInputs(consensus, k, constraints);
+
+  FairSelectResult result;
+  if (GreedySelect(consensus, k, constraints, &result)) {
+    // With all constraints on one grouping the groups are disjoint, so
+    // phase A takes each constrained group's cheapest min_count members and
+    // phase B fills with the cheapest unblocked remainder — an exchange
+    // argument makes that slate optimal. Across groupings a candidate can
+    // relax one constraint while tightening another, and greedy carries no
+    // such certificate.
+    const Grouping* single = nullptr;
+    bool one_grouping = true;
+    for (const SelectConstraint& sc : constraints) {
+      if (single == nullptr) {
+        single = sc.grouping;
+      } else if (single != sc.grouping) {
+        one_grouping = false;
+        break;
+      }
+    }
+    result.optimal = one_grouping;
+    return result;
+  }
+  return IlpSelect(consensus, k, constraints, options);
+}
+
+}  // namespace manirank

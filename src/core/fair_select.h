@@ -1,0 +1,67 @@
+#ifndef MANIRANK_CORE_FAIR_SELECT_H_
+#define MANIRANK_CORE_FAIR_SELECT_H_
+
+#include <vector>
+
+#include "core/candidate_table.h"
+#include "core/ranking.h"
+#include "core/types.h"
+
+namespace manirank {
+
+/// One count constraint on a fair top-k slate: the number of selected
+/// candidates belonging to `group` of `grouping` must lie in
+/// [min_count, max_count]. Groupings come from a CandidateTable
+/// (attribute_grouping / intersection_grouping); the pointer is non-owning
+/// and must outlive the select call.
+struct SelectConstraint {
+  const Grouping* grouping = nullptr;
+  int group = 0;
+  int min_count = 0;
+  int max_count = 0;
+};
+
+struct FairSelectOptions {
+  /// Branch & bound node budget for the ILP fallback.
+  long max_nodes = 200000;
+  /// Wall-clock budget for the ILP fallback in seconds (<= 0: unlimited).
+  double time_limit_seconds = 0.0;
+};
+
+struct FairSelectResult {
+  /// Selected candidates in consensus order (best first). Empty when
+  /// infeasible.
+  std::vector<CandidateId> selected;
+  /// Sum of 0-based consensus positions of the selected candidates —
+  /// the "distance from the unconstrained top-k prefix" objective.
+  long long cost = 0;
+  /// False iff no size-k subset satisfies every constraint.
+  bool feasible = false;
+  /// True when the branch & bound fallback produced the result.
+  bool used_ilp = false;
+  /// True when the result is provably cost-optimal: greedy on a single
+  /// grouping (disjoint groups, exchange argument) or ILP at kOptimal.
+  bool optimal = false;
+};
+
+/// Best top-k slate of `consensus` under per-group min/max count
+/// constraints: minimises the sum of consensus positions of the selected
+/// candidates (equivalently, stays as close to the top-k prefix as the
+/// constraints allow). Two-phase greedy repair first — phase A walks the
+/// consensus taking candidates that reduce an unmet minimum without
+/// exceeding any maximum, phase B fills to k in consensus order skipping
+/// candidates that would exceed a maximum — and falls back to an exact
+/// branch & bound ILP (src/lp/) when greedy cannot certify a feasible
+/// slate. The greedy result is provably optimal when all constraints
+/// reference one grouping; with constraints spanning multiple groupings a
+/// greedy success is served as-is with optimal=false.
+///
+/// Throws std::invalid_argument on k outside [1, n], a null/out-of-range
+/// constraint target, or min_count/max_count with 0 <= min <= max violated.
+FairSelectResult FairTopKSelect(const Ranking& consensus, int k,
+                                const std::vector<SelectConstraint>& constraints,
+                                const FairSelectOptions& options = {});
+
+}  // namespace manirank
+
+#endif  // MANIRANK_CORE_FAIR_SELECT_H_

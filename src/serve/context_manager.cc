@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "core/distance.h"
+#include "core/fair_select.h"
+#include "core/selection_metrics.h"
 
 namespace manirank::serve {
 namespace {
@@ -34,6 +36,35 @@ StreamingSummary SummaryFor(const ConsensusContext& ctx) {
     return summary;
   }
   return ctx.Snapshot();
+}
+
+/// Fills the outcome's selection-rate audit (core/selection_metrics.h):
+/// per-constrained-grouping adverse-impact ratio of the served slate and
+/// the aggregate four-fifths verdict. Recomputed on EVERY serve, hit or
+/// cold — the audit is a pure function of the selected SET (selection
+/// rates ignore within-slate order), so a deterministic completion of
+/// the slate into a full ranking keeps cached responses byte-identical
+/// to cold ones without growing the cache entry.
+void AuditSlate(const CandidateTable& table,
+                const std::vector<CandidateId>& selected,
+                SelectOutcome* outcome) {
+  if (selected.empty()) return;
+  const int n = table.num_candidates();
+  std::vector<char> in_slate(static_cast<size_t>(n), 0);
+  std::vector<CandidateId> order(selected);
+  order.reserve(static_cast<size_t>(n));
+  for (CandidateId c : selected) in_slate[static_cast<size_t>(c)] = 1;
+  for (CandidateId c = 0; c < n; ++c) {
+    if (!in_slate[static_cast<size_t>(c)]) order.push_back(c);
+  }
+  const Ranking ranking(std::move(order));
+  const int k = static_cast<int>(selected.size());
+  outcome->four_fifths = true;
+  for (const Grouping* grouping : table.constrained_groupings()) {
+    const double air = AdverseImpactRatio(ranking, *grouping, k);
+    outcome->air.push_back(air);
+    outcome->four_fifths = outcome->four_fifths && air >= 0.8;
+  }
 }
 
 }  // namespace
@@ -71,6 +102,7 @@ void ContextManager::Create(const std::string& name, CandidateTable table,
   shard->ctx =
       std::make_unique<ConsensusContext>(std::move(initial), *shard->table);
   shard->ctx->AttachGate(&shard->gate);
+  shard->cache.set_enabled(cache_enabled_.load(std::memory_order_relaxed));
   // Floor before Register: a table whose durability floor cannot be
   // written (the hook throws) must never become visible — nothing to
   // roll back.
@@ -334,6 +366,9 @@ bool ContextManager::Drain(Shard& shard, bool try_only, size_t* applied,
       if (!ops_applied) hook_->AbortLastOp(shard.name);
       hook_->CommitFold(shard.name);
     }
+    // The fold's applied prefix still moved the generation: evict dead
+    // entries on the failure path too, before anything can look up.
+    shard.cache.EvictOtherGenerations(shard.ctx->generation());
     shard.gate.UnlockExclusive();
     // Ops applied before the throw stay applied; the rest of the stolen
     // backlog is dropped. Resync the virtual-size bookkeeping to the
@@ -347,6 +382,11 @@ bool ContextManager::Drain(Shard& shard, bool try_only, size_t* applied,
   // fsync, and it lands before the gate releases, so any state a query
   // observes after this fold is already recoverable.
   if (hook_ != nullptr) hook_->CommitFold(shard.name);
+  // Fold boundary: cached results keyed by any other generation are now
+  // unreachable (lookups use the bumped counter) — GC them while the
+  // gate still pins the generation. Follower folds land here too
+  // (ApplyReplicated drains), so replicas invalidate identically.
+  shard.cache.EvictOtherGenerations(shard.ctx->generation());
   shard.gate.UnlockExclusive();
   NotifyDrained(shard);
   if (applied != nullptr) *applied = total;
@@ -434,14 +474,46 @@ ConsensusOutput ContextManager::Run(const std::string& name,
                                     uint64_t* generation_after) {
   std::shared_ptr<Shard> shard = Find(name);
   Drain(*shard, /*try_only=*/false, nullptr);
-  // The context's attached gate admits this run shared, so a concurrent
-  // drain on another thread waits for it (and vice versa). Empty-profile
-  // rejection happens inside RunMethod, under that gate.
-  ConsensusOutput out = shard->ctx->RunMethod(method, options);
-  shard->runs.fetch_add(1, std::memory_order_relaxed);
-  if (generation_after != nullptr) {
-    *generation_after = shard->ctx->generation();
+  // The context's attached gate admits a cache-miss run shared, so a
+  // concurrent drain on another thread waits for it (and vice versa).
+  // Empty-profile rejection happens inside RunMethod, under that gate.
+  return RunCachedOn(*shard, method, options, generation_after);
+}
+
+uint64_t ContextManager::OptionsHash(const ConsensusOptions& options) {
+  uint64_t h = HashValue(options.delta, 0);
+  h = HashValue(static_cast<uint64_t>(options.max_nodes), h);
+  h = HashValue(options.time_limit_seconds, h);
+  return h;
+}
+
+ConsensusOutput ContextManager::RunCachedOn(Shard& shard,
+                                            const MethodSpec& method,
+                                            const ConsensusOptions& options,
+                                            uint64_t* generation_out) {
+  const uint64_t options_hash = OptionsHash(options);
+  // Lookup at the seqlock generation. A mid-fold value can never hit —
+  // entries are only inserted at fold boundaries — so the worst case is
+  // a miss whose keyed run blocks on the gate and observes the settled
+  // post-fold state; a stale hit is impossible.
+  const uint64_t lookup_generation = shard.ctx->generation();
+  ConsensusOutput out;
+  if (shard.cache.LookupRun(method.id, options_hash, lookup_generation,
+                            &out)) {
+    shard.runs.fetch_add(1, std::memory_order_relaxed);
+    if (generation_out != nullptr) *generation_out = lookup_generation;
+    return out;
   }
+  uint64_t observed = 0;
+  out = shard.ctx->RunMethod(method, options, &observed);
+  shard.runs.fetch_add(1, std::memory_order_relaxed);
+  // Only deterministic replays may enter the cache: a budget-limited
+  // inexact solve's incumbent depends on wall clock, so serving it from
+  // the cache could differ from a cold recompute.
+  if (out.exact) {
+    shard.cache.InsertRun(method.id, options_hash, observed, out);
+  }
+  if (generation_out != nullptr) *generation_out = observed;
   return out;
 }
 
@@ -497,6 +569,9 @@ TableStats ContextManager::StatsFor(const Shard& shard) {
       shard.replica_leader_generation > stats.generation
           ? shard.replica_leader_generation - stats.generation
           : 0;
+  stats.cache_hits = shard.cache.hits();
+  stats.cache_misses = shard.cache.misses();
+  stats.cache_entries = shard.cache.entries();
   return stats;
 }
 
@@ -520,13 +595,14 @@ EvalResult ContextManager::Eval(const std::string& name,
   const MethodSpec* spec = FindMethod("A3");
   EvalResult result;
   result.method = spec->id;
-  // The attached gate admits the run shared (like Run, but without
-  // draining the queue first — EVAL observes the applied profile, queued
-  // mutations ride the next wave). Empty profiles throw inside
-  // RunMethod, under the gate.
-  const ConsensusOutput consensus = shard->ctx->RunMethod(*spec, {});
-  shard->runs.fetch_add(1, std::memory_order_relaxed);
-  result.generation = shard->ctx->generation();
+  // The consensus leg goes through the result cache (like Run, but
+  // without draining the queue first — EVAL observes the applied
+  // profile, queued mutations ride the next wave): repeated audits of an
+  // unchanged table pay only the O(n log n) tau below, not the method.
+  // Empty profiles throw inside RunMethod, under the gate, before any
+  // counter moves.
+  const ConsensusOutput consensus =
+      RunCachedOn(*shard, *spec, {}, &result.generation);
   result.tau = KendallTau(ranking, consensus.consensus);
   result.normalized_tau = NormalizedKendallTau(ranking, consensus.consensus);
   result.fairness = shard->ctx->EvaluateFairness(ranking);
@@ -604,6 +680,7 @@ TableStats ContextManager::RestoreTable(const std::string& name,
         std::move(snapshot.summary), *shard->table);
   }
   shard->ctx->AttachGate(&shard->gate);
+  shard->cache.set_enabled(cache_enabled_.load(std::memory_order_relaxed));
   shard->applied_batches = snapshot.applied_batches;
   shard->applied_rankings = snapshot.applied_rankings;
   TableStats stats = StatsFor(*shard);
@@ -646,14 +723,40 @@ ContextManager::RunSupportedOn(Shard& shard, const ConsensusOptions& options,
                                uint64_t* generation_after) {
   Drain(shard, /*try_only=*/false, nullptr);
   const std::vector<const MethodSpec*> supported = SupportedFor(*shard.ctx);
-  // One RunMethods call = one reader registration: a concurrent drain
-  // waits for the whole sweep, so every output (and the reported
-  // generation) comes from the same profile state.
-  std::vector<ConsensusOutput> outputs =
-      shard.ctx->RunMethods(supported, options);
+  const uint64_t options_hash = OptionsHash(options);
+  // All-or-nothing cache probe at one generation: the sweep contract is
+  // that every output comes from the same profile state, so a partial
+  // hit cannot mix cached results with a keyed re-run (which may observe
+  // a newer generation) — any miss falls back to one full sweep.
+  const uint64_t lookup_generation = shard.ctx->generation();
+  std::vector<ConsensusOutput> outputs;
+  outputs.reserve(supported.size());
+  bool all_hit = !supported.empty();
+  for (const MethodSpec* method : supported) {
+    ConsensusOutput out;
+    if (!shard.cache.LookupRun(method->id, options_hash, lookup_generation,
+                               &out)) {
+      all_hit = false;
+      break;
+    }
+    outputs.push_back(std::move(out));
+  }
+  uint64_t observed = lookup_generation;
+  if (!all_hit) {
+    // One RunMethods call = one reader registration: a concurrent drain
+    // waits for the whole sweep, so every output (and the reported
+    // generation) comes from the same profile state.
+    outputs = shard.ctx->RunMethods(supported, options, &observed);
+    for (size_t i = 0; i < outputs.size(); ++i) {
+      if (outputs[i].exact) {
+        shard.cache.InsertRun(supported[i]->id, options_hash, observed,
+                              outputs[i]);
+      }
+    }
+  }
   shard.runs.fetch_add(outputs.size(), std::memory_order_relaxed);
   if (generation_after != nullptr) {
-    *generation_after = shard.ctx->generation();
+    *generation_after = observed;
   }
   std::vector<std::pair<const MethodSpec*, ConsensusOutput>> results;
   results.reserve(outputs.size());
@@ -661,6 +764,144 @@ ContextManager::RunSupportedOn(Shard& shard, const ConsensusOptions& options,
     results.emplace_back(supported[i], std::move(outputs[i]));
   }
   return results;
+}
+
+SelectOutcome ContextManager::Select(const std::string& name,
+                                     const SelectQuery& query) {
+  std::shared_ptr<Shard> shard = Find(name);
+  const CandidateTable& table = *shard->table;
+  const int n = table.num_candidates();
+  // All validation up front, before any run or cache probe: a malformed
+  // query must fail with zero counter movement (the protocol-level ERR
+  // state-invariance contract).
+  if (query.k < 1 || query.k > n) {
+    throw std::invalid_argument("SELECT k must be in [1, " +
+                                std::to_string(n) + "], got " +
+                                std::to_string(query.k));
+  }
+  std::vector<SelectConstraint> constraints;
+  constraints.reserve(query.constraints.size());
+  for (const SelectConstraintSpec& spec : query.constraints) {
+    const Grouping* grouping = nullptr;
+    if (spec.attribute == SelectConstraintSpec::kIntersection) {
+      grouping = &table.intersection_grouping();
+    } else if (spec.attribute >= 0 &&
+               spec.attribute < table.num_attributes()) {
+      grouping = &table.attribute_grouping(spec.attribute);
+    } else {
+      throw std::invalid_argument(
+          "SELECT attribute index " + std::to_string(spec.attribute) +
+          " out of range for table with " +
+          std::to_string(table.num_attributes()) + " attributes");
+    }
+    if (spec.group < 0 || spec.group >= grouping->num_groups()) {
+      throw std::invalid_argument(
+          "SELECT group index " + std::to_string(spec.group) +
+          " out of range for grouping " + grouping->name);
+    }
+    if (spec.min_count < 0 || spec.max_count < spec.min_count) {
+      throw std::invalid_argument(
+          "SELECT constraint needs 0 <= min <= max, got [" +
+          std::to_string(spec.min_count) + ", " +
+          std::to_string(spec.max_count) + "]");
+    }
+    constraints.push_back(
+        SelectConstraint{grouping, spec.group, spec.min_count,
+                         spec.max_count});
+  }
+
+  // The whole query folds into one key; the consensus method and its
+  // (default) options are fixed per verb, so they need no extra bytes.
+  uint64_t query_hash = HashValue(static_cast<uint64_t>(query.k), 0);
+  for (const SelectConstraintSpec& spec : query.constraints) {
+    query_hash =
+        HashValue(static_cast<uint64_t>(static_cast<int64_t>(spec.attribute)),
+                  query_hash);
+    query_hash = HashValue(static_cast<uint64_t>(spec.group), query_hash);
+    query_hash = HashValue(static_cast<uint64_t>(spec.min_count), query_hash);
+    query_hash = HashValue(static_cast<uint64_t>(spec.max_count), query_hash);
+  }
+  query_hash = HashValue(query.time_limit_seconds, query_hash);
+
+  const MethodSpec* spec = FindMethod("A3");
+  SelectOutcome outcome;
+  outcome.method = spec->id;
+
+  const uint64_t lookup_generation = shard->ctx->generation();
+  CachedSelect cached;
+  if (shard->cache.LookupSelect(query_hash, lookup_generation, &cached)) {
+    // Every served SELECT bumps `runs` exactly once, hit or cold (the
+    // cold path's bump comes from its consensus leg).
+    shard->runs.fetch_add(1, std::memory_order_relaxed);
+    outcome.generation = lookup_generation;
+    outcome.selected = std::move(cached.selected);
+    outcome.cost = cached.cost;
+    outcome.feasible = cached.feasible;
+    outcome.used_ilp = cached.used_ilp;
+    outcome.optimal = cached.optimal;
+    AuditSlate(table, outcome.selected, &outcome);
+    return outcome;
+  }
+
+  const ConsensusOutput consensus =
+      RunCachedOn(*shard, *spec, {}, &outcome.generation);
+  FairSelectOptions select_options;
+  // Time-budgeted by default so a pathological ILP cannot pin a worker
+  // forever; budget-limited results are served but never cached.
+  select_options.time_limit_seconds =
+      query.time_limit_seconds > 0 ? query.time_limit_seconds : 2.0;
+  const FairSelectResult result =
+      FairTopKSelect(consensus.consensus, query.k, constraints,
+                     select_options);
+  outcome.selected = result.selected;
+  outcome.cost = result.cost;
+  outcome.feasible = result.feasible;
+  outcome.used_ilp = result.used_ilp;
+  outcome.optimal = result.optimal;
+  // Cache deterministic outcomes only: greedy slates, ILP at proven
+  // optimality, and proven infeasibility. Keyed by the generation the
+  // consensus observed — the slate is a pure function of (consensus,
+  // table, query).
+  if (!result.used_ilp || result.optimal) {
+    CachedSelect entry;
+    entry.selected = result.selected;
+    entry.cost = result.cost;
+    entry.feasible = result.feasible;
+    entry.used_ilp = result.used_ilp;
+    entry.optimal = result.optimal;
+    shard->cache.InsertSelect(query_hash, outcome.generation, entry);
+  }
+  AuditSlate(table, outcome.selected, &outcome);
+  return outcome;
+}
+
+void ContextManager::SetResultCacheEnabled(bool enabled) {
+  cache_enabled_.store(enabled, std::memory_order_relaxed);
+  std::vector<std::shared_ptr<Shard>> all;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    all.reserve(shards_.size());
+    for (const auto& [name, shard] : shards_) all.push_back(shard);
+  }
+  for (const std::shared_ptr<Shard>& shard : all) {
+    shard->cache.set_enabled(enabled);
+  }
+}
+
+ContextManager::CacheTotals ContextManager::ResultCacheTotals() const {
+  CacheTotals totals;
+  std::vector<std::shared_ptr<Shard>> all;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    all.reserve(shards_.size());
+    for (const auto& [name, shard] : shards_) all.push_back(shard);
+  }
+  for (const std::shared_ptr<Shard>& shard : all) {
+    totals.hits += shard->cache.hits();
+    totals.misses += shard->cache.misses();
+    totals.entries += shard->cache.entries();
+  }
+  return totals;
 }
 
 }  // namespace manirank::serve

@@ -20,6 +20,7 @@
 #include "core/method_registry.h"
 #include "data/op_log.h"
 #include "data/snapshot.h"
+#include "serve/result_cache.h"
 
 namespace manirank::serve {
 
@@ -75,6 +76,13 @@ struct TableStats {
   uint64_t replica_bytes_streamed = 0;
   /// Followers: whether the leader link is currently up.
   bool replica_connected = false;
+  /// Result-cache counters (generation-keyed consensus/SELECT results,
+  /// see serve/result_cache.h): lookup hits, completed runs inserted
+  /// (ERR paths move neither), and live entries at the current
+  /// generation.
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  size_t cache_entries = 0;
 };
 
 /// Result of scoring one submitted ranking against a live table (EVAL).
@@ -92,6 +100,62 @@ struct EvalResult {
   /// Fairness of the submitted ranking itself (ARP per attribute, IRP
   /// last — see FairnessReport::parity).
   FairnessReport fairness;
+};
+
+/// One SELECT count constraint at the protocol level: bounds how many of
+/// the selected k may come from one group of one grouping — a group of a
+/// single protected attribute (`attribute` >= 0), or of the full
+/// intersection p1 x ... x pq (`attribute` == kIntersection).
+struct SelectConstraintSpec {
+  static constexpr int kIntersection = -1;
+  int attribute = 0;
+  int group = 0;
+  int min_count = 0;
+  int max_count = 0;
+};
+
+/// A parsed SELECT query: the best top-k slate of the table's A3
+/// consensus under count constraints (see core/fair_select.h).
+struct SelectQuery {
+  int k = 0;
+  std::vector<SelectConstraintSpec> constraints;
+  /// Wall-clock budget for the ILP fallback (seconds; <= 0 uses the
+  /// serving default). Budget-limited non-optimal slates are served but
+  /// never cached (their incumbent depends on timing).
+  double time_limit_seconds = 0.0;
+};
+
+/// Result of one SELECT. When `feasible` is false no size-k slate
+/// satisfies the constraints (the protocol maps this to "ERR
+/// infeasible:", not an exception — the query itself was well-formed).
+struct SelectOutcome {
+  /// Profile generation the underlying consensus observed.
+  uint64_t generation = 0;
+  /// Consensus method id the slate prefixes (A3 Fair-Borda — servable on
+  /// every table flavor, exactly like EVAL).
+  std::string method;
+  /// Selected candidates in consensus order (best first).
+  std::vector<CandidateId> selected;
+  /// Sum of 0-based consensus positions of the slate.
+  long long cost = 0;
+  bool feasible = false;
+  /// True when the greedy repair could not certify a slate and the
+  /// branch & bound fallback ran (on the caller's thread — async front
+  /// ends classify SELECT as compute work and keep it off event loops).
+  bool used_ilp = false;
+  /// True when the slate is provably cost-optimal (single-grouping
+  /// greedy, or ILP solved to optimality within budget).
+  bool optimal = false;
+  /// Adverse-impact ratio of the served slate per constrained grouping
+  /// (attributes in order, intersection last when q > 1) — the EEOC
+  /// selection-rate audit from core/selection_metrics.h, recomputed from
+  /// the slate on every serve (hit or cold: it is a pure function of the
+  /// selected set, so cached and cold responses stay byte-identical).
+  /// Empty when infeasible.
+  std::vector<double> air;
+  /// True when every constrained grouping passes the four-fifths rule
+  /// (AIR >= 0.8). Meaningless when infeasible.
+  bool four_fifths = false;
 };
 
 /// How SnapshotTable captures a table's state.
@@ -244,6 +308,31 @@ class ContextManager {
   /// rankings, and empty profiles.
   EvalResult Eval(const std::string& name, const Ranking& ranking);
 
+  /// Serves the best top-k slate of the table's A3 consensus under the
+  /// query's count constraints. Read-only and non-draining like Eval
+  /// (observes the applied profile; servable on followers and summarized
+  /// restores). The consensus leg goes through the result cache, and the
+  /// whole outcome is cached per (query, generation) when deterministic
+  /// (greedy, or ILP at proven optimality/infeasibility). All query
+  /// validation happens before any run, so a malformed query throws
+  /// std::invalid_argument with the shard — including its counters —
+  /// untouched.
+  SelectOutcome Select(const std::string& name, const SelectQuery& query);
+
+  /// Manager-wide result cache switch (serve_main --no-result-cache and
+  /// the cache-disabled twins in tests/bench). Applies to every existing
+  /// and future table; disabling drops current entries. Responses are
+  /// bit-identical either way — only the recompute cost changes.
+  void SetResultCacheEnabled(bool enabled);
+
+  /// Aggregated result-cache counters across all tables (METRICS).
+  struct CacheTotals {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    size_t entries = 0;
+  };
+  CacheTotals ResultCacheTotals() const;
+
   /// Marks the table a follower (external mutations rejected with
   /// ReadOnlyTableError) or back to a leader. Throws
   /// std::invalid_argument for unknown names.
@@ -394,6 +483,11 @@ class ContextManager {
     uint64_t replica_bytes_streamed = 0;
     bool replica_connected = false;
     std::atomic<uint64_t> runs{0};
+    /// Generation-keyed consensus/SELECT results for this table.
+    /// Invalidated (dead generations evicted) by Drain at every fold
+    /// boundary — leader commits and follower ApplyReplicated both land
+    /// there. Thread-safe on its own mutex.
+    ResultCache cache;
     /// Serializes queue application so two drainers cannot interleave
     /// their stolen backlogs (op order is load-bearing: remove indices
     /// refer to the virtual profile order).
@@ -416,6 +510,17 @@ class ContextManager {
       uint64_t* generation_after);
   /// Stats snapshot straight off a shard (no name lookup).
   static TableStats StatsFor(const Shard& shard);
+  /// One method run through the shard's result cache: lookup at the
+  /// seqlock generation, else a keyed run (the generation the run
+  /// observed, read under the reader registration) + insert when the
+  /// output is a deterministic replay (exact). Bumps `runs` once either
+  /// way; `generation_out` receives the generation the served result is
+  /// keyed by.
+  static ConsensusOutput RunCachedOn(Shard& shard, const MethodSpec& method,
+                                     const ConsensusOptions& options,
+                                     uint64_t* generation_out);
+  /// Stable cache key for the per-call knobs.
+  static uint64_t OptionsHash(const ConsensusOptions& options);
   /// Steals and applies the queued backlog. With `try_only`, gives up
   /// without side effects when the gate is contended. Returns rankings
   /// applied via *applied; returns false only in try_only mode. When
@@ -464,6 +569,9 @@ class ContextManager {
   /// while swapping, so a swap to nullptr waits out in-flight calls.
   mutable std::mutex observer_mu_;
   DrainObserver drain_observer_;
+  /// Manager-wide result cache switch, copied onto each shard at
+  /// registration (see SetResultCacheEnabled).
+  std::atomic<bool> cache_enabled_{true};
 };
 
 }  // namespace manirank::serve

@@ -44,6 +44,12 @@ constexpr size_t kInlineMaxLineBytes = 4096;
 /// stream, and the light request sorts ahead of the backlog.
 constexpr uint64_t kDrainWeight = 8;
 
+/// Middle WFQ tier for the compute verbs (EVAL / SELECT): read-only —
+/// they never hold the exclusive gate — but they run a consensus method
+/// (or an ILP fallback) on a cold result cache, so they are billed
+/// heavier than STATS/APPEND yet lighter than a drain.
+constexpr uint64_t kComputeWeight = 4;
+
 bool SetNonBlocking(int fd) {
   const int flags = ::fcntl(fd, F_GETFL, 0);
   return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
@@ -402,6 +408,10 @@ struct ServeExecutor::Request {
   std::string table;
   bool barrier = false;
   bool draining = false;
+  /// Compute verb (EVAL / SELECT): excluded from the inline fast path
+  /// (a cold-cache consensus run on the loop thread would stall every
+  /// connection of the loop) and billed kComputeWeight in the WFQ.
+  bool compute = false;
   /// Non-empty: respond with this without executing (oversize ERR).
   std::string synthetic_response;
   /// Unfinished predecessors; dispatched when this reaches zero.
@@ -1354,6 +1364,7 @@ ServeExecutor::Request* ServeExecutor::ScheduleLine(
   node->table = std::move(cls.table);
   node->barrier = cls.barrier;
   node->draining = cls.draining;
+  node->compute = cls.compute;
   node->synthetic_response = std::move(synthetic);
   live_nodes_.emplace(node, std::move(owned));
   const auto depend_on = [node](Request* pred) {
@@ -1379,8 +1390,8 @@ ServeExecutor::Request* ServeExecutor::ScheduleLine(
   }
   conn->unfinished.push_back(node);
   if (node->deps == 0) {
-    if (!node->barrier && !node->draining && !stopping_.load() &&
-        node->line.size() <= kInlineMaxLineBytes) {
+    if (!node->barrier && !node->draining && !node->compute &&
+        !stopping_.load() && node->line.size() <= kInlineMaxLineBytes) {
       // Loop-thread fast path: a small dependency-free non-draining
       // per-table verb (STATS, small APPEND, REMOVE — all non-blocking
       // on the gate) executes where it was parsed, skipping the pool
@@ -1453,7 +1464,8 @@ void ServeExecutor::EnqueueReadyLocked(Request* node) {
   uint64_t& vfinish = table_vfinish_[node->barrier ? std::string()
                                                   : node->table];
   const uint64_t vstart = std::max(virtual_time_, vfinish);
-  vfinish = vstart + (node->draining ? kDrainWeight : 1);
+  vfinish = vstart + (node->draining ? kDrainWeight
+                                     : node->compute ? kComputeWeight : 1);
   ReadyEntry entry;
   entry.vstart = vstart;
   entry.arrival = node->arrival;
@@ -1817,6 +1829,14 @@ std::string ServeExecutor::MetricsResponse() const {
       << " emfile_rejected=" << total.emfile_rejected
       << " repl_sessions=" << total.repl_sessions
       << " repl_bytes_streamed=" << total.repl_bytes;
+  {
+    // Result-cache totals across every table (hits/misses move only on
+    // served lookups and completed runs — see serve/result_cache.h).
+    const ContextManager::CacheTotals cache = manager_->ResultCacheTotals();
+    out << " result_cache_hits=" << cache.hits
+        << " result_cache_misses=" << cache.misses
+        << " result_cache_entries=" << cache.entries;
+  }
   for (size_t i = 0; i < snaps.size(); ++i) {
     const IoLoop::Shadow& s = snaps[i];
     out << " loop" << i << "=accepted:" << s.accepted << ",served:" << s.served

@@ -50,11 +50,15 @@
 /// Worker shares are dealt per TABLE, not per request: the pool-bound
 /// ready queue is a weighted-fair-queuing heap keyed by per-table
 /// virtual start times (a draining verb bills kDrainWeight slots, a
-/// light verb one), so a hot table's deep backlog cannot starve a light
-/// table's single request — the light request's virtual start snaps to
-/// the current virtual time and sorts ahead of the backlog's
-/// already-billed slots, where plain arrival-order FIFO would queue it
-/// behind every one of them.
+/// compute verb — EVAL/SELECT, which may run a consensus method on a
+/// cold result cache — kComputeWeight, a light verb one), so a hot
+/// table's deep backlog cannot starve a light table's single request —
+/// the light request's virtual start snaps to the current virtual time
+/// and sorts ahead of the backlog's already-billed slots, where plain
+/// arrival-order FIFO would queue it behind every one of them. Compute
+/// verbs are also excluded from the loop-thread inline fast path: a
+/// cold-cache consensus run (or SELECT's ILP fallback) always executes
+/// on the worker pool, never on an event loop.
 ///
 /// Draining verbs additionally consult the ContextManager's non-blocking
 /// scheduling hooks: a RUN or FLUSH aimed at a table whose backlog is

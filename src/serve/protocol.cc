@@ -211,6 +211,135 @@ std::string HandleEval(ContextManager* manager,
     os << result.fairness.parity[i];
   }
   os << " max_parity=" << result.fairness.MaxParity();
+  // Per-group FPR for every constrained grouping, grouping-major (','
+  // within a grouping, ';' between) — the order matches parity=: one
+  // attribute per entry, intersection last when q > 1.
+  os << " fpr=";
+  for (size_t g = 0; g < result.fairness.fpr.size(); ++g) {
+    if (g != 0) os << ';';
+    const std::vector<double>& rates = result.fairness.fpr[g];
+    for (size_t i = 0; i < rates.size(); ++i) {
+      if (i != 0) os << ',';
+      os << rates[i];
+    }
+  }
+  // Intersectional extremes: most and least favored group of the LAST
+  // constrained grouping (the intersection when the table has several
+  // attributes, the sole attribute otherwise), as <group-index>:<fpr>.
+  if (!result.fairness.fpr.empty() && !result.fairness.fpr.back().empty()) {
+    const std::vector<double>& inter = result.fairness.fpr.back();
+    size_t max_g = 0;
+    size_t min_g = 0;
+    for (size_t i = 1; i < inter.size(); ++i) {
+      if (inter[i] > inter[max_g]) max_g = i;
+      if (inter[i] < inter[min_g]) min_g = i;
+    }
+    os << " ifpr_max=" << max_g << ':' << inter[max_g]
+       << " ifpr_min=" << min_g << ':' << inter[min_g];
+  }
+  return os.str();
+}
+
+std::string HandleSelect(ContextManager* manager,
+                         const std::vector<std::string>& tokens) {
+  static constexpr char kUsage[] =
+      "SELECT <table> <k> [ATTR <a> <g> <min> <max>]* [INTER <g> <min> "
+      "<max>]* [LIMIT <s>]";
+  if (tokens.size() < 3) return Err("bad-request", kUsage);
+  // Every numeric field is bound-checked before its int cast, like
+  // APPEND's candidate ids: an id beyond int would otherwise truncate.
+  const auto parse_int = [](const std::string& token) -> std::optional<int> {
+    const auto v = ParseLong(token);
+    if (!v || *v < 0 || *v > std::numeric_limits<int>::max()) {
+      return std::nullopt;
+    }
+    return static_cast<int>(*v);
+  };
+  const auto k = parse_int(tokens[2]);
+  if (!k || *k < 1) {
+    return Err("bad-request",
+               "SELECT k must be a positive integer, got '" + tokens[2] + "'");
+  }
+  SelectQuery query;
+  query.k = *k;
+  size_t i = 3;
+  while (i < tokens.size()) {
+    const std::string& clause = tokens[i];
+    if (clause == "ATTR" || clause == "INTER") {
+      const size_t arity = clause == "ATTR" ? 4 : 3;
+      if (i + arity + 1 > tokens.size()) {
+        return Err("bad-request",
+                   clause == "ATTR" ? "ATTR needs <a> <g> <min> <max>"
+                                    : "INTER needs <g> <min> <max>");
+      }
+      SelectConstraintSpec spec;
+      size_t j = i + 1;
+      if (clause == "ATTR") {
+        const auto a = parse_int(tokens[j++]);
+        if (!a) {
+          return Err("bad-request",
+                     "ATTR attribute index must be a non-negative integer, "
+                     "got '" +
+                         tokens[j - 1] + "'");
+        }
+        spec.attribute = *a;
+      } else {
+        spec.attribute = SelectConstraintSpec::kIntersection;
+      }
+      const auto group = parse_int(tokens[j++]);
+      const auto min_count = parse_int(tokens[j++]);
+      const auto max_count = parse_int(tokens[j++]);
+      if (!group || !min_count || !max_count) {
+        return Err("bad-request",
+                   clause + " group/min/max must be non-negative integers");
+      }
+      spec.group = *group;
+      spec.min_count = *min_count;
+      spec.max_count = *max_count;
+      query.constraints.push_back(spec);
+      i = j;
+    } else if (clause == "LIMIT") {
+      if (i + 1 >= tokens.size()) {
+        return Err("bad-request", "LIMIT needs a value in seconds");
+      }
+      const auto seconds = ParseDouble(tokens[i + 1]);
+      // `> 0` also rejects NaN.
+      if (!seconds || !(*seconds > 0)) {
+        return Err("bad-request", "LIMIT needs a positive number, got '" +
+                                      tokens[i + 1] + "'");
+      }
+      query.time_limit_seconds = *seconds;
+      i += 2;
+    } else {
+      return Err("bad-request", "bad SELECT clause '" + clause + "'; " +
+                                    kUsage);
+    }
+  }
+  const SelectOutcome outcome = manager->Select(tokens[1], query);
+  if (!outcome.feasible) {
+    // A well-formed query whose constraints admit no size-k slate: a
+    // distinct code (the computation succeeded — only the answer is
+    // "no such slate"). Deterministic detail so cached and cold
+    // infeasible responses stay byte-identical.
+    return Err("infeasible", "no feasible slate of size " +
+                                 std::to_string(query.k) +
+                                 " under the given constraints");
+  }
+  std::ostringstream os;
+  os << "OK SELECT " << tokens[1] << " gen=" << outcome.generation
+     << " k=" << query.k << " method=" << outcome.method
+     << " algo=" << (outcome.used_ilp ? "ilp" : "greedy")
+     << " optimal=" << (outcome.optimal ? 1 : 0) << " cost=" << outcome.cost
+     << " air=";
+  for (size_t g = 0; g < outcome.air.size(); ++g) {
+    if (g != 0) os << ';';
+    os << outcome.air[g];
+  }
+  os << " four_fifths=" << (outcome.four_fifths ? 1 : 0) << " selected=";
+  for (size_t c = 0; c < outcome.selected.size(); ++c) {
+    if (c != 0) os << ',';
+    os << outcome.selected[c];
+  }
   return os.str();
 }
 
@@ -394,6 +523,7 @@ std::string Dispatcher::HandleRequest(const std::string& line) {
     if (verb == "APPEND") return HandleAppend(manager_, tokens);
     if (verb == "RUN") return HandleRun(manager_, tokens);
     if (verb == "EVAL") return HandleEval(manager_, tokens);
+    if (verb == "SELECT") return HandleSelect(manager_, tokens);
     if (verb == "REPLICATE") {
       // Streaming front ends (the executor and the threaded server)
       // intercept REPLICATE before dispatch; reaching this handler means
@@ -446,7 +576,10 @@ std::string Dispatcher::HandleRequest(const std::string& line) {
          << " applied_rankings=" << stats.applied_rankings
          << " runs=" << stats.runs
          << " dropped_removes=" << stats.dropped_removes
-         << " summarized=" << (stats.summarized ? 1 : 0);
+         << " summarized=" << (stats.summarized ? 1 : 0)
+         << " cache_hits=" << stats.cache_hits
+         << " cache_misses=" << stats.cache_misses
+         << " cache_entries=" << stats.cache_entries;
       if (stats.role == TableRole::kFollower) {
         // Trailing and follower-only: leader STATS output is unchanged
         // byte-for-byte, which the replication equivalence checks (and
@@ -590,12 +723,14 @@ RequestClass ClassifyRequest(const std::string& line) {
   cls.replicate = verb == "REPLICATE";
   const bool per_table = verb == "APPEND" || verb == "REMOVE" ||
                          verb == "RUN" || verb == "STATS" ||
-                         verb == "FLUSH" || verb == "EVAL";
+                         verb == "FLUSH" || verb == "EVAL" ||
+                         verb == "SELECT";
   std::string table;
   if (per_table) table = next_token(&pos);
   if (per_table && !table.empty()) {
     cls.table = std::move(table);
     cls.draining = verb == "RUN" || verb == "FLUSH";
+    cls.compute = verb == "EVAL" || verb == "SELECT";
   } else {
     // Namespace verbs (CREATE / RESTORE / DROP / TABLES), unknown verbs,
     // and malformed per-table requests (no table token) all serialize

@@ -25,6 +25,8 @@ namespace manirank::serve {
 ///   REMOVE   <table> <index>
 ///   RUN      <table> <method|all> [DELTA <d>] [LIMIT <seconds>]
 ///   EVAL     <table> <c0> <c1> ...
+///   SELECT   <table> <k> [ATTR <a> <g> <min> <max>]*
+///                        [INTER <g> <min> <max>]* [LIMIT <seconds>]
 ///   STATS    <table>
 ///   FLUSH    <table>
 ///   SNAPSHOT <table> <path> [EXACT]
@@ -65,8 +67,49 @@ namespace manirank::serve {
 /// path, and the submitted ranking's own fairness (ARP per attribute,
 /// IRP last) comes from the cached favored-pair denominators. Response:
 /// "OK EVAL <table> gen=<g> method=A3 tau=<t> ntau=<x>
-/// parity=<p0,p1,...> max_parity=<m>". Like STATS it does not drain the
-/// mutation queue — it observes the applied profile at gen=.
+/// parity=<p0,p1,...> max_parity=<m> fpr=<...> ifpr_max=<g>:<v>
+/// ifpr_min=<g>:<v>". fpr= lists the per-group favored pair rate
+/// (Definition 4) for every constrained grouping, grouping-major: ','
+/// separates groups within a grouping, ';' separates groupings (the
+/// order matches parity= — one attribute per entry, intersection last
+/// when the table has more than one attribute). ifpr_max/ifpr_min name
+/// the most and least favored group of the LAST constrained grouping
+/// (the intersectional breakdown) as <group-index>:<fpr>. Like STATS it
+/// does not drain the mutation queue — it observes the applied profile
+/// at gen=.
+///
+/// SELECT serves a constrained fair top-k slate: the best k candidates
+/// of the table's A3 consensus (cost = sum of consensus positions)
+/// subject to count constraints. ATTR <a> <g> <min> <max> bounds how
+/// many selected candidates may come from group <g> of attribute <a>'s
+/// grouping; INTER <g> <min> <max> does the same for the intersectional
+/// grouping; clauses repeat and combine. LIMIT bounds the wall clock of
+/// the exact fallback. Resolution is greedy repair first (optimal
+/// whenever all constraints target one grouping), with a branch & bound
+/// ILP fallback when greedy cannot certify a slate — run on the worker
+/// pool like every compute verb, never on an event loop. Response:
+/// "OK SELECT <table> gen=<g> k=<k> method=A3 algo=<greedy|ilp>
+/// optimal=<0|1> cost=<c> air=<a0;a1;...> four_fifths=<0|1>
+/// selected=<c0,c1,...>" (selected in consensus order). air= is the
+/// served slate's adverse-impact ratio per constrained grouping
+/// (attributes in order, intersection last when the table has more than
+/// one attribute): min over groups of the group's selection rate in the
+/// slate divided by the max — the EEOC audit from
+/// core/selection_metrics.h, recomputed from the slate on every serve.
+/// four_fifths=1 iff every grouping's ratio clears 0.8. A well-formed query with no feasible slate answers "ERR
+/// infeasible:"; like EVAL the verb is read-only, non-draining, and
+/// servable on every table flavor including followers.
+///
+/// Result cache. RUN, EVAL's consensus leg, and SELECT are served
+/// through a per-table result cache keyed by (method, options-hash,
+/// generation): repeated queries over an unchanged profile skip the
+/// consensus method entirely, and any fold commit (leader mutation wave
+/// or follower replication apply) invalidates by moving the generation.
+/// Responses are byte-identical hit or miss — only nondeterministic
+/// results (budget-limited inexact solves) bypass the cache. STATS
+/// reports per-table cache_hits= / cache_misses= / cache_entries=;
+/// METRICS aggregates result_cache_* across tables; --no-result-cache
+/// disables the cache process-wide (for baselines and twins).
 ///
 /// REPLICATE switches the connection into a replication stream (leader
 /// side): the response line "OK REPLICATE <table> snapshot_bytes=<N>
@@ -93,7 +136,10 @@ namespace manirank::serve {
 /// no-such-table, table-exists (CREATE/RESTORE onto a taken name — a
 /// distinct code so clients can retry idempotently), unknown-method,
 /// bad-ranking, bad-index, empty-table (RUN/SNAPSHOT on a table with no
-/// applied or queued rankings), bad-snapshot (RESTORE from a corrupt,
+/// applied or queued rankings), infeasible (a well-formed SELECT whose
+/// constraints admit no size-k slate — the only ERR that follows a
+/// successful computation, so it may move the runs/cache counters while
+/// the generation stays untouched), bad-snapshot (RESTORE from a corrupt,
 /// truncated, or version-mismatched file; the manager state is untouched),
 /// io, conflict, unavailable (METRICS on a front end without an
 /// executor, or an EMFILE-rejected connect). SNAPSHOT probes its write target before draining, so an
@@ -186,6 +232,10 @@ class Dispatcher {
 ///  - A `draining` verb (RUN / FLUSH) may block for a whole exclusive
 ///    backlog fold; schedulers pair this with
 ///    ContextManager::IsDraining to park instead of blocking a worker.
+///  - A `compute` verb (EVAL / SELECT) runs a consensus method (or an
+///    ILP fallback) without draining: cheap on a warm result cache but
+///    unboundedly expensive cold, so schedulers keep it off event-loop
+///    threads and bill it a middle fair-queue weight.
 struct RequestClass {
   /// Scheduling key; empty for barriers and no-response lines.
   std::string table;
@@ -193,6 +243,9 @@ struct RequestClass {
   bool barrier = false;
   /// May block on the table's exclusive gate (RUN / FLUSH).
   bool draining = false;
+  /// Method-running read-only verb (EVAL / SELECT): never inline on an
+  /// event loop, billed kComputeWeight in the fair queue.
+  bool compute = false;
   /// Blank or comment line: Dispatcher::Handle returns no response and
   /// the request needs no scheduling at all.
   bool no_response = false;

@@ -1,0 +1,140 @@
+#include "serve/result_cache.h"
+
+#include <cstring>
+#include <utility>
+
+namespace manirank::serve {
+
+namespace {
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+constexpr int kKindRun = 0;
+constexpr int kKindSelect = 1;
+}  // namespace
+
+uint64_t HashBytes(const void* data, size_t size, uint64_t seed) {
+  uint64_t h = seed == 0 ? kFnvOffset : seed;
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < size; ++i) {
+    h ^= bytes[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+uint64_t HashValue(uint64_t value, uint64_t seed) {
+  return HashBytes(&value, sizeof(value), seed);
+}
+
+uint64_t HashValue(double value, uint64_t seed) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  return HashValue(bits, seed);
+}
+
+void ResultCache::set_enabled(bool enabled) {
+  std::lock_guard<std::mutex> lock(mu_);
+  enabled_ = enabled;
+  if (!enabled) entries_.clear();
+}
+
+bool ResultCache::enabled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return enabled_;
+}
+
+bool ResultCache::LookupRun(const std::string& method, uint64_t options_hash,
+                            uint64_t generation, ConsensusOutput* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!enabled_) return false;
+  const auto it =
+      entries_.find(Key{kKindRun, method, options_hash, generation});
+  if (it == entries_.end()) return false;
+  ++hits_;
+  *out = it->second.run;
+  return true;
+}
+
+void ResultCache::InsertRun(const std::string& method, uint64_t options_hash,
+                            uint64_t generation,
+                            const ConsensusOutput& output) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!enabled_) return;
+  Entry entry;
+  entry.run = output;
+  InsertLocked(Key{kKindRun, method, options_hash, generation},
+               std::move(entry));
+}
+
+bool ResultCache::LookupSelect(uint64_t query_hash, uint64_t generation,
+                               CachedSelect* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!enabled_) return false;
+  const auto it =
+      entries_.find(Key{kKindSelect, std::string(), query_hash, generation});
+  if (it == entries_.end()) return false;
+  ++hits_;
+  *out = it->second.select;
+  return true;
+}
+
+void ResultCache::InsertSelect(uint64_t query_hash, uint64_t generation,
+                               const CachedSelect& result) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!enabled_) return;
+  Entry entry;
+  entry.select = result;
+  InsertLocked(Key{kKindSelect, std::string(), query_hash, generation},
+               std::move(entry));
+}
+
+void ResultCache::InsertLocked(Key key, Entry entry) {
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    // Re-inserting an existing key (two requests raced the same miss):
+    // the second run recomputed the same bit-exact result; keep counters
+    // honest by still counting the completed recompute as a miss.
+    ++misses_;
+    it->second = std::move(entry);
+    return;
+  }
+  if (entries_.size() >= kMaxEntries) {
+    entries_.erase(entries_.begin());
+  }
+  ++misses_;
+  entries_.emplace(std::move(key), std::move(entry));
+}
+
+void ResultCache::EvictOtherGenerations(uint64_t generation) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (std::get<3>(it->first) != generation) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ResultCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+uint64_t ResultCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+uint64_t ResultCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+size_t ResultCache::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace manirank::serve

@@ -109,6 +109,7 @@ int Usage() {
                "                      [--workers N] [--io-threads N]\n"
                "                      [--threaded] [--restore-dir DIR]\n"
                "                      [--log-dir DIR] [--echo]\n"
+               "                      [--no-result-cache]\n"
                "  (no mode flag: serve requests from stdin; --restore-dir\n"
                "   cold-starts every DIR/<table>.snap before serving;\n"
                "   --log-dir adds exact-profile durability: op-log replay\n"
@@ -116,7 +117,9 @@ int Usage() {
                "   serving; --port serves the async executor pipeline\n"
                "   (0 = ephemeral), --threaded falls back to one thread\n"
                "   per connection; --follow replicates every table of the\n"
-               "   leader at HOST:PORT and serves them read-only)\n";
+               "   leader at HOST:PORT and serves them read-only;\n"
+               "   --no-result-cache disables the generation-keyed\n"
+               "   consensus result cache shared by RUN/EVAL/SELECT)\n";
   return 2;
 }
 
@@ -325,12 +328,15 @@ int main(int argc, char** argv) {
   size_t io_threads = 0;
   bool threaded = false;
   bool echo = false;
+  bool no_result_cache = false;
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
     if (flag == "--echo") {
       echo = true;
     } else if (flag == "--threaded") {
       threaded = true;
+    } else if (flag == "--no-result-cache") {
+      no_result_cache = true;
     } else if (flag == "--script" && i + 1 < argc) {
       script = argv[++i];
     } else if (flag == "--restore-dir" && i + 1 < argc) {
@@ -426,6 +432,9 @@ int main(int argc, char** argv) {
 #endif
 
   ContextManager manager;
+  // Before any restore: restored tables inherit the manager-wide setting
+  // at creation time, so the flag must land first.
+  if (no_result_cache) manager.SetResultCacheEnabled(false);
   if (restore_dir.has_value() && !RestoreFromDir(*restore_dir, &manager)) {
     return 2;
   }

@@ -180,14 +180,19 @@ TEST_F(ProtocolTest, ErrorsNeverEnqueueHalfABatch) {
       << stats;
 }
 
-/// Masks the runs= counter: EVAL bumps it (it IS a consensus run), but
-/// everything else in STATS must hold still.
+/// Masks the runs= counter and the result-cache counters: EVAL bumps
+/// them (it IS a consensus run, and its consensus leg goes through the
+/// result cache), but everything else in STATS must hold still.
 std::string MaskRuns(std::string stats) {
-  const size_t at = stats.find(" runs=");
-  if (at == std::string::npos) return stats;
-  size_t end = at + 6;
-  while (end < stats.size() && stats[end] != ' ') ++end;
-  return stats.replace(at, end - at, " runs=_");
+  for (const std::string field :
+       {" runs=", " cache_hits=", " cache_misses=", " cache_entries="}) {
+    const size_t at = stats.find(field);
+    if (at == std::string::npos) continue;
+    size_t end = at + field.size();
+    while (end < stats.size() && stats[end] != ' ') ++end;
+    stats.replace(at, end - at, field + "_");
+  }
+  return stats;
 }
 
 TEST_F(ProtocolTest, EvalScoresARankingWithoutMutating) {

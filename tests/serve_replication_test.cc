@@ -130,13 +130,23 @@ TEST_F(ReplicationTest, FollowerCatchesUpAndServesBitIdentically) {
   ASSERT_TRUE(WaitUntil([&] { return FollowerConverged("t", 3); }))
       << FollowerStats("t");
 
-  // The core contract: RUN-all and EVAL byte-identical at generation 3.
-  ASSERT_TRUE(client.Send("RUN t all\nEVAL t 0 1 2 3 4 5\n"));
-  const std::vector<std::string> leader_reads = client.ReadLines(2);
+  // The core contract: RUN-all, EVAL and SELECT byte-identical at
+  // generation 3. SELECT is follower-servable (read-only, non-draining)
+  // and both sides go through their own result caches — repeats pin the
+  // hit path to the same bytes as the cold path.
+  ASSERT_TRUE(client.Send("RUN t all\nEVAL t 0 1 2 3 4 5\n"
+                          "SELECT t 3 ATTR 0 0 1 3\n"
+                          "SELECT t 3 ATTR 0 0 1 3\n"));
+  const std::vector<std::string> leader_reads = client.ReadLines(4);
   Dispatcher follower_dispatcher(&follower_manager_);
   EXPECT_EQ(follower_dispatcher.Handle("RUN t all"), leader_reads[0]);
   EXPECT_EQ(follower_dispatcher.Handle("EVAL t 0 1 2 3 4 5"),
             leader_reads[1]);
+  EXPECT_EQ(follower_dispatcher.Handle("SELECT t 3 ATTR 0 0 1 3"),
+            leader_reads[2]);
+  EXPECT_EQ(leader_reads[3], leader_reads[2]);  // leader hit == cold
+  EXPECT_EQ(follower_dispatcher.Handle("SELECT t 3 ATTR 0 0 1 3"),
+            leader_reads[2]);  // follower hit == leader cold
 
   // Followers are read-only replicas.
   EXPECT_EQ(follower_dispatcher.Handle("APPEND t 0 1 2 3 4 5")

@@ -1,0 +1,313 @@
+// Result-cache + SELECT serving tests: the generation-keyed consensus
+// result cache must be invisible in response bytes (a cached hit is
+// byte-identical to a cold recompute, pinned by a cache-disabled twin
+// replaying the same workload), correct across invalidation (every fold
+// moves the generation and strands old entries), and honest in its
+// counters. SELECT gets its own fuzz sweep with a generation-only
+// invariant: ERR infeasible is the one ERR that follows a successful
+// computation, so it may move runs/cache counters while the applied
+// state stays put.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "serve/context_manager.h"
+#include "serve/protocol.h"
+#include "serve/result_cache.h"
+#include "util/rng.h"
+
+namespace manirank {
+namespace {
+
+using serve::ContextManager;
+using serve::Dispatcher;
+using serve::TableStats;
+
+/// Masks the volatile counter fields of a STATS response — runs= moves
+/// with every consensus run and the cache_* fields differ between a
+/// cache-enabled and a cache-disabled server by design. Everything else
+/// (generation, sizes, pending ops) must stay twin-identical.
+std::string MaskCounters(std::string stats) {
+  for (const std::string field :
+       {" runs=", " cache_hits=", " cache_misses=", " cache_entries="}) {
+    const size_t at = stats.find(field);
+    if (at == std::string::npos) continue;
+    size_t end = at + field.size();
+    while (end < stats.size() && stats[end] != ' ') ++end;
+    stats.replace(at, end - at, field + "_");
+  }
+  return stats;
+}
+
+/// Extracts the generation= field from a STATS response (or returns the
+/// whole response when there is none — e.g. ERR no-such-table — so the
+/// value still works as a state fingerprint).
+std::string GenerationOf(const std::string& stats) {
+  const size_t at = stats.find(" generation=");
+  if (at == std::string::npos) return stats;
+  size_t end = at + 12;
+  while (end < stats.size() && stats[end] != ' ') ++end;
+  return stats.substr(at, end - at);
+}
+
+class SelectCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dispatcher_ = std::make_unique<Dispatcher>(&manager_);
+    ASSERT_TRUE(IsOk(Handle("CREATE t CYCLIC 6 2 3")));
+    ASSERT_TRUE(IsOk(Handle("APPEND t 0 1 2 3 4 5 ; 5 4 3 2 1 0 ; "
+                            "1 0 3 2 5 4")));
+    ASSERT_TRUE(IsOk(Handle("FLUSH t")));
+  }
+
+  std::string Handle(const std::string& line) {
+    return dispatcher_->Handle(line);
+  }
+  static bool IsOk(const std::string& r) { return r.rfind("OK", 0) == 0; }
+  static bool IsErr(const std::string& r) { return r.rfind("ERR ", 0) == 0; }
+
+  TableStats Stats() { return manager_.Stats("t"); }
+
+  ContextManager manager_;
+  std::unique_ptr<Dispatcher> dispatcher_;
+};
+
+TEST_F(SelectCacheTest, RepeatRunsHitAndFoldsInvalidate) {
+  TableStats s = Stats();
+  EXPECT_EQ(s.cache_hits, 0u);
+  EXPECT_EQ(s.cache_misses, 0u);
+  EXPECT_EQ(s.cache_entries, 0u);
+
+  const std::string cold = Handle("RUN t A3");
+  ASSERT_TRUE(IsOk(cold));
+  s = Stats();
+  EXPECT_EQ(s.cache_hits, 0u);
+  EXPECT_EQ(s.cache_misses, 1u);
+  EXPECT_EQ(s.cache_entries, 1u);
+
+  // A repeat at the same generation is a hit — and byte-identical.
+  EXPECT_EQ(Handle("RUN t A3"), cold);
+  s = Stats();
+  EXPECT_EQ(s.cache_hits, 1u);
+  EXPECT_EQ(s.cache_misses, 1u);
+  EXPECT_EQ(s.cache_entries, 1u);
+
+  // A different method is its own key.
+  ASSERT_TRUE(IsOk(Handle("RUN t A4")));
+  s = Stats();
+  EXPECT_EQ(s.cache_hits, 1u);
+  EXPECT_EQ(s.cache_misses, 2u);
+  EXPECT_EQ(s.cache_entries, 2u);
+
+  // A fold moves the generation and strands every old entry: the next
+  // RUN is a miss and the dead generation has been evicted.
+  ASSERT_TRUE(IsOk(Handle("APPEND t 2 3 0 1 4 5")));
+  ASSERT_TRUE(IsOk(Handle("FLUSH t")));
+  s = Stats();
+  EXPECT_EQ(s.cache_entries, 0u);
+  ASSERT_TRUE(IsOk(Handle("RUN t A3")));
+  s = Stats();
+  EXPECT_EQ(s.cache_hits, 1u);
+  EXPECT_EQ(s.cache_misses, 3u);
+  EXPECT_EQ(s.cache_entries, 1u);
+}
+
+TEST_F(SelectCacheTest, SelectHitsCacheAndBumpsRunsOncePerServe) {
+  const std::string cold = Handle("SELECT t 3 ATTR 0 1 2 3");
+  ASSERT_TRUE(IsOk(cold)) << cold;
+  // The selection-rate audit rides every OK response: one
+  // adverse-impact ratio per constrained grouping and the aggregate
+  // four-fifths verdict.
+  EXPECT_NE(cold.find(" air="), std::string::npos) << cold;
+  EXPECT_NE(cold.find(" four_fifths="), std::string::npos) << cold;
+  const uint64_t runs_after_cold = Stats().runs;
+  // Cold SELECT ran one consensus (the A3 leg) and inserted two entries:
+  // the consensus result and the select outcome.
+  EXPECT_EQ(Stats().cache_entries, 2u);
+
+  const std::string warm = Handle("SELECT t 3 ATTR 0 1 2 3");
+  EXPECT_EQ(warm, cold);
+  // Every served SELECT bumps runs exactly once, hit or cold.
+  EXPECT_EQ(Stats().runs, runs_after_cold + 1);
+  EXPECT_EQ(Stats().cache_entries, 2u);
+  EXPECT_GE(Stats().cache_hits, 1u);
+
+  // A different k is a different key, but shares the cached consensus.
+  const uint64_t misses_before = Stats().cache_misses;
+  const uint64_t hits_before = Stats().cache_hits;
+  ASSERT_TRUE(IsOk(Handle("SELECT t 2 ATTR 0 1 2 3")));
+  EXPECT_EQ(Stats().cache_hits, hits_before + 1);    // consensus leg hit
+  EXPECT_EQ(Stats().cache_misses, misses_before + 1);  // new select key
+  EXPECT_EQ(Stats().cache_entries, 3u);
+}
+
+TEST_F(SelectCacheTest, InfeasibleSelectDrawsItsOwnCodeDeterministically) {
+  // Attribute 0 group 0 has 3 members; demanding 4 is provably
+  // infeasible. The computation SUCCEEDED — this ERR may move counters.
+  const uint64_t generation = Stats().generation;
+  const std::string first = Handle("SELECT t 4 ATTR 0 0 4 6");
+  EXPECT_EQ(first.rfind("ERR infeasible:", 0), 0u) << first;
+  // The proof is cached; the repeat must be byte-identical.
+  EXPECT_EQ(Handle("SELECT t 4 ATTR 0 0 4 6"), first);
+  // The generation never moved.
+  EXPECT_EQ(Stats().generation, generation);
+}
+
+TEST_F(SelectCacheTest, ErrPathsMoveNoCacheCounters) {
+  const TableStats before = Stats();
+  const std::vector<std::pair<std::string, std::string>> cases = {
+      {"SELECT", "ERR bad-request"},
+      {"SELECT t", "ERR bad-request"},
+      {"SELECT ghost 3", "ERR no-such-table"},
+      {"SELECT t 0", "ERR bad-request"},            // k < 1
+      {"SELECT t x", "ERR bad-request"},            // non-numeric k
+      {"SELECT t 7", "ERR bad-request"},            // k > n
+      {"SELECT t 3 ATTR", "ERR bad-request"},       // clause arity
+      {"SELECT t 3 ATTR 0 1 2", "ERR bad-request"},
+      {"SELECT t 3 INTER 0 1", "ERR bad-request"},
+      {"SELECT t 3 FROB 1", "ERR bad-request"},     // unknown clause
+      {"SELECT t 3 ATTR 9 0 1 2", "ERR bad-request"},  // attribute range
+      {"SELECT t 3 ATTR 0 9 1 2", "ERR bad-request"},  // group range
+      {"SELECT t 3 ATTR 0 0 3 1", "ERR bad-request"},  // min > max
+      {"SELECT t 3 LIMIT", "ERR bad-request"},
+      {"SELECT t 3 LIMIT -1", "ERR bad-request"},
+      {"SELECT t 3 LIMIT NaN", "ERR bad-request"},
+  };
+  for (const auto& [request, expected_prefix] : cases) {
+    const std::string response = Handle(request);
+    EXPECT_EQ(response.rfind(expected_prefix, 0), 0u)
+        << "request '" << request << "' drew '" << response << "'";
+    const TableStats after = Stats();
+    EXPECT_EQ(after.cache_hits, before.cache_hits) << request;
+    EXPECT_EQ(after.cache_misses, before.cache_misses) << request;
+    EXPECT_EQ(after.cache_entries, before.cache_entries) << request;
+    EXPECT_EQ(after.runs, before.runs) << request;
+    EXPECT_EQ(after.generation, before.generation) << request;
+  }
+}
+
+TEST_F(SelectCacheTest, DisabledCacheServesWithZeroCounterMovement) {
+  manager_.SetResultCacheEnabled(false);
+  const std::string a = Handle("RUN t A3");
+  const std::string b = Handle("RUN t A3");
+  ASSERT_TRUE(IsOk(a));
+  EXPECT_EQ(a, b);
+  ASSERT_TRUE(IsOk(Handle("SELECT t 3 ATTR 0 1 2 3")));
+  const TableStats s = Stats();
+  EXPECT_EQ(s.cache_hits, 0u);
+  EXPECT_EQ(s.cache_misses, 0u);
+  EXPECT_EQ(s.cache_entries, 0u);
+}
+
+TEST(SelectCacheTwinTest, CachedServerIsByteIdenticalToUncachedTwin) {
+  // The core bit-exactness contract: an interleaved workload of
+  // mutations, folds, runs, sweeps, EVALs and SELECTs must produce the
+  // same response bytes whether or not the result cache is on. Only the
+  // counter fields of STATS may differ (masked).
+  ContextManager cached_manager;
+  ContextManager uncached_manager;
+  uncached_manager.SetResultCacheEnabled(false);
+  Dispatcher cached(&cached_manager);
+  Dispatcher uncached(&uncached_manager);
+
+  const std::vector<std::string> script = {
+      "CREATE t CYCLIC 6 2 3",
+      "APPEND t 0 1 2 3 4 5 ; 5 4 3 2 1 0",
+      "FLUSH t",
+      "RUN t A3",
+      "RUN t A3",  // hit on the cached side
+      "RUN t A4",
+      "EVAL t 0 1 2 3 4 5",
+      "EVAL t 0 1 2 3 4 5",
+      "SELECT t 3",
+      "SELECT t 3 ATTR 0 1 2 3",
+      "SELECT t 3 ATTR 0 1 2 3",  // hit
+      "SELECT t 4 ATTR 0 0 4 6",  // infeasible, cached proof
+      "SELECT t 4 ATTR 0 0 4 6",
+      "SELECT t 2 INTER 0 0 1",
+      "STATS t",
+      "APPEND t 2 3 0 1 4 5",     // queued...
+      "SELECT t 3 ATTR 0 1 2 3",  // ...SELECT must not drain it
+      "STATS t",
+      "FLUSH t",                  // fold: invalidation point
+      "RUN t A3",
+      "SELECT t 3 ATTR 0 1 2 3",
+      "RUN t all",
+      "RUN t all",
+      "EVAL t 5 4 3 2 1 0",
+      "SELECT t 6 ATTR 1 0 0 2 ATTR 0 1 1 6",
+      "REMOVE t 0",
+      "FLUSH t",
+      "RUN t A3",
+      "SELECT t 3 ATTR 0 1 2 3",
+      "STATS t",
+  };
+  for (const std::string& line : script) {
+    const std::string a = cached.Handle(line);
+    const std::string b = uncached.Handle(line);
+    EXPECT_EQ(MaskCounters(a), MaskCounters(b)) << "request '" << line << "'";
+  }
+  // The cached side actually cached (the twin test would be vacuous
+  // against a cache that never engages).
+  const TableStats stats = cached_manager.Stats("t");
+  EXPECT_GT(stats.cache_hits, 0u);
+  EXPECT_GT(stats.cache_misses, 0u);
+  const TableStats twin = uncached_manager.Stats("t");
+  EXPECT_EQ(twin.cache_hits, 0u);
+  EXPECT_EQ(twin.cache_misses, 0u);
+}
+
+TEST(SelectCacheTwinTest, FuzzedSelectLinesKeepGenerationInvariant) {
+  // SELECT-focused fuzz: random clause soup against a live table. Every
+  // line draws exactly one OK/ERR, never throws, and no SELECT —
+  // well-formed or not — ever moves the generation (SELECT is
+  // read-only and non-draining). NOTE: full STATS invariance would be
+  // wrong here; ERR infeasible legitimately moves runs/cache counters.
+  ContextManager manager;
+  Dispatcher dispatcher(&manager);
+  ASSERT_EQ(dispatcher.Handle("CREATE t CYCLIC 6 2 3")
+                .rfind("OK", 0), 0u);
+  ASSERT_EQ(dispatcher.Handle("APPEND t 0 1 2 3 4 5 ; 5 4 3 2 1 0")
+                .rfind("OK", 0), 0u);
+  ASSERT_EQ(dispatcher.Handle("FLUSH t").rfind("OK", 0), 0u);
+  const std::string generation = GenerationOf(dispatcher.Handle("STATS t"));
+
+  Rng rng(20260808);
+  const std::vector<std::string> vocabulary = {
+      "ATTR", "INTER", "LIMIT", "t",  "ghost", "0",   "1",     "2",
+      "3",    "6",     "-1",    "x",  "0.5",   "NaN", "99999999999999999999",
+      "🙂",   ";",     "",      "A3", "all"};
+  int oks = 0;
+  int errs = 0;
+  for (int round = 0; round < 400; ++round) {
+    std::ostringstream line;
+    line << "SELECT";
+    const int tokens = 1 + static_cast<int>(rng.NextUint64(9));
+    for (int i = 0; i < tokens; ++i) {
+      line << ' ' << vocabulary[rng.NextUint64(vocabulary.size())];
+    }
+    std::string response;
+    ASSERT_NO_THROW(response = dispatcher.Handle(line.str())) << line.str();
+    ASSERT_FALSE(response.empty()) << line.str();
+    ASSERT_TRUE(response.rfind("OK", 0) == 0 ||
+                response.rfind("ERR ", 0) == 0)
+        << "request '" << line.str() << "' drew '" << response << "'";
+    if (response.rfind("ERR ", 0) == 0) {
+      ++errs;
+    } else {
+      ++oks;
+    }
+    EXPECT_EQ(GenerationOf(dispatcher.Handle("STATS t")), generation)
+        << "request '" << line.str() << "' moved the generation";
+  }
+  // The sweep must exercise both outcomes to mean anything.
+  EXPECT_GT(errs, 0);
+  EXPECT_GT(oks, 0);
+}
+
+}  // namespace
+}  // namespace manirank
